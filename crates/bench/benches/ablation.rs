@@ -1,0 +1,75 @@
+//! Criterion bench: the ablation measurements (arbitration overhead and
+//! bus splitting) — how much the future-work extensions cost to compute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifsyn_core::{
+    Arbitration, BusDesign, BusGenerator, ProtocolGenerator, ProtocolKind,
+};
+use ifsyn_sim::Simulator;
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{Channel, ChannelDirection, ChannelId, System, Ty};
+use ifsyn_systems::flc;
+use std::hint::black_box;
+
+fn hot_system(n: usize) -> (System, Vec<ChannelId>) {
+    let mut sys = System::new("hot");
+    let m1 = sys.add_module("m1");
+    let m2 = sys.add_module("m2");
+    let store = sys.add_behavior("store", m2);
+    let mut chans = Vec::new();
+    for k in 0..n {
+        let b = sys.add_behavior(format!("P{k}"), m1);
+        let v = sys.add_variable(format!("V{k}"), Ty::array(Ty::Int(16), 16), store);
+        let i = sys.add_variable(format!("i{k}"), Ty::Int(16), b);
+        let ch = sys.add_channel(Channel {
+            name: format!("hot{k}"),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 4,
+            accesses: 16,
+        });
+        sys.behavior_mut(b).body = vec![for_loop(
+            var(i),
+            int_const(0, 16),
+            int_const(15, 16),
+            vec![send_at(ch, load(var(i)), load(var(i)))],
+        )];
+        chans.push(ch);
+    }
+    (sys, chans)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    group.bench_function("shared_bus_with_arbiter_sim", |b| {
+        let f = flc::flc();
+        let design = BusDesign::with_width(f.bus_channels(), 8, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new()
+            .with_arbitration(Arbitration::round_robin().with_grant_cycles(2))
+            .refine(&f.system, &design)
+            .unwrap();
+        b.iter(|| {
+            Simulator::new(black_box(&refined.system))
+                .unwrap()
+                .run_to_quiescence()
+                .unwrap()
+        })
+    });
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("split_channels", n), &n, |b, &n| {
+            let (sys, chans) = hot_system(n);
+            b.iter(|| {
+                BusGenerator::new()
+                    .generate_with_split(black_box(&sys), black_box(&chans))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

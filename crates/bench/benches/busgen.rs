@@ -1,0 +1,38 @@
+//! Criterion bench: the bus-generation width-exploration algorithm
+//! (backs Fig. 2's feasibility reasoning and Fig. 8's selections).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifsyn_core::BusGenerator;
+use ifsyn_systems::flc;
+use std::hint::black_box;
+
+fn bench_busgen(c: &mut Criterion) {
+    let f = flc::flc();
+    let chans = f.bus_channels();
+    let mut group = c.benchmark_group("busgen");
+    group.bench_function("flc_full_exploration", |b| {
+        b.iter(|| {
+            BusGenerator::new()
+                .generate(black_box(&f.system), black_box(&chans))
+                .unwrap()
+        })
+    });
+    for width in [9u32, 16, 23] {
+        group.bench_with_input(
+            BenchmarkId::new("single_width", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    BusGenerator::new()
+                        .with_width_range(w, w)
+                        .generate(black_box(&f.system), black_box(&chans))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_busgen);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the Fig. 8 constrained selections (cost-function
+//! evaluation over the full width exploration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifsyn_core::{BusGenerator, Constraint};
+use ifsyn_systems::flc;
+use std::hint::black_box;
+
+fn bench_constraints(c: &mut Criterion) {
+    let f = flc::flc();
+    let chans = f.bus_channels();
+    let mut group = c.benchmark_group("fig8");
+    group.bench_function("design_a", |b| {
+        b.iter(|| {
+            BusGenerator::new()
+                .constraint(Constraint::min_peak_rate(f.ch2, 10.0, 10.0))
+                .generate(black_box(&f.system), black_box(&chans))
+                .unwrap()
+        })
+    });
+    group.bench_function("design_c", |b| {
+        b.iter(|| {
+            BusGenerator::new()
+                .constraint(Constraint::min_peak_rate(f.ch2, 10.0, 1.0))
+                .constraint(Constraint::min_bus_width(14, 5.0))
+                .constraint(Constraint::max_bus_width(16, 5.0))
+                .generate(black_box(&f.system), black_box(&chans))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraints);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: the Fig. 7 data point — refine the FLC bus and
+//! simulate both processes, per width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifsyn_core::{BusDesign, ProtocolGenerator, ProtocolKind};
+use ifsyn_sim::Simulator;
+use ifsyn_systems::flc;
+use std::hint::black_box;
+
+fn bench_flc_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_point");
+    group.sample_size(20);
+    for width in [4u32, 8, 16, 23] {
+        group.bench_with_input(BenchmarkId::new("width", width), &width, |b, &w| {
+            let f = flc::flc();
+            let design = BusDesign::with_width(f.bus_channels(), w, ProtocolKind::FullHandshake);
+            let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+            b.iter(|| {
+                Simulator::new(black_box(&refined.system))
+                    .unwrap()
+                    .run_to_quiescence()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flc_point);
+criterion_main!(benches);

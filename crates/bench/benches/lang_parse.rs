@@ -1,0 +1,25 @@
+//! Criterion bench: the textual frontend (lex + parse + lower + access
+//! counting) on the shipped FLC spec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let src = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/flc.ifs"),
+    )
+    .expect("specs/flc.ifs");
+    let mut group = c.benchmark_group("lang");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("parse_flc_spec", |b| {
+        b.iter(|| ifsyn_lang::parse_system(black_box(&src)).unwrap())
+    });
+    let sys = ifsyn_lang::parse_system(&src).unwrap();
+    group.bench_function("print_flc_spec", |b| {
+        b.iter(|| ifsyn_lang::print_system(black_box(&sys)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: system partitioning (channel derivation and access
+//! rewriting) on the Ethernet coprocessor model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifsyn_partition::Partitioner;
+use ifsyn_systems::ethernet::ethernet_unpartitioned;
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let sys = ethernet_unpartitioned();
+    c.bench_function("partition_ethernet", |b| {
+        b.iter(|| {
+            Partitioner::new()
+                .place_behavior("RCV_UNIT", "mac_chip")
+                .place_behavior("XMIT_UNIT", "mac_chip")
+                .place_behavior("DMA_RCV", "mac_chip")
+                .place_behavior("DMA_XMIT", "mac_chip")
+                .place_behavior("EXEC_UNIT", "mac_chip")
+                .place_variable("RCV_BUFFER", "buf_chip")
+                .place_variable("XMIT_BUFFER", "buf_chip")
+                .partition(black_box(&sys))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: protocol generation itself (the paper's core
+//! transformation), per width and per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifsyn_core::{BusDesign, ProtocolGenerator, ProtocolKind};
+use ifsyn_systems::fig3;
+use std::hint::black_box;
+
+fn bench_protogen(c: &mut Criterion) {
+    let f = fig3::fig3();
+    let mut group = c.benchmark_group("protogen");
+    for width in [1u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("fig3_width", width), &width, |b, &w| {
+            let design = BusDesign::with_width(f.channels(), w, ProtocolKind::FullHandshake);
+            b.iter(|| {
+                ProtocolGenerator::new()
+                    .refine(black_box(&f.system), black_box(&design))
+                    .unwrap()
+            })
+        });
+    }
+    group.bench_function("fig3_fixed_delay", |b| {
+        let design = BusDesign::with_width(f.channels(), 8, ProtocolKind::FixedDelay { cycles: 3 });
+        b.iter(|| {
+            ProtocolGenerator::new()
+                .refine(black_box(&f.system), black_box(&design))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protogen);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench: raw discrete-event kernel throughput (handshake
+//! words per second), the substrate every measured figure rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ifsyn_sim::Simulator;
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{System, Ty};
+use std::hint::black_box;
+
+/// Two-process four-phase handshake moving `words` 8-bit words.
+fn handshake_system(words: u64) -> System {
+    let mut sys = System::new("hs");
+    let m = sys.add_module("chip");
+    let start = sys.add_signal("START", Ty::Bit);
+    let done = sys.add_signal("DONE", Ty::Bit);
+    let data = sys.add_signal("DATA", Ty::Bits(8));
+    let tx = sys.add_behavior("tx", m);
+    let rx = sys.add_behavior("rx", m);
+    let txi = sys.add_variable("txi", Ty::Int(32), tx);
+    let rxi = sys.add_variable("rxi", Ty::Int(32), rx);
+    let sink = sys.add_variable("sink", Ty::Bits(8), rx);
+    sys.behavior_mut(tx).body = vec![for_loop(
+        var(txi),
+        int_const(0, 32),
+        int_const(words as i64 - 1, 32),
+        vec![
+            drive_cost(data, resize(load(var(txi)), 8), 0),
+            drive_cost(start, bit_const(true), 1),
+            wait_until(eq(signal(done), bit_const(true))),
+            drive_cost(start, bit_const(false), 0),
+            wait_until(eq(signal(done), bit_const(false))),
+        ],
+    )];
+    sys.behavior_mut(rx).body = vec![for_loop(
+        var(rxi),
+        int_const(0, 32),
+        int_const(words as i64 - 1, 32),
+        vec![
+            wait_until(eq(signal(start), bit_const(true))),
+            assign_cost(var(sink), signal(data), 0),
+            drive_cost(done, bit_const(true), 1),
+            wait_until(eq(signal(start), bit_const(false))),
+            drive_cost(done, bit_const(false), 0),
+        ],
+    )];
+    sys
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    for words in [100u64, 1000, 10_000] {
+        group.throughput(Throughput::Elements(words));
+        group.bench_with_input(
+            BenchmarkId::new("handshake_words", words),
+            &words,
+            |b, &w| {
+                let sys = handshake_system(w);
+                b.iter(|| {
+                    Simulator::new(black_box(&sys))
+                        .unwrap()
+                        .run_to_quiescence()
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

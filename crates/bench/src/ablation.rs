@@ -1,0 +1,276 @@
+//! Ablations: the paper's §6 future-work items, measured.
+//!
+//! 1. **Protocol choice** — full handshake vs half handshake vs fixed
+//!    delay on the same channel ("incorporating protocols other than a
+//!    full handshake needs to be studied").
+//! 2. **Arbitration delay** — grant latency swept over the shared FLC
+//!    bus ("further work is needed to examine the effect of bus
+//!    arbitration delays on the performance of processes").
+//! 3. **Bus splitting** — an overloaded channel group implemented by
+//!    more than one bus ("split the group of channels further").
+
+use ifsyn_core::{
+    Arbitration, ArbitrationPolicy, BusDesign, BusGenerator, ProtocolGenerator, ProtocolKind,
+};
+use ifsyn_sim::Simulator;
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{Channel, ChannelDirection, ChannelId, System, Ty};
+use ifsyn_systems::flc;
+
+use crate::table::Table;
+
+/// Measured time of one protocol variant on the FLC write channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Control lines used.
+    pub control_lines: u32,
+    /// Measured EVAL_R3 execution time (clocks).
+    pub eval_cycles: u64,
+}
+
+/// Measured times under one arbitration configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbitrationRow {
+    /// Policy name.
+    pub policy: String,
+    /// Grant latency in cycles.
+    pub grant_cycles: u32,
+    /// Measured EVAL_R3 time on the shared bus.
+    pub eval_cycles: u64,
+    /// Measured CONV_R2 time on the shared bus.
+    pub conv_cycles: u64,
+}
+
+/// Splitting outcome for the overloaded group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitRow {
+    /// Number of saturating channels in the group.
+    pub channels: usize,
+    /// Buses needed after splitting.
+    pub buses: usize,
+    /// Total wires over all buses.
+    pub total_wires: u32,
+    /// Widths of the individual buses.
+    pub widths: Vec<u32>,
+}
+
+/// All ablation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationData {
+    /// Protocol comparison at width 8.
+    pub protocols: Vec<ProtocolRow>,
+    /// Arbitration sweep at width 8.
+    pub arbitration: Vec<ArbitrationRow>,
+    /// Splitting results for 2..=4 saturating channels.
+    pub splits: Vec<SplitRow>,
+}
+
+/// Measures EVAL_R3 alone on its channel under `protocol` at width 8.
+fn measure_protocol(protocol: ProtocolKind) -> u64 {
+    let f = flc::flc();
+    let design = BusDesign::with_width(vec![f.ch1], 8, protocol);
+    let refined = ProtocolGenerator::new()
+        .refine(&f.system, &design)
+        .expect("protocol ablation refinement");
+    Simulator::new(&refined.system)
+        .expect("sim setup")
+        .run_to_quiescence()
+        .expect("sim")
+        .finish_time(f.eval_r3)
+        .expect("finished")
+}
+
+/// Measures the shared FLC bus under an arbitration configuration.
+fn measure_arbitration(config: Arbitration) -> (u64, u64) {
+    let f = flc::flc();
+    let design = BusDesign::with_width(f.bus_channels(), 8, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new()
+        .with_arbitration(config)
+        .refine(&f.system, &design)
+        .expect("arbitration ablation refinement");
+    let report = Simulator::new(&refined.system)
+        .expect("sim setup")
+        .run_to_quiescence()
+        .expect("sim");
+    (
+        report.finish_time(f.eval_r3).expect("eval finished"),
+        report.finish_time(f.conv_r2).expect("conv finished"),
+    )
+}
+
+/// Builds `n` saturating writers whose combined rates exceed any single
+/// bus (zero compute padding between accesses).
+fn hot_system(n: usize) -> (System, Vec<ChannelId>) {
+    let mut sys = System::new("hot");
+    let m1 = sys.add_module("m1");
+    let m2 = sys.add_module("m2");
+    let store = sys.add_behavior("store", m2);
+    let mut chans = Vec::new();
+    for k in 0..n {
+        let b = sys.add_behavior(format!("P{k}"), m1);
+        let v = sys.add_variable(format!("V{k}"), Ty::array(Ty::Int(16), 16), store);
+        let i = sys.add_variable(format!("i{k}"), Ty::Int(16), b);
+        let ch = sys.add_channel(Channel {
+            name: format!("hot{k}"),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 4,
+            accesses: 16,
+        });
+        sys.behavior_mut(b).body = vec![for_loop(
+            var(i),
+            int_const(0, 16),
+            int_const(15, 16),
+            vec![send_at(ch, load(var(i)), load(var(i)))],
+        )];
+        chans.push(ch);
+    }
+    (sys, chans)
+}
+
+/// Runs all three ablations.
+pub fn run() -> AblationData {
+    let protocols = vec![
+        ProtocolKind::FullHandshake,
+        ProtocolKind::HalfHandshake,
+        ProtocolKind::FixedDelay { cycles: 2 },
+        ProtocolKind::FixedDelay { cycles: 4 },
+    ]
+    .into_iter()
+    .map(|p| ProtocolRow {
+        protocol: p.to_string(),
+        control_lines: p.control_lines(),
+        eval_cycles: measure_protocol(p),
+    })
+    .collect();
+
+    let mut arbitration = Vec::new();
+    for policy in [ArbitrationPolicy::RoundRobin, ArbitrationPolicy::FixedPriority] {
+        for grant in [0u32, 1, 2, 4, 8] {
+            let config = Arbitration {
+                policy,
+                grant_cycles: grant,
+            };
+            let (eval_cycles, conv_cycles) = measure_arbitration(config);
+            arbitration.push(ArbitrationRow {
+                policy: match policy {
+                    ArbitrationPolicy::RoundRobin => "round-robin".to_string(),
+                    ArbitrationPolicy::FixedPriority => "fixed-priority".to_string(),
+                },
+                grant_cycles: grant,
+                eval_cycles,
+                conv_cycles,
+            });
+        }
+    }
+
+    let splits = (2..=4)
+        .map(|n| {
+            let (sys, chans) = hot_system(n);
+            let outcome = BusGenerator::new()
+                .generate_with_split(&sys, &chans)
+                .expect("splitting succeeds");
+            SplitRow {
+                channels: n,
+                buses: outcome.bus_count(),
+                total_wires: outcome.total_wires(),
+                widths: outcome.buses.iter().map(|b| b.width).collect(),
+            }
+        })
+        .collect();
+
+    AblationData {
+        protocols,
+        arbitration,
+        splits,
+    }
+}
+
+/// Renders the ablations as text.
+pub fn render(data: &AblationData) -> String {
+    let mut out = String::new();
+    out.push_str("Ablation 1 — protocol choice (EVAL_R3 alone, width 8)\n\n");
+    let mut t = Table::new(["protocol", "control lines", "EVAL_R3 (clk)"]);
+    for r in &data.protocols {
+        t.row([
+            r.protocol.clone(),
+            r.control_lines.to_string(),
+            r.eval_cycles.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 2 — arbitration grant delay (shared FLC bus, width 8)\n\n");
+    let mut t = Table::new(["policy", "grant (clk)", "EVAL_R3 (clk)", "CONV_R2 (clk)"]);
+    for r in &data.arbitration {
+        t.row([
+            r.policy.clone(),
+            r.grant_cycles.to_string(),
+            r.eval_cycles.to_string(),
+            r.conv_cycles.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 3 — bus splitting for overloaded channel groups\n\n");
+    let mut t = Table::new(["channels", "buses", "widths", "total wires"]);
+    for r in &data.splits {
+        t.row([
+            r.channels.to_string(),
+            r.buses.to_string(),
+            format!("{:?}", r.widths),
+            r.total_wires.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_protocols_are_measurably_faster() {
+        let data = run();
+        let by_name = |n: &str| {
+            data.protocols
+                .iter()
+                .find(|r| r.protocol.starts_with(n))
+                .unwrap()
+                .eval_cycles
+        };
+        // half-handshake (1 clk/word) beats full handshake (2 clk/word);
+        // fixed-delay(4) is slower than full handshake.
+        assert!(by_name("half-handshake") < by_name("full-handshake"));
+        assert!(by_name("fixed-delay(4)") > by_name("full-handshake"));
+        assert_eq!(by_name("fixed-delay(2)"), by_name("full-handshake"));
+    }
+
+    #[test]
+    fn grant_delay_slows_processes_monotonically() {
+        let data = run();
+        let rr: Vec<&ArbitrationRow> = data
+            .arbitration
+            .iter()
+            .filter(|r| r.policy == "round-robin")
+            .collect();
+        for pair in rr.windows(2) {
+            assert!(pair[1].eval_cycles >= pair[0].eval_cycles);
+            assert!(pair[1].conv_cycles >= pair[0].conv_cycles);
+        }
+    }
+
+    #[test]
+    fn splitting_scales_with_group_size() {
+        let data = run();
+        for r in &data.splits {
+            assert!(r.buses >= 2, "{} channels stayed on one bus", r.channels);
+            assert_eq!(r.widths.len(), r.buses);
+        }
+    }
+}

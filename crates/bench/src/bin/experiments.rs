@@ -1,0 +1,77 @@
+//! Regenerates every table and figure of the DAC'94 evaluation.
+//!
+//! ```text
+//! cargo run -p ifsyn-bench --bin experiments -- all
+//! cargo run -p ifsyn-bench --bin experiments -- fig7
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "fig2" => print_fig2(),
+        "fig7" => print_fig7(),
+        "fig8" => print_fig8(),
+        "extra" => print_extra(),
+        "ablation" => print_ablation(),
+        "overhead" => print_overhead(),
+        "all" => {
+            print_fig2();
+            print_fig7();
+            print_fig8();
+            print_extra();
+            print_overhead();
+            print_ablation();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | all"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn rule() {
+    println!("\n{}\n", "=".repeat(72));
+}
+
+fn print_fig2() {
+    rule();
+    print!("{}", ifsyn_bench::fig2::render(&ifsyn_bench::fig2::run()));
+}
+
+fn print_fig7() {
+    rule();
+    print!("{}", ifsyn_bench::fig7::render(&ifsyn_bench::fig7::run()));
+}
+
+fn print_fig8() {
+    rule();
+    print!("{}", ifsyn_bench::fig8::render(&ifsyn_bench::fig8::run()));
+}
+
+fn print_extra() {
+    rule();
+    print!("{}", ifsyn_bench::extra::render(&ifsyn_bench::extra::run()));
+}
+
+fn print_overhead() {
+    rule();
+    print!(
+        "{}",
+        ifsyn_bench::overhead::render(&ifsyn_bench::overhead::run())
+    );
+}
+
+fn print_ablation() {
+    rule();
+    print!(
+        "{}",
+        ifsyn_bench::ablation::render(&ifsyn_bench::ablation::run())
+    );
+}

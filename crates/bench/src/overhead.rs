@@ -1,0 +1,139 @@
+//! Refinement overhead: what protocol generation *costs*.
+//!
+//! The paper trades interconnect (wires) against performance; this
+//! experiment adds the third axis its reference \[10\] estimates — area.
+//! Protocol generation inserts controller states (handshake sequencing
+//! in the send/receive/serve procedures) and registers (message
+//! buffers, the ID/DATA wires' drivers); merging channels saves wires.
+//! The table quantifies all three for the Fig. 3 example and the FLC.
+
+use ifsyn_core::{BusDesign, ProtocolGenerator, ProtocolKind, RefinedSystem};
+use ifsyn_estimate::{AreaEstimate, AreaEstimator};
+use ifsyn_spec::System;
+
+use crate::table::{f2, Table};
+
+/// Before/after area of one refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    /// System name.
+    pub name: String,
+    /// Bus width used.
+    pub width: u32,
+    /// Area of the abstract (pre-refinement) system, zero bus wires.
+    pub before: AreaEstimate,
+    /// Area of the refined system including bus wires.
+    pub after: AreaEstimate,
+    /// Dedicated wires the merge avoided.
+    pub dedicated_wires: u32,
+    /// Bus wires actually spent.
+    pub bus_wires: u32,
+}
+
+impl OverheadRow {
+    /// Controller states added by refinement.
+    pub fn added_states(&self) -> u64 {
+        self.after.states.saturating_sub(self.before.states)
+    }
+
+    /// Register bits added by refinement.
+    pub fn added_register_bits(&self) -> u64 {
+        self.after.register_bits.saturating_sub(self.before.register_bits)
+    }
+}
+
+fn measure(name: &str, sys: &System, refined: &RefinedSystem, width: u32) -> OverheadRow {
+    let estimator = AreaEstimator::new();
+    let before = estimator.estimate_system(sys, 0).expect("area before");
+    let bus_wires = refined.bus.design.total_wires();
+    let after = estimator
+        .estimate_system(&refined.system, bus_wires)
+        .expect("area after");
+    OverheadRow {
+        name: name.to_string(),
+        width,
+        before,
+        after,
+        dedicated_wires: refined.bus.design.dedicated_wires(&refined.system),
+        bus_wires,
+    }
+}
+
+/// Runs the overhead measurements.
+pub fn run() -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+
+    let f3 = ifsyn_systems::fig3::fig3();
+    let design = BusDesign::with_width(f3.channels(), 8, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new()
+        .refine(&f3.system, &design)
+        .expect("fig3 refinement");
+    rows.push(measure("fig3 (8-bit bus)", &f3.system, &refined, 8));
+
+    let flc = ifsyn_systems::flc::flc();
+    let design = BusDesign::with_width(flc.bus_channels(), 16, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new()
+        .refine(&flc.system, &design)
+        .expect("flc refinement");
+    rows.push(measure("flc ch1+ch2 (16-bit bus)", &flc.system, &refined, 16));
+
+    rows
+}
+
+/// Renders the overhead table.
+pub fn render(rows: &[OverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Refinement overhead — what protocol generation costs (FSMD area model)\n\n");
+    let mut t = Table::new([
+        "system",
+        "width",
+        "states +",
+        "reg bits +",
+        "gates before",
+        "gates after",
+        "wires saved",
+    ]);
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            r.width.to_string(),
+            r.added_states().to_string(),
+            r.added_register_bits().to_string(),
+            f2(r.before.gates),
+            f2(r.after.gates),
+            format!("{} -> {}", r.dedicated_wires, r.bus_wires),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nmerging buys wires at the price of handshake controller states\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refinement_adds_states_and_saves_wires() {
+        for row in run() {
+            assert!(row.added_states() > 0, "{}", row.name);
+            assert!(
+                row.bus_wires < row.dedicated_wires,
+                "{}: {} !< {}",
+                row.name,
+                row.bus_wires,
+                row.dedicated_wires
+            );
+        }
+    }
+
+    #[test]
+    fn area_never_shrinks_under_refinement() {
+        for row in run() {
+            assert!(row.after.gates >= row.before.gates);
+            assert!(row.after.register_bits >= row.before.register_bits);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Bus arbitration (the paper's "effect of bus arbitration delays"
+//! future-work item, implemented).
+//!
+//! When more than one behavior initiates transactions on the same bus,
+//! an arbiter serialises them: each client gets a REQ/GNT wire pair, and
+//! a generated arbiter process grants the bus according to a policy. The
+//! grant can be given a nonzero cycle cost to model arbitration latency —
+//! the ablation experiments sweep it.
+
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{BehaviorId, Expr, ModuleId, SignalId, Stmt, System, Ty};
+
+/// Grant-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbitrationPolicy {
+    /// Lowest client index wins; can starve later clients under load.
+    FixedPriority,
+    /// Rotating priority starting after the last grantee; fair.
+    RoundRobin,
+}
+
+/// Arbitration configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Arbitration {
+    /// Grant-selection policy.
+    pub policy: ArbitrationPolicy,
+    /// Cycles between request and grant (0 = combinational arbiter that
+    /// adds no latency on an idle bus).
+    pub grant_cycles: u32,
+}
+
+impl Arbitration {
+    /// A fair, zero-latency arbiter.
+    pub fn round_robin() -> Self {
+        Self {
+            policy: ArbitrationPolicy::RoundRobin,
+            grant_cycles: 0,
+        }
+    }
+
+    /// A fixed-priority, zero-latency arbiter.
+    pub fn fixed_priority() -> Self {
+        Self {
+            policy: ArbitrationPolicy::FixedPriority,
+            grant_cycles: 0,
+        }
+    }
+
+    /// Builder-style setter for the grant latency.
+    pub fn with_grant_cycles(mut self, grant_cycles: u32) -> Self {
+        self.grant_cycles = grant_cycles;
+        self
+    }
+}
+
+impl Default for Arbitration {
+    fn default() -> Self {
+        Self::round_robin()
+    }
+}
+
+/// The wires and process of an installed arbiter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbiterWiring {
+    /// Clients in grant-index order.
+    pub clients: Vec<BehaviorId>,
+    /// Per-client request lines (same order as `clients`).
+    pub req: Vec<SignalId>,
+    /// Per-client grant lines (same order as `clients`).
+    pub gnt: Vec<SignalId>,
+    /// The generated arbiter behavior.
+    pub arbiter: BehaviorId,
+}
+
+impl ArbiterWiring {
+    /// REQ/GNT pair of a client behavior, if it is wired.
+    pub fn lines_of(&self, client: BehaviorId) -> Option<(SignalId, SignalId)> {
+        self.clients
+            .iter()
+            .position(|&c| c == client)
+            .map(|i| (self.req[i], self.gnt[i]))
+    }
+}
+
+/// Installs REQ/GNT signals and an arbiter process into `system`.
+pub(crate) fn install(
+    system: &mut System,
+    bus_name: &str,
+    clients: &[BehaviorId],
+    config: &Arbitration,
+    module: ModuleId,
+) -> ArbiterWiring {
+    let mut req = Vec::with_capacity(clients.len());
+    let mut gnt = Vec::with_capacity(clients.len());
+    for &c in clients {
+        let cname = system.behavior(c).name.clone();
+        req.push(system.add_signal(format!("{bus_name}_REQ_{cname}"), Ty::Bit));
+        gnt.push(system.add_signal(format!("{bus_name}_GNT_{cname}"), Ty::Bit));
+    }
+    let arbiter = system.add_behavior(format!("{bus_name}_arbiter"), module);
+    system.behavior_mut(arbiter).repeats = true;
+
+    let any_req = req
+        .iter()
+        .map(|&s| eq(signal(s), bit_const(true)))
+        .reduce(or)
+        .expect("at least one client");
+
+    let body = match config.policy {
+        ArbitrationPolicy::FixedPriority => {
+            vec![
+                wait_until(any_req),
+                priority_chain(&req, &gnt, 0, config.grant_cycles, None),
+            ]
+        }
+        ArbitrationPolicy::RoundRobin => {
+            let last = system.add_variable(format!("{bus_name}_arb_last"), Ty::Int(8), arbiter);
+            let n = clients.len();
+            // Dispatch on the previous grantee: start the priority chain
+            // one past it. The innermost else covers `last == n-1`, whose
+            // rotation wraps to client 0.
+            let mut dispatch = priority_chain(&req, &gnt, 0, config.grant_cycles, Some(last));
+            for l in (0..n.saturating_sub(1)).rev() {
+                // if last = l then chain starting at l+1.
+                dispatch = if_else(
+                    eq(load(var(last)), int_const(l as i64, 8)),
+                    vec![priority_chain(
+                        &req,
+                        &gnt,
+                        (l + 1) % n,
+                        config.grant_cycles,
+                        Some(last),
+                    )],
+                    vec![dispatch],
+                );
+            }
+            vec![wait_until(any_req), dispatch]
+        }
+    };
+    system.behavior_mut(arbiter).body = body;
+    ArbiterWiring {
+        clients: clients.to_vec(),
+        req,
+        gnt,
+        arbiter,
+    }
+}
+
+/// Builds the `if REQ_s ... elsif REQ_{s+1} ...` grant chain rotated to
+/// start at client `start`.
+fn priority_chain(
+    req: &[SignalId],
+    gnt: &[SignalId],
+    start: usize,
+    grant_cycles: u32,
+    last_var: Option<ifsyn_spec::VarId>,
+) -> Stmt {
+    let n = req.len();
+    let order: Vec<usize> = (0..n).map(|k| (start + k) % n).collect();
+    let mut stmt: Option<Stmt> = None;
+    for &i in order.iter().rev() {
+        let grant = grant_body(req[i], gnt[i], i, grant_cycles, last_var);
+        let cond = eq(signal(req[i]), bit_const(true));
+        stmt = Some(match stmt {
+            None => if_then(cond, grant),
+            Some(tail) => if_else(cond, grant, vec![tail]),
+        });
+    }
+    stmt.expect("at least one client")
+}
+
+/// GNT rise (optionally delayed), hold until REQ falls, GNT fall.
+fn grant_body(
+    req: SignalId,
+    gnt: SignalId,
+    index: usize,
+    grant_cycles: u32,
+    last_var: Option<ifsyn_spec::VarId>,
+) -> Vec<Stmt> {
+    let mut body = vec![
+        drive_cost(gnt, bit_const(true), grant_cycles),
+        wait_until(eq(signal(req), bit_const(false))),
+        drive_cost(gnt, bit_const(false), 0),
+    ];
+    if let Some(last) = last_var {
+        body.push(assign_cost(var(last), int_const(index as i64, 8), 0));
+    }
+    body
+}
+
+/// Client-side lock: statements executed before a bus transaction.
+pub(crate) fn lock_stmts(req: SignalId, gnt: SignalId) -> Vec<Stmt> {
+    vec![
+        drive_cost(req, bit_const(true), 0),
+        wait_until(eq(signal(gnt), bit_const(true))),
+    ]
+}
+
+/// Client-side unlock: statements executed after a bus transaction.
+pub(crate) fn unlock_stmts(req: SignalId, gnt: SignalId) -> Vec<Stmt> {
+    vec![
+        drive_cost(req, bit_const(false), 0),
+        wait_until(eq(signal(gnt), bit_const(false))),
+    ]
+}
+
+/// Expression: any request line high (used in tests).
+#[allow(dead_code)]
+pub(crate) fn any_request(req: &[SignalId]) -> Option<Expr> {
+    req.iter()
+        .map(|&s| eq(signal(s), bit_const(true)))
+        .reduce(or)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig(n: usize, config: Arbitration) -> (System, ArbiterWiring) {
+        let mut sys = System::new("arb");
+        let m = sys.add_module("chip");
+        let clients: Vec<BehaviorId> = (0..n)
+            .map(|i| sys.add_behavior(format!("C{i}"), m))
+            .collect();
+        let wiring = install(&mut sys, "B", &clients, &config, m);
+        (sys, wiring)
+    }
+
+    #[test]
+    fn install_creates_wires_and_arbiter() {
+        let (sys, w) = rig(3, Arbitration::round_robin());
+        assert_eq!(w.req.len(), 3);
+        assert_eq!(w.gnt.len(), 3);
+        assert_eq!(sys.behavior(w.arbiter).name, "B_arbiter");
+        assert!(sys.behavior(w.arbiter).repeats);
+        assert!(sys.check().is_ok());
+    }
+
+    #[test]
+    fn fixed_priority_system_is_valid() {
+        let (sys, _) = rig(4, Arbitration::fixed_priority().with_grant_cycles(2));
+        assert!(sys.check().is_ok());
+    }
+
+    #[test]
+    fn single_client_round_robin_is_valid() {
+        let (sys, _) = rig(1, Arbitration::round_robin());
+        assert!(sys.check().is_ok());
+    }
+
+    #[test]
+    fn lines_of_finds_client_pairs() {
+        let (_, w) = rig(2, Arbitration::round_robin());
+        let (r, g) = w.lines_of(w.clients[1]).unwrap();
+        assert_eq!(r, w.req[1]);
+        assert_eq!(g, w.gnt[1]);
+        assert!(w.lines_of(BehaviorId::new(99)).is_none());
+    }
+
+    #[test]
+    fn lock_unlock_shapes() {
+        let (_, w) = rig(2, Arbitration::round_robin());
+        let lock = lock_stmts(w.req[0], w.gnt[0]);
+        assert_eq!(lock.len(), 2);
+        let unlock = unlock_stmts(w.req[0], w.gnt[0]);
+        assert_eq!(unlock.len(), 2);
+    }
+}

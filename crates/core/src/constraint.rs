@@ -1,0 +1,237 @@
+//! Designer constraints and the bus-generation cost function (paper §3,
+//! step 4).
+
+use std::collections::HashMap;
+
+use ifsyn_spec::ChannelId;
+
+/// What quantity a constraint bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstraintKind {
+    /// Lower bound on the bus width in pins.
+    MinBusWidth,
+    /// Upper bound on the bus width in pins.
+    MaxBusWidth,
+    /// Lower bound on a channel's average rate (bits/clock).
+    MinAveRate(ChannelId),
+    /// Upper bound on a channel's average rate (bits/clock).
+    MaxAveRate(ChannelId),
+    /// Lower bound on a channel's peak rate (bits/clock).
+    MinPeakRate(ChannelId),
+    /// Upper bound on a channel's peak rate (bits/clock).
+    MaxPeakRate(ChannelId),
+}
+
+/// One designer constraint with a relative weight.
+///
+/// "The cost of a bus implementation is calculated as the sum of the
+/// squares of violations of each of the constraints, weighted by the
+/// relative weights specified for them." (paper §3, step 4)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraint {
+    /// The bounded quantity.
+    pub kind: ConstraintKind,
+    /// The bound value (pins or bits/clock).
+    pub bound: f64,
+    /// Relative weight in the cost function.
+    pub weight: f64,
+}
+
+impl Constraint {
+    /// `width >= bound` pins.
+    pub fn min_bus_width(bound: u32, weight: f64) -> Self {
+        Self {
+            kind: ConstraintKind::MinBusWidth,
+            bound: f64::from(bound),
+            weight,
+        }
+    }
+
+    /// `width <= bound` pins.
+    pub fn max_bus_width(bound: u32, weight: f64) -> Self {
+        Self {
+            kind: ConstraintKind::MaxBusWidth,
+            bound: f64::from(bound),
+            weight,
+        }
+    }
+
+    /// `AveRate(channel) >= bound` bits/clock.
+    pub fn min_ave_rate(channel: ChannelId, bound: f64, weight: f64) -> Self {
+        Self {
+            kind: ConstraintKind::MinAveRate(channel),
+            bound,
+            weight,
+        }
+    }
+
+    /// `AveRate(channel) <= bound` bits/clock.
+    pub fn max_ave_rate(channel: ChannelId, bound: f64, weight: f64) -> Self {
+        Self {
+            kind: ConstraintKind::MaxAveRate(channel),
+            bound,
+            weight,
+        }
+    }
+
+    /// `PeakRate(channel) >= bound` bits/clock.
+    pub fn min_peak_rate(channel: ChannelId, bound: f64, weight: f64) -> Self {
+        Self {
+            kind: ConstraintKind::MinPeakRate(channel),
+            bound,
+            weight,
+        }
+    }
+
+    /// `PeakRate(channel) <= bound` bits/clock.
+    pub fn max_peak_rate(channel: ChannelId, bound: f64, weight: f64) -> Self {
+        Self {
+            kind: ConstraintKind::MaxPeakRate(channel),
+            bound,
+            weight,
+        }
+    }
+
+    /// The (non-negative) violation of this constraint under the given
+    /// width metrics. Zero when satisfied.
+    pub fn violation(&self, metrics: &WidthMetrics) -> f64 {
+        let (actual, is_min) = match self.kind {
+            ConstraintKind::MinBusWidth => (f64::from(metrics.width), true),
+            ConstraintKind::MaxBusWidth => (f64::from(metrics.width), false),
+            ConstraintKind::MinAveRate(ch) => (metrics.ave_rate(ch), true),
+            ConstraintKind::MaxAveRate(ch) => (metrics.ave_rate(ch), false),
+            ConstraintKind::MinPeakRate(ch) => (metrics.peak_rate(ch), true),
+            ConstraintKind::MaxPeakRate(ch) => (metrics.peak_rate(ch), false),
+        };
+        if is_min {
+            (self.bound - actual).max(0.0)
+        } else {
+            (actual - self.bound).max(0.0)
+        }
+    }
+
+    /// This constraint's contribution to the cost: `weight * violation²`.
+    pub fn cost(&self, metrics: &WidthMetrics) -> f64 {
+        let v = self.violation(metrics);
+        self.weight * v * v
+    }
+}
+
+/// The per-width quantities the cost function consumes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WidthMetrics {
+    /// The candidate bus width in pins.
+    pub width: u32,
+    /// Bus rate at this width (bits/clock).
+    pub bus_rate: f64,
+    /// Per-channel average rates (bits/clock).
+    pub ave_rates: HashMap<ChannelId, f64>,
+    /// Per-channel peak rates (bits/clock).
+    pub peak_rates: HashMap<ChannelId, f64>,
+}
+
+impl WidthMetrics {
+    /// Average rate of a channel (0.0 if unknown).
+    pub fn ave_rate(&self, channel: ChannelId) -> f64 {
+        self.ave_rates.get(&channel).copied().unwrap_or(0.0)
+    }
+
+    /// Peak rate of a channel (0.0 if unknown).
+    pub fn peak_rate(&self, channel: ChannelId) -> f64 {
+        self.peak_rates.get(&channel).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all channel average rates (the right side of Eq. 1).
+    pub fn sum_ave_rates(&self) -> f64 {
+        self.ave_rates.values().sum()
+    }
+}
+
+/// Total cost of a width under a constraint set.
+pub(crate) fn total_cost(constraints: &[Constraint], metrics: &WidthMetrics) -> f64 {
+    constraints.iter().map(|c| c.cost(metrics)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(width: u32, peak: f64) -> WidthMetrics {
+        let ch = ChannelId::new(0);
+        WidthMetrics {
+            width,
+            bus_rate: f64::from(width) / 2.0,
+            ave_rates: HashMap::from([(ch, 1.0)]),
+            peak_rates: HashMap::from([(ch, peak)]),
+        }
+    }
+
+    #[test]
+    fn satisfied_constraints_cost_nothing() {
+        let m = metrics(20, 10.0);
+        let c = Constraint::min_peak_rate(ChannelId::new(0), 10.0, 10.0);
+        assert_eq!(c.violation(&m), 0.0);
+        assert_eq!(c.cost(&m), 0.0);
+    }
+
+    #[test]
+    fn violations_are_squared_and_weighted() {
+        let m = metrics(16, 8.0);
+        // peak 8 < bound 10: violation 2, cost 10 * 4 = 40.
+        let c = Constraint::min_peak_rate(ChannelId::new(0), 10.0, 10.0);
+        assert_eq!(c.violation(&m), 2.0);
+        assert_eq!(c.cost(&m), 40.0);
+    }
+
+    #[test]
+    fn max_width_penalises_excess() {
+        let m = metrics(20, 10.0);
+        let c = Constraint::max_bus_width(16, 2.0);
+        assert_eq!(c.violation(&m), 4.0);
+        assert_eq!(c.cost(&m), 32.0);
+    }
+
+    #[test]
+    fn min_width_penalises_deficit() {
+        let m = metrics(10, 5.0);
+        let c = Constraint::min_bus_width(14, 1.0);
+        assert_eq!(c.cost(&m), 16.0);
+    }
+
+    #[test]
+    fn ave_rate_constraints() {
+        let m = metrics(8, 4.0);
+        assert_eq!(
+            Constraint::min_ave_rate(ChannelId::new(0), 3.0, 1.0).cost(&m),
+            4.0
+        );
+        assert_eq!(
+            Constraint::max_ave_rate(ChannelId::new(0), 0.5, 1.0).cost(&m),
+            0.25
+        );
+    }
+
+    #[test]
+    fn unknown_channel_rate_reads_as_zero() {
+        let m = metrics(8, 4.0);
+        assert_eq!(m.ave_rate(ChannelId::new(9)), 0.0);
+        assert_eq!(m.peak_rate(ChannelId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn total_cost_sums_constraints() {
+        let m = metrics(16, 8.0);
+        let cs = [
+            Constraint::min_peak_rate(ChannelId::new(0), 10.0, 2.0), // 2*4 = 8
+            Constraint::max_bus_width(14, 1.0),                      // 1*4 = 4
+        ];
+        assert_eq!(total_cost(&cs, &m), 12.0);
+    }
+
+    #[test]
+    fn sum_ave_rates_adds_channels() {
+        let mut m = metrics(8, 4.0);
+        m.ave_rates.insert(ChannelId::new(1), 2.5);
+        assert_eq!(m.sum_ave_rates(), 3.5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for bus and protocol generation.
+
+use std::error::Error;
+use std::fmt;
+
+use ifsyn_spec::{ChannelId, SpecError};
+
+use crate::busgen::Exploration;
+
+/// Errors produced by interface synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// No channels were given to implement.
+    EmptyChannelGroup,
+    /// A channel id does not exist in the system.
+    UnknownChannel {
+        /// The offending id.
+        id: ChannelId,
+    },
+    /// No bus width in the explored range satisfies Eq. 1.
+    ///
+    /// Carries the full exploration so the caller can see how far each
+    /// width fell short — and hand the group to
+    /// [`crate::BusGenerator::generate_with_split`].
+    NoFeasibleWidth {
+        /// Per-width feasibility data.
+        exploration: Exploration,
+    },
+    /// The requested protocol cannot implement this channel group.
+    UnsupportedProtocol {
+        /// Human-readable reason (e.g. half-handshake with read channels).
+        reason: String,
+    },
+    /// The refined specification failed validation (generator bug guard).
+    Refinement {
+        /// The underlying message.
+        message: String,
+    },
+    /// An estimation step failed.
+    Estimate {
+        /// The underlying message.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyChannelGroup => {
+                write!(f, "no channels given to implement as a bus")
+            }
+            CoreError::UnknownChannel { id } => {
+                write!(f, "channel {id} does not exist in the system")
+            }
+            CoreError::NoFeasibleWidth { exploration } => write!(
+                f,
+                "no feasible bus width in 1..={}; consider splitting the channel group",
+                exploration.rows.last().map(|r| r.width).unwrap_or(0)
+            ),
+            CoreError::UnsupportedProtocol { reason } => {
+                write!(f, "unsupported protocol for this channel group: {reason}")
+            }
+            CoreError::Refinement { message } => {
+                write!(f, "refinement produced an invalid system: {message}")
+            }
+            CoreError::Estimate { message } => write!(f, "estimation failed: {message}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<SpecError> for CoreError {
+    fn from(e: SpecError) -> Self {
+        CoreError::Refinement {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<ifsyn_estimate::EstimateError> for CoreError {
+    fn from(e: ifsyn_estimate::EstimateError) -> Self {
+        CoreError::Estimate {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(CoreError::EmptyChannelGroup.to_string().contains("no channels"));
+        let e = CoreError::UnknownChannel {
+            id: ChannelId::new(5),
+        };
+        assert!(e.to_string().contains("ch5"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,139 @@
+//! Communication protocols a bus can use (paper §4, step 1).
+
+use std::fmt;
+
+use ifsyn_estimate::BusTiming;
+
+/// The data-transfer protocol of a bus.
+///
+/// Protocol selection (the first step of protocol generation) trades
+/// control wires against per-word delay and robustness:
+///
+/// | protocol        | control lines | clocks/word | restriction            |
+/// |-----------------|---------------|-------------|------------------------|
+/// | full handshake  | 2 (START, DONE) | 2         | none                   |
+/// | half handshake  | 1 (START)       | 1         | write-only channels    |
+/// | fixed delay     | 1 (START)       | d ≥ 2     | responder must keep up |
+/// | hardwired       | 0               | 1         | dedicated wires, no sharing |
+///
+/// The paper evaluates the full handshake (its Eq. 2 assumes 2 clocks per
+/// word); the others are the "incorporating protocols other than a full
+/// handshake" future-work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ProtocolKind {
+    /// Four-phase request/acknowledge handshake; safe for any mix of
+    /// channels and relative process speeds.
+    FullHandshake,
+    /// Single strobe line toggled per word; the receiver must consume a
+    /// word per cycle. Only valid for write channels.
+    HalfHandshake,
+    /// Strobe plus a fixed word period of `cycles` clocks; no
+    /// acknowledgement.
+    FixedDelay {
+        /// Clocks per bus word (must be at least 2).
+        cycles: u32,
+    },
+    /// Dedicated point-to-point wires, no sharing and no sequencing: the
+    /// whole message is one word.
+    Hardwired,
+}
+
+impl ProtocolKind {
+    /// Number of dedicated control lines the protocol needs.
+    pub fn control_lines(self) -> u32 {
+        match self {
+            ProtocolKind::FullHandshake => 2,
+            ProtocolKind::HalfHandshake | ProtocolKind::FixedDelay { .. } => 1,
+            ProtocolKind::Hardwired => 0,
+        }
+    }
+
+    /// Clock cycles consumed per bus word.
+    pub fn cycles_per_word(self) -> u32 {
+        match self {
+            ProtocolKind::FullHandshake => 2,
+            ProtocolKind::HalfHandshake => 1,
+            ProtocolKind::FixedDelay { cycles } => cycles.max(2),
+            ProtocolKind::Hardwired => 1,
+        }
+    }
+
+    /// Builds the transfer timing of a `width`-bit bus under this
+    /// protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn timing(self, width: u32) -> BusTiming {
+        BusTiming::new(width, self.cycles_per_word())
+    }
+
+    /// Short lowercase name for tables and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::FullHandshake => "full-handshake",
+            ProtocolKind::HalfHandshake => "half-handshake",
+            ProtocolKind::FixedDelay { .. } => "fixed-delay",
+            ProtocolKind::Hardwired => "hardwired",
+        }
+    }
+}
+
+impl Default for ProtocolKind {
+    /// The paper's default: full handshake.
+    fn default() -> Self {
+        ProtocolKind::FullHandshake
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolKind::FixedDelay { cycles } => write!(f, "fixed-delay({cycles})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_handshake_matches_eq2() {
+        let p = ProtocolKind::FullHandshake;
+        assert_eq!(p.cycles_per_word(), 2);
+        assert_eq!(p.control_lines(), 2);
+        // Eq. 2: BusRate = width / (2 * ClockPeriod), ClockPeriod = 1.
+        assert_eq!(p.timing(16).bus_rate(), 8.0);
+    }
+
+    #[test]
+    fn control_line_counts() {
+        assert_eq!(ProtocolKind::HalfHandshake.control_lines(), 1);
+        assert_eq!(ProtocolKind::FixedDelay { cycles: 3 }.control_lines(), 1);
+        assert_eq!(ProtocolKind::Hardwired.control_lines(), 0);
+    }
+
+    #[test]
+    fn fixed_delay_clamps_to_two() {
+        // One-cycle fixed delay would race the responder's data latch.
+        assert_eq!(ProtocolKind::FixedDelay { cycles: 1 }.cycles_per_word(), 2);
+        assert_eq!(ProtocolKind::FixedDelay { cycles: 5 }.cycles_per_word(), 5);
+    }
+
+    #[test]
+    fn default_is_full_handshake() {
+        assert_eq!(ProtocolKind::default(), ProtocolKind::FullHandshake);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolKind::FullHandshake.to_string(), "full-handshake");
+        assert_eq!(
+            ProtocolKind::FixedDelay { cycles: 4 }.to_string(),
+            "fixed-delay(4)"
+        );
+    }
+}

@@ -1,0 +1,1257 @@
+//! Protocol generation: refining channel operations into bus behavior
+//! (paper §4, steps 1–5).
+//!
+//! Given a [`BusDesign`], the generator produces a *new* [`System`] in
+//! which:
+//!
+//! * the bus wires exist as signals (`B_START`, `B_DONE`, `B_ID`,
+//!   `B_DATA`) — paper step 3's `HandShakeBus` record, flattened;
+//! * every channel has a unique ID code — step 2;
+//! * every channel has a client-side procedure (`Send_ch` / `Receive_ch`)
+//!   that slices the message into bus words and runs the handshake per
+//!   word, and a server-side procedure (`Serve_ch`) — step 3, Fig. 4;
+//! * behaviors' abstract `ChannelSend`/`ChannelReceive` operations are
+//!   replaced by calls to those procedures — step 4, Fig. 5 top;
+//! * each remotely accessed variable gains a *variable process* that
+//!   watches the bus and dispatches on the ID lines — step 5, Fig. 5
+//!   bottom (`Xproc`, `MEMproc`).
+//!
+//! Statement costs are assigned so that a full-handshake word takes
+//! exactly 2 clocks of simulated time (the paper's Eq. 2 delay model):
+//! the two rising control edges cost one cycle each, and latches,
+//! release edges and data setup are free (they overlap the control
+//! edges in hardware).
+
+use std::collections::HashMap;
+
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{
+    Arg, BehaviorId, Channel, ChannelDirection, ChannelId, Expr, ParamMode, ProcId, Procedure,
+    SignalId, Stmt, System, Ty, VarId,
+};
+
+use crate::arbitration::{self, Arbitration, ArbiterWiring};
+use crate::busgen::BusDesign;
+use crate::error::CoreError;
+use crate::protocol::ProtocolKind;
+use crate::words::{WordDir, WordPlan};
+
+/// How the generator decides whether to install a bus arbiter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ArbitrationChoice {
+    /// Install a zero-latency round-robin arbiter iff more than one
+    /// behavior initiates transactions (the safe default; the paper's
+    /// own examples leave multi-master buses unarbitrated).
+    Auto,
+    /// Never install an arbiter (paper-faithful; unsafe with concurrent
+    /// initiators).
+    Off,
+    /// Always install the given arbiter.
+    Forced(Arbitration),
+}
+
+/// The structure of the generated bus: wires, ID codes, procedures and
+/// server processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusStructure {
+    /// Bus name prefix (default `B`).
+    pub name: String,
+    /// The bus design this structure implements.
+    pub design: BusDesign,
+    /// START control line (absent for hardwired channels).
+    pub start: Option<SignalId>,
+    /// DONE control line (full handshake only).
+    pub done: Option<SignalId>,
+    /// ID (mode) lines, absent when the bus carries a single channel.
+    pub id: Option<SignalId>,
+    /// Shared data lines (absent for hardwired channels).
+    pub data: Option<SignalId>,
+    /// Per-channel ID codes, in `design.channels` order.
+    pub id_codes: Vec<(ChannelId, u64)>,
+    /// Per-channel client-side procedures.
+    pub client_procs: Vec<(ChannelId, ProcId)>,
+    /// Per-channel server-side procedures.
+    pub serve_procs: Vec<(ChannelId, ProcId)>,
+    /// Generated variable processes, one per served variable.
+    pub var_processes: Vec<(VarId, BehaviorId)>,
+    /// Installed arbiter, if any.
+    pub arbiter: Option<ArbiterWiring>,
+    /// Dedicated data signals (hardwired channels only).
+    pub dedicated_data: Vec<(ChannelId, SignalId)>,
+}
+
+impl BusStructure {
+    /// ID code assigned to a channel.
+    pub fn id_code(&self, channel: ChannelId) -> Option<u64> {
+        self.id_codes
+            .iter()
+            .find(|(c, _)| *c == channel)
+            .map(|(_, code)| *code)
+    }
+
+    /// Client-side procedure of a channel.
+    pub fn client_proc(&self, channel: ChannelId) -> Option<ProcId> {
+        self.client_procs
+            .iter()
+            .find(|(c, _)| *c == channel)
+            .map(|(_, p)| *p)
+    }
+
+    /// Server-side procedure of a channel.
+    pub fn serve_proc(&self, channel: ChannelId) -> Option<ProcId> {
+        self.serve_procs
+            .iter()
+            .find(|(c, _)| *c == channel)
+            .map(|(_, p)| *p)
+    }
+}
+
+/// The output of protocol generation: a refined, simulatable system plus
+/// the bus structure metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinedSystem {
+    /// The refined specification.
+    pub system: System,
+    /// The generated bus structure.
+    pub bus: BusStructure,
+}
+
+/// The output of multi-bus refinement ([`ProtocolGenerator::refine_all`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiBusRefinement {
+    /// The refined specification, with every bus's wires and servers.
+    pub system: System,
+    /// One structure per bus, in design order.
+    pub buses: Vec<BusStructure>,
+}
+
+impl MultiBusRefinement {
+    /// Total wires across all buses.
+    pub fn total_wires(&self) -> u32 {
+        self.buses.iter().map(|b| b.design.total_wires()).sum()
+    }
+}
+
+/// Protocol generation (paper §4).
+///
+/// # Example
+///
+/// See the crate-level example; typical use is
+/// `ProtocolGenerator::new().refine(&system, &design)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolGenerator {
+    bus_name: String,
+    arbitration: ArbitrationChoice,
+    rolled_loops: bool,
+}
+
+impl ProtocolGenerator {
+    /// Creates a generator with bus name `B` and automatic arbitration.
+    pub fn new() -> Self {
+        Self {
+            bus_name: "B".to_string(),
+            arbitration: ArbitrationChoice::Auto,
+            rolled_loops: false,
+        }
+    }
+
+    /// Builder-style setter for the bus name prefix.
+    pub fn with_bus_name(mut self, name: impl Into<String>) -> Self {
+        self.bus_name = name.into();
+        self
+    }
+
+    /// Forces a specific arbiter configuration.
+    pub fn with_arbitration(mut self, config: Arbitration) -> Self {
+        self.arbitration = ArbitrationChoice::Forced(config);
+        self
+    }
+
+    /// Emits the word sequence as a `for` loop over dynamic slices —
+    /// the exact form of the paper's Fig. 4 (`for J in 1 to 2 loop ...
+    /// txdata(8*J-1 downto 8*(J-1))`) — whenever the layout allows it
+    /// (homogeneous word direction and the width dividing the message).
+    /// Heterogeneous layouts fall back to unrolled words. Timing is
+    /// identical either way (loop bookkeeping is free).
+    pub fn with_rolled_word_loops(mut self) -> Self {
+        self.rolled_loops = true;
+        self
+    }
+
+    /// Disables arbitration entirely (paper-faithful mode).
+    ///
+    /// With more than one initiating behavior the refined system can
+    /// exhibit bus collisions, exactly as the paper's unrefined examples
+    /// would; use only when initiators are known not to overlap.
+    pub fn without_arbitration(mut self) -> Self {
+        self.arbitration = ArbitrationChoice::Off;
+        self
+    }
+
+    /// Refines `system` by implementing `design`'s channels on a bus.
+    ///
+    /// Channels outside the design are left abstract, so multi-bus
+    /// systems refine one bus at a time.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyChannelGroup`] / [`CoreError::UnknownChannel`]
+    ///   for bad designs;
+    /// * [`CoreError::UnsupportedProtocol`] when the protocol cannot
+    ///   implement the group (e.g. half-handshake with read channels);
+    /// * [`CoreError::Refinement`] if the generated system fails
+    ///   validation (an internal invariant; please report).
+    pub fn refine(
+        &self,
+        system: &System,
+        design: &BusDesign,
+    ) -> Result<RefinedSystem, CoreError> {
+        if design.channels.is_empty() {
+            return Err(CoreError::EmptyChannelGroup);
+        }
+        for &ch in &design.channels {
+            if ch.index() >= system.channels.len() {
+                return Err(CoreError::UnknownChannel { id: ch });
+            }
+        }
+        check_directions(system, &design.channels)?;
+        if design.protocol == ProtocolKind::HalfHandshake {
+            let has_read = design
+                .channels
+                .iter()
+                .any(|&c| system.channel(c).direction == ChannelDirection::Read);
+            if has_read {
+                return Err(CoreError::UnsupportedProtocol {
+                    reason: "half-handshake has no return path for read channels".to_string(),
+                });
+            }
+        }
+        if design.protocol == ProtocolKind::Hardwired {
+            return self.refine_hardwired(system, design);
+        }
+        let mut gen = Gen::new(self, system.clone(), design.clone())?;
+        gen.build_bus_signals();
+        gen.build_arbiter();
+        gen.build_channel_procs();
+        gen.build_variable_processes();
+        gen.rewrite_clients();
+        gen.finish()
+    }
+
+    /// Refines several bus designs in sequence — one physical bus per
+    /// design, each with its own wires, procedures, servers and (if
+    /// needed) arbiter. Bus `k` is named `<bus_name><k>`.
+    ///
+    /// This is how a [`crate::SplitOutcome`] becomes hardware: channels
+    /// split across buses transfer concurrently, the "two or more
+    /// channels may transfer data simultaneously over the same bus by
+    /// utilizing different sets of data and control lines" future-work
+    /// item of the paper's §6.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProtocolGenerator::refine`], per design.
+    pub fn refine_all(
+        &self,
+        system: &System,
+        designs: &[BusDesign],
+    ) -> Result<MultiBusRefinement, CoreError> {
+        if designs.is_empty() {
+            return Err(CoreError::EmptyChannelGroup);
+        }
+        let mut current = system.clone();
+        let mut buses = Vec::with_capacity(designs.len());
+        for (k, design) in designs.iter().enumerate() {
+            let generator = Self {
+                bus_name: format!("{}{k}", self.bus_name),
+                arbitration: self.arbitration,
+                rolled_loops: self.rolled_loops,
+            };
+            let refined = generator.refine(&current, design)?;
+            current = refined.system;
+            buses.push(refined.bus);
+        }
+        Ok(MultiBusRefinement {
+            system: current,
+            buses,
+        })
+    }
+
+    /// Hardwired refinement: dedicated wires per channel, no sequencing.
+    fn refine_hardwired(
+        &self,
+        system: &System,
+        design: &BusDesign,
+    ) -> Result<RefinedSystem, CoreError> {
+        for &chid in &design.channels {
+            let ch = system.channel(chid);
+            if ch.direction != ChannelDirection::Write {
+                return Err(CoreError::UnsupportedProtocol {
+                    reason: "hardwired ports support write channels only".to_string(),
+                });
+            }
+        }
+        let mut sys = system.clone();
+        let mut dedicated_data = Vec::new();
+        let mut client_procs = Vec::new();
+        let mut var_processes = Vec::new();
+        for &chid in &design.channels {
+            let ch = sys.channel(chid).clone();
+            let m = ch.message_bits();
+            let sig = sys.add_signal(
+                format!("{}_{}_WIRES", self.bus_name, ch.name),
+                Ty::Bits(m),
+            );
+            dedicated_data.push((chid, sig));
+            // Client procedure: drive the dedicated wires (1 cycle).
+            let mut p = Procedure::new(format!("Send_{}", ch.name));
+            let addr_slot = (ch.addr_bits > 0)
+                .then(|| p.add_param("addr", Ty::Bits(ch.addr_bits), ParamMode::In));
+            let tx = p.add_param("txdata", Ty::Bits(ch.data_bits), ParamMode::In);
+            let msg = match addr_slot {
+                Some(a) => concat(load(local(a)), load(local(tx))),
+                None => resize(load(local(tx)), m),
+            };
+            p.body = vec![drive_cost(sig, msg, 1)];
+            let pid = sys.add_procedure(p);
+            client_procs.push((chid, pid));
+            // Server process: latch on every change.
+            let owner = sys.variable(ch.variable).owner;
+            let module = sys.behavior(owner).module;
+            let vname = sys.variable(ch.variable).name.clone();
+            let beh = sys.add_behavior(format!("{vname}proc_{}", ch.name), module);
+            sys.behavior_mut(beh).repeats = true;
+            let commit = commit_stmt(&ch, Expr::Signal(sig));
+            sys.behavior_mut(beh).body = vec![wait_on(vec![sig]), commit];
+            var_processes.push((ch.variable, beh));
+        }
+        let structure = BusStructure {
+            name: self.bus_name.clone(),
+            design: design.clone(),
+            start: None,
+            done: None,
+            id: None,
+            data: None,
+            id_codes: Vec::new(),
+            client_procs: client_procs.clone(),
+            serve_procs: Vec::new(),
+            var_processes,
+            arbiter: None,
+            dedicated_data,
+        };
+        let client_map: HashMap<ChannelId, ProcId> = client_procs.into_iter().collect();
+        rewrite_channel_ops(&mut sys, &client_map);
+        sys.check().map_err(|e| CoreError::Refinement {
+            message: e.to_string(),
+        })?;
+        Ok(RefinedSystem {
+            system: sys,
+            bus: structure,
+        })
+    }
+}
+
+impl Default for ProtocolGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Commit a whole received message into the channel's variable.
+fn commit_stmt(ch: &Channel, message: Expr) -> Stmt {
+    let a = ch.addr_bits;
+    let m = ch.message_bits();
+    if a > 0 {
+        Stmt::Assign {
+            place: index(var(ch.variable), slice_of(message.clone(), a - 1, 0)),
+            value: slice_of(message, m - 1, a),
+            cost: Some(0),
+        }
+    } else {
+        Stmt::Assign {
+            place: var(ch.variable),
+            value: message,
+            cost: Some(0),
+        }
+    }
+}
+
+/// Verifies every channel's statements match its declared direction.
+fn check_directions(system: &System, channels: &[ChannelId]) -> Result<(), CoreError> {
+    let mut bad: Option<String> = None;
+    for b in &system.behaviors {
+        ifsyn_spec::visit::for_each_stmt(&b.body, &mut |s| {
+            let (ch, is_send) = match s {
+                Stmt::ChannelSend { channel, .. } => (*channel, true),
+                Stmt::ChannelReceive { channel, .. } => (*channel, false),
+                _ => return,
+            };
+            if !channels.contains(&ch) {
+                return;
+            }
+            let dir = system.channel(ch).direction;
+            let ok = matches!(
+                (dir, is_send),
+                (ChannelDirection::Write, true) | (ChannelDirection::Read, false)
+            );
+            if !ok && bad.is_none() {
+                bad = Some(format!(
+                    "channel `{}` is declared {:?} but used with {}",
+                    system.channel(ch).name,
+                    dir,
+                    if is_send { "send" } else { "receive" }
+                ));
+            }
+        });
+    }
+    match bad {
+        Some(reason) => Err(CoreError::UnsupportedProtocol { reason }),
+        None => Ok(()),
+    }
+}
+
+/// Rewrites abstract channel operations into procedure calls.
+fn rewrite_channel_ops(sys: &mut System, client_map: &HashMap<ChannelId, ProcId>) {
+    for b in &mut sys.behaviors {
+        let body = std::mem::take(&mut b.body);
+        b.body = ifsyn_spec::visit::rewrite_body(body, &mut |s| match s {
+            Stmt::ChannelSend {
+                channel,
+                addr,
+                data,
+            } if client_map.contains_key(channel) => {
+                let mut args = Vec::new();
+                if let Some(a) = addr {
+                    args.push(Arg::In(a.clone()));
+                }
+                args.push(Arg::In(data.clone()));
+                ifsyn_spec::visit::Rewrite::Replace(vec![Stmt::Call {
+                    procedure: client_map[channel],
+                    args,
+                }])
+            }
+            Stmt::ChannelReceive {
+                channel,
+                addr,
+                target,
+            } if client_map.contains_key(channel) => {
+                let mut args = Vec::new();
+                if let Some(a) = addr {
+                    args.push(Arg::In(a.clone()));
+                }
+                args.push(Arg::Out(target.clone()));
+                ifsyn_spec::visit::Rewrite::Replace(vec![Stmt::Call {
+                    procedure: client_map[channel],
+                    args,
+                }])
+            }
+            _ => ifsyn_spec::visit::Rewrite::Keep,
+        });
+    }
+}
+
+/// Working state of one shared-bus refinement.
+struct Gen {
+    sys: System,
+    design: BusDesign,
+    protocol: ProtocolKind,
+    bus_name: String,
+    arbitration: ArbitrationChoice,
+    rolled_loops: bool,
+    width: u32,
+    id_bits: u32,
+    start: SignalId,
+    done: Option<SignalId>,
+    id: Option<SignalId>,
+    data: SignalId,
+    id_codes: Vec<(ChannelId, u64)>,
+    client_procs: Vec<(ChannelId, ProcId)>,
+    serve_procs: Vec<(ChannelId, ProcId)>,
+    var_processes: Vec<(VarId, BehaviorId)>,
+    arbiter: Option<ArbiterWiring>,
+}
+
+impl Gen {
+    fn new(
+        pg: &ProtocolGenerator,
+        sys: System,
+        design: BusDesign,
+    ) -> Result<Self, CoreError> {
+        let protocol = design.protocol;
+        let width = design.width.max(1);
+        let id_bits = design.id_bits();
+        Ok(Self {
+            sys,
+            protocol,
+            bus_name: pg.bus_name.clone(),
+            arbitration: pg.arbitration,
+            rolled_loops: pg.rolled_loops,
+            width,
+            id_bits,
+            // placeholder ids; assigned in build_bus_signals
+            start: SignalId::new(0),
+            done: None,
+            id: None,
+            data: SignalId::new(0),
+            id_codes: Vec::new(),
+            client_procs: Vec::new(),
+            serve_procs: Vec::new(),
+            var_processes: Vec::new(),
+            arbiter: None,
+            design,
+        })
+    }
+
+    fn build_bus_signals(&mut self) {
+        let b = &self.bus_name;
+        self.start = self.sys.add_signal(format!("{b}_START"), Ty::Bit);
+        if self.protocol == ProtocolKind::FullHandshake {
+            self.done = Some(self.sys.add_signal(format!("{b}_DONE"), Ty::Bit));
+        }
+        if self.id_bits > 0 {
+            self.id = Some(self.sys.add_signal(format!("{b}_ID"), Ty::Bits(self.id_bits)));
+        }
+        self.data = self.sys.add_signal(format!("{b}_DATA"), Ty::Bits(self.width));
+        self.id_codes = self
+            .design
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (c, k as u64))
+            .collect();
+    }
+
+    fn build_arbiter(&mut self) {
+        let mut clients: Vec<BehaviorId> = Vec::new();
+        for &c in &self.design.channels {
+            let acc = self.sys.channel(c).accessor;
+            if !clients.contains(&acc) {
+                clients.push(acc);
+            }
+        }
+        let config = match self.arbitration {
+            ArbitrationChoice::Off => None,
+            ArbitrationChoice::Forced(a) => Some(a),
+            ArbitrationChoice::Auto => (clients.len() > 1).then(Arbitration::round_robin),
+        };
+        if let Some(config) = config {
+            let module = self.sys.behavior(clients[0]).module;
+            self.arbiter = Some(arbitration::install(
+                &mut self.sys,
+                &self.bus_name,
+                &clients,
+                &config,
+                module,
+            ));
+        }
+    }
+
+    fn build_channel_procs(&mut self) {
+        for (k, &chid) in self.design.channels.clone().iter().enumerate() {
+            let ch = self.sys.channel(chid).clone();
+            let code = k as u64;
+            let plan = WordPlan::for_channel(&ch, self.width);
+            let lock = self
+                .arbiter
+                .as_ref()
+                .and_then(|w| w.lines_of(ch.accessor));
+            let (client, serve) = match ch.direction {
+                ChannelDirection::Write => (
+                    self.gen_send_proc(&ch, code, &plan, lock),
+                    self.gen_serve_write(&ch, &plan),
+                ),
+                ChannelDirection::Read => (
+                    self.gen_receive_proc(&ch, code, &plan, lock),
+                    self.gen_serve_read(&ch, &plan),
+                ),
+            };
+            let client_id = self.sys.add_procedure(client);
+            let serve_id = self.sys.add_procedure(serve);
+            self.client_procs.push((chid, client_id));
+            self.serve_procs.push((chid, serve_id));
+        }
+    }
+
+    /// Client-side synchronisation of one requester-driven word; the
+    /// data lines must already be set up.
+    fn client_word_sync(&self, latch: Option<Stmt>) -> Vec<Stmt> {
+        let start = self.start;
+        match self.protocol {
+            ProtocolKind::FullHandshake => {
+                let done = self.done.expect("full handshake has DONE");
+                let mut v = vec![
+                    drive_cost(start, bit_const(true), 1),
+                    wait_until(eq(signal(done), bit_const(true))),
+                ];
+                v.extend(latch);
+                v.push(drive_cost(start, bit_const(false), 0));
+                v.push(wait_until(eq(signal(done), bit_const(false))));
+                v
+            }
+            ProtocolKind::HalfHandshake => {
+                vec![drive_cost(start, not(signal(start)), 1)]
+            }
+            ProtocolKind::FixedDelay { .. } => {
+                let period = self.protocol.cycles_per_word();
+                let mut v = vec![
+                    drive_cost(start, bit_const(true), 1),
+                    drive_cost(start, bit_const(false), 0),
+                    wait_cycles(u64::from(period - 1)),
+                ];
+                v.extend(latch);
+                v
+            }
+            ProtocolKind::Hardwired => unreachable!("hardwired handled separately"),
+        }
+    }
+
+    /// Server-side word: wait for the word, run `actions` (latches and/or
+    /// response drives), acknowledge.
+    fn server_word_sync(&self, word_index: u32, actions: Vec<Stmt>) -> Vec<Stmt> {
+        let start = self.start;
+        match self.protocol {
+            ProtocolKind::FullHandshake => {
+                let done = self.done.expect("full handshake has DONE");
+                let mut v = vec![wait_until(eq(signal(start), bit_const(true)))];
+                v.extend(actions);
+                v.push(drive_cost(done, bit_const(true), 1));
+                v.push(wait_until(eq(signal(start), bit_const(false))));
+                v.push(drive_cost(done, bit_const(false), 0));
+                v
+            }
+            ProtocolKind::HalfHandshake => {
+                // Word 0's strobe event was consumed by the dispatcher.
+                let mut v = Vec::new();
+                if word_index > 0 {
+                    v.push(wait_on(vec![start]));
+                }
+                v.extend(actions);
+                v
+            }
+            ProtocolKind::FixedDelay { .. } => {
+                let mut v = vec![wait_until(eq(signal(start), bit_const(true)))];
+                v.extend(actions);
+                v.push(wait_until(eq(signal(start), bit_const(false))));
+                v
+            }
+            ProtocolKind::Hardwired => unreachable!("hardwired handled separately"),
+        }
+    }
+
+    /// Can this plan be emitted as one homogeneous rolled loop?
+    fn rollable(&self, plan: &WordPlan, dir: WordDir) -> bool {
+        self.rolled_loops
+            && matches!(
+                self.protocol,
+                ProtocolKind::FullHandshake | ProtocolKind::FixedDelay { .. }
+            )
+            && plan.word_count() > 1
+            && plan.message_bits().is_multiple_of(self.width)
+            && plan.words.iter().all(|w| w.dir == dir)
+    }
+
+    /// `for j in 0 to n-1 loop <word> end loop` over dynamic slices.
+    fn rolled_loop(
+        &self,
+        plan: &WordPlan,
+        j_slot: usize,
+        word_body: Vec<Stmt>,
+    ) -> Stmt {
+        let _ = plan;
+        for_loop(
+            local(j_slot),
+            int_const(0, 16),
+            int_const(i64::from(plan.word_count()) - 1, 16),
+            word_body,
+        )
+    }
+
+    /// The message offset of word `j`: `j * width`.
+    fn word_offset(&self, j_slot: usize) -> Expr {
+        mul(load(local(j_slot)), int_const(i64::from(self.width), 16))
+    }
+
+    fn drive_id_stmt(&self, code: u64) -> Option<Stmt> {
+        self.id
+            .map(|id| drive_cost(id, bits_const(code, self.id_bits), 0))
+    }
+
+    /// `Send_ch(addr?, txdata)` — paper Fig. 4's `SendCH0`, with the word
+    /// loop unrolled (widths and message sizes are static here).
+    fn gen_send_proc(
+        &self,
+        ch: &Channel,
+        code: u64,
+        plan: &WordPlan,
+        lock: Option<(SignalId, SignalId)>,
+    ) -> Procedure {
+        let a = ch.addr_bits;
+        let d = ch.data_bits;
+        let m = a + d;
+        let mut p = Procedure::new(format!("Send_{}", ch.name));
+        let addr_slot = (a > 0).then(|| p.add_param("addr", Ty::Bits(a), ParamMode::In));
+        let tx_slot = p.add_param("txdata", Ty::Bits(d), ParamMode::In);
+        let msg_slot = p.add_local("msg", Ty::Bits(m));
+        let mut body = Vec::new();
+        if let Some((req, gnt)) = lock {
+            body.extend(arbitration::lock_stmts(req, gnt));
+        }
+        let msg_val = match addr_slot {
+            Some(aslot) => concat(load(local(aslot)), load(local(tx_slot))),
+            None => resize(load(local(tx_slot)), m),
+        };
+        body.push(assign_cost(local(msg_slot), msg_val, 0));
+        body.extend(self.drive_id_stmt(code));
+        if self.rollable(plan, WordDir::Request) {
+            // Fig. 4's form: one loop, the word selected by a dynamic
+            // slice of the message buffer.
+            let j_slot = p.add_local("j", Ty::Int(16));
+            let mut word = vec![drive_cost(
+                self.data,
+                dyn_slice_of(
+                    load(local(msg_slot)),
+                    self.word_offset(j_slot),
+                    self.width,
+                ),
+                0,
+            )];
+            word.extend(self.client_word_sync(None));
+            body.push(self.rolled_loop(plan, j_slot, word));
+        } else {
+            for w in &plan.words {
+                body.push(drive_cost(
+                    self.data,
+                    resize(
+                        slice_of(load(local(msg_slot)), w.msg_hi, w.msg_lo),
+                        self.width,
+                    ),
+                    0,
+                ));
+                body.extend(self.client_word_sync(None));
+            }
+        }
+        if let Some((req, gnt)) = lock {
+            body.extend(arbitration::unlock_stmts(req, gnt));
+        }
+        p.body = body;
+        p
+    }
+
+    /// `Receive_ch(addr?, rxdata)` — the client side of a read channel.
+    fn gen_receive_proc(
+        &self,
+        ch: &Channel,
+        code: u64,
+        plan: &WordPlan,
+        lock: Option<(SignalId, SignalId)>,
+    ) -> Procedure {
+        let a = ch.addr_bits;
+        let d = ch.data_bits;
+        let mut p = Procedure::new(format!("Receive_{}", ch.name));
+        let addr_slot = (a > 0).then(|| p.add_param("addr", Ty::Bits(a), ParamMode::In));
+        let rx_slot = p.add_param("rxdata", Ty::Bits(d), ParamMode::Out);
+        let mut body = Vec::new();
+        if let Some((req, gnt)) = lock {
+            body.extend(arbitration::lock_stmts(req, gnt));
+        }
+        body.extend(self.drive_id_stmt(code));
+        for w in &plan.words {
+            match w.dir {
+                WordDir::Request => {
+                    let aslot = addr_slot.expect("request words imply an address");
+                    body.push(drive_cost(
+                        self.data,
+                        resize(slice_of(load(local(aslot)), w.msg_hi, w.msg_lo), self.width),
+                        0,
+                    ));
+                    body.extend(self.client_word_sync(None));
+                }
+                WordDir::Response => {
+                    let latch = Stmt::Assign {
+                        place: slice(local(rx_slot), w.msg_hi - a, w.msg_lo - a),
+                        value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
+                        cost: Some(0),
+                    };
+                    body.extend(self.client_word_sync(Some(latch)));
+                }
+                WordDir::Mixed => {
+                    let aslot = addr_slot.expect("mixed words imply an address");
+                    body.push(drive_cost(
+                        self.data,
+                        resize(slice_of(load(local(aslot)), a - 1, w.msg_lo), self.width),
+                        0,
+                    ));
+                    let latch = Stmt::Assign {
+                        place: slice(local(rx_slot), w.msg_hi - a, 0),
+                        value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, a - w.msg_lo),
+                        cost: Some(0),
+                    };
+                    body.extend(self.client_word_sync(Some(latch)));
+                }
+            }
+        }
+        if let Some((req, gnt)) = lock {
+            body.extend(arbitration::unlock_stmts(req, gnt));
+        }
+        p.body = body;
+        p
+    }
+
+    /// `Serve_ch` for a write channel: receive all words, commit to the
+    /// variable.
+    fn gen_serve_write(&self, ch: &Channel, plan: &WordPlan) -> Procedure {
+        let m = ch.message_bits();
+        let mut p = Procedure::new(format!("Serve_{}", ch.name));
+        let msg_slot = p.add_local("msg", Ty::Bits(m));
+        let mut body = Vec::new();
+        if self.rollable(plan, WordDir::Request) {
+            let j_slot = p.add_local("j", Ty::Int(16));
+            let latch = Stmt::Assign {
+                place: dyn_slice(
+                    local(msg_slot),
+                    self.word_offset(j_slot),
+                    self.width,
+                ),
+                value: slice_of(signal(self.data), self.width - 1, 0),
+                cost: Some(0),
+            };
+            // Every word of a homogeneous write plan synchronises the
+            // same way (word index 1 avoids half-handshake's special
+            // word 0, which `rollable` already excludes).
+            let word = self.server_word_sync(1, vec![latch]);
+            body.push(self.rolled_loop(plan, j_slot, word));
+        } else {
+            for w in &plan.words {
+                let latch = Stmt::Assign {
+                    place: slice(local(msg_slot), w.msg_hi, w.msg_lo),
+                    value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
+                    cost: Some(0),
+                };
+                body.extend(self.server_word_sync(w.index, vec![latch]));
+            }
+        }
+        body.push(commit_stmt(ch, load(local(msg_slot))));
+        p.body = body;
+        p
+    }
+
+    /// `Serve_ch` for a read channel: receive the address, fetch, answer.
+    fn gen_serve_read(&self, ch: &Channel, plan: &WordPlan) -> Procedure {
+        let a = ch.addr_bits;
+        let d = ch.data_bits;
+        let mut p = Procedure::new(format!("Serve_{}", ch.name));
+        let addr_slot = (a > 0).then(|| p.add_local("addrbuf", Ty::Bits(a)));
+        let data_slot = p.add_local("data", Ty::Bits(d));
+        let fetch = |data_slot: usize| -> Stmt {
+            let value = match addr_slot {
+                Some(aslot) => load(index(var(ch.variable), load(local(aslot)))),
+                None => load(var(ch.variable)),
+            };
+            assign_cost(local(data_slot), value, 0)
+        };
+        let mut body = Vec::new();
+        if a == 0 {
+            body.push(fetch(data_slot));
+        }
+        let complete = plan.addr_complete_word();
+        for w in &plan.words {
+            match w.dir {
+                WordDir::Request => {
+                    let aslot = addr_slot.expect("request words imply an address");
+                    let latch = Stmt::Assign {
+                        place: slice(local(aslot), w.msg_hi, w.msg_lo),
+                        value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
+                        cost: Some(0),
+                    };
+                    body.extend(self.server_word_sync(w.index, vec![latch]));
+                    if complete == Some(w.index) {
+                        body.push(fetch(data_slot));
+                    }
+                }
+                WordDir::Response => {
+                    let respond = drive_cost(
+                        self.data,
+                        resize(
+                            slice_of(load(local(data_slot)), w.msg_hi - a, w.msg_lo - a),
+                            self.width,
+                        ),
+                        0,
+                    );
+                    body.extend(self.server_word_sync(w.index, vec![respond]));
+                }
+                WordDir::Mixed => {
+                    let aslot = addr_slot.expect("mixed words imply an address");
+                    let latch_addr = Stmt::Assign {
+                        place: slice(local(aslot), a - 1, w.msg_lo),
+                        value: slice_of(signal(self.data), a - 1 - w.msg_lo, 0),
+                        cost: Some(0),
+                    };
+                    // Data part sits at word positions a-lo .. hi-lo:
+                    // pad the low (address) positions with zeros.
+                    let respond_value = if a - w.msg_lo > 0 {
+                        resize(
+                            concat(
+                                bits_const(0, a - w.msg_lo),
+                                slice_of(load(local(data_slot)), w.msg_hi - a, 0),
+                            ),
+                            self.width,
+                        )
+                    } else {
+                        resize(slice_of(load(local(data_slot)), w.msg_hi - a, 0), self.width)
+                    };
+                    let actions = vec![
+                        latch_addr,
+                        fetch(data_slot),
+                        drive_cost(self.data, respond_value, 0),
+                    ];
+                    body.extend(self.server_word_sync(w.index, actions));
+                }
+            }
+        }
+        p.body = body;
+        p
+    }
+
+    /// Step 5: one variable process per served variable, dispatching on
+    /// the ID lines (paper Fig. 5's `Xproc` / `MEMproc`).
+    fn build_variable_processes(&mut self) {
+        // Group channels by variable, preserving design order.
+        let mut vars: Vec<VarId> = Vec::new();
+        for &c in &self.design.channels {
+            let v = self.sys.channel(c).variable;
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        for v in vars {
+            let vchans: Vec<(ChannelId, u64, ProcId)> = self
+                .design
+                .channels
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| self.sys.channel(c).variable == v)
+                .map(|(k, &c)| (c, k as u64, self.serve_proc_of(c)))
+                .collect();
+            let owner = self.sys.variable(v).owner;
+            let module = self.sys.behavior(owner).module;
+            let vname = self.sys.variable(v).name.clone();
+            // A variable can be served by several buses (e.g. written
+            // over one and read over another): disambiguate the server
+            // name with the bus when `<var>proc` is already taken.
+            let name = if self.sys.behavior_by_name(&format!("{vname}proc")).is_none() {
+                format!("{vname}proc")
+            } else {
+                format!("{vname}proc_{}", self.bus_name)
+            };
+            let beh = self.sys.add_behavior(name, module);
+            self.sys.behavior_mut(beh).repeats = true;
+
+            let head = match self.protocol {
+                ProtocolKind::HalfHandshake => wait_on(vec![self.start]),
+                _ => wait_until(eq(signal(self.start), bit_const(true))),
+            };
+            let dispatch = match self.id {
+                None => {
+                    // Single channel on the bus: no ID decode needed.
+                    let (_, _, serve) = vchans[0];
+                    call(serve, vec![])
+                }
+                Some(id_sig) => {
+                    // Foreign transaction: skip this word.
+                    let foreign: Vec<Stmt> = match self.protocol {
+                        ProtocolKind::HalfHandshake => Vec::new(),
+                        _ => vec![wait_until(eq(signal(self.start), bit_const(false)))],
+                    };
+                    let mut stmt: Option<Stmt> = None;
+                    for &(_, code, serve) in vchans.iter().rev() {
+                        let cond = eq(signal(id_sig), bits_const(code, self.id_bits));
+                        let branch = vec![call(serve, vec![])];
+                        stmt = Some(match stmt {
+                            None => if_else(cond, branch, foreign.clone()),
+                            Some(tail) => if_else(cond, branch, vec![tail]),
+                        });
+                    }
+                    stmt.expect("variable has at least one channel")
+                }
+            };
+            self.sys.behavior_mut(beh).body = vec![head, dispatch];
+            self.var_processes.push((v, beh));
+        }
+    }
+
+    fn serve_proc_of(&self, ch: ChannelId) -> ProcId {
+        self.serve_procs
+            .iter()
+            .find(|(c, _)| *c == ch)
+            .map(|(_, p)| *p)
+            .expect("serve proc generated before variable processes")
+    }
+
+    /// Step 4: replace abstract channel operations with procedure calls.
+    fn rewrite_clients(&mut self) {
+        let map: HashMap<ChannelId, ProcId> = self.client_procs.iter().copied().collect();
+        rewrite_channel_ops(&mut self.sys, &map);
+    }
+
+    fn finish(self) -> Result<RefinedSystem, CoreError> {
+        self.sys.check().map_err(|e| CoreError::Refinement {
+            message: e.to_string(),
+        })?;
+        let structure = BusStructure {
+            name: self.bus_name,
+            design: self.design,
+            start: Some(self.start),
+            done: self.done,
+            id: self.id,
+            data: Some(self.data),
+            id_codes: self.id_codes,
+            client_procs: self.client_procs,
+            serve_procs: self.serve_procs,
+            var_processes: self.var_processes,
+            arbiter: self.arbiter,
+            dedicated_data: Vec::new(),
+        };
+        Ok(RefinedSystem {
+            system: self.sys,
+            bus: structure,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    /// Fig. 3 style: P writes scalar X over ch0 and reads it over ch1;
+    /// Q writes MEM\[60\] over ch3.
+    fn fig3ish() -> (System, Vec<ChannelId>) {
+        let mut sys = System::new("fig3");
+        let left = sys.add_module("left");
+        let right = sys.add_module("right");
+        let p = sys.add_behavior("P", left);
+        let q = sys.add_behavior("Q", left);
+        let store = sys.add_behavior("store", right);
+        let x = sys.add_variable("X", Ty::Bits(16), store);
+        let mem = sys.add_variable("MEM", Ty::array(Ty::Bits(16), 64), store);
+        let xtemp = sys.add_variable("Xtemp", Ty::Bits(16), p);
+        let count = sys.add_variable_init(
+            "COUNT",
+            Ty::Int(16),
+            q,
+            ifsyn_spec::Value::int(1234, 16),
+        );
+        let ch0 = sys.add_channel(Channel {
+            name: "CH0".into(),
+            accessor: p,
+            variable: x,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: 1,
+        });
+        let ch1 = sys.add_channel(Channel {
+            name: "CH1".into(),
+            accessor: p,
+            variable: x,
+            direction: ChannelDirection::Read,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: 1,
+        });
+        let ch3 = sys.add_channel(Channel {
+            name: "CH3".into(),
+            accessor: q,
+            variable: mem,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 6,
+            accesses: 1,
+        });
+        sys.behavior_mut(p).body = vec![
+            send(ch0, int_const(32, 16)),
+            receive(ch1, var(xtemp)),
+        ];
+        sys.behavior_mut(q).body = vec![send_at(ch3, int_const(60, 16), load(var(count)))];
+        (sys, vec![ch0, ch1, ch3])
+    }
+
+    fn design_for(_sys: &System, chans: &[ChannelId], width: u32) -> BusDesign {
+        BusDesign::with_width(chans.to_vec(), width, ProtocolKind::FullHandshake)
+    }
+
+    #[test]
+    fn refined_system_validates() {
+        let (sys, chans) = fig3ish();
+        let design = design_for(&sys, &chans, 8);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        assert!(refined.system.check().is_ok());
+    }
+
+    #[test]
+    fn bus_wires_exist_with_expected_types() {
+        let (sys, chans) = fig3ish();
+        let design = design_for(&sys, &chans, 8);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        let s = &refined.system;
+        let bus = &refined.bus;
+        assert_eq!(s.signal(bus.start.unwrap()).ty, Ty::Bit);
+        assert_eq!(s.signal(bus.done.unwrap()).ty, Ty::Bit);
+        // 3 channels -> 2 ID bits.
+        assert_eq!(s.signal(bus.id.unwrap()).ty, Ty::Bits(2));
+        assert_eq!(s.signal(bus.data.unwrap()).ty, Ty::Bits(8));
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_dense() {
+        let (sys, chans) = fig3ish();
+        let design = design_for(&sys, &chans, 8);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        let codes: Vec<u64> = refined.bus.id_codes.iter().map(|&(_, c)| c).collect();
+        assert_eq!(codes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn channel_ops_are_rewritten_into_calls() {
+        let (sys, chans) = fig3ish();
+        let design = design_for(&sys, &chans, 8);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        for b in &refined.system.behaviors {
+            let remaining = ifsyn_spec::visit::count_stmts(&b.body, |s| {
+                matches!(s, Stmt::ChannelSend { .. } | Stmt::ChannelReceive { .. })
+            });
+            assert_eq!(remaining, 0, "behavior `{}` kept channel ops", b.name);
+        }
+        let p = refined.system.behavior_by_name("P").unwrap();
+        let calls = ifsyn_spec::visit::count_stmts(
+            &refined.system.behavior(p).body,
+            |s| matches!(s, Stmt::Call { .. }),
+        );
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn variable_processes_are_created_per_variable() {
+        let (sys, chans) = fig3ish();
+        let design = design_for(&sys, &chans, 8);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        // X and MEM each get one server process.
+        assert_eq!(refined.bus.var_processes.len(), 2);
+        assert!(refined.system.behavior_by_name("Xproc").is_some());
+        assert!(refined.system.behavior_by_name("MEMproc").is_some());
+        for &(_, beh) in &refined.bus.var_processes {
+            assert!(refined.system.behavior(beh).repeats);
+        }
+    }
+
+    #[test]
+    fn auto_arbitration_installs_for_two_initiators() {
+        let (sys, chans) = fig3ish();
+        let design = design_for(&sys, &chans, 8);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        let arb = refined.bus.arbiter.as_ref().expect("P and Q both initiate");
+        assert_eq!(arb.clients.len(), 2);
+        assert!(refined.system.behavior_by_name("B_arbiter").is_some());
+    }
+
+    #[test]
+    fn without_arbitration_omits_arbiter() {
+        let (sys, chans) = fig3ish();
+        let design = design_for(&sys, &chans, 8);
+        let refined = ProtocolGenerator::new()
+            .without_arbitration()
+            .refine(&sys, &design)
+            .unwrap();
+        assert!(refined.bus.arbiter.is_none());
+        assert!(refined.system.behavior_by_name("B_arbiter").is_none());
+    }
+
+    #[test]
+    fn half_handshake_rejects_read_channels() {
+        let (sys, chans) = fig3ish();
+        let mut design = design_for(&sys, &chans, 8);
+        design.protocol = ProtocolKind::HalfHandshake;
+        let err = ProtocolGenerator::new().refine(&sys, &design).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedProtocol { .. }));
+    }
+
+    #[test]
+    fn direction_mismatch_is_detected() {
+        let (mut sys, chans) = fig3ish();
+        // Abuse: receive on a write channel.
+        let p = sys.behavior_by_name("P").unwrap();
+        let xtemp = sys.variable_by_name("Xtemp").unwrap();
+        sys.behavior_mut(p).body.push(receive(chans[0], var(xtemp)));
+        let design = design_for(&sys, &chans, 8);
+        let err = ProtocolGenerator::new().refine(&sys, &design).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedProtocol { .. }));
+    }
+
+    #[test]
+    fn single_channel_bus_has_no_id_lines() {
+        let (sys, chans) = fig3ish();
+        let design = design_for(&sys, &[chans[0]], 8);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        assert!(refined.bus.id.is_none());
+        assert_eq!(refined.bus.design.id_bits(), 0);
+    }
+
+    #[test]
+    fn send_proc_word_count_matches_plan() {
+        let (sys, chans) = fig3ish();
+        let design = design_for(&sys, &chans, 8);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        // CH3: 22-bit message on 8-bit bus -> 3 words -> 3 START rises
+        // in the send procedure.
+        let proc_id = refined.bus.client_proc(chans[2]).unwrap();
+        let body = &refined.system.procedure(proc_id).body;
+        let rises = ifsyn_spec::visit::count_stmts(body, |s| {
+            matches!(
+                s,
+                Stmt::SignalAssign { signal, value, .. }
+                if *signal == refined.bus.start.unwrap()
+                    && *value == bit_const(true)
+            )
+        });
+        assert_eq!(rises, 3);
+    }
+
+    #[test]
+    fn hardwired_single_write_channel() {
+        let (sys, chans) = fig3ish();
+        let mut design = design_for(&sys, &[chans[0]], 16);
+        design.protocol = ProtocolKind::Hardwired;
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        assert_eq!(refined.bus.dedicated_data.len(), 1);
+        assert!(refined.system.check().is_ok());
+    }
+
+    #[test]
+    fn refining_twice_with_one_bus_name_is_rejected() {
+        // The duplicate B_START declaration is caught by validation —
+        // multi-bus systems must use refine_all (distinct names).
+        let (sys, chans) = fig3ish();
+        let d1 = design_for(&sys, &[chans[0]], 8);
+        let d2 = design_for(&sys, &[chans[2]], 8);
+        let once = ProtocolGenerator::new().refine(&sys, &d1).unwrap();
+        let err = ProtocolGenerator::new()
+            .refine(&once.system, &d2)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Refinement { .. }), "{err}");
+        // With distinct bus names it works.
+        let refined = ProtocolGenerator::new()
+            .refine_all(&sys, &[d1, d2])
+            .unwrap();
+        assert_eq!(refined.buses.len(), 2);
+        assert!(refined.system.check().is_ok());
+    }
+
+    #[test]
+    fn hardwired_rejects_read_channels() {
+        let (sys, chans) = fig3ish();
+        let mut design = design_for(&sys, &[chans[1]], 16);
+        design.protocol = ProtocolKind::Hardwired;
+        let err = ProtocolGenerator::new().refine(&sys, &design).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedProtocol { .. }));
+    }
+}

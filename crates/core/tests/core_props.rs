@@ -1,0 +1,191 @@
+//! Property tests for the core algorithms: word planning, the cost
+//! function, and bus generation.
+
+use proptest::prelude::*;
+
+use ifsyn_core::{BusGenerator, Constraint, WidthMetrics, WordDir, WordPlan};
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{BehaviorId, Channel, ChannelDirection, ChannelId, System, Ty, VarId};
+
+fn channel(direction: ChannelDirection, data: u32, addr: u32) -> Channel {
+    Channel {
+        name: "ch".into(),
+        accessor: BehaviorId::new(0),
+        variable: VarId::new(0),
+        direction,
+        data_bits: data,
+        addr_bits: addr,
+        accesses: 1,
+    }
+}
+
+proptest! {
+    #[test]
+    fn word_plan_partitions_the_message(
+        data in 1u32..64,
+        addr in 0u32..16,
+        width in 1u32..80,
+        is_read in any::<bool>(),
+    ) {
+        let dir = if is_read { ChannelDirection::Read } else { ChannelDirection::Write };
+        let ch = channel(dir, data, addr);
+        let plan = WordPlan::for_channel(&ch, width);
+        let m = data + addr;
+        // Exactly ceil(m/width) words.
+        prop_assert_eq!(plan.word_count(), m.div_ceil(width));
+        // Contiguous, non-overlapping, complete coverage.
+        let mut next = 0u32;
+        for w in &plan.words {
+            prop_assert_eq!(w.msg_lo, next);
+            prop_assert!(w.msg_hi >= w.msg_lo);
+            prop_assert!(w.bits() <= width);
+            next = w.msg_hi + 1;
+        }
+        prop_assert_eq!(next, m);
+    }
+
+    #[test]
+    fn word_plan_directions_are_ordered(
+        data in 1u32..64,
+        addr in 1u32..16,
+        width in 1u32..80,
+    ) {
+        // For reads: Request* (Mixed)? Response* — never interleaved.
+        let ch = channel(ChannelDirection::Read, data, addr);
+        let plan = WordPlan::for_channel(&ch, width);
+        let mut phase = 0; // 0 request, 1 mixed, 2 response
+        for w in &plan.words {
+            let p = match w.dir {
+                WordDir::Request => 0,
+                WordDir::Mixed => 1,
+                WordDir::Response => 2,
+            };
+            prop_assert!(p >= phase, "direction went backwards");
+            phase = p;
+        }
+        // At most one mixed word.
+        let mixed = plan.words.iter().filter(|w| w.dir == WordDir::Mixed).count();
+        prop_assert!(mixed <= 1);
+    }
+
+    #[test]
+    fn cost_is_zero_iff_all_constraints_hold(
+        width in 1u32..64,
+        bound in 1u32..64,
+        weight in 0.1f64..100.0,
+    ) {
+        let metrics = WidthMetrics { width, bus_rate: f64::from(width) / 2.0, ..Default::default() };
+        let min_c = Constraint::min_bus_width(bound, weight);
+        let max_c = Constraint::max_bus_width(bound, weight);
+        prop_assert_eq!(min_c.cost(&metrics) == 0.0, width >= bound);
+        prop_assert_eq!(max_c.cost(&metrics) == 0.0, width <= bound);
+        prop_assert!(min_c.cost(&metrics) >= 0.0);
+        prop_assert!(max_c.cost(&metrics) >= 0.0);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_weight(
+        width in 1u32..40,
+        bound in 1u32..40,
+        weight in 0.5f64..10.0,
+    ) {
+        let metrics = WidthMetrics { width, ..Default::default() };
+        let c1 = Constraint::min_bus_width(bound, weight).cost(&metrics);
+        let c2 = Constraint::min_bus_width(bound, 2.0 * weight).cost(&metrics);
+        prop_assert!((c2 - 2.0 * c1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_width_cost_decreases_as_width_grows(bound in 2u32..40) {
+        let c = Constraint::min_bus_width(bound, 1.0);
+        let mut last = f64::INFINITY;
+        for width in 1..=bound + 4 {
+            let metrics = WidthMetrics { width, ..Default::default() };
+            let cost = c.cost(&metrics);
+            prop_assert!(cost <= last);
+            last = cost;
+        }
+    }
+}
+
+/// A padded writer system (feasible at some width).
+fn padded_system(compute: u64, accesses: i64) -> (System, ChannelId) {
+    let mut sys = System::new("p");
+    let m1 = sys.add_module("m1");
+    let m2 = sys.add_module("m2");
+    let store = sys.add_behavior("store", m2);
+    let v = sys.add_variable("V", Ty::array(Ty::Int(16), 128), store);
+    let b = sys.add_behavior("P", m1);
+    let i = sys.add_variable("i", Ty::Int(16), b);
+    let ch = sys.add_channel(Channel {
+        name: "ch".into(),
+        accessor: b,
+        variable: v,
+        direction: ChannelDirection::Write,
+        data_bits: 16,
+        addr_bits: 7,
+        accesses: accesses as u64,
+    });
+    sys.behavior_mut(b).body = vec![for_loop(
+        var(i),
+        int_const(0, 16),
+        int_const(accesses - 1, 16),
+        vec![
+            ifsyn_spec::Stmt::compute(compute, "pad"),
+            send_at(ch, load(var(i)), load(var(i))),
+        ],
+    )];
+    (sys, ch)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generation_picks_minimum_cost_then_minimum_width(
+        compute in 2u64..20,
+        bound in 2u32..23,
+    ) {
+        let (sys, ch) = padded_system(compute, 32);
+        let generator = BusGenerator::new()
+            .constraint(Constraint::min_bus_width(bound, 1.0));
+        match generator.generate(&sys, &[ch]) {
+            Ok(design) => {
+                // No feasible width can be strictly cheaper, and among
+                // equal-cost feasible widths ours is the narrowest.
+                for row in design.exploration.feasible() {
+                    let cost = row.cost.expect("feasible rows have costs");
+                    prop_assert!(cost >= design.cost - 1e-12);
+                    if (cost - design.cost).abs() < 1e-12 {
+                        prop_assert!(row.width >= design.width);
+                    }
+                }
+            }
+            Err(ifsyn_core::CoreError::NoFeasibleWidth { .. }) => {
+                // Acceptable for very small compute paddings.
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_width(compute in 1u64..20) {
+        let (sys, ch) = padded_system(compute, 32);
+        let expl = BusGenerator::new().explore(&sys, &[ch]).unwrap();
+        let mut seen = false;
+        for row in &expl.rows {
+            if seen {
+                prop_assert!(row.feasible, "width {} regressed", row.width);
+            }
+            seen |= row.feasible;
+        }
+    }
+
+    #[test]
+    fn average_rate_never_exceeds_bus_rate_at_selected_width(compute in 2u64..20) {
+        let (sys, ch) = padded_system(compute, 32);
+        if let Ok(design) = BusGenerator::new().generate(&sys, &[ch]) {
+            prop_assert!(design.sum_ave_rates <= design.bus_rate + 1e-12);
+        }
+    }
+}

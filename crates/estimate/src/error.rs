@@ -1,0 +1,62 @@
+//! Error type for estimation.
+
+use std::error::Error;
+use std::fmt;
+
+use ifsyn_spec::{BehaviorId, ChannelId};
+
+/// Errors produced by the estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EstimateError {
+    /// The behavior id does not exist in the system.
+    UnknownBehavior {
+        /// The offending id.
+        id: BehaviorId,
+    },
+    /// The channel id does not exist in the system.
+    UnknownChannel {
+        /// The offending id.
+        id: ChannelId,
+    },
+    /// Statement nesting exceeded the estimator's recursion limit
+    /// (possible procedure-call cycle).
+    RecursionLimit,
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::UnknownBehavior { id } => {
+                write!(f, "behavior {id} does not exist in the system")
+            }
+            EstimateError::UnknownChannel { id } => {
+                write!(f, "channel {id} does not exist in the system")
+            }
+            EstimateError::RecursionLimit => {
+                write!(f, "statement nesting exceeded the recursion limit")
+            }
+        }
+    }
+}
+
+impl Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_id() {
+        let e = EstimateError::UnknownChannel {
+            id: ChannelId::new(2),
+        };
+        assert!(e.to_string().contains("ch2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<EstimateError>();
+    }
+}

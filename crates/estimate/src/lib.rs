@@ -1,0 +1,44 @@
+//! # ifsyn-estimate — performance and channel-rate estimation
+//!
+//! Reimplements the estimation substrate the DAC'94 paper relies on:
+//!
+//! * a **statement cost model** ([`CostModel`]) assigning clock-cycle costs
+//!   to IR statements — the simulator (`ifsyn-sim`) uses the *same* model
+//!   when lowering, so analytic estimates and measured simulations agree
+//!   by construction on straight-line code;
+//! * a **process execution-time estimator** ([`PerformanceEstimator`],
+//!   their reference \[10\]) that walks a behavior and totals cycles,
+//!   pricing each channel access according to a [`BusTiming`];
+//! * **channel average / peak rates** ([`ChannelRates`], their reference
+//!   \[8\]) — the quantities bus generation's feasibility test (Eq. 1) and
+//!   cost function consume.
+//!
+//! ## Example
+//!
+//! Estimate the Fig. 7 quantity — execution time of a process that moves
+//! 128 messages of 23 bits over an 8-bit handshaked bus:
+//!
+//! ```
+//! use ifsyn_estimate::BusTiming;
+//!
+//! let timing = BusTiming::new(8, 2);
+//! // ceil(23 / 8) = 3 words, 2 clocks each.
+//! assert_eq!(timing.cycles_per_access(23), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod cost;
+mod error;
+mod perf;
+mod rates;
+mod timing;
+
+pub use area::{AreaEstimate, AreaEstimator, AreaModel};
+pub use cost::CostModel;
+pub use error::EstimateError;
+pub use perf::{BehaviorEstimate, PerformanceEstimator};
+pub use rates::ChannelRates;
+pub use timing::{BusTiming, ChannelTimings};

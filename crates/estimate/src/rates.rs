@@ -1,0 +1,234 @@
+//! Channel average-rate and peak-rate estimation (the paper's ref \[8\]).
+
+use ifsyn_spec::{ChannelId, System};
+
+use crate::error::EstimateError;
+use crate::perf::PerformanceEstimator;
+use crate::timing::{BusTiming, ChannelTimings};
+
+/// Computes the quantities bus generation feeds into its feasibility test
+/// and cost function.
+///
+/// * **Average rate** of a channel: total bits moved over the lifetime of
+///   the accessing process, divided by that lifetime (in clocks) — so the
+///   rate *depends on the candidate bus width*: a narrower bus stretches
+///   the process and lowers every channel's average rate, which is the
+///   feedback loop the paper's Fig. 2 discussion describes.
+/// * **Peak rate**: the burst transfer rate the bus offers the channel,
+///   `min(width, message_bits) / cycles_per_word`.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelRates {
+    estimator: PerformanceEstimator,
+}
+
+impl ChannelRates {
+    /// Creates a rate estimator with the default cost model.
+    pub fn new() -> Self {
+        Self {
+            estimator: PerformanceEstimator::new(),
+        }
+    }
+
+    /// Creates a rate estimator sharing an existing performance estimator.
+    pub fn with_estimator(estimator: PerformanceEstimator) -> Self {
+        Self { estimator }
+    }
+
+    /// Returns the inner performance estimator.
+    pub fn estimator(&self) -> &PerformanceEstimator {
+        &self.estimator
+    }
+
+    /// Average rate of `channel` (bits/clock) when the channels in
+    /// `timings` are implemented with the given bus timing.
+    ///
+    /// The lifetime is the estimated execution time of the accessing
+    /// behavior under the same timing. Channels whose behavior performs
+    /// no work at all (zero estimated cycles) are given rate 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnknownChannel`] for an out-of-range id,
+    /// or any error from behavior estimation.
+    pub fn average_rate(
+        &self,
+        system: &System,
+        channel: ChannelId,
+        timings: &ChannelTimings,
+    ) -> Result<f64, EstimateError> {
+        if channel.index() >= system.channels.len() {
+            return Err(EstimateError::UnknownChannel { id: channel });
+        }
+        let ch = system.channel(channel);
+        let est = self.estimator.estimate(system, ch.accessor, timings)?;
+        if est.cycles == 0 {
+            return Ok(0.0);
+        }
+        // Prefer the statically counted accesses (they respect loop
+        // structure); fall back to the channel's declared access count
+        // when the body has not been written out (pure-workload models).
+        let accesses = est
+            .channel_accesses
+            .get(&channel)
+            .copied()
+            .filter(|&n| n > 0)
+            .unwrap_or(ch.accesses);
+        let bits = accesses * u64::from(ch.message_bits());
+        Ok(bits as f64 / est.cycles as f64)
+    }
+
+    /// Sum of average rates over a channel group (the right-hand side of
+    /// the paper's Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-channel estimation error.
+    pub fn sum_average_rates(
+        &self,
+        system: &System,
+        channels: &[ChannelId],
+        timings: &ChannelTimings,
+    ) -> Result<f64, EstimateError> {
+        let mut sum = 0.0;
+        for &ch in channels {
+            sum += self.average_rate(system, ch, timings)?;
+        }
+        Ok(sum)
+    }
+
+    /// Peak rate of `channel` on a bus with the given timing (bits/clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnknownChannel`] for an out-of-range id.
+    pub fn peak_rate(
+        &self,
+        system: &System,
+        channel: ChannelId,
+        timing: BusTiming,
+    ) -> Result<f64, EstimateError> {
+        if channel.index() >= system.channels.len() {
+            return Err(EstimateError::UnknownChannel { id: channel });
+        }
+        Ok(timing.peak_rate(system.channel(channel).message_bits()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::{Channel, ChannelDirection, Ty};
+
+    /// A process sending `accesses` messages of (16+7) bits with
+    /// `compute` extra cycles per access.
+    fn rig(accesses: i64, compute: u64) -> (System, ChannelId) {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let owner = sys.add_behavior("MEMPROC", m);
+        let mem = sys.add_variable("MEM", Ty::array(Ty::Int(16), 128), owner);
+        let i = sys.add_variable("i", Ty::Int(16), b);
+        let ch = sys.add_channel(Channel {
+            name: "ch".into(),
+            accessor: b,
+            variable: mem,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 7,
+            accesses: accesses as u64,
+        });
+        let mut body = vec![send_at(ch, load(var(i)), int_const(1, 16))];
+        if compute > 0 {
+            body.push(ifsyn_spec::Stmt::compute(compute, "work"));
+        }
+        sys.behavior_mut(b).body.push(for_loop(
+            var(i),
+            int_const(0, 16),
+            int_const(accesses - 1, 16),
+            body,
+        ));
+        (sys, ch)
+    }
+
+    #[test]
+    fn average_rate_reflects_transfer_and_compute_time() {
+        let (sys, ch) = rig(128, 4);
+        let rates = ChannelRates::new();
+        // Width 8: 3 words x 2clk = 6 per access, +4 compute = 10/access.
+        let timings = ChannelTimings::uniform(&[ch], BusTiming::new(8, 2));
+        let r = rates.average_rate(&sys, ch, &timings).unwrap();
+        let expected = (128.0 * 23.0) / (128.0 * 10.0);
+        assert!((r - expected).abs() < 1e-9, "{r} vs {expected}");
+    }
+
+    #[test]
+    fn wider_bus_raises_average_rate() {
+        let (sys, ch) = rig(128, 4);
+        let rates = ChannelRates::new();
+        let mut last = 0.0;
+        for w in [1u32, 2, 4, 8, 16, 23] {
+            let t = ChannelTimings::uniform(&[ch], BusTiming::new(w, 2));
+            let r = rates.average_rate(&sys, ch, &t).unwrap();
+            assert!(r >= last, "rate should not decrease with width");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn sum_average_rates_adds() {
+        let (sys, ch) = rig(16, 0);
+        let rates = ChannelRates::new();
+        let t = ChannelTimings::uniform(&[ch], BusTiming::new(23, 2));
+        let single = rates.average_rate(&sys, ch, &t).unwrap();
+        let sum = rates.sum_average_rates(&sys, &[ch], &t).unwrap();
+        assert_eq!(single, sum);
+    }
+
+    #[test]
+    fn peak_rate_uses_message_bits() {
+        let (sys, ch) = rig(1, 0);
+        let rates = ChannelRates::new();
+        let r = rates.peak_rate(&sys, ch, BusTiming::new(32, 2)).unwrap();
+        assert_eq!(r, 23.0 / 2.0);
+    }
+
+    #[test]
+    fn unknown_channel_errors() {
+        let sys = System::new("t");
+        let rates = ChannelRates::new();
+        assert!(rates
+            .average_rate(&sys, ChannelId::new(0), &ChannelTimings::new())
+            .is_err());
+        assert!(rates
+            .peak_rate(&sys, ChannelId::new(0), BusTiming::new(8, 2))
+            .is_err());
+    }
+
+    #[test]
+    fn declared_accesses_used_when_body_is_abstract() {
+        // Behavior whose body is pure compute (no ChannelSend stmts):
+        // fall back to the channel's declared access count.
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let owner = sys.add_behavior("Q", m);
+        let v = sys.add_variable("X", Ty::Bits(16), owner);
+        let ch = sys.add_channel(Channel {
+            name: "ch".into(),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Read,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: 10,
+        });
+        sys.behavior_mut(b).body.push(ifsyn_spec::Stmt::compute(100, "w"));
+        let rates = ChannelRates::new();
+        let r = rates
+            .average_rate(&sys, ch, &ChannelTimings::new())
+            .unwrap();
+        assert!((r - (10.0 * 16.0) / 100.0).abs() < 1e-9);
+
+    }
+}

@@ -1,0 +1,169 @@
+//! Bus transfer timing: how long a channel access takes on a given bus.
+
+use std::collections::HashMap;
+
+use ifsyn_spec::ChannelId;
+
+/// Transfer timing of a bus implementation.
+///
+/// A message of `m` bits crosses a `width`-bit bus in `ceil(m / width)`
+/// words, each word costing `cycles_per_word` clocks (2 for the paper's
+/// full handshake, Eq. 2), plus a fixed per-message `overhead` (0 for the
+/// basic protocols; arbitration adds here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BusTiming {
+    /// Bus width in data lines (pins).
+    pub width: u32,
+    /// Clock cycles consumed per bus word.
+    pub cycles_per_word: u32,
+    /// Fixed clock cycles added per message (e.g. arbitration latency).
+    pub overhead: u32,
+}
+
+impl BusTiming {
+    /// Creates a timing with zero per-message overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `cycles_per_word` is zero.
+    pub fn new(width: u32, cycles_per_word: u32) -> Self {
+        assert!(width > 0, "bus width must be positive");
+        assert!(cycles_per_word > 0, "cycles per word must be positive");
+        Self {
+            width,
+            cycles_per_word,
+            overhead: 0,
+        }
+    }
+
+    /// Builder-style setter for the per-message overhead.
+    pub fn with_overhead(mut self, overhead: u32) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Number of bus words for a message of `message_bits`.
+    pub fn words(&self, message_bits: u32) -> u32 {
+        message_bits.div_ceil(self.width).max(1)
+    }
+
+    /// Clock cycles for one complete message transfer.
+    pub fn cycles_per_access(&self, message_bits: u32) -> u64 {
+        u64::from(self.words(message_bits)) * u64::from(self.cycles_per_word)
+            + u64::from(self.overhead)
+    }
+
+    /// The bus data rate in bits per clock (the paper's Eq. 2 with
+    /// `ClockPeriod = 1`): `width / cycles_per_word`.
+    pub fn bus_rate(&self) -> f64 {
+        f64::from(self.width) / f64::from(self.cycles_per_word)
+    }
+
+    /// Peak rate of a channel on this bus, in bits per clock: the fastest
+    /// instantaneous transfer the channel can sustain during a burst,
+    /// `min(width, message_bits) / cycles_per_word`.
+    pub fn peak_rate(&self, message_bits: u32) -> f64 {
+        f64::from(self.width.min(message_bits)) / f64::from(self.cycles_per_word)
+    }
+}
+
+/// Per-channel transfer timings for one bus implementation.
+///
+/// Bus generation evaluates many widths; each candidate produces one
+/// `ChannelTimings` mapping every grouped channel to the same
+/// [`BusTiming`]. Channels *not* in the map are priced as abstract
+/// (ideal) channels by the estimator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelTimings {
+    map: HashMap<ChannelId, BusTiming>,
+}
+
+impl ChannelTimings {
+    /// Creates an empty map (every channel ideal).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a map pricing all `channels` with the same `timing`.
+    pub fn uniform(channels: &[ChannelId], timing: BusTiming) -> Self {
+        Self {
+            map: channels.iter().map(|&c| (c, timing)).collect(),
+        }
+    }
+
+    /// Sets the timing for one channel.
+    pub fn insert(&mut self, channel: ChannelId, timing: BusTiming) {
+        self.map.insert(channel, timing);
+    }
+
+    /// Returns the timing for a channel, if it is bus-priced.
+    pub fn get(&self, channel: ChannelId) -> Option<&BusTiming> {
+        self.map.get(&channel)
+    }
+
+    /// Returns `true` if no channel has bus timing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_rounds_up() {
+        let t = BusTiming::new(8, 2);
+        assert_eq!(t.words(16), 2);
+        assert_eq!(t.words(17), 3);
+        assert_eq!(t.words(1), 1);
+        assert_eq!(t.words(0), 1);
+    }
+
+    #[test]
+    fn flc_channel_cycles_match_paper_model() {
+        // 23-bit messages (16 data + 7 addr), full handshake (2 clk/word).
+        let cases = [(1, 46), (4, 12), (8, 6), (16, 4), (23, 2), (32, 2)];
+        for (w, cycles) in cases {
+            let t = BusTiming::new(w, 2);
+            assert_eq!(t.cycles_per_access(23), cycles, "width {w}");
+        }
+    }
+
+    #[test]
+    fn bus_rate_is_eq2() {
+        assert_eq!(BusTiming::new(8, 2).bus_rate(), 4.0);
+        assert_eq!(BusTiming::new(23, 2).bus_rate(), 11.5);
+    }
+
+    #[test]
+    fn peak_rate_saturates_at_message_size() {
+        let t = BusTiming::new(32, 2);
+        assert_eq!(t.peak_rate(23), 11.5);
+        let t = BusTiming::new(8, 2);
+        assert_eq!(t.peak_rate(23), 4.0);
+    }
+
+    #[test]
+    fn overhead_adds_per_message() {
+        let t = BusTiming::new(8, 2).with_overhead(3);
+        assert_eq!(t.cycles_per_access(16), 7);
+    }
+
+    #[test]
+    fn timings_map_roundtrip() {
+        let chans = [ChannelId::new(0), ChannelId::new(1)];
+        let t = BusTiming::new(8, 2);
+        let map = ChannelTimings::uniform(&chans, t);
+        assert_eq!(map.get(ChannelId::new(0)), Some(&t));
+        assert_eq!(map.get(ChannelId::new(2)), None);
+        assert!(!map.is_empty());
+        assert!(ChannelTimings::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bus width must be positive")]
+    fn zero_width_panics() {
+        let _ = BusTiming::new(0, 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! The abstract syntax tree of the specification language.
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct File {
+    pub name: String,
+    pub items: Vec<Item>,
+}
+
+/// One top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Item {
+    Module { name: String },
+    Signal { name: String, ty: TypeAst },
+    Behavior(BehaviorAst),
+    Channel(ChannelAst),
+}
+
+/// A behavior (or store) declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BehaviorAst {
+    pub name: String,
+    pub module: String,
+    pub repeats: bool,
+    pub vars: Vec<VarAst>,
+    pub body: Vec<StmtAst>,
+}
+
+/// A variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct VarAst {
+    pub name: String,
+    pub ty: TypeAst,
+    pub init: Option<InitAst>,
+    pub line: u32,
+    pub column: u32,
+}
+
+/// An initial value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum InitAst {
+    Int(i64),
+    Bits(String),
+    Bit(bool),
+    Array(Vec<InitAst>),
+}
+
+/// A type expression.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TypeAst {
+    Bit,
+    Bits(u32),
+    Int(u32),
+    Array(Box<TypeAst>, u32),
+}
+
+/// A channel declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChannelAst {
+    pub name: String,
+    pub behavior: String,
+    pub writes: bool,
+    pub variable: String,
+    pub line: u32,
+    pub column: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum StmtAst {
+    Assign {
+        place: PlaceAst,
+        value: ExprAst,
+    },
+    Drive {
+        signal: String,
+        value: ExprAst,
+        line: u32,
+        column: u32,
+    },
+    If {
+        cond: ExprAst,
+        then_body: Vec<StmtAst>,
+        else_body: Vec<StmtAst>,
+    },
+    For {
+        var: String,
+        from: ExprAst,
+        to: ExprAst,
+        body: Vec<StmtAst>,
+        line: u32,
+        column: u32,
+    },
+    While {
+        cond: ExprAst,
+        body: Vec<StmtAst>,
+    },
+    WaitUntil(ExprAst),
+    WaitOn(Vec<(String, u32, u32)>),
+    WaitFor(u64),
+    Compute {
+        cycles: u64,
+        note: String,
+    },
+    Assert {
+        cond: ExprAst,
+        note: String,
+    },
+    Send {
+        channel: String,
+        args: Vec<ExprAst>,
+        line: u32,
+        column: u32,
+    },
+    Receive {
+        channel: String,
+        addr: Option<ExprAst>,
+        target: PlaceAst,
+        line: u32,
+        column: u32,
+    },
+    Return,
+}
+
+/// An assignable place.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PlaceAst {
+    pub name: String,
+    pub index: Option<Box<ExprAst>>,
+    /// `[hi:lo]` bit slice.
+    pub slice: Option<(u32, u32)>,
+    pub line: u32,
+    pub column: u32,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOpAst {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Xor,
+    Concat,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ExprAst {
+    Int(i64),
+    Bit(bool),
+    Bits(String),
+    Place(PlaceAst),
+    Unary {
+        neg: bool, // true = '-', false = 'not'
+        arg: Box<ExprAst>,
+    },
+    Binary {
+        op: BinOpAst,
+        lhs: Box<ExprAst>,
+        rhs: Box<ExprAst>,
+    },
+}

@@ -1,0 +1,286 @@
+//! The tokenizer.
+
+use crate::error::ParseError;
+
+/// A token kind with its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    /// `"0101"` — a bit-vector literal (msb first, as written).
+    BitString(String),
+    /// `'0'` or `'1'`.
+    BitChar(bool),
+    /// `"..."` used as a free-form note (after `compute`). The lexer
+    /// cannot distinguish notes from bit strings; the parser decides by
+    /// context, so both surface as `BitString` unless non-binary
+    /// characters appear, in which case `Note` is produced.
+    Note(String),
+    // Punctuation and operators.
+    Semi,
+    Colon,
+    Comma,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Lt,
+    Gt,
+    Ge,
+    Eq,        // =
+    Ne,        // /=
+    Assign,    // :=
+    Drive,     // <=  (also "less-or-equal"; parser disambiguates by context)
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Bang, // ! reserved
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: Tok,
+    pub line: u32,
+    pub column: u32,
+}
+
+/// Tokenizes `source`. `--` and `//` start line comments.
+pub(crate) fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut column = 1u32;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                column,
+            });
+            i += $len;
+            column += $len as u32;
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        let c1 = bytes.get(i + 1).copied().unwrap_or('\0');
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                column = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                column += 1;
+            }
+            '-' if c1 == '-' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if c1 == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ';' => push!(Tok::Semi, 1),
+            ',' => push!(Tok::Comma, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '[' => push!(Tok::LBracket, 1),
+            ']' => push!(Tok::RBracket, 1),
+            '+' => push!(Tok::Plus, 1),
+            '*' => push!(Tok::Star, 1),
+            '%' => push!(Tok::Percent, 1),
+            '&' => push!(Tok::Amp, 1),
+            '!' => push!(Tok::Bang, 1),
+            '-' => push!(Tok::Minus, 1),
+            '/' if c1 == '=' => push!(Tok::Ne, 2),
+            '/' => push!(Tok::Slash, 1),
+            ':' if c1 == '=' => push!(Tok::Assign, 2),
+            ':' => push!(Tok::Colon, 1),
+            '<' if c1 == '=' => push!(Tok::Drive, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if c1 == '=' => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            '=' => push!(Tok::Eq, 1),
+            '\'' => {
+                let b = match c1 {
+                    '0' => false,
+                    '1' => true,
+                    other => {
+                        return Err(ParseError::new(
+                            line,
+                            column,
+                            format!("expected '0' or '1' in bit literal, found {other:?}"),
+                        ))
+                    }
+                };
+                if bytes.get(i + 2).copied() != Some('\'') {
+                    return Err(ParseError::new(line, column, "unterminated bit literal"));
+                }
+                push!(Tok::BitChar(b), 3);
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && bytes[j] != '"' && bytes[j] != '\n' {
+                    j += 1;
+                }
+                if j >= n || bytes[j] != '"' {
+                    return Err(ParseError::new(line, column, "unterminated string"));
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let len = j - i + 1;
+                if !text.is_empty() && text.chars().all(|c| c == '0' || c == '1') {
+                    push!(Tok::BitString(text), len);
+                } else {
+                    push!(Tok::Note(text), len);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                    j += 1;
+                }
+                // Hex literals: 0x...
+                if bytes[start] == '0'
+                    && bytes.get(start + 1).map(|c| *c == 'x' || *c == 'X') == Some(true)
+                {
+                    j = start + 2;
+                    while j < n && (bytes[j].is_ascii_hexdigit() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    let text: String = bytes[start + 2..j]
+                        .iter()
+                        .filter(|c| **c != '_')
+                        .collect();
+                    let value = i64::from_str_radix(&text, 16).map_err(|_| {
+                        ParseError::new(line, column, "invalid hex literal")
+                    })?;
+                    let len = j - start;
+                    push!(Tok::Int(value), len);
+                } else {
+                    let text: String =
+                        bytes[start..j].iter().filter(|c| **c != '_').collect();
+                    let value: i64 = text.parse().map_err(|_| {
+                        ParseError::new(line, column, "invalid integer literal")
+                    })?;
+                    let len = j - start;
+                    push!(Tok::Int(value), len);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < n
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_')
+                {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let len = j - start;
+                push!(Tok::Ident(text), len);
+            }
+            other => {
+                return Err(ParseError::new(
+                    line,
+                    column,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_ints() {
+        assert_eq!(
+            kinds("foo 42 0x2a bar_7"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Int(42),
+                Tok::Int(42),
+                Tok::Ident("bar_7".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds(":= <= < > >= = /= + - * / % &"),
+            vec![
+                Tok::Assign,
+                Tok::Drive,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::Amp,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_bit_literals_and_notes() {
+        assert_eq!(
+            kinds("'1' '0' \"0101\" \"hello\""),
+            vec![
+                Tok::BitChar(true),
+                Tok::BitChar(false),
+                Tok::BitString("0101".into()),
+                Tok::Note("hello".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let tokens = lex("a -- comment\nb // another\nc").unwrap();
+        assert_eq!(tokens.len(), 3);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 3);
+    }
+
+    #[test]
+    fn reports_bad_characters_with_position() {
+        let e = lex("ok\n  @").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("'2'").is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! # ifsyn-lang — textual specification frontend
+//!
+//! A small specification language that builds [`ifsyn_spec::System`]
+//! values from text, so systems can be written as files rather than
+//! Rust code — the role SpecCharts/VHDL text played for the original
+//! SpecSyn tools.
+//!
+//! ## The language
+//!
+//! ```text
+//! system flc;
+//!
+//! module chip1;
+//! module chip2;
+//!
+//! store chip2_store on chip2 {
+//!     var trru0 : int<16>[128];
+//! }
+//!
+//! behavior EVAL_R3 on chip1 {
+//!     var i : int<16>;
+//!     for i in 0 to 127 {
+//!         compute 6 "evaluate rule";
+//!         send ch1(i, i * 3 + 1);
+//!     }
+//! }
+//!
+//! channel ch1 : EVAL_R3 writes trru0;
+//! ```
+//!
+//! * `module` declares a chip; `behavior NAME on MODULE { ... }`
+//!   declares a process (add `repeats` before `{` for a server loop);
+//!   `store` is a behavior with no body, hosting variables.
+//! * `var NAME : TYPE (= INIT)?` declares a variable owned by the
+//!   enclosing behavior. Types: `bit`, `bits<N>`, `int<N>`, and array
+//!   suffix `TYPE[N]`.
+//! * `signal NAME : TYPE;` declares a global wire.
+//! * Statements: `place := expr;`, `NAME <= expr;` (signal drive),
+//!   `if expr { } else { }`, `for v in a to b { }`, `while expr { }`,
+//!   `wait until expr;` / `wait on s1, s2;` / `wait for N;`,
+//!   `compute N "note";`, `send ch(data);` / `send ch(addr, data);`,
+//!   `receive ch(place);` / `receive ch(addr, place);`, `return;`.
+//! * `channel NAME : BEHAVIOR writes|reads VARIABLE;` declares the
+//!   abstract channel; message sizes derive from the variable's type
+//!   and access counts from a static walk of the accessor's body.
+//!
+//! ## Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let src = r#"
+//!     system demo;
+//!     module chip;
+//!     behavior p on chip {
+//!         var x : int<16>;
+//!         x := 40 + 2;
+//!     }
+//! "#;
+//! let sys = ifsyn_lang::parse_system(src)?;
+//! assert_eq!(sys.name, "demo");
+//! assert!(sys.behavior_by_name("p").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+mod print;
+
+pub use error::ParseError;
+pub use print::{print_system, PrintError};
+
+use ifsyn_spec::System;
+
+/// Parses a specification source into a validated [`System`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a line/column position for lexical,
+/// syntactic and name-resolution failures, and for systems that fail
+/// [`System::check`].
+pub fn parse_system(source: &str) -> Result<System, ParseError> {
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse(&tokens)?;
+    lower::lower(&ast)
+}

@@ -1,0 +1,591 @@
+//! Lowering the AST into a validated [`System`].
+
+use std::collections::HashMap;
+
+use ifsyn_estimate::{ChannelTimings, PerformanceEstimator};
+use ifsyn_spec::{
+    BehaviorId, BitVec, Channel, ChannelDirection, ChannelId, Expr, ModuleId, Place, SignalId,
+    Stmt, System, Ty, Value, VarId, WaitCond,
+};
+
+use crate::ast::*;
+use crate::error::ParseError;
+
+pub(crate) fn lower(file: &File) -> Result<System, ParseError> {
+    let mut cx = Lowerer {
+        sys: System::new(file.name.clone()),
+        modules: HashMap::new(),
+        signals: HashMap::new(),
+        behaviors: HashMap::new(),
+        variables: HashMap::new(),
+        channels: HashMap::new(),
+    };
+    cx.declare(file)?;
+    cx.bodies(file)?;
+    cx.finish()
+}
+
+struct Lowerer {
+    sys: System,
+    modules: HashMap<String, ModuleId>,
+    signals: HashMap<String, SignalId>,
+    behaviors: HashMap<String, BehaviorId>,
+    /// Variable names are global in the language (they name channel
+    /// endpoints), so they must be unique.
+    variables: HashMap<String, VarId>,
+    channels: HashMap<String, ChannelId>,
+}
+
+fn err_at(line: u32, column: u32, message: impl Into<String>) -> ParseError {
+    ParseError::new(line, column, message)
+}
+
+impl Lowerer {
+    /// Pass 1: declare modules, signals, behaviors, variables, channels.
+    fn declare(&mut self, file: &File) -> Result<(), ParseError> {
+        for item in &file.items {
+            match item {
+                Item::Module { name } => {
+                    if self.modules.contains_key(name) {
+                        return Err(err_at(1, 1, format!("duplicate module `{name}`")));
+                    }
+                    let id = self.sys.add_module(name.clone());
+                    self.modules.insert(name.clone(), id);
+                }
+                Item::Signal { name, ty } => {
+                    if self.signals.contains_key(name) {
+                        return Err(err_at(1, 1, format!("duplicate signal `{name}`")));
+                    }
+                    let id = self.sys.add_signal(name.clone(), lower_type(ty));
+                    self.signals.insert(name.clone(), id);
+                }
+                Item::Behavior(b) => {
+                    let module = *self.modules.get(&b.module).ok_or_else(|| {
+                        err_at(1, 1, format!("behavior `{}` names unknown module `{}`", b.name, b.module))
+                    })?;
+                    if self.behaviors.contains_key(&b.name) {
+                        return Err(err_at(1, 1, format!("duplicate behavior `{}`", b.name)));
+                    }
+                    let id = self.sys.add_behavior(b.name.clone(), module);
+                    self.sys.behavior_mut(id).repeats = b.repeats;
+                    self.behaviors.insert(b.name.clone(), id);
+                    for v in &b.vars {
+                        if self.variables.contains_key(&v.name) {
+                            return Err(err_at(
+                                v.line,
+                                v.column,
+                                format!("duplicate variable `{}`", v.name),
+                            ));
+                        }
+                        let ty = lower_type(&v.ty);
+                        let vid = match &v.init {
+                            Some(init) => {
+                                let value = lower_init(init, &ty)
+                                    .map_err(|m| err_at(v.line, v.column, m))?;
+                                self.sys
+                                    .add_variable_init(v.name.clone(), ty, id, value)
+                            }
+                            None => self.sys.add_variable(v.name.clone(), ty, id),
+                        };
+                        self.variables.insert(v.name.clone(), vid);
+                    }
+                }
+                Item::Channel(_) => {}
+            }
+        }
+        // Channels after all behaviors/variables exist.
+        for item in &file.items {
+            if let Item::Channel(c) = item {
+                let accessor = *self.behaviors.get(&c.behavior).ok_or_else(|| {
+                    err_at(c.line, c.column, format!("unknown behavior `{}`", c.behavior))
+                })?;
+                let variable = *self.variables.get(&c.variable).ok_or_else(|| {
+                    err_at(c.line, c.column, format!("unknown variable `{}`", c.variable))
+                })?;
+                if self.channels.contains_key(&c.name) {
+                    return Err(err_at(c.line, c.column, format!("duplicate channel `{}`", c.name)));
+                }
+                let ty = &self.sys.variable(variable).ty;
+                let id = self.sys.add_channel(Channel {
+                    name: c.name.clone(),
+                    accessor,
+                    variable,
+                    direction: if c.writes {
+                        ChannelDirection::Write
+                    } else {
+                        ChannelDirection::Read
+                    },
+                    data_bits: ty.element_width(),
+                    addr_bits: ty.addr_bits(),
+                    accesses: 0,
+                });
+                self.channels.insert(c.name.clone(), id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pass 2: lower statement bodies.
+    fn bodies(&mut self, file: &File) -> Result<(), ParseError> {
+        for item in &file.items {
+            if let Item::Behavior(b) = item {
+                let id = self.behaviors[&b.name];
+                let body = self.stmts(&b.body, id)?;
+                self.sys.behavior_mut(id).body = body;
+            }
+        }
+        Ok(())
+    }
+
+    fn stmts(&mut self, body: &[StmtAst], owner: BehaviorId) -> Result<Vec<Stmt>, ParseError> {
+        body.iter().map(|s| self.stmt(s, owner)).collect()
+    }
+
+    fn stmt(&mut self, stmt: &StmtAst, owner: BehaviorId) -> Result<Stmt, ParseError> {
+        Ok(match stmt {
+            StmtAst::Assign { place, value } => Stmt::Assign {
+                place: self.lower_place(place, owner)?,
+                value: self.expr(value, owner)?,
+                cost: None,
+            },
+            StmtAst::Drive {
+                signal,
+                value,
+                line,
+                column,
+            } => {
+                let sig = *self.signals.get(signal).ok_or_else(|| {
+                    err_at(*line, *column, format!("unknown signal `{signal}`"))
+                })?;
+                Stmt::SignalAssign {
+                    signal: sig,
+                    value: self.expr(value, owner)?,
+                    cost: None,
+                }
+            }
+            StmtAst::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
+                cond: self.expr(cond, owner)?,
+                then_body: self.stmts(then_body, owner)?,
+                else_body: self.stmts(else_body, owner)?,
+            },
+            StmtAst::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                // Auto-declare undeclared loop counters as int<16>.
+                let vid = match self.variables.get(var) {
+                    Some(&v) => v,
+                    None => {
+                        let v = self.sys.add_variable(var.clone(), Ty::Int(16), owner);
+                        self.variables.insert(var.clone(), v);
+                        v
+                    }
+                };
+                Stmt::For {
+                    var: Place::Var(vid),
+                    from: self.expr(from, owner)?,
+                    to: self.expr(to, owner)?,
+                    body: self.stmts(body, owner)?,
+                }
+            }
+            StmtAst::While { cond, body } => Stmt::While {
+                cond: self.expr(cond, owner)?,
+                body: self.stmts(body, owner)?,
+            },
+            StmtAst::WaitUntil(cond) => Stmt::Wait(WaitCond::Until(self.expr(cond, owner)?)),
+            StmtAst::WaitOn(names) => {
+                let mut signals = Vec::with_capacity(names.len());
+                for (name, line, column) in names {
+                    signals.push(*self.signals.get(name).ok_or_else(|| {
+                        err_at(*line, *column, format!("unknown signal `{name}`"))
+                    })?);
+                }
+                Stmt::Wait(WaitCond::OnSignals(signals))
+            }
+            StmtAst::WaitFor(n) => Stmt::Wait(WaitCond::ForCycles(*n)),
+            StmtAst::Compute { cycles, note } => Stmt::compute(*cycles, note.clone()),
+            StmtAst::Assert { cond, note } => Stmt::Assert {
+                cond: self.expr(cond, owner)?,
+                note: note.clone(),
+            },
+            StmtAst::Send {
+                channel,
+                args,
+                line,
+                column,
+            } => {
+                let ch = *self.channels.get(channel).ok_or_else(|| {
+                    err_at(*line, *column, format!("unknown channel `{channel}`"))
+                })?;
+                let has_addr = self.sys.channel(ch).addr_bits > 0;
+                let expected = if has_addr { 2 } else { 1 };
+                if args.len() != expected {
+                    return Err(err_at(
+                        *line,
+                        *column,
+                        format!(
+                            "channel `{channel}` takes {expected} argument(s) \
+                             ({} address bits)",
+                            self.sys.channel(ch).addr_bits
+                        ),
+                    ));
+                }
+                if has_addr {
+                    Stmt::ChannelSend {
+                        channel: ch,
+                        addr: Some(self.expr(&args[0], owner)?),
+                        data: self.expr(&args[1], owner)?,
+                    }
+                } else {
+                    Stmt::ChannelSend {
+                        channel: ch,
+                        addr: None,
+                        data: self.expr(&args[0], owner)?,
+                    }
+                }
+            }
+            StmtAst::Receive {
+                channel,
+                addr,
+                target,
+                line,
+                column,
+            } => {
+                let ch = *self.channels.get(channel).ok_or_else(|| {
+                    err_at(*line, *column, format!("unknown channel `{channel}`"))
+                })?;
+                let has_addr = self.sys.channel(ch).addr_bits > 0;
+                if has_addr != addr.is_some() {
+                    return Err(err_at(
+                        *line,
+                        *column,
+                        format!(
+                            "channel `{channel}` {} an address argument",
+                            if has_addr { "requires" } else { "does not take" }
+                        ),
+                    ));
+                }
+                Stmt::ChannelReceive {
+                    channel: ch,
+                    addr: addr
+                        .as_ref()
+                        .map(|a| self.expr(a, owner))
+                        .transpose()?,
+                    target: self.lower_place(target, owner)?,
+                }
+            }
+            StmtAst::Return => Stmt::Return,
+        })
+    }
+
+    fn lower_place(&mut self, place: &PlaceAst, owner: BehaviorId) -> Result<Place, ParseError> {
+        let var = *self.variables.get(&place.name).ok_or_else(|| {
+            err_at(
+                place.line,
+                place.column,
+                format!("unknown variable `{}`", place.name),
+            )
+        })?;
+        let mut p = Place::Var(var);
+        if let Some(idx) = &place.index {
+            p = Place::Index {
+                base: Box::new(p),
+                index: Box::new(self.expr(idx, owner)?),
+            };
+        }
+        if let Some((hi, lo)) = place.slice {
+            if hi < lo {
+                return Err(err_at(
+                    place.line,
+                    place.column,
+                    format!("slice high bound {hi} below low bound {lo}"),
+                ));
+            }
+            p = Place::Slice {
+                base: Box::new(p),
+                hi,
+                lo,
+            };
+        }
+        Ok(p)
+    }
+
+    fn expr(&mut self, expr: &ExprAst, owner: BehaviorId) -> Result<Expr, ParseError> {
+        Ok(match expr {
+            ExprAst::Int(v) => Expr::Const(Value::int(*v, 32)),
+            ExprAst::Bit(b) => Expr::Const(Value::Bit(*b)),
+            ExprAst::Bits(s) => Expr::Const(Value::Bits(bits_from_msb_string(s))),
+            ExprAst::Place(p) => {
+                // A bare name can be a variable or a signal.
+                if self.variables.contains_key(&p.name) {
+                    Expr::Load(self.lower_place(p, owner)?)
+                } else if let Some(&sig) = self.signals.get(&p.name) {
+                    let base = Expr::Signal(sig);
+                    match (p.index.as_ref(), p.slice) {
+                        (None, None) => base,
+                        (None, Some((hi, lo))) => Expr::SliceOf {
+                            base: Box::new(base),
+                            hi,
+                            lo,
+                        },
+                        (Some(_), _) => {
+                            return Err(err_at(
+                                p.line,
+                                p.column,
+                                "signals cannot be indexed",
+                            ))
+                        }
+                    }
+                } else {
+                    return Err(err_at(
+                        p.line,
+                        p.column,
+                        format!("unknown name `{}`", p.name),
+                    ));
+                }
+            }
+            ExprAst::Unary { neg, arg } => Expr::Unary {
+                op: if *neg {
+                    ifsyn_spec::UnaryOp::Neg
+                } else {
+                    ifsyn_spec::UnaryOp::Not
+                },
+                arg: Box::new(self.expr(arg, owner)?),
+            },
+            ExprAst::Binary { op, lhs, rhs } => Expr::Binary {
+                op: lower_binop(*op),
+                lhs: Box::new(self.expr(lhs, owner)?),
+                rhs: Box::new(self.expr(rhs, owner)?),
+            },
+        })
+    }
+
+    /// Pass 3: fill channel access counts, then validate.
+    fn finish(mut self) -> Result<System, ParseError> {
+        let estimator = PerformanceEstimator::new();
+        let accessors: Vec<BehaviorId> = {
+            let mut v: Vec<BehaviorId> =
+                self.sys.channels.iter().map(|c| c.accessor).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let mut counts: HashMap<ChannelId, u64> = HashMap::new();
+        for b in accessors {
+            let est = estimator
+                .estimate(&self.sys, b, &ChannelTimings::new())
+                .map_err(|e| err_at(1, 1, e.to_string()))?;
+            for (ch, n) in est.channel_accesses {
+                *counts.entry(ch).or_insert(0) += n;
+            }
+        }
+        for (i, ch) in self.sys.channels.iter_mut().enumerate() {
+            if let Some(&n) = counts.get(&ChannelId::new(i as u32)) {
+                ch.accesses = n;
+            }
+        }
+        self.sys
+            .check()
+            .map_err(|e| err_at(1, 1, format!("invalid system: {e}")))?;
+        Ok(self.sys)
+    }
+}
+
+fn lower_type(ty: &TypeAst) -> Ty {
+    match ty {
+        TypeAst::Bit => Ty::Bit,
+        TypeAst::Bits(w) => Ty::Bits(*w),
+        TypeAst::Int(w) => Ty::Int(*w),
+        TypeAst::Array(elem, len) => Ty::array(lower_type(elem), *len),
+    }
+}
+
+/// `"0101"` is written most-significant-bit first.
+fn bits_from_msb_string(s: &str) -> BitVec {
+    BitVec::from_bits_lsb_first(s.chars().rev().map(|c| c == '1'))
+}
+
+fn lower_init(init: &InitAst, ty: &Ty) -> Result<Value, String> {
+    match (init, ty) {
+        (InitAst::Int(v), Ty::Int(w)) => Ok(Value::int(*v, *w)),
+        (InitAst::Int(v), Ty::Bits(w)) => Ok(Value::Bits(BitVec::from_u64(*v as u64, *w))),
+        (InitAst::Int(v), Ty::Bit) => Ok(Value::Bit(*v != 0)),
+        (InitAst::Bit(b), Ty::Bit) => Ok(Value::Bit(*b)),
+        (InitAst::Bits(s), Ty::Bits(w)) => {
+            let bv = bits_from_msb_string(s);
+            if bv.width() != *w {
+                return Err(format!(
+                    "bit literal has {} bits, variable has {w}",
+                    bv.width()
+                ));
+            }
+            Ok(Value::Bits(bv))
+        }
+        (InitAst::Array(items), Ty::Array { elem, len }) => {
+            if items.len() != *len as usize {
+                return Err(format!(
+                    "array initializer has {} elements, type has {len}",
+                    items.len()
+                ));
+            }
+            let values: Result<Vec<Value>, String> =
+                items.iter().map(|i| lower_init(i, elem)).collect();
+            Ok(Value::Array(values?))
+        }
+        (other, ty) => Err(format!("initializer {other:?} does not fit type {ty}")),
+    }
+}
+
+fn lower_binop(op: BinOpAst) -> ifsyn_spec::BinOp {
+    use ifsyn_spec::BinOp as B;
+    match op {
+        BinOpAst::Add => B::Add,
+        BinOpAst::Sub => B::Sub,
+        BinOpAst::Mul => B::Mul,
+        BinOpAst::Div => B::Div,
+        BinOpAst::Rem => B::Rem,
+        BinOpAst::Eq => B::Eq,
+        BinOpAst::Ne => B::Ne,
+        BinOpAst::Lt => B::Lt,
+        BinOpAst::Le => B::Le,
+        BinOpAst::Gt => B::Gt,
+        BinOpAst::Ge => B::Ge,
+        BinOpAst::And => B::And,
+        BinOpAst::Or => B::Or,
+        BinOpAst::Xor => B::Xor,
+        BinOpAst::Concat => B::Concat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_system;
+
+    #[test]
+    fn lowers_flc_like_source() {
+        let sys = parse_system(
+            r#"
+            system flc;
+            module chip1;
+            module chip2;
+            store chip2_store on chip2 {
+                var trru0 : int<16>[128];
+            }
+            behavior EVAL_R3 on chip1 {
+                for i in 0 to 127 {
+                    compute 6 "evaluate rule";
+                    send ch1(i, i * 3 + 1);
+                }
+            }
+            channel ch1 : EVAL_R3 writes trru0;
+            "#,
+        )
+        .unwrap();
+        let ch = sys.channel_by_name("ch1").unwrap();
+        let c = sys.channel(ch);
+        assert_eq!(c.data_bits, 16);
+        assert_eq!(c.addr_bits, 7);
+        assert_eq!(c.accesses, 128, "accesses counted from the loop");
+    }
+
+    #[test]
+    fn unknown_names_error_with_positions() {
+        let e = parse_system(
+            "system s;\nmodule m;\nbehavior p on m {\n  send nope(1);\n}",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("unknown channel"));
+    }
+
+    #[test]
+    fn send_arity_is_checked() {
+        let e = parse_system(
+            r#"
+            system s; module m;
+            store st on m { var mem : int<8>[16]; }
+            behavior p on m { send c(1); }
+            channel c : p writes mem;
+            "#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("takes 2 argument"));
+    }
+
+    #[test]
+    fn array_initializers_check_length() {
+        let e = parse_system(
+            "system s; module m; store st on m { var a : int<8>[3] = [1, 2]; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("2 elements"));
+        let sys = parse_system(
+            "system s; module m; store st on m { var a : int<8>[3] = [1, 2, 3]; }",
+        )
+        .unwrap();
+        let a = sys.variable_by_name("a").unwrap();
+        assert_eq!(
+            sys.variable(a).initial_value(),
+            ifsyn_spec::Value::Array(vec![
+                ifsyn_spec::Value::int(1, 8),
+                ifsyn_spec::Value::int(2, 8),
+                ifsyn_spec::Value::int(3, 8),
+            ])
+        );
+    }
+
+    #[test]
+    fn signals_resolve_in_expressions() {
+        let sys = parse_system(
+            r#"
+            system s; module m;
+            signal go : bit;
+            signal bus_data : bits<8>;
+            behavior p on m {
+                var x : bits<4>;
+                wait until go = '1';
+                x := bus_data[3:0];
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(sys.signal_by_name("go").is_some());
+        assert!(sys.check().is_ok());
+    }
+
+    #[test]
+    fn assertions_parse_lower_and_simulate() {
+        let sys = parse_system(
+            r#"
+            system s; module m;
+            behavior p on m {
+                var x : int<16>;
+                x := 41 + 1;
+                assert x = 42 "the answer";
+            }
+            "#,
+        )
+        .unwrap();
+        let p = sys.behavior_by_name("p").unwrap();
+        assert!(matches!(
+            sys.behavior(p).body[1],
+            ifsyn_spec::Stmt::Assert { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_declarations_error() {
+        assert!(parse_system("system s; module m; module m;").is_err());
+        assert!(parse_system(
+            "system s; module m; behavior p on m {} behavior p on m {}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,826 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::{Tok, Token};
+
+pub(crate) fn parse(tokens: &[Token]) -> Result<File, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.file()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn here(&self) -> (u32, u32) {
+        match self.peek() {
+            Some(t) => (t.line, t.column),
+            None => self
+                .tokens
+                .last()
+                .map(|t| (t.line, t.column + 1))
+                .unwrap_or((1, 1)),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self.here();
+        ParseError::new(line, column, message)
+    }
+
+    fn eat(&mut self, kind: &Tok) -> bool {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {what}, found {}",
+                self.describe_current()
+            )))
+        }
+    }
+
+    fn describe_current(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("{:?}", t.kind),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(name)
+            }
+            _ => Err(self.err(format!(
+                "expected {what}, found {}",
+                self.describe_current()
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> bool {
+        if let Some(Tok::Ident(name)) = self.peek().map(|t| &t.kind) {
+            if name == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.keyword(word) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{word}`, found {}",
+                self.describe_current()
+            )))
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<i64, ParseError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.err(format!(
+                "expected {what}, found {}",
+                self.describe_current()
+            ))),
+        }
+    }
+
+    // ---- grammar ------------------------------------------------------
+
+    fn file(&mut self) -> Result<File, ParseError> {
+        self.expect_keyword("system")?;
+        let name = self.ident("system name")?;
+        self.expect(Tok::Semi, "`;`")?;
+        let mut items = Vec::new();
+        while !self.at_end() {
+            items.push(self.item()?);
+        }
+        Ok(File { name, items })
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        if self.keyword("module") {
+            let name = self.ident("module name")?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Item::Module { name });
+        }
+        if self.keyword("signal") {
+            let name = self.ident("signal name")?;
+            self.expect(Tok::Colon, "`:`")?;
+            let ty = self.type_expr()?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Item::Signal { name, ty });
+        }
+        if self.keyword("channel") {
+            let (line, column) = self.here();
+            let name = self.ident("channel name")?;
+            self.expect(Tok::Colon, "`:`")?;
+            let behavior = self.ident("behavior name")?;
+            let writes = if self.keyword("writes") {
+                true
+            } else if self.keyword("reads") {
+                false
+            } else {
+                return Err(self.err("expected `writes` or `reads`"));
+            };
+            let variable = self.ident("variable name")?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Item::Channel(ChannelAst {
+                name,
+                behavior,
+                writes,
+                variable,
+                line,
+                column,
+            }));
+        }
+        let is_store = if self.keyword("behavior") || self.keyword("process") {
+            false
+        } else if self.keyword("store") {
+            true
+        } else {
+            return Err(self.err(
+                "expected `module`, `signal`, `channel`, `behavior`, `process` or `store`",
+            ));
+        };
+        let name = self.ident("behavior name")?;
+        self.expect_keyword("on")?;
+        let module = self.ident("module name")?;
+        let repeats = self.keyword("repeats");
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut vars = Vec::new();
+        while let Some(Tok::Ident(word)) = self.peek().map(|t| &t.kind) {
+            if word != "var" {
+                break;
+            }
+            let (line, column) = self.here();
+            self.pos += 1;
+            let vname = self.ident("variable name")?;
+            self.expect(Tok::Colon, "`:`")?;
+            let ty = self.type_expr()?;
+            let init = if self.eat(&Tok::Eq) {
+                Some(self.init_value()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Semi, "`;`")?;
+            vars.push(VarAst {
+                name: vname,
+                ty,
+                init,
+                line,
+                column,
+            });
+        }
+        let body = self.block_tail()?;
+        let _ = is_store; // stores differ only by (empty) body convention
+        Ok(Item::Behavior(BehaviorAst {
+            name,
+            module,
+            repeats,
+            vars,
+            body,
+        }))
+    }
+
+    fn init_value(&mut self) -> Result<InitAst, ParseError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(InitAst::Int(v))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                let v = self.int("integer")?;
+                Ok(InitAst::Int(-v))
+            }
+            Some(Tok::BitString(s)) => {
+                self.pos += 1;
+                Ok(InitAst::Bits(s))
+            }
+            Some(Tok::BitChar(b)) => {
+                self.pos += 1;
+                Ok(InitAst::Bit(b))
+            }
+            Some(Tok::LBracket) => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if !self.eat(&Tok::RBracket) {
+                    loop {
+                        items.push(self.init_value()?);
+                        if self.eat(&Tok::RBracket) {
+                            break;
+                        }
+                        self.expect(Tok::Comma, "`,` or `]`")?;
+                    }
+                }
+                Ok(InitAst::Array(items))
+            }
+            _ => Err(self.err("expected an initial value")),
+        }
+    }
+
+    fn type_expr(&mut self) -> Result<TypeAst, ParseError> {
+        let base = if self.keyword("bit") {
+            TypeAst::Bit
+        } else if self.keyword("bits") {
+            self.expect(Tok::Lt, "`<`")?;
+            let w = self.int("bit width")?;
+            self.expect(Tok::Gt, "`>`")?;
+            TypeAst::Bits(w as u32)
+        } else if self.keyword("int") {
+            self.expect(Tok::Lt, "`<`")?;
+            let w = self.int("bit width")?;
+            self.expect(Tok::Gt, "`>`")?;
+            TypeAst::Int(w as u32)
+        } else {
+            return Err(self.err("expected a type (`bit`, `bits<N>`, `int<N>`)"));
+        };
+        let mut ty = base;
+        while self.eat(&Tok::LBracket) {
+            let len = self.int("array length")?;
+            self.expect(Tok::RBracket, "`]`")?;
+            ty = TypeAst::Array(Box::new(ty), len as u32);
+        }
+        Ok(ty)
+    }
+
+    fn block(&mut self) -> Result<Vec<StmtAst>, ParseError> {
+        self.expect(Tok::LBrace, "`{`")?;
+        self.block_tail()
+    }
+
+    /// A statement sequence whose `{` has been consumed.
+    fn block_tail(&mut self) -> Result<Vec<StmtAst>, ParseError> {
+        let mut body = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.at_end() {
+                return Err(self.err("unexpected end of input, expected `}`"));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<StmtAst, ParseError> {
+        let (line, column) = self.here();
+        if self.keyword("if") {
+            let cond = self.expr()?;
+            let then_body = self.block()?;
+            let else_body = if self.keyword("else") {
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(StmtAst::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
+        if self.keyword("for") {
+            let var = self.ident("loop variable")?;
+            self.expect_keyword("in")?;
+            let from = self.expr()?;
+            self.expect_keyword("to")?;
+            let to = self.expr()?;
+            let body = self.block()?;
+            return Ok(StmtAst::For {
+                var,
+                from,
+                to,
+                body,
+                line,
+                column,
+            });
+        }
+        if self.keyword("while") {
+            let cond = self.expr()?;
+            let body = self.block()?;
+            return Ok(StmtAst::While { cond, body });
+        }
+        if self.keyword("wait") {
+            if self.keyword("until") {
+                let cond = self.expr()?;
+                self.expect(Tok::Semi, "`;`")?;
+                return Ok(StmtAst::WaitUntil(cond));
+            }
+            if self.keyword("on") {
+                let mut signals = Vec::new();
+                loop {
+                    let (l, c) = self.here();
+                    signals.push((self.ident("signal name")?, l, c));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::Semi, "`;`")?;
+                return Ok(StmtAst::WaitOn(signals));
+            }
+            if self.keyword("for") {
+                let n = self.int("cycle count")?;
+                self.expect(Tok::Semi, "`;`")?;
+                return Ok(StmtAst::WaitFor(n.max(0) as u64));
+            }
+            return Err(self.err("expected `until`, `on` or `for` after `wait`"));
+        }
+        if self.keyword("compute") {
+            let cycles = self.int("cycle count")?.max(0) as u64;
+            let note = match self.peek().map(|t| t.kind.clone()) {
+                Some(Tok::Note(s)) => {
+                    self.pos += 1;
+                    s
+                }
+                Some(Tok::BitString(s)) => {
+                    self.pos += 1;
+                    s
+                }
+                _ => "compute".to_string(),
+            };
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(StmtAst::Compute { cycles, note });
+        }
+        if self.keyword("assert") {
+            let cond = self.expr()?;
+            let note = match self.peek().map(|t| t.kind.clone()) {
+                Some(Tok::Note(s)) => {
+                    self.pos += 1;
+                    s
+                }
+                Some(Tok::BitString(s)) => {
+                    self.pos += 1;
+                    s
+                }
+                _ => "assertion".to_string(),
+            };
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(StmtAst::Assert { cond, note });
+        }
+        if self.keyword("send") {
+            let channel = self.ident("channel name")?;
+            self.expect(Tok::LParen, "`(`")?;
+            let mut args = vec![self.expr()?];
+            while self.eat(&Tok::Comma) {
+                args.push(self.expr()?);
+            }
+            self.expect(Tok::RParen, "`)`")?;
+            self.expect(Tok::Semi, "`;`")?;
+            if args.len() > 2 {
+                return Err(ParseError::new(
+                    line,
+                    column,
+                    "send takes (data) or (addr, data)",
+                ));
+            }
+            return Ok(StmtAst::Send {
+                channel,
+                args,
+                line,
+                column,
+            });
+        }
+        if self.keyword("receive") {
+            let channel = self.ident("channel name")?;
+            self.expect(Tok::LParen, "`(`")?;
+            // One or two arguments; the last must be a place.
+            let first = self.expr()?;
+            let (addr, target_expr) = if self.eat(&Tok::Comma) {
+                let second = self.expr()?;
+                (Some(first), second)
+            } else {
+                (None, first)
+            };
+            self.expect(Tok::RParen, "`)`")?;
+            self.expect(Tok::Semi, "`;`")?;
+            let target = match target_expr {
+                ExprAst::Place(p) => p,
+                _ => {
+                    return Err(ParseError::new(
+                        line,
+                        column,
+                        "receive target must be a variable, element or slice",
+                    ))
+                }
+            };
+            return Ok(StmtAst::Receive {
+                channel,
+                addr,
+                target,
+                line,
+                column,
+            });
+        }
+        if self.keyword("return") {
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(StmtAst::Return);
+        }
+        // Assignment or signal drive: starts with a place.
+        let place = self.place()?;
+        if self.eat(&Tok::Assign) {
+            let value = self.expr()?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(StmtAst::Assign { place, value });
+        }
+        if self.eat(&Tok::Drive) {
+            if place.index.is_some() || place.slice.is_some() {
+                return Err(ParseError::new(
+                    line,
+                    column,
+                    "signal drives target a whole signal",
+                ));
+            }
+            let value = self.expr()?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(StmtAst::Drive {
+                signal: place.name,
+                value,
+                line,
+                column,
+            });
+        }
+        Err(self.err("expected `:=` or `<=`"))
+    }
+
+    fn place(&mut self) -> Result<PlaceAst, ParseError> {
+        let (line, column) = self.here();
+        let name = self.ident("a name")?;
+        let mut index = None;
+        let mut slice = None;
+        if self.eat(&Tok::LBracket) {
+            // Either an index expression or a `hi:lo` slice.
+            let first = self.expr()?;
+            if self.eat(&Tok::Colon) {
+                let hi = match first {
+                    ExprAst::Int(v) if v >= 0 => v as u32,
+                    _ => {
+                        return Err(ParseError::new(
+                            line,
+                            column,
+                            "slice bounds must be literal integers",
+                        ))
+                    }
+                };
+                let lo = self.int("slice low bound")?;
+                self.expect(Tok::RBracket, "`]`")?;
+                slice = Some((hi, lo.max(0) as u32));
+            } else {
+                self.expect(Tok::RBracket, "`]`")?;
+                index = Some(Box::new(first));
+                // Optional slice after the index.
+                if self.eat(&Tok::LBracket) {
+                    let hi = self.int("slice high bound")?.max(0) as u32;
+                    self.expect(Tok::Colon, "`:`")?;
+                    let lo = self.int("slice low bound")?.max(0) as u32;
+                    self.expect(Tok::RBracket, "`]`")?;
+                    slice = Some((hi, lo));
+                }
+            }
+        }
+        Ok(PlaceAst {
+            name,
+            index,
+            slice,
+            line,
+            column,
+        })
+    }
+
+    // Precedence climbing: or < and|xor < comparison < concat < add|sub
+    // < mul|div|mod < unary < primary.
+    fn expr(&mut self) -> Result<ExprAst, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.keyword("or") {
+            let rhs = self.and_expr()?;
+            lhs = bin(BinOpAst::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        loop {
+            if self.keyword("and") {
+                let rhs = self.cmp_expr()?;
+                lhs = bin(BinOpAst::And, lhs, rhs);
+            } else if self.keyword("xor") {
+                let rhs = self.cmp_expr()?;
+                lhs = bin(BinOpAst::Xor, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let lhs = self.concat_expr()?;
+        let op = match self.peek().map(|t| &t.kind) {
+            Some(Tok::Eq) => Some(BinOpAst::Eq),
+            Some(Tok::Ne) => Some(BinOpAst::Ne),
+            Some(Tok::Lt) => Some(BinOpAst::Lt),
+            Some(Tok::Drive) => Some(BinOpAst::Le), // `<=` in expression position
+            Some(Tok::Gt) => Some(BinOpAst::Gt),
+            Some(Tok::Ge) => Some(BinOpAst::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let rhs = self.concat_expr()?;
+                Ok(bin(op, lhs, rhs))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn concat_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.add_expr()?;
+        while self.eat(&Tok::Amp) {
+            let rhs = self.add_expr()?;
+            lhs = bin(BinOpAst::Concat, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let rhs = self.mul_expr()?;
+                lhs = bin(BinOpAst::Add, lhs, rhs);
+            } else if self.eat(&Tok::Minus) {
+                let rhs = self.mul_expr()?;
+                lhs = bin(BinOpAst::Sub, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                let rhs = self.unary_expr()?;
+                lhs = bin(BinOpAst::Mul, lhs, rhs);
+            } else if self.eat(&Tok::Slash) {
+                let rhs = self.unary_expr()?;
+                lhs = bin(BinOpAst::Div, lhs, rhs);
+            } else if self.eat(&Tok::Percent) {
+                let rhs = self.unary_expr()?;
+                lhs = bin(BinOpAst::Rem, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprAst, ParseError> {
+        if self.eat(&Tok::Minus) {
+            let arg = self.unary_expr()?;
+            return Ok(ExprAst::Unary {
+                neg: true,
+                arg: Box::new(arg),
+            });
+        }
+        if self.keyword("not") {
+            let arg = self.unary_expr()?;
+            return Ok(ExprAst::Unary {
+                neg: false,
+                arg: Box::new(arg),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<ExprAst, ParseError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(ExprAst::Int(v))
+            }
+            Some(Tok::BitChar(b)) => {
+                self.pos += 1;
+                Ok(ExprAst::Bit(b))
+            }
+            Some(Tok::BitString(s)) => {
+                self.pos += 1;
+                Ok(ExprAst::Bits(s))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(_)) => Ok(ExprAst::Place(self.place()?)),
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+fn bin(op: BinOpAst, lhs: ExprAst, rhs: ExprAst) -> ExprAst {
+    ExprAst::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<File, ParseError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_minimal_system() {
+        let f = parse_src("system s; module m;").unwrap();
+        assert_eq!(f.name, "s");
+        assert_eq!(f.items.len(), 1);
+    }
+
+    #[test]
+    fn parses_behavior_with_vars_and_stmts() {
+        let f = parse_src(
+            r#"
+            system s;
+            module m;
+            behavior p on m {
+                var x : int<16>;
+                var a : bits<8>[4];
+                x := x + 1;
+                a[2] := "00001111";
+                if x = 5 { compute 3 "spin"; } else { return; }
+            }
+            "#,
+        )
+        .unwrap();
+        let Item::Behavior(b) = &f.items[1] else {
+            panic!("expected behavior");
+        };
+        assert_eq!(b.vars.len(), 2);
+        assert_eq!(b.body.len(), 3);
+        assert!(matches!(b.body[2], StmtAst::If { .. }));
+    }
+
+    #[test]
+    fn parses_channel_decl() {
+        let f = parse_src(
+            "system s; module m; channel c1 : p writes mem;",
+        )
+        .unwrap();
+        let Item::Channel(c) = &f.items[1] else {
+            panic!("expected channel");
+        };
+        assert!(c.writes);
+        assert_eq!(c.variable, "mem");
+    }
+
+    #[test]
+    fn drive_vs_le_disambiguation() {
+        let f = parse_src(
+            r#"
+            system s;
+            module m;
+            signal req : bit;
+            behavior p on m {
+                var x : int<8>;
+                req <= '1';
+                while x <= 5 { x := x + 1; }
+            }
+            "#,
+        )
+        .unwrap();
+        let Item::Behavior(b) = &f.items[2] else {
+            panic!()
+        };
+        assert!(matches!(b.body[0], StmtAst::Drive { .. }));
+        assert!(matches!(b.body[1], StmtAst::While { .. }));
+    }
+
+    #[test]
+    fn parses_waits() {
+        let f = parse_src(
+            r#"
+            system s; module m; signal go : bit;
+            behavior p on m {
+                wait until go = '1';
+                wait on go;
+                wait for 12;
+            }
+            "#,
+        )
+        .unwrap();
+        let Item::Behavior(b) = &f.items[2] else {
+            panic!()
+        };
+        assert!(matches!(b.body[0], StmtAst::WaitUntil(_)));
+        assert!(matches!(b.body[1], StmtAst::WaitOn(_)));
+        assert_eq!(b.body[2], StmtAst::WaitFor(12));
+    }
+
+    #[test]
+    fn parses_send_receive() {
+        let f = parse_src(
+            r#"
+            system s; module m;
+            behavior p on m {
+                var t : int<16>;
+                send c1(3, 42);
+                receive c2(t);
+                receive c2(7, t);
+            }
+            "#,
+        )
+        .unwrap();
+        let Item::Behavior(b) = &f.items[1] else {
+            panic!()
+        };
+        assert!(matches!(&b.body[0], StmtAst::Send { args, .. } if args.len() == 2));
+        assert!(matches!(&b.body[1], StmtAst::Receive { addr: None, .. }));
+        assert!(matches!(&b.body[2], StmtAst::Receive { addr: Some(_), .. }));
+    }
+
+    #[test]
+    fn precedence_is_sane() {
+        let f = parse_src(
+            "system s; module m; behavior p on m { var x : int<8>; x := 1 + 2 * 3; }",
+        )
+        .unwrap();
+        let Item::Behavior(b) = &f.items[1] else {
+            panic!()
+        };
+        let StmtAst::Assign { value, .. } = &b.body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        let ExprAst::Binary { op, rhs, .. } = value else {
+            panic!()
+        };
+        assert_eq!(*op, BinOpAst::Add);
+        assert!(matches!(
+            **rhs,
+            ExprAst::Binary {
+                op: BinOpAst::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_src("system s;\nmodule ;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("module name"));
+    }
+
+    #[test]
+    fn slice_syntax() {
+        let f = parse_src(
+            "system s; module m; behavior p on m { var x : bits<8>; x[7:4] := x[3:0]; }",
+        )
+        .unwrap();
+        let Item::Behavior(b) = &f.items[1] else {
+            panic!()
+        };
+        let StmtAst::Assign { place, .. } = &b.body[0] else {
+            panic!()
+        };
+        assert_eq!(place.slice, Some((7, 4)));
+    }
+}

@@ -1,0 +1,492 @@
+//! Printing a [`System`] back as specification-language source.
+//!
+//! Only *channel-level* systems round-trip — the constructs the language
+//! can express: modules, signals, behaviors with variables, channel
+//! declarations, and bodies made of the language's statements. Refined
+//! systems (procedures, explicit statement costs) are out of scope —
+//! print those with `ifsyn-vhdl` instead.
+
+use std::fmt::Write as _;
+
+use ifsyn_spec::{
+    BehaviorId, BinOp, Expr, Place, Stmt, System, Ty, UnaryOp, Value, WaitCond,
+};
+
+/// Why a system could not be printed as language source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrintError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl std::fmt::Display for PrintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot print as spec source: {}", self.message)
+    }
+}
+
+impl std::error::Error for PrintError {}
+
+fn unsupported(what: impl Into<String>) -> PrintError {
+    PrintError {
+        message: what.into(),
+    }
+}
+
+/// Renders `system` as parseable specification source.
+///
+/// # Errors
+///
+/// Returns [`PrintError`] for constructs the language cannot express
+/// (procedures, procedure calls, explicit statement costs are dropped
+/// silently only where semantics are preserved — costs are not, so any
+/// explicit cost is an error).
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let src = "system s; module m; behavior p on m { var x : int<8>; x := 1; }";
+/// let sys = ifsyn_lang::parse_system(src)?;
+/// let printed = ifsyn_lang::print_system(&sys)?;
+/// let reparsed = ifsyn_lang::parse_system(&printed)?;
+/// assert_eq!(sys, reparsed);
+/// # Ok(())
+/// # }
+/// ```
+pub fn print_system(system: &System) -> Result<String, PrintError> {
+    if !system.procedures.is_empty() {
+        return Err(unsupported("system contains procedures (already refined?)"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "system {};", system.name);
+    for m in &system.modules {
+        let _ = writeln!(out, "module {};", m.name);
+    }
+    for s in &system.signals {
+        if s.init.is_some() {
+            return Err(unsupported("signal initial values"));
+        }
+        let _ = writeln!(out, "signal {} : {};", s.name, type_str(&s.ty)?);
+    }
+    for (bi, b) in system.behaviors.iter().enumerate() {
+        let id = BehaviorId::new(bi as u32);
+        let _ = writeln!(
+            out,
+            "\nbehavior {} on {}{} {{",
+            b.name,
+            system.module(b.module).name,
+            if b.repeats { " repeats" } else { "" }
+        );
+        for v in system.variables.iter().filter(|v| v.owner == id) {
+            match &v.init {
+                None => {
+                    let _ = writeln!(out, "    var {} : {};", v.name, type_str(&v.ty)?);
+                }
+                Some(init) => {
+                    let _ = writeln!(
+                        out,
+                        "    var {} : {} = {};",
+                        v.name,
+                        type_str(&v.ty)?,
+                        init_str(init)?
+                    );
+                }
+            }
+        }
+        print_body(system, &b.body, 1, &mut out)?;
+        let _ = writeln!(out, "}}");
+    }
+    for c in &system.channels {
+        let _ = writeln!(
+            out,
+            "channel {} : {} {} {};",
+            c.name,
+            system.behavior(c.accessor).name,
+            if c.direction == ifsyn_spec::ChannelDirection::Write {
+                "writes"
+            } else {
+                "reads"
+            },
+            system.variable(c.variable).name
+        );
+    }
+    Ok(out)
+}
+
+fn type_str(ty: &Ty) -> Result<String, PrintError> {
+    Ok(match ty {
+        Ty::Bit => "bit".to_string(),
+        Ty::Bits(w) => format!("bits<{w}>"),
+        Ty::Int(w) => format!("int<{w}>"),
+        Ty::Array { elem, len } => format!("{}[{len}]", type_str(elem)?),
+    })
+}
+
+fn init_str(value: &Value) -> Result<String, PrintError> {
+    Ok(match value {
+        Value::Bit(b) => format!("'{}'", if *b { '1' } else { '0' }),
+        Value::Bits(bv) => format!("\"{bv}\""),
+        Value::Int { value, .. } => value.to_string(),
+        Value::Array(items) => {
+            let inner: Result<Vec<String>, PrintError> = items.iter().map(init_str).collect();
+            format!("[{}]", inner?.join(", "))
+        }
+    })
+}
+
+fn print_body(
+    system: &System,
+    body: &[Stmt],
+    depth: usize,
+    out: &mut String,
+) -> Result<(), PrintError> {
+    for stmt in body {
+        print_stmt(system, stmt, depth, out)?;
+    }
+    Ok(())
+}
+
+fn print_stmt(
+    system: &System,
+    stmt: &Stmt,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), PrintError> {
+    let pad = "    ".repeat(depth);
+    match stmt {
+        Stmt::Assign { place, value, cost } => {
+            if cost.is_some() {
+                return Err(unsupported("explicit statement costs"));
+            }
+            let _ = writeln!(
+                out,
+                "{pad}{} := {};",
+                place_str(system, place)?,
+                expr_str(system, value, 0)?
+            );
+        }
+        Stmt::SignalAssign {
+            signal,
+            value,
+            cost,
+        } => {
+            if cost.is_some() {
+                return Err(unsupported("explicit statement costs"));
+            }
+            let _ = writeln!(
+                out,
+                "{pad}{} <= {};",
+                system.signal(*signal).name,
+                expr_str(system, value, 0)?
+            );
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(out, "{pad}if {} {{", expr_str(system, cond, 0)?);
+            print_body(system, then_body, depth + 1, out)?;
+            if else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                print_body(system, else_body, depth + 1, out)?;
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            let Place::Var(v) = var else {
+                return Err(unsupported("loop variables must be plain variables"));
+            };
+            let _ = writeln!(
+                out,
+                "{pad}for {} in {} to {} {{",
+                system.variable(*v).name,
+                expr_str(system, from, 0)?,
+                expr_str(system, to, 0)?
+            );
+            print_body(system, body, depth + 1, out)?;
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "{pad}while {} {{", expr_str(system, cond, 0)?);
+            print_body(system, body, depth + 1, out)?;
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Wait(WaitCond::Until(e)) => {
+            let _ = writeln!(out, "{pad}wait until {};", expr_str(system, e, 0)?);
+        }
+        Stmt::Wait(WaitCond::OnSignals(signals)) => {
+            let names: Vec<&str> = signals
+                .iter()
+                .map(|&s| system.signal(s).name.as_str())
+                .collect();
+            let _ = writeln!(out, "{pad}wait on {};", names.join(", "));
+        }
+        Stmt::Wait(WaitCond::ForCycles(n)) => {
+            let _ = writeln!(out, "{pad}wait for {n};");
+        }
+        Stmt::Compute { cycles, note } => {
+            let _ = writeln!(out, "{pad}compute {cycles} \"{note}\";");
+        }
+        Stmt::Assert { cond, note } => {
+            let _ = writeln!(
+                out,
+                "{pad}assert {} \"{note}\";",
+                expr_str(system, cond, 0)?
+            );
+        }
+        Stmt::ChannelSend {
+            channel,
+            addr,
+            data,
+        } => {
+            let ch = system.channel(*channel);
+            let mut args = Vec::new();
+            if let Some(a) = addr {
+                args.push(expr_str(system, a, 0)?);
+            }
+            args.push(expr_str(system, data, 0)?);
+            let _ = writeln!(out, "{pad}send {}({});", ch.name, args.join(", "));
+        }
+        Stmt::ChannelReceive {
+            channel,
+            addr,
+            target,
+        } => {
+            let ch = system.channel(*channel);
+            let mut args = Vec::new();
+            if let Some(a) = addr {
+                args.push(expr_str(system, a, 0)?);
+            }
+            args.push(place_str(system, target)?);
+            let _ = writeln!(out, "{pad}receive {}({});", ch.name, args.join(", "));
+        }
+        Stmt::Return => {
+            let _ = writeln!(out, "{pad}return;");
+        }
+        Stmt::Call { .. } => {
+            return Err(unsupported("procedure calls (already refined?)"));
+        }
+    }
+    Ok(())
+}
+
+fn place_str(system: &System, place: &Place) -> Result<String, PrintError> {
+    Ok(match place {
+        Place::Var(v) => system.variable(*v).name.clone(),
+        Place::Local(_) => return Err(unsupported("procedure locals")),
+        Place::Index { base, index } => {
+            let Place::Var(v) = &**base else {
+                return Err(unsupported("nested index bases"));
+            };
+            format!(
+                "{}[{}]",
+                system.variable(*v).name,
+                expr_str(system, index, 0)?
+            )
+        }
+        Place::Slice { base, hi, lo } => {
+            format!("{}[{hi}:{lo}]", place_str(system, base)?)
+        }
+        Place::DynSlice { .. } => {
+            return Err(unsupported("dynamic slices have no surface syntax"))
+        }
+    })
+}
+
+/// Operator precedence for minimal parenthesisation: higher binds
+/// tighter, mirroring the parser's precedence ladder.
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And | BinOp::Xor => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Concat => 4,
+        BinOp::Add | BinOp::Sub => 5,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
+        BinOp::Min | BinOp::Max => 6,
+    }
+}
+
+fn op_str(op: BinOp) -> Result<&'static str, PrintError> {
+    Ok(match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "=",
+        BinOp::Ne => "/=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Concat => "&",
+        BinOp::Min | BinOp::Max => {
+            return Err(unsupported("min/max operators have no surface syntax"))
+        }
+    })
+}
+
+fn expr_str(system: &System, expr: &Expr, parent_prec: u8) -> Result<String, PrintError> {
+    Ok(match expr {
+        Expr::Const(Value::Int { value, .. }) => {
+            if *value < 0 {
+                format!("({value})")
+            } else {
+                value.to_string()
+            }
+        }
+        Expr::Const(Value::Bit(b)) => format!("'{}'", if *b { '1' } else { '0' }),
+        Expr::Const(Value::Bits(bv)) => format!("\"{bv}\""),
+        Expr::Const(Value::Array(_)) => return Err(unsupported("array literals in expressions")),
+        Expr::Load(place) => place_str(system, place)?,
+        Expr::Signal(s) => system.signal(*s).name.clone(),
+        Expr::SliceOf { base, hi, lo } => match &**base {
+            Expr::Signal(s) => format!("{}[{hi}:{lo}]", system.signal(*s).name),
+            _ => return Err(unsupported("slices of computed expressions")),
+        },
+        Expr::Resize { .. } => return Err(unsupported("resize has no surface syntax")),
+        Expr::DynSliceOf { .. } => {
+            return Err(unsupported("dynamic slices have no surface syntax"))
+        }
+        Expr::Unary { op, arg } => {
+            let inner = expr_str(system, arg, 7)?;
+            match op {
+                UnaryOp::Neg => format!("-{inner}"),
+                UnaryOp::Not => format!("not {inner}"),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let p = prec(*op);
+            let text = format!(
+                "{} {} {}",
+                expr_str(system, lhs, p)?,
+                op_str(*op)?,
+                // Right operand at p+1: our parser is left-associative.
+                expr_str(system, rhs, p + 1)?
+            );
+            if p < parent_prec {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_system;
+
+    fn roundtrip(src: &str) -> (System, System) {
+        let sys = parse_system(src).expect("parse original");
+        let printed = print_system(&sys).expect("print");
+        let reparsed = parse_system(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        (sys, reparsed)
+    }
+
+    #[test]
+    fn roundtrips_structures() {
+        let (a, b) = roundtrip(
+            r#"
+            system s;
+            module m1;
+            module m2;
+            signal go : bit;
+            store st on m2 {
+                var mem : int<16>[8] = [1, 2, 3, 4, 5, 6, 7, 8];
+            }
+            behavior p on m1 repeats {
+                var x : bits<8> = "10100101";
+                wait until go = '1';
+                x[7:4] := x[3:0];
+            }
+            channel c : p reads mem;
+            "#,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrips_statements_and_operators() {
+        let (a, b) = roundtrip(
+            r#"
+            system s;
+            module m;
+            behavior p on m {
+                var x : int<16>;
+                var y : int<16>;
+                x := (x + 1) * 2 - y / 3 % 4;
+                if x < 5 and y >= 2 or not (x = y) {
+                    compute 7 "work";
+                } else {
+                    return;
+                }
+                for i in 0 to 9 {
+                    while x /= 0 {
+                        x := x - 1;
+                    }
+                }
+                wait for 3;
+            }
+            "#,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrips_channel_operations() {
+        let (a, b) = roundtrip(
+            r#"
+            system s;
+            module m1;
+            module m2;
+            store st on m2 { var mem : int<16>[32]; var reg : bits<8>; }
+            behavior p on m1 {
+                var t : int<16>;
+                send cw(3, 99);
+                receive cr(4, t);
+                send cs(t);
+            }
+            channel cw : p writes mem;
+            channel cr : p reads mem;
+            channel cs : p writes reg;
+            "#,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn refined_systems_are_rejected() {
+        let src = "system s; module m; behavior p on m { var x : int<8>; x := 1; }";
+        let mut sys = parse_system(src).unwrap();
+        sys.add_procedure(ifsyn_spec::Procedure::new("Send_x"));
+        assert!(print_system(&sys).is_err());
+    }
+
+    #[test]
+    fn precedence_printing_is_minimal_but_correct() {
+        let (a, b) = roundtrip(
+            "system s; module m; behavior p on m { var x : int<8>; x := 1 + 2 * 3; }",
+        );
+        assert_eq!(a, b);
+        let printed = print_system(&a).unwrap();
+        assert!(printed.contains("1 + 2 * 3"), "{printed}");
+        assert!(!printed.contains("(2 * 3)"), "no redundant parens: {printed}");
+    }
+}

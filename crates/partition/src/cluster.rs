@@ -1,0 +1,241 @@
+//! Closeness-based clustering of behaviors and variables (a simplified
+//! SpecSyn closeness metric).
+
+use std::collections::HashMap;
+
+use ifsyn_spec::{BehaviorId, Stmt, System, VarId};
+
+/// An object that can be placed on a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Object {
+    Behavior(BehaviorId),
+    Variable(VarId),
+}
+
+/// Pairwise closeness between behaviors and the variables they access.
+///
+/// Closeness of a (behavior, variable) pair is the number of bits the
+/// behavior exchanges with the variable per execution: accesses ×
+/// (element width + address width). Grouping close objects on one module
+/// avoids channels; separating them creates channel traffic exactly
+/// equal to the closeness — so agglomerative merging on this metric
+/// minimises cross-module bits, which is SpecSyn's interconnect goal.
+#[derive(Debug, Clone, Default)]
+pub struct Closeness {
+    /// `(behavior, variable) -> bits exchanged`.
+    weights: HashMap<(BehaviorId, VarId), u64>,
+}
+
+impl Closeness {
+    /// Measures closeness over all behaviors of `system`.
+    ///
+    /// Loop structure is respected for constant bounds (an access inside
+    /// a 128-iteration loop counts 128 times).
+    pub fn measure(system: &System) -> Self {
+        let mut weights = HashMap::new();
+        for (bi, behavior) in system.behaviors.iter().enumerate() {
+            let b = BehaviorId::new(bi as u32);
+            accumulate(system, b, &behavior.body, 1, &mut weights);
+        }
+        Self { weights }
+    }
+
+    /// Bits exchanged between a behavior and a variable.
+    pub fn between(&self, behavior: BehaviorId, variable: VarId) -> u64 {
+        self.weights
+            .get(&(behavior, variable))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all nonzero pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (BehaviorId, VarId, u64)> + '_ {
+        self.weights.iter().map(|(&(b, v), &w)| (b, v, w))
+    }
+}
+
+fn accumulate(
+    system: &System,
+    behavior: BehaviorId,
+    body: &[Stmt],
+    mult: u64,
+    weights: &mut HashMap<(BehaviorId, VarId), u64>,
+) {
+    for stmt in body {
+        // Count variable touches in this statement (not nested bodies).
+        let mut vars: Vec<VarId> = Vec::new();
+        match stmt {
+            Stmt::Assign { place, value, .. } => {
+                if let Some(v) = place.root_var() {
+                    vars.push(v);
+                }
+                value.collect_vars(&mut vars);
+            }
+            Stmt::SignalAssign { value, .. } => value.collect_vars(&mut vars),
+            Stmt::If { cond, .. } => cond.collect_vars(&mut vars),
+            Stmt::While { cond, .. } => cond.collect_vars(&mut vars),
+            Stmt::For { from, to, .. } => {
+                from.collect_vars(&mut vars);
+                to.collect_vars(&mut vars);
+            }
+            Stmt::ChannelSend { channel, .. } | Stmt::ChannelReceive { channel, .. } => {
+                vars.push(system.channel(*channel).variable);
+            }
+            _ => {}
+        }
+        for v in vars {
+            let ty = &system.variable(v).ty;
+            let bits = u64::from(ty.element_width() + ty.addr_bits());
+            *weights.entry((behavior, v)).or_insert(0) += bits * mult;
+        }
+        // Recurse with loop multipliers.
+        let inner_mult = match stmt {
+            Stmt::For { from, to, .. } => match (const_int(from), const_int(to)) {
+                (Some(a), Some(b)) if b >= a => mult * ((b - a + 1) as u64),
+                _ => mult,
+            },
+            _ => mult,
+        };
+        for inner in stmt.bodies() {
+            accumulate(system, behavior, inner, inner_mult, weights);
+        }
+    }
+}
+
+fn const_int(e: &ifsyn_spec::Expr) -> Option<i64> {
+    match e {
+        ifsyn_spec::Expr::Const(v) => v.as_i64().ok(),
+        _ => None,
+    }
+}
+
+/// Agglomerative clustering: merge the closest clusters until `k` remain.
+///
+/// Returns a cluster index per object, in the order given.
+pub(crate) fn cluster(
+    objects: &[Object],
+    closeness: &Closeness,
+    k: usize,
+) -> Vec<usize> {
+    let n = objects.len();
+    let mut cluster_of: Vec<usize> = (0..n).collect();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut count = n;
+    let weight = |a: Object, b: Object| -> u64 {
+        match (a, b) {
+            (Object::Behavior(x), Object::Variable(y))
+            | (Object::Variable(y), Object::Behavior(x)) => closeness.between(x, y),
+            _ => 0,
+        }
+    };
+    while count > k {
+        // Find the pair of clusters with the highest total inter-cluster
+        // closeness.
+        let mut best: Option<(usize, usize, u64)> = None;
+        for ca in 0..n {
+            if !active[ca] {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // ca/cb symmetry is clearer
+            for cb in (ca + 1)..n {
+                if !active[cb] {
+                    continue;
+                }
+                let mut w = 0u64;
+                for (i, &oa) in objects.iter().enumerate() {
+                    if cluster_of[i] != ca {
+                        continue;
+                    }
+                    for (j, &ob) in objects.iter().enumerate() {
+                        if cluster_of[j] == cb {
+                            w += weight(oa, ob);
+                        }
+                    }
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, _, bw)) => w > bw,
+                };
+                if better {
+                    best = Some((ca, cb, w));
+                }
+            }
+        }
+        let (ca, cb, _) = best.expect("more clusters than k implies a mergeable pair");
+        for c in cluster_of.iter_mut() {
+            if *c == cb {
+                *c = ca;
+            }
+        }
+        active[cb] = false;
+        count -= 1;
+    }
+    // Renumber densely.
+    let mut map: HashMap<usize, usize> = HashMap::new();
+    cluster_of
+        .iter()
+        .map(|&c| {
+            let next = map.len();
+            *map.entry(c).or_insert(next)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::Ty;
+
+    #[test]
+    fn closeness_counts_loop_scaled_bits() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let mem = sys.add_variable("MEM", Ty::array(Ty::Int(16), 128), b);
+        let i = sys.add_variable("i", Ty::Int(16), b);
+        sys.behavior_mut(b).body = vec![for_loop(
+            var(i),
+            int_const(0, 16),
+            int_const(127, 16),
+            vec![assign(index(var(mem), load(var(i))), int_const(0, 16))],
+        )];
+        let c = Closeness::measure(&sys);
+        // 128 iterations x (16 data + 7 addr) bits.
+        assert_eq!(c.between(b, mem), 128 * 23);
+    }
+
+    #[test]
+    fn clustering_groups_heavy_pairs() {
+        // P <-> A heavy, Q <-> B heavy; k=2 must separate {P,A} from {Q,B}.
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let p = sys.add_behavior("P", m);
+        let q = sys.add_behavior("Q", m);
+        let a = sys.add_variable("A", Ty::Bits(32), p);
+        let b = sys.add_variable("B", Ty::Bits(32), q);
+        sys.behavior_mut(p).body = vec![assign(var(a), bits_const(0, 32)); 10];
+        sys.behavior_mut(q).body = vec![assign(var(b), bits_const(0, 32)); 10];
+        let closeness = Closeness::measure(&sys);
+        let objects = vec![
+            Object::Behavior(p),
+            Object::Behavior(q),
+            Object::Variable(a),
+            Object::Variable(b),
+        ];
+        let assignment = cluster(&objects, &closeness, 2);
+        assert_eq!(assignment[0], assignment[2], "P with A");
+        assert_eq!(assignment[1], assignment[3], "Q with B");
+        assert_ne!(assignment[0], assignment[1]);
+    }
+
+    #[test]
+    fn k_equals_n_keeps_everything_apart() {
+        let objects = vec![
+            Object::Behavior(BehaviorId::new(0)),
+            Object::Behavior(BehaviorId::new(1)),
+        ];
+        let assignment = cluster(&objects, &Closeness::default(), 2);
+        assert_ne!(assignment[0], assignment[1]);
+    }
+}

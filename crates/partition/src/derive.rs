@@ -1,0 +1,551 @@
+//! Channel derivation: find cross-module variable accesses and rewrite
+//! them into abstract channel operations.
+
+use std::collections::HashMap;
+
+use ifsyn_spec::{
+    Channel, ChannelDirection, ChannelId, Expr, ModuleId, Place, Stmt, System, Ty, VarId,
+};
+
+use crate::error::PartitionError;
+
+/// Derives channels for every remote access in `sys` and rewrites the
+/// bodies. Returns the created channels.
+pub(crate) fn derive_channels(sys: &mut System) -> Result<Vec<ChannelId>, PartitionError> {
+    let mut ctx = Derive {
+        var_module: sys
+            .variables
+            .iter()
+            .map(|v| sys.behavior(v.owner).module)
+            .collect(),
+        channels: HashMap::new(),
+        created: Vec::new(),
+        temp_counter: 0,
+    };
+    for b in 0..sys.behaviors.len() {
+        let behavior = ifsyn_spec::BehaviorId::new(b as u32);
+        let body = std::mem::take(&mut sys.behaviors[b].body);
+        let module = sys.behaviors[b].module;
+        let new_body = ctx.rewrite_body(sys, behavior, module, body)?;
+        sys.behaviors[b].body = new_body;
+    }
+    Ok(ctx.created)
+}
+
+struct Derive {
+    /// Module of each variable (by owner's module), indexed by var id.
+    var_module: Vec<ModuleId>,
+    /// `(behavior, variable, is_write)` → channel.
+    channels: HashMap<(u32, u32, bool), ChannelId>,
+    created: Vec<ChannelId>,
+    temp_counter: u32,
+}
+
+impl Derive {
+    fn is_remote(&self, sys: &System, module: ModuleId, v: VarId) -> bool {
+        // A freshly created temp may postdate the snapshot; temps are
+        // always local.
+        self.var_module
+            .get(v.index())
+            .map(|&m| m != module)
+            .unwrap_or(false)
+            && v.index() < sys.variables.len()
+    }
+
+    fn channel_for(
+        &mut self,
+        sys: &mut System,
+        behavior: ifsyn_spec::BehaviorId,
+        v: VarId,
+        direction: ChannelDirection,
+    ) -> ChannelId {
+        let key = (
+            behavior.index() as u32,
+            v.index() as u32,
+            direction == ChannelDirection::Write,
+        );
+        if let Some(&ch) = self.channels.get(&key) {
+            return ch;
+        }
+        let ty = &sys.variable(v).ty;
+        let ch = sys.add_channel(Channel {
+            name: format!("ch{}", sys.channels.len()),
+            accessor: behavior,
+            variable: v,
+            direction,
+            data_bits: ty.element_width(),
+            addr_bits: ty.addr_bits(),
+            accesses: 0, // filled in by the partitioner afterwards
+        });
+        self.channels.insert(key, ch);
+        self.created.push(ch);
+        ch
+    }
+
+    fn fresh_temp(
+        &mut self,
+        sys: &mut System,
+        behavior: ifsyn_spec::BehaviorId,
+        ty: Ty,
+    ) -> VarId {
+        let name = format!("rtmp{}_{}", self.temp_counter, sys.behavior(behavior).name);
+        self.temp_counter += 1;
+        sys.add_variable(name, ty, behavior)
+    }
+
+    fn rewrite_body(
+        &mut self,
+        sys: &mut System,
+        behavior: ifsyn_spec::BehaviorId,
+        module: ModuleId,
+        body: Vec<Stmt>,
+    ) -> Result<Vec<Stmt>, PartitionError> {
+        let mut out = Vec::with_capacity(body.len());
+        for stmt in body {
+            self.rewrite_stmt(sys, behavior, module, stmt, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn rewrite_stmt(
+        &mut self,
+        sys: &mut System,
+        behavior: ifsyn_spec::BehaviorId,
+        module: ModuleId,
+        stmt: Stmt,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), PartitionError> {
+        match stmt {
+            Stmt::Assign { place, value, cost } => {
+                let value = self.extract_reads(sys, behavior, module, value, out)?;
+                match self.classify_target(sys, module, &place) {
+                    Target::Local => {
+                        let place = self.rewrite_place(sys, behavior, module, place, out)?;
+                        out.push(Stmt::Assign { place, value, cost });
+                    }
+                    Target::RemoteScalar(v) => {
+                        let ch = self.channel_for(sys, behavior, v, ChannelDirection::Write);
+                        out.push(Stmt::ChannelSend {
+                            channel: ch,
+                            addr: None,
+                            data: value,
+                        });
+                    }
+                    Target::RemoteElement(v, idx) => {
+                        let idx = self.extract_reads(sys, behavior, module, idx, out)?;
+                        let ch = self.channel_for(sys, behavior, v, ChannelDirection::Write);
+                        out.push(Stmt::ChannelSend {
+                            channel: ch,
+                            addr: Some(idx),
+                            data: value,
+                        });
+                    }
+                    Target::Unsupported(v) => {
+                        return Err(PartitionError::UnsupportedRemoteAccess {
+                            behavior: sys.behavior(behavior).name.clone(),
+                            variable: sys.variable(v).name.clone(),
+                        })
+                    }
+                }
+            }
+            Stmt::SignalAssign {
+                signal,
+                value,
+                cost,
+            } => {
+                let value = self.extract_reads(sys, behavior, module, value, out)?;
+                out.push(Stmt::SignalAssign {
+                    signal,
+                    value,
+                    cost,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                // `if` evaluates its condition once: hoisting the remote
+                // reads in front is semantics-preserving.
+                let cond = self.extract_reads(sys, behavior, module, cond, out)?;
+                let then_body = self.rewrite_body(sys, behavior, module, then_body)?;
+                let else_body = self.rewrite_body(sys, behavior, module, else_body)?;
+                out.push(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                });
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                // Bounds evaluate once on entry: hoisting is safe.
+                let from = self.extract_reads(sys, behavior, module, from, out)?;
+                let to = self.extract_reads(sys, behavior, module, to, out)?;
+                let body = self.rewrite_body(sys, behavior, module, body)?;
+                out.push(Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                });
+            }
+            Stmt::While { cond, body } => {
+                // The condition re-evaluates every iteration; a remote
+                // read here cannot be hoisted.
+                if let Some(v) = self.first_remote_in_expr(sys, module, &cond) {
+                    return Err(PartitionError::UnsupportedRemoteAccess {
+                        behavior: sys.behavior(behavior).name.clone(),
+                        variable: sys.variable(v).name.clone(),
+                    });
+                }
+                let body = self.rewrite_body(sys, behavior, module, body)?;
+                out.push(Stmt::While { cond, body });
+            }
+            Stmt::Call { procedure, args } => {
+                for arg in &args {
+                    let expr_vars = match arg {
+                        ifsyn_spec::Arg::In(e) => {
+                            let mut vs = Vec::new();
+                            e.collect_vars(&mut vs);
+                            vs
+                        }
+                        ifsyn_spec::Arg::Out(p) | ifsyn_spec::Arg::InOut(p) => {
+                            p.root_var().into_iter().collect()
+                        }
+                    };
+                    for v in expr_vars {
+                        if self.is_remote(sys, module, v) {
+                            return Err(PartitionError::UnsupportedRemoteAccess {
+                                behavior: sys.behavior(behavior).name.clone(),
+                                variable: sys.variable(v).name.clone(),
+                            });
+                        }
+                    }
+                }
+                out.push(Stmt::Call { procedure, args });
+            }
+            Stmt::Assert { cond, note } => {
+                // `assert` evaluates once when reached: hoisting is safe.
+                let cond = self.extract_reads(sys, behavior, module, cond, out)?;
+                out.push(Stmt::Assert { cond, note });
+            }
+            other @ (Stmt::Wait(_)
+            | Stmt::ChannelSend { .. }
+            | Stmt::ChannelReceive { .. }
+            | Stmt::Compute { .. }
+            | Stmt::Return) => out.push(other),
+        }
+        Ok(())
+    }
+
+    /// Rewrites index expressions *inside* a local place.
+    fn rewrite_place(
+        &mut self,
+        sys: &mut System,
+        behavior: ifsyn_spec::BehaviorId,
+        module: ModuleId,
+        place: Place,
+        out: &mut Vec<Stmt>,
+    ) -> Result<Place, PartitionError> {
+        Ok(match place {
+            Place::Index { base, index } => {
+                let base = self.rewrite_place(sys, behavior, module, *base, out)?;
+                let index = self.extract_reads(sys, behavior, module, *index, out)?;
+                Place::Index {
+                    base: Box::new(base),
+                    index: Box::new(index),
+                }
+            }
+            Place::Slice { base, hi, lo } => {
+                let base = self.rewrite_place(sys, behavior, module, *base, out)?;
+                Place::Slice {
+                    base: Box::new(base),
+                    hi,
+                    lo,
+                }
+            }
+            other => other,
+        })
+    }
+
+    /// Replaces every remote-variable read inside `expr` with a read of a
+    /// fresh temp, prepending the corresponding `ChannelReceive`.
+    fn extract_reads(
+        &mut self,
+        sys: &mut System,
+        behavior: ifsyn_spec::BehaviorId,
+        module: ModuleId,
+        expr: Expr,
+        out: &mut Vec<Stmt>,
+    ) -> Result<Expr, PartitionError> {
+        Ok(match expr {
+            Expr::Load(place) => {
+                match self.classify_target(sys, module, &place) {
+                    Target::Local => {
+                        let place =
+                            self.rewrite_place(sys, behavior, module, place, out)?;
+                        Expr::Load(place)
+                    }
+                    Target::RemoteScalar(v) => {
+                        let ty = sys.variable(v).ty.clone();
+                        let temp = self.fresh_temp(sys, behavior, ty);
+                        let ch = self.channel_for(sys, behavior, v, ChannelDirection::Read);
+                        out.push(Stmt::ChannelReceive {
+                            channel: ch,
+                            addr: None,
+                            target: Place::Var(temp),
+                        });
+                        Expr::Load(Place::Var(temp))
+                    }
+                    Target::RemoteElement(v, idx) => {
+                        let idx = self.extract_reads(sys, behavior, module, idx, out)?;
+                        let elem_ty = match &sys.variable(v).ty {
+                            Ty::Array { elem, .. } => (**elem).clone(),
+                            other => other.clone(),
+                        };
+                        let temp = self.fresh_temp(sys, behavior, elem_ty);
+                        let ch = self.channel_for(sys, behavior, v, ChannelDirection::Read);
+                        out.push(Stmt::ChannelReceive {
+                            channel: ch,
+                            addr: Some(idx),
+                            target: Place::Var(temp),
+                        });
+                        Expr::Load(Place::Var(temp))
+                    }
+                    Target::Unsupported(v) => {
+                        return Err(PartitionError::UnsupportedRemoteAccess {
+                            behavior: sys.behavior(behavior).name.clone(),
+                            variable: sys.variable(v).name.clone(),
+                        })
+                    }
+                }
+            }
+            Expr::Unary { op, arg } => Expr::Unary {
+                op,
+                arg: Box::new(self.extract_reads(sys, behavior, module, *arg, out)?),
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op,
+                lhs: Box::new(self.extract_reads(sys, behavior, module, *lhs, out)?),
+                rhs: Box::new(self.extract_reads(sys, behavior, module, *rhs, out)?),
+            },
+            Expr::SliceOf { base, hi, lo } => Expr::SliceOf {
+                base: Box::new(self.extract_reads(sys, behavior, module, *base, out)?),
+                hi,
+                lo,
+            },
+            Expr::Resize { base, width } => Expr::Resize {
+                base: Box::new(self.extract_reads(sys, behavior, module, *base, out)?),
+                width,
+            },
+            Expr::DynSliceOf {
+                base,
+                offset,
+                width,
+            } => Expr::DynSliceOf {
+                base: Box::new(self.extract_reads(sys, behavior, module, *base, out)?),
+                offset: Box::new(self.extract_reads(sys, behavior, module, *offset, out)?),
+                width,
+            },
+            other @ (Expr::Const(_) | Expr::Signal(_)) => other,
+        })
+    }
+
+    fn classify_target(&self, sys: &System, module: ModuleId, place: &Place) -> Target {
+        match place {
+            Place::Var(v) => {
+                if self.is_remote(sys, module, *v) {
+                    Target::RemoteScalar(*v)
+                } else {
+                    Target::Local
+                }
+            }
+            Place::Index { base, index } => match &**base {
+                Place::Var(v) if self.is_remote(sys, module, *v) => {
+                    Target::RemoteElement(*v, (**index).clone())
+                }
+                _ => {
+                    if let Some(v) = place.root_var() {
+                        if self.is_remote(sys, module, v) {
+                            return Target::Unsupported(v);
+                        }
+                    }
+                    Target::Local
+                }
+            },
+            Place::Slice { .. } | Place::DynSlice { .. } => {
+                if let Some(v) = place.root_var() {
+                    if self.is_remote(sys, module, v) {
+                        return Target::Unsupported(v);
+                    }
+                }
+                Target::Local
+            }
+            Place::Local(_) => Target::Local,
+        }
+    }
+
+    fn first_remote_in_expr(
+        &self,
+        sys: &System,
+        module: ModuleId,
+        expr: &Expr,
+    ) -> Option<VarId> {
+        let mut vars = Vec::new();
+        expr.collect_vars(&mut vars);
+        vars.into_iter().find(|&v| self.is_remote(sys, module, v))
+    }
+}
+
+enum Target {
+    Local,
+    RemoteScalar(VarId),
+    RemoteElement(VarId, Expr),
+    Unsupported(VarId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+
+    /// Behavior A on chip1 accessing MEM (owned by a store behavior on
+    /// chip2) — the paper's Fig. 1.
+    fn fig1ish() -> (System, ifsyn_spec::BehaviorId, VarId, VarId) {
+        let mut sys = System::new("fig1");
+        let chip1 = sys.add_module("chip1");
+        let chip2 = sys.add_module("chip2");
+        let a = sys.add_behavior("A", chip1);
+        let store = sys.add_behavior("chip2_store", chip2);
+        let mem = sys.add_variable("MEM", Ty::array(Ty::Int(16), 64), store);
+        let status = sys.add_variable("STATUS", Ty::Bits(8), store);
+        (sys, a, mem, status)
+    }
+
+    #[test]
+    fn remote_write_becomes_channel_send() {
+        let (mut sys, a, mem, _) = fig1ish();
+        let ar = sys.add_variable("AR", Ty::Int(16), a);
+        let accum = sys.add_variable("ACCUM", Ty::Int(16), a);
+        sys.behavior_mut(a).body = vec![assign(
+            index(var(mem), load(var(ar))),
+            load(var(accum)),
+        )];
+        let chans = derive_channels(&mut sys).unwrap();
+        assert_eq!(chans.len(), 1);
+        let ch = sys.channel(chans[0]);
+        assert_eq!(ch.direction, ChannelDirection::Write);
+        assert_eq!(ch.data_bits, 16);
+        assert_eq!(ch.addr_bits, 6);
+        assert!(matches!(
+            sys.behavior(a).body[0],
+            Stmt::ChannelSend { .. }
+        ));
+        assert!(sys.check().is_ok());
+    }
+
+    #[test]
+    fn remote_read_is_extracted_into_receive_plus_temp() {
+        let (mut sys, a, mem, _) = fig1ish();
+        let pc = sys.add_variable("PC", Ty::Int(16), a);
+        let ir = sys.add_variable("IR", Ty::Int(16), a);
+        // IR := MEM(PC) + 1
+        sys.behavior_mut(a).body = vec![assign(
+            var(ir),
+            add(load(index(var(mem), load(var(pc)))), int_const(1, 16)),
+        )];
+        let chans = derive_channels(&mut sys).unwrap();
+        assert_eq!(chans.len(), 1);
+        assert_eq!(sys.channel(chans[0]).direction, ChannelDirection::Read);
+        let body = &sys.behavior(a).body;
+        assert_eq!(body.len(), 2);
+        assert!(matches!(body[0], Stmt::ChannelReceive { .. }));
+        assert!(matches!(body[1], Stmt::Assign { .. }));
+        assert!(sys.check().is_ok());
+    }
+
+    #[test]
+    fn scalar_remote_write_has_no_address() {
+        let (mut sys, a, _, status) = fig1ish();
+        sys.behavior_mut(a).body = vec![assign(var(status), bits_const(0x0a, 8))];
+        let chans = derive_channels(&mut sys).unwrap();
+        assert_eq!(chans.len(), 1);
+        assert_eq!(sys.channel(chans[0]).addr_bits, 0);
+        match &sys.behavior(a).body[0] {
+            Stmt::ChannelSend { addr, .. } => assert!(addr.is_none()),
+            other => panic!("expected send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_access_reuses_one_channel() {
+        let (mut sys, a, mem, _) = fig1ish();
+        let i = sys.add_variable("i", Ty::Int(16), a);
+        sys.behavior_mut(a).body = vec![for_loop(
+            var(i),
+            int_const(0, 16),
+            int_const(63, 16),
+            vec![assign(index(var(mem), load(var(i))), load(var(i)))],
+        )];
+        let chans = derive_channels(&mut sys).unwrap();
+        assert_eq!(chans.len(), 1, "one channel per (behavior, var, dir)");
+    }
+
+    #[test]
+    fn read_and_write_of_same_variable_make_two_channels() {
+        let (mut sys, a, mem, _) = fig1ish();
+        let i = sys.add_variable("i", Ty::Int(16), a);
+        sys.behavior_mut(a).body = vec![assign(
+            index(var(mem), int_const(0, 16)),
+            load(index(var(mem), int_const(1, 16))),
+        )];
+        let _ = i;
+        let chans = derive_channels(&mut sys).unwrap();
+        assert_eq!(chans.len(), 2);
+        let dirs: Vec<_> = chans.iter().map(|&c| sys.channel(c).direction).collect();
+        assert!(dirs.contains(&ChannelDirection::Read));
+        assert!(dirs.contains(&ChannelDirection::Write));
+    }
+
+    #[test]
+    fn local_accesses_stay_untouched() {
+        let (mut sys, a, _, _) = fig1ish();
+        let x = sys.add_variable("x", Ty::Int(16), a);
+        sys.behavior_mut(a).body = vec![assign(var(x), int_const(1, 16))];
+        let chans = derive_channels(&mut sys).unwrap();
+        assert!(chans.is_empty());
+        assert!(matches!(sys.behavior(a).body[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn remote_in_while_condition_is_rejected() {
+        let (mut sys, a, _, status) = fig1ish();
+        sys.behavior_mut(a).body = vec![while_loop(
+            eq(load(var(status)), bits_const(0, 8)),
+            vec![Stmt::compute(1, "spin")],
+        )];
+        let err = derive_channels(&mut sys).unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::UnsupportedRemoteAccess { .. }
+        ));
+    }
+
+    #[test]
+    fn remote_in_if_condition_is_hoisted() {
+        let (mut sys, a, _, status) = fig1ish();
+        sys.behavior_mut(a).body = vec![if_then(
+            eq(load(var(status)), bits_const(1, 8)),
+            vec![Stmt::compute(1, "go")],
+        )];
+        let chans = derive_channels(&mut sys).unwrap();
+        assert_eq!(chans.len(), 1);
+        let body = &sys.behavior(a).body;
+        assert!(matches!(body[0], Stmt::ChannelReceive { .. }));
+        assert!(matches!(body[1], Stmt::If { .. }));
+    }
+}

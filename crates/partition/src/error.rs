@@ -1,0 +1,77 @@
+//! Error type for partitioning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while partitioning a system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// A placement referenced a behavior or variable that does not exist.
+    UnknownObject {
+        /// The referenced name.
+        name: String,
+    },
+    /// A remote variable access appears in a position the rewriter cannot
+    /// transform (loop bound, branch condition, call argument).
+    UnsupportedRemoteAccess {
+        /// The behavior containing the access.
+        behavior: String,
+        /// The remote variable.
+        variable: String,
+    },
+    /// The requested module count is impossible (zero, or more modules
+    /// than objects).
+    BadModuleCount {
+        /// The requested count.
+        requested: usize,
+        /// The number of placeable objects.
+        objects: usize,
+    },
+    /// The rewritten system failed validation (partitioner bug guard).
+    Internal {
+        /// The underlying message.
+        message: String,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::UnknownObject { name } => {
+                write!(f, "no behavior or variable named `{name}`")
+            }
+            PartitionError::UnsupportedRemoteAccess { behavior, variable } => write!(
+                f,
+                "behavior `{behavior}` accesses remote variable `{variable}` in an \
+                 unsupported position (condition, bound or call argument)"
+            ),
+            PartitionError::BadModuleCount { requested, objects } => write!(
+                f,
+                "cannot cluster {objects} objects into {requested} modules"
+            ),
+            PartitionError::Internal { message } => {
+                write!(f, "partitioning produced an invalid system: {message}")
+            }
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_names() {
+        let e = PartitionError::UnknownObject { name: "MEM".into() };
+        assert!(e.to_string().contains("`MEM`"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<PartitionError>();
+    }
+}

@@ -1,0 +1,441 @@
+//! The partitioner: placements, channel derivation, channel grouping.
+
+use std::collections::HashMap;
+
+use ifsyn_estimate::{ChannelTimings, PerformanceEstimator};
+use ifsyn_spec::{BehaviorId, ChannelId, ModuleId, System};
+
+use crate::cluster::{cluster, Closeness, Object};
+use crate::derive::derive_channels;
+use crate::error::PartitionError;
+
+/// The output of partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionResult {
+    /// The partitioned system: behaviors reassigned to modules, remote
+    /// accesses rewritten into channel operations.
+    pub system: System,
+    /// The derived channels, in creation order.
+    pub channels: Vec<ChannelId>,
+}
+
+impl PartitionResult {
+    /// Groups channels that connect the same pair of modules — the
+    /// groups that channel merging implements as single buses to
+    /// minimise interconnect at module boundaries.
+    pub fn channel_groups(&self) -> Vec<Vec<ChannelId>> {
+        let mut groups: Vec<((ModuleId, ModuleId), Vec<ChannelId>)> = Vec::new();
+        for &ch in &self.channels {
+            let c = self.system.channel(ch);
+            let ma = self.system.behavior(c.accessor).module;
+            let mv = self
+                .system
+                .behavior(self.system.variable(c.variable).owner)
+                .module;
+            let key = if ma <= mv { (ma, mv) } else { (mv, ma) };
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(ch),
+                None => groups.push((key, vec![ch])),
+            }
+        }
+        groups.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// Groups behaviors and variables into modules and derives channels.
+///
+/// # Example
+///
+/// Reproduce the paper's Fig. 6 partition: FLC processes on `chip1`,
+/// memories on `chip2`:
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use ifsyn_partition::Partitioner;
+/// use ifsyn_spec::{System, Ty, dsl::*};
+///
+/// let mut sys = System::new("flc");
+/// let m = sys.add_module("all");
+/// let eval = sys.add_behavior("EVAL_R3", m);
+/// let trru0 = sys.add_variable("trru0", Ty::array(Ty::Int(16), 128), eval);
+/// let i = sys.add_variable("i", Ty::Int(16), eval);
+/// sys.behavior_mut(eval).body = vec![for_loop(
+///     var(i), int_const(0, 16), int_const(127, 16),
+///     vec![assign(index(var(trru0), load(var(i))), load(var(i)))],
+/// )];
+///
+/// let result = Partitioner::new()
+///     .place_behavior("EVAL_R3", "chip1")
+///     .place_variable("trru0", "chip2")
+///     .partition(&sys)?;
+/// assert_eq!(result.channels.len(), 1);
+/// let ch = result.system.channel(result.channels[0]);
+/// assert_eq!(ch.accesses, 128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Partitioner {
+    behavior_placements: Vec<(String, String)>,
+    variable_placements: Vec<(String, String)>,
+    auto_modules: Option<usize>,
+}
+
+impl Partitioner {
+    /// Creates a partitioner with no placements.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins a behavior to a named module.
+    pub fn place_behavior(mut self, behavior: impl Into<String>, module: impl Into<String>) -> Self {
+        self.behavior_placements
+            .push((behavior.into(), module.into()));
+        self
+    }
+
+    /// Pins a variable to a named module. The variable's storage is
+    /// reassigned to a `<module>_store` behavior created on demand.
+    pub fn place_variable(mut self, variable: impl Into<String>, module: impl Into<String>) -> Self {
+        self.variable_placements
+            .push((variable.into(), module.into()));
+        self
+    }
+
+    /// Switches to automatic closeness clustering into `modules` modules
+    /// (manual placements are ignored in this mode).
+    pub fn auto_cluster(mut self, modules: usize) -> Self {
+        self.auto_modules = Some(modules);
+        self
+    }
+
+    /// Partitions `system`.
+    ///
+    /// Unplaced behaviors keep their current module; unplaced variables
+    /// stay with their owner. After rewriting, every channel's access
+    /// count is filled in from a static walk of its accessor's body.
+    ///
+    /// # Errors
+    ///
+    /// * [`PartitionError::UnknownObject`] for a placement naming nothing;
+    /// * [`PartitionError::UnsupportedRemoteAccess`] when a remote access
+    ///   sits in a position the rewriter cannot transform;
+    /// * [`PartitionError::BadModuleCount`] for impossible auto-cluster
+    ///   requests.
+    pub fn partition(&self, system: &System) -> Result<PartitionResult, PartitionError> {
+        let mut sys = system.clone();
+        match self.auto_modules {
+            Some(k) => self.apply_auto(&mut sys, k)?,
+            None => self.apply_manual(&mut sys)?,
+        }
+        let channels = derive_channels(&mut sys)?;
+        fill_access_counts(&mut sys, &channels)?;
+        sys.check().map_err(|e| PartitionError::Internal {
+            message: e.to_string(),
+        })?;
+        Ok(PartitionResult {
+            system: sys,
+            channels,
+        })
+    }
+
+    fn apply_manual(&self, sys: &mut System) -> Result<(), PartitionError> {
+        let mut module_ids: HashMap<String, ModuleId> = sys
+            .modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.clone(), ModuleId::new(i as u32)))
+            .collect();
+        let mut module_of = |sys: &mut System, name: &str| -> ModuleId {
+            if let Some(&id) = module_ids.get(name) {
+                return id;
+            }
+            let id = sys.add_module(name);
+            module_ids.insert(name.to_string(), id);
+            id
+        };
+        for (bname, mname) in &self.behavior_placements {
+            let b = sys
+                .behavior_by_name(bname)
+                .ok_or_else(|| PartitionError::UnknownObject {
+                    name: bname.clone(),
+                })?;
+            let m = module_of(sys, mname);
+            sys.behavior_mut(b).module = m;
+        }
+        for (vname, mname) in &self.variable_placements {
+            let v = sys
+                .variable_by_name(vname)
+                .ok_or_else(|| PartitionError::UnknownObject {
+                    name: vname.clone(),
+                })?;
+            let m = module_of(sys, mname);
+            let store = store_behavior(sys, m);
+            sys.variables[v.index()].owner = store;
+        }
+        Ok(())
+    }
+
+    fn apply_auto(&self, sys: &mut System, k: usize) -> Result<(), PartitionError> {
+        let objects: Vec<Object> = (0..sys.behaviors.len())
+            .map(|i| Object::Behavior(BehaviorId::new(i as u32)))
+            .chain(
+                (0..sys.variables.len())
+                    .map(|i| Object::Variable(ifsyn_spec::VarId::new(i as u32))),
+            )
+            .collect();
+        if k == 0 || k > objects.len() {
+            return Err(PartitionError::BadModuleCount {
+                requested: k,
+                objects: objects.len(),
+            });
+        }
+        let closeness = Closeness::measure(sys);
+        let assignment = cluster(&objects, &closeness, k);
+        // Fresh module list.
+        sys.modules.clear();
+        let modules: Vec<ModuleId> = (0..k)
+            .map(|i| sys.add_module(format!("module{i}")))
+            .collect();
+        for (obj, &c) in objects.iter().zip(&assignment) {
+            match obj {
+                Object::Behavior(b) => sys.behavior_mut(*b).module = modules[c],
+                Object::Variable(_) => {}
+            }
+        }
+        // Variables move after behaviors so store behaviors land on the
+        // right modules.
+        for (obj, &c) in objects.iter().zip(&assignment) {
+            if let Object::Variable(v) = obj {
+                let owner_module = sys.behavior(sys.variable(*v).owner).module;
+                if owner_module != modules[c] {
+                    let store = store_behavior(sys, modules[c]);
+                    sys.variables[v.index()].owner = store;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Finds or creates the variable-hosting behavior of a module.
+fn store_behavior(sys: &mut System, module: ModuleId) -> BehaviorId {
+    let name = format!("{}_store", sys.module(module).name);
+    if let Some(b) = sys.behavior_by_name(&name) {
+        return b;
+    }
+    sys.add_behavior(name, module)
+}
+
+/// Sets each derived channel's access count from a static walk of the
+/// accessor's rewritten body.
+fn fill_access_counts(
+    sys: &mut System,
+    channels: &[ChannelId],
+) -> Result<(), PartitionError> {
+    let estimator = PerformanceEstimator::new();
+    let mut counts: HashMap<ChannelId, u64> = HashMap::new();
+    let accessors: Vec<BehaviorId> = {
+        let mut v: Vec<BehaviorId> = channels
+            .iter()
+            .map(|&c| sys.channel(c).accessor)
+            .collect();
+        v.dedup();
+        v
+    };
+    for b in accessors {
+        let est = estimator
+            .estimate(sys, b, &ChannelTimings::new())
+            .map_err(|e| PartitionError::Internal {
+                message: e.to_string(),
+            })?;
+        for (ch, n) in est.channel_accesses {
+            *counts.entry(ch).or_insert(0) += n;
+        }
+    }
+    for &ch in channels {
+        if let Some(&n) = counts.get(&ch) {
+            sys.channels[ch.index()].accesses = n;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::{ChannelDirection, Stmt, Ty};
+
+    /// One-module system: A reads and writes MEM, B reads STATUS.
+    fn unpartitioned() -> System {
+        let mut sys = System::new("t");
+        let m = sys.add_module("all");
+        let a = sys.add_behavior("A", m);
+        let b = sys.add_behavior("Bb", m);
+        let mem = sys.add_variable("MEM", Ty::array(Ty::Int(16), 64), a);
+        let status = sys.add_variable("STATUS", Ty::Bits(8), b);
+        let i = sys.add_variable("i", Ty::Int(16), a);
+        let x = sys.add_variable("x", Ty::Int(16), b);
+        sys.behavior_mut(a).body = vec![for_loop(
+            var(i),
+            int_const(0, 16),
+            int_const(63, 16),
+            vec![
+                assign(index(var(mem), load(var(i))), load(var(i))),
+                assign(var(status), bits_const(1, 8)),
+            ],
+        )];
+        sys.behavior_mut(b).body = vec![
+            assign(var(x), load(index(var(mem), int_const(3, 16)))),
+            Stmt::compute(10, "work"),
+        ];
+        sys
+    }
+
+    #[test]
+    fn manual_partition_derives_expected_channels() {
+        let sys = unpartitioned();
+        let result = Partitioner::new()
+            .place_behavior("A", "chip1")
+            .place_behavior("Bb", "chip1")
+            .place_variable("MEM", "chip2")
+            .place_variable("STATUS", "chip2")
+            .partition(&sys)
+            .unwrap();
+        // A writes MEM (64x), A writes STATUS (64x), Bb reads MEM (1x).
+        assert_eq!(result.channels.len(), 3);
+        let sys = &result.system;
+        let by_name = |n: &str| sys.channel(sys.channel_by_name(n).unwrap());
+        let _ = by_name;
+        let accesses: Vec<u64> = result
+            .channels
+            .iter()
+            .map(|&c| sys.channel(c).accesses)
+            .collect();
+        assert!(accesses.contains(&64));
+        assert!(accesses.contains(&1));
+    }
+
+    #[test]
+    fn variables_move_to_store_behaviors() {
+        let sys = unpartitioned();
+        let result = Partitioner::new()
+            .place_behavior("A", "chip1")
+            .place_behavior("Bb", "chip1")
+            .place_variable("MEM", "chip2")
+            .partition(&sys)
+            .unwrap();
+        let sys = &result.system;
+        let mem = sys.variable_by_name("MEM").unwrap();
+        let owner = sys.variable(mem).owner;
+        assert_eq!(sys.behavior(owner).name, "chip2_store");
+        assert_eq!(sys.module(sys.behavior(owner).module).name, "chip2");
+    }
+
+    #[test]
+    fn colocated_variable_creates_no_channel() {
+        let sys = unpartitioned();
+        let result = Partitioner::new()
+            .place_behavior("A", "chip1")
+            .place_behavior("Bb", "chip2")
+            .place_variable("MEM", "chip1") // stays with A
+            .place_variable("STATUS", "chip1")
+            .partition(&sys)
+            .unwrap();
+        // A's MEM/STATUS accesses are local now; only Bb's MEM read is
+        // remote.
+        let remote_reads: Vec<_> = result
+            .channels
+            .iter()
+            .filter(|&&c| result.system.channel(c).direction == ChannelDirection::Read)
+            .collect();
+        assert_eq!(remote_reads.len(), 1);
+        assert_eq!(result.channels.len(), 1);
+    }
+
+    #[test]
+    fn unknown_placement_errors() {
+        let sys = unpartitioned();
+        let err = Partitioner::new()
+            .place_behavior("NOPE", "chip1")
+            .partition(&sys)
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::UnknownObject { .. }));
+    }
+
+    #[test]
+    fn channel_groups_by_module_pair() {
+        let sys = unpartitioned();
+        let result = Partitioner::new()
+            .place_behavior("A", "chip1")
+            .place_behavior("Bb", "chip1")
+            .place_variable("MEM", "chip2")
+            .place_variable("STATUS", "chip2")
+            .partition(&sys)
+            .unwrap();
+        // All three channels connect chip1 <-> chip2: one group.
+        let groups = result.channel_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn channel_groups_split_by_pairs() {
+        let sys = unpartitioned();
+        let result = Partitioner::new()
+            .place_behavior("A", "chip1")
+            .place_behavior("Bb", "chip3")
+            .place_variable("MEM", "chip2")
+            .place_variable("STATUS", "chip2")
+            .partition(&sys)
+            .unwrap();
+        // chip1<->chip2 carries A's two channels; chip3<->chip2 carries
+        // Bb's read.
+        let groups = result.channel_groups();
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&1));
+    }
+
+    #[test]
+    fn auto_cluster_colocates_heavy_pairs() {
+        let sys = unpartitioned();
+        let result = Partitioner::new().auto_cluster(2).partition(&sys).unwrap();
+        // A<->MEM is by far the heaviest pair (64 x 22 bits); they must
+        // share a module, so no A-MEM channel exists.
+        let sys = &result.system;
+        let a = sys.behavior_by_name("A").unwrap();
+        let mem = sys.variable_by_name("MEM").unwrap();
+        let mem_module = sys.behavior(sys.variable(mem).owner).module;
+        assert_eq!(sys.behavior(a).module, mem_module);
+    }
+
+    #[test]
+    fn auto_cluster_bad_k_errors() {
+        let sys = unpartitioned();
+        assert!(matches!(
+            Partitioner::new().auto_cluster(0).partition(&sys),
+            Err(PartitionError::BadModuleCount { .. })
+        ));
+        assert!(matches!(
+            Partitioner::new().auto_cluster(99).partition(&sys),
+            Err(PartitionError::BadModuleCount { .. })
+        ));
+    }
+
+    #[test]
+    fn partitioned_system_still_validates_and_simulates_abstractly() {
+        let sys = unpartitioned();
+        let result = Partitioner::new()
+            .place_behavior("A", "chip1")
+            .place_behavior("Bb", "chip1")
+            .place_variable("MEM", "chip2")
+            .place_variable("STATUS", "chip2")
+            .partition(&sys)
+            .unwrap();
+        assert!(result.system.check().is_ok());
+    }
+}

@@ -1,0 +1,217 @@
+//! Post-simulation trace analysis: per-signal activity and bus
+//! utilization.
+//!
+//! The paper's §2 goal is "a bus which has a 100% utilization, i.e., the
+//! bus is never idle"; these helpers measure that from a recorded trace.
+//! Tracing must be enabled ([`crate::SimConfig::with_trace`]).
+
+use ifsyn_spec::{SignalId, System, Value};
+
+use crate::report::SimReport;
+
+/// Activity summary of one signal over a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SignalActivity {
+    /// Number of value changes.
+    pub events: u64,
+    /// Time of the first change, if any.
+    pub first_event: Option<u64>,
+    /// Time of the last change, if any.
+    pub last_event: Option<u64>,
+    /// For single-bit signals: total cycles spent high, from time 0 to
+    /// the end of the run. `None` for multi-bit signals.
+    pub high_cycles: Option<u64>,
+}
+
+/// Computes the activity of `signal` from the report's trace.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use ifsyn_sim::{analysis, SimConfig, Simulator};
+/// use ifsyn_spec::{System, Ty, dsl::*};
+///
+/// let mut sys = System::new("demo");
+/// let m = sys.add_module("chip");
+/// let s = sys.add_signal("BUSY", Ty::Bit);
+/// let b = sys.add_behavior("P", m);
+/// sys.behavior_mut(b).body = vec![
+///     drive_cost(s, bit_const(true), 1),   // high from t=1
+///     drive_cost(s, bit_const(false), 4),  // low from t=5
+///     wait_cycles(5),                      // run ends at t=10
+/// ];
+/// let report = Simulator::with_config(&sys, SimConfig::new().with_trace())?
+///     .run_to_quiescence()?;
+/// let activity = analysis::activity(&report, &sys, s);
+/// assert_eq!(activity.events, 2);
+/// assert_eq!(activity.high_cycles, Some(4)); // t=1..5
+/// # Ok(())
+/// # }
+/// ```
+pub fn activity(report: &SimReport, system: &System, signal: SignalId) -> SignalActivity {
+    let is_bit = system.signal(signal).ty.bit_width() == 1;
+    let mut out = SignalActivity::default();
+    let mut level = system
+        .signal(signal)
+        .initial_value()
+        .as_bool()
+        .unwrap_or(false);
+    let mut since = 0u64;
+    let mut high = 0u64;
+    for event in report.trace().iter().filter(|e| e.signal == signal) {
+        out.events += 1;
+        if out.first_event.is_none() {
+            out.first_event = Some(event.time);
+        }
+        out.last_event = Some(event.time);
+        if is_bit {
+            let new_level = matches!(event.value, Value::Bit(true));
+            if level && !new_level {
+                high += event.time - since;
+            }
+            if !level && new_level {
+                since = event.time;
+            }
+            level = new_level;
+        }
+    }
+    if is_bit {
+        if level {
+            high += report.time().saturating_sub(since);
+        }
+        out.high_cycles = Some(high);
+    }
+    out
+}
+
+/// Measured bus utilization over `[0, report.time()]`: delivered words
+/// times the protocol's word time, over the elapsed time — the paper's
+/// §2 notion (achieved transfer rate relative to the bus rate). Words
+/// are counted from the START line's edges (one rise and one fall per
+/// word).
+///
+/// Returns 0.0 for a zero-length run.
+pub fn handshake_bus_utilization(
+    report: &SimReport,
+    system: &System,
+    start: SignalId,
+    cycles_per_word: u32,
+) -> f64 {
+    if report.time() == 0 {
+        return 0.0;
+    }
+    let words = activity(report, system, start).events / 2;
+    (words * u64::from(cycles_per_word)) as f64 / report.time() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::Ty;
+
+    #[test]
+    fn activity_counts_events_and_bounds() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let s = sys.add_signal("S", Ty::Bits(4));
+        let b = sys.add_behavior("P", m);
+        sys.behavior_mut(b).body = vec![
+            drive_cost(s, bits_const(1, 4), 2),
+            drive_cost(s, bits_const(2, 4), 3),
+        ];
+        let report = Simulator::with_config(&sys, SimConfig::new().with_trace())
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let a = activity(&report, &sys, s);
+        assert_eq!(a.events, 2);
+        assert_eq!(a.first_event, Some(2));
+        assert_eq!(a.last_event, Some(5));
+        assert_eq!(a.high_cycles, None, "multi-bit signals have no high time");
+    }
+
+    #[test]
+    fn high_cycles_handles_initially_high_signals() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let s = sys.add_signal("S", Ty::Bit);
+        sys.signals[s.index()].init = Some(ifsyn_spec::Value::Bit(true));
+        let b = sys.add_behavior("P", m);
+        sys.behavior_mut(b).body = vec![
+            drive_cost(s, bit_const(false), 3), // falls at t=3
+            wait_cycles(7),                     // run ends at t=10
+        ];
+        let report = Simulator::with_config(&sys, SimConfig::new().with_trace())
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        assert_eq!(activity(&report, &sys, s).high_cycles, Some(3));
+    }
+
+    #[test]
+    fn saturated_handshake_measures_full_utilization() {
+        // Back-to-back handshake words: START and DONE tile the timeline.
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let start = sys.add_signal("START", Ty::Bit);
+        let done = sys.add_signal("DONE", Ty::Bit);
+        let tx = sys.add_behavior("tx", m);
+        let rx = sys.add_behavior("rx", m);
+        let i = sys.add_variable("i", Ty::Int(16), tx);
+        let j = sys.add_variable("j", Ty::Int(16), rx);
+        sys.behavior_mut(tx).body = vec![for_loop(
+            var(i),
+            int_const(0, 16),
+            int_const(31, 16),
+            vec![
+                drive_cost(start, bit_const(true), 1),
+                wait_until(eq(signal(done), bit_const(true))),
+                drive_cost(start, bit_const(false), 0),
+                wait_until(eq(signal(done), bit_const(false))),
+            ],
+        )];
+        sys.behavior_mut(rx).body = vec![for_loop(
+            var(j),
+            int_const(0, 16),
+            int_const(31, 16),
+            vec![
+                wait_until(eq(signal(start), bit_const(true))),
+                drive_cost(done, bit_const(true), 1),
+                wait_until(eq(signal(start), bit_const(false))),
+                drive_cost(done, bit_const(false), 0),
+            ],
+        )];
+        let report = Simulator::with_config(&sys, SimConfig::new().with_trace())
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let _ = done;
+        let u = handshake_bus_utilization(&report, &sys, start, 2);
+        assert!(u > 0.95, "saturated bus should be ~100% utilised, got {u}");
+    }
+
+    #[test]
+    fn idle_bus_measures_low_utilization() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let start = sys.add_signal("START", Ty::Bit);
+        let done = sys.add_signal("DONE", Ty::Bit);
+        let b = sys.add_behavior("P", m);
+        sys.behavior_mut(b).body = vec![
+            drive_cost(start, bit_const(true), 1),
+            drive_cost(start, bit_const(false), 1),
+            wait_cycles(98),
+        ];
+        let report = Simulator::with_config(&sys, SimConfig::new().with_trace())
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let _ = done;
+        let u = handshake_bus_utilization(&report, &sys, start, 2);
+        assert!(u < 0.05, "{u}");
+    }
+}

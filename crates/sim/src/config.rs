@@ -1,0 +1,81 @@
+//! Simulation configuration.
+
+use ifsyn_estimate::CostModel;
+
+/// Configuration knobs of the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Hard limit on simulated time (clock cycles).
+    pub max_time: u64,
+    /// Maximum delta cycles at one time instant before reporting a
+    /// combinational oscillation.
+    pub max_deltas_per_instant: u32,
+    /// Maximum zero-time instructions one process may execute in a single
+    /// activation before reporting a zero-delay loop.
+    pub max_steps_per_activation: u64,
+    /// Statement cost model used when lowering statements whose `cost`
+    /// field is `None`. Must match the estimator's model for analytic and
+    /// measured timings to agree.
+    pub cost_model: CostModel,
+    /// Record signal-change trace events (bounded by
+    /// [`SimConfig::max_trace_events`]).
+    pub trace: bool,
+    /// Maximum number of recorded trace events; recording stops (but the
+    /// simulation continues) when the bound is reached.
+    pub max_trace_events: usize,
+}
+
+impl SimConfig {
+    /// The default configuration: 100M-cycle horizon, tracing off.
+    pub fn new() -> Self {
+        Self {
+            max_time: 100_000_000,
+            max_deltas_per_instant: 10_000,
+            max_steps_per_activation: 10_000_000,
+            cost_model: CostModel::new(),
+            trace: false,
+            max_trace_events: 100_000,
+        }
+    }
+
+    /// Builder-style setter for [`SimConfig::max_time`].
+    pub fn with_max_time(mut self, max_time: u64) -> Self {
+        self.max_time = max_time;
+        self
+    }
+
+    /// Builder-style switch enabling signal tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builder-style setter for the cost model.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_new() {
+        assert_eq!(SimConfig::new(), SimConfig::default());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SimConfig::new().with_max_time(10).with_trace();
+        assert_eq!(c.max_time, 10);
+        assert!(c.trace);
+    }
+}

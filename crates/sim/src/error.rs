@@ -1,0 +1,108 @@
+//! Error type for simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while compiling or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The specification failed validation before simulation.
+    InvalidSystem {
+        /// The underlying validation message.
+        message: String,
+    },
+    /// A process executed too many zero-time instructions in one
+    /// activation (a combinational loop or a `while true` without waits).
+    ZeroDelayLoop {
+        /// Name of the offending behavior.
+        behavior: String,
+        /// Simulation time at which the loop was detected.
+        time: u64,
+    },
+    /// Too many delta cycles elapsed without time advancing (processes
+    /// exchanging zero-delay signal writes forever).
+    DeltaOverflow {
+        /// Simulation time at which the overflow was detected.
+        time: u64,
+    },
+    /// Simulation time exceeded [`crate::SimConfig::max_time`].
+    Timeout {
+        /// The configured limit.
+        max_time: u64,
+    },
+    /// A runtime evaluation error (type mismatch, index out of range).
+    Eval {
+        /// Human-readable description including the evaluation site.
+        message: String,
+    },
+    /// A specification assertion evaluated false.
+    AssertionFailed {
+        /// The behavior whose assertion failed.
+        behavior: String,
+        /// The assertion's diagnostic note.
+        note: String,
+        /// Simulation time of the failure.
+        time: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidSystem { message } => {
+                write!(f, "invalid system: {message}")
+            }
+            SimError::ZeroDelayLoop { behavior, time } => {
+                write!(f, "zero-delay loop in behavior `{behavior}` at time {time}")
+            }
+            SimError::DeltaOverflow { time } => {
+                write!(f, "delta cycle overflow at time {time}")
+            }
+            SimError::Timeout { max_time } => {
+                write!(f, "simulation exceeded max time of {max_time} cycles")
+            }
+            SimError::Eval { message } => write!(f, "evaluation error: {message}"),
+            SimError::AssertionFailed {
+                behavior,
+                note,
+                time,
+            } => write!(
+                f,
+                "assertion failed in behavior `{behavior}` at time {time}: {note}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl SimError {
+    /// Convenience constructor for evaluation errors.
+    pub fn eval(message: impl Into<String>) -> Self {
+        SimError::Eval {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = SimError::ZeroDelayLoop {
+            behavior: "P".into(),
+            time: 7,
+        };
+        assert!(e.to_string().contains("`P`"));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

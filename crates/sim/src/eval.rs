@@ -1,0 +1,467 @@
+//! Expression evaluation and value coercion.
+
+use ifsyn_spec::{BinOp, BitVec, Expr, Place, System, Ty, UnaryOp, Value};
+
+use crate::error::SimError;
+use crate::process::{CodeRef, Frame};
+
+/// Read-only evaluation context: the world as seen by one process.
+pub(crate) struct EvalCtx<'a> {
+    pub vars: &'a [Value],
+    pub signals: &'a [Value],
+    /// The evaluating process's top frame (for `Place::Local`).
+    pub frame: &'a Frame,
+}
+
+/// The "natural" width of a value, used to size operation results.
+fn natural_width(v: &Value) -> u32 {
+    match v {
+        Value::Bit(_) => 1,
+        Value::Bits(b) => b.width(),
+        Value::Int { width, .. } => *width,
+        Value::Array(_) => 0,
+    }
+}
+
+/// Coerces `value` to type `ty` by bit-level reinterpretation.
+///
+/// Identity when the types already match; otherwise the value is packed
+/// to bits, resized, and unpacked at the target type (hardware-style
+/// truncation / zero-extension).
+pub(crate) fn coerce(value: Value, ty: &Ty) -> Value {
+    if value.ty() == *ty {
+        return value;
+    }
+    Value::from_bits(ty, &value.to_bits().resized(ty.bit_width()))
+}
+
+/// Computes the type of a place in the given code scope.
+pub(crate) fn place_ty(
+    system: &System,
+    code: CodeRef,
+    place: &Place,
+) -> Result<Ty, SimError> {
+    match place {
+        Place::Var(v) => {
+            let decl = system
+                .variables
+                .get(v.index())
+                .ok_or_else(|| SimError::eval(format!("missing variable {v}")))?;
+            Ok(decl.ty.clone())
+        }
+        Place::Local(slot) => match code {
+            CodeRef::Procedure(p) => {
+                let proc = &system.procedures[p];
+                if *slot >= proc.slot_count() {
+                    return Err(SimError::eval(format!(
+                        "slot {slot} out of range in `{}`",
+                        proc.name
+                    )));
+                }
+                Ok(proc.slot_ty(*slot).clone())
+            }
+            CodeRef::Behavior(_) => Err(SimError::eval(
+                "local slot referenced outside a procedure".to_string(),
+            )),
+        },
+        Place::Index { base, .. } => match place_ty(system, code, base)? {
+            Ty::Array { elem, .. } => Ok(*elem),
+            other => Err(SimError::eval(format!("indexing non-array type {other}"))),
+        },
+        Place::Slice { hi, lo, .. } => Ok(Ty::Bits(hi - lo + 1)),
+        Place::DynSlice { width, .. } => Ok(Ty::Bits(*width)),
+    }
+}
+
+/// Reads the current value of a place.
+pub(crate) fn read_place(ctx: &EvalCtx<'_>, place: &Place) -> Result<Value, SimError> {
+    match place {
+        Place::Var(v) => ctx
+            .vars
+            .get(v.index())
+            .cloned()
+            .ok_or_else(|| SimError::eval(format!("missing variable {v}"))),
+        Place::Local(slot) => ctx
+            .frame
+            .locals
+            .get(*slot)
+            .cloned()
+            .ok_or_else(|| SimError::eval(format!("missing local slot {slot}"))),
+        Place::Index { base, index } => {
+            let container = read_place(ctx, base)?;
+            let i = eval(ctx, index)?.as_i64().map_err(wrap)?;
+            match container {
+                Value::Array(items) => items
+                    .get(usize::try_from(i).map_err(|_| {
+                        SimError::eval(format!("negative array index {i}"))
+                    })?)
+                    .cloned()
+                    .ok_or_else(|| {
+                        SimError::eval(format!("array index {i} out of range"))
+                    }),
+                other => Err(SimError::eval(format!(
+                    "indexing non-array value {other}"
+                ))),
+            }
+        }
+        Place::Slice { base, hi, lo } => {
+            let bits = read_place(ctx, base)?.to_bits();
+            if *hi >= bits.width() {
+                return Err(SimError::eval(format!(
+                    "slice {hi} downto {lo} out of range for width {}",
+                    bits.width()
+                )));
+            }
+            Ok(Value::Bits(bits.slice(*hi, *lo)))
+        }
+        Place::DynSlice {
+            base,
+            offset,
+            width,
+        } => {
+            let bits = read_place(ctx, base)?.to_bits();
+            let lo = eval(ctx, offset)?.as_i64().map_err(wrap)?;
+            let lo = u32::try_from(lo)
+                .map_err(|_| SimError::eval(format!("negative slice offset {lo}")))?;
+            let hi = lo + width - 1;
+            if hi >= bits.width() {
+                return Err(SimError::eval(format!(
+                    "dynamic slice {hi} downto {lo} out of range for width {}",
+                    bits.width()
+                )));
+            }
+            Ok(Value::Bits(bits.slice(hi, lo)))
+        }
+    }
+}
+
+fn wrap(e: ifsyn_spec::SpecError) -> SimError {
+    SimError::eval(e.to_string())
+}
+
+/// Evaluates an expression to a value.
+pub(crate) fn eval(ctx: &EvalCtx<'_>, expr: &Expr) -> Result<Value, SimError> {
+    match expr {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Load(place) => read_place(ctx, place),
+        Expr::Signal(s) => ctx
+            .signals
+            .get(s.index())
+            .cloned()
+            .ok_or_else(|| SimError::eval(format!("missing signal {s}"))),
+        Expr::Unary { op, arg } => {
+            let v = eval(ctx, arg)?;
+            eval_unary(*op, v)
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(ctx, lhs)?;
+            let r = eval(ctx, rhs)?;
+            eval_binary(*op, l, r)
+        }
+        Expr::SliceOf { base, hi, lo } => {
+            let bits = eval(ctx, base)?.to_bits();
+            if *hi >= bits.width() {
+                return Err(SimError::eval(format!(
+                    "slice {hi} downto {lo} out of range for width {}",
+                    bits.width()
+                )));
+            }
+            Ok(Value::Bits(bits.slice(*hi, *lo)))
+        }
+        Expr::Resize { base, width } => {
+            Ok(Value::Bits(eval(ctx, base)?.to_bits().resized(*width)))
+        }
+        Expr::DynSliceOf {
+            base,
+            offset,
+            width,
+        } => {
+            let bits = eval(ctx, base)?.to_bits();
+            let lo = eval(ctx, offset)?.as_i64().map_err(wrap)?;
+            let lo = u32::try_from(lo)
+                .map_err(|_| SimError::eval(format!("negative slice offset {lo}")))?;
+            let hi = lo + width - 1;
+            if hi >= bits.width() {
+                return Err(SimError::eval(format!(
+                    "dynamic slice {hi} downto {lo} out of range for width {}",
+                    bits.width()
+                )));
+            }
+            Ok(Value::Bits(bits.slice(hi, lo)))
+        }
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Result<Value, SimError> {
+    match op {
+        UnaryOp::Not => match v {
+            Value::Bit(b) => Ok(Value::Bit(!b)),
+            Value::Bits(bv) => Ok(Value::Bits(BitVec::from_bits_lsb_first(
+                bv.iter().map(|b| !b),
+            ))),
+            other => Ok(Value::Bit(!other.as_bool().map_err(wrap)?)),
+        },
+        UnaryOp::Neg => {
+            let width = natural_width(&v).max(1);
+            let value = -v.as_i64().map_err(wrap)?;
+            Ok(Value::Int { value, width })
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, SimError> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Rem | Min | Max => {
+            let a = l.as_i64().map_err(wrap)?;
+            let b = r.as_i64().map_err(wrap)?;
+            let value = match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a / b
+                    }
+                }
+                Rem => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a % b
+                    }
+                }
+                Min => a.min(b),
+                Max => a.max(b),
+                _ => unreachable!(),
+            };
+            let width = natural_width(&l).max(natural_width(&r)).max(1);
+            Ok(Value::Int { value, width })
+        }
+        Eq | Ne => {
+            let w = natural_width(&l).max(natural_width(&r));
+            let equal = l.to_bits().resized(w) == r.to_bits().resized(w);
+            Ok(Value::Bit(if matches!(op, Eq) { equal } else { !equal }))
+        }
+        Lt | Le | Gt | Ge => {
+            let a = l.as_i64().map_err(wrap)?;
+            let b = r.as_i64().map_err(wrap)?;
+            let res = match op {
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bit(res))
+        }
+        And | Or | Xor => match (&l, &r) {
+            (Value::Bit(a), Value::Bit(b)) => {
+                let res = match op {
+                    And => *a && *b,
+                    Or => *a || *b,
+                    Xor => *a != *b,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bit(res))
+            }
+            _ => {
+                let w = natural_width(&l).max(natural_width(&r)).max(1);
+                let a = l.to_bits().resized(w);
+                let b = r.to_bits().resized(w);
+                let bits = a.iter().zip(b.iter()).map(|(x, y)| match op {
+                    And => x && y,
+                    Or => x || y,
+                    Xor => x != y,
+                    _ => unreachable!(),
+                });
+                Ok(Value::Bits(BitVec::from_bits_lsb_first(bits)))
+            }
+        },
+        Concat => Ok(Value::Bits(l.to_bits().concat(&r.to_bits()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::{System, VarId};
+
+    fn ctx_fixture() -> (System, Vec<Value>, Vec<Value>) {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        sys.add_variable("arr", Ty::array(Ty::Int(8), 4), b);
+        sys.add_variable("x", Ty::Bits(8), b);
+        let s = sys.add_signal("start", Ty::Bit);
+        let _ = s;
+        let vars = vec![
+            Value::Array(vec![
+                Value::int(10, 8),
+                Value::int(20, 8),
+                Value::int(30, 8),
+                Value::int(40, 8),
+            ]),
+            Value::Bits(BitVec::from_u64(0b1010_0101, 8)),
+        ];
+        let signals = vec![Value::Bit(true)];
+        (sys, vars, signals)
+    }
+
+    fn with_ctx<R>(f: impl FnOnce(&EvalCtx<'_>) -> R) -> R {
+        let (_sys, vars, signals) = ctx_fixture();
+        let frame = Frame::new(CodeRef::Behavior(0), vec![Value::int(7, 8)]);
+        let ctx = EvalCtx {
+            vars: &vars,
+            signals: &signals,
+            frame: &frame,
+        };
+        f(&ctx)
+    }
+
+    #[test]
+    fn arithmetic_and_width() {
+        with_ctx(|ctx| {
+            let v = eval(ctx, &add(int_const(2, 8), int_const(3, 16))).unwrap();
+            assert_eq!(v, Value::int(5, 16));
+        });
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        with_ctx(|ctx| {
+            let e = Expr::Binary {
+                op: BinOp::Div,
+                lhs: Box::new(int_const(5, 8)),
+                rhs: Box::new(int_const(0, 8)),
+            };
+            assert_eq!(eval(ctx, &e).unwrap().as_i64().unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn array_index_read() {
+        with_ctx(|ctx| {
+            let v = eval(
+                ctx,
+                &load(index(var(VarId::new(0)), int_const(2, 8))),
+            )
+            .unwrap();
+            assert_eq!(v, Value::int(30, 8));
+        });
+    }
+
+    #[test]
+    fn array_index_out_of_range_errors() {
+        with_ctx(|ctx| {
+            let r = eval(ctx, &load(index(var(VarId::new(0)), int_const(9, 8))));
+            assert!(r.is_err());
+        });
+    }
+
+    #[test]
+    fn slice_read_matches_bits() {
+        with_ctx(|ctx| {
+            // x = 1010_0101; bits 7..4 = 1010.
+            let v = eval(ctx, &load(slice(var(VarId::new(1)), 7, 4))).unwrap();
+            assert_eq!(v, Value::Bits(BitVec::from_u64(0b1010, 4)));
+        });
+    }
+
+    #[test]
+    fn local_read() {
+        with_ctx(|ctx| {
+            let v = eval(ctx, &load(local(0))).unwrap();
+            assert_eq!(v, Value::int(7, 8));
+        });
+    }
+
+    #[test]
+    fn signal_read_and_logic() {
+        with_ctx(|ctx| {
+            let v = eval(
+                ctx,
+                &and(signal(ifsyn_spec::SignalId::new(0)), bit_const(true)),
+            )
+            .unwrap();
+            assert_eq!(v, Value::Bit(true));
+            let v = eval(ctx, &not(signal(ifsyn_spec::SignalId::new(0)))).unwrap();
+            assert_eq!(v, Value::Bit(false));
+        });
+    }
+
+    #[test]
+    fn eq_compares_across_widths() {
+        with_ctx(|ctx| {
+            let v = eval(ctx, &eq(bits_const(5, 4), int_const(5, 8))).unwrap();
+            assert_eq!(v, Value::Bit(true));
+            let v = eval(ctx, &ne(bits_const(5, 4), int_const(6, 8))).unwrap();
+            assert_eq!(v, Value::Bit(true));
+        });
+    }
+
+    #[test]
+    fn concat_keeps_lhs_low() {
+        with_ctx(|ctx| {
+            let v = eval(ctx, &concat(bits_const(0b01, 2), bits_const(0b11, 2))).unwrap();
+            assert_eq!(v, Value::Bits(BitVec::from_u64(0b1101, 4)));
+        });
+    }
+
+    #[test]
+    fn bitwise_ops_on_vectors() {
+        with_ctx(|ctx| {
+            let v = eval(
+                ctx,
+                &Expr::Binary {
+                    op: BinOp::Xor,
+                    lhs: Box::new(bits_const(0b1100, 4)),
+                    rhs: Box::new(bits_const(0b1010, 4)),
+                },
+            )
+            .unwrap();
+            assert_eq!(v, Value::Bits(BitVec::from_u64(0b0110, 4)));
+        });
+    }
+
+    #[test]
+    fn resize_truncates() {
+        with_ctx(|ctx| {
+            let v = eval(ctx, &resize(bits_const(0b1111, 4), 2)).unwrap();
+            assert_eq!(v, Value::Bits(BitVec::from_u64(0b11, 2)));
+        });
+    }
+
+    #[test]
+    fn coerce_int_to_bits_and_back() {
+        let v = coerce(Value::int(5, 16), &Ty::Bits(8));
+        assert_eq!(v, Value::Bits(BitVec::from_u64(5, 8)));
+        let v = coerce(v, &Ty::Int(16));
+        assert_eq!(v, Value::int(5, 16));
+    }
+
+    #[test]
+    fn coerce_identity_is_cheap_path() {
+        let v = Value::int(5, 16);
+        assert_eq!(coerce(v.clone(), &Ty::Int(16)), v);
+    }
+
+    #[test]
+    fn place_ty_navigates() {
+        let (sys, _, _) = ctx_fixture();
+        let ty = place_ty(
+            &sys,
+            CodeRef::Behavior(0),
+            &index(var(VarId::new(0)), int_const(0, 8)),
+        )
+        .unwrap();
+        assert_eq!(ty, Ty::Int(8));
+        let ty = place_ty(&sys, CodeRef::Behavior(0), &slice(var(VarId::new(1)), 3, 1))
+            .unwrap();
+        assert_eq!(ty, Ty::Bits(3));
+        assert!(place_ty(&sys, CodeRef::Behavior(0), &local(0)).is_err());
+    }
+}

@@ -1,0 +1,912 @@
+//! The discrete-event simulation kernel.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use ifsyn_spec::{Arg, Expr, ParamMode, Place, System, Ty, Value, WaitCond};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::eval::{coerce, eval, place_ty, read_place, EvalCtx};
+use crate::process::{CodeRef, Frame, Process, ResolvedPlace, Root, Status, Step, WaitKind};
+use crate::program::{Instr, Program};
+use crate::report::{BehaviorOutcome, SimReport, TraceEvent};
+
+/// A deterministic discrete-event simulator over a [`System`].
+///
+/// Semantics (see the crate docs for the rationale):
+///
+/// * time advances in integer clock cycles; instructions carry cycle
+///   costs; a zero-cost signal write becomes visible at the next *delta*
+///   (same time instant), a cost-`c` write becomes visible at `t + c`;
+/// * an event is a signal *value change*;
+/// * `wait until` is level-sensitive: if the condition already holds the
+///   process continues without suspending.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use ifsyn_sim::Simulator;
+/// use ifsyn_spec::{System, Ty, dsl::*};
+///
+/// let mut sys = System::new("handshake");
+/// let m = sys.add_module("chip");
+/// let req = sys.add_signal("REQ", Ty::Bit);
+/// let ack = sys.add_signal("ACK", Ty::Bit);
+/// let a = sys.add_behavior("producer", m);
+/// sys.behavior_mut(a).body = vec![
+///     drive_cost(req, bit_const(true), 1),
+///     wait_until(eq(signal(ack), bit_const(true))),
+/// ];
+/// let b = sys.add_behavior("consumer", m);
+/// sys.behavior_mut(b).body = vec![
+///     wait_until(eq(signal(req), bit_const(true))),
+///     drive_cost(ack, bit_const(true), 1),
+/// ];
+///
+/// let report = Simulator::new(&sys)?.run_to_quiescence()?;
+/// assert_eq!(report.finish_time(a), Some(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    system: &'a System,
+    config: SimConfig,
+    /// Shared handles to each code block's instructions, so the hot loop
+    /// can hold an instruction reference across `&mut self` calls
+    /// without deep-cloning expressions.
+    behavior_code: Vec<Rc<Vec<Instr>>>,
+    procedure_code: Vec<Rc<Vec<Instr>>>,
+    time: u64,
+    signals: Vec<Value>,
+    vars: Vec<Value>,
+    processes: Vec<Process>,
+    ready: VecDeque<usize>,
+    /// Zero-delay signal writes awaiting the next delta.
+    pending: Vec<(usize, Value)>,
+    /// Future signal writes, keyed by visibility time.
+    timed_writes: BTreeMap<u64, Vec<(usize, Value)>>,
+    /// Sleeping processes, keyed by wake time.
+    sleepers: BTreeMap<u64, Vec<usize>>,
+    /// Per signal: processes registered as waiters.
+    waiters: Vec<Vec<usize>>,
+    signal_events: Vec<u64>,
+    trace: Vec<TraceEvent>,
+    total_deltas: u64,
+    total_instrs: u64,
+    assertions_checked: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Compiles `system` for simulation with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSystem`] if the system fails validation.
+    pub fn new(system: &'a System) -> Result<Self, SimError> {
+        Self::with_config(system, SimConfig::new())
+    }
+
+    /// Compiles `system` with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSystem`] if the system fails validation.
+    pub fn with_config(system: &'a System, config: SimConfig) -> Result<Self, SimError> {
+        system.check().map_err(|e| SimError::InvalidSystem {
+            message: e.to_string(),
+        })?;
+        let program = Program::compile(system, &config.cost_model);
+        let behavior_code: Vec<Rc<Vec<Instr>>> = program
+            .behaviors
+            .into_iter()
+            .map(|c| Rc::new(c.instrs))
+            .collect();
+        let procedure_code: Vec<Rc<Vec<Instr>>> = program
+            .procedures
+            .into_iter()
+            .map(|c| Rc::new(c.instrs))
+            .collect();
+        let signals = system
+            .signals
+            .iter()
+            .map(|s| s.initial_value())
+            .collect::<Vec<_>>();
+        let vars = system
+            .variables
+            .iter()
+            .map(|v| v.initial_value())
+            .collect::<Vec<_>>();
+        let processes: Vec<Process> = (0..system.behaviors.len()).map(Process::new).collect();
+        let ready = (0..processes.len()).collect();
+        let n_signals = signals.len();
+        Ok(Self {
+            system,
+            config,
+            behavior_code,
+            procedure_code,
+            time: 0,
+            signals,
+            vars,
+            processes,
+            ready,
+            pending: Vec::new(),
+            timed_writes: BTreeMap::new(),
+            sleepers: BTreeMap::new(),
+            waiters: vec![Vec::new(); n_signals],
+            signal_events: vec![0; n_signals],
+            trace: Vec::new(),
+            total_deltas: 0,
+            total_instrs: 0,
+            assertions_checked: 0,
+        })
+    }
+
+    /// Runs until no further event can occur, then reports.
+    ///
+    /// Quiescence means: every process is finished, or suspended on a wait
+    /// that nothing pending can satisfy. Server processes idling on their
+    /// bus is the expected quiescent state of a refined system.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Timeout`] — simulated time passed the configured cap.
+    /// * [`SimError::DeltaOverflow`] / [`SimError::ZeroDelayLoop`] —
+    ///   zero-time oscillation.
+    /// * [`SimError::Eval`] — a runtime type or bounds violation.
+    pub fn run_to_quiescence(mut self) -> Result<SimReport, SimError> {
+        self.run_events(None)?;
+        Ok(self.into_report())
+    }
+
+    /// Runs until time `deadline` (inclusive) or quiescence, whichever
+    /// comes first, then reports.
+    ///
+    /// Unlike [`Simulator::run_to_quiescence`] this terminates cleanly
+    /// for free-running systems (periodic producers, servers fed by
+    /// repeating clients) that never become quiescent.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulator::run_to_quiescence`], except
+    /// that reaching the deadline is success, not a timeout.
+    pub fn run_until(mut self, deadline: u64) -> Result<SimReport, SimError> {
+        self.run_events(Some(deadline))?;
+        Ok(self.into_report())
+    }
+
+    /// The main event loop; stops at quiescence, or past `deadline`.
+    fn run_events(&mut self, deadline: Option<u64>) -> Result<(), SimError> {
+        loop {
+            self.settle_instant()?;
+            let next_write = self.timed_writes.keys().next().copied();
+            let next_sleep = self.sleepers.keys().next().copied();
+            let next = match (next_write, next_sleep) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if let Some(deadline) = deadline {
+                if next > deadline {
+                    self.time = deadline;
+                    break;
+                }
+            }
+            if next > self.config.max_time {
+                return Err(SimError::Timeout {
+                    max_time: self.config.max_time,
+                });
+            }
+            self.time = next;
+            if let Some(writes) = self.timed_writes.remove(&next) {
+                self.pending.extend(writes);
+            }
+            if let Some(pids) = self.sleepers.remove(&next) {
+                for pid in pids {
+                    if matches!(self.processes[pid].status, Status::Sleeping) {
+                        self.processes[pid].status = Status::Ready;
+                        self.ready.push_back(pid);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes all delta cycles of the current time instant.
+    fn settle_instant(&mut self) -> Result<(), SimError> {
+        let mut deltas = 0u32;
+        loop {
+            if !self.pending.is_empty() {
+                let changed = self.apply_pending();
+                self.wake_on(&changed)?;
+                deltas += 1;
+                self.total_deltas += 1;
+                if deltas > self.config.max_deltas_per_instant {
+                    return Err(SimError::DeltaOverflow { time: self.time });
+                }
+            }
+            if self.ready.is_empty() {
+                if self.pending.is_empty() {
+                    return Ok(());
+                }
+                continue;
+            }
+            while let Some(pid) = self.ready.pop_front() {
+                if matches!(self.processes[pid].status, Status::Ready) {
+                    self.run_process(pid)?;
+                }
+            }
+        }
+    }
+
+    /// Applies zero-delay writes; returns indices of changed signals.
+    ///
+    /// Multiple writes to one signal within the same delta collapse to the
+    /// last one (VHDL projected-waveform semantics), producing at most one
+    /// event per signal per delta.
+    fn apply_pending(&mut self) -> Vec<usize> {
+        let mut changed = Vec::new();
+        let mut drained = std::mem::take(&mut self.pending);
+        // Keep only the final write per signal, preserving first-write order.
+        let mut last_index: Vec<Option<usize>> = vec![None; self.signals.len()];
+        for (i, (sig, _)) in drained.iter().enumerate() {
+            last_index[*sig] = Some(i);
+        }
+        let mut seen = vec![false; self.signals.len()];
+        drained = drained
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, (sig, v))| {
+                if last_index[sig] == Some(i) && !seen[sig] {
+                    seen[sig] = true;
+                    Some((sig, v))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (sig, value) in drained {
+            if self.signals[sig] != value {
+                self.signals[sig] = value.clone();
+                self.signal_events[sig] += 1;
+                if !changed.contains(&sig) {
+                    changed.push(sig);
+                }
+                if self.config.trace && self.trace.len() < self.config.max_trace_events {
+                    self.trace.push(TraceEvent {
+                        time: self.time,
+                        signal: ifsyn_spec::SignalId::new(sig as u32),
+                        value,
+                    });
+                }
+            }
+        }
+        changed
+    }
+
+    /// Wakes processes sensitive to the changed signals.
+    fn wake_on(&mut self, changed: &[usize]) -> Result<(), SimError> {
+        for &sig in changed {
+            let candidates = self.waiters[sig].clone();
+            for pid in candidates {
+                match self.processes[pid].status.clone() {
+                    Status::Waiting(WaitKind::Signals) => self.make_ready(pid),
+                    Status::Waiting(WaitKind::Until(expr)) => {
+                        let sat = self
+                            .eval_in(pid, &expr)?
+                            .as_bool()
+                            .map_err(|e| SimError::eval(e.to_string()))?;
+                        if sat {
+                            self.make_ready(pid);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn make_ready(&mut self, pid: usize) {
+        let registered = std::mem::take(&mut self.processes[pid].registered);
+        for sig in registered {
+            self.waiters[sig].retain(|&p| p != pid);
+        }
+        self.processes[pid].status = Status::Ready;
+        self.ready.push_back(pid);
+    }
+
+    fn sleep_until(&mut self, pid: usize, until: u64) {
+        self.processes[pid].status = Status::Sleeping;
+        self.sleepers.entry(until).or_default().push(pid);
+    }
+
+    fn register_wait(&mut self, pid: usize, kind: WaitKind, sensitivity: &[ifsyn_spec::SignalId]) {
+        let mut registered = Vec::with_capacity(sensitivity.len());
+        for s in sensitivity {
+            let idx = s.index();
+            if !self.waiters[idx].contains(&pid) {
+                self.waiters[idx].push(pid);
+            }
+            registered.push(idx);
+        }
+        self.processes[pid].registered = registered;
+        self.processes[pid].status = Status::Waiting(kind);
+    }
+
+    /// Evaluates an expression in a process's current scope.
+    fn eval_in(&self, pid: usize, expr: &Expr) -> Result<Value, SimError> {
+        let frame = self.processes[pid]
+            .frames
+            .last()
+            .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
+        let ctx = EvalCtx {
+            vars: &self.vars,
+            signals: &self.signals,
+            frame,
+        };
+        eval(&ctx, expr)
+    }
+
+    fn read_place_in(&self, pid: usize, place: &Place) -> Result<Value, SimError> {
+        let frame = self.processes[pid]
+            .frames
+            .last()
+            .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
+        let ctx = EvalCtx {
+            vars: &self.vars,
+            signals: &self.signals,
+            frame,
+        };
+        read_place(&ctx, place)
+    }
+
+    /// Resolves a place to a concrete path; index expressions evaluate in
+    /// the process's current (top) frame.
+    fn resolve_place(
+        &self,
+        pid: usize,
+        place: &Place,
+        frame_abs: usize,
+    ) -> Result<ResolvedPlace, SimError> {
+        match place {
+            Place::Var(v) => Ok(ResolvedPlace {
+                root: Root::Var(v.index()),
+                steps: Vec::new(),
+            }),
+            Place::Local(slot) => Ok(ResolvedPlace {
+                root: Root::Local {
+                    frame: frame_abs,
+                    slot: *slot,
+                },
+                steps: Vec::new(),
+            }),
+            Place::Index { base, index } => {
+                let mut rp = self.resolve_place(pid, base, frame_abs)?;
+                let i = self
+                    .eval_in(pid, index)?
+                    .as_i64()
+                    .map_err(|e| SimError::eval(e.to_string()))?;
+                let i = usize::try_from(i)
+                    .map_err(|_| SimError::eval(format!("negative array index {i}")))?;
+                rp.steps.push(Step::Elem(i));
+                Ok(rp)
+            }
+            Place::Slice { base, hi, lo } => {
+                let mut rp = self.resolve_place(pid, base, frame_abs)?;
+                rp.steps.push(Step::Slice(*hi, *lo));
+                Ok(rp)
+            }
+            Place::DynSlice {
+                base,
+                offset,
+                width,
+            } => {
+                // The offset evaluates once at resolution time, turning
+                // the dynamic slice into a concrete one.
+                let mut rp = self.resolve_place(pid, base, frame_abs)?;
+                let lo = self
+                    .eval_in(pid, offset)?
+                    .as_i64()
+                    .map_err(|e| SimError::eval(e.to_string()))?;
+                let lo = u32::try_from(lo).map_err(|_| {
+                    SimError::eval(format!("negative slice offset {lo}"))
+                })?;
+                rp.steps.push(Step::Slice(lo + width - 1, lo));
+                Ok(rp)
+            }
+        }
+    }
+
+    fn write_resolved(
+        &mut self,
+        pid: usize,
+        rp: &ResolvedPlace,
+        value: Value,
+    ) -> Result<(), SimError> {
+        let root: &mut Value = match rp.root {
+            Root::Var(i) => self
+                .vars
+                .get_mut(i)
+                .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?,
+            Root::Local { frame, slot } => self.processes[pid]
+                .frames
+                .get_mut(frame)
+                .and_then(|f| f.locals.get_mut(slot))
+                .ok_or_else(|| SimError::eval(format!("missing local slot {slot}")))?,
+        };
+        write_steps(root, &rp.steps, value)
+    }
+
+    /// Writes `value` (coerced to the target's type) into a place.
+    fn write_place(&mut self, pid: usize, place: &Place, value: Value) -> Result<(), SimError> {
+        let frame_abs = self.processes[pid].frames.len() - 1;
+        let code = self.processes[pid].frames[frame_abs].code;
+        let ty = place_ty(self.system, code, place)?;
+        let rp = self.resolve_place(pid, place, frame_abs)?;
+        self.write_resolved(pid, &rp, coerce(value, &ty))
+    }
+
+    /// Runs one process until it blocks, sleeps or finishes.
+    fn run_process(&mut self, pid: usize) -> Result<(), SimError> {
+        let mut steps: u64 = 0;
+        // Cache the current code block across instructions; refreshed
+        // when a call or return switches frames.
+        let mut cached: Option<(CodeRef, Rc<Vec<Instr>>)> = None;
+        loop {
+            steps += 1;
+            self.total_instrs += 1;
+            self.processes[pid].instrs_executed += 1;
+            if steps > self.config.max_steps_per_activation {
+                return Err(SimError::ZeroDelayLoop {
+                    behavior: self.system.behaviors[self.processes[pid].behavior]
+                        .name
+                        .clone(),
+                    time: self.time,
+                });
+            }
+            let frame = self.processes[pid]
+                .frames
+                .last()
+                .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
+            let code: Rc<Vec<Instr>> = match &cached {
+                Some((code_ref, rc)) if *code_ref == frame.code => Rc::clone(rc),
+                _ => {
+                    let rc = match frame.code {
+                        CodeRef::Behavior(i) => Rc::clone(&self.behavior_code[i]),
+                        CodeRef::Procedure(i) => Rc::clone(&self.procedure_code[i]),
+                    };
+                    cached = Some((frame.code, Rc::clone(&rc)));
+                    rc
+                }
+            };
+            let instr = &code[frame.pc];
+            match instr {
+                Instr::Assign { place, value, cost } => {
+                    let v = self.eval_in(pid, value)?;
+                    self.write_place(pid, place, v)?;
+                    self.advance_pc(pid);
+                    if *cost > 0 {
+                        self.processes[pid].active_cycles += u64::from(*cost);
+                        self.sleep_until(pid, self.time + u64::from(*cost));
+                        return Ok(());
+                    }
+                }
+                Instr::SignalWrite {
+                    signal,
+                    value,
+                    cost,
+                } => {
+                    let ty = self.system.signal(*signal).ty.clone();
+                    let v = coerce(self.eval_in(pid, value)?, &ty);
+                    self.advance_pc(pid);
+                    if *cost == 0 {
+                        self.pending.push((signal.index(), v));
+                    } else {
+                        self.timed_writes
+                            .entry(self.time + u64::from(*cost))
+                            .or_default()
+                            .push((signal.index(), v));
+                        self.processes[pid].active_cycles += u64::from(*cost);
+                        self.sleep_until(pid, self.time + u64::from(*cost));
+                        return Ok(());
+                    }
+                }
+                Instr::Jump(t) => self.set_pc(pid, *t),
+                Instr::JumpIfNot { cond, target } => {
+                    let b = self
+                        .eval_in(pid, cond)?
+                        .as_bool()
+                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    if b {
+                        self.advance_pc(pid);
+                    } else {
+                        self.set_pc(pid, *target);
+                    }
+                }
+                Instr::LoopInit { var, from, to } => {
+                    let bound = self
+                        .eval_in(pid, to)?
+                        .as_i64()
+                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    let start = self.eval_in(pid, from)?;
+                    self.write_place(pid, var, start)?;
+                    self.processes[pid]
+                        .frames
+                        .last_mut()
+                        .expect("frame")
+                        .loop_bounds
+                        .push(bound);
+                    self.advance_pc(pid);
+                }
+                Instr::LoopTest { var, exit } => {
+                    let v = self
+                        .read_place_in(pid, var)?
+                        .as_i64()
+                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    let frame = self.processes[pid].frames.last_mut().expect("frame");
+                    let bound = *frame
+                        .loop_bounds
+                        .last()
+                        .ok_or_else(|| SimError::eval("loop bound stack empty".to_string()))?;
+                    if v > bound {
+                        frame.loop_bounds.pop();
+                        self.set_pc(pid, *exit);
+                    } else {
+                        self.advance_pc(pid);
+                    }
+                }
+                Instr::LoopIncr { var, back } => {
+                    let v = self
+                        .read_place_in(pid, var)?
+                        .as_i64()
+                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    let width = match self.read_place_in(pid, var)? {
+                        Value::Int { width, .. } => width,
+                        other => other.ty().bit_width(),
+                    };
+                    self.write_place(pid, var, Value::int(v + 1, width.max(1)))?;
+                    self.set_pc(pid, *back);
+                }
+                Instr::Wait(cond) => {
+                    self.advance_pc(pid);
+                    match cond {
+                        WaitCond::ForCycles(n) => {
+                            if *n > 0 {
+                                self.sleep_until(pid, self.time + n);
+                                return Ok(());
+                            }
+                        }
+                        WaitCond::OnSignals(signals) => {
+                            self.register_wait(pid, WaitKind::Signals, signals);
+                            return Ok(());
+                        }
+                        WaitCond::Until(expr) => {
+                            let sat = self
+                                .eval_in(pid, expr)?
+                                .as_bool()
+                                .map_err(|e| SimError::eval(e.to_string()))?;
+                            if !sat {
+                                let sens = {
+                                    let mut s = Vec::new();
+                                    expr.collect_signals(&mut s);
+                                    s
+                                };
+                                self.register_wait(
+                                    pid,
+                                    WaitKind::Until(expr.clone()),
+                                    &sens,
+                                );
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                Instr::Call { procedure, args } => {
+                    self.advance_pc(pid);
+                    self.enter_procedure(pid, *procedure, args)?;
+                }
+                Instr::Ret => {
+                    if self.leave_frame(pid)? {
+                        return Ok(());
+                    }
+                }
+                Instr::ChannelSend {
+                    channel,
+                    addr,
+                    data,
+                    cost,
+                } => {
+                    let data_v = self.eval_in(pid, data)?;
+                    let addr_v = match addr {
+                        Some(a) => Some(
+                            self.eval_in(pid, a)?
+                                .as_i64()
+                                .map_err(|e| SimError::eval(e.to_string()))?,
+                        ),
+                        None => None,
+                    };
+                    self.channel_write(*channel, addr_v, data_v)?;
+                    self.advance_pc(pid);
+                    if *cost > 0 {
+                        self.processes[pid].active_cycles += u64::from(*cost);
+                        self.sleep_until(pid, self.time + u64::from(*cost));
+                        return Ok(());
+                    }
+                }
+                Instr::ChannelReceive {
+                    channel,
+                    addr,
+                    target,
+                    cost,
+                } => {
+                    let addr_v = match addr {
+                        Some(a) => Some(
+                            self.eval_in(pid, a)?
+                                .as_i64()
+                                .map_err(|e| SimError::eval(e.to_string()))?,
+                        ),
+                        None => None,
+                    };
+                    let v = self.channel_read(*channel, addr_v)?;
+                    self.write_place(pid, target, v)?;
+                    self.advance_pc(pid);
+                    if *cost > 0 {
+                        self.processes[pid].active_cycles += u64::from(*cost);
+                        self.sleep_until(pid, self.time + u64::from(*cost));
+                        return Ok(());
+                    }
+                }
+                Instr::Assert { cond, note } => {
+                    let ok = self
+                        .eval_in(pid, cond)?
+                        .as_bool()
+                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    if !ok {
+                        return Err(SimError::AssertionFailed {
+                            behavior: self.system.behaviors
+                                [self.processes[pid].behavior]
+                                .name
+                                .clone(),
+                            note: note.clone(),
+                            time: self.time,
+                        });
+                    }
+                    self.assertions_checked += 1;
+                    self.advance_pc(pid);
+                }
+                Instr::Consume { cycles } => {
+                    self.advance_pc(pid);
+                    if *cycles > 0 {
+                        self.processes[pid].active_cycles += *cycles;
+                        self.sleep_until(pid, self.time + *cycles);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    fn advance_pc(&mut self, pid: usize) {
+        self.processes[pid].frames.last_mut().expect("frame").pc += 1;
+    }
+
+    fn set_pc(&mut self, pid: usize, pc: usize) {
+        self.processes[pid].frames.last_mut().expect("frame").pc = pc;
+    }
+
+    fn enter_procedure(
+        &mut self,
+        pid: usize,
+        procedure: usize,
+        args: &[Arg],
+    ) -> Result<(), SimError> {
+        let proc = &self.system.procedures[procedure];
+        let caller_frame_abs = self.processes[pid].frames.len() - 1;
+        let mut locals = Vec::with_capacity(proc.slot_count());
+        let mut copyback = Vec::new();
+        for (i, (arg, param)) in args.iter().zip(&proc.params).enumerate() {
+            match (arg, param.mode) {
+                (Arg::In(e), ParamMode::In) => {
+                    locals.push(coerce(self.eval_in(pid, e)?, &param.ty));
+                }
+                (Arg::Out(place), ParamMode::Out) => {
+                    locals.push(Value::default_of(&param.ty));
+                    let caller_code = self.processes[pid].frames[caller_frame_abs].code;
+                    let ty = place_ty(self.system, caller_code, place)?;
+                    copyback.push((i, self.resolve_place(pid, place, caller_frame_abs)?, ty));
+                }
+                (Arg::InOut(place), ParamMode::InOut) => {
+                    locals.push(coerce(self.read_place_in(pid, place)?, &param.ty));
+                    let caller_code = self.processes[pid].frames[caller_frame_abs].code;
+                    let ty = place_ty(self.system, caller_code, place)?;
+                    copyback.push((i, self.resolve_place(pid, place, caller_frame_abs)?, ty));
+                }
+                _ => {
+                    return Err(SimError::eval(format!(
+                        "argument mode mismatch calling `{}`",
+                        proc.name
+                    )))
+                }
+            }
+        }
+        for l in &proc.locals {
+            locals.push(Value::default_of(&l.ty));
+        }
+        let mut frame = Frame::new(CodeRef::Procedure(procedure), locals);
+        frame.copyback = copyback;
+        self.processes[pid].frames.push(frame);
+        Ok(())
+    }
+
+    /// Pops the current frame. Returns `true` when the process stopped
+    /// running (finished) and the caller should stop stepping it.
+    fn leave_frame(&mut self, pid: usize) -> Result<bool, SimError> {
+        let frame = self.processes[pid].frames.pop().expect("frame");
+        for (slot, rp, ty) in &frame.copyback {
+            let v = coerce(frame.locals[*slot].clone(), ty);
+            self.write_resolved(pid, rp, v)?;
+        }
+        if self.processes[pid].frames.is_empty() {
+            let bidx = self.processes[pid].behavior;
+            if self.system.behaviors[bidx].repeats {
+                self.processes[pid].iterations += 1;
+                self.processes[pid]
+                    .frames
+                    .push(Frame::new(CodeRef::Behavior(bidx), Vec::new()));
+                Ok(false)
+            } else {
+                self.processes[pid].status = Status::Finished;
+                self.processes[pid].finish_time = Some(self.time);
+                Ok(true)
+            }
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Ideal-channel write: store directly into the remote variable.
+    fn channel_write(
+        &mut self,
+        channel: ifsyn_spec::ChannelId,
+        addr: Option<i64>,
+        data: Value,
+    ) -> Result<(), SimError> {
+        let ch = self.system.channel(channel);
+        let var_idx = ch.variable.index();
+        let ty = self.system.variables[var_idx].ty.clone();
+        match addr {
+            Some(i) => {
+                let i = usize::try_from(i)
+                    .map_err(|_| SimError::eval(format!("negative channel address {i}")))?;
+                let elem_ty = match &ty {
+                    Ty::Array { elem, .. } => (**elem).clone(),
+                    other => other.clone(),
+                };
+                match &mut self.vars[var_idx] {
+                    Value::Array(items) => {
+                        let slot = items.get_mut(i).ok_or_else(|| {
+                            SimError::eval(format!("channel address {i} out of range"))
+                        })?;
+                        *slot = coerce(data, &elem_ty);
+                    }
+                    _ => {
+                        return Err(SimError::eval(
+                            "addressed channel write to non-array variable".to_string(),
+                        ))
+                    }
+                }
+            }
+            None => self.vars[var_idx] = coerce(data, &ty),
+        }
+        Ok(())
+    }
+
+    /// Ideal-channel read: fetch directly from the remote variable.
+    fn channel_read(
+        &self,
+        channel: ifsyn_spec::ChannelId,
+        addr: Option<i64>,
+    ) -> Result<Value, SimError> {
+        let ch = self.system.channel(channel);
+        let var_idx = ch.variable.index();
+        match addr {
+            Some(i) => {
+                let i = usize::try_from(i)
+                    .map_err(|_| SimError::eval(format!("negative channel address {i}")))?;
+                match &self.vars[var_idx] {
+                    Value::Array(items) => items.get(i).cloned().ok_or_else(|| {
+                        SimError::eval(format!("channel address {i} out of range"))
+                    }),
+                    _ => Err(SimError::eval(
+                        "addressed channel read from non-array variable".to_string(),
+                    )),
+                }
+            }
+            None => Ok(self.vars[var_idx].clone()),
+        }
+    }
+
+    fn into_report(self) -> SimReport {
+        let behaviors = self
+            .processes
+            .iter()
+            .map(|p| BehaviorOutcome {
+                name: self.system.behaviors[p.behavior].name.clone(),
+                finish_time: p.finish_time,
+                iterations: p.iterations,
+                blocked: matches!(p.status, Status::Waiting(_)),
+                active_cycles: p.active_cycles,
+                instrs_executed: p.instrs_executed,
+            })
+            .collect();
+        let variables = self
+            .system
+            .variables
+            .iter()
+            .zip(&self.vars)
+            .map(|(d, v)| (d.name.clone(), v.clone()))
+            .collect();
+        let signal_events = self
+            .system
+            .signals
+            .iter()
+            .zip(&self.signal_events)
+            .map(|(d, &n)| (d.name.clone(), n))
+            .collect();
+        SimReport {
+            time: self.time,
+            behaviors,
+            variables,
+            signal_events,
+            trace: self.trace,
+            total_deltas: self.total_deltas,
+            total_instrs: self.total_instrs,
+            assertions_checked: self.assertions_checked,
+        }
+    }
+}
+
+/// Writes `value` through a resolved navigation path.
+fn write_steps(root: &mut Value, steps: &[Step], value: Value) -> Result<(), SimError> {
+    match steps.split_first() {
+        None => {
+            *root = value;
+            Ok(())
+        }
+        Some((Step::Elem(i), rest)) => match root {
+            Value::Array(items) => {
+                let slot = items
+                    .get_mut(*i)
+                    .ok_or_else(|| SimError::eval(format!("array index {i} out of range")))?;
+                write_steps(slot, rest, value)
+            }
+            other => Err(SimError::eval(format!(
+                "indexing non-array value {other}"
+            ))),
+        },
+        Some((Step::Slice(hi, lo), rest)) => {
+            if !rest.is_empty() {
+                return Err(SimError::eval(
+                    "slice must be the last projection of a write target".to_string(),
+                ));
+            }
+            let ty = root.ty();
+            let mut bits = root.to_bits();
+            if *hi >= bits.width() {
+                return Err(SimError::eval(format!(
+                    "slice {hi} downto {lo} out of range for width {}",
+                    bits.width()
+                )));
+            }
+            bits.write_slice(*hi, *lo, &value.to_bits().resized(hi - lo + 1));
+            *root = Value::from_bits(&ty, &bits);
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # ifsyn-sim — discrete-event simulation of specification IR
+//!
+//! The DAC'94 paper's headline property is that protocol generation yields
+//! a *simulatable* refined specification. This crate provides the
+//! simulator: a deterministic discrete-event kernel with VHDL-style
+//! semantics —
+//!
+//! * **signals** update at delta boundaries; an *event* is a value change;
+//! * **processes** execute sequentially and suspend on `wait` statements;
+//! * **time** advances in integer clock cycles; statements carry cycle
+//!   costs (from the shared [`ifsyn_estimate::CostModel`]) so the measured
+//!   finish time of a process is its execution time in clocks — directly
+//!   comparable to the paper's Fig. 7 y-axis.
+//!
+//! One deliberate deviation from strict VHDL: `wait until` is
+//! *level-sensitive* (if the condition already holds, execution continues
+//! without waiting for an edge). This removes the lost-wakeup hazard of
+//! edge-triggered waits in generated handshake code and matches
+//! system-level languages like SpecCharts.
+//!
+//! ## Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use ifsyn_sim::Simulator;
+//! use ifsyn_spec::{System, Stmt, Ty, dsl::*};
+//!
+//! let mut sys = System::new("demo");
+//! let m = sys.add_module("chip");
+//! let b = sys.add_behavior("P", m);
+//! let x = sys.add_variable("X", Ty::Int(16), b);
+//! sys.behavior_mut(b).body = vec![
+//!     assign(var(x), int_const(5, 16)),
+//!     Stmt::compute(9, "work"),
+//! ];
+//!
+//! let report = Simulator::new(&sys)?.run_to_quiescence()?;
+//! assert_eq!(report.finish_time(b), Some(10)); // 1 assign + 9 compute
+//! assert_eq!(report.final_variable(x).as_i64()?, 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod eval;
+mod kernel;
+mod process;
+mod program;
+mod report;
+
+pub mod analysis;
+pub mod vcd;
+
+pub use config::SimConfig;
+pub use error::SimError;
+pub use kernel::Simulator;
+pub use program::{Instr, Program};
+pub use report::{SimReport, TraceEvent};

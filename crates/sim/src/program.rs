@@ -1,0 +1,413 @@
+//! Lowering of statement trees into flat instruction sequences.
+//!
+//! Structured control flow becomes jumps; `for` loops become
+//! init/test/increment triples with the (once-evaluated) bound kept on a
+//! per-frame loop stack. Every behavior and procedure compiles to one
+//! [`Code`] block ending in [`Instr::Ret`].
+
+use ifsyn_estimate::CostModel;
+use ifsyn_spec::{Arg, ChannelId, Expr, Place, SignalId, Stmt, System, WaitCond};
+
+/// One lowered instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `place := value`, consuming `cost` cycles.
+    Assign {
+        /// Assignment target.
+        place: Place,
+        /// Assigned value.
+        value: Expr,
+        /// Cycles consumed.
+        cost: u32,
+    },
+    /// `signal <= value`; the new value becomes visible `cost` cycles
+    /// later (next delta when `cost` is zero).
+    SignalWrite {
+        /// Driven signal.
+        signal: SignalId,
+        /// Driven value.
+        value: Expr,
+        /// Cycles consumed (and write visibility delay).
+        cost: u32,
+    },
+    /// Unconditional jump to an instruction index.
+    Jump(usize),
+    /// Jump to `target` when `cond` evaluates false.
+    JumpIfNot {
+        /// Branch condition.
+        cond: Expr,
+        /// Destination when false.
+        target: usize,
+    },
+    /// `for` prologue: assign `var := from`, push `to`'s value on the
+    /// frame's loop-bound stack.
+    LoopInit {
+        /// Loop variable.
+        var: Place,
+        /// Initial value expression.
+        from: Expr,
+        /// Final (inclusive) value expression, evaluated once.
+        to: Expr,
+    },
+    /// `for` guard: exit (popping the bound) when `var` exceeds the bound.
+    LoopTest {
+        /// Loop variable.
+        var: Place,
+        /// Destination when the loop is done.
+        exit: usize,
+    },
+    /// `for` epilogue: `var := var + 1`, jump back to the guard.
+    LoopIncr {
+        /// Loop variable.
+        var: Place,
+        /// Guard instruction index.
+        back: usize,
+    },
+    /// Suspend on a wait condition.
+    Wait(WaitCond),
+    /// Call a procedure by index into [`Program::procedures`].
+    Call {
+        /// Callee index.
+        procedure: usize,
+        /// Actual arguments.
+        args: Vec<Arg>,
+    },
+    /// Abstract (ideal) channel send: writes directly into the remote
+    /// variable's storage.
+    ChannelSend {
+        /// The channel.
+        channel: ChannelId,
+        /// Element address for arrays.
+        addr: Option<Expr>,
+        /// Transferred value.
+        data: Expr,
+        /// Cycles consumed.
+        cost: u32,
+    },
+    /// Abstract (ideal) channel receive.
+    ChannelReceive {
+        /// The channel.
+        channel: ChannelId,
+        /// Element address for arrays.
+        addr: Option<Expr>,
+        /// Destination.
+        target: Place,
+        /// Cycles consumed.
+        cost: u32,
+    },
+    /// Consume cycles without side effects (lowered [`Stmt::Compute`]).
+    Consume {
+        /// Cycles consumed.
+        cycles: u64,
+    },
+    /// Runtime check; fails the simulation when false.
+    Assert {
+        /// The checked condition.
+        cond: Expr,
+        /// Failure diagnostic.
+        note: String,
+    },
+    /// Return from the current frame. In a behavior's root frame this
+    /// finishes (or restarts) the behavior.
+    Ret,
+}
+
+/// A lowered code block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Code {
+    /// Source name (behavior or procedure name) for diagnostics.
+    pub name: String,
+    /// Flat instruction sequence; always ends with [`Instr::Ret`].
+    pub instrs: Vec<Instr>,
+}
+
+/// A fully lowered system: one code block per behavior and per procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Code per behavior, indexed like `System::behaviors`.
+    pub behaviors: Vec<Code>,
+    /// Code per procedure, indexed like `System::procedures`.
+    pub procedures: Vec<Code>,
+}
+
+impl Program {
+    /// Lowers every behavior and procedure of `system`.
+    ///
+    /// Statement costs default to the given [`CostModel`] when the
+    /// statement's explicit `cost` is absent.
+    pub fn compile(system: &System, costs: &CostModel) -> Self {
+        let behaviors = system
+            .behaviors
+            .iter()
+            .map(|b| Code {
+                name: b.name.clone(),
+                instrs: lower_block(&b.body, costs),
+            })
+            .collect();
+        let procedures = system
+            .procedures
+            .iter()
+            .map(|p| Code {
+                name: p.name.clone(),
+                instrs: lower_block(&p.body, costs),
+            })
+            .collect();
+        Self {
+            behaviors,
+            procedures,
+        }
+    }
+}
+
+fn lower_block(body: &[Stmt], costs: &CostModel) -> Vec<Instr> {
+    let mut out = Vec::new();
+    lower_into(body, costs, &mut out);
+    out.push(Instr::Ret);
+    out
+}
+
+fn lower_into(body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { place, value, cost } => out.push(Instr::Assign {
+                place: place.clone(),
+                value: value.clone(),
+                cost: cost.unwrap_or(costs.assign_cycles),
+            }),
+            Stmt::SignalAssign {
+                signal,
+                value,
+                cost,
+            } => out.push(Instr::SignalWrite {
+                signal: *signal,
+                value: value.clone(),
+                cost: cost.unwrap_or(costs.signal_assign_cycles),
+            }),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let branch_at = out.len();
+                out.push(Instr::Jump(0)); // placeholder for JumpIfNot
+                lower_into(then_body, costs, out);
+                if else_body.is_empty() {
+                    let end = out.len();
+                    out[branch_at] = Instr::JumpIfNot {
+                        cond: cond.clone(),
+                        target: end,
+                    };
+                } else {
+                    let jump_end_at = out.len();
+                    out.push(Instr::Jump(0)); // placeholder
+                    let else_start = out.len();
+                    out[branch_at] = Instr::JumpIfNot {
+                        cond: cond.clone(),
+                        target: else_start,
+                    };
+                    lower_into(else_body, costs, out);
+                    let end = out.len();
+                    out[jump_end_at] = Instr::Jump(end);
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                out.push(Instr::LoopInit {
+                    var: var.clone(),
+                    from: from.clone(),
+                    to: to.clone(),
+                });
+                let test_at = out.len();
+                out.push(Instr::Jump(0)); // placeholder for LoopTest
+                lower_into(body, costs, out);
+                out.push(Instr::LoopIncr {
+                    var: var.clone(),
+                    back: test_at,
+                });
+                let exit = out.len();
+                out[test_at] = Instr::LoopTest {
+                    var: var.clone(),
+                    exit,
+                };
+            }
+            Stmt::While { cond, body } => {
+                let test_at = out.len();
+                out.push(Instr::Jump(0)); // placeholder
+                lower_into(body, costs, out);
+                out.push(Instr::Jump(test_at));
+                let exit = out.len();
+                out[test_at] = Instr::JumpIfNot {
+                    cond: cond.clone(),
+                    target: exit,
+                };
+            }
+            Stmt::Wait(cond) => out.push(Instr::Wait(cond.clone())),
+            Stmt::Call { procedure, args } => out.push(Instr::Call {
+                procedure: procedure.index(),
+                args: args.clone(),
+            }),
+            Stmt::ChannelSend {
+                channel,
+                addr,
+                data,
+            } => out.push(Instr::ChannelSend {
+                channel: *channel,
+                addr: addr.clone(),
+                data: data.clone(),
+                cost: costs.abstract_channel_cycles,
+            }),
+            Stmt::ChannelReceive {
+                channel,
+                addr,
+                target,
+            } => out.push(Instr::ChannelReceive {
+                channel: *channel,
+                addr: addr.clone(),
+                target: target.clone(),
+                cost: costs.abstract_channel_cycles,
+            }),
+            Stmt::Compute { cycles, .. } => out.push(Instr::Consume { cycles: *cycles }),
+            Stmt::Assert { cond, note } => out.push(Instr::Assert {
+                cond: cond.clone(),
+                note: note.clone(),
+            }),
+            Stmt::Return => out.push(Instr::Ret),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::{System, Ty, VarId};
+
+    fn compile_body(body: Vec<Stmt>) -> Vec<Instr> {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let _x = sys.add_variable("x", Ty::Int(16), b);
+        sys.behavior_mut(b).body = body;
+        Program::compile(&sys, &CostModel::new()).behaviors[0]
+            .instrs
+            .clone()
+    }
+
+    #[test]
+    fn straight_line_lowered_in_order_with_ret() {
+        let x = VarId::new(0);
+        let instrs = compile_body(vec![
+            assign(var(x), int_const(1, 16)),
+            Stmt::compute(4, "w"),
+        ]);
+        assert!(matches!(instrs[0], Instr::Assign { cost: 1, .. }));
+        assert!(matches!(instrs[1], Instr::Consume { cycles: 4 }));
+        assert!(matches!(instrs[2], Instr::Ret));
+        assert_eq!(instrs.len(), 3);
+    }
+
+    #[test]
+    fn if_without_else_branches_past_then() {
+        let x = VarId::new(0);
+        let instrs = compile_body(vec![if_then(
+            bit_const(true),
+            vec![assign(var(x), int_const(1, 16))],
+        )]);
+        match &instrs[0] {
+            Instr::JumpIfNot { target, .. } => assert_eq!(*target, 2),
+            other => panic!("expected JumpIfNot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_jump_targets_are_consistent() {
+        let x = VarId::new(0);
+        let instrs = compile_body(vec![if_else(
+            bit_const(true),
+            vec![assign(var(x), int_const(1, 16))],
+            vec![assign(var(x), int_const(2, 16))],
+        )]);
+        // 0: JumpIfNot -> 3 ; 1: then-assign ; 2: Jump -> 4 ; 3: else-assign ; 4: Ret
+        match &instrs[0] {
+            Instr::JumpIfNot { target, .. } => assert_eq!(*target, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &instrs[2] {
+            Instr::Jump(t) => assert_eq!(*t, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(instrs[4], Instr::Ret));
+    }
+
+    #[test]
+    fn for_loop_shape() {
+        let x = VarId::new(0);
+        let instrs = compile_body(vec![for_loop(
+            var(x),
+            int_const(0, 16),
+            int_const(3, 16),
+            vec![Stmt::compute(1, "w")],
+        )]);
+        // 0: LoopInit ; 1: LoopTest -> 4 ; 2: Consume ; 3: LoopIncr -> 1 ; 4: Ret
+        assert!(matches!(instrs[0], Instr::LoopInit { .. }));
+        match &instrs[1] {
+            Instr::LoopTest { exit, .. } => assert_eq!(*exit, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &instrs[3] {
+            Instr::LoopIncr { back, .. } => assert_eq!(*back, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let instrs = compile_body(vec![while_loop(
+            bit_const(false),
+            vec![Stmt::compute(1, "w")],
+        )]);
+        // 0: JumpIfNot -> 3 ; 1: Consume ; 2: Jump -> 0 ; 3: Ret
+        match &instrs[0] {
+            Instr::JumpIfNot { target, .. } => assert_eq!(*target, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(instrs[2], Instr::Jump(0)));
+    }
+
+    #[test]
+    fn explicit_costs_override_model() {
+        let x = VarId::new(0);
+        let instrs = compile_body(vec![assign_cost(var(x), int_const(1, 16), 9)]);
+        assert!(matches!(instrs[0], Instr::Assign { cost: 9, .. }));
+    }
+
+    #[test]
+    fn nested_ifs_terminate_with_single_ret() {
+        let x = VarId::new(0);
+        let instrs = compile_body(vec![if_then(
+            bit_const(true),
+            vec![if_else(
+                bit_const(false),
+                vec![assign(var(x), int_const(1, 16))],
+                vec![assign(var(x), int_const(2, 16))],
+            )],
+        )]);
+        let rets = instrs.iter().filter(|i| matches!(i, Instr::Ret)).count();
+        assert_eq!(rets, 1);
+        // All jump targets must be in range.
+        for i in &instrs {
+            match i {
+                Instr::Jump(t) | Instr::JumpIfNot { target: t, .. } => {
+                    assert!(*t <= instrs.len())
+                }
+                Instr::LoopTest { exit, .. } => assert!(*exit <= instrs.len()),
+                Instr::LoopIncr { back, .. } => assert!(*back < instrs.len()),
+                _ => {}
+            }
+        }
+    }
+}

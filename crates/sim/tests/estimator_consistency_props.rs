@@ -1,0 +1,120 @@
+//! Property: the analytic estimator and the simulator agree on
+//! randomly generated straight-line / structured programs (the shared
+//! cost model contract behind Fig. 7).
+
+use proptest::prelude::*;
+
+use ifsyn_estimate::{ChannelTimings, PerformanceEstimator};
+use ifsyn_sim::Simulator;
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{Stmt, System, Ty, VarId};
+
+/// A recipe for one statement.
+#[derive(Debug, Clone)]
+enum Piece {
+    Assign(u8),
+    Compute(u8),
+    WaitFor(u8),
+    Loop { iters: u8, body_computes: u8 },
+    IfTrue { then_computes: u8, else_computes: u8 },
+}
+
+fn piece() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        (0u8..5).prop_map(Piece::Assign),
+        (0u8..20).prop_map(Piece::Compute),
+        (0u8..10).prop_map(Piece::WaitFor),
+        (1u8..6, 0u8..5).prop_map(|(iters, body_computes)| Piece::Loop {
+            iters,
+            body_computes,
+        }),
+        (0u8..5, 0u8..5).prop_map(|(t, e)| Piece::IfTrue {
+            then_computes: t,
+            else_computes: e,
+        }),
+    ]
+}
+
+fn lower(pieces: &[Piece], sys: &mut System, x: VarId, i: VarId) -> Vec<Stmt> {
+    let _ = sys;
+    let mut body = Vec::new();
+    for p in pieces {
+        match p {
+            Piece::Assign(cost) => body.push(assign_cost(
+                var(x),
+                add(load(var(x)), int_const(1, 16)),
+                u32::from(*cost),
+            )),
+            Piece::Compute(c) => body.push(Stmt::compute(u64::from(*c), "w")),
+            Piece::WaitFor(n) => body.push(wait_cycles(u64::from(*n))),
+            Piece::Loop {
+                iters,
+                body_computes,
+            } => body.push(for_loop(
+                var(i),
+                int_const(0, 16),
+                int_const(i64::from(*iters) - 1, 16),
+                vec![Stmt::compute(u64::from(*body_computes), "loop body")],
+            )),
+            Piece::IfTrue {
+                then_computes,
+                else_computes,
+            } => body.push(if_else(
+                bit_const(true),
+                vec![Stmt::compute(u64::from(*then_computes), "then")],
+                vec![Stmt::compute(u64::from(*else_computes), "else")],
+            )),
+        }
+    }
+    body
+}
+
+/// Worst-case branch divergence makes the estimator an upper bound when
+/// `else` is longer than `then`; exact otherwise. Compute both bounds.
+fn exact_and_estimate(pieces: &[Piece]) -> (u64, u64, bool) {
+    let mut sys = System::new("p");
+    let m = sys.add_module("chip");
+    let b = sys.add_behavior("P", m);
+    let x = sys.add_variable("x", Ty::Int(16), b);
+    let i = sys.add_variable("i", Ty::Int(16), b);
+    let body = lower(pieces, &mut sys, x, i);
+    sys.behavior_mut(b).body = body;
+    let est = PerformanceEstimator::new()
+        .estimate(&sys, b, &ChannelTimings::new())
+        .expect("estimate");
+    let report = Simulator::new(&sys)
+        .expect("sim setup")
+        .run_to_quiescence()
+        .expect("sim");
+    let measured = report.finish_time(b).expect("finished");
+    let has_divergent_branch = pieces.iter().any(|p| {
+        matches!(p, Piece::IfTrue { then_computes, else_computes } if else_computes > then_computes)
+    });
+    (measured, est.cycles, has_divergent_branch)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimator_matches_or_upper_bounds_simulation(
+        pieces in prop::collection::vec(piece(), 0..12),
+    ) {
+        let (measured, estimated, divergent) = exact_and_estimate(&pieces);
+        if divergent {
+            // Worst-case branch pricing: the estimate is an upper bound.
+            prop_assert!(estimated >= measured, "{estimated} < {measured}");
+        } else {
+            prop_assert_eq!(estimated, measured);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        pieces in prop::collection::vec(piece(), 0..8),
+    ) {
+        let (a, _, _) = exact_and_estimate(&pieces);
+        let (b, _, _) = exact_and_estimate(&pieces);
+        prop_assert_eq!(a, b);
+    }
+}

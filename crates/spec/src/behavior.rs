@@ -1,0 +1,99 @@
+//! Behaviors (processes) and variable declarations.
+
+use crate::ids::{BehaviorId, ModuleId};
+use crate::stmt::Stmt;
+use crate::types::Ty;
+use crate::value::Value;
+
+/// A variable declaration.
+///
+/// Variables are owned by a behavior (their storage lives with that
+/// process) but, before partitioning, may be *referenced* by any behavior.
+/// Partitioning turns cross-module references into channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name (unique within the system for printing clarity).
+    pub name: String,
+    /// Variable type.
+    pub ty: Ty,
+    /// The behavior whose storage holds this variable.
+    pub owner: BehaviorId,
+    /// Initial value; `None` means the type's all-zero default.
+    pub init: Option<Value>,
+}
+
+impl VarDecl {
+    /// The value the variable holds at time zero.
+    pub fn initial_value(&self) -> Value {
+        self.init
+            .clone()
+            .unwrap_or_else(|| Value::default_of(&self.ty))
+    }
+}
+
+/// A behavior: a sequential process executing concurrently with all other
+/// behaviors of the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Behavior {
+    /// Behavior name (unique within the system).
+    pub name: String,
+    /// The module (chip) this behavior is assigned to.
+    pub module: ModuleId,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+    /// When `true` the body restarts after finishing, like a VHDL process;
+    /// when `false` the behavior terminates (its finish time is the
+    /// process "execution time" reported in the paper's Fig. 7).
+    pub repeats: bool,
+}
+
+impl Behavior {
+    /// Creates an empty, non-repeating behavior.
+    pub fn new(name: impl Into<String>, module: ModuleId) -> Self {
+        Self {
+            name: name.into(),
+            module,
+            body: Vec::new(),
+            repeats: false,
+        }
+    }
+
+    /// Builder-style setter for [`Behavior::repeats`].
+    pub fn repeating(mut self, repeats: bool) -> Self {
+        self.repeats = repeats;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_value_defaults_to_zero_of_type() {
+        let d = VarDecl {
+            name: "X".into(),
+            ty: Ty::Bits(4),
+            owner: BehaviorId::new(0),
+            init: None,
+        };
+        assert_eq!(d.initial_value(), Value::default_of(&Ty::Bits(4)));
+    }
+
+    #[test]
+    fn initial_value_uses_declared_init() {
+        let d = VarDecl {
+            name: "C".into(),
+            ty: Ty::Int(8),
+            owner: BehaviorId::new(0),
+            init: Some(Value::int(9, 8)),
+        };
+        assert_eq!(d.initial_value(), Value::int(9, 8));
+    }
+
+    #[test]
+    fn repeating_builder() {
+        let b = Behavior::new("P", ModuleId::new(0)).repeating(true);
+        assert!(b.repeats);
+    }
+}

@@ -1,0 +1,105 @@
+//! Abstract communication channels.
+
+use crate::ids::{BehaviorId, VarId};
+
+/// Direction of a channel from the accessing process's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelDirection {
+    /// The process reads the remote variable (`A < MEM` in the paper).
+    Read,
+    /// The process writes the remote variable (`A > MEM` in the paper).
+    Write,
+}
+
+impl ChannelDirection {
+    /// The paper's arrow notation: `<` for reads, `>` for writes.
+    pub fn arrow(self) -> char {
+        match self {
+            ChannelDirection::Read => '<',
+            ChannelDirection::Write => '>',
+        }
+    }
+}
+
+/// An abstract communication channel created by system partitioning.
+///
+/// A channel connects one accessing behavior to one variable that
+/// partitioning placed on a different module. It is "a virtual entity free
+/// of any implementation details" (paper §1); bus generation and protocol
+/// generation later give a group of channels a physical bus and a
+/// protocol.
+///
+/// Message size: every access transfers `data_bits` of payload plus
+/// `addr_bits` of element address (zero for scalar variables), matching
+/// the paper's accounting for the FLC channels ("the two channels each
+/// transfer 16 bits of data and 7 bits of address").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    /// Channel name, e.g. `ch1`.
+    pub name: String,
+    /// The behavior accessing the remote variable.
+    pub accessor: BehaviorId,
+    /// The remote variable being accessed.
+    pub variable: VarId,
+    /// Access direction.
+    pub direction: ChannelDirection,
+    /// Payload bits per access (the variable's element width).
+    pub data_bits: u32,
+    /// Address bits per access (0 for scalars).
+    pub addr_bits: u32,
+    /// Number of accesses over the accessor's lifetime (used by rate
+    /// estimation). For repeating behaviors: accesses per iteration.
+    pub accesses: u64,
+}
+
+impl Channel {
+    /// Bits moved per access: data plus address.
+    pub fn message_bits(&self) -> u32 {
+        self.data_bits + self.addr_bits
+    }
+
+    /// Total bits moved over the accessor's lifetime.
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.message_bits()) * self.accesses
+    }
+
+    /// Number of wires a dedicated (unshared) implementation would need,
+    /// which is what bus merging saves (paper Fig. 8's "interconnect
+    /// reduction" baseline).
+    pub fn dedicated_wires(&self) -> u32 {
+        self.message_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flc_ch1() -> Channel {
+        Channel {
+            name: "ch1".into(),
+            accessor: BehaviorId::new(0),
+            variable: VarId::new(0),
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 7,
+            accesses: 128,
+        }
+    }
+
+    #[test]
+    fn message_bits_is_data_plus_addr() {
+        assert_eq!(flc_ch1().message_bits(), 23);
+    }
+
+    #[test]
+    fn total_bits_scales_with_accesses() {
+        assert_eq!(flc_ch1().total_bits(), 23 * 128);
+    }
+
+    #[test]
+    fn direction_arrows_match_paper_notation() {
+        assert_eq!(ChannelDirection::Read.arrow(), '<');
+        assert_eq!(ChannelDirection::Write.arrow(), '>');
+    }
+}

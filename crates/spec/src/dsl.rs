@@ -1,0 +1,328 @@
+//! Terse constructors for building IR by hand.
+//!
+//! These free functions keep hand-written system models (and the code the
+//! protocol generator emits) readable:
+//!
+//! ```
+//! use ifsyn_spec::{Ty, System, dsl::*};
+//!
+//! let mut sys = System::new("demo");
+//! let m = sys.add_module("chip");
+//! let b = sys.add_behavior("P", m);
+//! let x = sys.add_variable("X", Ty::Int(16), b);
+//! sys.behavior_mut(b).body.push(
+//!     assign(var(x), add(load(var(x)), int_const(7, 16))),
+//! );
+//! ```
+
+use crate::expr::{BinOp, Expr, Place, UnaryOp};
+use crate::ids::{ChannelId, ProcId, SignalId, VarId};
+use crate::procedure::Arg;
+use crate::stmt::{Stmt, WaitCond};
+use crate::value::{BitVec, Value};
+
+// ---- places ----------------------------------------------------------
+
+/// Place naming a behavior variable.
+pub fn var(id: VarId) -> Place {
+    Place::Var(id)
+}
+
+/// Place naming a procedure parameter / local slot.
+pub fn local(slot: usize) -> Place {
+    Place::Local(slot)
+}
+
+/// Indexes an array place: `base(index)`.
+pub fn index(base: Place, idx: Expr) -> Place {
+    Place::Index {
+        base: Box::new(base),
+        index: Box::new(idx),
+    }
+}
+
+/// Slices a bit-vector place: `base(hi downto lo)`.
+pub fn slice(base: Place, hi: u32, lo: u32) -> Place {
+    Place::Slice {
+        base: Box::new(base),
+        hi,
+        lo,
+    }
+}
+
+/// Fixed-width slice of a place at a runtime offset:
+/// `base(offset + width - 1 downto offset)`.
+pub fn dyn_slice(base: Place, offset: Expr, width: u32) -> Place {
+    Place::DynSlice {
+        base: Box::new(base),
+        offset: Box::new(offset),
+        width,
+    }
+}
+
+// ---- expressions ------------------------------------------------------
+
+/// Reads a place.
+pub fn load(place: Place) -> Expr {
+    Expr::Load(place)
+}
+
+/// Reads a signal.
+pub fn signal(id: SignalId) -> Expr {
+    Expr::Signal(id)
+}
+
+/// Integer literal of the given bit width.
+pub fn int_const(value: i64, width: u32) -> Expr {
+    Expr::Const(Value::int(value, width))
+}
+
+/// Bit-vector literal from the low `width` bits of `value`.
+pub fn bits_const(value: u64, width: u32) -> Expr {
+    Expr::Const(Value::Bits(BitVec::from_u64(value, width)))
+}
+
+/// Single-bit literal.
+pub fn bit_const(value: bool) -> Expr {
+    Expr::Const(Value::Bit(value))
+}
+
+fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+/// `lhs + rhs`.
+pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Add, lhs, rhs)
+}
+
+/// `lhs - rhs`.
+pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Sub, lhs, rhs)
+}
+
+/// `lhs * rhs`.
+pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Mul, lhs, rhs)
+}
+
+/// `lhs = rhs`.
+pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Eq, lhs, rhs)
+}
+
+/// `lhs /= rhs`.
+pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Ne, lhs, rhs)
+}
+
+/// `lhs < rhs`.
+pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Lt, lhs, rhs)
+}
+
+/// `lhs <= rhs`.
+pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Le, lhs, rhs)
+}
+
+/// `lhs and rhs`.
+pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::And, lhs, rhs)
+}
+
+/// `lhs or rhs`.
+pub fn or(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Or, lhs, rhs)
+}
+
+/// `lhs & rhs` — concatenation, `lhs` in the low bit positions.
+pub fn concat(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Concat, lhs, rhs)
+}
+
+/// `not arg`.
+pub fn not(arg: Expr) -> Expr {
+    Expr::Unary {
+        op: UnaryOp::Not,
+        arg: Box::new(arg),
+    }
+}
+
+/// `base(hi downto lo)` on an expression.
+pub fn slice_of(base: Expr, hi: u32, lo: u32) -> Expr {
+    Expr::SliceOf {
+        base: Box::new(base),
+        hi,
+        lo,
+    }
+}
+
+/// Zero-extends / truncates an expression to `width` bits.
+pub fn resize(base: Expr, width: u32) -> Expr {
+    Expr::Resize {
+        base: Box::new(base),
+        width,
+    }
+}
+
+/// Fixed-width slice of an expression at a runtime offset.
+pub fn dyn_slice_of(base: Expr, offset: Expr, width: u32) -> Expr {
+    Expr::DynSliceOf {
+        base: Box::new(base),
+        offset: Box::new(offset),
+        width,
+    }
+}
+
+// ---- statements -------------------------------------------------------
+
+/// `place := value` with default cost.
+pub fn assign(place: Place, value: Expr) -> Stmt {
+    Stmt::Assign {
+        place,
+        value,
+        cost: None,
+    }
+}
+
+/// `place := value` with an explicit cycle cost.
+pub fn assign_cost(place: Place, value: Expr, cost: u32) -> Stmt {
+    Stmt::Assign {
+        place,
+        value,
+        cost: Some(cost),
+    }
+}
+
+/// `signal <= value` with default cost.
+pub fn drive(sig: SignalId, value: Expr) -> Stmt {
+    Stmt::SignalAssign {
+        signal: sig,
+        value,
+        cost: None,
+    }
+}
+
+/// `signal <= value` with an explicit cycle cost.
+pub fn drive_cost(sig: SignalId, value: Expr, cost: u32) -> Stmt {
+    Stmt::SignalAssign {
+        signal: sig,
+        value,
+        cost: Some(cost),
+    }
+}
+
+/// `if cond then ... end if`.
+pub fn if_then(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then_body,
+        else_body: Vec::new(),
+    }
+}
+
+/// `if cond then ... else ... end if`.
+pub fn if_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then_body,
+        else_body,
+    }
+}
+
+/// `for var in from..=to loop ... end loop`.
+pub fn for_loop(loop_var: Place, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For {
+        var: loop_var,
+        from,
+        to,
+        body,
+    }
+}
+
+/// `while cond loop ... end loop`.
+pub fn while_loop(cond: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::While { cond, body }
+}
+
+/// `wait until expr`.
+pub fn wait_until(cond: Expr) -> Stmt {
+    Stmt::Wait(WaitCond::Until(cond))
+}
+
+/// `wait on s1, s2, ...`.
+pub fn wait_on(signals: Vec<SignalId>) -> Stmt {
+    Stmt::Wait(WaitCond::OnSignals(signals))
+}
+
+/// `wait for cycles`.
+pub fn wait_cycles(cycles: u64) -> Stmt {
+    Stmt::Wait(WaitCond::ForCycles(cycles))
+}
+
+/// Procedure call.
+pub fn call(procedure: ProcId, args: Vec<Arg>) -> Stmt {
+    Stmt::Call { procedure, args }
+}
+
+/// Abstract channel send of a scalar value.
+pub fn send(channel: ChannelId, data: Expr) -> Stmt {
+    Stmt::ChannelSend {
+        channel,
+        addr: None,
+        data,
+    }
+}
+
+/// Abstract channel send of an array element (`addr`, `data`).
+pub fn send_at(channel: ChannelId, addr: Expr, data: Expr) -> Stmt {
+    Stmt::ChannelSend {
+        channel,
+        addr: Some(addr),
+        data,
+    }
+}
+
+/// Abstract channel receive of a scalar value.
+pub fn receive(channel: ChannelId, target: Place) -> Stmt {
+    Stmt::ChannelReceive {
+        channel,
+        addr: None,
+        target,
+    }
+}
+
+/// Abstract channel receive of an array element at `addr`.
+pub fn receive_at(channel: ChannelId, addr: Expr, target: Place) -> Stmt {
+    Stmt::ChannelReceive {
+        channel,
+        addr: Some(addr),
+        target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let e = add(int_const(1, 8), int_const(2, 8));
+        assert!(matches!(e, Expr::Binary { op: BinOp::Add, .. }));
+        let s = assign(var(VarId::new(0)), e);
+        assert!(matches!(s, Stmt::Assign { cost: None, .. }));
+        let s = drive_cost(SignalId::new(0), bit_const(true), 1);
+        assert!(matches!(s, Stmt::SignalAssign { cost: Some(1), .. }));
+    }
+
+    #[test]
+    fn place_builders_nest() {
+        let p = slice(index(var(VarId::new(0)), int_const(3, 8)), 7, 4);
+        assert_eq!(p.root_var(), Some(VarId::new(0)));
+    }
+}

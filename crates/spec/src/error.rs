@@ -1,0 +1,72 @@
+//! Error type for specification construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// An id referenced a table entry that does not exist.
+    DanglingId {
+        /// Human-readable description of the reference site.
+        context: String,
+    },
+    /// A value or expression was used at an incompatible type.
+    TypeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// A name was declared twice in the same scope.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A structural rule of the language was violated.
+    Malformed {
+        /// Human-readable description of the violation.
+        context: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DanglingId { context } => {
+                write!(f, "dangling id reference: {context}")
+            }
+            SpecError::TypeMismatch { context } => {
+                write!(f, "type mismatch: {context}")
+            }
+            SpecError::DuplicateName { name } => {
+                write!(f, "duplicate declaration of `{name}`")
+            }
+            SpecError::Malformed { context } => {
+                write!(f, "malformed specification: {context}")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = SpecError::DuplicateName {
+            name: "MEM".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("duplicate"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpecError>();
+    }
+}

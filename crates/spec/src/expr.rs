@@ -1,0 +1,345 @@
+//! Expressions and assignable places.
+
+use std::fmt;
+
+use crate::ids::{SignalId, VarId};
+use crate::value::Value;
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (truncating). Division by zero yields zero, matching
+    /// common RTL synthesis semantics for degenerate cases.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical / bitwise and.
+    And,
+    /// Logical / bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bit-vector concatenation (`lhs` takes the low positions).
+    Concat,
+    /// Minimum of two integers.
+    Min,
+    /// Maximum of two integers.
+    Max,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "mod",
+            BinOp::Eq => "=",
+            BinOp::Ne => "/=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Concat => "&",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical / bitwise not.
+    Not,
+    /// Integer negation.
+    Neg,
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnaryOp::Not => f.write_str("not"),
+            UnaryOp::Neg => f.write_str("-"),
+        }
+    }
+}
+
+/// A storage location that can be read or assigned.
+///
+/// `Place` distinguishes behavior variables ([`Place::Var`]) from procedure
+/// parameters / locals ([`Place::Local`]); both can be refined by indexing
+/// and constant-bound slicing, mirroring VHDL targets like
+/// `rxdata(8*J-1 downto 8*(J-1))` after loop unrolling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Place {
+    /// A variable declared in a behavior (or shared across a module).
+    Var(VarId),
+    /// A procedure parameter or local, by slot index (parameters first).
+    Local(usize),
+    /// An element of an array place.
+    Index {
+        /// The array being indexed.
+        base: Box<Place>,
+        /// Element index expression.
+        index: Box<Expr>,
+    },
+    /// A constant-bound bit slice of a place (`hi downto lo`).
+    Slice {
+        /// The bit-vector being sliced.
+        base: Box<Place>,
+        /// High bit index (inclusive).
+        hi: u32,
+        /// Low bit index (inclusive).
+        lo: u32,
+    },
+    /// A fixed-width slice at a *runtime* offset:
+    /// `base(offset + width - 1 downto offset)` — the form the paper's
+    /// Fig. 4 word loops use (`txdata(8*J-1 downto 8*(J-1))`).
+    DynSlice {
+        /// The bit-vector being sliced.
+        base: Box<Place>,
+        /// Low bit index, evaluated at runtime.
+        offset: Box<Expr>,
+        /// Slice width in bits (static).
+        width: u32,
+    },
+}
+
+impl Place {
+    /// Returns the root storage of this place (stripping indices/slices).
+    pub fn root(&self) -> &Place {
+        match self {
+            Place::Index { base, .. }
+            | Place::Slice { base, .. }
+            | Place::DynSlice { base, .. } => base.root(),
+            other => other,
+        }
+    }
+
+    /// Returns the root variable id if the root storage is a variable.
+    pub fn root_var(&self) -> Option<VarId> {
+        match self.root() {
+            Place::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// An expression of the specification language.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// Read of a storage place (variable, local, element or slice).
+    Load(Place),
+    /// Read of the current value of a signal.
+    Signal(SignalId),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Constant-bound bit slice of an expression (`hi downto lo`).
+    SliceOf {
+        /// Operand.
+        base: Box<Expr>,
+        /// High bit index (inclusive).
+        hi: u32,
+        /// Low bit index (inclusive).
+        lo: u32,
+    },
+    /// Zero-extend / truncate an expression to a bit-vector of fixed width.
+    Resize {
+        /// Operand.
+        base: Box<Expr>,
+        /// Target width in bits.
+        width: u32,
+    },
+    /// A fixed-width slice of an expression at a runtime offset.
+    DynSliceOf {
+        /// Operand.
+        base: Box<Expr>,
+        /// Low bit index, evaluated at runtime.
+        offset: Box<Expr>,
+        /// Slice width in bits (static).
+        width: u32,
+    },
+}
+
+impl Expr {
+    /// Collects every signal this expression reads into `out`.
+    ///
+    /// Used to infer the implicit sensitivity list of `wait until`.
+    pub fn collect_signals(&self, out: &mut Vec<SignalId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Load(place) => collect_place_signals(place, out),
+            Expr::Signal(s) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            Expr::Unary { arg, .. } => arg.collect_signals(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_signals(out);
+                rhs.collect_signals(out);
+            }
+            Expr::SliceOf { base, .. } | Expr::Resize { base, .. } => {
+                base.collect_signals(out)
+            }
+            Expr::DynSliceOf { base, offset, .. } => {
+                base.collect_signals(out);
+                offset.collect_signals(out);
+            }
+        }
+    }
+
+    /// Collects every variable this expression reads into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) | Expr::Signal(_) => {}
+            Expr::Load(place) => collect_place_vars(place, out),
+            Expr::Unary { arg, .. } => arg.collect_vars(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Expr::SliceOf { base, .. } | Expr::Resize { base, .. } => {
+                base.collect_vars(out)
+            }
+            Expr::DynSliceOf { base, offset, .. } => {
+                base.collect_vars(out);
+                offset.collect_vars(out);
+            }
+        }
+    }
+}
+
+fn collect_place_signals(place: &Place, out: &mut Vec<SignalId>) {
+    match place {
+        Place::Index { base, index } => {
+            collect_place_signals(base, out);
+            index.collect_signals(out);
+        }
+        Place::Slice { base, .. } => collect_place_signals(base, out),
+        Place::DynSlice { base, offset, .. } => {
+            collect_place_signals(base, out);
+            offset.collect_signals(out);
+        }
+        Place::Var(_) | Place::Local(_) => {}
+    }
+}
+
+fn collect_place_vars(place: &Place, out: &mut Vec<VarId>) {
+    match place {
+        Place::Var(v) => {
+            if !out.contains(v) {
+                out.push(*v);
+            }
+        }
+        Place::Local(_) => {}
+        Place::Index { base, index } => {
+            collect_place_vars(base, out);
+            index.collect_vars(out);
+        }
+        Place::Slice { base, .. } => collect_place_vars(base, out),
+        Place::DynSlice { base, offset, .. } => {
+            collect_place_vars(base, out);
+            offset.collect_vars(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sig(i: u32) -> Expr {
+        Expr::Signal(SignalId::new(i))
+    }
+
+    #[test]
+    fn collect_signals_dedups() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(sig(1)),
+            rhs: Box::new(Expr::Binary {
+                op: BinOp::Eq,
+                lhs: Box::new(sig(1)),
+                rhs: Box::new(sig(2)),
+            }),
+        };
+        let mut out = Vec::new();
+        e.collect_signals(&mut out);
+        assert_eq!(out, vec![SignalId::new(1), SignalId::new(2)]);
+    }
+
+    #[test]
+    fn collect_vars_sees_through_index() {
+        let place = Place::Index {
+            base: Box::new(Place::Var(VarId::new(0))),
+            index: Box::new(Expr::Load(Place::Var(VarId::new(1)))),
+        };
+        let mut out = Vec::new();
+        Expr::Load(place).collect_vars(&mut out);
+        assert_eq!(out, vec![VarId::new(0), VarId::new(1)]);
+    }
+
+    #[test]
+    fn place_root_strips_projections() {
+        let p = Place::Slice {
+            base: Box::new(Place::Index {
+                base: Box::new(Place::Var(VarId::new(4))),
+                index: Box::new(Expr::Const(Value::int(0, 8))),
+            }),
+            hi: 7,
+            lo: 0,
+        };
+        assert_eq!(p.root_var(), Some(VarId::new(4)));
+        let l = Place::Local(2);
+        assert_eq!(l.root_var(), None);
+    }
+
+    #[test]
+    fn binop_display() {
+        assert_eq!(BinOp::Ne.to_string(), "/=");
+        assert_eq!(BinOp::Concat.to_string(), "&");
+        assert_eq!(UnaryOp::Not.to_string(), "not");
+    }
+}

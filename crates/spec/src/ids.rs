@@ -1,0 +1,88 @@
+//! Strongly typed indices into [`crate::System`] tables.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw table index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw table index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a variable in a [`crate::System`].
+    VarId, "v"
+);
+id_type!(
+    /// Identifies a signal (wire) in a [`crate::System`].
+    SignalId, "s"
+);
+id_type!(
+    /// Identifies a behavior (process) in a [`crate::System`].
+    BehaviorId, "b"
+);
+id_type!(
+    /// Identifies a procedure in a [`crate::System`].
+    ProcId, "p"
+);
+id_type!(
+    /// Identifies an abstract communication channel in a [`crate::System`].
+    ChannelId, "ch"
+);
+id_type!(
+    /// Identifies a system module (chip / memory) produced by partitioning.
+    ModuleId, "m"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        let v = VarId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(usize::from(v), 7);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(VarId::new(3).to_string(), "v3");
+        assert_eq!(SignalId::new(0).to_string(), "s0");
+        assert_eq!(BehaviorId::new(1).to_string(), "b1");
+        assert_eq!(ProcId::new(2).to_string(), "p2");
+        assert_eq!(ChannelId::new(4).to_string(), "ch4");
+        assert_eq!(ModuleId::new(5).to_string(), "m5");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ChannelId::new(1) < ChannelId::new(2));
+        assert_eq!(VarId::new(9), VarId::new(9));
+    }
+}

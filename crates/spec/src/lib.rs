@@ -1,0 +1,57 @@
+//! # ifsyn-spec — system-specification IR for interface synthesis
+//!
+//! This crate defines the intermediate representation every other crate in
+//! the workspace manipulates: a small, VHDL-flavoured behavioural language
+//! with processes ([`Behavior`]), variables, signals, procedures and
+//! abstract communication [`Channel`]s, assembled into a [`System`].
+//!
+//! The IR mirrors the specification model of Narayan & Gajski,
+//! *Protocol Generation for Communication Channels* (DAC 1994): a system is
+//! a set of concurrently executing processes that access variables; after
+//! partitioning, accesses to variables living on another module become
+//! channel operations ([`Stmt::ChannelSend`] / [`Stmt::ChannelReceive`]);
+//! interface synthesis later refines those into bus signal wiggling.
+//!
+//! ## Example
+//!
+//! Build a tiny system with one behavior writing a 16-bit variable:
+//!
+//! ```
+//! use ifsyn_spec::{System, Ty, dsl::*};
+//!
+//! let mut sys = System::new("demo");
+//! let m = sys.add_module("chip1");
+//! let b = sys.add_behavior("producer", m);
+//! let x = sys.add_variable("X", Ty::Bits(16), b);
+//! sys.behavior_mut(b).body.push(assign(var(x), bits_const(32, 16)));
+//! assert!(sys.check().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod channel;
+mod error;
+mod expr;
+mod ids;
+mod procedure;
+mod stmt;
+mod system;
+mod types;
+mod value;
+
+pub mod dsl;
+pub mod lint;
+pub mod visit;
+
+pub use behavior::{Behavior, VarDecl};
+pub use channel::{Channel, ChannelDirection};
+pub use error::SpecError;
+pub use expr::{BinOp, Expr, Place, UnaryOp};
+pub use ids::{BehaviorId, ChannelId, ModuleId, ProcId, SignalId, VarId};
+pub use procedure::{Arg, Param, ParamMode, Procedure};
+pub use stmt::{Stmt, WaitCond};
+pub use system::{Module, SignalDecl, System};
+pub use types::Ty;
+pub use value::{BitVec, Value};

@@ -1,0 +1,440 @@
+//! Specification lints: non-fatal sanity warnings.
+//!
+//! [`System::check`] enforces structural validity; `lint` flags things
+//! that are *probably* mistakes — storage that is never read, channels
+//! nothing uses, signals with one end missing. Run it after building or
+//! parsing a system, before spending synthesis effort on it.
+
+use std::collections::HashSet;
+
+use crate::expr::Expr;
+use crate::ids::{ChannelId, SignalId, VarId};
+use crate::stmt::{Stmt, WaitCond};
+use crate::system::System;
+use crate::visit::for_each_stmt;
+
+/// What a lint is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LintKind {
+    /// A variable that no statement reads or writes.
+    UnusedVariable,
+    /// A variable written but never read (and not a channel endpoint).
+    WriteOnlyVariable,
+    /// A channel no statement sends on or receives from.
+    UnusedChannel,
+    /// A channel whose accessor behavior owns the variable — the access
+    /// is local, no bus is needed.
+    LocalChannel,
+    /// A signal that is read but never driven.
+    UndrivenSignal,
+    /// A signal that is driven but never read or waited on.
+    UnreadSignal,
+    /// An `if` or `while` whose condition is a constant.
+    ConstantCondition,
+}
+
+impl LintKind {
+    /// Short kebab-case code for reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintKind::UnusedVariable => "unused-variable",
+            LintKind::WriteOnlyVariable => "write-only-variable",
+            LintKind::UnusedChannel => "unused-channel",
+            LintKind::LocalChannel => "local-channel",
+            LintKind::UndrivenSignal => "undriven-signal",
+            LintKind::UnreadSignal => "unread-signal",
+            LintKind::ConstantCondition => "constant-condition",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// What kind of problem.
+    pub kind: LintKind,
+    /// Human-readable description naming the object.
+    pub message: String,
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind.code(), self.message)
+    }
+}
+
+/// Lints `system`, returning all findings (empty = clean).
+///
+/// # Example
+///
+/// ```
+/// use ifsyn_spec::{lint::lint_system, System, Ty};
+///
+/// let mut sys = System::new("demo");
+/// let m = sys.add_module("chip");
+/// let b = sys.add_behavior("P", m);
+/// sys.add_variable("never_touched", Ty::Bits(8), b);
+/// let findings = lint_system(&sys);
+/// assert_eq!(findings.len(), 1);
+/// assert!(findings[0].message.contains("never_touched"));
+/// ```
+pub fn lint_system(system: &System) -> Vec<Lint> {
+    let mut usage = Usage::default();
+    for behavior in &system.behaviors {
+        collect_usage(system, &behavior.body, &mut usage);
+    }
+    for procedure in &system.procedures {
+        collect_usage(system, &procedure.body, &mut usage);
+    }
+
+    let mut lints = Vec::new();
+    for (i, v) in system.variables.iter().enumerate() {
+        let id = VarId::new(i as u32);
+        let is_endpoint = system.channels.iter().any(|c| c.variable == id);
+        let read = usage.vars_read.contains(&id);
+        let written = usage.vars_written.contains(&id);
+        if is_endpoint {
+            continue; // channel traffic counts as use
+        }
+        if !read && !written {
+            lints.push(Lint {
+                kind: LintKind::UnusedVariable,
+                message: format!(
+                    "variable `{}` (owned by `{}`) is never accessed",
+                    v.name,
+                    system.behavior(v.owner).name
+                ),
+            });
+        } else if written && !read {
+            lints.push(Lint {
+                kind: LintKind::WriteOnlyVariable,
+                message: format!(
+                    "variable `{}` is written but never read",
+                    v.name
+                ),
+            });
+        }
+    }
+    for (i, c) in system.channels.iter().enumerate() {
+        let id = ChannelId::new(i as u32);
+        if !usage.channels.contains(&id) {
+            lints.push(Lint {
+                kind: LintKind::UnusedChannel,
+                message: format!("channel `{}` has no send or receive", c.name),
+            });
+        }
+        let accessor_module = system.behavior(c.accessor).module;
+        let owner_module = system
+            .behavior(system.variable(c.variable).owner)
+            .module;
+        if accessor_module == owner_module {
+            lints.push(Lint {
+                kind: LintKind::LocalChannel,
+                message: format!(
+                    "channel `{}` connects `{}` to co-located `{}` — no bus needed",
+                    c.name,
+                    system.behavior(c.accessor).name,
+                    system.variable(c.variable).name
+                ),
+            });
+        }
+    }
+    for (i, s) in system.signals.iter().enumerate() {
+        let id = SignalId::new(i as u32);
+        let driven = usage.signals_driven.contains(&id);
+        let read = usage.signals_read.contains(&id);
+        if read && !driven {
+            lints.push(Lint {
+                kind: LintKind::UndrivenSignal,
+                message: format!("signal `{}` is read but never driven", s.name),
+            });
+        }
+        if driven && !read {
+            lints.push(Lint {
+                kind: LintKind::UnreadSignal,
+                message: format!("signal `{}` is driven but never read", s.name),
+            });
+        }
+    }
+    lints.extend(usage.constant_conditions.iter().map(|site| Lint {
+        kind: LintKind::ConstantCondition,
+        message: format!("{site} has a constant condition"),
+    }));
+    lints
+}
+
+#[derive(Default)]
+struct Usage {
+    vars_read: HashSet<VarId>,
+    vars_written: HashSet<VarId>,
+    signals_read: HashSet<SignalId>,
+    signals_driven: HashSet<SignalId>,
+    channels: HashSet<ChannelId>,
+    constant_conditions: Vec<String>,
+}
+
+fn note_expr(expr: &Expr, usage: &mut Usage) {
+    let mut vars = Vec::new();
+    expr.collect_vars(&mut vars);
+    usage.vars_read.extend(vars);
+    let mut signals = Vec::new();
+    expr.collect_signals(&mut signals);
+    usage.signals_read.extend(signals);
+}
+
+fn is_const(expr: &Expr) -> bool {
+    matches!(expr, Expr::Const(_))
+}
+
+/// Index expressions inside a write target are *reads* (writing
+/// `MEM[AR + i]` reads `AR` and `i`), even though the root is written.
+fn note_place_index_reads(place: &crate::expr::Place, usage: &mut Usage) {
+    use crate::expr::Place;
+    match place {
+        Place::Var(_) | Place::Local(_) => {}
+        Place::Index { base, index } => {
+            note_place_index_reads(base, usage);
+            note_expr(index, usage);
+        }
+        Place::Slice { base, .. } => note_place_index_reads(base, usage),
+        Place::DynSlice { base, offset, .. } => {
+            note_place_index_reads(base, usage);
+            note_expr(offset, usage);
+        }
+    }
+}
+
+fn collect_usage(system: &System, body: &[Stmt], usage: &mut Usage) {
+    for_each_stmt(body, &mut |stmt| match stmt {
+        Stmt::Assign { place, value, .. } => {
+            if let Some(v) = place.root_var() {
+                usage.vars_written.insert(v);
+            }
+            note_place_index_reads(place, usage);
+            note_expr(value, usage);
+        }
+        Stmt::SignalAssign { signal, value, .. } => {
+            usage.signals_driven.insert(*signal);
+            note_expr(value, usage);
+        }
+        Stmt::If { cond, .. } => {
+            if is_const(cond) {
+                usage.constant_conditions.push("an `if`".to_string());
+            }
+            note_expr(cond, usage);
+        }
+        Stmt::While { cond, .. } => {
+            if is_const(cond) {
+                usage.constant_conditions.push("a `while`".to_string());
+            }
+            note_expr(cond, usage);
+        }
+        Stmt::For { var, from, to, .. } => {
+            if let Some(v) = var.root_var() {
+                usage.vars_written.insert(v);
+                // Reading the counter is implicit in the loop machinery.
+                usage.vars_read.insert(v);
+            }
+            note_expr(from, usage);
+            note_expr(to, usage);
+        }
+        Stmt::Wait(WaitCond::Until(e)) => note_expr(e, usage),
+        Stmt::Wait(WaitCond::OnSignals(signals)) => {
+            usage.signals_read.extend(signals.iter().copied());
+        }
+        Stmt::Wait(WaitCond::ForCycles(_)) => {}
+        Stmt::Call { args, .. } => {
+            for arg in args {
+                match arg {
+                    crate::procedure::Arg::In(e) => note_expr(e, usage),
+                    crate::procedure::Arg::Out(p) | crate::procedure::Arg::InOut(p) => {
+                        if let Some(v) = p.root_var() {
+                            usage.vars_written.insert(v);
+                        }
+                        note_place_index_reads(p, usage);
+                    }
+                }
+            }
+        }
+        Stmt::ChannelSend {
+            channel,
+            addr,
+            data,
+        } => {
+            usage.channels.insert(*channel);
+            usage
+                .vars_written
+                .insert(system.channel(*channel).variable);
+            if let Some(a) = addr {
+                note_expr(a, usage);
+            }
+            note_expr(data, usage);
+        }
+        Stmt::ChannelReceive {
+            channel,
+            addr,
+            target,
+        } => {
+            usage.channels.insert(*channel);
+            usage.vars_read.insert(system.channel(*channel).variable);
+            if let Some(a) = addr {
+                note_expr(a, usage);
+            }
+            if let Some(v) = target.root_var() {
+                usage.vars_written.insert(v);
+            }
+            note_place_index_reads(target, usage);
+        }
+        Stmt::Assert { cond, .. } => note_expr(cond, usage),
+        Stmt::Compute { .. } | Stmt::Return => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, ChannelDirection};
+    use crate::dsl::*;
+    use crate::types::Ty;
+
+    fn kinds(lints: &[Lint]) -> Vec<LintKind> {
+        lints.iter().map(|l| l.kind).collect()
+    }
+
+    #[test]
+    fn clean_system_has_no_lints() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let x = sys.add_variable("x", Ty::Int(16), b);
+        let y = sys.add_variable("y", Ty::Int(16), b);
+        sys.behavior_mut(b).body = vec![
+            assign(var(x), int_const(1, 16)),
+            assign(var(y), load(var(x))),
+            Stmt::assert(eq(load(var(y)), int_const(1, 16)), "y"),
+        ];
+        assert!(lint_system(&sys).is_empty(), "{:?}", lint_system(&sys));
+    }
+
+    #[test]
+    fn flags_unused_and_write_only_variables() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let _unused = sys.add_variable("unused", Ty::Int(16), b);
+        let wo = sys.add_variable("wo", Ty::Int(16), b);
+        sys.behavior_mut(b).body = vec![assign(var(wo), int_const(1, 16))];
+        let lints = lint_system(&sys);
+        assert!(kinds(&lints).contains(&LintKind::UnusedVariable));
+        assert!(kinds(&lints).contains(&LintKind::WriteOnlyVariable));
+    }
+
+    #[test]
+    fn flags_unused_and_local_channels() {
+        let mut sys = System::new("t");
+        let m1 = sys.add_module("m1");
+        let b = sys.add_behavior("P", m1);
+        let v = sys.add_variable("V", Ty::Bits(8), b);
+        sys.add_channel(Channel {
+            name: "dead".into(),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Write,
+            data_bits: 8,
+            addr_bits: 0,
+            accesses: 0,
+        });
+        let lints = lint_system(&sys);
+        assert!(kinds(&lints).contains(&LintKind::UnusedChannel));
+        assert!(kinds(&lints).contains(&LintKind::LocalChannel));
+    }
+
+    #[test]
+    fn flags_half_connected_signals() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let ghost = sys.add_signal("ghost", Ty::Bit);
+        let shout = sys.add_signal("shout", Ty::Bit);
+        let b = sys.add_behavior("P", m);
+        sys.behavior_mut(b).body = vec![
+            wait_until(eq(signal(ghost), bit_const(true))),
+            drive(shout, bit_const(true)),
+        ];
+        let lints = lint_system(&sys);
+        assert!(kinds(&lints).contains(&LintKind::UndrivenSignal));
+        assert!(kinds(&lints).contains(&LintKind::UnreadSignal));
+    }
+
+    #[test]
+    fn flags_constant_conditions() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        sys.behavior_mut(b).body = vec![if_then(
+            bit_const(true),
+            vec![Stmt::compute(1, "w")],
+        )];
+        let lints = lint_system(&sys);
+        assert_eq!(kinds(&lints), vec![LintKind::ConstantCondition]);
+    }
+
+    #[test]
+    fn channel_endpoints_count_as_use() {
+        // A variable only touched via channel traffic is not "unused".
+        let mut sys = System::new("t");
+        let m1 = sys.add_module("m1");
+        let m2 = sys.add_module("m2");
+        let store = sys.add_behavior("store", m2);
+        let v = sys.add_variable("V", Ty::Bits(8), store);
+        let b = sys.add_behavior("P", m1);
+        let ch = sys.add_channel(Channel {
+            name: "ch".into(),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Write,
+            data_bits: 8,
+            addr_bits: 0,
+            accesses: 1,
+        });
+        sys.behavior_mut(b).body = vec![send(ch, int_const(1, 8))];
+        assert!(lint_system(&sys).is_empty(), "{:?}", lint_system(&sys));
+    }
+
+    #[test]
+    fn index_expressions_in_write_targets_count_as_reads() {
+        // Regression: `MEM[AR + i] := v` reads AR — it must not be
+        // flagged unused.
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let mem = sys.add_variable("MEM", Ty::array(Ty::Int(16), 8), b);
+        let ar = sys.add_variable("AR", Ty::Int(16), b);
+        sys.behavior_mut(b).body = vec![
+            assign(var(ar), int_const(3, 16)),
+            assign(index(var(mem), load(var(ar))), int_const(9, 16)),
+            Stmt::assert(
+                eq(load(index(var(mem), int_const(3, 16))), int_const(9, 16)),
+                "stored",
+            ),
+        ];
+        let lints = lint_system(&sys);
+        assert!(
+            !kinds(&lints).contains(&LintKind::UnusedVariable),
+            "{lints:?}"
+        );
+        assert!(
+            !kinds(&lints).contains(&LintKind::WriteOnlyVariable),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn display_includes_code() {
+        let l = Lint {
+            kind: LintKind::UnusedChannel,
+            message: "channel `x`".into(),
+        };
+        assert_eq!(l.to_string(), "[unused-channel] channel `x`");
+    }
+}

@@ -1,0 +1,167 @@
+//! Procedures: named, parameterised statement sequences.
+
+use crate::expr::{Expr, Place};
+use crate::stmt::Stmt;
+use crate::types::Ty;
+
+/// Parameter passing mode, as in VHDL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamMode {
+    /// Read-only: the actual is evaluated at the call and copied in.
+    In,
+    /// Write-only: the formal is copied back to the actual on return.
+    Out,
+    /// Read-write: copied in at the call and back on return.
+    InOut,
+}
+
+/// A formal parameter of a [`Procedure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name (for printing).
+    pub name: String,
+    /// Parameter type.
+    pub ty: Ty,
+    /// Passing mode.
+    pub mode: ParamMode,
+}
+
+/// An actual argument at a call site.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Arg {
+    /// Value for an `in` parameter.
+    In(Expr),
+    /// Destination for an `out` parameter.
+    Out(Place),
+    /// Source and destination for an `inout` parameter.
+    InOut(Place),
+}
+
+impl Arg {
+    /// Returns `true` when the argument matches the given mode.
+    pub fn matches(&self, mode: ParamMode) -> bool {
+        matches!(
+            (self, mode),
+            (Arg::In(_), ParamMode::In)
+                | (Arg::Out(_), ParamMode::Out)
+                | (Arg::InOut(_), ParamMode::InOut)
+        )
+    }
+}
+
+/// A local variable of a procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalDecl {
+    /// Local name (for printing).
+    pub name: String,
+    /// Local type.
+    pub ty: Ty,
+}
+
+/// A procedure: the unit in which protocol generation encapsulates the
+/// send/receive behavior of each channel (paper Fig. 4, `SendCH0`,
+/// `ReceiveCH0`).
+///
+/// Procedure storage slots are numbered parameters-first: parameter `i` is
+/// [`Place::Local`]`(i)`, local `j` is `Place::Local(params.len() + j)`.
+///
+/// [`Place::Local`]: crate::Place::Local
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Procedure name (unique within the system).
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Local variables.
+    pub locals: Vec<LocalDecl>,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+}
+
+impl Procedure {
+    /// Creates an empty procedure with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            params: Vec::new(),
+            locals: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a parameter, returning its local slot index.
+    pub fn add_param(&mut self, name: impl Into<String>, ty: Ty, mode: ParamMode) -> usize {
+        self.params.push(Param {
+            name: name.into(),
+            ty,
+            mode,
+        });
+        self.params.len() - 1
+    }
+
+    /// Adds a local variable, returning its local slot index.
+    pub fn add_local(&mut self, name: impl Into<String>, ty: Ty) -> usize {
+        self.locals.push(LocalDecl {
+            name: name.into(),
+            ty,
+        });
+        self.params.len() + self.locals.len() - 1
+    }
+
+    /// Total number of storage slots (parameters plus locals).
+    pub fn slot_count(&self) -> usize {
+        self.params.len() + self.locals.len()
+    }
+
+    /// Returns the type of storage slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.slot_count()`.
+    pub fn slot_ty(&self, slot: usize) -> &Ty {
+        if slot < self.params.len() {
+            &self.params[slot].ty
+        } else {
+            &self.locals[slot - self.params.len()].ty
+        }
+    }
+
+    /// Returns the name of storage slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.slot_count()`.
+    pub fn slot_name(&self, slot: usize) -> &str {
+        if slot < self.params.len() {
+            &self.params[slot].name
+        } else {
+            &self.locals[slot - self.params.len()].name
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_params_then_locals() {
+        let mut p = Procedure::new("SendCH0");
+        let a = p.add_param("txdata", Ty::Bits(16), ParamMode::In);
+        let b = p.add_local("word", Ty::Bits(8));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(p.slot_count(), 2);
+        assert_eq!(p.slot_name(0), "txdata");
+        assert_eq!(p.slot_name(1), "word");
+        assert_eq!(*p.slot_ty(1), Ty::Bits(8));
+    }
+
+    #[test]
+    fn arg_mode_matching() {
+        assert!(Arg::In(Expr::Const(crate::Value::Bit(true))).matches(ParamMode::In));
+        assert!(!Arg::In(Expr::Const(crate::Value::Bit(true))).matches(ParamMode::Out));
+        assert!(Arg::Out(Place::Local(0)).matches(ParamMode::Out));
+        assert!(Arg::InOut(Place::Local(0)).matches(ParamMode::InOut));
+    }
+}

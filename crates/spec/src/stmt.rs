@@ -1,0 +1,225 @@
+//! Statements of the specification language.
+
+use crate::expr::{Expr, Place};
+use crate::ids::{ChannelId, ProcId, SignalId};
+use crate::procedure::Arg;
+
+/// The suspension condition of a `wait` statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WaitCond {
+    /// `wait on s1, s2, ...` — resume after any listed signal has an event.
+    OnSignals(Vec<SignalId>),
+    /// `wait until <expr>` — resume when the expression becomes true.
+    ///
+    /// The implicit sensitivity list is every signal read by the
+    /// expression, as in VHDL.
+    Until(Expr),
+    /// `wait for N cycles` — resume after the given number of clock cycles.
+    ForCycles(u64),
+}
+
+impl WaitCond {
+    /// Returns the signals that can wake this wait.
+    pub fn sensitivity(&self) -> Vec<SignalId> {
+        match self {
+            WaitCond::OnSignals(signals) => signals.clone(),
+            WaitCond::Until(expr) => {
+                let mut out = Vec::new();
+                expr.collect_signals(&mut out);
+                out
+            }
+            WaitCond::ForCycles(_) => Vec::new(),
+        }
+    }
+}
+
+/// A statement.
+///
+/// Statements that perform work carry an optional `cost` in clock cycles;
+/// `None` means "use the estimator's default statement cost". Protocol
+/// generation sets explicit costs on the handshake edges it emits so that
+/// simulated timing matches the published delay model (2 clocks per bus
+/// word for a full handshake).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// Variable assignment, `place := value` (immediate, VHDL `:=`).
+    Assign {
+        /// Assignment target.
+        place: Place,
+        /// Assigned value.
+        value: Expr,
+        /// Explicit cycle cost; `None` = estimator default.
+        cost: Option<u32>,
+    },
+    /// Signal assignment, `signal <= value` (takes effect next delta).
+    SignalAssign {
+        /// Driven signal.
+        signal: SignalId,
+        /// Driven value.
+        value: Expr,
+        /// Explicit cycle cost; `None` = estimator default.
+        cost: Option<u32>,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Statements executed when the condition is true.
+        then_body: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_body: Vec<Stmt>,
+    },
+    /// Counted loop, `for var in from..=to loop ... end loop`.
+    ///
+    /// The loop variable is an ordinary place written before each
+    /// iteration; bounds are evaluated once on entry.
+    For {
+        /// Loop variable.
+        var: Place,
+        /// First value (inclusive).
+        from: Expr,
+        /// Last value (inclusive).
+        to: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Conditional loop, `while cond loop ... end loop`.
+    While {
+        /// Loop condition, tested before each iteration.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Suspend until the condition holds.
+    Wait(WaitCond),
+    /// Procedure call.
+    Call {
+        /// Called procedure.
+        procedure: ProcId,
+        /// Actual arguments, one per formal parameter.
+        args: Vec<Arg>,
+    },
+    /// Abstract send over a channel (post-partitioning, pre-protocol).
+    ///
+    /// Transfers `data` (and `addr` when the remote variable is an array)
+    /// to the process serving the channel's variable.
+    ChannelSend {
+        /// The channel.
+        channel: ChannelId,
+        /// Element address for array variables.
+        addr: Option<Expr>,
+        /// The transferred value.
+        data: Expr,
+    },
+    /// Abstract receive over a channel (post-partitioning, pre-protocol).
+    ChannelReceive {
+        /// The channel.
+        channel: ChannelId,
+        /// Element address for array variables.
+        addr: Option<Expr>,
+        /// Where the received value is stored.
+        target: Place,
+    },
+    /// An abstract computation block consuming a fixed number of cycles.
+    ///
+    /// Used to model process workload (e.g. "evaluate fuzzy rule") whose
+    /// internals are irrelevant to interface synthesis but whose *time*
+    /// determines channel average rates.
+    Compute {
+        /// Cycles consumed.
+        cycles: u64,
+        /// Free-form description for printing and traces.
+        note: String,
+    },
+    /// A runtime check: simulation fails if the condition is false.
+    ///
+    /// Assertions make specifications self-checking (VHDL `assert`);
+    /// they cost no clock cycles.
+    Assert {
+        /// Must evaluate true whenever execution reaches the statement.
+        cond: Expr,
+        /// Shown in the failure diagnostic.
+        note: String,
+    },
+    /// Return from the current procedure (or finish the behavior body).
+    Return,
+}
+
+impl Stmt {
+    /// Convenience constructor for [`Stmt::Compute`].
+    pub fn compute(cycles: u64, note: impl Into<String>) -> Self {
+        Stmt::Compute {
+            cycles,
+            note: note.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Stmt::Assert`].
+    pub fn assert(cond: Expr, note: impl Into<String>) -> Self {
+        Stmt::Assert {
+            cond,
+            note: note.into(),
+        }
+    }
+
+    /// Returns the nested statement bodies of this statement, if any.
+    pub fn bodies(&self) -> Vec<&Vec<Stmt>> {
+        match self {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => vec![then_body, else_body],
+            Stmt::For { body, .. } | Stmt::While { body, .. } => vec![body],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Returns mutable references to the nested statement bodies.
+    pub fn bodies_mut(&mut self) -> Vec<&mut Vec<Stmt>> {
+        match self {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => vec![then_body, else_body],
+            Stmt::For { body, .. } | Stmt::While { body, .. } => vec![body],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::value::Value;
+
+    #[test]
+    fn wait_until_sensitivity_is_signals_of_expr() {
+        let cond = Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(Expr::Signal(SignalId::new(3))),
+            rhs: Box::new(Expr::Signal(SignalId::new(1))),
+        };
+        let w = WaitCond::Until(cond);
+        assert_eq!(w.sensitivity(), vec![SignalId::new(3), SignalId::new(1)]);
+    }
+
+    #[test]
+    fn wait_for_has_empty_sensitivity() {
+        assert!(WaitCond::ForCycles(10).sensitivity().is_empty());
+    }
+
+    #[test]
+    fn bodies_exposes_nested_blocks() {
+        let s = Stmt::If {
+            cond: Expr::Const(Value::Bit(true)),
+            then_body: vec![Stmt::Return],
+            else_body: vec![],
+        };
+        let bodies = s.bodies();
+        assert_eq!(bodies.len(), 2);
+        assert_eq!(bodies[0].len(), 1);
+    }
+}

@@ -1,0 +1,708 @@
+//! The top-level system container.
+
+use crate::behavior::{Behavior, VarDecl};
+use crate::channel::Channel;
+use crate::error::SpecError;
+use crate::expr::{Expr, Place};
+use crate::ids::{BehaviorId, ChannelId, ModuleId, ProcId, SignalId, VarId};
+use crate::procedure::{Arg, Procedure};
+use crate::stmt::{Stmt, WaitCond};
+use crate::types::Ty;
+use crate::value::Value;
+
+/// A system module: a chip or memory produced by system partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name, e.g. `chip1`.
+    pub name: String,
+}
+
+/// A global signal (wire) declaration.
+///
+/// Before protocol generation a system typically has no signals; the
+/// refinement step introduces the bus wires (`START`, `DONE`, `ID`,
+/// `DATA`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalDecl {
+    /// Signal name.
+    pub name: String,
+    /// Signal type.
+    pub ty: Ty,
+    /// Initial value; `None` means the type's all-zero default.
+    pub init: Option<Value>,
+}
+
+impl SignalDecl {
+    /// The value the signal carries at time zero.
+    pub fn initial_value(&self) -> Value {
+        self.init
+            .clone()
+            .unwrap_or_else(|| Value::default_of(&self.ty))
+    }
+}
+
+/// A complete system specification: modules, behaviors, variables,
+/// signals, procedures and channels.
+///
+/// `System` is the value flowing through the synthesis pipeline:
+///
+/// 1. modelled by hand (or by `ifsyn-systems`),
+/// 2. partitioned (`ifsyn-partition`) — cross-module accesses become
+///    [`Stmt::ChannelSend`] / [`Stmt::ChannelReceive`],
+/// 3. refined (`ifsyn-core`) — channel operations become bus procedures,
+/// 4. simulated (`ifsyn-sim`) or printed (`ifsyn-vhdl`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct System {
+    /// System name.
+    pub name: String,
+    /// Modules (chips / memories).
+    pub modules: Vec<Module>,
+    /// Variable declarations.
+    pub variables: Vec<VarDecl>,
+    /// Signal declarations.
+    pub signals: Vec<SignalDecl>,
+    /// Behaviors (processes).
+    pub behaviors: Vec<Behavior>,
+    /// Procedures.
+    pub procedures: Vec<Procedure>,
+    /// Abstract channels.
+    pub channels: Vec<Channel>,
+}
+
+impl System {
+    /// Creates an empty system.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a module and returns its id.
+    pub fn add_module(&mut self, name: impl Into<String>) -> ModuleId {
+        self.modules.push(Module { name: name.into() });
+        ModuleId::new(self.modules.len() as u32 - 1)
+    }
+
+    /// Adds a behavior assigned to `module` and returns its id.
+    pub fn add_behavior(&mut self, name: impl Into<String>, module: ModuleId) -> BehaviorId {
+        self.behaviors.push(Behavior::new(name, module));
+        BehaviorId::new(self.behaviors.len() as u32 - 1)
+    }
+
+    /// Adds a variable owned by `owner` and returns its id.
+    pub fn add_variable(&mut self, name: impl Into<String>, ty: Ty, owner: BehaviorId) -> VarId {
+        self.variables.push(VarDecl {
+            name: name.into(),
+            ty,
+            owner,
+            init: None,
+        });
+        VarId::new(self.variables.len() as u32 - 1)
+    }
+
+    /// Adds a variable with an initial value and returns its id.
+    pub fn add_variable_init(
+        &mut self,
+        name: impl Into<String>,
+        ty: Ty,
+        owner: BehaviorId,
+        init: Value,
+    ) -> VarId {
+        let id = self.add_variable(name, ty, owner);
+        self.variables[id.index()].init = Some(init);
+        id
+    }
+
+    /// Adds a signal and returns its id.
+    pub fn add_signal(&mut self, name: impl Into<String>, ty: Ty) -> SignalId {
+        self.signals.push(SignalDecl {
+            name: name.into(),
+            ty,
+            init: None,
+        });
+        SignalId::new(self.signals.len() as u32 - 1)
+    }
+
+    /// Adds a procedure and returns its id.
+    pub fn add_procedure(&mut self, procedure: Procedure) -> ProcId {
+        self.procedures.push(procedure);
+        ProcId::new(self.procedures.len() as u32 - 1)
+    }
+
+    /// Adds a channel and returns its id.
+    pub fn add_channel(&mut self, channel: Channel) -> ChannelId {
+        self.channels.push(channel);
+        ChannelId::new(self.channels.len() as u32 - 1)
+    }
+
+    /// Returns the behavior with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn behavior(&self, id: BehaviorId) -> &Behavior {
+        &self.behaviors[id.index()]
+    }
+
+    /// Mutable access to a behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn behavior_mut(&mut self, id: BehaviorId) -> &mut Behavior {
+        &mut self.behaviors[id.index()]
+    }
+
+    /// Returns the variable declaration with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn variable(&self, id: VarId) -> &VarDecl {
+        &self.variables[id.index()]
+    }
+
+    /// Returns the signal declaration with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn signal(&self, id: SignalId) -> &SignalDecl {
+        &self.signals[id.index()]
+    }
+
+    /// Returns the procedure with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn procedure(&self, id: ProcId) -> &Procedure {
+        &self.procedures[id.index()]
+    }
+
+    /// Returns the channel with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Returns the module with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn module(&self, id: ModuleId) -> &Module {
+        &self.modules[id.index()]
+    }
+
+    /// Looks up a behavior id by name.
+    pub fn behavior_by_name(&self, name: &str) -> Option<BehaviorId> {
+        self.behaviors
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| BehaviorId::new(i as u32))
+    }
+
+    /// Looks up a variable id by name.
+    pub fn variable_by_name(&self, name: &str) -> Option<VarId> {
+        self.variables
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId::new(i as u32))
+    }
+
+    /// Looks up a channel id by name.
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ChannelId::new(i as u32))
+    }
+
+    /// Looks up a procedure id by name.
+    pub fn procedure_by_name(&self, name: &str) -> Option<ProcId> {
+        self.procedures
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ProcId::new(i as u32))
+    }
+
+    /// Looks up a signal id by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SignalId::new(i as u32))
+    }
+
+    /// All channel ids, in declaration order.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        (0..self.channels.len() as u32).map(ChannelId::new)
+    }
+
+    /// All behavior ids, in declaration order.
+    pub fn behavior_ids(&self) -> impl Iterator<Item = BehaviorId> + '_ {
+        (0..self.behaviors.len() as u32).map(BehaviorId::new)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// Checks that every id embedded in the IR points at an existing table
+    /// entry, that procedure calls pass the right number and mode of
+    /// arguments, and that names are unique per table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check(&self) -> Result<(), SpecError> {
+        self.check_unique_names()?;
+        for b in &self.behaviors {
+            if b.module.index() >= self.modules.len() {
+                return Err(SpecError::DanglingId {
+                    context: format!("behavior `{}` references missing module", b.name),
+                });
+            }
+            self.check_body(&b.body, None, &format!("behavior `{}`", b.name))?;
+        }
+        for v in &self.variables {
+            if v.owner.index() >= self.behaviors.len() {
+                return Err(SpecError::DanglingId {
+                    context: format!("variable `{}` references missing owner behavior", v.name),
+                });
+            }
+        }
+        for (i, p) in self.procedures.iter().enumerate() {
+            self.check_body(&p.body, Some(ProcId::new(i as u32)), &format!("procedure `{}`", p.name))?;
+        }
+        for c in &self.channels {
+            if c.accessor.index() >= self.behaviors.len() {
+                return Err(SpecError::DanglingId {
+                    context: format!("channel `{}` references missing behavior", c.name),
+                });
+            }
+            if c.variable.index() >= self.variables.len() {
+                return Err(SpecError::DanglingId {
+                    context: format!("channel `{}` references missing variable", c.name),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_unique_names(&self) -> Result<(), SpecError> {
+        let mut seen = std::collections::HashSet::new();
+        for name in self.behaviors.iter().map(|b| &b.name) {
+            if !seen.insert(("behavior", name.as_str())) {
+                return Err(SpecError::DuplicateName { name: name.clone() });
+            }
+        }
+        seen.clear();
+        for name in self.procedures.iter().map(|p| &p.name) {
+            if !seen.insert(("procedure", name.as_str())) {
+                return Err(SpecError::DuplicateName { name: name.clone() });
+            }
+        }
+        seen.clear();
+        for name in self.channels.iter().map(|c| &c.name) {
+            if !seen.insert(("channel", name.as_str())) {
+                return Err(SpecError::DuplicateName { name: name.clone() });
+            }
+        }
+        seen.clear();
+        // Signals are global wires: duplicate names would make printed
+        // output and waveform dumps ambiguous.
+        for name in self.signals.iter().map(|s| &s.name) {
+            if !seen.insert(("signal", name.as_str())) {
+                return Err(SpecError::DuplicateName { name: name.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_body(
+        &self,
+        body: &[Stmt],
+        proc_scope: Option<ProcId>,
+        ctx: &str,
+    ) -> Result<(), SpecError> {
+        for stmt in body {
+            self.check_stmt(stmt, proc_scope, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(
+        &self,
+        stmt: &Stmt,
+        proc_scope: Option<ProcId>,
+        ctx: &str,
+    ) -> Result<(), SpecError> {
+        match stmt {
+            Stmt::Assign { place, value, .. } => {
+                self.check_place(place, proc_scope, ctx)?;
+                self.check_expr(value, proc_scope, ctx)?;
+            }
+            Stmt::SignalAssign { signal, value, .. } => {
+                self.check_signal(*signal, ctx)?;
+                self.check_expr(value, proc_scope, ctx)?;
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.check_expr(cond, proc_scope, ctx)?;
+                self.check_body(then_body, proc_scope, ctx)?;
+                self.check_body(else_body, proc_scope, ctx)?;
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                self.check_place(var, proc_scope, ctx)?;
+                self.check_expr(from, proc_scope, ctx)?;
+                self.check_expr(to, proc_scope, ctx)?;
+                self.check_body(body, proc_scope, ctx)?;
+            }
+            Stmt::While { cond, body } => {
+                self.check_expr(cond, proc_scope, ctx)?;
+                self.check_body(body, proc_scope, ctx)?;
+            }
+            Stmt::Wait(cond) => match cond {
+                WaitCond::OnSignals(signals) => {
+                    for s in signals {
+                        self.check_signal(*s, ctx)?;
+                    }
+                }
+                WaitCond::Until(expr) => self.check_expr(expr, proc_scope, ctx)?,
+                WaitCond::ForCycles(_) => {}
+            },
+            Stmt::Call { procedure, args } => {
+                if procedure.index() >= self.procedures.len() {
+                    return Err(SpecError::DanglingId {
+                        context: format!("{ctx}: call to missing procedure {procedure}"),
+                    });
+                }
+                let p = &self.procedures[procedure.index()];
+                if args.len() != p.params.len() {
+                    return Err(SpecError::Malformed {
+                        context: format!(
+                            "{ctx}: call to `{}` passes {} args, expects {}",
+                            p.name,
+                            args.len(),
+                            p.params.len()
+                        ),
+                    });
+                }
+                for (arg, param) in args.iter().zip(&p.params) {
+                    if !arg.matches(param.mode) {
+                        return Err(SpecError::TypeMismatch {
+                            context: format!(
+                                "{ctx}: call to `{}` passes wrong mode for `{}`",
+                                p.name, param.name
+                            ),
+                        });
+                    }
+                    match arg {
+                        Arg::In(e) => self.check_expr(e, proc_scope, ctx)?,
+                        Arg::Out(pl) | Arg::InOut(pl) => {
+                            self.check_place(pl, proc_scope, ctx)?
+                        }
+                    }
+                }
+            }
+            Stmt::ChannelSend {
+                channel,
+                addr,
+                data,
+            } => {
+                self.check_channel(*channel, ctx)?;
+                if let Some(a) = addr {
+                    self.check_expr(a, proc_scope, ctx)?;
+                }
+                self.check_expr(data, proc_scope, ctx)?;
+            }
+            Stmt::ChannelReceive {
+                channel,
+                addr,
+                target,
+            } => {
+                self.check_channel(*channel, ctx)?;
+                if let Some(a) = addr {
+                    self.check_expr(a, proc_scope, ctx)?;
+                }
+                self.check_place(target, proc_scope, ctx)?;
+            }
+            Stmt::Assert { cond, .. } => self.check_expr(cond, proc_scope, ctx)?,
+            Stmt::Compute { .. } | Stmt::Return => {}
+        }
+        Ok(())
+    }
+
+    fn check_signal(&self, id: SignalId, ctx: &str) -> Result<(), SpecError> {
+        if id.index() >= self.signals.len() {
+            return Err(SpecError::DanglingId {
+                context: format!("{ctx}: missing signal {id}"),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_channel(&self, id: ChannelId, ctx: &str) -> Result<(), SpecError> {
+        if id.index() >= self.channels.len() {
+            return Err(SpecError::DanglingId {
+                context: format!("{ctx}: missing channel {id}"),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_place(
+        &self,
+        place: &Place,
+        proc_scope: Option<ProcId>,
+        ctx: &str,
+    ) -> Result<(), SpecError> {
+        match place {
+            Place::Var(v) => {
+                if v.index() >= self.variables.len() {
+                    return Err(SpecError::DanglingId {
+                        context: format!("{ctx}: missing variable {v}"),
+                    });
+                }
+            }
+            Place::Local(slot) => match proc_scope {
+                Some(p) => {
+                    let proc = &self.procedures[p.index()];
+                    if *slot >= proc.slot_count() {
+                        return Err(SpecError::DanglingId {
+                            context: format!(
+                                "{ctx}: local slot {slot} out of range (procedure `{}` has {})",
+                                proc.name,
+                                proc.slot_count()
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    return Err(SpecError::Malformed {
+                        context: format!("{ctx}: local slot used outside a procedure"),
+                    });
+                }
+            },
+            Place::Index { base, index } => {
+                self.check_place(base, proc_scope, ctx)?;
+                self.check_expr(index, proc_scope, ctx)?;
+            }
+            Place::Slice { base, hi, lo } => {
+                if hi < lo {
+                    return Err(SpecError::Malformed {
+                        context: format!("{ctx}: slice hi {hi} < lo {lo}"),
+                    });
+                }
+                self.check_place(base, proc_scope, ctx)?;
+            }
+            Place::DynSlice {
+                base,
+                offset,
+                width,
+            } => {
+                if *width == 0 {
+                    return Err(SpecError::Malformed {
+                        context: format!("{ctx}: zero-width dynamic slice"),
+                    });
+                }
+                self.check_place(base, proc_scope, ctx)?;
+                self.check_expr(offset, proc_scope, ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_expr(
+        &self,
+        expr: &Expr,
+        proc_scope: Option<ProcId>,
+        ctx: &str,
+    ) -> Result<(), SpecError> {
+        match expr {
+            Expr::Const(_) => Ok(()),
+            Expr::Load(place) => self.check_place(place, proc_scope, ctx),
+            Expr::Signal(s) => self.check_signal(*s, ctx),
+            Expr::Unary { arg, .. } => self.check_expr(arg, proc_scope, ctx),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.check_expr(lhs, proc_scope, ctx)?;
+                self.check_expr(rhs, proc_scope, ctx)
+            }
+            Expr::SliceOf { base, hi, lo } => {
+                if hi < lo {
+                    return Err(SpecError::Malformed {
+                        context: format!("{ctx}: slice hi {hi} < lo {lo}"),
+                    });
+                }
+                self.check_expr(base, proc_scope, ctx)
+            }
+            Expr::Resize { base, .. } => self.check_expr(base, proc_scope, ctx),
+            Expr::DynSliceOf {
+                base,
+                offset,
+                width,
+            } => {
+                if *width == 0 {
+                    return Err(SpecError::Malformed {
+                        context: format!("{ctx}: zero-width dynamic slice"),
+                    });
+                }
+                self.check_expr(base, proc_scope, ctx)?;
+                self.check_expr(offset, proc_scope, ctx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelDirection;
+    use crate::dsl::*;
+
+    fn tiny() -> (System, BehaviorId, VarId) {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let v = sys.add_variable("X", Ty::Bits(8), b);
+        (sys, b, v)
+    }
+
+    #[test]
+    fn empty_system_checks() {
+        assert!(System::new("empty").check().is_ok());
+    }
+
+    #[test]
+    fn valid_assignment_checks() {
+        let (mut sys, b, v) = tiny();
+        sys.behavior_mut(b).body.push(assign(var(v), bits_const(1, 8)));
+        assert!(sys.check().is_ok());
+    }
+
+    #[test]
+    fn dangling_variable_fails() {
+        let (mut sys, b, _) = tiny();
+        sys.behavior_mut(b)
+            .body
+            .push(assign(var(VarId::new(99)), bits_const(1, 8)));
+        assert!(matches!(
+            sys.check(),
+            Err(SpecError::DanglingId { .. })
+        ));
+    }
+
+    #[test]
+    fn local_outside_procedure_fails() {
+        let (mut sys, b, _) = tiny();
+        sys.behavior_mut(b)
+            .body
+            .push(assign(Place::Local(0), bits_const(1, 8)));
+        assert!(matches!(sys.check(), Err(SpecError::Malformed { .. })));
+    }
+
+    #[test]
+    fn call_arity_mismatch_fails() {
+        let (mut sys, b, _) = tiny();
+        let p = sys.add_procedure(Procedure::new("noop"));
+        sys.behavior_mut(b).body.push(Stmt::Call {
+            procedure: p,
+            args: vec![Arg::In(int_const(1, 8))],
+        });
+        assert!(matches!(sys.check(), Err(SpecError::Malformed { .. })));
+    }
+
+    #[test]
+    fn call_mode_mismatch_fails() {
+        let (mut sys, b, v) = tiny();
+        let mut proc = Procedure::new("takes_out");
+        proc.add_param("o", Ty::Bits(8), crate::ParamMode::Out);
+        let p = sys.add_procedure(proc);
+        sys.behavior_mut(b).body.push(Stmt::Call {
+            procedure: p,
+            args: vec![Arg::In(load(var(v)))],
+        });
+        assert!(matches!(sys.check(), Err(SpecError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn duplicate_behavior_name_fails() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        sys.add_behavior("P", m);
+        sys.add_behavior("P", m);
+        assert!(matches!(sys.check(), Err(SpecError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn channel_with_dangling_variable_fails() {
+        let (mut sys, b, _) = tiny();
+        sys.add_channel(Channel {
+            name: "ch0".into(),
+            accessor: b,
+            variable: VarId::new(42),
+            direction: ChannelDirection::Read,
+            data_bits: 8,
+            addr_bits: 0,
+            accesses: 1,
+        });
+        assert!(matches!(sys.check(), Err(SpecError::DanglingId { .. })));
+    }
+
+    #[test]
+    fn name_lookups() {
+        let (mut sys, b, v) = tiny();
+        let _ = b;
+        assert_eq!(sys.variable_by_name("X"), Some(v));
+        assert_eq!(sys.behavior_by_name("P"), Some(BehaviorId::new(0)));
+        assert_eq!(sys.behavior_by_name("missing"), None);
+        let s = sys.add_signal("B_START", Ty::Bit);
+        assert_eq!(sys.signal_by_name("B_START"), Some(s));
+    }
+
+    #[test]
+    fn zero_width_dyn_slice_fails() {
+        let (mut sys, b, v) = tiny();
+        sys.behavior_mut(b).body.push(assign(
+            dyn_slice(var(v), int_const(0, 8), 0),
+            bits_const(0, 8),
+        ));
+        assert!(matches!(sys.check(), Err(SpecError::Malformed { .. })));
+    }
+
+    #[test]
+    fn dyn_slice_places_validate() {
+        let (mut sys, b, v) = tiny();
+        sys.behavior_mut(b).body.push(assign(
+            dyn_slice(var(v), int_const(4, 8), 4),
+            bits_const(0b1010, 4),
+        ));
+        assert!(sys.check().is_ok());
+    }
+
+    #[test]
+    fn bad_slice_bounds_fail() {
+        let (mut sys, b, v) = tiny();
+        sys.behavior_mut(b).body.push(assign(
+            Place::Slice {
+                base: Box::new(var(v)),
+                hi: 0,
+                lo: 3,
+            },
+            bits_const(0, 8),
+        ));
+        assert!(matches!(sys.check(), Err(SpecError::Malformed { .. })));
+    }
+}

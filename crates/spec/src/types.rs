@@ -1,0 +1,150 @@
+//! Data types of the specification language.
+
+use std::fmt;
+
+/// The type of a variable, signal, parameter or expression.
+///
+/// Widths are explicit everywhere because interface synthesis reasons about
+/// *bits on wires*: a channel's message size is derived from the accessed
+/// variable's type via [`Ty::bit_width`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// A single bit (VHDL `bit`).
+    Bit,
+    /// A bit vector of the given width (VHDL `bit_vector(w-1 downto 0)`).
+    Bits(u32),
+    /// A bounded integer stored in the given number of bits.
+    Int(u32),
+    /// A one-dimensional array.
+    Array {
+        /// Element type.
+        elem: Box<Ty>,
+        /// Number of elements.
+        len: u32,
+    },
+}
+
+impl Ty {
+    /// Convenience constructor for an array type.
+    pub fn array(elem: Ty, len: u32) -> Self {
+        Ty::Array {
+            elem: Box::new(elem),
+            len,
+        }
+    }
+
+    /// Width in bits of one value of this type.
+    ///
+    /// For arrays this is the *total* width (`len * elem.bit_width()`);
+    /// use [`Ty::element_width`] for the per-element message size.
+    pub fn bit_width(&self) -> u32 {
+        match self {
+            Ty::Bit => 1,
+            Ty::Bits(w) | Ty::Int(w) => *w,
+            Ty::Array { elem, len } => elem.bit_width() * len,
+        }
+    }
+
+    /// Width in bits of a single element: the array element width for
+    /// arrays, the full width otherwise.
+    pub fn element_width(&self) -> u32 {
+        match self {
+            Ty::Array { elem, .. } => elem.bit_width(),
+            other => other.bit_width(),
+        }
+    }
+
+    /// Number of address bits needed to index this type: `ceil(log2(len))`
+    /// for arrays, `0` for scalars.
+    pub fn addr_bits(&self) -> u32 {
+        match self {
+            Ty::Array { len, .. } => {
+                if *len <= 1 {
+                    0
+                } else {
+                    32 - (len - 1).leading_zeros()
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Returns `true` for array types.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Ty::Array { .. })
+    }
+
+    /// Number of elements: array length, or 1 for scalars.
+    pub fn len(&self) -> u32 {
+        match self {
+            Ty::Array { len, .. } => *len,
+            _ => 1,
+        }
+    }
+
+    /// Returns `true` if the type holds no bits at all.
+    pub fn is_empty(&self) -> bool {
+        self.bit_width() == 0
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Bit => write!(f, "bit"),
+            Ty::Bits(w) => write!(f, "bit_vector({} downto 0)", w.saturating_sub(1)),
+            Ty::Int(w) => write!(f, "integer<{w}>"),
+            Ty::Array { elem, len } => {
+                write!(f, "array(0 to {}) of {}", len.saturating_sub(1), elem)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_widths() {
+        assert_eq!(Ty::Bit.bit_width(), 1);
+        assert_eq!(Ty::Bits(16).bit_width(), 16);
+        assert_eq!(Ty::Int(32).bit_width(), 32);
+    }
+
+    #[test]
+    fn array_width_is_total() {
+        let t = Ty::array(Ty::Int(16), 128);
+        assert_eq!(t.bit_width(), 2048);
+        assert_eq!(t.element_width(), 16);
+        assert_eq!(t.len(), 128);
+    }
+
+    #[test]
+    fn addr_bits_matches_paper_flc_memories() {
+        // trru arrays: 128 entries -> 7 address bits (paper Fig. 6/7).
+        assert_eq!(Ty::array(Ty::Int(16), 128).addr_bits(), 7);
+        // 64-entry MEM of Fig. 3 -> 6 address bits.
+        assert_eq!(Ty::array(Ty::Bits(16), 64).addr_bits(), 6);
+        // InitMemberFunct: 1920 entries -> 11 bits.
+        assert_eq!(Ty::array(Ty::Int(16), 1920).addr_bits(), 11);
+    }
+
+    #[test]
+    fn addr_bits_edge_cases() {
+        assert_eq!(Ty::Bits(8).addr_bits(), 0);
+        assert_eq!(Ty::array(Ty::Bit, 1).addr_bits(), 0);
+        assert_eq!(Ty::array(Ty::Bit, 2).addr_bits(), 1);
+        assert_eq!(Ty::array(Ty::Bit, 3).addr_bits(), 2);
+        assert_eq!(Ty::array(Ty::Bit, 129).addr_bits(), 8);
+    }
+
+    #[test]
+    fn display_is_vhdl_flavoured() {
+        assert_eq!(Ty::Bits(8).to_string(), "bit_vector(7 downto 0)");
+        assert_eq!(
+            Ty::array(Ty::Int(16), 4).to_string(),
+            "array(0 to 3) of integer<16>"
+        );
+    }
+}

@@ -1,0 +1,500 @@
+//! Runtime values: bits, bit-vectors, integers and arrays.
+
+use std::fmt;
+
+use crate::error::SpecError;
+use crate::types::Ty;
+
+/// A fixed-width vector of bits, stored least-significant-bit first.
+///
+/// `BitVec` is the payload type moved over buses: messages are concatenated
+/// into one `BitVec` and sliced into bus words by the generated protocol
+/// procedures.
+///
+/// # Example
+///
+/// ```
+/// use ifsyn_spec::BitVec;
+///
+/// let v = BitVec::from_u64(0b1010, 4);
+/// assert_eq!(v.width(), 4);
+/// assert_eq!(v.to_u64(), 0b1010);
+/// assert_eq!(v.to_string(), "1010");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    /// Bits, index 0 is the least significant bit.
+    bits: Vec<bool>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `width` bits.
+    pub fn zeros(width: u32) -> Self {
+        Self {
+            bits: vec![false; width as usize],
+        }
+    }
+
+    /// Creates a vector from the low `width` bits of `value`.
+    ///
+    /// Bits of `value` above `width` are discarded.
+    pub fn from_u64(value: u64, width: u32) -> Self {
+        let bits = (0..width.min(64))
+            .map(|i| (value >> i) & 1 == 1)
+            .chain(std::iter::repeat_n(false, width.saturating_sub(64) as usize))
+            .collect();
+        Self { bits }
+    }
+
+    /// Creates a vector from bits given least-significant first.
+    pub fn from_bits_lsb_first<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        Self {
+            bits: bits.into_iter().collect(),
+        }
+    }
+
+    /// Returns the number of bits.
+    pub fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// Returns `true` if the vector has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Returns bit `index` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.width()`.
+    pub fn bit(&self, index: u32) -> bool {
+        self.bits[index as usize]
+    }
+
+    /// Sets bit `index` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.width()`.
+    pub fn set_bit(&mut self, index: u32, value: bool) {
+        self.bits[index as usize] = value;
+    }
+
+    /// Interprets the low 64 bits as an unsigned integer.
+    ///
+    /// Bits beyond the 64th are ignored; use [`BitVec::width`] to detect
+    /// wide vectors first if exactness matters.
+    pub fn to_u64(&self) -> u64 {
+        self.bits
+            .iter()
+            .take(64)
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
+    /// Returns bits `lo..=hi` as a new vector (`hi downto lo` in VHDL terms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= self.width()`.
+    pub fn slice(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
+        assert!(
+            hi < self.width(),
+            "slice hi ({hi}) out of range for width {}",
+            self.width()
+        );
+        Self {
+            bits: self.bits[lo as usize..=hi as usize].to_vec(),
+        }
+    }
+
+    /// Overwrites bits `lo..=hi` with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `value.width()` does not
+    /// equal `hi - lo + 1`.
+    pub fn write_slice(&mut self, hi: u32, lo: u32, value: &BitVec) {
+        assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
+        assert!(hi < self.width(), "slice out of range");
+        assert_eq!(value.width(), hi - lo + 1, "slice width mismatch");
+        for i in 0..value.width() {
+            self.bits[(lo + i) as usize] = value.bit(i);
+        }
+    }
+
+    /// Concatenates `high` above `self`: result = `high & self` in VHDL
+    /// terms (`self` keeps the low bit positions).
+    pub fn concat(&self, high: &BitVec) -> Self {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        Self { bits }
+    }
+
+    /// Returns a copy zero-extended or truncated to `width` bits.
+    pub fn resized(&self, width: u32) -> Self {
+        let mut bits = self.bits.clone();
+        bits.resize(width as usize, false);
+        Self { bits }
+    }
+
+    /// Iterates over bits, least significant first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Formats most-significant bit first, VHDL literal style.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits.is_empty() {
+            return write!(f, "\"\"");
+        }
+        for &b in self.bits.iter().rev() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut nibbles = Vec::new();
+        let mut i = 0;
+        while i < self.bits.len() {
+            let mut n = 0u8;
+            for j in 0..4 {
+                if i + j < self.bits.len() && self.bits[i + j] {
+                    n |= 1 << j;
+                }
+            }
+            nibbles.push(n);
+            i += 4;
+        }
+        for n in nibbles.iter().rev() {
+            write!(f, "{n:x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<bool> for BitVec {
+    fn from(b: bool) -> Self {
+        Self { bits: vec![b] }
+    }
+}
+
+/// A runtime value in the specification language.
+///
+/// Values are what the simulator stores in variables and drives onto
+/// signals, and what [`crate::Expr::Const`] embeds in the IR.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A single bit.
+    Bit(bool),
+    /// A fixed-width bit vector.
+    Bits(BitVec),
+    /// A bounded integer carrying its declared bit width.
+    Int {
+        /// The integer value.
+        value: i64,
+        /// Declared width in bits (used when packing into messages).
+        width: u32,
+    },
+    /// A homogeneous array of values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Creates an integer value of the given width.
+    pub fn int(value: i64, width: u32) -> Self {
+        Value::Int { value, width }
+    }
+
+    /// Returns the default (all-zero) value of type `ty`.
+    pub fn default_of(ty: &Ty) -> Self {
+        match ty {
+            Ty::Bit => Value::Bit(false),
+            Ty::Bits(w) => Value::Bits(BitVec::zeros(*w)),
+            Ty::Int(w) => Value::Int { value: 0, width: *w },
+            Ty::Array { elem, len } => {
+                Value::Array(vec![Value::default_of(elem); *len as usize])
+            }
+        }
+    }
+
+    /// Returns the type of this value.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Bit(_) => Ty::Bit,
+            Value::Bits(v) => Ty::Bits(v.width()),
+            Value::Int { width, .. } => Ty::Int(*width),
+            Value::Array(items) => {
+                let elem = items.first().map(Value::ty).unwrap_or(Ty::Bit);
+                Ty::Array {
+                    elem: Box::new(elem),
+                    len: items.len() as u32,
+                }
+            }
+        }
+    }
+
+    /// Interprets the value as an unsigned integer where meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::TypeMismatch`] for arrays.
+    pub fn as_u64(&self) -> Result<u64, SpecError> {
+        match self {
+            Value::Bit(b) => Ok(*b as u64),
+            Value::Bits(v) => Ok(v.to_u64()),
+            Value::Int { value, .. } => Ok(*value as u64),
+            Value::Array(_) => Err(SpecError::TypeMismatch {
+                context: "array used as scalar".to_string(),
+            }),
+        }
+    }
+
+    /// Interprets the value as a signed integer where meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::TypeMismatch`] for arrays.
+    pub fn as_i64(&self) -> Result<i64, SpecError> {
+        match self {
+            Value::Bit(b) => Ok(*b as i64),
+            Value::Bits(v) => Ok(v.to_u64() as i64),
+            Value::Int { value, .. } => Ok(*value),
+            Value::Array(_) => Err(SpecError::TypeMismatch {
+                context: "array used as scalar".to_string(),
+            }),
+        }
+    }
+
+    /// Interprets the value as a single bit.
+    ///
+    /// Nonzero integers and bit-vectors count as `true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::TypeMismatch`] for arrays.
+    pub fn as_bool(&self) -> Result<bool, SpecError> {
+        Ok(self.as_u64()? != 0)
+    }
+
+    /// Packs the value into a [`BitVec`] of its natural width.
+    ///
+    /// Integers pack as two's complement of their declared width; arrays
+    /// pack element 0 in the lowest positions.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ifsyn_spec::Value;
+    ///
+    /// let v = Value::int(5, 4);
+    /// assert_eq!(v.to_bits().to_string(), "0101");
+    /// ```
+    pub fn to_bits(&self) -> BitVec {
+        match self {
+            Value::Bit(b) => BitVec::from(*b),
+            Value::Bits(v) => v.clone(),
+            Value::Int { value, width } => BitVec::from_u64(*value as u64, *width),
+            Value::Array(items) => {
+                let mut acc = BitVec::zeros(0);
+                for item in items {
+                    acc = acc.concat(&item.to_bits());
+                }
+                acc
+            }
+        }
+    }
+
+    /// Reconstructs a value of type `ty` from packed bits.
+    ///
+    /// Inverse of [`Value::to_bits`] for scalar and array types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is narrower than `ty.bit_width()`.
+    pub fn from_bits(ty: &Ty, bits: &BitVec) -> Self {
+        match ty {
+            Ty::Bit => Value::Bit(!bits.is_empty() && bits.bit(0)),
+            Ty::Bits(w) => Value::Bits(bits.resized(*w)),
+            Ty::Int(w) => {
+                let raw = bits.resized(*w).to_u64();
+                // Sign-extend from declared width.
+                let value = if *w > 0 && *w < 64 && (raw >> (*w - 1)) & 1 == 1 {
+                    (raw | !((1u64 << *w) - 1)) as i64
+                } else {
+                    raw as i64
+                };
+                Value::Int { value, width: *w }
+            }
+            Ty::Array { elem, len } => {
+                let ew = elem.bit_width();
+                let items = (0..*len)
+                    .map(|i| {
+                        let lo = i * ew;
+                        let hi = lo + ew - 1;
+                        Value::from_bits(elem, &bits.slice(hi, lo))
+                    })
+                    .collect();
+                Value::Array(items)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bit(b) => write!(f, "'{}'", if *b { '1' } else { '0' }),
+            Value::Bits(v) => write!(f, "\"{v}\""),
+            Value::Int { value, .. } => write!(f, "{value}"),
+            Value::Array(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bit(b)
+    }
+}
+
+impl From<BitVec> for Value {
+    fn from(v: BitVec) -> Self {
+        Value::Bits(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitvec_from_to_u64_roundtrip() {
+        for v in [0u64, 1, 2, 0xff, 0xdead, u64::MAX] {
+            assert_eq!(BitVec::from_u64(v, 64).to_u64(), v);
+        }
+    }
+
+    #[test]
+    fn bitvec_truncates_above_width() {
+        assert_eq!(BitVec::from_u64(0xff, 4).to_u64(), 0xf);
+    }
+
+    #[test]
+    fn bitvec_slice_matches_vhdl_downto() {
+        // "11010" (msb first) = bit4..bit0 = 1,1,0,1,0.
+        let v = BitVec::from_u64(0b11010, 5);
+        assert_eq!(v.slice(4, 3).to_string(), "11");
+        assert_eq!(v.slice(2, 0).to_string(), "010");
+    }
+
+    #[test]
+    fn bitvec_write_slice() {
+        let mut v = BitVec::zeros(8);
+        v.write_slice(7, 4, &BitVec::from_u64(0b1010, 4));
+        assert_eq!(v.to_u64(), 0b1010_0000);
+    }
+
+    #[test]
+    fn bitvec_concat_places_first_operand_low() {
+        let low = BitVec::from_u64(0b01, 2);
+        let high = BitVec::from_u64(0b11, 2);
+        assert_eq!(low.concat(&high).to_u64(), 0b1101);
+    }
+
+    #[test]
+    fn bitvec_resized_extends_and_truncates() {
+        let v = BitVec::from_u64(0b101, 3);
+        assert_eq!(v.resized(5).to_u64(), 0b101);
+        assert_eq!(v.resized(2).to_u64(), 0b01);
+    }
+
+    #[test]
+    fn bitvec_hex_format() {
+        let v = BitVec::from_u64(0xa5, 8);
+        assert_eq!(format!("{v:x}"), "a5");
+    }
+
+    #[test]
+    fn bitvec_display_wide() {
+        let v = BitVec::from_u64(1, 70);
+        assert_eq!(v.width(), 70);
+        assert!(v.to_string().ends_with('1'));
+        assert_eq!(v.to_u64(), 1);
+    }
+
+    #[test]
+    fn value_default_of_matches_type() {
+        let ty = Ty::Array {
+            elem: Box::new(Ty::Bits(8)),
+            len: 3,
+        };
+        let v = Value::default_of(&ty);
+        assert_eq!(v.ty(), ty);
+    }
+
+    #[test]
+    fn value_int_bits_roundtrip_signed() {
+        let v = Value::int(-3, 16);
+        let bits = v.to_bits();
+        assert_eq!(bits.width(), 16);
+        assert_eq!(Value::from_bits(&Ty::Int(16), &bits), v);
+    }
+
+    #[test]
+    fn value_array_bits_roundtrip() {
+        let ty = Ty::Array {
+            elem: Box::new(Ty::Int(8)),
+            len: 4,
+        };
+        let v = Value::Array(vec![
+            Value::int(1, 8),
+            Value::int(-1, 8),
+            Value::int(64, 8),
+            Value::int(0, 8),
+        ]);
+        let bits = v.to_bits();
+        assert_eq!(bits.width(), 32);
+        assert_eq!(Value::from_bits(&ty, &bits), v);
+    }
+
+    #[test]
+    fn value_as_bool_and_ints() {
+        assert!(Value::Bit(true).as_bool().unwrap());
+        assert!(!Value::int(0, 8).as_bool().unwrap());
+        assert_eq!(Value::int(-5, 16).as_i64().unwrap(), -5);
+        assert!(Value::Array(vec![]).as_u64().is_err());
+    }
+
+    #[test]
+    fn value_display_forms() {
+        assert_eq!(Value::Bit(true).to_string(), "'1'");
+        assert_eq!(Value::int(42, 8).to_string(), "42");
+        assert_eq!(
+            Value::Bits(BitVec::from_u64(0b10, 2)).to_string(),
+            "\"10\""
+        );
+    }
+}

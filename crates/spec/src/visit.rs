@@ -1,0 +1,140 @@
+//! Statement tree traversal and rewriting utilities.
+//!
+//! The partitioner and the protocol generator both transform behavior
+//! bodies wholesale: the partitioner replaces remote variable accesses
+//! with channel operations, the protocol generator replaces channel
+//! operations with procedure calls. [`rewrite_body`] supports exactly that
+//! one-to-many statement substitution; [`for_each_stmt`] supports the
+//! analyses (access counting, cost estimation).
+
+use crate::stmt::Stmt;
+
+/// Calls `f` on every statement in `body`, depth-first, outer first.
+pub fn for_each_stmt<'a, F: FnMut(&'a Stmt)>(body: &'a [Stmt], f: &mut F) {
+    for stmt in body {
+        f(stmt);
+        for inner in stmt.bodies() {
+            for_each_stmt(inner, f);
+        }
+    }
+}
+
+/// Result of rewriting one statement.
+pub enum Rewrite {
+    /// Keep the statement as-is (nested bodies are still rewritten).
+    Keep,
+    /// Replace the statement with the given sequence (which is *not*
+    /// recursively rewritten — the replacement is final).
+    Replace(Vec<Stmt>),
+}
+
+/// Rewrites a statement body: `f` decides per statement whether to keep or
+/// replace it. Nested bodies of kept statements are rewritten recursively.
+///
+/// # Example
+///
+/// Replace every `Return` with a no-op compute marker:
+///
+/// ```
+/// use ifsyn_spec::{Stmt, visit::{rewrite_body, Rewrite}};
+///
+/// let body = vec![Stmt::Return];
+/// let out = rewrite_body(body, &mut |s| match s {
+///     Stmt::Return => Rewrite::Replace(vec![Stmt::compute(0, "stripped")]),
+///     _ => Rewrite::Keep,
+/// });
+/// assert!(matches!(out[0], Stmt::Compute { .. }));
+/// ```
+pub fn rewrite_body<F>(body: Vec<Stmt>, f: &mut F) -> Vec<Stmt>
+where
+    F: FnMut(&Stmt) -> Rewrite,
+{
+    let mut out = Vec::with_capacity(body.len());
+    for mut stmt in body {
+        match f(&stmt) {
+            Rewrite::Replace(replacement) => out.extend(replacement),
+            Rewrite::Keep => {
+                for inner in stmt.bodies_mut() {
+                    let taken = std::mem::take(inner);
+                    *inner = rewrite_body(taken, f);
+                }
+                out.push(stmt);
+            }
+        }
+    }
+    out
+}
+
+/// Counts statements matching a predicate, anywhere in the body.
+pub fn count_stmts<F: FnMut(&Stmt) -> bool>(body: &[Stmt], mut pred: F) -> usize {
+    let mut n = 0;
+    for_each_stmt(body, &mut |s| {
+        if pred(s) {
+            n += 1;
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::ids::{ChannelId, VarId};
+
+    fn sample_body() -> Vec<Stmt> {
+        vec![
+            assign(var(VarId::new(0)), int_const(1, 8)),
+            if_then(
+                bit_const(true),
+                vec![
+                    send(ChannelId::new(0), int_const(2, 8)),
+                    for_loop(
+                        var(VarId::new(1)),
+                        int_const(0, 8),
+                        int_const(3, 8),
+                        vec![send(ChannelId::new(1), int_const(3, 8))],
+                    ),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn for_each_visits_nested() {
+        let body = sample_body();
+        let mut n = 0;
+        for_each_stmt(&body, &mut |_| n += 1);
+        // assign + if + send + for + send = 5
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn count_stmts_filters() {
+        let body = sample_body();
+        let sends = count_stmts(&body, |s| matches!(s, Stmt::ChannelSend { .. }));
+        assert_eq!(sends, 2);
+    }
+
+    #[test]
+    fn rewrite_replaces_nested_sends() {
+        let body = sample_body();
+        let out = rewrite_body(body, &mut |s| match s {
+            Stmt::ChannelSend { .. } => {
+                Rewrite::Replace(vec![Stmt::compute(1, "tx"), Stmt::compute(1, "tx2")])
+            }
+            _ => Rewrite::Keep,
+        });
+        let computes = count_stmts(&out, |s| matches!(s, Stmt::Compute { .. }));
+        let sends = count_stmts(&out, |s| matches!(s, Stmt::ChannelSend { .. }));
+        assert_eq!(computes, 4);
+        assert_eq!(sends, 0);
+    }
+
+    #[test]
+    fn rewrite_keep_preserves_structure() {
+        let body = sample_body();
+        let out = rewrite_body(body.clone(), &mut |_| Rewrite::Keep);
+        assert_eq!(out, body);
+    }
+}

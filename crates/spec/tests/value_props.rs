@@ -1,0 +1,104 @@
+//! Property tests for the value layer (BitVec and Value).
+
+use proptest::prelude::*;
+
+use ifsyn_spec::{BitVec, Ty, Value};
+
+fn arb_bitvec(max_width: u32) -> impl Strategy<Value = BitVec> {
+    (1u32..=max_width, any::<u64>())
+        .prop_map(|(w, v)| BitVec::from_u64(v, w.min(64)))
+}
+
+proptest! {
+    #[test]
+    fn from_to_u64_roundtrip(v in any::<u64>(), w in 1u32..=64) {
+        let bv = BitVec::from_u64(v, w);
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        prop_assert_eq!(bv.to_u64(), v & mask);
+        prop_assert_eq!(bv.width(), w);
+    }
+
+    #[test]
+    fn slice_then_concat_reassembles(bv in arb_bitvec(48), cut in 0u32..47) {
+        let w = bv.width();
+        prop_assume!(w >= 2);
+        let cut = 1 + cut % (w - 1); // 1..w-1
+        let low = bv.slice(cut - 1, 0);
+        let high = bv.slice(w - 1, cut);
+        prop_assert_eq!(low.concat(&high), bv);
+    }
+
+    #[test]
+    fn write_slice_then_read_roundtrips(
+        base in arb_bitvec(32),
+        patch in any::<u64>(),
+        lo in 0u32..31,
+    ) {
+        let w = base.width();
+        prop_assume!(w >= 1);
+        let lo = lo % w;
+        let hi = w - 1;
+        let patch = BitVec::from_u64(patch, hi - lo + 1);
+        let mut v = base.clone();
+        v.write_slice(hi, lo, &patch);
+        prop_assert_eq!(v.slice(hi, lo), patch);
+        if lo > 0 {
+            prop_assert_eq!(v.slice(lo - 1, 0), base.slice(lo - 1, 0));
+        }
+    }
+
+    #[test]
+    fn resized_preserves_low_bits(bv in arb_bitvec(40), w2 in 1u32..40) {
+        let r = bv.resized(w2);
+        prop_assert_eq!(r.width(), w2);
+        let common = bv.width().min(w2);
+        if common > 0 {
+            prop_assert_eq!(r.slice(common - 1, 0), bv.slice(common - 1, 0));
+        }
+    }
+
+    #[test]
+    fn display_is_msb_first_binary(bv in arb_bitvec(20)) {
+        let s = bv.to_string();
+        prop_assert_eq!(s.len() as u32, bv.width());
+        for (i, c) in s.chars().rev().enumerate() {
+            prop_assert_eq!(c == '1', bv.bit(i as u32));
+        }
+    }
+
+    #[test]
+    fn int_value_bits_roundtrip(v in -32768i64..32768, w in 16u32..=32) {
+        let val = Value::int(v, w);
+        let back = Value::from_bits(&Ty::Int(w), &val.to_bits());
+        prop_assert_eq!(back, val);
+    }
+
+    #[test]
+    fn array_value_bits_roundtrip(
+        items in prop::collection::vec(any::<u64>(), 1..8),
+        w in 1u32..16,
+    ) {
+        let ty = Ty::array(Ty::Bits(w), items.len() as u32);
+        let val = Value::Array(
+            items.iter().map(|&x| Value::Bits(BitVec::from_u64(x, w))).collect(),
+        );
+        let bits = val.to_bits();
+        prop_assert_eq!(bits.width(), w * items.len() as u32);
+        prop_assert_eq!(Value::from_bits(&ty, &bits), val);
+    }
+
+    #[test]
+    fn default_of_has_declared_type(w in 1u32..32, len in 1u32..8) {
+        let ty = Ty::array(Ty::Bits(w), len);
+        prop_assert_eq!(Value::default_of(&ty).ty(), ty);
+    }
+
+    #[test]
+    fn addr_bits_covers_every_index(len in 2u32..2000) {
+        let ty = Ty::array(Ty::Bit, len);
+        let a = ty.addr_bits();
+        // Every index 0..len-1 must fit in a bits; a-1 bits must not.
+        prop_assert!(u64::from(len - 1) < (1u64 << a));
+        prop_assert!(u64::from(len - 1) >= (1u64 << (a - 1)) || a == 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! The telephone answering machine (paper §5).
+//!
+//! A controller monitors the line, plays the greeting and records
+//! incoming messages. Partitioning places the two sample memories on a
+//! memory chip; interface synthesis merges the resulting channels onto
+//! one bus. The model starts *unpartitioned* and runs through
+//! `ifsyn-partition`, exercising the pipeline the paper's Fig. 1 shows.
+
+use ifsyn_partition::Partitioner;
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{ChannelId, Stmt, System, Ty, Value};
+
+/// Greeting memory length (8-bit samples).
+pub const GREETING_LEN: i64 = 96;
+/// Message memory length (8-bit samples).
+pub const MESSAGE_LEN: i64 = 160;
+
+/// Handles into the partitioned answering machine.
+#[derive(Debug, Clone)]
+pub struct AnsweringMachine {
+    /// The partitioned system.
+    pub system: System,
+    /// All derived channels.
+    pub channels: Vec<ChannelId>,
+    /// Channel groups by module pair (bus candidates).
+    pub groups: Vec<Vec<ChannelId>>,
+}
+
+/// Builds the unpartitioned answering machine specification.
+pub fn answering_machine_unpartitioned() -> System {
+    let mut sys = System::new("answering_machine");
+    let all = sys.add_module("system");
+
+    let controller = sys.add_behavior("CONTROLLER", all);
+    let play_greeting = sys.add_behavior("PLAY_GREETING", all);
+    let record_msg = sys.add_behavior("RECORD_MSG", all);
+
+    // Memories (to be moved to the memory chip by partitioning).
+    let greeting = sys.add_variable_init(
+        "GREETING",
+        Ty::array(Ty::Bits(8), GREETING_LEN as u32),
+        play_greeting,
+        Value::Array(
+            (0..GREETING_LEN)
+                .map(|i| Value::Bits(ifsyn_spec::BitVec::from_u64((i as u64 * 7) & 0xff, 8)))
+                .collect(),
+        ),
+    );
+    let messages = sys.add_variable(
+        "MESSAGES",
+        Ty::array(Ty::Bits(8), MESSAGE_LEN as u32),
+        record_msg,
+    );
+    let status = sys.add_variable("MACHINE_STATUS", Ty::Bits(8), controller);
+
+    // CONTROLLER: detect ring, set status, wait out the call.
+    sys.behavior_mut(controller).body = vec![
+        Stmt::compute(20, "monitor line for ring"),
+        assign(var(status), bits_const(0x01, 8)), // ANSWERING
+        Stmt::compute(40, "off-hook sequence"),
+        assign(var(status), bits_const(0x02, 8)), // RECORDING
+    ];
+
+    // PLAY_GREETING: stream the greeting samples out (reads GREETING).
+    let gi = sys.add_variable("g_i", Ty::Int(16), play_greeting);
+    let gsample = sys.add_variable("g_sample", Ty::Bits(8), play_greeting);
+    sys.behavior_mut(play_greeting).body = vec![for_loop(
+        var(gi),
+        int_const(0, 16),
+        int_const(GREETING_LEN - 1, 16),
+        vec![
+            assign(var(gsample), load(index(var(greeting), load(var(gi))))),
+            Stmt::compute(2, "drive DAC sample"),
+        ],
+    )];
+
+    // RECORD_MSG: digitise the line and store samples (writes MESSAGES).
+    let ri = sys.add_variable("r_i", Ty::Int(16), record_msg);
+    sys.behavior_mut(record_msg).body = vec![for_loop(
+        var(ri),
+        int_const(0, 16),
+        int_const(MESSAGE_LEN - 1, 16),
+        vec![
+            Stmt::compute(3, "sample ADC"),
+            assign(index(var(messages), load(var(ri))), load(var(ri))),
+        ],
+    )];
+
+    sys
+}
+
+/// Builds and partitions the answering machine: processes on
+/// `ctrl_chip`, both sample memories on `mem_chip`.
+pub fn answering_machine() -> AnsweringMachine {
+    let sys = answering_machine_unpartitioned();
+    let result = Partitioner::new()
+        .place_behavior("CONTROLLER", "ctrl_chip")
+        .place_behavior("PLAY_GREETING", "ctrl_chip")
+        .place_behavior("RECORD_MSG", "ctrl_chip")
+        .place_variable("GREETING", "mem_chip")
+        .place_variable("MESSAGES", "mem_chip")
+        .partition(&sys)
+        .expect("answering machine partition is well-formed");
+    let groups = result.channel_groups();
+    AnsweringMachine {
+        system: result.system,
+        channels: result.channels,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::ChannelDirection;
+
+    #[test]
+    fn partition_derives_two_memory_channels() {
+        let am = answering_machine();
+        // PLAY_GREETING reads GREETING; RECORD_MSG writes MESSAGES.
+        assert_eq!(am.channels.len(), 2);
+        let dirs: Vec<_> = am
+            .channels
+            .iter()
+            .map(|&c| am.system.channel(c).direction)
+            .collect();
+        assert!(dirs.contains(&ChannelDirection::Read));
+        assert!(dirs.contains(&ChannelDirection::Write));
+    }
+
+    #[test]
+    fn channels_group_onto_one_bus() {
+        let am = answering_machine();
+        assert_eq!(am.groups.len(), 1);
+        assert_eq!(am.groups[0].len(), 2);
+    }
+
+    #[test]
+    fn access_counts_match_loop_bounds() {
+        let am = answering_machine();
+        let counts: Vec<u64> = am
+            .channels
+            .iter()
+            .map(|&c| am.system.channel(c).accesses)
+            .collect();
+        assert!(counts.contains(&(GREETING_LEN as u64)));
+        assert!(counts.contains(&(MESSAGE_LEN as u64)));
+    }
+
+    #[test]
+    fn partitioned_system_validates() {
+        assert!(answering_machine().system.check().is_ok());
+    }
+}

@@ -1,0 +1,190 @@
+//! The Ethernet network coprocessor (paper §5).
+//!
+//! Receive and transmit units move frames between the wire and shared
+//! frame buffers; a DMA engine drains received frames to the host and
+//! feeds outgoing frames. Partitioning places the frame buffers on a
+//! buffer-memory chip; the rx/tx/dma channels are candidates for
+//! merging.
+
+use ifsyn_partition::Partitioner;
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{ChannelId, Stmt, System, Ty};
+
+/// Receive buffer length (16-bit words).
+pub const RCV_BUF_LEN: i64 = 128;
+/// Transmit buffer length (16-bit words).
+pub const XMIT_BUF_LEN: i64 = 128;
+/// Words per frame moved by each unit in the modelled burst.
+pub const FRAME_WORDS: i64 = 64;
+
+/// Handles into the partitioned Ethernet coprocessor.
+#[derive(Debug, Clone)]
+pub struct EthernetCoprocessor {
+    /// The partitioned system.
+    pub system: System,
+    /// All derived channels.
+    pub channels: Vec<ChannelId>,
+    /// Channel groups by module pair (bus candidates).
+    pub groups: Vec<Vec<ChannelId>>,
+}
+
+/// Builds the unpartitioned Ethernet coprocessor specification.
+pub fn ethernet_unpartitioned() -> System {
+    let mut sys = System::new("ethernet_coprocessor");
+    let all = sys.add_module("system");
+
+    let rcv_unit = sys.add_behavior("RCV_UNIT", all);
+    let xmit_unit = sys.add_behavior("XMIT_UNIT", all);
+    let dma_rcv = sys.add_behavior("DMA_RCV", all);
+    let dma_xmit = sys.add_behavior("DMA_XMIT", all);
+    let exec_unit = sys.add_behavior("EXEC_UNIT", all);
+
+    let rcv_buffer = sys.add_variable(
+        "RCV_BUFFER",
+        Ty::array(Ty::Bits(16), RCV_BUF_LEN as u32),
+        rcv_unit,
+    );
+    let xmit_buffer = sys.add_variable_init(
+        "XMIT_BUFFER",
+        Ty::array(Ty::Bits(16), XMIT_BUF_LEN as u32),
+        xmit_unit,
+        ifsyn_spec::Value::Array(
+            (0..XMIT_BUF_LEN)
+                .map(|i| {
+                    ifsyn_spec::Value::Bits(ifsyn_spec::BitVec::from_u64(
+                        (i as u64).wrapping_mul(0x2d) & 0xffff,
+                        16,
+                    ))
+                })
+                .collect(),
+        ),
+    );
+    let csr = sys.add_variable("CSR", Ty::Bits(16), exec_unit);
+
+    // RCV_UNIT: deserialise a frame from the wire into RCV_BUFFER.
+    let rj = sys.add_variable("rcv_j", Ty::Int(16), rcv_unit);
+    sys.behavior_mut(rcv_unit).body = vec![for_loop(
+        var(rj),
+        int_const(0, 16),
+        int_const(FRAME_WORDS - 1, 16),
+        vec![
+            Stmt::compute(12, "deserialise word from MII"),
+            assign(index(var(rcv_buffer), load(var(rj))), load(var(rj))),
+        ],
+    )];
+
+    // XMIT_UNIT: serialise a frame from XMIT_BUFFER onto the wire.
+    let xj = sys.add_variable("xmit_j", Ty::Int(16), xmit_unit);
+    let xw = sys.add_variable("xmit_w", Ty::Bits(16), xmit_unit);
+    sys.behavior_mut(xmit_unit).body = vec![for_loop(
+        var(xj),
+        int_const(0, 16),
+        int_const(FRAME_WORDS - 1, 16),
+        vec![
+            assign(var(xw), load(index(var(xmit_buffer), load(var(xj))))),
+            Stmt::compute(12, "serialise word to MII"),
+        ],
+    )];
+
+    // DMA_RCV: drain the received frame to the host.
+    let dj = sys.add_variable("dma_r_j", Ty::Int(16), dma_rcv);
+    let dw = sys.add_variable("dma_r_w", Ty::Bits(16), dma_rcv);
+    sys.behavior_mut(dma_rcv).body = vec![
+        Stmt::compute(30, "await frame-complete"),
+        for_loop(
+            var(dj),
+            int_const(0, 16),
+            int_const(FRAME_WORDS - 1, 16),
+            vec![
+                assign(var(dw), load(index(var(rcv_buffer), load(var(dj))))),
+                Stmt::compute(6, "host write"),
+            ],
+        ),
+    ];
+
+    // DMA_XMIT: stage the next outgoing frame.
+    let ej = sys.add_variable("dma_x_j", Ty::Int(16), dma_xmit);
+    sys.behavior_mut(dma_xmit).body = vec![
+        Stmt::compute(25, "await host descriptor"),
+        for_loop(
+            var(ej),
+            int_const(0, 16),
+            int_const(FRAME_WORDS - 1, 16),
+            vec![
+                Stmt::compute(6, "host read"),
+                assign(index(var(xmit_buffer), load(var(ej))), load(var(ej))),
+            ],
+        ),
+    ];
+
+    // EXEC_UNIT: command/status bookkeeping, local.
+    sys.behavior_mut(exec_unit).body = vec![
+        Stmt::compute(10, "decode command"),
+        assign(var(csr), bits_const(0x8000, 16)),
+    ];
+
+    sys
+}
+
+/// Builds and partitions the Ethernet coprocessor: datapath units on
+/// `mac_chip`, frame buffers on `buf_chip`.
+pub fn ethernet_coprocessor() -> EthernetCoprocessor {
+    let sys = ethernet_unpartitioned();
+    let result = Partitioner::new()
+        .place_behavior("RCV_UNIT", "mac_chip")
+        .place_behavior("XMIT_UNIT", "mac_chip")
+        .place_behavior("DMA_RCV", "mac_chip")
+        .place_behavior("DMA_XMIT", "mac_chip")
+        .place_behavior("EXEC_UNIT", "mac_chip")
+        .place_variable("RCV_BUFFER", "buf_chip")
+        .place_variable("XMIT_BUFFER", "buf_chip")
+        .partition(&sys)
+        .expect("ethernet partition is well-formed");
+    let groups = result.channel_groups();
+    EthernetCoprocessor {
+        system: result.system,
+        channels: result.channels,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::ChannelDirection;
+
+    #[test]
+    fn partition_derives_four_buffer_channels() {
+        let eth = ethernet_coprocessor();
+        // RCV writes RCV_BUFFER, XMIT reads XMIT_BUFFER,
+        // DMA_RCV reads RCV_BUFFER, DMA_XMIT writes XMIT_BUFFER.
+        assert_eq!(eth.channels.len(), 4);
+        let reads = eth
+            .channels
+            .iter()
+            .filter(|&&c| eth.system.channel(c).direction == ChannelDirection::Read)
+            .count();
+        assert_eq!(reads, 2);
+    }
+
+    #[test]
+    fn all_channels_share_one_module_pair() {
+        let eth = ethernet_coprocessor();
+        assert_eq!(eth.groups.len(), 1);
+        assert_eq!(eth.groups[0].len(), 4);
+    }
+
+    #[test]
+    fn frame_channels_move_64_words() {
+        let eth = ethernet_coprocessor();
+        for &c in &eth.channels {
+            assert_eq!(eth.system.channel(c).accesses, FRAME_WORDS as u64);
+            assert_eq!(eth.system.channel(c).message_bits(), 16 + 7);
+        }
+    }
+
+    #[test]
+    fn partitioned_system_validates() {
+        assert!(ethernet_coprocessor().system.check().is_ok());
+    }
+}

@@ -1,0 +1,153 @@
+//! The paper's Fig. 1 motivating example: a processor-like process `A`
+//! whose memory `MEM` and status register `STATUS` are moved to a
+//! second module by system partitioning.
+//!
+//! ```text
+//! process A:            IR  <= MEM(PC) ;
+//!                       STATUS <= x"0A" ;
+//!                       MEM(AR) <= ACCUM ;
+//! ```
+//!
+//! After partitioning, `A` reaches `MEM` over channels ch1 (read) and
+//! ch2 (write) and `STATUS` over ch3 — exactly the three channels the
+//! figure groups into bus `B`.
+
+use ifsyn_partition::Partitioner;
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{ChannelId, Stmt, System, Ty, Value};
+
+/// Number of fetch/execute iterations process `A` performs.
+pub const FIG1_ITERATIONS: i64 = 16;
+
+/// Handles into the partitioned Fig. 1 system.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// The partitioned system.
+    pub system: System,
+    /// The derived channels (A<MEM read, A>MEM write, A>STATUS write).
+    pub channels: Vec<ChannelId>,
+    /// Channel groups by module pair.
+    pub groups: Vec<Vec<ChannelId>>,
+}
+
+/// Builds the unpartitioned Fig. 1 specification: everything in one
+/// module, `A` accessing `MEM` and `STATUS` directly.
+pub fn fig1_unpartitioned() -> System {
+    let mut sys = System::new("fig1");
+    let all = sys.add_module("system");
+    let a = sys.add_behavior("A", all);
+
+    let mem = sys.add_variable_init(
+        "MEM",
+        Ty::array(Ty::Bits(16), 64),
+        a,
+        Value::Array(
+            (0..64)
+                .map(|i| Value::Bits(ifsyn_spec::BitVec::from_u64(0x1000 + i, 16)))
+                .collect(),
+        ),
+    );
+    let status = sys.add_variable("STATUS", Ty::Bits(8), a);
+    let ir = sys.add_variable("IR", Ty::Bits(16), a);
+    let pc = sys.add_variable("PC", Ty::Int(16), a);
+    let ar = sys.add_variable_init("AR", Ty::Int(16), a, Value::int(32, 16));
+    let accum = sys.add_variable("ACCUM", Ty::Int(16), a);
+    let step = sys.add_variable("step", Ty::Int(16), a);
+
+    // The fetch/execute loop of the figure's code fragment.
+    sys.behavior_mut(a).body = vec![for_loop(
+        var(step),
+        int_const(0, 16),
+        int_const(FIG1_ITERATIONS - 1, 16),
+        vec![
+            // IR <= MEM(PC) ;
+            assign(var(ir), load(index(var(mem), load(var(pc))))),
+            // decode/execute.
+            Stmt::compute(3, "decode and execute"),
+            assign(var(accum), add(load(var(accum)), load(var(ir)))),
+            // STATUS <= x"0A" ;
+            assign(var(status), bits_const(0x0a, 8)),
+            // MEM(AR) <= ACCUM ;
+            assign(
+                index(var(mem), add(load(var(ar)), load(var(step)))),
+                load(var(accum)),
+            ),
+            assign(var(pc), add(load(var(pc)), int_const(1, 16))),
+        ],
+    )];
+    sys
+}
+
+/// Partitions Fig. 1: `A` stays on `module1`, the memory and status
+/// register move to `module2` (the figure's dashed split).
+pub fn fig1() -> Fig1 {
+    let sys = fig1_unpartitioned();
+    let result = Partitioner::new()
+        .place_behavior("A", "module1")
+        .place_variable("MEM", "module2")
+        .place_variable("STATUS", "module2")
+        .partition(&sys)
+        .expect("fig1 partition is well-formed");
+    let groups = result.channel_groups();
+    Fig1 {
+        system: result.system,
+        channels: result.channels,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::ChannelDirection;
+
+    #[test]
+    fn partition_derives_the_figures_three_channels() {
+        let f = fig1();
+        // ch1: A < MEM (read), ch2: A > MEM (write), ch3: A > STATUS.
+        assert_eq!(f.channels.len(), 3);
+        let dirs: Vec<ChannelDirection> = f
+            .channels
+            .iter()
+            .map(|&c| f.system.channel(c).direction)
+            .collect();
+        assert_eq!(
+            dirs.iter()
+                .filter(|d| **d == ChannelDirection::Read)
+                .count(),
+            1
+        );
+        assert_eq!(
+            dirs.iter()
+                .filter(|d| **d == ChannelDirection::Write)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn all_three_channels_form_one_bus_group() {
+        let f = fig1();
+        assert_eq!(f.groups.len(), 1);
+        assert_eq!(f.groups[0].len(), 3);
+    }
+
+    #[test]
+    fn access_counts_follow_the_loop() {
+        let f = fig1();
+        for &c in &f.channels {
+            let ch = f.system.channel(c);
+            assert_eq!(
+                ch.accesses, FIG1_ITERATIONS as u64,
+                "channel {} accesses",
+                ch.name
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_system_validates() {
+        assert!(fig1().system.check().is_ok());
+        assert!(fig1_unpartitioned().check().is_ok());
+    }
+}

@@ -1,0 +1,180 @@
+//! The worked example of the paper's Figs. 3–5.
+//!
+//! Behaviors `P` and `Q` access variables `X` (16-bit scalar) and `MEM`
+//! (64 × 16-bit array) that partitioning placed on another component:
+//!
+//! ```text
+//! behavior P:  X <= 32 ; MEM(AD) := X + 7 ;       (CH0 write X,
+//!                                                  CH1 read X,
+//!                                                  CH2 write MEM)
+//! behavior Q:  MEM(60) := COUNT ;                 (CH3 write MEM)
+//! ```
+//!
+//! The four channels are grouped onto one bus whose width the paper
+//! fixes at 8 bits, giving the generated `SendCH0`/`ReceiveCH0`
+//! procedures two 8-bit transfers per 16-bit message (Fig. 4).
+
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::{Channel, ChannelDirection, ChannelId, System, Ty, Value, VarId};
+
+/// Handles into the Fig. 3 system.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// The partitioned system (channels in place of direct accesses).
+    pub system: System,
+    /// CH0: `P` writes `X`.
+    pub ch0: ChannelId,
+    /// CH1: `P` reads `X`.
+    pub ch1: ChannelId,
+    /// CH2: `P` writes `MEM`.
+    pub ch2: ChannelId,
+    /// CH3: `Q` writes `MEM`.
+    pub ch3: ChannelId,
+    /// The remote scalar `X`.
+    pub x: VarId,
+    /// The remote array `MEM`.
+    pub mem: VarId,
+    /// `P`'s local copy of `X` (`Xtemp` in Fig. 5).
+    pub xtemp: VarId,
+}
+
+impl Fig3 {
+    /// All four channels, in ID order (CH0..CH3).
+    pub fn channels(&self) -> Vec<ChannelId> {
+        vec![self.ch0, self.ch1, self.ch2, self.ch3]
+    }
+}
+
+/// Builds the partitioned Fig. 3 system with its four channels.
+pub fn fig3_system() -> System {
+    fig3().system
+}
+
+/// Builds the Fig. 3 system and returns the handle struct.
+pub fn fig3() -> Fig3 {
+    let mut sys = System::new("fig3");
+    let left = sys.add_module("component1");
+    let right = sys.add_module("component2");
+    let p = sys.add_behavior("P", left);
+    let q = sys.add_behavior("Q", left);
+    let store = sys.add_behavior("component2_store", right);
+
+    let x = sys.add_variable("X", Ty::Bits(16), store);
+    let mem = sys.add_variable("MEM", Ty::array(Ty::Bits(16), 64), store);
+    let ad = sys.add_variable_init("AD", Ty::Int(16), p, Value::int(17, 16));
+    let xtemp = sys.add_variable("Xtemp", Ty::Bits(16), p);
+    let count = sys.add_variable_init("COUNT", Ty::Int(16), q, Value::int(1234, 16));
+
+    let ch0 = sys.add_channel(Channel {
+        name: "CH0".into(),
+        accessor: p,
+        variable: x,
+        direction: ChannelDirection::Write,
+        data_bits: 16,
+        addr_bits: 0,
+        accesses: 1,
+    });
+    let ch1 = sys.add_channel(Channel {
+        name: "CH1".into(),
+        accessor: p,
+        variable: x,
+        direction: ChannelDirection::Read,
+        data_bits: 16,
+        addr_bits: 0,
+        accesses: 1,
+    });
+    let ch2 = sys.add_channel(Channel {
+        name: "CH2".into(),
+        accessor: p,
+        variable: mem,
+        direction: ChannelDirection::Write,
+        data_bits: 16,
+        addr_bits: 6,
+        accesses: 1,
+    });
+    let ch3 = sys.add_channel(Channel {
+        name: "CH3".into(),
+        accessor: q,
+        variable: mem,
+        direction: ChannelDirection::Write,
+        data_bits: 16,
+        addr_bits: 6,
+        accesses: 1,
+    });
+
+    // P: SendCH0(32); ReceiveCH1(Xtemp); SendCH2(AD, Xtemp + 7).
+    sys.behavior_mut(p).body = vec![
+        send(ch0, int_const(32, 16)),
+        receive(ch1, var(xtemp)),
+        send_at(ch2, load(var(ad)), add(load(var(xtemp)), int_const(7, 16))),
+    ];
+    // Q: SendCH3(60, COUNT).
+    sys.behavior_mut(q).body = vec![send_at(ch3, int_const(60, 16), load(var(count)))];
+
+    Fig3 {
+        system: sys,
+        ch0,
+        ch1,
+        ch2,
+        ch3,
+        x,
+        mem,
+        xtemp,
+    }
+}
+
+/// The same system *before* partitioning: `P` and `Q` access `X` and
+/// `MEM` directly (the left side of Fig. 1 / Fig. 3). Feed this through
+/// `ifsyn_partition::Partitioner` to derive the channels automatically.
+pub fn fig3_unpartitioned() -> System {
+    let mut sys = System::new("fig3_unpartitioned");
+    let all = sys.add_module("system");
+    let p = sys.add_behavior("P", all);
+    let q = sys.add_behavior("Q", all);
+    let x = sys.add_variable("X", Ty::Bits(16), p);
+    let mem = sys.add_variable("MEM", Ty::array(Ty::Bits(16), 64), p);
+    let ad = sys.add_variable_init("AD", Ty::Int(16), p, Value::int(17, 16));
+    let count = sys.add_variable_init("COUNT", Ty::Int(16), q, Value::int(1234, 16));
+
+    // P:  X <= 32 ;  MEM(AD) := X + 7 ;
+    sys.behavior_mut(p).body = vec![
+        assign(var(x), int_const(32, 16)),
+        assign(
+            index(var(mem), load(var(ad))),
+            add(load(var(x)), int_const(7, 16)),
+        ),
+    ];
+    // Q:  MEM(60) := COUNT ;
+    sys.behavior_mut(q).body = vec![assign(
+        index(var(mem), int_const(60, 16)),
+        load(var(count)),
+    )];
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_validates() {
+        assert!(fig3_system().check().is_ok());
+        assert!(fig3_unpartitioned().check().is_ok());
+    }
+
+    #[test]
+    fn channel_message_sizes_match_paper() {
+        let f = fig3();
+        let sys = &f.system;
+        assert_eq!(sys.channel(f.ch0).message_bits(), 16);
+        assert_eq!(sys.channel(f.ch1).message_bits(), 16);
+        assert_eq!(sys.channel(f.ch2).message_bits(), 22); // 16 + 6 addr
+        assert_eq!(sys.channel(f.ch3).message_bits(), 22);
+    }
+
+    #[test]
+    fn four_channels_need_two_id_bits() {
+        let f = fig3();
+        assert_eq!(f.channels().len(), 4);
+    }
+}

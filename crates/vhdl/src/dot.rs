@@ -1,0 +1,169 @@
+//! Graphviz DOT export of system structure.
+//!
+//! Renders the partition picture the paper's Figs. 1, 3 and 6 draw by
+//! hand: modules as clusters, behaviors and variables as nodes, channels
+//! as labelled edges (`>` for writes, `<` for reads), and — for refined
+//! systems — the bus as a node every grouped channel attaches to.
+
+use std::fmt::Write as _;
+
+use ifsyn_core::RefinedSystem;
+use ifsyn_spec::{ChannelDirection, System};
+
+/// Renders the module/behavior/variable/channel structure as DOT.
+///
+/// # Example
+///
+/// ```
+/// use ifsyn_vhdl::to_dot;
+/// let sys = ifsyn_spec::System::new("empty");
+/// let dot = to_dot(&sys);
+/// assert!(dot.starts_with("digraph"));
+/// ```
+pub fn to_dot(system: &System) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", system.name);
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    node [fontname=\"Helvetica\"];");
+    for (mi, module) in system.modules.iter().enumerate() {
+        let _ = writeln!(out, "    subgraph cluster_m{mi} {{");
+        let _ = writeln!(out, "        label=\"{}\";", module.name);
+        for (bi, b) in system.behaviors.iter().enumerate() {
+            if b.module.index() != mi {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "        b{bi} [label=\"{}\" shape=box];",
+                b.name
+            );
+            for (vi, v) in system.variables.iter().enumerate() {
+                if v.owner.index() == bi {
+                    let _ = writeln!(
+                        out,
+                        "        v{vi} [label=\"{} : {}\" shape=ellipse];",
+                        v.name, v.ty
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "    }}");
+    }
+    for c in &system.channels {
+        let (from, to) = match c.direction {
+            ChannelDirection::Write => (
+                format!("b{}", c.accessor.index()),
+                format!("v{}", c.variable.index()),
+            ),
+            ChannelDirection::Read => (
+                format!("v{}", c.variable.index()),
+                format!("b{}", c.accessor.index()),
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "    {from} -> {to} [label=\"{} ({}b x{})\"];",
+            c.name,
+            c.message_bits(),
+            c.accesses
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Like [`to_dot`], plus a bus node the grouped channels hang off, with
+/// the wire budget in the label.
+pub fn refined_to_dot(refined: &RefinedSystem) -> String {
+    let system = &refined.system;
+    let bus = &refined.bus;
+    let mut out = to_dot(system);
+    // Splice the bus node before the closing brace.
+    out.truncate(out.trim_end().len() - 1);
+    let _ = writeln!(
+        out,
+        "    bus [label=\"bus {} : {} data + {} ctl + {} id\" shape=hexagon];",
+        bus.name,
+        bus.design.width,
+        bus.design.control_lines(),
+        bus.design.id_bits()
+    );
+    for &(ch, _) in &bus.id_codes {
+        let c = system.channel(ch);
+        let _ = writeln!(
+            out,
+            "    b{} -> bus [style=dashed label=\"{}\"];",
+            c.accessor.index(),
+            c.name
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_core::{BusDesign, ProtocolGenerator, ProtocolKind};
+    use ifsyn_spec::{Channel, Ty};
+
+    fn sample() -> (System, Vec<ifsyn_spec::ChannelId>) {
+        let mut sys = System::new("dot_test");
+        let m1 = sys.add_module("chip1");
+        let m2 = sys.add_module("chip2");
+        let p = sys.add_behavior("P", m1);
+        let store = sys.add_behavior("store", m2);
+        let x = sys.add_variable("X", Ty::Bits(16), store);
+        let ch = sys.add_channel(Channel {
+            name: "ch0".into(),
+            accessor: p,
+            variable: x,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: 1,
+        });
+        (sys, vec![ch])
+    }
+
+    #[test]
+    fn dot_has_clusters_nodes_and_edges() {
+        let (sys, _) = sample();
+        let dot = to_dot(&sys);
+        assert!(dot.contains("subgraph cluster_m0"));
+        assert!(dot.contains("label=\"chip1\""));
+        assert!(dot.contains("[label=\"P\" shape=box]"));
+        assert!(dot.contains("X : bit_vector(15 downto 0)"));
+        assert!(dot.contains("-> v0 [label=\"ch0 (16b x1)\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn read_channels_point_from_variable_to_behavior() {
+        let (mut sys, _) = sample();
+        let p = sys.behavior_by_name("P").unwrap();
+        let x = sys.variable_by_name("X").unwrap();
+        sys.add_channel(Channel {
+            name: "ch1".into(),
+            accessor: p,
+            variable: x,
+            direction: ChannelDirection::Read,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: 1,
+        });
+        let dot = to_dot(&sys);
+        assert!(dot.contains("v0 -> b0 [label=\"ch1"));
+    }
+
+    #[test]
+    fn refined_dot_adds_the_bus_node() {
+        let (sys, chans) = sample();
+        let design = BusDesign::with_width(chans, 8, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        let dot = refined_to_dot(&refined);
+        assert!(dot.contains("bus [label=\"bus B : 8 data + 2 ctl + 0 id\""));
+        assert!(dot.contains("-> bus [style=dashed"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,451 @@
+//! The pretty-printer.
+
+use std::fmt::Write as _;
+
+use ifsyn_core::RefinedSystem;
+use ifsyn_spec::{
+    Arg, BinOp, Expr, ParamMode, Place, Procedure, Stmt, System, Ty, UnaryOp, Value, WaitCond,
+};
+
+/// Prints systems and refined systems as VHDL-flavoured text.
+#[derive(Debug, Clone, Default)]
+pub struct VhdlPrinter {
+    indent: usize,
+}
+
+impl VhdlPrinter {
+    /// Creates a printer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prints a whole system: signals, procedures, then one process per
+    /// behavior, grouped by module.
+    pub fn print_system(&self, sys: &System) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "-- system {}", sys.name);
+        if !sys.signals.is_empty() {
+            out.push('\n');
+            for s in &sys.signals {
+                let _ = writeln!(out, "signal {} : {} ;", s.name, ty_str(&s.ty));
+            }
+        }
+        for p in &sys.procedures {
+            out.push('\n');
+            self.print_procedure(sys, p, &mut out);
+        }
+        for (mi, module) in sys.modules.iter().enumerate() {
+            let _ = writeln!(out, "\n-- module {}", module.name);
+            for b in &sys.behaviors {
+                if b.module.index() != mi {
+                    continue;
+                }
+                out.push('\n');
+                self.print_behavior(sys, b, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Prints a refined system, with the bus record shown in the paper's
+    /// Fig. 4 style before the flattened signals.
+    pub fn print_refined(&self, refined: &RefinedSystem) -> String {
+        let mut out = String::new();
+        let bus = &refined.bus;
+        let sys = &refined.system;
+        let _ = writeln!(out, "-- refined system {} (bus {})", sys.name, bus.name);
+        let _ = writeln!(out, "type HandShakeBus is record");
+        if bus.start.is_some() {
+            let _ = writeln!(out, "    START : bit ;");
+        }
+        if bus.done.is_some() {
+            let _ = writeln!(out, "    DONE : bit ;");
+        }
+        if let Some(id) = bus.id {
+            let _ = writeln!(out, "    ID : {} ;", ty_str(&sys.signal(id).ty));
+        }
+        if let Some(data) = bus.data {
+            let _ = writeln!(out, "    DATA : {} ;", ty_str(&sys.signal(data).ty));
+        }
+        let _ = writeln!(out, "end record ;");
+        let _ = writeln!(out, "signal {} : HandShakeBus ;", bus.name);
+        out.push('\n');
+        let _ = writeln!(out, "-- channel id assignment");
+        for &(ch, code) in &bus.id_codes {
+            let width = bus.design.id_bits().max(1);
+            let _ = writeln!(
+                out,
+                "--   {} = \"{}\"",
+                sys.channel(ch).name,
+                ifsyn_spec::BitVec::from_u64(code, width)
+            );
+        }
+        out.push_str(&self.print_system(sys));
+        out
+    }
+
+    fn print_behavior(&self, sys: &System, b: &ifsyn_spec::Behavior, out: &mut String) {
+        let _ = writeln!(out, "process {}", b.name);
+        for (vi, v) in sys.variables.iter().enumerate() {
+            if v.owner.index() < sys.behaviors.len()
+                && sys.behaviors[v.owner.index()].name == b.name
+            {
+                let _ = writeln!(out, "    variable {} : {} ;", v.name, ty_str(&v.ty));
+                let _ = vi;
+            }
+        }
+        let _ = writeln!(out, "begin");
+        self.print_body(sys, &b.body, 1, out);
+        if b.repeats {
+            let _ = writeln!(out, "    -- process repeats");
+        }
+        let _ = writeln!(out, "end process ;");
+    }
+
+    fn print_procedure(&self, sys: &System, p: &Procedure, out: &mut String) {
+        let params: Vec<String> = p
+            .params
+            .iter()
+            .map(|q| {
+                format!(
+                    "{} : {} {}",
+                    q.name,
+                    match q.mode {
+                        ParamMode::In => "in",
+                        ParamMode::Out => "out",
+                        ParamMode::InOut => "inout",
+                    },
+                    ty_str(&q.ty)
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "procedure {}({}) is", p.name, params.join("; "));
+        for l in &p.locals {
+            let _ = writeln!(out, "    variable {} : {} ;", l.name, ty_str(&l.ty));
+        }
+        let _ = writeln!(out, "begin");
+        self.print_proc_body(sys, p, &p.body, 1, out);
+        let _ = writeln!(out, "end {} ;", p.name);
+    }
+
+    fn print_body(&self, sys: &System, body: &[Stmt], depth: usize, out: &mut String) {
+        for stmt in body {
+            self.print_stmt(sys, None, stmt, depth, out);
+        }
+    }
+
+    fn print_proc_body(
+        &self,
+        sys: &System,
+        proc: &Procedure,
+        body: &[Stmt],
+        depth: usize,
+        out: &mut String,
+    ) {
+        for stmt in body {
+            self.print_stmt(sys, Some(proc), stmt, depth, out);
+        }
+    }
+
+    fn print_stmt(
+        &self,
+        sys: &System,
+        proc: Option<&Procedure>,
+        stmt: &Stmt,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let pad = "    ".repeat(depth + self.indent);
+        match stmt {
+            Stmt::Assign { place, value, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} := {} ;",
+                    place_str(sys, proc, place),
+                    expr_str(sys, proc, value)
+                );
+            }
+            Stmt::SignalAssign { signal, value, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} <= {} ;",
+                    sys.signal(*signal).name,
+                    expr_str(sys, proc, value)
+                );
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let _ = writeln!(out, "{pad}if {} then", expr_str(sys, proc, cond));
+                for s in then_body {
+                    self.print_stmt(sys, proc, s, depth + 1, out);
+                }
+                if !else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}else");
+                    for s in else_body {
+                        self.print_stmt(sys, proc, s, depth + 1, out);
+                    }
+                }
+                let _ = writeln!(out, "{pad}end if ;");
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}for {} in {} to {} loop",
+                    place_str(sys, proc, var),
+                    expr_str(sys, proc, from),
+                    expr_str(sys, proc, to)
+                );
+                for s in body {
+                    self.print_stmt(sys, proc, s, depth + 1, out);
+                }
+                let _ = writeln!(out, "{pad}end loop ;");
+            }
+            Stmt::While { cond, body } => {
+                let _ = writeln!(out, "{pad}while {} loop", expr_str(sys, proc, cond));
+                for s in body {
+                    self.print_stmt(sys, proc, s, depth + 1, out);
+                }
+                let _ = writeln!(out, "{pad}end loop ;");
+            }
+            Stmt::Wait(cond) => match cond {
+                WaitCond::OnSignals(signals) => {
+                    let names: Vec<&str> = signals
+                        .iter()
+                        .map(|&s| sys.signal(s).name.as_str())
+                        .collect();
+                    let _ = writeln!(out, "{pad}wait on {} ;", names.join(", "));
+                }
+                WaitCond::Until(e) => {
+                    let _ = writeln!(out, "{pad}wait until {} ;", expr_str(sys, proc, e));
+                }
+                WaitCond::ForCycles(n) => {
+                    let _ = writeln!(out, "{pad}wait for {n} cycles ;");
+                }
+            },
+            Stmt::Call { procedure, args } => {
+                let callee = sys.procedure(*procedure);
+                let rendered: Vec<String> = args
+                    .iter()
+                    .map(|a| match a {
+                        Arg::In(e) => expr_str(sys, proc, e),
+                        Arg::Out(p) | Arg::InOut(p) => place_str(sys, proc, p),
+                    })
+                    .collect();
+                let _ = writeln!(out, "{pad}{}({}) ;", callee.name, rendered.join(", "));
+            }
+            Stmt::ChannelSend {
+                channel,
+                addr,
+                data,
+            } => {
+                let ch = sys.channel(*channel);
+                let mut args = Vec::new();
+                if let Some(a) = addr {
+                    args.push(expr_str(sys, proc, a));
+                }
+                args.push(expr_str(sys, proc, data));
+                let _ = writeln!(out, "{pad}send_{}({}) ;  -- abstract", ch.name, args.join(", "));
+            }
+            Stmt::ChannelReceive {
+                channel,
+                addr,
+                target,
+            } => {
+                let ch = sys.channel(*channel);
+                let mut args = Vec::new();
+                if let Some(a) = addr {
+                    args.push(expr_str(sys, proc, a));
+                }
+                args.push(place_str(sys, proc, target));
+                let _ = writeln!(
+                    out,
+                    "{pad}receive_{}({}) ;  -- abstract",
+                    ch.name,
+                    args.join(", ")
+                );
+            }
+            Stmt::Compute { cycles, note } => {
+                let _ = writeln!(out, "{pad}-- compute: {note} ({cycles} cycles)");
+            }
+            Stmt::Assert { cond, note } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}assert {} report \"{note}\" ;",
+                    expr_str(sys, proc, cond)
+                );
+            }
+            Stmt::Return => {
+                let _ = writeln!(out, "{pad}return ;");
+            }
+        }
+    }
+}
+
+fn ty_str(ty: &Ty) -> String {
+    ty.to_string()
+}
+
+fn place_str(sys: &System, proc: Option<&Procedure>, place: &Place) -> String {
+    match place {
+        Place::Var(v) => sys.variable(*v).name.clone(),
+        Place::Local(slot) => match proc {
+            Some(p) if *slot < p.slot_count() => p.slot_name(*slot).to_string(),
+            _ => format!("local{slot}"),
+        },
+        Place::Index { base, index } => format!(
+            "{}({})",
+            place_str(sys, proc, base),
+            expr_str(sys, proc, index)
+        ),
+        Place::Slice { base, hi, lo } => {
+            format!("{}({} downto {})", place_str(sys, proc, base), hi, lo)
+        }
+        Place::DynSlice {
+            base,
+            offset,
+            width,
+        } => {
+            let off = expr_str(sys, proc, offset);
+            format!(
+                "{}({off} + {} downto {off})",
+                place_str(sys, proc, base),
+                width - 1
+            )
+        }
+    }
+}
+
+fn expr_str(sys: &System, proc: Option<&Procedure>, expr: &Expr) -> String {
+    match expr {
+        Expr::Const(v) => value_str(v),
+        Expr::Load(p) => place_str(sys, proc, p),
+        Expr::Signal(s) => sys.signal(*s).name.clone(),
+        Expr::Unary { op, arg } => match op {
+            UnaryOp::Not => format!("not {}", expr_str(sys, proc, arg)),
+            UnaryOp::Neg => format!("-{}", expr_str(sys, proc, arg)),
+        },
+        Expr::Binary { op, lhs, rhs } => format!(
+            "({} {} {})",
+            expr_str(sys, proc, lhs),
+            binop_str(*op),
+            expr_str(sys, proc, rhs)
+        ),
+        Expr::SliceOf { base, hi, lo } => {
+            format!("{}({} downto {})", expr_str(sys, proc, base), hi, lo)
+        }
+        Expr::Resize { base, width } => {
+            format!("resize({}, {})", expr_str(sys, proc, base), width)
+        }
+        Expr::DynSliceOf {
+            base,
+            offset,
+            width,
+        } => {
+            let off = expr_str(sys, proc, offset);
+            format!(
+                "{}({off} + {} downto {off})",
+                expr_str(sys, proc, base),
+                width - 1
+            )
+        }
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "mod",
+        BinOp::Eq => "=",
+        BinOp::Ne => "/=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Concat => "&",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+    }
+}
+
+fn value_str(v: &Value) -> String {
+    match v {
+        Value::Bit(b) => format!("'{}'", if *b { '1' } else { '0' }),
+        Value::Bits(bv) => format!("\"{bv}\""),
+        Value::Int { value, .. } => value.to_string(),
+        Value::Array(_) => "(others => ...)".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+
+    fn demo_system() -> System {
+        let mut sys = System::new("demo");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let x = sys.add_variable("X", Ty::Bits(16), b);
+        let s = sys.add_signal("B_START", Ty::Bit);
+        sys.behavior_mut(b).body = vec![
+            assign(var(x), bits_const(32, 16)),
+            drive_cost(s, bit_const(true), 1),
+            wait_until(eq(signal(s), bit_const(false))),
+        ];
+        sys
+    }
+
+    #[test]
+    fn prints_process_and_statements() {
+        let text = VhdlPrinter::new().print_system(&demo_system());
+        assert!(text.contains("process P"), "{text}");
+        assert!(text.contains("B_START <= '1'"), "{text}");
+        assert!(text.contains("wait until (B_START = '0')"), "{text}");
+        assert!(text.contains("variable X : bit_vector(15 downto 0)"), "{text}");
+    }
+
+    #[test]
+    fn prints_signal_declarations() {
+        let text = VhdlPrinter::new().print_system(&demo_system());
+        assert!(text.contains("signal B_START : bit ;"), "{text}");
+    }
+
+    #[test]
+    fn prints_procedures_with_params() {
+        let mut sys = demo_system();
+        let mut p = Procedure::new("SendCH0");
+        let tx = p.add_param("txdata", Ty::Bits(16), ParamMode::In);
+        p.body = vec![assign(local(tx), bits_const(0, 16))];
+        sys.add_procedure(p);
+        let text = VhdlPrinter::new().print_system(&sys);
+        assert!(text.contains("procedure SendCH0(txdata : in bit_vector(15 downto 0))"));
+        assert!(text.contains("txdata :="), "{text}");
+    }
+
+    #[test]
+    fn prints_slices_and_indexing() {
+        let mut sys = demo_system();
+        let b = sys.behavior_by_name("P").unwrap();
+        let arr = sys.add_variable("MEM", Ty::array(Ty::Bits(8), 4), b);
+        sys.behavior_mut(b).body = vec![assign(
+            slice(index(var(arr), int_const(2, 8)), 7, 4),
+            bits_const(3, 4),
+        )];
+        let text = VhdlPrinter::new().print_system(&sys);
+        assert!(text.contains("MEM(2)(7 downto 4) :="), "{text}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Design-space exploration: how constraints and weights steer bus
+//! generation (the paper's Fig. 8 methodology), plus protocol and
+//! arbitration trade-offs measured in simulation.
+//!
+//! Run with: `cargo run --example design_space_explorer`
+
+use std::error::Error;
+
+use interface_synthesis::core::{
+    Arbitration, BusDesign, BusGenerator, Constraint, ProtocolGenerator, ProtocolKind,
+};
+use interface_synthesis::sim::Simulator;
+use interface_synthesis::systems::flc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let f = flc::flc();
+    let chans = f.bus_channels();
+
+    println!("== width exploration (no constraints) ==\n");
+    let exploration = BusGenerator::new().explore(&f.system, &chans)?;
+    println!("  width  bus rate  sum of ave rates  feasible");
+    for row in &exploration.rows {
+        println!(
+            "  {:>5}  {:>8.2}  {:>16.2}  {}",
+            row.width,
+            row.bus_rate,
+            row.sum_ave_rates,
+            if row.feasible { "yes" } else { "no" }
+        );
+    }
+
+    println!("\n== constraint-driven selection (Fig. 8) ==\n");
+    let scenarios: Vec<(&str, Vec<Constraint>)> = vec![
+        (
+            "A: peak-rate floor",
+            vec![Constraint::min_peak_rate(f.ch2, 10.0, 10.0)],
+        ),
+        (
+            "B: peak floor + width band [14,18]",
+            vec![
+                Constraint::min_peak_rate(f.ch2, 10.0, 2.0),
+                Constraint::min_bus_width(14, 1.0),
+                Constraint::max_bus_width(18, 2.0),
+            ],
+        ),
+        (
+            "C: heavy width band [14,16]",
+            vec![
+                Constraint::min_peak_rate(f.ch2, 10.0, 1.0),
+                Constraint::min_bus_width(14, 5.0),
+                Constraint::max_bus_width(16, 5.0),
+            ],
+        ),
+        (
+            "D: pin-starved (max 10 pins, heavy)",
+            vec![Constraint::max_bus_width(10, 100.0)],
+        ),
+    ];
+    for (name, constraints) in scenarios {
+        let design = BusGenerator::new()
+            .constraints(constraints)
+            .generate(&f.system, &chans)?;
+        println!(
+            "  {name:<38} -> width {:>2}, cost {:>8.2}, reduction {:>5.1}%",
+            design.width,
+            design.cost,
+            100.0 * design.interconnect_reduction(&f.system)
+        );
+    }
+
+    println!("\n== protocol trade-off at width 8 (measured) ==\n");
+    for protocol in [
+        ProtocolKind::FullHandshake,
+        ProtocolKind::HalfHandshake,
+        ProtocolKind::FixedDelay { cycles: 3 },
+    ] {
+        // Half-handshake cannot serve ch2 (a read); use ch1 alone.
+        let design = BusDesign::with_width(vec![f.ch1], 8, protocol);
+        let refined = ProtocolGenerator::new().refine(&f.system, &design)?;
+        let report = Simulator::new(&refined.system)?.run_to_quiescence()?;
+        println!(
+            "  {:<16} {} control line(s), EVAL_R3 = {} clocks",
+            protocol.to_string(),
+            protocol.control_lines(),
+            report.finish_time(f.eval_r3).expect("finished")
+        );
+    }
+
+    println!("\n== arbitration grant delay on the shared bus (measured) ==\n");
+    for grant in [0u32, 2, 8] {
+        let design = BusDesign::with_width(chans.clone(), 8, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new()
+            .with_arbitration(Arbitration::round_robin().with_grant_cycles(grant))
+            .refine(&f.system, &design)?;
+        let report = Simulator::new(&refined.system)?.run_to_quiescence()?;
+        println!(
+            "  grant = {grant} clk: EVAL_R3 = {} clk, CONV_R2 = {} clk",
+            report.finish_time(f.eval_r3).expect("finished"),
+            report.finish_time(f.conv_r2).expect("finished")
+        );
+    }
+    Ok(())
+}

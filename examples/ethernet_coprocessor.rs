@@ -1,0 +1,63 @@
+//! The Ethernet network coprocessor (paper §5): four frame-buffer
+//! channels merged onto one bus, with a look at what happens when the
+//! group is overloaded (bus splitting, the paper's future-work item).
+//!
+//! Run with: `cargo run --example ethernet_coprocessor`
+
+use std::error::Error;
+
+use interface_synthesis::core::{BusGenerator, ProtocolGenerator};
+use interface_synthesis::sim::Simulator;
+use interface_synthesis::systems::ethernet_coprocessor;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let eth = ethernet_coprocessor();
+    println!("== ethernet coprocessor: derived channels ==\n");
+    for &ch in &eth.channels {
+        let c = eth.system.channel(ch);
+        println!(
+            "  {} : {} {} {}  ({} accesses of {} bits)",
+            c.name,
+            eth.system.behavior(c.accessor).name,
+            c.direction.arrow(),
+            eth.system.variable(c.variable).name,
+            c.accesses,
+            c.message_bits()
+        );
+    }
+
+    let design = BusGenerator::new().generate(&eth.system, &eth.groups[0])?;
+    println!("\n== single shared bus ==\n");
+    println!(
+        "  width {} pins, total wires {}, reduction {:.1}% vs {} dedicated pins",
+        design.width,
+        design.total_wires(),
+        100.0 * design.interconnect_reduction(&eth.system),
+        design.dedicated_wires(&eth.system)
+    );
+
+    let refined = ProtocolGenerator::new().refine(&eth.system, &design)?;
+    let report = Simulator::new(&refined.system)?.run_to_quiescence()?;
+    println!("\n== simulation ==\n");
+    for (_, outcome) in report.finished_behaviors() {
+        println!(
+            "  {} finished at {} clocks",
+            outcome.name,
+            outcome.finish_time.expect("finished")
+        );
+    }
+
+    // Splitting: if the same four channels had no compute padding, no
+    // single bus would satisfy Eq. 1 and the group must split.
+    println!("\n== bus splitting (future-work extension) ==\n");
+    let outcome = BusGenerator::new().generate_with_split(&eth.system, &eth.groups[0])?;
+    println!(
+        "  this group fits on {} bus(es); widths {:?}",
+        outcome.bus_count(),
+        outcome.buses.iter().map(|b| b.width).collect::<Vec<_>>()
+    );
+    println!(
+        "  (generate_with_split only splits when Eq. 1 fails on every width)"
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! The Matsushita fuzzy logic controller (the paper's Fig. 6–8 case
+//! study): sweep bus widths for the ch1+ch2 group, pick a width under a
+//! designer constraint, refine and simulate.
+//!
+//! Run with: `cargo run --example fuzzy_logic_controller`
+
+use std::error::Error;
+
+use interface_synthesis::core::{
+    BusDesign, BusGenerator, Constraint, ProtocolGenerator, ProtocolKind,
+};
+use interface_synthesis::estimate::BusTiming;
+use interface_synthesis::sim::Simulator;
+use interface_synthesis::systems::flc::{
+    self, CONV_COMPUTE_CYCLES, EVAL_COMPUTE_CYCLES, FLC_ACCESSES,
+};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let f = flc::flc();
+    println!("== FLC (Fig. 6): processes on chip1, memories on chip2 ==\n");
+    println!(
+        "  ch1: EVAL_R3 > trru0   ({} messages of 23 bits)",
+        FLC_ACCESSES
+    );
+    println!(
+        "  ch2: CONV_R2 < trru2   ({} messages of 23 bits)",
+        FLC_ACCESSES
+    );
+    println!("  dedicated wires: {}\n", f.dedicated_wires());
+
+    // Fig. 7: performance vs width (analytic sweep).
+    println!("== performance vs bus width (Fig. 7, analytic) ==\n");
+    println!("  width  EVAL_R3  CONV_R2   (clocks)");
+    for width in [1u32, 2, 4, 6, 8, 12, 16, 20, 23, 24] {
+        let t = BusTiming::new(width, 2);
+        let eval = FLC_ACCESSES * (EVAL_COMPUTE_CYCLES + t.cycles_per_access(23));
+        let conv = FLC_ACCESSES * (CONV_COMPUTE_CYCLES + t.cycles_per_access(23));
+        println!("  {width:>5}  {eval:>7}  {conv:>7}");
+    }
+
+    // Fig. 8 design A: constrain ch2's peak rate.
+    println!("\n== constrained bus generation (Fig. 8 design A) ==\n");
+    let design = BusGenerator::new()
+        .constraint(Constraint::min_peak_rate(f.ch2, 10.0, 10.0))
+        .generate(&f.system, &f.bus_channels())?;
+    println!(
+        "  selected width {} pins, bus rate {} b/clk, interconnect reduction {:.1}%",
+        design.width,
+        design.bus_rate,
+        100.0 * design.interconnect_reduction(&f.system)
+    );
+
+    // Refine and simulate at the selected width.
+    let refined = ProtocolGenerator::new().refine(&f.system, &design)?;
+    let report = Simulator::new(&refined.system)?.run_to_quiescence()?;
+    println!("\n== simulation at the selected width ==\n");
+    println!(
+        "  EVAL_R3 finished at {} clocks",
+        report.finish_time(f.eval_r3).expect("finished")
+    );
+    println!(
+        "  CONV_R2 finished at {} clocks",
+        report.finish_time(f.conv_r2).expect("finished")
+    );
+    println!(
+        "  conv checksum = {} (expected {})",
+        report.final_variable(f.conv_acc).as_i64()?,
+        flc::expected_conv_checksum()
+    );
+
+    // For comparison: the unconstrained minimum-width implementation.
+    let minimal = BusGenerator::new().generate(&f.system, &f.bus_channels())?;
+    println!(
+        "\n(unconstrained generation would pick {} pins — the smallest \
+         width satisfying Eq. 1)",
+        minimal.width
+    );
+
+    // And the designer can always bypass the algorithm entirely:
+    let narrow = BusDesign::with_width(f.bus_channels(), 4, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new().refine(&f.system, &narrow)?;
+    let report = Simulator::new(&refined.system)?.run_to_quiescence()?;
+    println!(
+        "(a designer-forced 4-pin bus still works, but CONV_R2 takes {} clocks)",
+        report.finish_time(f.conv_r2).expect("finished")
+    );
+    Ok(())
+}

@@ -1,0 +1,382 @@
+//! `ifsyn` — the interface-synthesis command line.
+//!
+//! ```text
+//! ifsyn SPEC.ifs [options]
+//!
+//!   --channels ch1,ch2     channels to implement (default: all)
+//!   --width N              designer-specified bus width (default: run
+//!                          the bus-generation algorithm)
+//!   --protocol P           full | half | fixed:N      (default: full)
+//!   --min-width N[:W]      constraint with optional weight (default 1)
+//!   --max-width N[:W]      constraint with optional weight
+//!   --min-peak CH=R[:W]    MinPeakRate(CH) = R bits/clock
+//!   --derive-channels      rewrite direct cross-module variable
+//!                          accesses into channels before synthesis
+//!   --no-arbitration       paper-faithful mode (no bus arbiter)
+//!   --rolled               emit Fig. 4-style rolled word loops
+//!   --print-vhdl           print the refined specification
+//!   --vcd FILE             write a VCD waveform of the simulation
+//!   --dot FILE             write a Graphviz graph of the refined system
+//!   --lint                 print specification warnings and exit
+//!   --explore              print the width exploration table and exit
+//!   --explore-csv FILE     write the exploration as CSV and exit
+//! ```
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use interface_synthesis::core::{
+    BusDesign, BusGenerator, Constraint, ProtocolGenerator, ProtocolKind,
+};
+use interface_synthesis::sim::{SimConfig, Simulator};
+use interface_synthesis::spec::{ChannelId, System};
+use interface_synthesis::vhdl::VhdlPrinter;
+
+#[derive(Debug, Default)]
+struct Options {
+    spec_path: Option<String>,
+    channels: Option<Vec<String>>,
+    width: Option<u32>,
+    protocol: ProtocolArg,
+    constraints: Vec<ConstraintArg>,
+    derive_channels: bool,
+    no_arbitration: bool,
+    rolled: bool,
+    print_vhdl: bool,
+    vcd: Option<String>,
+    dot: Option<String>,
+    explore: bool,
+    explore_csv: Option<String>,
+    lint: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+enum ProtocolArg {
+    #[default]
+    Full,
+    Half,
+    Fixed(u32),
+}
+
+#[derive(Debug, Clone)]
+enum ConstraintArg {
+    MinWidth(u32, f64),
+    MaxWidth(u32, f64),
+    MinPeak(String, f64, f64),
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ifsyn: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let options = parse_args(std::env::args().skip(1))?;
+    let Some(path) = &options.spec_path else {
+        return Err("usage: ifsyn SPEC.ifs [options]  (see --help in the README)".into());
+    };
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut system = interface_synthesis::lang::parse_system(&source)
+        .map_err(|e| format!("{path}:{e}"))?;
+
+    if options.derive_channels {
+        let result = interface_synthesis::partition::Partitioner::new()
+            .partition(&system)?;
+        let n = result.channels.len();
+        system = result.system;
+        println!("derived {n} channel(s) from cross-module accesses");
+    }
+
+    if options.lint {
+        let findings = interface_synthesis::spec::lint::lint_system(&system);
+        if findings.is_empty() {
+            println!("no lints: `{}` looks clean", system.name);
+        } else {
+            for finding in &findings {
+                println!("warning: {finding}");
+            }
+        }
+        return Ok(());
+    }
+
+    let channels = select_channels(&system, &options)?;
+    println!(
+        "system `{}`: {} behaviors, {} channels selected",
+        system.name,
+        system.behaviors.len(),
+        channels.len()
+    );
+
+    let protocol = match options.protocol {
+        ProtocolArg::Full => ProtocolKind::FullHandshake,
+        ProtocolArg::Half => ProtocolKind::HalfHandshake,
+        ProtocolArg::Fixed(n) => ProtocolKind::FixedDelay { cycles: n },
+    };
+
+    let mut generator = BusGenerator::new().with_protocol(protocol);
+    for c in &options.constraints {
+        generator = generator.constraint(resolve_constraint(&system, c)?);
+    }
+
+    if let Some(csv_path) = &options.explore_csv {
+        let exploration = generator.explore(&system, &channels)?;
+        std::fs::write(csv_path, exploration.to_csv())
+            .map_err(|e| format!("cannot write `{csv_path}`: {e}"))?;
+        println!("wrote exploration CSV to {csv_path}");
+        return Ok(());
+    }
+
+    if options.explore {
+        let exploration = generator.explore(&system, &channels)?;
+        println!("\nwidth  bus rate  sum ave rates  feasible  cost");
+        for row in &exploration.rows {
+            println!(
+                "{:>5}  {:>8.2}  {:>13.2}  {:>8}  {}",
+                row.width,
+                row.bus_rate,
+                row.sum_ave_rates,
+                if row.feasible { "yes" } else { "no" },
+                row.cost.map(|c| format!("{c:.2}")).unwrap_or_default()
+            );
+        }
+        return Ok(());
+    }
+
+    let design = match options.width {
+        Some(w) => BusDesign::with_width(channels, w, protocol),
+        None => generator.generate(&system, &channels)?,
+    };
+    println!(
+        "bus: {} data + {} control + {} ID lines = {} wires ({}, reduction {:.1}%)",
+        design.width,
+        design.control_lines(),
+        design.id_bits(),
+        design.total_wires(),
+        design.protocol,
+        100.0 * design.interconnect_reduction(&system)
+    );
+
+    let mut pg = ProtocolGenerator::new();
+    if options.no_arbitration {
+        pg = pg.without_arbitration();
+    }
+    if options.rolled {
+        pg = pg.with_rolled_word_loops();
+    }
+    let refined = pg.refine(&system, &design)?;
+    let area = interface_synthesis::estimate::AreaEstimator::new();
+    let before = area.estimate_system(&system, 0)?;
+    let after = area.estimate_system(&refined.system, design.total_wires())?;
+    println!(
+        "refinement overhead: +{} controller states, +{} register bits \
+         ({:.0} -> {:.0} gate equivalents)",
+        after.states.saturating_sub(before.states),
+        after.register_bits.saturating_sub(before.register_bits),
+        before.gates,
+        after.gates
+    );
+
+    if options.print_vhdl {
+        println!("\n{}", VhdlPrinter::new().print_refined(&refined));
+    }
+
+    if let Some(dot_path) = &options.dot {
+        let dot = interface_synthesis::vhdl::refined_to_dot(&refined);
+        std::fs::write(dot_path, dot)
+            .map_err(|e| format!("cannot write `{dot_path}`: {e}"))?;
+        println!("wrote structure graph to {dot_path}");
+    }
+
+    let config = if options.vcd.is_some() {
+        SimConfig::new().with_trace()
+    } else {
+        SimConfig::new()
+    };
+    let report = Simulator::with_config(&refined.system, config)?.run_to_quiescence()?;
+    println!("\nsimulation quiescent at t = {} cycles", report.time());
+    for (_, outcome) in report.finished_behaviors() {
+        println!(
+            "  {:<24} finished at {:>8} cycles",
+            outcome.name,
+            outcome.finish_time.expect("finished")
+        );
+    }
+    let blocked: Vec<&str> = report
+        .blocked_behaviors()
+        .map(|(_, o)| o.name.as_str())
+        .collect();
+    if !blocked.is_empty() {
+        println!("  idle servers: {}", blocked.join(", "));
+    }
+
+    if let Some(vcd_path) = &options.vcd {
+        let vcd = interface_synthesis::sim::vcd::to_vcd_string(&refined.system, &report);
+        std::fs::write(vcd_path, vcd)
+            .map_err(|e| format!("cannot write `{vcd_path}`: {e}"))?;
+        println!("wrote waveform to {vcd_path}");
+    }
+    Ok(())
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, Box<dyn Error>> {
+    let mut o = Options::default();
+    while let Some(arg) = args.next() {
+        let mut value_of = |name: &str| -> Result<String, Box<dyn Error>> {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value").into())
+        };
+        match arg.as_str() {
+            "--channels" => {
+                o.channels = Some(
+                    value_of("--channels")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--width" => o.width = Some(value_of("--width")?.parse()?),
+            "--protocol" => {
+                let v = value_of("--protocol")?;
+                o.protocol = match v.as_str() {
+                    "full" => ProtocolArg::Full,
+                    "half" => ProtocolArg::Half,
+                    other => match other.strip_prefix("fixed:") {
+                        Some(n) => ProtocolArg::Fixed(n.parse()?),
+                        None => return Err(format!("unknown protocol `{other}`").into()),
+                    },
+                };
+            }
+            "--min-width" => {
+                let (n, w) = split_weight(&value_of("--min-width")?)?;
+                o.constraints.push(ConstraintArg::MinWidth(n.parse()?, w));
+            }
+            "--max-width" => {
+                let (n, w) = split_weight(&value_of("--max-width")?)?;
+                o.constraints.push(ConstraintArg::MaxWidth(n.parse()?, w));
+            }
+            "--min-peak" => {
+                let v = value_of("--min-peak")?;
+                let (chan_rate, weight) = split_weight(&v)?;
+                let (chan, rate) = chan_rate
+                    .split_once('=')
+                    .ok_or("--min-peak expects CH=RATE[:WEIGHT]")?;
+                o.constraints.push(ConstraintArg::MinPeak(
+                    chan.to_string(),
+                    rate.parse()?,
+                    weight,
+                ));
+            }
+            "--derive-channels" => o.derive_channels = true,
+            "--no-arbitration" => o.no_arbitration = true,
+            "--rolled" => o.rolled = true,
+            "--print-vhdl" => o.print_vhdl = true,
+            "--vcd" => o.vcd = Some(value_of("--vcd")?),
+            "--dot" => o.dot = Some(value_of("--dot")?),
+            "--explore" => o.explore = true,
+            "--explore-csv" => o.explore_csv = Some(value_of("--explore-csv")?),
+            "--lint" => o.lint = true,
+            other if !other.starts_with('-') && o.spec_path.is_none() => {
+                o.spec_path = Some(other.to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`").into()),
+        }
+    }
+    Ok(o)
+}
+
+/// Splits `VALUE[:WEIGHT]`, defaulting the weight to 1.0.
+fn split_weight(s: &str) -> Result<(String, f64), Box<dyn Error>> {
+    match s.rsplit_once(':') {
+        Some((v, w)) => Ok((v.to_string(), w.parse()?)),
+        None => Ok((s.to_string(), 1.0)),
+    }
+}
+
+fn select_channels(
+    system: &System,
+    options: &Options,
+) -> Result<Vec<ChannelId>, Box<dyn Error>> {
+    match &options.channels {
+        None => Ok(system.channel_ids().collect()),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                system
+                    .channel_by_name(n)
+                    .ok_or_else(|| format!("unknown channel `{n}`").into())
+            })
+            .collect(),
+    }
+}
+
+fn resolve_constraint(
+    system: &System,
+    arg: &ConstraintArg,
+) -> Result<Constraint, Box<dyn Error>> {
+    Ok(match arg {
+        ConstraintArg::MinWidth(n, w) => Constraint::min_bus_width(*n, *w),
+        ConstraintArg::MaxWidth(n, w) => Constraint::max_bus_width(*n, *w),
+        ConstraintArg::MinPeak(name, rate, w) => {
+            let ch = system
+                .channel_by_name(name)
+                .ok_or_else(|| format!("unknown channel `{name}` in --min-peak"))?;
+            Constraint::min_peak_rate(ch, *rate, *w)
+        }
+    })
+}
+
+// A tiny self-check so `cargo test` covers the argument parser without
+// spawning processes.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        parse_args(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_typical_invocation() {
+        let o = parse(&[
+            "flc.ifs",
+            "--channels",
+            "ch1,ch2",
+            "--width",
+            "16",
+            "--protocol",
+            "fixed:3",
+            "--vcd",
+            "out.vcd",
+            "--print-vhdl",
+        ]);
+        assert_eq!(o.spec_path.as_deref(), Some("flc.ifs"));
+        assert_eq!(o.channels.as_deref(), Some(&["ch1".to_string(), "ch2".to_string()][..]));
+        assert_eq!(o.width, Some(16));
+        assert!(matches!(o.protocol, ProtocolArg::Fixed(3)));
+        assert!(o.print_vhdl);
+        assert_eq!(o.vcd.as_deref(), Some("out.vcd"));
+    }
+
+    #[test]
+    fn parses_constraints_with_weights() {
+        let o = parse(&["s.ifs", "--min-width", "14:5", "--min-peak", "ch2=10:2.5"]);
+        assert_eq!(o.constraints.len(), 2);
+        assert!(matches!(o.constraints[0], ConstraintArg::MinWidth(14, w) if w == 5.0));
+        assert!(
+            matches!(&o.constraints[1], ConstraintArg::MinPeak(c, r, w)
+                if c == "ch2" && *r == 10.0 && *w == 2.5)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(parse_args(["--frob".to_string()].into_iter()).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! # interface-synthesis
+//!
+//! A reproduction of Narayan & Gajski, *Protocol Generation for
+//! Communication Channels* (DAC 1994): bus generation and protocol
+//! generation for abstract communication channels, together with every
+//! substrate the paper depends on — a specification IR, a discrete-event
+//! simulator, a performance estimator, a system partitioner, a
+//! VHDL-flavoured printer and the paper's example systems.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names; depend on it for the full pipeline, or on the individual crates
+//! (`ifsyn-core`, `ifsyn-sim`, ...) for a subset.
+//!
+//! ## Quickstart
+//!
+//! Reproduce the paper's Fig. 3–5 flow: take a partitioned system with
+//! four channels, pick a bus, generate the protocol, and simulate the
+//! refined specification.
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use interface_synthesis::prelude::*;
+//!
+//! let sys = interface_synthesis::systems::fig3_system();
+//! let channels: Vec<_> = sys.channel_ids().collect();
+//!
+//! // The paper fixes the Fig. 3 bus at 8 bits; alternatively run
+//! // BusGenerator::generate to let the algorithm pick a width.
+//! let design = BusDesign::with_width(channels, 8, ProtocolKind::FullHandshake);
+//!
+//! // Protocol generation: refine into a simulatable specification.
+//! let refined = ProtocolGenerator::new().refine(&sys, &design)?;
+//!
+//! // The refined system simulates to completion.
+//! let report = Simulator::new(&refined.system)?.run_to_quiescence()?;
+//! assert!(report.finished_behaviors().count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ifsyn_core as core;
+pub use ifsyn_estimate as estimate;
+pub use ifsyn_lang as lang;
+pub use ifsyn_partition as partition;
+pub use ifsyn_sim as sim;
+pub use ifsyn_spec as spec;
+pub use ifsyn_systems as systems;
+pub use ifsyn_vhdl as vhdl;
+
+/// One-stop imports for the common pipeline.
+pub mod prelude {
+    pub use ifsyn_core::{
+        BusDesign, BusGenerator, Constraint, ProtocolGenerator, ProtocolKind, RefinedSystem,
+    };
+    pub use ifsyn_estimate::{ChannelRates, CostModel, PerformanceEstimator};
+    pub use ifsyn_partition::Partitioner;
+    pub use ifsyn_lang::parse_system;
+    pub use ifsyn_sim::{SimConfig, SimReport, Simulator};
+    pub use ifsyn_spec::{Channel, ChannelDirection, System, Ty, Value};
+    pub use ifsyn_vhdl::VhdlPrinter;
+}

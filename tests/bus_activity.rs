@@ -1,0 +1,139 @@
+//! Signal-level accounting: the generated proticol's wire activity must
+//! match the word-layout arithmetic — START toggles twice per bus word,
+//! DONE mirrors it, and the ID lines change at most once per message.
+
+use interface_synthesis::core::{BusDesign, ProtocolGenerator, ProtocolKind};
+use interface_synthesis::estimate::BusTiming;
+use interface_synthesis::sim::Simulator;
+use interface_synthesis::spec::dsl::*;
+use interface_synthesis::spec::{Channel, ChannelDirection, System, Ty};
+
+/// One writer moving `messages` messages of `data+addr` bits.
+fn writer_system(
+    messages: i64,
+    data: u32,
+    addr: u32,
+) -> (System, ifsyn_spec::ChannelId) {
+    let mut sys = System::new("acct");
+    let m1 = sys.add_module("m1");
+    let m2 = sys.add_module("m2");
+    let store = sys.add_behavior("store", m2);
+    let ty = if addr > 0 {
+        Ty::array(Ty::Bits(data), 1 << addr)
+    } else {
+        Ty::Bits(data)
+    };
+    let v = sys.add_variable("V", ty, store);
+    let b = sys.add_behavior("P", m1);
+    let i = sys.add_variable("i", Ty::Int(16), b);
+    let ch = sys.add_channel(Channel {
+        name: "ch".into(),
+        accessor: b,
+        variable: v,
+        direction: ChannelDirection::Write,
+        data_bits: data,
+        addr_bits: addr,
+        accesses: messages as u64,
+    });
+    let access = if addr > 0 {
+        send_at(ch, load(var(i)), load(var(i)))
+    } else {
+        send(ch, load(var(i)))
+    };
+    sys.behavior_mut(b).body = vec![for_loop(
+        var(i),
+        int_const(0, 16),
+        int_const(messages - 1, 16),
+        vec![access],
+    )];
+    (sys, ch)
+}
+
+#[test]
+fn start_toggles_twice_per_word() {
+    for width in [3u32, 8, 16, 23] {
+        let (sys, ch) = writer_system(16, 16, 7);
+        let design = BusDesign::with_width(vec![ch], width, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+        let report = Simulator::new(&refined.system)
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let words = BusTiming::new(width, 2).words(23) as u64 * 16;
+        let start = refined.bus.start.unwrap();
+        let done = refined.bus.done.unwrap();
+        assert_eq!(
+            report.signal_event_count(start),
+            2 * words,
+            "START events at width {width}"
+        );
+        assert_eq!(
+            report.signal_event_count(done),
+            2 * words,
+            "DONE events at width {width}"
+        );
+    }
+}
+
+#[test]
+fn data_lines_change_at_most_once_per_word() {
+    let (sys, ch) = writer_system(8, 16, 7);
+    let design = BusDesign::with_width(vec![ch], 8, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    let words = BusTiming::new(8, 2).words(23) as u64 * 8;
+    let data = refined.bus.data.unwrap();
+    assert!(
+        report.signal_event_count(data) <= words,
+        "DATA changed more often than once per word"
+    );
+}
+
+#[test]
+fn half_handshake_toggles_once_per_word() {
+    let (sys, ch) = writer_system(16, 16, 7);
+    let design = BusDesign::with_width(vec![ch], 8, ProtocolKind::HalfHandshake);
+    let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    let words = BusTiming::new(8, 1).words(23) as u64 * 16;
+    let start = refined.bus.start.unwrap();
+    assert_eq!(report.signal_event_count(start), words);
+    assert!(refined.bus.done.is_none(), "half handshake has no DONE wire");
+}
+
+#[test]
+fn single_channel_bus_never_drives_id_lines() {
+    let (sys, ch) = writer_system(4, 16, 7);
+    let design = BusDesign::with_width(vec![ch], 8, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+    assert!(refined.bus.id.is_none());
+}
+
+#[test]
+fn trace_shows_word_sequence_on_the_data_lines() {
+    use interface_synthesis::sim::SimConfig;
+    let (sys, ch) = writer_system(2, 8, 0);
+    let design = BusDesign::with_width(vec![ch], 8, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+    let report = Simulator::with_config(&refined.system, SimConfig::new().with_trace())
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    let data = refined.bus.data.unwrap();
+    let data_values: Vec<u64> = report
+        .trace()
+        .iter()
+        .filter(|e| e.signal == data)
+        .map(|e| e.value.as_u64().unwrap())
+        .collect();
+    // Two messages, values 0 then 1: DATA shows 1 after starting at 0
+    // (the first word's value 0 equals the initial state, so only the
+    // change to 1 is an event).
+    assert_eq!(data_values, vec![1]);
+}

@@ -1,0 +1,236 @@
+//! FLC (paper Fig. 6–7) end-to-end: refine the ch1/ch2 bus, simulate,
+//! and check both functional correctness and measured timing against
+//! the analytic model the paper's Fig. 7 is built from.
+
+use interface_synthesis::core::{BusDesign, ProtocolGenerator, ProtocolKind};
+use interface_synthesis::estimate::BusTiming;
+use interface_synthesis::sim::Simulator;
+use interface_synthesis::spec::Value;
+use interface_synthesis::systems::flc::{
+    self, CONV_COMPUTE_CYCLES, EVAL_COMPUTE_CYCLES, FLC_ACCESSES,
+};
+
+/// Analytic per-process execution time: accesses x (compute + transfer).
+fn analytic_cycles(width: u32, compute: u64) -> u64 {
+    let timing = BusTiming::new(width, 2);
+    FLC_ACCESSES * (compute + timing.cycles_per_access(23))
+}
+
+#[test]
+fn eval_r3_alone_matches_analytic_time_exactly() {
+    for width in [1u32, 2, 4, 8, 12, 16, 23, 30] {
+        let f = flc::flc();
+        let design = BusDesign::with_width(vec![f.ch1], width, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+        let report = Simulator::new(&refined.system)
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let measured = report.finish_time(f.eval_r3).unwrap();
+        let expected = analytic_cycles(width, EVAL_COMPUTE_CYCLES);
+        assert_eq!(
+            measured, expected,
+            "EVAL_R3 at width {width}: measured {measured}, analytic {expected}"
+        );
+    }
+}
+
+#[test]
+fn conv_r2_alone_matches_analytic_time_exactly() {
+    // The read path (address out, data back, mixed boundary word) must
+    // cost the same 2 clocks/word as the write path.
+    for width in [1u32, 2, 4, 7, 8, 12, 16, 23, 30] {
+        let f = flc::flc();
+        let design = BusDesign::with_width(vec![f.ch2], width, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+        let report = Simulator::new(&refined.system)
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let measured = report.finish_time(f.conv_r2).unwrap();
+        let expected = analytic_cycles(width, CONV_COMPUTE_CYCLES);
+        assert_eq!(
+            measured, expected,
+            "CONV_R2 at width {width}: measured {measured}, analytic {expected}"
+        );
+    }
+}
+
+#[test]
+fn refined_flc_transfers_correct_data() {
+    for width in [4u32, 8, 16, 23] {
+        let f = flc::flc();
+        let design =
+            BusDesign::with_width(f.bus_channels(), width, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+        let report = Simulator::new(&refined.system)
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        // trru0 must hold EVAL_R3's truth values 3i + 1.
+        match report.final_variable(f.trru0) {
+            Value::Array(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    assert_eq!(
+                        item.as_i64().unwrap(),
+                        3 * i as i64 + 1,
+                        "trru0[{i}] at width {width}"
+                    );
+                }
+            }
+            other => panic!("expected array, got {other}"),
+        }
+        // CONV_R2 must have accumulated the trru2 ramp checksum.
+        assert_eq!(
+            report.final_variable(f.conv_acc).as_i64().unwrap(),
+            flc::expected_conv_checksum(),
+            "conv checksum at width {width}"
+        );
+    }
+}
+
+#[test]
+fn shared_bus_serialises_but_stays_correct() {
+    // With both channels on one arbitrated bus, each process can only be
+    // slower than it was alone, and never slower than the sum of both
+    // transfer demands plus its own compute.
+    let width = 8;
+    let f = flc::flc();
+    let design = BusDesign::with_width(f.bus_channels(), width, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    let t_eval = report.finish_time(f.eval_r3).unwrap();
+    let t_conv = report.finish_time(f.conv_r2).unwrap();
+    let alone_eval = analytic_cycles(width, EVAL_COMPUTE_CYCLES);
+    let alone_conv = analytic_cycles(width, CONV_COMPUTE_CYCLES);
+    assert!(t_eval >= alone_eval, "{t_eval} < {alone_eval}");
+    assert!(t_conv >= alone_conv, "{t_conv} < {alone_conv}");
+    // Upper bound: all transfers serialised end to end.
+    let total_transfer = 2 * FLC_ACCESSES * BusTiming::new(width, 2).cycles_per_access(23);
+    assert!(t_eval <= total_transfer + FLC_ACCESSES * EVAL_COMPUTE_CYCLES);
+    assert!(t_conv <= total_transfer + FLC_ACCESSES * CONV_COMPUTE_CYCLES);
+}
+
+#[test]
+fn performance_flattens_beyond_23_pins() {
+    // Paper: "bus widths greater than 23 pins do not yield any further
+    // improvements in the performance".
+    let f = flc::flc();
+    let mut at_23 = 0;
+    for width in [23u32, 24, 30, 46] {
+        let design = BusDesign::with_width(vec![f.ch1], width, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+        let report = Simulator::new(&refined.system)
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let t = report.finish_time(f.eval_r3).unwrap();
+        if width == 23 {
+            at_23 = t;
+        } else {
+            assert_eq!(t, at_23, "width {width} should not improve on 23");
+        }
+    }
+}
+
+#[test]
+fn estimator_reproduces_measured_times_via_channel_timings() {
+    // The analytic estimator, fed the same BusTiming, must agree with
+    // simulation for the isolated processes (the consistency DESIGN.md
+    // promises).
+    use interface_synthesis::estimate::{ChannelTimings, PerformanceEstimator};
+    let f = flc::flc();
+    for width in [4u32, 8, 16] {
+        let timings = ChannelTimings::uniform(&[f.ch1], BusTiming::new(width, 2));
+        let est = PerformanceEstimator::new()
+            .estimate(&f.system, f.eval_r3, &timings)
+            .unwrap();
+        assert_eq!(est.cycles, analytic_cycles(width, EVAL_COMPUTE_CYCLES));
+    }
+}
+
+#[test]
+fn half_handshake_matches_one_clock_per_word() {
+    // Half handshake: 1 clock per word (only a strobe edge), write-only.
+    for width in [2u32, 8, 16, 23] {
+        let f = flc::flc();
+        let design = BusDesign::with_width(vec![f.ch1], width, ProtocolKind::HalfHandshake);
+        let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+        let report = Simulator::new(&refined.system)
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let timing = BusTiming::new(width, 1);
+        let expected =
+            FLC_ACCESSES * (EVAL_COMPUTE_CYCLES + timing.cycles_per_access(23));
+        assert_eq!(
+            report.finish_time(f.eval_r3).unwrap(),
+            expected,
+            "half handshake at width {width}"
+        );
+        // And the data still lands intact.
+        match report.final_variable(f.trru0) {
+            Value::Array(items) => {
+                assert_eq!(items[100].as_i64().unwrap(), 301);
+            }
+            other => panic!("expected array, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn fixed_delay_matches_its_configured_period() {
+    for (width, cycles) in [(8u32, 2u32), (8, 3), (8, 5), (16, 4)] {
+        let f = flc::flc();
+        let design = BusDesign::with_width(
+            vec![f.ch1],
+            width,
+            ProtocolKind::FixedDelay { cycles },
+        );
+        let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+        let report = Simulator::new(&refined.system)
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let timing = BusTiming::new(width, cycles);
+        let expected =
+            FLC_ACCESSES * (EVAL_COMPUTE_CYCLES + timing.cycles_per_access(23));
+        assert_eq!(
+            report.finish_time(f.eval_r3).unwrap(),
+            expected,
+            "fixed-delay({cycles}) at width {width}"
+        );
+    }
+}
+
+#[test]
+fn fixed_delay_read_path_matches_too() {
+    for cycles in [2u32, 3] {
+        let f = flc::flc();
+        let design = BusDesign::with_width(
+            vec![f.ch2],
+            8,
+            ProtocolKind::FixedDelay { cycles },
+        );
+        let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+        let report = Simulator::new(&refined.system)
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let timing = BusTiming::new(8, cycles);
+        let expected =
+            FLC_ACCESSES * (CONV_COMPUTE_CYCLES + timing.cycles_per_access(23));
+        assert_eq!(
+            report.finish_time(f.conv_r2).unwrap(),
+            expected,
+            "fixed-delay({cycles}) read"
+        );
+        assert_eq!(
+            report.final_variable(f.conv_acc).as_i64().unwrap(),
+            flc::expected_conv_checksum()
+        );
+    }
+}

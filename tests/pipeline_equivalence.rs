@@ -1,0 +1,100 @@
+//! Full-pipeline equivalence on the §5 case studies: the unpartitioned
+//! specification, the partitioned (abstract-channel) system and the
+//! refined (bus-protocol) system must all leave the memories in the
+//! same final state.
+
+use interface_synthesis::core::{BusGenerator, ProtocolGenerator};
+use interface_synthesis::partition::Partitioner;
+use interface_synthesis::sim::Simulator;
+use interface_synthesis::spec::{System, Value};
+use interface_synthesis::systems::answering_machine::answering_machine_unpartitioned;
+use interface_synthesis::systems::ethernet::ethernet_unpartitioned;
+
+fn final_of(sys: &System, names: &[&str]) -> Vec<Value> {
+    let report = Simulator::new(sys)
+        .expect("sim setup")
+        .run_to_quiescence()
+        .expect("simulation");
+    names
+        .iter()
+        .map(|n| {
+            let v = sys.variable_by_name(n).unwrap_or_else(|| panic!("var {n}"));
+            report.final_variable(v).clone()
+        })
+        .collect()
+}
+
+fn check_pipeline(
+    unpartitioned: System,
+    placements: &[(&str, &str)],
+    variable_placements: &[(&str, &str)],
+    memories: &[&str],
+) {
+    // Stage 0: the original single-module specification.
+    let golden = final_of(&unpartitioned, memories);
+
+    // Stage 1: partitioned, abstract channels.
+    let mut partitioner = Partitioner::new();
+    for (b, m) in placements {
+        partitioner = partitioner.place_behavior(*b, *m);
+    }
+    for (v, m) in variable_placements {
+        partitioner = partitioner.place_variable(*v, *m);
+    }
+    let partitioned = partitioner.partition(&unpartitioned).expect("partition");
+    let abstract_state = final_of(&partitioned.system, memories);
+    assert_eq!(golden, abstract_state, "partitioning changed behavior");
+
+    // Stage 2: refined onto a generated bus.
+    let groups = partitioned.channel_groups();
+    assert_eq!(groups.len(), 1, "one chip-to-chip bus expected");
+    let design = BusGenerator::new()
+        .generate(&partitioned.system, &groups[0])
+        .expect("bus generation");
+    let refined = ProtocolGenerator::new()
+        .refine(&partitioned.system, &design)
+        .expect("protocol generation");
+    let refined_state = final_of(&refined.system, memories);
+    assert_eq!(golden, refined_state, "refinement changed behavior");
+}
+
+#[test]
+fn answering_machine_pipeline_preserves_memories() {
+    check_pipeline(
+        answering_machine_unpartitioned(),
+        &[
+            ("CONTROLLER", "ctrl_chip"),
+            ("PLAY_GREETING", "ctrl_chip"),
+            ("RECORD_MSG", "ctrl_chip"),
+        ],
+        &[("GREETING", "mem_chip"), ("MESSAGES", "mem_chip")],
+        &["GREETING", "MESSAGES", "MACHINE_STATUS"],
+    );
+}
+
+#[test]
+fn ethernet_pipeline_preserves_buffers() {
+    check_pipeline(
+        ethernet_unpartitioned(),
+        &[
+            ("RCV_UNIT", "mac_chip"),
+            ("XMIT_UNIT", "mac_chip"),
+            ("DMA_RCV", "mac_chip"),
+            ("DMA_XMIT", "mac_chip"),
+            ("EXEC_UNIT", "mac_chip"),
+        ],
+        &[("RCV_BUFFER", "buf_chip"), ("XMIT_BUFFER", "buf_chip")],
+        &["RCV_BUFFER", "XMIT_BUFFER", "CSR"],
+    );
+}
+
+#[test]
+fn fig1_pipeline_preserves_memory_and_status() {
+    use interface_synthesis::systems::fig1;
+    check_pipeline(
+        fig1::fig1_unpartitioned(),
+        &[("A", "module1")],
+        &[("MEM", "module2"), ("STATUS", "module2")],
+        &["MEM", "STATUS", "IR", "ACCUM", "PC"],
+    );
+}

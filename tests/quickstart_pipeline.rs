@@ -1,0 +1,156 @@
+//! End-to-end pipeline test on the paper's Fig. 3–5 worked example:
+//! partitioned system -> protocol generation -> simulation, checked
+//! against the abstract (ideal-channel) golden model.
+
+use interface_synthesis::core::{BusDesign, ProtocolGenerator, ProtocolKind};
+use interface_synthesis::sim::Simulator;
+use interface_synthesis::spec::Value;
+use interface_synthesis::systems::fig3;
+
+/// Simulates the abstract (pre-refinement) system and returns final
+/// values of X, MEM, Xtemp.
+fn golden() -> (Value, Value, Value) {
+    let f = fig3::fig3();
+    let report = Simulator::new(&f.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    (
+        report.final_variable(f.x).clone(),
+        report.final_variable(f.mem).clone(),
+        report.final_variable(f.xtemp).clone(),
+    )
+}
+
+#[test]
+fn abstract_fig3_behaves_as_specified() {
+    let (x, mem, xtemp) = golden();
+    assert_eq!(x.as_u64().unwrap(), 32);
+    assert_eq!(xtemp.as_u64().unwrap(), 32);
+    match &mem {
+        Value::Array(items) => {
+            assert_eq!(items[17].as_u64().unwrap(), 39); // X + 7 at AD=17
+            assert_eq!(items[60].as_u64().unwrap(), 1234);
+        }
+        other => panic!("expected array, got {other}"),
+    }
+}
+
+#[test]
+fn refined_fig3_matches_abstract_final_state_at_width_8() {
+    refined_matches_golden(8);
+}
+
+#[test]
+fn refined_fig3_matches_abstract_final_state_across_widths() {
+    for width in [1, 2, 3, 5, 7, 11, 16, 22, 32] {
+        refined_matches_golden(width);
+    }
+}
+
+fn refined_matches_golden(width: u32) {
+    let f = fig3::fig3();
+    let design = BusDesign::with_width(f.channels(), width, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new()
+        .refine(&f.system, &design)
+        .unwrap_or_else(|e| panic!("refine at width {width}: {e}"));
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap_or_else(|e| panic!("simulate at width {width}: {e}"));
+
+    let (gx, gmem, gxtemp) = golden();
+    assert_eq!(
+        report.final_variable(f.x),
+        &gx,
+        "X mismatch at width {width}"
+    );
+    assert_eq!(
+        report.final_variable(f.mem),
+        &gmem,
+        "MEM mismatch at width {width}"
+    );
+    assert_eq!(
+        report.final_variable(f.xtemp),
+        &gxtemp,
+        "Xtemp mismatch at width {width}"
+    );
+
+    // Both client processes must have run to completion.
+    let sys = &refined.system;
+    let p = sys.behavior_by_name("P").unwrap();
+    let q = sys.behavior_by_name("Q").unwrap();
+    assert!(report.finish_time(p).is_some(), "P blocked at width {width}");
+    assert!(report.finish_time(q).is_some(), "Q blocked at width {width}");
+}
+
+#[test]
+fn variable_processes_idle_after_serving() {
+    let f = fig3::fig3();
+    let design = BusDesign::with_width(f.channels(), 8, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    let sys = &refined.system;
+    for name in ["Xproc", "MEMproc"] {
+        let b = sys.behavior_by_name(name).unwrap();
+        let outcome = report.outcome(b);
+        assert!(outcome.blocked, "{name} should idle on the bus");
+    }
+    // The arbiter idles too.
+    let arb = sys.behavior_by_name("B_arbiter").unwrap();
+    assert!(report.outcome(arb).blocked);
+}
+
+#[test]
+fn wider_buses_never_slow_the_clients_down() {
+    let f = fig3::fig3();
+    let mut last_p = u64::MAX;
+    for width in [2, 4, 8, 16, 22] {
+        let design = BusDesign::with_width(f.channels(), width, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+        let report = Simulator::new(&refined.system)
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let p = refined.system.behavior_by_name("P").unwrap();
+        let t = report.finish_time(p).unwrap();
+        assert!(
+            t <= last_p,
+            "P slowed down from {last_p} to {t} when widening to {width}"
+        );
+        last_p = t;
+    }
+}
+
+#[test]
+fn fixed_delay_protocol_also_preserves_behavior() {
+    let f = fig3::fig3();
+    let design = BusDesign::with_width(f.channels(), 8, ProtocolKind::FixedDelay { cycles: 3 });
+    let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    let (gx, gmem, _) = golden();
+    assert_eq!(report.final_variable(f.x), &gx);
+    assert_eq!(report.final_variable(f.mem), &gmem);
+}
+
+#[test]
+fn half_handshake_works_for_write_only_group() {
+    let f = fig3::fig3();
+    // CH0, CH2, CH3 are writes; CH1 (the read) stays abstract.
+    let writes = vec![f.ch0, f.ch2, f.ch3];
+    let design = BusDesign::with_width(writes, 8, ProtocolKind::HalfHandshake);
+    let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    let (gx, gmem, _) = golden();
+    assert_eq!(report.final_variable(f.x), &gx);
+    assert_eq!(report.final_variable(f.mem), &gmem);
+}

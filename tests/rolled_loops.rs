@@ -1,0 +1,107 @@
+//! Rolled word loops (the paper's Fig. 4 form): equivalent behavior and
+//! timing to the unrolled default, and loop-shaped printed output.
+
+use interface_synthesis::core::{BusDesign, ProtocolGenerator, ProtocolKind};
+use interface_synthesis::sim::Simulator;
+use interface_synthesis::spec::Value;
+use interface_synthesis::systems::fig3;
+use interface_synthesis::systems::flc;
+use interface_synthesis::vhdl::VhdlPrinter;
+
+#[test]
+fn rolled_send_prints_as_a_loop_like_fig4() {
+    // CH0: 16-bit scalar write over an 8-bit bus — exactly the paper's
+    // SendCH0 with its `for J in 1 to 2` loop.
+    let f = fig3::fig3();
+    let design = BusDesign::with_width(vec![f.ch0], 8, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new()
+        .with_rolled_word_loops()
+        .refine(&f.system, &design)
+        .unwrap();
+    let text = VhdlPrinter::new().print_refined(&refined);
+    let send = text
+        .split("procedure Send_CH0")
+        .nth(1)
+        .and_then(|t| t.split("end Send_CH0").next())
+        .expect("Send_CH0 printed");
+    assert!(send.contains("for j in 0 to 1 loop"), "{send}");
+    // The dynamic slice renders in the paper's `downto` style.
+    assert!(send.contains("downto"), "{send}");
+    // And only ONE START rise statement (inside the loop), not two.
+    assert_eq!(send.matches("B_START <= '1'").count(), 1, "{send}");
+}
+
+#[test]
+fn rolled_and_unrolled_agree_on_state_and_timing() {
+    for width in [2u32, 4, 8] {
+        // 16-bit messages: width divides the message for all three.
+        let run = |rolled: bool| {
+            let f = fig3::fig3();
+            let design =
+                BusDesign::with_width(vec![f.ch0], width, ProtocolKind::FullHandshake);
+            let mut pg = ProtocolGenerator::new();
+            if rolled {
+                pg = pg.with_rolled_word_loops();
+            }
+            let refined = pg.refine(&f.system, &design).unwrap();
+            let report = Simulator::new(&refined.system)
+                .unwrap()
+                .run_to_quiescence()
+                .unwrap();
+            let x = report.final_variable(f.x).clone();
+            let p = refined.system.behavior_by_name("P").unwrap();
+            (x, report.finish_time(p))
+        };
+        let (x_unrolled, t_unrolled) = run(false);
+        let (x_rolled, t_rolled) = run(true);
+        assert_eq!(x_unrolled, x_rolled, "state at width {width}");
+        assert_eq!(t_unrolled, t_rolled, "timing at width {width}");
+        assert_eq!(x_rolled.as_u64().unwrap(), 32);
+    }
+}
+
+#[test]
+fn heterogeneous_plans_fall_back_to_unrolled() {
+    // CH2 carries 22 bits (16 data + 6 addr): 8 does not divide 22, so
+    // the generator must keep the unrolled form — and still work.
+    let f = fig3::fig3();
+    let design = BusDesign::with_width(vec![f.ch2], 8, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new()
+        .with_rolled_word_loops()
+        .refine(&f.system, &design)
+        .unwrap();
+    let text = VhdlPrinter::new().print_refined(&refined);
+    let send = text
+        .split("procedure Send_CH2")
+        .nth(1)
+        .and_then(|t| t.split("end Send_CH2").next())
+        .expect("Send_CH2 printed");
+    assert!(!send.contains("loop"), "expected unrolled words: {send}");
+    assert_eq!(send.matches("B_START <= '1'").count(), 3); // ceil(22/8)
+}
+
+#[test]
+fn rolled_flc_write_stream_is_cycle_exact() {
+    // trru0 stream: 23 bits never divides evenly... use width 23? No:
+    // 23 % 23 == 0 with a single word (not rolled). Use a 16-bit data
+    // only channel shape via fig3's MEM? Instead check the FLC at width
+    // 1 (divides everything): rolled, 46 words per message.
+    let f = flc::flc();
+    let design = BusDesign::with_width(vec![f.ch1], 1, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new()
+        .with_rolled_word_loops()
+        .refine(&f.system, &design)
+        .unwrap();
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    // 128 x (6 compute + 23 words x 2 clk) = 6656, the Fig. 7 value.
+    assert_eq!(report.finish_time(f.eval_r3), Some(6656));
+    match report.final_variable(f.trru0) {
+        Value::Array(items) => {
+            assert_eq!(items[127].as_i64().unwrap(), 3 * 127 + 1);
+        }
+        other => panic!("expected array, got {other}"),
+    }
+}

@@ -1,0 +1,148 @@
+//! Scale stress: the pipeline stays well-behaved at channel counts far
+//! beyond the paper's examples (wide ID fields, many server processes,
+//! many concurrent clients on one arbitrated bus).
+
+use interface_synthesis::core::{BusDesign, BusGenerator, ProtocolGenerator, ProtocolKind};
+use interface_synthesis::sim::Simulator;
+use interface_synthesis::spec::dsl::*;
+use interface_synthesis::spec::{Channel, ChannelDirection, ChannelId, System, Ty, Value};
+
+/// `n` writers, each sending `msgs` messages into its own register,
+/// padded so the group is feasible.
+fn wide_system(n: usize, msgs: i64, pad: u64) -> (System, Vec<ChannelId>) {
+    let mut sys = System::new("wide");
+    let m1 = sys.add_module("clients");
+    let m2 = sys.add_module("store");
+    let store = sys.add_behavior("store", m2);
+    let mut chans = Vec::new();
+    for k in 0..n {
+        let v = sys.add_variable(format!("R{k}"), Ty::Bits(16), store);
+        let b = sys.add_behavior(format!("C{k}"), m1);
+        let i = sys.add_variable(format!("i{k}"), Ty::Int(16), b);
+        let ch = sys.add_channel(Channel {
+            name: format!("w{k}"),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: msgs as u64,
+        });
+        sys.behavior_mut(b).body = vec![for_loop(
+            var(i),
+            int_const(0, 16),
+            int_const(msgs - 1, 16),
+            vec![
+                ifsyn_spec::Stmt::compute(pad, "pad"),
+                send(ch, add(load(var(i)), int_const(k as i64 * 100, 16))),
+            ],
+        )];
+        chans.push(ch);
+    }
+    (sys, chans)
+}
+
+#[test]
+fn sixty_four_channels_refine_and_simulate() {
+    let (sys, chans) = wide_system(64, 4, 200);
+    let design = BusDesign::with_width(chans.clone(), 16, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+    // 64 channels -> 6 ID bits; 64 server processes + 1 arbiter.
+    assert_eq!(design.id_bits(), 6);
+    assert_eq!(refined.bus.var_processes.len(), 64);
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    for k in 0..64usize {
+        let v = refined.system.variable_by_name(&format!("R{k}")).unwrap();
+        assert_eq!(
+            report.final_variable(v),
+            &Value::Bits(ifsyn_spec::BitVec::from_u64((k as u64 * 100 + 3) & 0xffff, 16)),
+            "R{k}"
+        );
+    }
+}
+
+#[test]
+fn exploration_over_many_channels_is_complete() {
+    let (sys, chans) = wide_system(32, 4, 100);
+    let exploration = BusGenerator::new().explore(&sys, &chans).unwrap();
+    // Width range 1..=16 (max message is 16 bits).
+    assert_eq!(exploration.rows.len(), 16);
+    for row in &exploration.rows {
+        assert_eq!(row.metrics.ave_rates.len(), 32);
+    }
+}
+
+#[test]
+fn deep_nesting_in_one_behavior() {
+    // 8 nested loops; the interpreter's frame-local loop stack and the
+    // estimator's recursion both handle it.
+    let mut sys = System::new("deep");
+    let m = sys.add_module("chip");
+    let b = sys.add_behavior("P", m);
+    let acc = sys.add_variable("acc", Ty::Int(32), b);
+    let mut body = vec![assign(var(acc), add(load(var(acc)), int_const(1, 32)))];
+    for level in 0..8 {
+        let i = sys.add_variable(format!("i{level}"), Ty::Int(16), b);
+        body = vec![for_loop(var(i), int_const(0, 16), int_const(1, 16), body)];
+    }
+    sys.behavior_mut(b).body = body;
+    let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
+    assert_eq!(report.final_variable(acc).as_i64().unwrap(), 256);
+    let est = interface_synthesis::estimate::PerformanceEstimator::new()
+        .estimate(&sys, b, &interface_synthesis::estimate::ChannelTimings::new())
+        .unwrap();
+    assert_eq!(est.cycles, 256);
+}
+
+#[test]
+fn large_memory_traffic_is_exact() {
+    // One writer filling a 1920-entry memory (the FLC's InitMemberFunct
+    // size) through the bus, then verified element by element.
+    let mut sys = System::new("bigmem");
+    let m1 = sys.add_module("m1");
+    let m2 = sys.add_module("m2");
+    let store = sys.add_behavior("store", m2);
+    let mem = sys.add_variable("BIG", Ty::array(Ty::Int(16), 1920), store);
+    let b = sys.add_behavior("INIT", m1);
+    let i = sys.add_variable("i", Ty::Int(16), b);
+    let ch = sys.add_channel(Channel {
+        name: "init".into(),
+        accessor: b,
+        variable: mem,
+        direction: ChannelDirection::Write,
+        data_bits: 16,
+        addr_bits: 11,
+        accesses: 1920,
+    });
+    sys.behavior_mut(b).body = vec![for_loop(
+        var(i),
+        int_const(0, 16),
+        int_const(1919, 16),
+        vec![send_at(ch, load(var(i)), mul(load(var(i)), int_const(7, 16)))],
+    )];
+    let design = BusDesign::with_width(vec![ch], 27, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
+    let report = Simulator::new(&refined.system)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap();
+    // 1920 messages of 1 word x 2 clk = 3840 clocks.
+    let init = refined.system.behavior_by_name("INIT").unwrap();
+    assert_eq!(report.finish_time(init), Some(3840));
+    match report.final_variable(mem) {
+        Value::Array(items) => {
+            for (idx, item) in items.iter().enumerate() {
+                let expected = ((idx as i64 * 7) << 48 >> 48) & 0xffff;
+                assert_eq!(
+                    item.as_i64().unwrap() & 0xffff,
+                    expected,
+                    "BIG[{idx}]"
+                );
+            }
+        }
+        other => panic!("expected array, got {other}"),
+    }
+}

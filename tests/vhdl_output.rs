@@ -1,0 +1,96 @@
+//! The printed refinement must carry the structural elements of the
+//! paper's Figs. 4–5: the bus record, the ID assignment, send/receive
+//! procedures with word loops, rewritten behaviors and variable
+//! processes.
+
+use interface_synthesis::core::{BusDesign, ProtocolGenerator, ProtocolKind};
+use interface_synthesis::systems::fig3;
+use interface_synthesis::vhdl::VhdlPrinter;
+
+fn refined_text() -> String {
+    let f = fig3::fig3();
+    let design = BusDesign::with_width(f.channels(), 8, ProtocolKind::FullHandshake);
+    let refined = ProtocolGenerator::new()
+        .without_arbitration()
+        .refine(&f.system, &design)
+        .unwrap();
+    VhdlPrinter::new().print_refined(&refined)
+}
+
+#[test]
+fn prints_the_handshake_bus_record() {
+    let text = refined_text();
+    assert!(text.contains("type HandShakeBus is record"), "{text}");
+    assert!(text.contains("START : bit ;"));
+    assert!(text.contains("DONE : bit ;"));
+    assert!(text.contains("ID : bit_vector(1 downto 0) ;"));
+    assert!(text.contains("DATA : bit_vector(7 downto 0) ;"));
+    assert!(text.contains("signal B : HandShakeBus ;"));
+}
+
+#[test]
+fn prints_the_id_assignment() {
+    let text = refined_text();
+    // Four channels, two ID bits (paper step 2: CH0 = "00", ...).
+    assert!(text.contains("CH0 = \"00\""), "{text}");
+    assert!(text.contains("CH1 = \"01\""));
+    assert!(text.contains("CH2 = \"10\""));
+    assert!(text.contains("CH3 = \"11\""));
+}
+
+#[test]
+fn prints_send_and_receive_procedures() {
+    let text = refined_text();
+    assert!(text.contains("procedure Send_CH0(txdata : in bit_vector(15 downto 0))"));
+    assert!(
+        text.contains("procedure Receive_CH1("),
+        "read channel gets a receive procedure: {text}"
+    );
+    // The 16-bit message crosses the 8-bit bus in two words: two START
+    // rises inside Send_CH0 (the paper's `for J in 1 to 2` unrolled).
+    let send_ch0 = text
+        .split("procedure Send_CH0")
+        .nth(1)
+        .and_then(|t| t.split("end Send_CH0").next())
+        .expect("Send_CH0 body printed");
+    assert_eq!(send_ch0.matches("B_START <= '1'").count(), 2, "{send_ch0}");
+    assert!(send_ch0.contains("wait until (B_DONE = '1')"));
+}
+
+#[test]
+fn prints_rewritten_behaviors_with_calls() {
+    let text = refined_text();
+    // P's body is now procedure calls, not direct accesses (Fig. 5 top).
+    let p = text
+        .split("process P\n")
+        .nth(1)
+        .and_then(|t| t.split("end process").next())
+        .expect("process P printed");
+    assert!(p.contains("Send_CH0(32)"), "{p}");
+    assert!(p.contains("Receive_CH1(Xtemp)"));
+    assert!(p.contains("Send_CH2(AD, (Xtemp + 7))"));
+}
+
+#[test]
+fn prints_variable_processes() {
+    let text = refined_text();
+    // Fig. 5 bottom: Xproc and MEMproc dispatch on the ID lines.
+    assert!(text.contains("process Xproc"), "{text}");
+    assert!(text.contains("process MEMproc"));
+    let xproc = text
+        .split("process Xproc")
+        .nth(1)
+        .and_then(|t| t.split("end process").next())
+        .expect("Xproc body");
+    assert!(xproc.contains("if (B_ID = \"00\") then"), "{xproc}");
+    assert!(xproc.contains("Serve_CH0()"));
+}
+
+#[test]
+fn unrefined_system_prints_abstract_channel_calls() {
+    let f = fig3::fig3();
+    let text = VhdlPrinter::new().print_system(&f.system);
+    assert!(text.contains("send_CH0(32)"), "{text}");
+    assert!(text.contains("receive_CH1(Xtemp)"));
+    assert!(text.contains("-- abstract"));
+}
