@@ -17,6 +17,7 @@ use ifsyn_spec::dsl::*;
 use ifsyn_spec::{Channel, ChannelDirection, ChannelId, System, Ty};
 use ifsyn_systems::flc;
 
+use crate::sweep::parallel_sweep;
 use crate::table::Table;
 
 /// Measured time of one protocol variant on the FLC write channel.
@@ -132,56 +133,55 @@ fn hot_system(n: usize) -> (System, Vec<ChannelId>) {
     (sys, chans)
 }
 
-/// Runs all three ablations.
+/// Runs all three ablations, fanning each sweep out over all cores.
 pub fn run() -> AblationData {
-    let protocols = vec![
+    let protocol_kinds = [
         ProtocolKind::FullHandshake,
         ProtocolKind::HalfHandshake,
         ProtocolKind::FixedDelay { cycles: 2 },
         ProtocolKind::FixedDelay { cycles: 4 },
-    ]
-    .into_iter()
-    .map(|p| ProtocolRow {
+    ];
+    let protocols = parallel_sweep(&protocol_kinds, |&p| ProtocolRow {
         protocol: p.to_string(),
         control_lines: p.control_lines(),
         eval_cycles: measure_protocol(p),
-    })
-    .collect();
+    });
 
-    let mut arbitration = Vec::new();
+    let mut configs = Vec::new();
     for policy in [ArbitrationPolicy::RoundRobin, ArbitrationPolicy::FixedPriority] {
         for grant in [0u32, 1, 2, 4, 8] {
-            let config = Arbitration {
+            configs.push(Arbitration {
                 policy,
                 grant_cycles: grant,
-            };
-            let (eval_cycles, conv_cycles) = measure_arbitration(config);
-            arbitration.push(ArbitrationRow {
-                policy: match policy {
-                    ArbitrationPolicy::RoundRobin => "round-robin".to_string(),
-                    ArbitrationPolicy::FixedPriority => "fixed-priority".to_string(),
-                },
-                grant_cycles: grant,
-                eval_cycles,
-                conv_cycles,
             });
         }
     }
+    let arbitration = parallel_sweep(&configs, |&config| {
+        let (eval_cycles, conv_cycles) = measure_arbitration(config);
+        ArbitrationRow {
+            policy: match config.policy {
+                ArbitrationPolicy::RoundRobin => "round-robin".to_string(),
+                ArbitrationPolicy::FixedPriority => "fixed-priority".to_string(),
+            },
+            grant_cycles: config.grant_cycles,
+            eval_cycles,
+            conv_cycles,
+        }
+    });
 
-    let splits = (2..=4)
-        .map(|n| {
-            let (sys, chans) = hot_system(n);
-            let outcome = BusGenerator::new()
-                .generate_with_split(&sys, &chans)
-                .expect("splitting succeeds");
-            SplitRow {
-                channels: n,
-                buses: outcome.bus_count(),
-                total_wires: outcome.total_wires(),
-                widths: outcome.buses.iter().map(|b| b.width).collect(),
-            }
-        })
-        .collect();
+    let group_sizes: Vec<usize> = (2..=4).collect();
+    let splits = parallel_sweep(&group_sizes, |&n| {
+        let (sys, chans) = hot_system(n);
+        let outcome = BusGenerator::new()
+            .generate_with_split(&sys, &chans)
+            .expect("splitting succeeds");
+        SplitRow {
+            channels: n,
+            buses: outcome.bus_count(),
+            total_wires: outcome.total_wires(),
+            widths: outcome.buses.iter().map(|b| b.width).collect(),
+        }
+    });
 
     AblationData {
         protocols,

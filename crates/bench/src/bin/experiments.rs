@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p ifsyn-bench --bin experiments -- all
 //! cargo run -p ifsyn-bench --bin experiments -- fig7
+//! cargo run -p ifsyn-bench --bin experiments -- bench   # writes BENCH_sim.json
 //! ```
 
 use std::env;
@@ -18,6 +19,12 @@ fn main() -> ExitCode {
         "extra" => print_extra(),
         "ablation" => print_ablation(),
         "overhead" => print_overhead(),
+        "bench" => {
+            if let Err(e) = run_bench(args.get(1).map(String::as_str)) {
+                eprintln!("bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             print_fig2();
             print_fig7();
@@ -28,12 +35,24 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | all"
+                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | bench | all"
             );
             return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Measures kernel throughput and writes `BENCH_sim.json` (default) or
+/// the given output path.
+fn run_bench(out_path: Option<&str>) -> std::io::Result<()> {
+    rule();
+    let data = ifsyn_bench::perf::run();
+    print!("{}", ifsyn_bench::perf::render(&data));
+    let path = out_path.unwrap_or("BENCH_sim.json");
+    std::fs::write(path, ifsyn_bench::perf::to_json(&data))?;
+    println!("\nwrote {path}");
+    Ok(())
 }
 
 fn rule() {

@@ -26,4 +26,6 @@ pub mod fig2;
 pub mod overhead;
 pub mod fig7;
 pub mod fig8;
+pub mod perf;
+pub mod sweep;
 pub mod table;

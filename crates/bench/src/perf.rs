@@ -1,0 +1,218 @@
+//! Simulator throughput benchmarks and the `BENCH_sim.json` emitter.
+//!
+//! Measures wall time and instruction throughput (`total_instrs` per
+//! second) of the simulation kernel on the workloads that regenerate the
+//! paper's figures, so successive PRs have a perf trajectory to regress
+//! against:
+//!
+//! * `flc_kernel_sweep` — pure kernel throughput: the FLC shared-bus
+//!   systems for widths 1..=30 are refined once up front, then only
+//!   simulated (several repetitions);
+//! * `fig7_full_sweep` — the end-to-end Fig. 7 regeneration (refinement
+//!   plus simulation per width);
+//! * `quickstart_pipeline` — the Fig. 3 worked example refined and
+//!   simulated across a spread of widths.
+//!
+//! Serialization is hand-rolled JSON: the build environment is offline,
+//! so no serde.
+
+use std::time::Instant;
+
+use ifsyn_core::{BusDesign, ProtocolGenerator, ProtocolKind};
+use ifsyn_sim::Simulator;
+use ifsyn_spec::System;
+use ifsyn_systems::{fig3, flc};
+
+use crate::table::Table;
+
+/// One measured workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Stable scenario identifier (JSON key material).
+    pub name: String,
+    /// Wall-clock seconds for the whole scenario.
+    pub wall_seconds: f64,
+    /// Instructions executed by the simulation kernel, summed over all
+    /// runs in the scenario.
+    pub total_instrs: u64,
+    /// `total_instrs / wall_seconds`.
+    pub instrs_per_sec: f64,
+    /// Number of individual simulator runs.
+    pub runs: u64,
+}
+
+/// The full benchmark result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfData {
+    /// All measured scenarios.
+    pub scenarios: Vec<Scenario>,
+    /// Worker threads used by the parallel sweep driver.
+    pub sweep_threads: usize,
+}
+
+fn scenario(name: &str, runs: u64, total_instrs: u64, wall_seconds: f64) -> Scenario {
+    Scenario {
+        name: name.to_string(),
+        wall_seconds,
+        total_instrs,
+        instrs_per_sec: if wall_seconds > 0.0 {
+            total_instrs as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        runs,
+    }
+}
+
+/// Builds the shared-bus FLC system refined at `width`.
+fn refined_flc_shared(width: u32) -> System {
+    let f = flc::flc();
+    let design = BusDesign::with_width(f.bus_channels(), width, ProtocolKind::FullHandshake);
+    ProtocolGenerator::new()
+        .refine(&f.system, &design)
+        .expect("flc refinement")
+        .system
+}
+
+/// Pure kernel throughput on the FLC sweep: refinement is hoisted out of
+/// the timed region, leaving only `Simulator::new` + event loop.
+fn flc_kernel_sweep() -> Scenario {
+    const WIDTHS: std::ops::RangeInclusive<u32> = 1..=30;
+    const REPS: u64 = 5;
+    let systems: Vec<System> = WIDTHS.map(refined_flc_shared).collect();
+    let mut instrs = 0u64;
+    let mut runs = 0u64;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for sys in &systems {
+            let report = Simulator::new(sys)
+                .expect("sim setup")
+                .run_to_quiescence()
+                .expect("sim");
+            instrs += report.total_instrs();
+            runs += 1;
+        }
+    }
+    scenario("flc_kernel_sweep", runs, instrs, start.elapsed().as_secs_f64())
+}
+
+/// The end-to-end Fig. 7 sweep (refinement + simulation per width).
+fn fig7_full_sweep() -> Scenario {
+    let start = Instant::now();
+    let data = crate::fig7::run();
+    let wall = start.elapsed().as_secs_f64();
+    // 3 simulated configurations per width: eval alone, conv alone, shared.
+    scenario(
+        "fig7_full_sweep",
+        data.rows.len() as u64 * 3,
+        data.total_instrs,
+        wall,
+    )
+}
+
+/// The quickstart (Fig. 3) pipeline refined and simulated across widths.
+fn quickstart_pipeline() -> Scenario {
+    const WIDTHS: [u32; 9] = [1, 2, 3, 5, 7, 11, 16, 22, 32];
+    let mut instrs = 0u64;
+    let mut runs = 0u64;
+    let start = Instant::now();
+    let f = fig3::fig3();
+    let golden = Simulator::new(&f.system)
+        .expect("golden setup")
+        .run_to_quiescence()
+        .expect("golden sim");
+    instrs += golden.total_instrs();
+    runs += 1;
+    for width in WIDTHS {
+        let design = BusDesign::with_width(f.channels(), width, ProtocolKind::FullHandshake);
+        let refined = ProtocolGenerator::new()
+            .refine(&f.system, &design)
+            .expect("quickstart refinement");
+        let report = Simulator::new(&refined.system)
+            .expect("sim setup")
+            .run_to_quiescence()
+            .expect("sim");
+        instrs += report.total_instrs();
+        runs += 1;
+    }
+    scenario("quickstart_pipeline", runs, instrs, start.elapsed().as_secs_f64())
+}
+
+/// Runs all throughput scenarios.
+pub fn run() -> PerfData {
+    PerfData {
+        scenarios: vec![flc_kernel_sweep(), fig7_full_sweep(), quickstart_pipeline()],
+        sweep_threads: crate::fig7::sweep_threads(),
+    }
+}
+
+/// Renders the results as text.
+pub fn render(data: &PerfData) -> String {
+    let mut out = String::new();
+    out.push_str("Simulation kernel throughput\n\n");
+    let mut t = Table::new(["scenario", "runs", "instrs", "wall (s)", "instrs/sec"]);
+    for s in &data.scenarios {
+        t.row([
+            s.name.clone(),
+            s.runs.to_string(),
+            s.total_instrs.to_string(),
+            format!("{:.4}", s.wall_seconds),
+            format!("{:.0}", s.instrs_per_sec),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!("\nsweep driver threads: {}\n", data.sweep_threads));
+    out
+}
+
+/// Serializes the results as the `BENCH_sim.json` document.
+pub fn to_json(data: &PerfData) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"ifsyn-bench-sim-v1\",\n");
+    out.push_str(&format!("  \"sweep_threads\": {},\n", data.sweep_threads));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in data.scenarios.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"runs\": {}, \"total_instrs\": {}, \
+             \"wall_seconds\": {:.6}, \"instrs_per_sec\": {:.1}}}{}\n",
+            s.name,
+            s.runs,
+            s.total_instrs,
+            s.wall_seconds,
+            s.instrs_per_sec,
+            if i + 1 < data.scenarios.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_names_every_scenario() {
+        let data = PerfData {
+            scenarios: vec![
+                scenario("a", 2, 100, 0.5),
+                scenario("b", 1, 50, 0.25),
+            ],
+            sweep_threads: 4,
+        };
+        let json = to_json(&data);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("\"instrs_per_sec\": 200.0"));
+        assert!(json.contains("\"sweep_threads\": 4"));
+        // Exactly one comma between the two scenario objects.
+        assert_eq!(json.matches("}},").count() + json.matches("}},\n").count(), 0);
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn instrs_per_sec_guards_zero_wall() {
+        let s = scenario("z", 1, 10, 0.0);
+        assert_eq!(s.instrs_per_sec, 0.0);
+    }
+}

@@ -1,10 +1,9 @@
 //! Property tests for the core algorithms: word planning, the cost
 //! function, and bus generation.
 
-use proptest::prelude::*;
-
 use ifsyn_core::{BusGenerator, Constraint, WidthMetrics, WordDir, WordPlan};
 use ifsyn_spec::dsl::*;
+use ifsyn_spec::rng::SplitMix64;
 use ifsyn_spec::{BehaviorId, Channel, ChannelDirection, ChannelId, System, Ty, VarId};
 
 fn channel(direction: ChannelDirection, data: u32, addr: u32) -> Channel {
@@ -19,37 +18,42 @@ fn channel(direction: ChannelDirection, data: u32, addr: u32) -> Channel {
     }
 }
 
-proptest! {
-    #[test]
-    fn word_plan_partitions_the_message(
-        data in 1u32..64,
-        addr in 0u32..16,
-        width in 1u32..80,
-        is_read in any::<bool>(),
-    ) {
-        let dir = if is_read { ChannelDirection::Read } else { ChannelDirection::Write };
+#[test]
+fn word_plan_partitions_the_message() {
+    let mut rng = SplitMix64::new(0xc0_01);
+    for _ in 0..300 {
+        let data = rng.range_u32(1, 63);
+        let addr = rng.range_u32(0, 15);
+        let width = rng.range_u32(1, 79);
+        let dir = if rng.bool() {
+            ChannelDirection::Read
+        } else {
+            ChannelDirection::Write
+        };
         let ch = channel(dir, data, addr);
         let plan = WordPlan::for_channel(&ch, width);
         let m = data + addr;
         // Exactly ceil(m/width) words.
-        prop_assert_eq!(plan.word_count(), m.div_ceil(width));
+        assert_eq!(plan.word_count(), m.div_ceil(width));
         // Contiguous, non-overlapping, complete coverage.
         let mut next = 0u32;
         for w in &plan.words {
-            prop_assert_eq!(w.msg_lo, next);
-            prop_assert!(w.msg_hi >= w.msg_lo);
-            prop_assert!(w.bits() <= width);
+            assert_eq!(w.msg_lo, next);
+            assert!(w.msg_hi >= w.msg_lo);
+            assert!(w.bits() <= width);
             next = w.msg_hi + 1;
         }
-        prop_assert_eq!(next, m);
+        assert_eq!(next, m);
     }
+}
 
-    #[test]
-    fn word_plan_directions_are_ordered(
-        data in 1u32..64,
-        addr in 1u32..16,
-        width in 1u32..80,
-    ) {
+#[test]
+fn word_plan_directions_are_ordered() {
+    let mut rng = SplitMix64::new(0xc0_02);
+    for _ in 0..300 {
+        let data = rng.range_u32(1, 63);
+        let addr = rng.range_u32(1, 15);
+        let width = rng.range_u32(1, 79);
         // For reads: Request* (Mixed)? Response* — never interleaved.
         let ch = channel(ChannelDirection::Read, data, addr);
         let plan = WordPlan::for_channel(&ch, width);
@@ -60,49 +64,65 @@ proptest! {
                 WordDir::Mixed => 1,
                 WordDir::Response => 2,
             };
-            prop_assert!(p >= phase, "direction went backwards");
+            assert!(p >= phase, "direction went backwards");
             phase = p;
         }
         // At most one mixed word.
         let mixed = plan.words.iter().filter(|w| w.dir == WordDir::Mixed).count();
-        prop_assert!(mixed <= 1);
+        assert!(mixed <= 1);
     }
+}
 
-    #[test]
-    fn cost_is_zero_iff_all_constraints_hold(
-        width in 1u32..64,
-        bound in 1u32..64,
-        weight in 0.1f64..100.0,
-    ) {
-        let metrics = WidthMetrics { width, bus_rate: f64::from(width) / 2.0, ..Default::default() };
+#[test]
+fn cost_is_zero_iff_all_constraints_hold() {
+    let mut rng = SplitMix64::new(0xc0_03);
+    for _ in 0..300 {
+        let width = rng.range_u32(1, 63);
+        let bound = rng.range_u32(1, 63);
+        let weight = 0.1 + rng.below(1000) as f64 / 10.0;
+        let metrics = WidthMetrics {
+            width,
+            bus_rate: f64::from(width) / 2.0,
+            ..Default::default()
+        };
         let min_c = Constraint::min_bus_width(bound, weight);
         let max_c = Constraint::max_bus_width(bound, weight);
-        prop_assert_eq!(min_c.cost(&metrics) == 0.0, width >= bound);
-        prop_assert_eq!(max_c.cost(&metrics) == 0.0, width <= bound);
-        prop_assert!(min_c.cost(&metrics) >= 0.0);
-        prop_assert!(max_c.cost(&metrics) >= 0.0);
+        assert_eq!(min_c.cost(&metrics) == 0.0, width >= bound);
+        assert_eq!(max_c.cost(&metrics) == 0.0, width <= bound);
+        assert!(min_c.cost(&metrics) >= 0.0);
+        assert!(max_c.cost(&metrics) >= 0.0);
     }
+}
 
-    #[test]
-    fn cost_scales_linearly_with_weight(
-        width in 1u32..40,
-        bound in 1u32..40,
-        weight in 0.5f64..10.0,
-    ) {
-        let metrics = WidthMetrics { width, ..Default::default() };
+#[test]
+fn cost_scales_linearly_with_weight() {
+    let mut rng = SplitMix64::new(0xc0_04);
+    for _ in 0..300 {
+        let width = rng.range_u32(1, 39);
+        let bound = rng.range_u32(1, 39);
+        let weight = 0.5 + rng.below(95) as f64 / 10.0;
+        let metrics = WidthMetrics {
+            width,
+            ..Default::default()
+        };
         let c1 = Constraint::min_bus_width(bound, weight).cost(&metrics);
         let c2 = Constraint::min_bus_width(bound, 2.0 * weight).cost(&metrics);
-        prop_assert!((c2 - 2.0 * c1).abs() < 1e-9);
+        assert!((c2 - 2.0 * c1).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn min_width_cost_decreases_as_width_grows(bound in 2u32..40) {
+#[test]
+fn min_width_cost_decreases_as_width_grows() {
+    for bound in 2u32..40 {
         let c = Constraint::min_bus_width(bound, 1.0);
         let mut last = f64::INFINITY;
         for width in 1..=bound + 4 {
-            let metrics = WidthMetrics { width, ..Default::default() };
+            let metrics = WidthMetrics {
+                width,
+                ..Default::default()
+            };
             let cost = c.cost(&metrics);
-            prop_assert!(cost <= last);
+            assert!(cost <= last);
             last = cost;
         }
     }
@@ -138,54 +158,55 @@ fn padded_system(compute: u64, accesses: i64) -> (System, ChannelId) {
     (sys, ch)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn generation_picks_minimum_cost_then_minimum_width(
-        compute in 2u64..20,
-        bound in 2u32..23,
-    ) {
+#[test]
+fn generation_picks_minimum_cost_then_minimum_width() {
+    let mut rng = SplitMix64::new(0xc0_05);
+    for _ in 0..32 {
+        let compute = rng.range_u64(2, 19);
+        let bound = rng.range_u32(2, 22);
         let (sys, ch) = padded_system(compute, 32);
-        let generator = BusGenerator::new()
-            .constraint(Constraint::min_bus_width(bound, 1.0));
+        let generator = BusGenerator::new().constraint(Constraint::min_bus_width(bound, 1.0));
         match generator.generate(&sys, &[ch]) {
             Ok(design) => {
                 // No feasible width can be strictly cheaper, and among
                 // equal-cost feasible widths ours is the narrowest.
                 for row in design.exploration.feasible() {
                     let cost = row.cost.expect("feasible rows have costs");
-                    prop_assert!(cost >= design.cost - 1e-12);
+                    assert!(cost >= design.cost - 1e-12);
                     if (cost - design.cost).abs() < 1e-12 {
-                        prop_assert!(row.width >= design.width);
+                        assert!(row.width >= design.width);
                     }
                 }
             }
             Err(ifsyn_core::CoreError::NoFeasibleWidth { .. }) => {
                 // Acceptable for very small compute paddings.
             }
-            Err(other) => prop_assert!(false, "unexpected error {other}"),
+            Err(other) => panic!("unexpected error {other}"),
         }
     }
+}
 
-    #[test]
-    fn feasibility_is_monotone_in_width(compute in 1u64..20) {
+#[test]
+fn feasibility_is_monotone_in_width() {
+    for compute in 1u64..20 {
         let (sys, ch) = padded_system(compute, 32);
         let expl = BusGenerator::new().explore(&sys, &[ch]).unwrap();
         let mut seen = false;
         for row in &expl.rows {
             if seen {
-                prop_assert!(row.feasible, "width {} regressed", row.width);
+                assert!(row.feasible, "width {} regressed", row.width);
             }
             seen |= row.feasible;
         }
     }
+}
 
-    #[test]
-    fn average_rate_never_exceeds_bus_rate_at_selected_width(compute in 2u64..20) {
+#[test]
+fn average_rate_never_exceeds_bus_rate_at_selected_width() {
+    for compute in 2u64..20 {
         let (sys, ch) = padded_system(compute, 32);
         if let Ok(design) = BusGenerator::new().generate(&sys, &[ch]) {
-            prop_assert!(design.sum_ave_rates <= design.bus_rate + 1e-12);
+            assert!(design.sum_ave_rates <= design.bus_rate + 1e-12);
         }
     }
 }

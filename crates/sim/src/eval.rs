@@ -1,4 +1,14 @@
 //! Expression evaluation and value coercion.
+//!
+//! The evaluator is allocation-conscious: [`eval`] and [`read_place`]
+//! return [`Evaluated`], a copy-on-write handle that borrows directly
+//! from the constant pool, variable store, signal store or frame locals
+//! whenever the expression is a plain load, and only materializes an
+//! owned [`Value`] for computed results. Bit-vector operators run limb
+//! at a time on the packed [`BitVec`] representation.
+
+use std::borrow::Cow;
+use std::ops::Deref;
 
 use ifsyn_spec::{BinOp, BitVec, Expr, Place, System, Ty, UnaryOp, Value};
 
@@ -11,6 +21,47 @@ pub(crate) struct EvalCtx<'a> {
     pub signals: &'a [Value],
     /// The evaluating process's top frame (for `Place::Local`).
     pub frame: &'a Frame,
+}
+
+/// A copy-on-write evaluation result.
+///
+/// Loads of constants, variables, locals, signals and array elements
+/// borrow the stored value; computed results carry an owned one. Deref
+/// to inspect, [`Evaluated::into_owned`] to keep.
+#[derive(Debug)]
+pub(crate) enum Evaluated<'a> {
+    /// Borrowed straight from the evaluation context or constant pool.
+    Ref(&'a Value),
+    /// A computed (owned) result.
+    Owned(Value),
+}
+
+impl Deref for Evaluated<'_> {
+    type Target = Value;
+    fn deref(&self) -> &Value {
+        match self {
+            Evaluated::Ref(v) => v,
+            Evaluated::Owned(v) => v,
+        }
+    }
+}
+
+impl Evaluated<'_> {
+    /// Extracts an owned value, cloning only if borrowed.
+    pub(crate) fn into_owned(self) -> Value {
+        match self {
+            Evaluated::Ref(v) => v.clone(),
+            Evaluated::Owned(v) => v,
+        }
+    }
+}
+
+/// Views a value's bit-level packing without cloning `Bits` payloads.
+fn to_bits_cow(v: &Value) -> Cow<'_, BitVec> {
+    match v {
+        Value::Bits(b) => Cow::Borrowed(b),
+        other => Cow::Owned(other.to_bits()),
+    }
 }
 
 /// The "natural" width of a value, used to size operation results.
@@ -73,56 +124,66 @@ pub(crate) fn place_ty(
     }
 }
 
-/// Reads the current value of a place.
-pub(crate) fn read_place(ctx: &EvalCtx<'_>, place: &Place) -> Result<Value, SimError> {
+/// Reads the current value of a place, borrowing stored values where
+/// the place is a plain variable, local or array element.
+pub(crate) fn read_place<'a>(
+    ctx: &EvalCtx<'a>,
+    place: &'a Place,
+) -> Result<Evaluated<'a>, SimError> {
     match place {
         Place::Var(v) => ctx
             .vars
             .get(v.index())
-            .cloned()
+            .map(Evaluated::Ref)
             .ok_or_else(|| SimError::eval(format!("missing variable {v}"))),
         Place::Local(slot) => ctx
             .frame
             .locals
             .get(*slot)
-            .cloned()
+            .map(Evaluated::Ref)
             .ok_or_else(|| SimError::eval(format!("missing local slot {slot}"))),
         Place::Index { base, index } => {
             let container = read_place(ctx, base)?;
             let i = eval(ctx, index)?.as_i64().map_err(wrap)?;
+            let i = usize::try_from(i)
+                .map_err(|_| SimError::eval(format!("negative array index {i}")))?;
             match container {
-                Value::Array(items) => items
-                    .get(usize::try_from(i).map_err(|_| {
-                        SimError::eval(format!("negative array index {i}"))
-                    })?)
+                Evaluated::Ref(Value::Array(items)) => items
+                    .get(i)
+                    .map(Evaluated::Ref)
+                    .ok_or_else(|| SimError::eval(format!("array index {i} out of range"))),
+                Evaluated::Owned(Value::Array(items)) => items
+                    .get(i)
                     .cloned()
-                    .ok_or_else(|| {
-                        SimError::eval(format!("array index {i} out of range"))
-                    }),
+                    .map(Evaluated::Owned)
+                    .ok_or_else(|| SimError::eval(format!("array index {i} out of range"))),
                 other => Err(SimError::eval(format!(
-                    "indexing non-array value {other}"
+                    "indexing non-array value {}",
+                    &*other
                 ))),
             }
         }
         Place::Slice { base, hi, lo } => {
-            let bits = read_place(ctx, base)?.to_bits();
+            let base_v = read_place(ctx, base)?;
+            let bits = to_bits_cow(&base_v);
             if *hi >= bits.width() {
                 return Err(SimError::eval(format!(
                     "slice {hi} downto {lo} out of range for width {}",
                     bits.width()
                 )));
             }
-            Ok(Value::Bits(bits.slice(*hi, *lo)))
+            Ok(Evaluated::Owned(Value::Bits(bits.slice(*hi, *lo))))
         }
         Place::DynSlice {
             base,
             offset,
             width,
         } => {
-            let bits = read_place(ctx, base)?.to_bits();
             let lo = eval(ctx, offset)?.as_i64().map_err(wrap)?;
             let lo = u32::try_from(lo)
                 .map_err(|_| SimError::eval(format!("negative slice offset {lo}")))?;
+            let base_v = read_place(ctx, base)?;
+            let bits = to_bits_cow(&base_v);
             let hi = lo + width - 1;
             if hi >= bits.width() {
                 return Err(SimError::eval(format!(
@@ -130,7 +191,7 @@ pub(crate) fn read_place(ctx: &EvalCtx<'_>, place: &Place) -> Result<Value, SimE
                     bits.width()
                 )));
             }
-            Ok(Value::Bits(bits.slice(hi, lo)))
+            Ok(Evaluated::Owned(Value::Bits(bits.slice(hi, lo))))
         }
     }
 }
@@ -139,47 +200,52 @@ fn wrap(e: ifsyn_spec::SpecError) -> SimError {
     SimError::eval(e.to_string())
 }
 
-/// Evaluates an expression to a value.
-pub(crate) fn eval(ctx: &EvalCtx<'_>, expr: &Expr) -> Result<Value, SimError> {
+/// Evaluates an expression; plain loads come back as borrows, computed
+/// results as owned values.
+pub(crate) fn eval<'a>(ctx: &EvalCtx<'a>, expr: &'a Expr) -> Result<Evaluated<'a>, SimError> {
     match expr {
-        Expr::Const(v) => Ok(v.clone()),
+        Expr::Const(v) => Ok(Evaluated::Ref(v)),
         Expr::Load(place) => read_place(ctx, place),
         Expr::Signal(s) => ctx
             .signals
             .get(s.index())
-            .cloned()
+            .map(Evaluated::Ref)
             .ok_or_else(|| SimError::eval(format!("missing signal {s}"))),
         Expr::Unary { op, arg } => {
             let v = eval(ctx, arg)?;
-            eval_unary(*op, v)
+            eval_unary(*op, &v).map(Evaluated::Owned)
         }
         Expr::Binary { op, lhs, rhs } => {
             let l = eval(ctx, lhs)?;
             let r = eval(ctx, rhs)?;
-            eval_binary(*op, l, r)
+            eval_binary(*op, &l, &r).map(Evaluated::Owned)
         }
         Expr::SliceOf { base, hi, lo } => {
-            let bits = eval(ctx, base)?.to_bits();
+            let base_v = eval(ctx, base)?;
+            let bits = to_bits_cow(&base_v);
             if *hi >= bits.width() {
                 return Err(SimError::eval(format!(
                     "slice {hi} downto {lo} out of range for width {}",
                     bits.width()
                 )));
             }
-            Ok(Value::Bits(bits.slice(*hi, *lo)))
+            Ok(Evaluated::Owned(Value::Bits(bits.slice(*hi, *lo))))
         }
         Expr::Resize { base, width } => {
-            Ok(Value::Bits(eval(ctx, base)?.to_bits().resized(*width)))
+            let base_v = eval(ctx, base)?;
+            let bits = to_bits_cow(&base_v);
+            Ok(Evaluated::Owned(Value::Bits(bits.resized(*width))))
         }
         Expr::DynSliceOf {
             base,
             offset,
             width,
         } => {
-            let bits = eval(ctx, base)?.to_bits();
             let lo = eval(ctx, offset)?.as_i64().map_err(wrap)?;
             let lo = u32::try_from(lo)
                 .map_err(|_| SimError::eval(format!("negative slice offset {lo}")))?;
+            let base_v = eval(ctx, base)?;
+            let bits = to_bits_cow(&base_v);
             let hi = lo + width - 1;
             if hi >= bits.width() {
                 return Err(SimError::eval(format!(
@@ -187,29 +253,27 @@ pub(crate) fn eval(ctx: &EvalCtx<'_>, expr: &Expr) -> Result<Value, SimError> {
                     bits.width()
                 )));
             }
-            Ok(Value::Bits(bits.slice(hi, lo)))
+            Ok(Evaluated::Owned(Value::Bits(bits.slice(hi, lo))))
         }
     }
 }
 
-fn eval_unary(op: UnaryOp, v: Value) -> Result<Value, SimError> {
+pub(crate) fn eval_unary(op: UnaryOp, v: &Value) -> Result<Value, SimError> {
     match op {
         UnaryOp::Not => match v {
             Value::Bit(b) => Ok(Value::Bit(!b)),
-            Value::Bits(bv) => Ok(Value::Bits(BitVec::from_bits_lsb_first(
-                bv.iter().map(|b| !b),
-            ))),
+            Value::Bits(bv) => Ok(Value::Bits(bv.complement())),
             other => Ok(Value::Bit(!other.as_bool().map_err(wrap)?)),
         },
         UnaryOp::Neg => {
-            let width = natural_width(&v).max(1);
+            let width = natural_width(v).max(1);
             let value = -v.as_i64().map_err(wrap)?;
             Ok(Value::Int { value, width })
         }
     }
 }
 
-fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, SimError> {
+pub(crate) fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, SimError> {
     use BinOp::*;
     match op {
         Add | Sub | Mul | Div | Rem | Min | Max => {
@@ -237,12 +301,26 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, SimError> {
                 Max => a.max(b),
                 _ => unreachable!(),
             };
-            let width = natural_width(&l).max(natural_width(&r)).max(1);
+            let width = natural_width(l).max(natural_width(r)).max(1);
             Ok(Value::Int { value, width })
         }
         Eq | Ne => {
-            let w = natural_width(&l).max(natural_width(&r));
-            let equal = l.to_bits().resized(w) == r.to_bits().resized(w);
+            let equal = match (l, r) {
+                (Value::Bit(a), Value::Bit(b)) => a == b,
+                // Canonical limbs: same width ⇒ representational equality
+                // is logical equality, no resize needed.
+                (Value::Bits(a), Value::Bits(b)) if a.width() == b.width() => a == b,
+                _ => {
+                    let w = natural_width(l).max(natural_width(r));
+                    let a = to_bits_cow(l);
+                    let b = to_bits_cow(r);
+                    // Zero-extension to the common width makes limb-wise
+                    // unsigned comparison exactly the old resize-and-compare
+                    // semantics, except that bits past `w` must be truncated
+                    // away first.
+                    a.resized(w).cmp_unsigned(&b.resized(w)).is_eq()
+                }
+            };
             Ok(Value::Bit(if matches!(op, Eq) { equal } else { !equal }))
         }
         Lt | Le | Gt | Ge => {
@@ -257,7 +335,7 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, SimError> {
             };
             Ok(Value::Bit(res))
         }
-        And | Or | Xor => match (&l, &r) {
+        And | Or | Xor => match (l, r) {
             (Value::Bit(a), Value::Bit(b)) => {
                 let res = match op {
                     And => *a && *b,
@@ -268,19 +346,22 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, SimError> {
                 Ok(Value::Bit(res))
             }
             _ => {
-                let w = natural_width(&l).max(natural_width(&r)).max(1);
-                let a = l.to_bits().resized(w);
-                let b = r.to_bits().resized(w);
-                let bits = a.iter().zip(b.iter()).map(|(x, y)| match op {
-                    And => x && y,
-                    Or => x || y,
-                    Xor => x != y,
+                let w = natural_width(l).max(natural_width(r)).max(1);
+                let a = to_bits_cow(l);
+                let b = to_bits_cow(r);
+                let mut bits = match op {
+                    And => a.and(&b),
+                    Or => a.or(&b),
+                    Xor => a.xor(&b),
                     _ => unreachable!(),
-                });
-                Ok(Value::Bits(BitVec::from_bits_lsb_first(bits)))
+                };
+                if bits.width() != w {
+                    bits = bits.resized(w);
+                }
+                Ok(Value::Bits(bits))
             }
         },
-        Concat => Ok(Value::Bits(l.to_bits().concat(&r.to_bits()))),
+        Concat => Ok(Value::Bits(to_bits_cow(l).concat(&to_bits_cow(r)))),
     }
 }
 
@@ -325,7 +406,8 @@ mod tests {
     #[test]
     fn arithmetic_and_width() {
         with_ctx(|ctx| {
-            let v = eval(ctx, &add(int_const(2, 8), int_const(3, 16))).unwrap();
+            let e = add(int_const(2, 8), int_const(3, 16));
+            let v = eval(ctx, &e).unwrap().into_owned();
             assert_eq!(v, Value::int(5, 16));
         });
     }
@@ -345,20 +427,19 @@ mod tests {
     #[test]
     fn array_index_read() {
         with_ctx(|ctx| {
-            let v = eval(
-                ctx,
-                &load(index(var(VarId::new(0)), int_const(2, 8))),
-            )
-            .unwrap();
-            assert_eq!(v, Value::int(30, 8));
+            let e = load(index(var(VarId::new(0)), int_const(2, 8)));
+            let v = eval(ctx, &e).unwrap();
+            // Array-element loads borrow in place.
+            assert!(matches!(v, Evaluated::Ref(_)));
+            assert_eq!(v.into_owned(), Value::int(30, 8));
         });
     }
 
     #[test]
     fn array_index_out_of_range_errors() {
         with_ctx(|ctx| {
-            let r = eval(ctx, &load(index(var(VarId::new(0)), int_const(9, 8))));
-            assert!(r.is_err());
+            let e = load(index(var(VarId::new(0)), int_const(9, 8)));
+            assert!(eval(ctx, &e).is_err());
         });
     }
 
@@ -366,7 +447,8 @@ mod tests {
     fn slice_read_matches_bits() {
         with_ctx(|ctx| {
             // x = 1010_0101; bits 7..4 = 1010.
-            let v = eval(ctx, &load(slice(var(VarId::new(1)), 7, 4))).unwrap();
+            let e = load(slice(var(VarId::new(1)), 7, 4));
+            let v = eval(ctx, &e).unwrap().into_owned();
             assert_eq!(v, Value::Bits(BitVec::from_u64(0b1010, 4)));
         });
     }
@@ -374,21 +456,21 @@ mod tests {
     #[test]
     fn local_read() {
         with_ctx(|ctx| {
-            let v = eval(ctx, &load(local(0))).unwrap();
-            assert_eq!(v, Value::int(7, 8));
+            let e = load(local(0));
+            let v = eval(ctx, &e).unwrap();
+            assert!(matches!(v, Evaluated::Ref(_)));
+            assert_eq!(v.into_owned(), Value::int(7, 8));
         });
     }
 
     #[test]
     fn signal_read_and_logic() {
         with_ctx(|ctx| {
-            let v = eval(
-                ctx,
-                &and(signal(ifsyn_spec::SignalId::new(0)), bit_const(true)),
-            )
-            .unwrap();
+            let e = and(signal(ifsyn_spec::SignalId::new(0)), bit_const(true));
+            let v = eval(ctx, &e).unwrap().into_owned();
             assert_eq!(v, Value::Bit(true));
-            let v = eval(ctx, &not(signal(ifsyn_spec::SignalId::new(0)))).unwrap();
+            let e = not(signal(ifsyn_spec::SignalId::new(0)));
+            let v = eval(ctx, &e).unwrap().into_owned();
             assert_eq!(v, Value::Bit(false));
         });
     }
@@ -396,9 +478,11 @@ mod tests {
     #[test]
     fn eq_compares_across_widths() {
         with_ctx(|ctx| {
-            let v = eval(ctx, &eq(bits_const(5, 4), int_const(5, 8))).unwrap();
+            let e = eq(bits_const(5, 4), int_const(5, 8));
+            let v = eval(ctx, &e).unwrap().into_owned();
             assert_eq!(v, Value::Bit(true));
-            let v = eval(ctx, &ne(bits_const(5, 4), int_const(6, 8))).unwrap();
+            let e = ne(bits_const(5, 4), int_const(6, 8));
+            let v = eval(ctx, &e).unwrap().into_owned();
             assert_eq!(v, Value::Bit(true));
         });
     }
@@ -406,7 +490,8 @@ mod tests {
     #[test]
     fn concat_keeps_lhs_low() {
         with_ctx(|ctx| {
-            let v = eval(ctx, &concat(bits_const(0b01, 2), bits_const(0b11, 2))).unwrap();
+            let e = concat(bits_const(0b01, 2), bits_const(0b11, 2));
+            let v = eval(ctx, &e).unwrap().into_owned();
             assert_eq!(v, Value::Bits(BitVec::from_u64(0b1101, 4)));
         });
     }
@@ -414,15 +499,12 @@ mod tests {
     #[test]
     fn bitwise_ops_on_vectors() {
         with_ctx(|ctx| {
-            let v = eval(
-                ctx,
-                &Expr::Binary {
-                    op: BinOp::Xor,
-                    lhs: Box::new(bits_const(0b1100, 4)),
-                    rhs: Box::new(bits_const(0b1010, 4)),
-                },
-            )
-            .unwrap();
+            let e = Expr::Binary {
+                op: BinOp::Xor,
+                lhs: Box::new(bits_const(0b1100, 4)),
+                rhs: Box::new(bits_const(0b1010, 4)),
+            };
+            let v = eval(ctx, &e).unwrap().into_owned();
             assert_eq!(v, Value::Bits(BitVec::from_u64(0b0110, 4)));
         });
     }
@@ -430,8 +512,19 @@ mod tests {
     #[test]
     fn resize_truncates() {
         with_ctx(|ctx| {
-            let v = eval(ctx, &resize(bits_const(0b1111, 4), 2)).unwrap();
+            let e = resize(bits_const(0b1111, 4), 2);
+            let v = eval(ctx, &e).unwrap().into_owned();
             assert_eq!(v, Value::Bits(BitVec::from_u64(0b11, 2)));
+        });
+    }
+
+    #[test]
+    fn const_loads_borrow_from_the_expression() {
+        with_ctx(|ctx| {
+            let e = int_const(42, 8);
+            let v = eval(ctx, &e).unwrap();
+            assert!(matches!(v, Evaluated::Ref(_)));
+            assert_eq!(v.into_owned(), Value::int(42, 8));
         });
     }
 

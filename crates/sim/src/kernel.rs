@@ -1,16 +1,50 @@
 //! The discrete-event simulation kernel.
 
-use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
-use ifsyn_spec::{Arg, Expr, ParamMode, Place, System, Ty, Value, WaitCond};
+use ifsyn_spec::{Arg, Expr, ParamMode, Place, System, Ty, Value};
 
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::eval::{coerce, eval, place_ty, read_place, EvalCtx};
 use crate::process::{CodeRef, Frame, Process, ResolvedPlace, Root, Status, Step, WaitKind};
-use crate::program::{Instr, Program};
+use crate::program::{Instr, Program, WaitSpec};
 use crate::report::{BehaviorOutcome, SimReport, TraceEvent};
+
+/// A scheduled future signal write.
+///
+/// Ordered by `(time, seq)` so the event heap pops writes in schedule
+/// order within an instant, reproducing the FIFO semantics of the old
+/// per-time bucket lists.
+#[derive(Debug)]
+struct TimedWrite {
+    time: u64,
+    seq: u64,
+    signal: usize,
+    value: Value,
+}
+
+impl PartialEq for TimedWrite {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for TimedWrite {}
+
+impl PartialOrd for TimedWrite {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimedWrite {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
 
 /// A deterministic discrete-event simulator over a [`System`].
 ///
@@ -57,9 +91,10 @@ pub struct Simulator<'a> {
     config: SimConfig,
     /// Shared handles to each code block's instructions, so the hot loop
     /// can hold an instruction reference across `&mut self` calls
-    /// without deep-cloning expressions.
-    behavior_code: Vec<Rc<Vec<Instr>>>,
-    procedure_code: Vec<Rc<Vec<Instr>>>,
+    /// without deep-cloning expressions. `Arc` (not `Rc`) keeps the
+    /// simulator `Send` for the parallel sweep driver.
+    behavior_code: Vec<Arc<Vec<Instr>>>,
+    procedure_code: Vec<Arc<Vec<Instr>>>,
     time: u64,
     signals: Vec<Value>,
     vars: Vec<Value>,
@@ -67,17 +102,33 @@ pub struct Simulator<'a> {
     ready: VecDeque<usize>,
     /// Zero-delay signal writes awaiting the next delta.
     pending: Vec<(usize, Value)>,
-    /// Future signal writes, keyed by visibility time.
-    timed_writes: BTreeMap<u64, Vec<(usize, Value)>>,
-    /// Sleeping processes, keyed by wake time.
-    sleepers: BTreeMap<u64, Vec<usize>>,
-    /// Per signal: processes registered as waiters.
+    /// Future signal writes: a min-heap on `(time, seq)`.
+    timed_writes: BinaryHeap<Reverse<TimedWrite>>,
+    /// Sleeping processes: a min-heap on `(time, seq, pid)`. Entries are
+    /// lazily invalidated — a pop whose process is no longer `Sleeping`
+    /// is skipped rather than eagerly removed.
+    sleepers: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Monotonic tiebreaker giving heap entries FIFO order per instant.
+    event_seq: u64,
+    /// Per signal: processes registered as waiters (swap-remove lists;
+    /// order is irrelevant because wake order flows from `ready`).
     waiters: Vec<Vec<usize>>,
+    /// Scratch: per-signal index of the last pending write in the batch
+    /// being applied (`usize::MAX` = none); reset on use.
+    last_write: Vec<usize>,
+    /// Scratch: signals changed in the current delta.
+    changed: Vec<usize>,
+    /// Scratch: waiter snapshot while waking (reused across deltas).
+    wake_scratch: Vec<usize>,
     signal_events: Vec<u64>,
     trace: Vec<TraceEvent>,
     total_deltas: u64,
     total_instrs: u64,
     assertions_checked: u64,
+    /// Peak combined size of the two scheduler heaps.
+    heap_peak: usize,
+    /// Distinct time instants the scheduler advanced through.
+    time_steps: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -100,15 +151,15 @@ impl<'a> Simulator<'a> {
             message: e.to_string(),
         })?;
         let program = Program::compile(system, &config.cost_model);
-        let behavior_code: Vec<Rc<Vec<Instr>>> = program
+        let behavior_code: Vec<Arc<Vec<Instr>>> = program
             .behaviors
             .into_iter()
-            .map(|c| Rc::new(c.instrs))
+            .map(|c| Arc::new(c.instrs))
             .collect();
-        let procedure_code: Vec<Rc<Vec<Instr>>> = program
+        let procedure_code: Vec<Arc<Vec<Instr>>> = program
             .procedures
             .into_iter()
-            .map(|c| Rc::new(c.instrs))
+            .map(|c| Arc::new(c.instrs))
             .collect();
         let signals = system
             .signals
@@ -134,14 +185,20 @@ impl<'a> Simulator<'a> {
             processes,
             ready,
             pending: Vec::new(),
-            timed_writes: BTreeMap::new(),
-            sleepers: BTreeMap::new(),
+            timed_writes: BinaryHeap::new(),
+            sleepers: BinaryHeap::new(),
+            event_seq: 0,
             waiters: vec![Vec::new(); n_signals],
+            last_write: vec![usize::MAX; n_signals],
+            changed: Vec::new(),
+            wake_scratch: Vec::new(),
             signal_events: vec![0; n_signals],
             trace: Vec::new(),
             total_deltas: 0,
             total_instrs: 0,
             assertions_checked: 0,
+            heap_peak: 0,
+            time_steps: 0,
         })
     }
 
@@ -182,8 +239,8 @@ impl<'a> Simulator<'a> {
     fn run_events(&mut self, deadline: Option<u64>) -> Result<(), SimError> {
         loop {
             self.settle_instant()?;
-            let next_write = self.timed_writes.keys().next().copied();
-            let next_sleep = self.sleepers.keys().next().copied();
+            let next_write = self.timed_writes.peek().map(|Reverse(w)| w.time);
+            let next_sleep = self.sleepers.peek().map(|&Reverse((t, _, _))| t);
             let next = match (next_write, next_sleep) {
                 (None, None) => break,
                 (Some(a), None) => a,
@@ -202,15 +259,25 @@ impl<'a> Simulator<'a> {
                 });
             }
             self.time = next;
-            if let Some(writes) = self.timed_writes.remove(&next) {
-                self.pending.extend(writes);
+            self.time_steps += 1;
+            while self
+                .timed_writes
+                .peek()
+                .is_some_and(|Reverse(w)| w.time == next)
+            {
+                let Reverse(w) = self.timed_writes.pop().expect("peeked");
+                self.pending.push((w.signal, w.value));
             }
-            if let Some(pids) = self.sleepers.remove(&next) {
-                for pid in pids {
-                    if matches!(self.processes[pid].status, Status::Sleeping) {
-                        self.processes[pid].status = Status::Ready;
-                        self.ready.push_back(pid);
-                    }
+            while self
+                .sleepers
+                .peek()
+                .is_some_and(|&Reverse((t, _, _))| t == next)
+            {
+                let Reverse((_, _, pid)) = self.sleepers.pop().expect("peeked");
+                // Lazy invalidation: skip entries whose process moved on.
+                if matches!(self.processes[pid].status, Status::Sleeping) {
+                    self.processes[pid].status = Status::Ready;
+                    self.ready.push_back(pid);
                 }
             }
         }
@@ -222,8 +289,8 @@ impl<'a> Simulator<'a> {
         let mut deltas = 0u32;
         loop {
             if !self.pending.is_empty() {
-                let changed = self.apply_pending();
-                self.wake_on(&changed)?;
+                self.apply_pending();
+                self.wake_on()?;
                 deltas += 1;
                 self.total_deltas += 1;
                 if deltas > self.config.max_deltas_per_instant {
@@ -244,90 +311,128 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Applies zero-delay writes; returns indices of changed signals.
+    /// Applies zero-delay writes, recording changed signals in the
+    /// `changed` scratch buffer.
     ///
     /// Multiple writes to one signal within the same delta collapse to the
     /// last one (VHDL projected-waveform semantics), producing at most one
-    /// event per signal per delta.
-    fn apply_pending(&mut self) -> Vec<usize> {
-        let mut changed = Vec::new();
-        let mut drained = std::mem::take(&mut self.pending);
-        // Keep only the final write per signal, preserving first-write order.
-        let mut last_index: Vec<Option<usize>> = vec![None; self.signals.len()];
-        for (i, (sig, _)) in drained.iter().enumerate() {
-            last_index[*sig] = Some(i);
+    /// event per signal per delta. Runs allocation-free: the pending batch
+    /// and all bookkeeping live in reusable buffers.
+    fn apply_pending(&mut self) {
+        self.changed.clear();
+        if self.pending.len() == 1 {
+            // Single write: no collision bookkeeping needed.
+            let (sig, value) = self.pending.pop().expect("len checked");
+            self.apply_one(sig, value);
+            return;
         }
-        let mut seen = vec![false; self.signals.len()];
-        drained = drained
-            .into_iter()
-            .enumerate()
-            .filter_map(|(i, (sig, v))| {
-                if last_index[sig] == Some(i) && !seen[sig] {
-                    seen[sig] = true;
-                    Some((sig, v))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        for (sig, value) in drained {
-            if self.signals[sig] != value {
-                self.signals[sig] = value.clone();
-                self.signal_events[sig] += 1;
-                if !changed.contains(&sig) {
-                    changed.push(sig);
-                }
-                if self.config.trace && self.trace.len() < self.config.max_trace_events {
-                    self.trace.push(TraceEvent {
-                        time: self.time,
-                        signal: ifsyn_spec::SignalId::new(sig as u32),
-                        value,
-                    });
-                }
+        let mut pending = std::mem::take(&mut self.pending);
+        // Pass 1: last write per signal wins.
+        for (i, (sig, _)) in pending.iter().enumerate() {
+            self.last_write[*sig] = i;
+        }
+        // Pass 2: apply winners in first-write order, resetting scratch.
+        for i in 0..pending.len() {
+            let sig = pending[i].0;
+            if self.last_write[sig] != i {
+                continue;
             }
+            self.last_write[sig] = usize::MAX;
+            let value = std::mem::replace(&mut pending[i].1, Value::Bit(false));
+            self.apply_one(sig, value);
         }
-        changed
+        pending.clear();
+        // Processes may have queued new writes only after this returns,
+        // so the swap back cannot clobber anything.
+        self.pending = pending;
     }
 
-    /// Wakes processes sensitive to the changed signals.
-    fn wake_on(&mut self, changed: &[usize]) -> Result<(), SimError> {
-        for &sig in changed {
-            let candidates = self.waiters[sig].clone();
-            for pid in candidates {
-                match self.processes[pid].status.clone() {
-                    Status::Waiting(WaitKind::Signals) => self.make_ready(pid),
+    /// Applies one winning write, recording the event if it changed.
+    fn apply_one(&mut self, sig: usize, value: Value) {
+        if self.signals[sig] != value {
+            self.signals[sig] = value;
+            self.signal_events[sig] += 1;
+            self.changed.push(sig);
+            if self.config.trace && self.trace.len() < self.config.max_trace_events {
+                self.trace.push(TraceEvent {
+                    time: self.time,
+                    signal: ifsyn_spec::SignalId::new(sig as u32),
+                    value: self.signals[sig].clone(),
+                });
+            }
+        }
+    }
+
+    /// Wakes processes sensitive to the signals in the `changed` buffer.
+    fn wake_on(&mut self) -> Result<(), SimError> {
+        for ci in 0..self.changed.len() {
+            let sig = self.changed[ci];
+            // Snapshot the waiter list into reusable scratch: make_ready
+            // mutates `waiters[sig]` while we iterate.
+            let mut candidates = std::mem::take(&mut self.wake_scratch);
+            candidates.clear();
+            candidates.extend_from_slice(&self.waiters[sig]);
+            for &pid in &candidates {
+                let sat = match &self.processes[pid].status {
+                    Status::Waiting(WaitKind::Signals) => true,
                     Status::Waiting(WaitKind::Until(expr)) => {
-                        let sat = self
-                            .eval_in(pid, &expr)?
-                            .as_bool()
-                            .map_err(|e| SimError::eval(e.to_string()))?;
-                        if sat {
-                            self.make_ready(pid);
-                        }
+                        self.eval_bool_in(pid, expr)?
                     }
-                    _ => {}
+                    Status::Waiting(WaitKind::SignalIs(idx, v)) => self.signals[*idx] == *v,
+                    _ => false,
+                };
+                if sat {
+                    self.make_ready(pid);
                 }
             }
+            self.wake_scratch = candidates;
         }
         Ok(())
     }
 
     fn make_ready(&mut self, pid: usize) {
-        let registered = std::mem::take(&mut self.processes[pid].registered);
-        for sig in registered {
-            self.waiters[sig].retain(|&p| p != pid);
+        let mut registered = std::mem::take(&mut self.processes[pid].registered);
+        for &sig in &registered {
+            // Waiter lists are unordered: swap-remove instead of retain.
+            if let Some(pos) = self.waiters[sig].iter().position(|&p| p == pid) {
+                self.waiters[sig].swap_remove(pos);
+            }
         }
+        registered.clear();
+        // Hand the emptied buffer back so its capacity is reused.
+        self.processes[pid].registered = registered;
         self.processes[pid].status = Status::Ready;
         self.ready.push_back(pid);
     }
 
     fn sleep_until(&mut self, pid: usize, until: u64) {
         self.processes[pid].status = Status::Sleeping;
-        self.sleepers.entry(until).or_default().push(pid);
+        self.sleepers.push(Reverse((until, self.event_seq, pid)));
+        self.event_seq += 1;
+        self.note_heap_size();
+    }
+
+    fn schedule_write(&mut self, time: u64, signal: usize, value: Value) {
+        self.timed_writes.push(Reverse(TimedWrite {
+            time,
+            seq: self.event_seq,
+            signal,
+            value,
+        }));
+        self.event_seq += 1;
+        self.note_heap_size();
+    }
+
+    fn note_heap_size(&mut self) {
+        let size = self.timed_writes.len() + self.sleepers.len();
+        if size > self.heap_peak {
+            self.heap_peak = size;
+        }
     }
 
     fn register_wait(&mut self, pid: usize, kind: WaitKind, sensitivity: &[ifsyn_spec::SignalId]) {
-        let mut registered = Vec::with_capacity(sensitivity.len());
+        let mut registered = std::mem::take(&mut self.processes[pid].registered);
+        registered.clear();
         for s in sensitivity {
             let idx = s.index();
             if !self.waiters[idx].contains(&pid) {
@@ -339,31 +444,49 @@ impl<'a> Simulator<'a> {
         self.processes[pid].status = Status::Waiting(kind);
     }
 
-    /// Evaluates an expression in a process's current scope.
-    fn eval_in(&self, pid: usize, expr: &Expr) -> Result<Value, SimError> {
+    fn ctx_for(&self, pid: usize) -> Result<EvalCtx<'_>, SimError> {
         let frame = self.processes[pid]
             .frames
             .last()
             .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
-        let ctx = EvalCtx {
+        Ok(EvalCtx {
             vars: &self.vars,
             signals: &self.signals,
             frame,
-        };
-        eval(&ctx, expr)
+        })
+    }
+
+    /// Evaluates an expression in a process's current scope, cloning the
+    /// result only when it was a borrowed load.
+    fn eval_in(&self, pid: usize, expr: &Expr) -> Result<Value, SimError> {
+        Ok(eval(&self.ctx_for(pid)?, expr)?.into_owned())
+    }
+
+    /// Evaluates an expression to a boolean without materializing an
+    /// owned value — the wake/branch/assert hot path.
+    fn eval_bool_in(&self, pid: usize, expr: &Expr) -> Result<bool, SimError> {
+        eval(&self.ctx_for(pid)?, expr)?
+            .as_bool()
+            .map_err(|e| SimError::eval(e.to_string()))
+    }
+
+    /// Evaluates an expression to an integer without materializing an
+    /// owned value (loop bounds, addresses, slice offsets).
+    fn eval_i64_in(&self, pid: usize, expr: &Expr) -> Result<i64, SimError> {
+        eval(&self.ctx_for(pid)?, expr)?
+            .as_i64()
+            .map_err(|e| SimError::eval(e.to_string()))
     }
 
     fn read_place_in(&self, pid: usize, place: &Place) -> Result<Value, SimError> {
-        let frame = self.processes[pid]
-            .frames
-            .last()
-            .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
-        let ctx = EvalCtx {
-            vars: &self.vars,
-            signals: &self.signals,
-            frame,
-        };
-        read_place(&ctx, place)
+        Ok(read_place(&self.ctx_for(pid)?, place)?.into_owned())
+    }
+
+    /// Reads a place as an integer without cloning the stored value.
+    fn read_place_i64_in(&self, pid: usize, place: &Place) -> Result<i64, SimError> {
+        read_place(&self.ctx_for(pid)?, place)?
+            .as_i64()
+            .map_err(|e| SimError::eval(e.to_string()))
     }
 
     /// Resolves a place to a concrete path; index expressions evaluate in
@@ -388,10 +511,7 @@ impl<'a> Simulator<'a> {
             }),
             Place::Index { base, index } => {
                 let mut rp = self.resolve_place(pid, base, frame_abs)?;
-                let i = self
-                    .eval_in(pid, index)?
-                    .as_i64()
-                    .map_err(|e| SimError::eval(e.to_string()))?;
+                let i = self.eval_i64_in(pid, index)?;
                 let i = usize::try_from(i)
                     .map_err(|_| SimError::eval(format!("negative array index {i}")))?;
                 rp.steps.push(Step::Elem(i));
@@ -410,10 +530,7 @@ impl<'a> Simulator<'a> {
                 // The offset evaluates once at resolution time, turning
                 // the dynamic slice into a concrete one.
                 let mut rp = self.resolve_place(pid, base, frame_abs)?;
-                let lo = self
-                    .eval_in(pid, offset)?
-                    .as_i64()
-                    .map_err(|e| SimError::eval(e.to_string()))?;
+                let lo = self.eval_i64_in(pid, offset)?;
                 let lo = u32::try_from(lo).map_err(|_| {
                     SimError::eval(format!("negative slice offset {lo}"))
                 })?;
@@ -445,6 +562,37 @@ impl<'a> Simulator<'a> {
 
     /// Writes `value` (coerced to the target's type) into a place.
     fn write_place(&mut self, pid: usize, place: &Place, value: Value) -> Result<(), SimError> {
+        // Whole-variable and whole-local writes (the overwhelmingly common
+        // case) skip type cloning and place resolution entirely.
+        let system: &'a System = self.system;
+        match place {
+            Place::Var(v) => {
+                let decl = system
+                    .variables
+                    .get(v.index())
+                    .ok_or_else(|| SimError::eval(format!("missing variable {v}")))?;
+                self.vars[v.index()] = coerce(value, &decl.ty);
+                return Ok(());
+            }
+            Place::Local(slot) => {
+                let frame = self.processes[pid].frames.last().expect("frame");
+                if let CodeRef::Procedure(p) = frame.code {
+                    let proc = &system.procedures[p];
+                    if *slot < proc.slot_count() {
+                        let ty = proc.slot_ty(*slot);
+                        let v = coerce(value, ty);
+                        self.processes[pid]
+                            .frames
+                            .last_mut()
+                            .expect("frame")
+                            .locals[*slot] = v;
+                        return Ok(());
+                    }
+                }
+                // Fall through to the general path for its error reporting.
+            }
+            _ => {}
+        }
         let frame_abs = self.processes[pid].frames.len() - 1;
         let code = self.processes[pid].frames[frame_abs].code;
         let ty = place_ty(self.system, code, place)?;
@@ -457,7 +605,7 @@ impl<'a> Simulator<'a> {
         let mut steps: u64 = 0;
         // Cache the current code block across instructions; refreshed
         // when a call or return switches frames.
-        let mut cached: Option<(CodeRef, Rc<Vec<Instr>>)> = None;
+        let mut cached: Option<(CodeRef, Arc<Vec<Instr>>)> = None;
         loop {
             steps += 1;
             self.total_instrs += 1;
@@ -470,22 +618,23 @@ impl<'a> Simulator<'a> {
                     time: self.time,
                 });
             }
-            let frame = self.processes[pid]
-                .frames
-                .last()
-                .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
-            let code: Rc<Vec<Instr>> = match &cached {
-                Some((code_ref, rc)) if *code_ref == frame.code => Rc::clone(rc),
-                _ => {
-                    let rc = match frame.code {
-                        CodeRef::Behavior(i) => Rc::clone(&self.behavior_code[i]),
-                        CodeRef::Procedure(i) => Rc::clone(&self.procedure_code[i]),
-                    };
-                    cached = Some((frame.code, Rc::clone(&rc)));
-                    rc
-                }
+            let (code_ref, pc) = {
+                let frame = self.processes[pid]
+                    .frames
+                    .last()
+                    .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
+                (frame.code, frame.pc)
             };
-            let instr = &code[frame.pc];
+            if !matches!(&cached, Some((c, _)) if *c == code_ref) {
+                let rc = match code_ref {
+                    CodeRef::Behavior(i) => Arc::clone(&self.behavior_code[i]),
+                    CodeRef::Procedure(i) => Arc::clone(&self.procedure_code[i]),
+                };
+                cached = Some((code_ref, rc));
+            }
+            // Borrowing out of the local cache (not `self`) keeps the
+            // per-instruction cost at a tag compare — no refcount traffic.
+            let instr = &cached.as_ref().expect("cache filled above").1[pc];
             match instr {
                 Instr::Assign { place, value, cost } => {
                     let v = self.eval_in(pid, value)?;
@@ -502,16 +651,17 @@ impl<'a> Simulator<'a> {
                     value,
                     cost,
                 } => {
-                    let ty = self.system.signal(*signal).ty.clone();
-                    let v = coerce(self.eval_in(pid, value)?, &ty);
+                    let v = {
+                        // `self.system` is a shared reference; copying it
+                        // out lets the type borrow coexist with `&mut self`.
+                        let system: &'a System = self.system;
+                        coerce(self.eval_in(pid, value)?, &system.signal(*signal).ty)
+                    };
                     self.advance_pc(pid);
                     if *cost == 0 {
                         self.pending.push((signal.index(), v));
                     } else {
-                        self.timed_writes
-                            .entry(self.time + u64::from(*cost))
-                            .or_default()
-                            .push((signal.index(), v));
+                        self.schedule_write(self.time + u64::from(*cost), signal.index(), v);
                         self.processes[pid].active_cycles += u64::from(*cost);
                         self.sleep_until(pid, self.time + u64::from(*cost));
                         return Ok(());
@@ -519,10 +669,7 @@ impl<'a> Simulator<'a> {
                 }
                 Instr::Jump(t) => self.set_pc(pid, *t),
                 Instr::JumpIfNot { cond, target } => {
-                    let b = self
-                        .eval_in(pid, cond)?
-                        .as_bool()
-                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    let b = self.eval_bool_in(pid, cond)?;
                     if b {
                         self.advance_pc(pid);
                     } else {
@@ -530,10 +677,7 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 Instr::LoopInit { var, from, to } => {
-                    let bound = self
-                        .eval_in(pid, to)?
-                        .as_i64()
-                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    let bound = self.eval_i64_in(pid, to)?;
                     let start = self.eval_in(pid, from)?;
                     self.write_place(pid, var, start)?;
                     self.processes[pid]
@@ -545,10 +689,26 @@ impl<'a> Simulator<'a> {
                     self.advance_pc(pid);
                 }
                 Instr::LoopTest { var, exit } => {
-                    let v = self
-                        .read_place_in(pid, var)?
-                        .as_i64()
-                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    // Loop counters are whole int variables or locals in
+                    // practice; read them without an evaluation context.
+                    let fast = match var {
+                        Place::Var(v) => match self.vars.get(v.index()) {
+                            Some(Value::Int { value, .. }) => Some(*value),
+                            _ => None,
+                        },
+                        Place::Local(slot) => {
+                            let frame = self.processes[pid].frames.last().expect("frame");
+                            match frame.locals.get(*slot) {
+                                Some(Value::Int { value, .. }) => Some(*value),
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    };
+                    let v = match fast {
+                        Some(v) => v,
+                        None => self.read_place_i64_in(pid, var)?,
+                    };
                     let frame = self.processes[pid].frames.last_mut().expect("frame");
                     let bound = *frame
                         .loop_bounds
@@ -562,45 +722,75 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 Instr::LoopIncr { var, back } => {
-                    let v = self
-                        .read_place_in(pid, var)?
-                        .as_i64()
-                        .map_err(|e| SimError::eval(e.to_string()))?;
-                    let width = match self.read_place_in(pid, var)? {
-                        Value::Int { width, .. } => width,
-                        other => other.ty().bit_width(),
+                    // In-place increment for whole int counters (stored
+                    // values are unmasked, so this matches rebuild+write).
+                    let done = match var {
+                        Place::Var(v) => match self.vars.get_mut(v.index()) {
+                            Some(Value::Int { value, width }) if *width > 0 => {
+                                *value += 1;
+                                true
+                            }
+                            _ => false,
+                        },
+                        Place::Local(slot) => {
+                            let frame =
+                                self.processes[pid].frames.last_mut().expect("frame");
+                            match frame.locals.get_mut(*slot) {
+                                Some(Value::Int { value, width }) if *width > 0 => {
+                                    *value += 1;
+                                    true
+                                }
+                                _ => false,
+                            }
+                        }
+                        _ => false,
                     };
-                    self.write_place(pid, var, Value::int(v + 1, width.max(1)))?;
+                    if !done {
+                        let (v, width) = {
+                            let cur = read_place(&self.ctx_for(pid)?, var)?;
+                            let v = cur
+                                .as_i64()
+                                .map_err(|e| SimError::eval(e.to_string()))?;
+                            let width = match &*cur {
+                                Value::Int { width, .. } => *width,
+                                other => other.ty().bit_width(),
+                            };
+                            (v, width)
+                        };
+                        self.write_place(pid, var, Value::int(v + 1, width.max(1)))?;
+                    }
                     self.set_pc(pid, *back);
                 }
                 Instr::Wait(cond) => {
                     self.advance_pc(pid);
                     match cond {
-                        WaitCond::ForCycles(n) => {
+                        WaitSpec::ForCycles(n) => {
                             if *n > 0 {
                                 self.sleep_until(pid, self.time + n);
                                 return Ok(());
                             }
                         }
-                        WaitCond::OnSignals(signals) => {
+                        WaitSpec::OnSignals(signals) => {
                             self.register_wait(pid, WaitKind::Signals, signals);
                             return Ok(());
                         }
-                        WaitCond::Until(expr) => {
-                            let sat = self
-                                .eval_in(pid, expr)?
-                                .as_bool()
-                                .map_err(|e| SimError::eval(e.to_string()))?;
+                        WaitSpec::Until { expr, sensitivity } => {
+                            let sat = self.eval_bool_in(pid, expr)?;
                             if !sat {
-                                let sens = {
-                                    let mut s = Vec::new();
-                                    expr.collect_signals(&mut s);
-                                    s
-                                };
                                 self.register_wait(
                                     pid,
-                                    WaitKind::Until(expr.clone()),
-                                    &sens,
+                                    WaitKind::Until(Arc::clone(expr)),
+                                    sensitivity,
+                                );
+                                return Ok(());
+                            }
+                        }
+                        WaitSpec::UntilSignalIs { signal, value } => {
+                            if self.signals[signal.index()] != *value {
+                                self.register_wait(
+                                    pid,
+                                    WaitKind::SignalIs(signal.index(), value.clone()),
+                                    std::slice::from_ref(signal),
                                 );
                                 return Ok(());
                             }
@@ -624,11 +814,7 @@ impl<'a> Simulator<'a> {
                 } => {
                     let data_v = self.eval_in(pid, data)?;
                     let addr_v = match addr {
-                        Some(a) => Some(
-                            self.eval_in(pid, a)?
-                                .as_i64()
-                                .map_err(|e| SimError::eval(e.to_string()))?,
-                        ),
+                        Some(a) => Some(self.eval_i64_in(pid, a)?),
                         None => None,
                     };
                     self.channel_write(*channel, addr_v, data_v)?;
@@ -646,11 +832,7 @@ impl<'a> Simulator<'a> {
                     cost,
                 } => {
                     let addr_v = match addr {
-                        Some(a) => Some(
-                            self.eval_in(pid, a)?
-                                .as_i64()
-                                .map_err(|e| SimError::eval(e.to_string()))?,
-                        ),
+                        Some(a) => Some(self.eval_i64_in(pid, a)?),
                         None => None,
                     };
                     let v = self.channel_read(*channel, addr_v)?;
@@ -663,10 +845,7 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 Instr::Assert { cond, note } => {
-                    let ok = self
-                        .eval_in(pid, cond)?
-                        .as_bool()
-                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    let ok = self.eval_bool_in(pid, cond)?;
                     if !ok {
                         return Err(SimError::AssertionFailed {
                             behavior: self.system.behaviors
@@ -777,23 +956,26 @@ impl<'a> Simulator<'a> {
         addr: Option<i64>,
         data: Value,
     ) -> Result<(), SimError> {
-        let ch = self.system.channel(channel);
+        // Borrow the type through the `'a` system reference instead of
+        // cloning it (array types heap-allocate their element box).
+        let system: &'a System = self.system;
+        let ch = system.channel(channel);
         let var_idx = ch.variable.index();
-        let ty = self.system.variables[var_idx].ty.clone();
+        let ty = &system.variables[var_idx].ty;
         match addr {
             Some(i) => {
                 let i = usize::try_from(i)
                     .map_err(|_| SimError::eval(format!("negative channel address {i}")))?;
-                let elem_ty = match &ty {
-                    Ty::Array { elem, .. } => (**elem).clone(),
-                    other => other.clone(),
+                let elem_ty = match ty {
+                    Ty::Array { elem, .. } => &**elem,
+                    other => other,
                 };
                 match &mut self.vars[var_idx] {
                     Value::Array(items) => {
                         let slot = items.get_mut(i).ok_or_else(|| {
                             SimError::eval(format!("channel address {i} out of range"))
                         })?;
-                        *slot = coerce(data, &elem_ty);
+                        *slot = coerce(data, elem_ty);
                     }
                     _ => {
                         return Err(SimError::eval(
@@ -802,7 +984,7 @@ impl<'a> Simulator<'a> {
                     }
                 }
             }
-            None => self.vars[var_idx] = coerce(data, &ty),
+            None => self.vars[var_idx] = coerce(data, ty),
         }
         Ok(())
     }
@@ -868,6 +1050,8 @@ impl<'a> Simulator<'a> {
             total_deltas: self.total_deltas,
             total_instrs: self.total_instrs,
             assertions_checked: self.assertions_checked,
+            heap_peak: self.heap_peak,
+            time_steps: self.time_steps,
         }
     }
 }

@@ -59,5 +59,5 @@ pub mod vcd;
 pub use config::SimConfig;
 pub use error::SimError;
 pub use kernel::Simulator;
-pub use program::{Instr, Program};
+pub use program::{Instr, Program, WaitSpec};
 pub use report::{SimReport, TraceEvent};

@@ -1,5 +1,7 @@
 //! Per-process runtime state: frames, statuses, resolved places.
 
+use std::sync::Arc;
+
 use ifsyn_spec::{Expr, Ty, Value};
 
 /// Which code block a frame executes.
@@ -81,7 +83,13 @@ pub(crate) enum WaitKind {
     /// `wait on ...` — any event on a registered signal resumes.
     Signals,
     /// `wait until <expr>` — an event must also make the condition true.
-    Until(Expr),
+    ///
+    /// The expression is shared with the compiled instruction stream, so
+    /// suspending costs one reference count, not an expression clone.
+    Until(Arc<Expr>),
+    /// `wait until <signal> = <const>` — resumable by a single stored
+    /// value compare, no expression evaluation (signal index, value).
+    SignalIs(usize, Value),
 }
 
 /// Scheduler status of a process.

@@ -4,9 +4,60 @@
 //! init/test/increment triples with the (once-evaluated) bound kept on a
 //! per-frame loop stack. Every behavior and procedure compiles to one
 //! [`Code`] block ending in [`Instr::Ret`].
+//!
+//! Lowering also performs the compile-time work that keeps the
+//! interpreter's hot path allocation-free:
+//!
+//! * **constant folding** — literal subtrees (`Unary`/`Binary`/slices/
+//!   resizes over constants) evaluate once here and embed as
+//!   [`Expr::Const`]; at run time the evaluator then returns those
+//!   constants *by reference* (they are interned in the instruction
+//!   stream), so a folded operand costs zero allocations per execution;
+//! * **wait compilation** — `wait until` conditions lower to a
+//!   [`WaitSpec::Until`] carrying the folded expression behind an `Arc`
+//!   and its signal sensitivity list, both computed once instead of at
+//!   every suspension.
+
+use std::sync::Arc;
 
 use ifsyn_estimate::CostModel;
-use ifsyn_spec::{Arg, ChannelId, Expr, Place, SignalId, Stmt, System, WaitCond};
+use ifsyn_spec::{Arg, BinOp, ChannelId, Expr, Place, SignalId, Stmt, System, Ty, UnaryOp, Value, WaitCond};
+
+use crate::eval::{eval_binary, eval_unary};
+
+/// A compiled wait condition.
+///
+/// The run-time shape of [`WaitCond`]: `until` conditions carry their
+/// (constant-folded) expression behind an `Arc` so a suspending process
+/// can hold the condition without cloning the expression tree, plus the
+/// precollected list of signals the condition is sensitive to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaitSpec {
+    /// Suspend for a fixed number of cycles.
+    ForCycles(u64),
+    /// Suspend until an event on any of the listed signals.
+    OnSignals(Vec<SignalId>),
+    /// Suspend until an event makes `expr` true (level-sensitive).
+    Until {
+        /// The folded condition, shared with suspended processes.
+        expr: Arc<Expr>,
+        /// Signals appearing in `expr`, collected at compile time.
+        sensitivity: Vec<SignalId>,
+    },
+    /// Suspend until `signal` holds exactly `value` (level-sensitive).
+    ///
+    /// The compiled form of the generated-handshake idiom
+    /// `wait until sig = const` (and of `wait until sig` /
+    /// `wait until not sig` on bit signals): checking it is one stored
+    /// value compare, with no expression evaluation at all.
+    UntilSignalIs {
+        /// The watched signal.
+        signal: SignalId,
+        /// The value, pre-coerced to the signal's type so equal stored
+        /// representations mean equal logical values.
+        value: Value,
+    },
+}
 
 /// One lowered instruction.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,8 +114,8 @@ pub enum Instr {
         /// Guard instruction index.
         back: usize,
     },
-    /// Suspend on a wait condition.
-    Wait(WaitCond),
+    /// Suspend on a compiled wait condition.
+    Wait(WaitSpec),
     /// Call a procedure by index into [`Program::procedures`].
     Call {
         /// Callee index.
@@ -141,7 +192,7 @@ impl Program {
             .iter()
             .map(|b| Code {
                 name: b.name.clone(),
-                instrs: lower_block(&b.body, costs),
+                instrs: lower_block(system, &b.body, costs),
             })
             .collect();
         let procedures = system
@@ -149,7 +200,7 @@ impl Program {
             .iter()
             .map(|p| Code {
                 name: p.name.clone(),
-                instrs: lower_block(&p.body, costs),
+                instrs: lower_block(system, &p.body, costs),
             })
             .collect();
         Self {
@@ -159,19 +210,204 @@ impl Program {
     }
 }
 
-fn lower_block(body: &[Stmt], costs: &CostModel) -> Vec<Instr> {
+fn lower_block(system: &System, body: &[Stmt], costs: &CostModel) -> Vec<Instr> {
     let mut out = Vec::new();
-    lower_into(body, costs, &mut out);
+    lower_into(system, body, costs, &mut out);
     out.push(Instr::Ret);
     out
 }
 
-fn lower_into(body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
+/// Folds literal subtrees into [`Expr::Const`].
+///
+/// Folding only happens where the run-time evaluation would succeed with
+/// the same result (e.g. an out-of-range constant slice is left in place
+/// so it still fails at run time, not at compile time).
+fn fold_expr(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Const(_) | Expr::Signal(_) => expr.clone(),
+        Expr::Load(place) => Expr::Load(fold_place(place)),
+        Expr::Unary { op, arg } => {
+            let arg = fold_expr(arg);
+            if let Expr::Const(v) = &arg {
+                if let Ok(res) = eval_unary(*op, v) {
+                    return Expr::Const(res);
+                }
+            }
+            Expr::Unary {
+                op: *op,
+                arg: Box::new(arg),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let lhs = fold_expr(lhs);
+            let rhs = fold_expr(rhs);
+            if let (Expr::Const(a), Expr::Const(b)) = (&lhs, &rhs) {
+                if let Ok(res) = eval_binary(*op, a, b) {
+                    return Expr::Const(res);
+                }
+            }
+            Expr::Binary {
+                op: *op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            }
+        }
+        Expr::SliceOf { base, hi, lo } => {
+            let base = fold_expr(base);
+            if let Expr::Const(v) = &base {
+                let bits = v.to_bits();
+                if *hi >= *lo && *hi < bits.width() {
+                    return Expr::Const(ifsyn_spec::Value::Bits(bits.slice(*hi, *lo)));
+                }
+            }
+            Expr::SliceOf {
+                base: Box::new(base),
+                hi: *hi,
+                lo: *lo,
+            }
+        }
+        Expr::Resize { base, width } => {
+            let base = fold_expr(base);
+            if let Expr::Const(v) = &base {
+                return Expr::Const(ifsyn_spec::Value::Bits(v.to_bits().resized(*width)));
+            }
+            Expr::Resize {
+                base: Box::new(base),
+                width: *width,
+            }
+        }
+        Expr::DynSliceOf {
+            base,
+            offset,
+            width,
+        } => {
+            let base = fold_expr(base);
+            let offset = fold_expr(offset);
+            if let (Expr::Const(bv), Expr::Const(ov)) = (&base, &offset) {
+                if let Some(lo) = ov.as_i64().ok().and_then(|i| u32::try_from(i).ok()) {
+                    let bits = bv.to_bits();
+                    let hi = lo + width - 1;
+                    if *width > 0 && hi < bits.width() {
+                        return Expr::Const(ifsyn_spec::Value::Bits(bits.slice(hi, lo)));
+                    }
+                }
+            }
+            Expr::DynSliceOf {
+                base: Box::new(base),
+                offset: Box::new(offset),
+                width: *width,
+            }
+        }
+    }
+}
+
+/// Folds index and offset expressions inside a place.
+fn fold_place(place: &Place) -> Place {
+    match place {
+        Place::Var(_) | Place::Local(_) => place.clone(),
+        Place::Index { base, index } => Place::Index {
+            base: Box::new(fold_place(base)),
+            index: Box::new(fold_expr(index)),
+        },
+        Place::Slice { base, hi, lo } => Place::Slice {
+            base: Box::new(fold_place(base)),
+            hi: *hi,
+            lo: *lo,
+        },
+        Place::DynSlice {
+            base,
+            offset,
+            width,
+        } => Place::DynSlice {
+            base: Box::new(fold_place(base)),
+            offset: Box::new(fold_expr(offset)),
+            width: *width,
+        },
+    }
+}
+
+fn fold_arg(arg: &Arg) -> Arg {
+    match arg {
+        Arg::In(e) => Arg::In(fold_expr(e)),
+        Arg::Out(p) => Arg::Out(fold_place(p)),
+        Arg::InOut(p) => Arg::InOut(fold_place(p)),
+    }
+}
+
+fn compile_wait(system: &System, cond: &WaitCond) -> WaitSpec {
+    match cond {
+        WaitCond::ForCycles(n) => WaitSpec::ForCycles(*n),
+        WaitCond::OnSignals(signals) => WaitSpec::OnSignals(signals.clone()),
+        WaitCond::Until(expr) => {
+            let folded = fold_expr(expr);
+            if let Some(spec) = specialize_wait(system, &folded) {
+                return spec;
+            }
+            let mut sensitivity = Vec::new();
+            folded.collect_signals(&mut sensitivity);
+            WaitSpec::Until {
+                expr: Arc::new(folded),
+                sensitivity,
+            }
+        }
+    }
+}
+
+/// Recognizes the single-signal wait idioms of generated handshake code
+/// (`sig`, `not sig`, `sig = const`) and compiles them to
+/// [`WaitSpec::UntilSignalIs`].
+///
+/// Only shapes whose runtime comparison is exactly a stored-value
+/// equality are specialized; anything wider (mixed widths with nonzero
+/// truncated bits, non-literal operands) keeps the general path.
+fn specialize_wait(system: &System, expr: &Expr) -> Option<WaitSpec> {
+    let bit_signal_is = |s: &SignalId, b: bool| -> Option<WaitSpec> {
+        matches!(system.signal(*s).ty, Ty::Bit).then(|| WaitSpec::UntilSignalIs {
+            signal: *s,
+            value: Value::Bit(b),
+        })
+    };
+    match expr {
+        Expr::Signal(s) => bit_signal_is(s, true),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            arg,
+        } => match &**arg {
+            Expr::Signal(s) => bit_signal_is(s, false),
+            _ => None,
+        },
+        Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } => {
+            let (s, v) = match (&**lhs, &**rhs) {
+                (Expr::Signal(s), Expr::Const(v)) | (Expr::Const(v), Expr::Signal(s)) => (s, v),
+                _ => None?,
+            };
+            match (&system.signal(*s).ty, v) {
+                (Ty::Bit, Value::Bit(b)) => bit_signal_is(s, *b),
+                (Ty::Bits(w), Value::Bits(bv)) if bv.width() <= *w => {
+                    // Zero-extending the constant to the signal's width is
+                    // exactly the runtime resize-and-compare semantics.
+                    Some(WaitSpec::UntilSignalIs {
+                        signal: *s,
+                        value: Value::Bits(bv.resized(*w)),
+                    })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn lower_into(system: &System, body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
     for stmt in body {
         match stmt {
             Stmt::Assign { place, value, cost } => out.push(Instr::Assign {
-                place: place.clone(),
-                value: value.clone(),
+                place: fold_place(place),
+                value: fold_expr(value),
                 cost: cost.unwrap_or(costs.assign_cycles),
             }),
             Stmt::SignalAssign {
@@ -180,7 +416,7 @@ fn lower_into(body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
                 cost,
             } => out.push(Instr::SignalWrite {
                 signal: *signal,
-                value: value.clone(),
+                value: fold_expr(value),
                 cost: cost.unwrap_or(costs.signal_assign_cycles),
             }),
             Stmt::If {
@@ -190,11 +426,11 @@ fn lower_into(body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
             } => {
                 let branch_at = out.len();
                 out.push(Instr::Jump(0)); // placeholder for JumpIfNot
-                lower_into(then_body, costs, out);
+                lower_into(system, then_body, costs, out);
                 if else_body.is_empty() {
                     let end = out.len();
                     out[branch_at] = Instr::JumpIfNot {
-                        cond: cond.clone(),
+                        cond: fold_expr(cond),
                         target: end,
                     };
                 } else {
@@ -202,10 +438,10 @@ fn lower_into(body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
                     out.push(Instr::Jump(0)); // placeholder
                     let else_start = out.len();
                     out[branch_at] = Instr::JumpIfNot {
-                        cond: cond.clone(),
+                        cond: fold_expr(cond),
                         target: else_start,
                     };
-                    lower_into(else_body, costs, out);
+                    lower_into(system, else_body, costs, out);
                     let end = out.len();
                     out[jump_end_at] = Instr::Jump(end);
                 }
@@ -217,38 +453,38 @@ fn lower_into(body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
                 body,
             } => {
                 out.push(Instr::LoopInit {
-                    var: var.clone(),
-                    from: from.clone(),
-                    to: to.clone(),
+                    var: fold_place(var),
+                    from: fold_expr(from),
+                    to: fold_expr(to),
                 });
                 let test_at = out.len();
                 out.push(Instr::Jump(0)); // placeholder for LoopTest
-                lower_into(body, costs, out);
+                lower_into(system, body, costs, out);
                 out.push(Instr::LoopIncr {
-                    var: var.clone(),
+                    var: fold_place(var),
                     back: test_at,
                 });
                 let exit = out.len();
                 out[test_at] = Instr::LoopTest {
-                    var: var.clone(),
+                    var: fold_place(var),
                     exit,
                 };
             }
             Stmt::While { cond, body } => {
                 let test_at = out.len();
                 out.push(Instr::Jump(0)); // placeholder
-                lower_into(body, costs, out);
+                lower_into(system, body, costs, out);
                 out.push(Instr::Jump(test_at));
                 let exit = out.len();
                 out[test_at] = Instr::JumpIfNot {
-                    cond: cond.clone(),
+                    cond: fold_expr(cond),
                     target: exit,
                 };
             }
-            Stmt::Wait(cond) => out.push(Instr::Wait(cond.clone())),
+            Stmt::Wait(cond) => out.push(Instr::Wait(compile_wait(system, cond))),
             Stmt::Call { procedure, args } => out.push(Instr::Call {
                 procedure: procedure.index(),
-                args: args.clone(),
+                args: args.iter().map(fold_arg).collect(),
             }),
             Stmt::ChannelSend {
                 channel,
@@ -256,8 +492,8 @@ fn lower_into(body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
                 data,
             } => out.push(Instr::ChannelSend {
                 channel: *channel,
-                addr: addr.clone(),
-                data: data.clone(),
+                addr: addr.as_ref().map(fold_expr),
+                data: fold_expr(data),
                 cost: costs.abstract_channel_cycles,
             }),
             Stmt::ChannelReceive {
@@ -266,13 +502,13 @@ fn lower_into(body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
                 target,
             } => out.push(Instr::ChannelReceive {
                 channel: *channel,
-                addr: addr.clone(),
-                target: target.clone(),
+                addr: addr.as_ref().map(fold_expr),
+                target: fold_place(target),
                 cost: costs.abstract_channel_cycles,
             }),
             Stmt::Compute { cycles, .. } => out.push(Instr::Consume { cycles: *cycles }),
             Stmt::Assert { cond, note } => out.push(Instr::Assert {
-                cond: cond.clone(),
+                cond: fold_expr(cond),
                 note: note.clone(),
             }),
             Stmt::Return => out.push(Instr::Ret),
@@ -383,6 +619,126 @@ mod tests {
         let x = VarId::new(0);
         let instrs = compile_body(vec![assign_cost(var(x), int_const(1, 16), 9)]);
         assert!(matches!(instrs[0], Instr::Assign { cost: 9, .. }));
+    }
+
+    #[test]
+    fn constant_subtrees_fold_to_consts() {
+        let x = VarId::new(0);
+        let instrs = compile_body(vec![assign(
+            var(x),
+            add(int_const(2, 16), int_const(3, 16)),
+        )]);
+        match &instrs[0] {
+            Instr::Assign {
+                value: Expr::Const(v),
+                ..
+            } => assert_eq!(v.as_i64().unwrap(), 5),
+            other => panic!("expected folded const, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_constant_subtrees_survive_folding() {
+        let x = VarId::new(0);
+        let instrs = compile_body(vec![assign(
+            var(x),
+            add(load(var(x)), int_const(3, 16)),
+        )]);
+        assert!(matches!(
+            &instrs[0],
+            Instr::Assign {
+                value: Expr::Binary { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_const_slice_is_left_for_runtime() {
+        let x = VarId::new(0);
+        let bad = Expr::SliceOf {
+            base: Box::new(bits_const(0b11, 2)),
+            hi: 5,
+            lo: 0,
+        };
+        let instrs = compile_body(vec![assign(var(x), bad)]);
+        assert!(matches!(
+            &instrs[0],
+            Instr::Assign {
+                value: Expr::SliceOf { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wait_until_signal_eq_const_specializes_after_folding() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let s = sys.add_signal("start", Ty::Bit);
+        // `not(false)` folds to the constant `true`, exposing the
+        // signal-vs-const shape to the wait specializer.
+        sys.behavior_mut(b).body =
+            vec![wait_until(eq(signal(s), not(bit_const(false))))];
+        let instrs = Program::compile(&sys, &CostModel::new()).behaviors[0]
+            .instrs
+            .clone();
+        match &instrs[0] {
+            Instr::Wait(WaitSpec::UntilSignalIs { signal, value }) => {
+                assert_eq!(*signal, s);
+                assert_eq!(*value, Value::Bit(true));
+            }
+            other => panic!("expected specialized wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_until_bits_const_is_resized_to_signal_width() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let s = sys.add_signal("addr", Ty::Bits(8));
+        sys.behavior_mut(b).body =
+            vec![wait_until(eq(signal(s), bits_const(0b101, 3)))];
+        let instrs = Program::compile(&sys, &CostModel::new()).behaviors[0]
+            .instrs
+            .clone();
+        match &instrs[0] {
+            Instr::Wait(WaitSpec::UntilSignalIs { signal, value }) => {
+                assert_eq!(*signal, s);
+                // Pre-resized so the runtime compare needs no coercion.
+                match value {
+                    Value::Bits(bv) => {
+                        assert_eq!(bv.width(), 8);
+                        assert_eq!(bv.to_u64(), 0b101);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("expected specialized wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_until_general_expr_keeps_eval_form_and_sensitivity() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let s = sys.add_signal("start", Ty::Bit);
+        let t = sys.add_signal("stop", Ty::Bit);
+        // Signal-vs-signal comparison cannot specialize; it must keep the
+        // evaluated form with both signals in the sensitivity list.
+        sys.behavior_mut(b).body = vec![wait_until(eq(signal(s), signal(t)))];
+        let instrs = Program::compile(&sys, &CostModel::new()).behaviors[0]
+            .instrs
+            .clone();
+        match &instrs[0] {
+            Instr::Wait(WaitSpec::Until { sensitivity, .. }) => {
+                assert_eq!(sensitivity, &[s, t]);
+            }
+            other => panic!("expected general wait, got {other:?}"),
+        }
     }
 
     #[test]

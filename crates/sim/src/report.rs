@@ -44,6 +44,8 @@ pub struct SimReport {
     pub(crate) total_deltas: u64,
     pub(crate) total_instrs: u64,
     pub(crate) assertions_checked: u64,
+    pub(crate) heap_peak: usize,
+    pub(crate) time_steps: u64,
 }
 
 impl SimReport {
@@ -65,6 +67,27 @@ impl SimReport {
     /// Number of assertions that were reached and held.
     pub fn assertions_checked(&self) -> u64 {
         self.assertions_checked
+    }
+
+    /// Peak combined size of the scheduler's event heaps (timed writes
+    /// plus sleeping processes) over the whole run.
+    pub fn heap_peak(&self) -> usize {
+        self.heap_peak
+    }
+
+    /// Number of distinct simulation instants the scheduler visited
+    /// (the initial instant plus every time advance).
+    pub fn time_steps(&self) -> u64 {
+        self.time_steps
+    }
+
+    /// Average delta cycles per visited instant; 0 for an empty run.
+    pub fn deltas_per_step(&self) -> f64 {
+        if self.time_steps == 0 {
+            0.0
+        } else {
+            self.total_deltas as f64 / self.time_steps as f64
+        }
     }
 
     /// Finish time of a behavior: `Some(t)` once a non-repeating behavior

@@ -2,11 +2,10 @@
 //! randomly generated straight-line / structured programs (the shared
 //! cost model contract behind Fig. 7).
 
-use proptest::prelude::*;
-
 use ifsyn_estimate::{ChannelTimings, PerformanceEstimator};
 use ifsyn_sim::Simulator;
 use ifsyn_spec::dsl::*;
+use ifsyn_spec::rng::SplitMix64;
 use ifsyn_spec::{Stmt, System, Ty, VarId};
 
 /// A recipe for one statement.
@@ -19,24 +18,27 @@ enum Piece {
     IfTrue { then_computes: u8, else_computes: u8 },
 }
 
-fn piece() -> impl Strategy<Value = Piece> {
-    prop_oneof![
-        (0u8..5).prop_map(Piece::Assign),
-        (0u8..20).prop_map(Piece::Compute),
-        (0u8..10).prop_map(Piece::WaitFor),
-        (1u8..6, 0u8..5).prop_map(|(iters, body_computes)| Piece::Loop {
-            iters,
-            body_computes,
-        }),
-        (0u8..5, 0u8..5).prop_map(|(t, e)| Piece::IfTrue {
-            then_computes: t,
-            else_computes: e,
-        }),
-    ]
+fn piece(rng: &mut SplitMix64) -> Piece {
+    match rng.below(5) {
+        0 => Piece::Assign(rng.range_u32(0, 4) as u8),
+        1 => Piece::Compute(rng.range_u32(0, 19) as u8),
+        2 => Piece::WaitFor(rng.range_u32(0, 9) as u8),
+        3 => Piece::Loop {
+            iters: rng.range_u32(1, 5) as u8,
+            body_computes: rng.range_u32(0, 4) as u8,
+        },
+        _ => Piece::IfTrue {
+            then_computes: rng.range_u32(0, 4) as u8,
+            else_computes: rng.range_u32(0, 4) as u8,
+        },
+    }
 }
 
-fn lower(pieces: &[Piece], sys: &mut System, x: VarId, i: VarId) -> Vec<Stmt> {
-    let _ = sys;
+fn pieces(rng: &mut SplitMix64, max_len: u64) -> Vec<Piece> {
+    (0..rng.below(max_len)).map(|_| piece(rng)).collect()
+}
+
+fn lower(pieces: &[Piece], x: VarId, i: VarId) -> Vec<Stmt> {
     let mut body = Vec::new();
     for p in pieces {
         match p {
@@ -77,7 +79,7 @@ fn exact_and_estimate(pieces: &[Piece]) -> (u64, u64, bool) {
     let b = sys.add_behavior("P", m);
     let x = sys.add_variable("x", Ty::Int(16), b);
     let i = sys.add_variable("i", Ty::Int(16), b);
-    let body = lower(pieces, &mut sys, x, i);
+    let body = lower(pieces, x, i);
     sys.behavior_mut(b).body = body;
     let est = PerformanceEstimator::new()
         .estimate(&sys, b, &ChannelTimings::new())
@@ -93,28 +95,28 @@ fn exact_and_estimate(pieces: &[Piece]) -> (u64, u64, bool) {
     (measured, est.cycles, has_divergent_branch)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn estimator_matches_or_upper_bounds_simulation(
-        pieces in prop::collection::vec(piece(), 0..12),
-    ) {
-        let (measured, estimated, divergent) = exact_and_estimate(&pieces);
+#[test]
+fn estimator_matches_or_upper_bounds_simulation() {
+    let mut rng = SplitMix64::new(0x51_71);
+    for _ in 0..128 {
+        let ps = pieces(&mut rng, 12);
+        let (measured, estimated, divergent) = exact_and_estimate(&ps);
         if divergent {
             // Worst-case branch pricing: the estimate is an upper bound.
-            prop_assert!(estimated >= measured, "{estimated} < {measured}");
+            assert!(estimated >= measured, "{estimated} < {measured}: {ps:?}");
         } else {
-            prop_assert_eq!(estimated, measured);
+            assert_eq!(estimated, measured, "{ps:?}");
         }
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(
-        pieces in prop::collection::vec(piece(), 0..8),
-    ) {
-        let (a, _, _) = exact_and_estimate(&pieces);
-        let (b, _, _) = exact_and_estimate(&pieces);
-        prop_assert_eq!(a, b);
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SplitMix64::new(0x52_72);
+    for _ in 0..32 {
+        let ps = pieces(&mut rng, 8);
+        let (a, _, _) = exact_and_estimate(&ps);
+        let (b, _, _) = exact_and_estimate(&ps);
+        assert_eq!(a, b, "{ps:?}");
     }
 }

@@ -688,3 +688,27 @@ fn out_of_range_dynamic_slice_is_an_eval_error() {
     let err = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap_err();
     assert!(matches!(err, SimError::Eval { .. }), "{err}");
 }
+
+#[test]
+fn report_carries_scheduler_stats() {
+    let (mut sys, m) = shell();
+    let b = sys.add_behavior("P", m);
+    let s = sys.add_signal("s", Ty::Bits(8));
+    let i = sys.add_variable("i", Ty::Int(16), b);
+    sys.behavior_mut(b).body = vec![for_loop(
+        var(i),
+        int_const(0, 16),
+        int_const(9, 16),
+        vec![
+            drive_cost(s, resize(load(var(i)), 8), 1),
+            wait_cycles(2),
+        ],
+    )];
+    let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
+    // Timed writes and sleeps both pass through the event heaps, so a run
+    // that uses them must have observed a non-empty heap at some point.
+    assert!(report.heap_peak() >= 1, "heap_peak = {}", report.heap_peak());
+    // Ten loop iterations each advance time at least twice.
+    assert!(report.time_steps() >= 20, "time_steps = {}", report.time_steps());
+    assert!(report.deltas_per_step() > 0.0);
+}

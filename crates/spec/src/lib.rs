@@ -12,6 +12,19 @@
 //! channel operations ([`Stmt::ChannelSend`] / [`Stmt::ChannelReceive`]);
 //! interface synthesis later refines those into bus signal wiggling.
 //!
+//! ## Value representation
+//!
+//! [`BitVec`] — the workhorse value type of the simulator — packs its bits
+//! into 64-bit limbs, least-significant limb first, with the logical width
+//! tracked separately from storage. Vectors of 64 bits or fewer live in a
+//! single inline limb (no heap allocation); wider vectors use exactly
+//! `ceil(width / 64)` heap limbs. Two invariants keep the representation
+//! canonical: the limb count is exactly `max(1, ceil(width / 64))`, and
+//! every storage bit at position `>= width` is zero (the top limb is
+//! masked). Canonical form means the *derived* `PartialEq`/`Ord`/`Hash`
+//! compare logical values, and equal-width equality is a plain word
+//! compare — the property the simulation kernel's hot path relies on.
+//!
 //! ## Example
 //!
 //! Build a tiny system with one behavior writing a 16-bit variable:
@@ -43,6 +56,7 @@ mod value;
 
 pub mod dsl;
 pub mod lint;
+pub mod rng;
 pub mod visit;
 
 pub use behavior::{Behavior, VarDecl};

@@ -11,6 +11,21 @@ use crate::types::Ty;
 /// into one `BitVec` and sliced into bus words by the generated protocol
 /// procedures.
 ///
+/// # Representation
+///
+/// Bits are packed into 64-bit limbs, least-significant limb first; the
+/// logical width is tracked separately from the storage. Vectors of 64
+/// bits or fewer live in a single inline limb (no heap allocation —
+/// every bus word and every message under 65 bits stays on the stack);
+/// wider vectors use a `Vec<u64>` with exactly `ceil(width / 64)` limbs.
+///
+/// Two invariants keep the representation canonical, so the derived
+/// `PartialEq`/`Hash` compare logical values:
+///
+/// * storage kind is determined by width (`width <= 64` ⇔ inline);
+/// * all storage bits at positions `>= width` are zero (the top limb is
+///   masked after every operation).
+///
 /// # Example
 ///
 /// ```
@@ -21,17 +36,135 @@ use crate::types::Ty;
 /// assert_eq!(v.to_u64(), 0b1010);
 /// assert_eq!(v.to_string(), "1010");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BitVec {
-    /// Bits, index 0 is the least significant bit.
-    bits: Vec<bool>,
+    /// Logical width in bits; storage may round up to a limb boundary.
+    width: u32,
+    /// Packed limbs, index 0 holding bits 0..=63.
+    limbs: Limbs,
+}
+
+/// Limb storage: one inline limb for `width <= 64`, heap limbs above.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Limbs {
+    /// The single limb of a vector no wider than 64 bits.
+    Inline(u64),
+    /// `ceil(width / 64)` limbs of a wider vector.
+    Heap(Vec<u64>),
+}
+
+/// Limbs needed to hold `width` bits.
+const fn limb_count(width: u32) -> usize {
+    width.div_ceil(64) as usize
+}
+
+/// Mask selecting the valid bits of a single-limb vector of `width` bits.
+const fn low_mask(width: u32) -> u64 {
+    if width == 0 {
+        0
+    } else if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Mask selecting the valid bits of the topmost limb of a `width`-bit
+/// vector (all ones when the width is a limb multiple).
+const fn top_mask(width: u32) -> u64 {
+    let r = width % 64;
+    if r == 0 { u64::MAX } else { (1u64 << r) - 1 }
 }
 
 impl BitVec {
+    /// Builds the canonical vector for `width` from a limb producer.
+    ///
+    /// `get(i)` must return limb `i` of the (unmasked) source; the top
+    /// limb is masked here.
+    fn build(width: u32, get: impl Fn(usize) -> u64) -> Self {
+        if width <= 64 {
+            Self {
+                width,
+                limbs: Limbs::Inline(get(0) & low_mask(width)),
+            }
+        } else {
+            let n = limb_count(width);
+            let mut v: Vec<u64> = (0..n).map(get).collect();
+            v[n - 1] &= top_mask(width);
+            Self {
+                width,
+                limbs: Limbs::Heap(v),
+            }
+        }
+    }
+
+    /// Read-only view of the limb storage.
+    ///
+    /// Inline vectors expose a one-limb slice even at width 0; bits at
+    /// positions `>= width` are guaranteed zero.
+    fn words(&self) -> &[u64] {
+        match &self.limbs {
+            Limbs::Inline(w) => std::slice::from_ref(w),
+            Limbs::Heap(v) => v,
+        }
+    }
+
+    /// Mutable view of the limb storage; callers must re-establish the
+    /// masked-top-limb invariant.
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.limbs {
+            Limbs::Inline(w) => std::slice::from_mut(w),
+            Limbs::Heap(v) => v,
+        }
+    }
+
+    /// Extracts `width` bits starting at bit `lo` of `src`, reading
+    /// zeros past the end of `src`.
+    fn extract(src: &[u64], lo: u32, width: u32) -> Self {
+        let lw = (lo / 64) as usize;
+        let off = lo % 64;
+        let get = |i: usize| src.get(i).copied().unwrap_or(0);
+        Self::build(width, |i| {
+            let mut w = get(lw + i) >> off;
+            if off > 0 {
+                w |= get(lw + i + 1) << (64 - off);
+            }
+            w
+        })
+    }
+
+    /// Overwrites bits `offset..offset + src_width` of `dst` with the
+    /// low `src_width` bits of `src` (whose top limb must be masked).
+    fn write_bits(dst: &mut [u64], src: &[u64], src_width: u32, offset: u32) {
+        let nw = limb_count(src_width);
+        let off_word = (offset / 64) as usize;
+        let off_bit = offset % 64;
+        for i in 0..nw {
+            let m = if i + 1 == nw { top_mask(src_width) } else { u64::MAX };
+            let w = src[i];
+            dst[off_word + i] = (dst[off_word + i] & !(m << off_bit)) | (w << off_bit);
+            if off_bit > 0 {
+                let mh = m >> (64 - off_bit);
+                if mh != 0 {
+                    let k = off_word + i + 1;
+                    dst[k] = (dst[k] & !mh) | (w >> (64 - off_bit));
+                }
+            }
+        }
+    }
+
     /// Creates an all-zero vector of `width` bits.
     pub fn zeros(width: u32) -> Self {
-        Self {
-            bits: vec![false; width as usize],
+        if width <= 64 {
+            Self {
+                width,
+                limbs: Limbs::Inline(0),
+            }
+        } else {
+            Self {
+                width,
+                limbs: Limbs::Heap(vec![0; limb_count(width)]),
+            }
         }
     }
 
@@ -39,28 +172,44 @@ impl BitVec {
     ///
     /// Bits of `value` above `width` are discarded.
     pub fn from_u64(value: u64, width: u32) -> Self {
-        let bits = (0..width.min(64))
-            .map(|i| (value >> i) & 1 == 1)
-            .chain(std::iter::repeat_n(false, width.saturating_sub(64) as usize))
-            .collect();
-        Self { bits }
+        Self::build(width, |i| if i == 0 { value } else { 0 })
     }
 
     /// Creates a vector from bits given least-significant first.
     pub fn from_bits_lsb_first<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        Self {
-            bits: bits.into_iter().collect(),
+        let mut words = vec![0u64];
+        let mut n: u32 = 0;
+        for b in bits {
+            let i = (n / 64) as usize;
+            if i == words.len() {
+                words.push(0);
+            }
+            if b {
+                words[i] |= 1 << (n % 64);
+            }
+            n += 1;
+        }
+        if n <= 64 {
+            Self {
+                width: n,
+                limbs: Limbs::Inline(words[0]),
+            }
+        } else {
+            Self {
+                width: n,
+                limbs: Limbs::Heap(words),
+            }
         }
     }
 
     /// Returns the number of bits.
     pub fn width(&self) -> u32 {
-        self.bits.len() as u32
+        self.width
     }
 
     /// Returns `true` if the vector has zero width.
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        self.width == 0
     }
 
     /// Returns bit `index` (0 = least significant).
@@ -69,7 +218,12 @@ impl BitVec {
     ///
     /// Panics if `index >= self.width()`.
     pub fn bit(&self, index: u32) -> bool {
-        self.bits[index as usize]
+        assert!(
+            index < self.width,
+            "bit index {index} out of range for width {}",
+            self.width
+        );
+        (self.words()[(index / 64) as usize] >> (index % 64)) & 1 == 1
     }
 
     /// Sets bit `index` (0 = least significant).
@@ -78,7 +232,18 @@ impl BitVec {
     ///
     /// Panics if `index >= self.width()`.
     pub fn set_bit(&mut self, index: u32, value: bool) {
-        self.bits[index as usize] = value;
+        assert!(
+            index < self.width,
+            "bit index {index} out of range for width {}",
+            self.width
+        );
+        let word = &mut self.words_mut()[(index / 64) as usize];
+        let mask = 1u64 << (index % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
     }
 
     /// Interprets the low 64 bits as an unsigned integer.
@@ -86,11 +251,15 @@ impl BitVec {
     /// Bits beyond the 64th are ignored; use [`BitVec::width`] to detect
     /// wide vectors first if exactness matters.
     pub fn to_u64(&self) -> u64 {
-        self.bits
-            .iter()
-            .take(64)
-            .enumerate()
-            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+        self.words()[0]
+    }
+
+    /// Read-only view of the packed limbs, least-significant limb first.
+    ///
+    /// The slice has exactly `ceil(width / 64)` entries (empty at width
+    /// 0) and bits at positions `>= width` in the top limb are zero.
+    pub fn as_limbs(&self) -> &[u64] {
+        &self.words()[..limb_count(self.width)]
     }
 
     /// Returns bits `lo..=hi` as a new vector (`hi downto lo` in VHDL terms).
@@ -105,9 +274,7 @@ impl BitVec {
             "slice hi ({hi}) out of range for width {}",
             self.width()
         );
-        Self {
-            bits: self.bits[lo as usize..=hi as usize].to_vec(),
-        }
+        Self::extract(self.words(), lo, hi - lo + 1)
     }
 
     /// Overwrites bits `lo..=hi` with `value`.
@@ -120,39 +287,172 @@ impl BitVec {
         assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
         assert!(hi < self.width(), "slice out of range");
         assert_eq!(value.width(), hi - lo + 1, "slice width mismatch");
-        for i in 0..value.width() {
-            self.bits[(lo + i) as usize] = value.bit(i);
-        }
+        Self::write_bits(self.words_mut(), value.words(), value.width, lo);
     }
 
     /// Concatenates `high` above `self`: result = `high & self` in VHDL
     /// terms (`self` keeps the low bit positions).
     pub fn concat(&self, high: &BitVec) -> Self {
-        let mut bits = self.bits.clone();
-        bits.extend_from_slice(&high.bits);
-        Self { bits }
+        if high.width == 0 {
+            return self.clone();
+        }
+        if self.width == 0 {
+            return high.clone();
+        }
+        let width = self.width + high.width;
+        if width <= 64 {
+            // self.width <= 63 here since high is non-empty.
+            return Self {
+                width,
+                limbs: Limbs::Inline(self.to_u64() | (high.to_u64() << self.width)),
+            };
+        }
+        let mut v = vec![0u64; limb_count(width)];
+        v[..limb_count(self.width)].copy_from_slice(self.as_limbs());
+        Self::write_bits(&mut v, high.words(), high.width, self.width);
+        Self {
+            width,
+            limbs: Limbs::Heap(v),
+        }
     }
 
     /// Returns a copy zero-extended or truncated to `width` bits.
     pub fn resized(&self, width: u32) -> Self {
-        let mut bits = self.bits.clone();
-        bits.resize(width as usize, false);
-        Self { bits }
+        if width == self.width {
+            return self.clone();
+        }
+        Self::extract(self.words(), 0, width)
     }
 
     /// Iterates over bits, least significant first.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
-        self.bits.iter().copied()
+        let words = self.words();
+        (0..self.width).map(move |i| (words[(i / 64) as usize] >> (i % 64)) & 1 == 1)
+    }
+
+    /// Limb-wise binary operation, zero-extending the narrower operand
+    /// to `max(widths)`.
+    fn zip_words(&self, other: &BitVec, f: impl Fn(u64, u64) -> u64) -> Self {
+        let a = self.words();
+        let b = other.words();
+        let get = |s: &[u64], i: usize| s.get(i).copied().unwrap_or(0);
+        Self::build(self.width.max(other.width), |i| f(get(a, i), get(b, i)))
+    }
+
+    /// Bitwise AND; the narrower operand is zero-extended.
+    pub fn and(&self, other: &BitVec) -> Self {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR; the narrower operand is zero-extended.
+    pub fn or(&self, other: &BitVec) -> Self {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR; the narrower operand is zero-extended.
+    pub fn xor(&self, other: &BitVec) -> Self {
+        self.zip_words(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise complement within the vector's own width.
+    pub fn complement(&self) -> Self {
+        let w = self.words();
+        Self::build(self.width, |i| !w[i.min(w.len() - 1)])
+    }
+
+    /// Modular sum at `max(widths)` bits; the narrower operand is
+    /// zero-extended and the carry out of the top bit is discarded.
+    pub fn wrapping_add(&self, other: &BitVec) -> Self {
+        let a = self.words();
+        let b = other.words();
+        let get = |s: &[u64], i: usize| s.get(i).copied().unwrap_or(0);
+        let width = self.width.max(other.width);
+        if width <= 64 {
+            return Self {
+                width,
+                limbs: Limbs::Inline(get(a, 0).wrapping_add(get(b, 0)) & low_mask(width)),
+            };
+        }
+        let n = limb_count(width);
+        let mut v = vec![0u64; n];
+        let mut carry = 0u64;
+        for (i, out) in v.iter_mut().enumerate() {
+            let (s1, c1) = get(a, i).overflowing_add(get(b, i));
+            let (s2, c2) = s1.overflowing_add(carry);
+            *out = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        v[n - 1] &= top_mask(width);
+        Self {
+            width,
+            limbs: Limbs::Heap(v),
+        }
+    }
+
+    /// Modular difference (`self - other`) at `max(widths)` bits; the
+    /// narrower operand is zero-extended and the borrow out of the top
+    /// bit is discarded (two's-complement wraparound).
+    pub fn wrapping_sub(&self, other: &BitVec) -> Self {
+        let a = self.words();
+        let b = other.words();
+        let get = |s: &[u64], i: usize| s.get(i).copied().unwrap_or(0);
+        let width = self.width.max(other.width);
+        if width <= 64 {
+            return Self {
+                width,
+                limbs: Limbs::Inline(get(a, 0).wrapping_sub(get(b, 0)) & low_mask(width)),
+            };
+        }
+        let n = limb_count(width);
+        let mut v = vec![0u64; n];
+        let mut borrow = 0u64;
+        for (i, out) in v.iter_mut().enumerate() {
+            let (d1, b1) = get(a, i).overflowing_sub(get(b, i));
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *out = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        v[n - 1] &= top_mask(width);
+        Self {
+            width,
+            limbs: Limbs::Heap(v),
+        }
+    }
+
+    /// Unsigned comparison of the numeric values, limb at a time from
+    /// the top; widths may differ (the narrower operand zero-extends).
+    pub fn cmp_unsigned(&self, other: &BitVec) -> std::cmp::Ordering {
+        let a = self.as_limbs();
+        let b = other.as_limbs();
+        let get = |s: &[u64], i: usize| s.get(i).copied().unwrap_or(0);
+        for i in (0..a.len().max(b.len())).rev() {
+            match get(a, i).cmp(&get(b, i)) {
+                std::cmp::Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl Default for BitVec {
+    fn default() -> Self {
+        Self {
+            width: 0,
+            limbs: Limbs::Inline(0),
+        }
     }
 }
 
 impl fmt::Display for BitVec {
     /// Formats most-significant bit first, VHDL literal style.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.bits.is_empty() {
+        if self.width == 0 {
             return write!(f, "\"\"");
         }
-        for &b in self.bits.iter().rev() {
+        let words = self.words();
+        for i in (0..self.width).rev() {
+            let b = (words[(i / 64) as usize] >> (i % 64)) & 1 == 1;
             write!(f, "{}", if b { '1' } else { '0' })?;
         }
         Ok(())
@@ -167,19 +467,21 @@ impl fmt::Binary for BitVec {
 
 impl fmt::LowerHex for BitVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut nibbles = Vec::new();
-        let mut i = 0;
-        while i < self.bits.len() {
-            let mut n = 0u8;
-            for j in 0..4 {
-                if i + j < self.bits.len() && self.bits[i + j] {
-                    n |= 1 << j;
+        let words = self.words();
+        for k in (0..self.width.div_ceil(4)).rev() {
+            let lo = k * 4;
+            let mut n = (words[(lo / 64) as usize] >> (lo % 64)) & 0xf;
+            // A nibble straddling a limb boundary picks up its high bits
+            // from the next limb; bits past the width read as zero.
+            let straddle = 64 - lo % 64;
+            if straddle < 4 {
+                if let Some(&next) = words.get((lo / 64) as usize + 1) {
+                    n |= (next << straddle) & 0xf;
                 }
             }
-            nibbles.push(n);
-            i += 4;
-        }
-        for n in nibbles.iter().rev() {
+            if lo + 4 > self.width {
+                n &= low_mask(self.width - lo);
+            }
             write!(f, "{n:x}")?;
         }
         Ok(())
@@ -188,7 +490,10 @@ impl fmt::LowerHex for BitVec {
 
 impl From<bool> for BitVec {
     fn from(b: bool) -> Self {
-        Self { bits: vec![b] }
+        Self {
+            width: 1,
+            limbs: Limbs::Inline(u64::from(b)),
+        }
     }
 }
 
@@ -443,6 +748,54 @@ mod tests {
         assert_eq!(v.width(), 70);
         assert!(v.to_string().ends_with('1'));
         assert_eq!(v.to_u64(), 1);
+    }
+
+    #[test]
+    fn bitvec_limbs_are_canonical() {
+        assert_eq!(BitVec::zeros(0).as_limbs(), &[] as &[u64]);
+        assert_eq!(BitVec::from_u64(5, 3).as_limbs(), &[5]);
+        let wide = BitVec::from_u64(u64::MAX, 65);
+        assert_eq!(wide.as_limbs(), &[u64::MAX, 0]);
+        // Top limb stays masked after mutation at the boundary.
+        let mut v = BitVec::zeros(65);
+        v.set_bit(64, true);
+        assert_eq!(v.as_limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn bitvec_logic_ops_zero_extend() {
+        let a = BitVec::from_u64(0b1100, 4);
+        let b = BitVec::from_u64(0b10, 2);
+        assert_eq!(a.and(&b).to_u64(), 0b0000);
+        assert_eq!(a.or(&b).to_u64(), 0b1110);
+        assert_eq!(a.xor(&b).to_u64(), 0b1110);
+        assert_eq!(a.and(&b).width(), 4);
+        assert_eq!(a.complement().to_u64(), 0b0011);
+    }
+
+    #[test]
+    fn bitvec_add_sub_wrap_at_width() {
+        let a = BitVec::from_u64(0b111, 3);
+        let b = BitVec::from_u64(0b001, 3);
+        assert_eq!(a.wrapping_add(&b).to_u64(), 0);
+        assert_eq!(b.wrapping_sub(&a).to_u64(), 0b010);
+        // Carry propagates across the limb boundary.
+        let lo = BitVec::from_u64(u64::MAX, 65);
+        let one = BitVec::from_u64(1, 65);
+        assert_eq!(lo.wrapping_add(&one).as_limbs(), &[0, 1]);
+        assert_eq!(BitVec::zeros(65).wrapping_sub(&one).as_limbs(), &[u64::MAX, 1]);
+    }
+
+    #[test]
+    fn bitvec_cmp_unsigned_across_widths() {
+        use std::cmp::Ordering;
+        let small = BitVec::from_u64(7, 8);
+        let wide = BitVec::from_u64(7, 128);
+        assert_eq!(small.cmp_unsigned(&wide), Ordering::Equal);
+        let mut big = BitVec::zeros(128);
+        big.set_bit(100, true);
+        assert_eq!(small.cmp_unsigned(&big), Ordering::Less);
+        assert_eq!(big.cmp_unsigned(&small), Ordering::Greater);
     }
 
     #[test]

@@ -4,11 +4,10 @@
 //! sizes, access patterns, bus width), the refined system's final
 //! variable state must equal the abstract (ideal-channel) system's.
 
-use proptest::prelude::*;
-
 use interface_synthesis::core::{BusDesign, ProtocolGenerator, ProtocolKind};
 use interface_synthesis::sim::Simulator;
 use interface_synthesis::spec::dsl::*;
+use interface_synthesis::spec::rng::SplitMix64;
 use interface_synthesis::spec::{
     BitVec, Channel, ChannelDirection, ChannelId, System, Ty, Value, VarId,
 };
@@ -23,19 +22,15 @@ struct ChannelSpec {
     accesses: Vec<(u64, u64)>,
 }
 
-fn channel_spec() -> impl Strategy<Value = ChannelSpec> {
-    (
-        1u32..24,
-        0u32..6,
-        any::<bool>(),
-        prop::collection::vec((any::<u64>(), any::<u64>()), 1..5),
-    )
-        .prop_map(|(data_bits, addr_bits, is_read, accesses)| ChannelSpec {
-            data_bits,
-            addr_bits,
-            is_read,
-            accesses,
-        })
+fn channel_spec(rng: &mut SplitMix64) -> ChannelSpec {
+    ChannelSpec {
+        data_bits: rng.range_u32(1, 23),
+        addr_bits: rng.range_u32(0, 5),
+        is_read: rng.bool(),
+        accesses: (0..rng.range_u64(1, 4))
+            .map(|_| (rng.next_u64(), rng.next_u64()))
+            .collect(),
+    }
 }
 
 /// Builds a system with one variable + one accessor behavior per
@@ -89,14 +84,9 @@ fn build(specs: &[ChannelSpec]) -> (System, Vec<ChannelId>, Vec<VarId>) {
         let mut body = Vec::new();
         for (j, &(addr, value)) in spec.accesses.iter().enumerate() {
             let addr = addr % u64::from(len);
-            let addr_expr = (spec.addr_bits > 0)
-                .then(|| bits_const(addr, spec.addr_bits));
+            let addr_expr = (spec.addr_bits > 0).then(|| bits_const(addr, spec.addr_bits));
             if spec.is_read {
-                let tmp = sys.add_variable(
-                    format!("rx{k}_{j}"),
-                    Ty::Bits(spec.data_bits),
-                    b,
-                );
+                let tmp = sys.add_variable(format!("rx{k}_{j}"), Ty::Bits(spec.data_bits), b);
                 vars.push(tmp);
                 body.push(match addr_expr {
                     Some(a) => receive_at(ch, a, var(tmp)),
@@ -124,60 +114,61 @@ fn final_state(sys: &System, vars: &[VarId]) -> Vec<Value> {
     vars.iter().map(|&v| report.final_variable(v).clone()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn refinement_preserves_final_state(
-        specs in prop::collection::vec(channel_spec(), 1..4),
-        width in 1u32..40,
-        rolled in any::<bool>(),
-    ) {
+#[test]
+fn refinement_preserves_final_state() {
+    let mut rng = SplitMix64::new(0x4a1f_0001);
+    for _ in 0..48 {
+        let specs: Vec<ChannelSpec> = (0..rng.range_u64(1, 3))
+            .map(|_| channel_spec(&mut rng))
+            .collect();
+        let width = rng.range_u32(1, 39);
+        let rolled = rng.bool();
         let (sys, channels, vars) = build(&specs);
         let golden = final_state(&sys, &vars);
 
-        let design = BusDesign::with_width(
-            channels,
-            width,
-            ProtocolKind::FullHandshake,
-        );
+        let design = BusDesign::with_width(channels, width, ProtocolKind::FullHandshake);
         let mut pg = ProtocolGenerator::new();
         if rolled {
             pg = pg.with_rolled_word_loops();
         }
         let refined = pg.refine(&sys, &design).expect("refinement");
         let measured = final_state(&refined.system, &vars);
-        prop_assert_eq!(golden, measured);
+        assert_eq!(golden, measured, "width {width} rolled {rolled}: {specs:?}");
     }
+}
 
-    #[test]
-    fn write_only_groups_survive_half_handshake(
-        specs in prop::collection::vec(
-            channel_spec().prop_map(|mut s| { s.is_read = false; s }),
-            1..4,
-        ),
-        width in 1u32..32,
-    ) {
+#[test]
+fn write_only_groups_survive_half_handshake() {
+    let mut rng = SplitMix64::new(0x4a1f_0002);
+    for _ in 0..24 {
+        let specs: Vec<ChannelSpec> = (0..rng.range_u64(1, 3))
+            .map(|_| {
+                let mut s = channel_spec(&mut rng);
+                s.is_read = false;
+                s
+            })
+            .collect();
+        let width = rng.range_u32(1, 31);
         let (sys, channels, vars) = build(&specs);
         let golden = final_state(&sys, &vars);
-        let design = BusDesign::with_width(
-            channels,
-            width,
-            ProtocolKind::HalfHandshake,
-        );
+        let design = BusDesign::with_width(channels, width, ProtocolKind::HalfHandshake);
         let refined = ProtocolGenerator::new()
             .refine(&sys, &design)
             .expect("refinement");
         let measured = final_state(&refined.system, &vars);
-        prop_assert_eq!(golden, measured);
+        assert_eq!(golden, measured, "width {width}: {specs:?}");
     }
+}
 
-    #[test]
-    fn fixed_delay_preserves_final_state(
-        specs in prop::collection::vec(channel_spec(), 1..3),
-        width in 1u32..32,
-        delay in 2u32..6,
-    ) {
+#[test]
+fn fixed_delay_preserves_final_state() {
+    let mut rng = SplitMix64::new(0x4a1f_0003);
+    for _ in 0..24 {
+        let specs: Vec<ChannelSpec> = (0..rng.range_u64(1, 2))
+            .map(|_| channel_spec(&mut rng))
+            .collect();
+        let width = rng.range_u32(1, 31);
+        let delay = rng.range_u32(2, 5);
         let (sys, channels, vars) = build(&specs);
         let golden = final_state(&sys, &vars);
         let design = BusDesign::with_width(
@@ -189,6 +180,6 @@ proptest! {
             .refine(&sys, &design)
             .expect("refinement");
         let measured = final_state(&refined.system, &vars);
-        prop_assert_eq!(golden, measured);
+        assert_eq!(golden, measured, "width {width} delay {delay}: {specs:?}");
     }
 }

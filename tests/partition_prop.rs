@@ -4,11 +4,10 @@
 //! traffic, moving the shared variables to a second module (rewriting
 //! accesses into channel operations) must not change any final state.
 
-use proptest::prelude::*;
-
 use interface_synthesis::partition::Partitioner;
 use interface_synthesis::sim::Simulator;
 use interface_synthesis::spec::dsl::*;
+use interface_synthesis::spec::rng::SplitMix64;
 use interface_synthesis::spec::{Stmt, System, Ty, Value, VarId};
 
 /// One randomly drawn access performed by a worker behavior.
@@ -26,16 +25,24 @@ enum Access {
     Compute { cycles: u8 },
 }
 
-fn access() -> impl Strategy<Value = Access> {
-    prop_oneof![
-        (any::<u8>(), any::<i16>())
-            .prop_map(|(addr, value)| Access::WriteElem { addr, value }),
-        (any::<u8>(), any::<i16>())
-            .prop_map(|(addr, value)| Access::ReadElem { addr, value }),
-        any::<i16>().prop_map(|value| Access::WriteScalar { value }),
-        Just(Access::ReadScalar),
-        (0u8..10).prop_map(|cycles| Access::Compute { cycles }),
-    ]
+fn access(rng: &mut SplitMix64) -> Access {
+    match rng.below(5) {
+        0 => Access::WriteElem {
+            addr: rng.next_u64() as u8,
+            value: rng.next_u64() as i16,
+        },
+        1 => Access::ReadElem {
+            addr: rng.next_u64() as u8,
+            value: rng.next_u64() as i16,
+        },
+        2 => Access::WriteScalar {
+            value: rng.next_u64() as i16,
+        },
+        3 => Access::ReadScalar,
+        _ => Access::Compute {
+            cycles: rng.below(10) as u8,
+        },
+    }
 }
 
 const SHARED_LEN: u32 = 16;
@@ -97,16 +104,13 @@ fn finals(sys: &System, vars: &[VarId]) -> Vec<Value> {
     vars.iter().map(|&v| report.final_variable(v).clone()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn partitioning_preserves_final_state(
-        workers in prop::collection::vec(
-            prop::collection::vec(access(), 1..8),
-            1..4,
-        ),
-    ) {
+#[test]
+fn partitioning_preserves_final_state() {
+    let mut rng = SplitMix64::new(0x9a57);
+    for _ in 0..40 {
+        let workers: Vec<Vec<Access>> = (0..rng.range_u64(1, 3))
+            .map(|_| (0..rng.range_u64(1, 7)).map(|_| access(&mut rng)).collect())
+            .collect();
         let (sys, vars) = build(&workers);
         let golden = finals(&sys, &vars);
 
@@ -122,7 +126,7 @@ proptest! {
         // final state. Variable ids of the original system remain valid:
         // the partitioner only appends temporaries.
         let partitioned = finals(&result.system, &vars);
-        prop_assert_eq!(&golden, &partitioned);
+        assert_eq!(&golden, &partitioned, "workers: {workers:?}");
 
         // And once more through protocol generation, if feasible widths
         // exist for the derived group.
@@ -136,7 +140,7 @@ proptest! {
                 .refine(&result.system, &design)
                 .expect("refinement");
             let refined_finals = finals(&refined.system, &vars);
-            prop_assert_eq!(&golden, &refined_finals);
+            assert_eq!(&golden, &refined_finals, "workers: {workers:?}");
         }
     }
 }
