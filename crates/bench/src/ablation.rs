@@ -148,7 +148,10 @@ pub fn run() -> AblationData {
     });
 
     let mut configs = Vec::new();
-    for policy in [ArbitrationPolicy::RoundRobin, ArbitrationPolicy::FixedPriority] {
+    for policy in [
+        ArbitrationPolicy::RoundRobin,
+        ArbitrationPolicy::FixedPriority,
+    ] {
         for grant in [0u32, 1, 2, 4, 8] {
             configs.push(Arbitration {
                 policy,

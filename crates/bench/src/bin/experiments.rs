@@ -4,6 +4,7 @@
 //! cargo run -p ifsyn-bench --bin experiments -- all
 //! cargo run -p ifsyn-bench --bin experiments -- fig7
 //! cargo run -p ifsyn-bench --bin experiments -- bench   # writes BENCH_sim.json
+//! cargo run -p ifsyn-bench --bin experiments -- faults  # writes BENCH_faults.json
 //! ```
 
 use std::env;
@@ -25,6 +26,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "faults" => {
+            if let Err(e) = run_faults(args.get(1).map(String::as_str)) {
+                eprintln!("faults failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             print_fig2();
             print_fig7();
@@ -35,7 +42,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | bench | all"
+                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | bench | faults | all"
             );
             return ExitCode::FAILURE;
         }
@@ -51,6 +58,18 @@ fn run_bench(out_path: Option<&str>) -> std::io::Result<()> {
     print!("{}", ifsyn_bench::perf::render(&data));
     let path = out_path.unwrap_or("BENCH_sim.json");
     std::fs::write(path, ifsyn_bench::perf::to_json(&data))?;
+    println!("\nwrote {path}");
+    Ok(())
+}
+
+/// Runs the fault campaign and writes `BENCH_faults.json` (default) or
+/// the given output path.
+fn run_faults(out_path: Option<&str>) -> std::io::Result<()> {
+    rule();
+    let data = ifsyn_bench::faults::run();
+    print!("{}", ifsyn_bench::faults::render(&data));
+    let path = out_path.unwrap_or("BENCH_faults.json");
+    std::fs::write(path, ifsyn_bench::faults::to_json(&data))?;
     println!("\nwrote {path}");
     Ok(())
 }

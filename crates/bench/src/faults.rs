@@ -1,0 +1,507 @@
+//! Fault campaign: plain vs timeout-hardened handshakes under injection.
+//!
+//! Runs the FLC shared-bus system and the Fig. 3 worked example under a
+//! deterministic fault matrix (stuck-at control lines, transient bit
+//! flips, dropped and delayed writes on the bus wires), each both with
+//! the plain full-handshake protocol and with the timeout-hardened
+//! variant (`ProtocolGenerator::with_timeout`). Every run is classified:
+//!
+//! * `completed` — all client processes finished and the transferred
+//!   data checks out;
+//! * `corrupt` — the processes finished but a checksum or memory check
+//!   failed (the fault silently damaged data);
+//! * `aborted` — a hardened client gave up cleanly: its sticky
+//!   `*_STAT_*` flag is raised and the run still reached quiescence;
+//! * `deadlock` — the structured [`ifsyn_sim::DeadlockDiagnosis`] fired,
+//!   naming the blocked process and the wait it hangs on;
+//! * `timeout` — the run hit the simulation horizon without quiescing.
+//!
+//! The headline result (the issue's acceptance criterion): a stuck-at-0
+//! `B_DONE` deadlocks the plain protocol with a diagnosis naming the
+//! waiting client, while the hardened protocol finishes within its
+//! watchdog-derived bound, flag raised. Serialization is hand-rolled
+//! JSON (offline build, no serde), written to `BENCH_faults.json`.
+
+use ifsyn_core::{BusDesign, ProtocolGenerator, ProtocolKind, RefinedSystem};
+use ifsyn_sim::{FaultPlan, SimConfig, SimError, Simulator};
+use ifsyn_spec::Value;
+use ifsyn_systems::{fig3, flc};
+
+use crate::table::Table;
+
+/// Watchdog bound (cycles per `wait until`) used by the hardened runs.
+pub const WATCHDOG: u64 = 16;
+/// Retry budget used by the hardened runs.
+pub const RETRIES: u32 = 3;
+/// Simulation horizon for campaign runs.
+const MAX_TIME: u64 = 500_000;
+
+/// One (system, fault scenario, protocol variant) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRow {
+    /// Which system: `"flc@16"` or `"fig3@8"`.
+    pub system: String,
+    /// Fault scenario name (`"none"`, `"done_stuck_at_0"`, ...).
+    pub scenario: String,
+    /// `true` when the protocol was generated with timeout hardening.
+    pub hardened: bool,
+    /// Classification (see module docs).
+    pub outcome: String,
+    /// Quiescence time when the run completed or aborted.
+    pub finish_time: Option<u64>,
+    /// Faults the kernel actually applied.
+    pub injected: usize,
+    /// Names of raised per-channel status flags.
+    pub flags_raised: Vec<String>,
+    /// For deadlocks: the first blocked non-repeating process and the
+    /// wait it is suspended on.
+    pub diagnosis: Option<String>,
+    /// For hardened runs: the a-priori completion bound in cycles
+    /// (fault-free time + worst-case retry overhead of every word).
+    pub bound: Option<u64>,
+}
+
+impl FaultRow {
+    /// `true` when a hardened run stayed within its completion bound.
+    pub fn within_bound(&self) -> bool {
+        match (self.finish_time, self.bound) {
+            (Some(t), Some(b)) => t <= b,
+            _ => true,
+        }
+    }
+}
+
+/// The whole campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultData {
+    /// One row per (system, scenario, variant).
+    pub rows: Vec<FaultRow>,
+}
+
+impl FaultData {
+    /// Rows demonstrating the acceptance criterion: the plain protocol
+    /// deadlocks with a diagnosis while the hardened one completes or
+    /// aborts within its bound, for the same system and scenario.
+    pub fn rescued_pairs(&self) -> Vec<(&FaultRow, &FaultRow)> {
+        let mut out = Vec::new();
+        for plain in self.rows.iter().filter(|r| !r.hardened) {
+            if plain.outcome != "deadlock" || plain.diagnosis.is_none() {
+                continue;
+            }
+            if let Some(hard) = self
+                .rows
+                .iter()
+                .find(|r| r.hardened && r.system == plain.system && r.scenario == plain.scenario)
+            {
+                let clean = matches!(hard.outcome.as_str(), "completed" | "aborted" | "corrupt");
+                if clean && hard.within_bound() {
+                    out.push((plain, hard));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The fault matrix, applied identically to both systems. The bus is
+/// named `B`, so the control wires are `B_START`/`B_DONE` and the data
+/// wire `B_DATA` regardless of system.
+fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::new()),
+        (
+            "done_stuck_at_0",
+            FaultPlan::new().stuck_at_0("B_DONE", 0, None),
+        ),
+        (
+            "done_transient_flips",
+            FaultPlan::new().seeded_flips("B_DONE", 1, 4, 5, 200, 0x5EED),
+        ),
+        (
+            "done_drop_window",
+            FaultPlan::new().drop_writes("B_DONE", 4, Some(40)),
+        ),
+        (
+            "start_delayed",
+            FaultPlan::new().delay_writes("B_START", 3, 0, Some(60)),
+        ),
+        ("data_flip", FaultPlan::new().flip_bit("B_DATA", 2, 9)),
+    ]
+}
+
+fn generator(hardened: bool) -> ProtocolGenerator {
+    let g = ProtocolGenerator::new();
+    if hardened {
+        g.with_timeout(WATCHDOG).with_retry_limit(RETRIES)
+    } else {
+        g
+    }
+}
+
+/// Worst-case extra cycles hardening can spend on `words` handshake
+/// words: every word may burn its full retry budget. One attempt costs
+/// at most `2 * WATCHDOG + 2` cycles (two bounded waits plus two
+/// drives), and a word is attempted `RETRIES + 1` times.
+fn retry_overhead(words: u64) -> u64 {
+    words * u64::from(RETRIES + 1) * (2 * WATCHDOG + 2)
+}
+
+/// One line naming every blocked process and the wait it hangs on.
+fn summarize_blocked(d: &ifsyn_sim::DeadlockDiagnosis) -> Option<String> {
+    if d.blocked.is_empty() {
+        return None;
+    }
+    let parts: Vec<String> = d
+        .blocked
+        .iter()
+        .map(|b| format!("`{}` suspended on {}", b.behavior, b.wait))
+        .collect();
+    Some(parts.join("; "))
+}
+
+/// Sums an integer array value (for memory checksum checks).
+fn array_sum(v: &Value) -> i64 {
+    match v {
+        Value::Array(items) => items.iter().filter_map(|x| x.as_i64().ok()).sum(),
+        other => other.as_i64().unwrap_or(0),
+    }
+}
+
+struct RunOutput {
+    outcome: String,
+    finish_time: Option<u64>,
+    injected: usize,
+    flags_raised: Vec<String>,
+    diagnosis: Option<String>,
+}
+
+/// Runs one refined system under `plan` and classifies the result.
+/// `data_ok` inspects the final report when every process finished.
+fn classify(
+    refined: &RefinedSystem,
+    plan: &FaultPlan,
+    data_ok: impl Fn(&ifsyn_sim::SimReport) -> bool,
+) -> RunOutput {
+    let config = SimConfig::new()
+        .with_max_time(MAX_TIME)
+        .with_faults(plan.clone())
+        .with_deadlock_detection();
+    let flag_names: Vec<String> = refined
+        .bus
+        .status_flags
+        .iter()
+        .map(|&(_, sig)| refined.system.signal(sig).name.clone())
+        .collect();
+    let result = Simulator::with_config(&refined.system, config)
+        .expect("campaign sim setup")
+        .run_to_quiescence();
+    match result {
+        Ok(report) => {
+            let raised: Vec<String> = flag_names
+                .into_iter()
+                .filter(|n| report.final_signal_by_name(n) == Some(&Value::Bit(true)))
+                .collect();
+            let outcome = if !raised.is_empty() {
+                "aborted"
+            } else if report.blocked_at_exit() > 0 {
+                // Deadlock detection is on, so this only happens when a
+                // process is blocked but still repeating.
+                "blocked"
+            } else if data_ok(&report) {
+                "completed"
+            } else {
+                "corrupt"
+            };
+            RunOutput {
+                outcome: outcome.to_string(),
+                finish_time: Some(report.time()),
+                injected: report.injected_faults().len(),
+                flags_raised: raised,
+                diagnosis: None,
+            }
+        }
+        Err(SimError::Deadlock { diagnosis }) => RunOutput {
+            outcome: "deadlock".to_string(),
+            finish_time: None,
+            injected: 0,
+            flags_raised: Vec::new(),
+            diagnosis: summarize_blocked(&diagnosis),
+        },
+        Err(SimError::Timeout { diagnosis, .. }) => RunOutput {
+            outcome: "timeout".to_string(),
+            finish_time: None,
+            injected: 0,
+            flags_raised: Vec::new(),
+            diagnosis: diagnosis.as_deref().and_then(summarize_blocked),
+        },
+        Err(other) => RunOutput {
+            outcome: format!("error: {other}"),
+            finish_time: None,
+            injected: 0,
+            flags_raised: Vec::new(),
+            diagnosis: None,
+        },
+    }
+}
+
+/// FLC shared bus at width 16: 128 two-word writes (ch1) plus 128
+/// two-word reads (ch2) through the arbitrated bus `B`.
+fn run_flc(scenario: &str, plan: &FaultPlan, hardened: bool) -> FaultRow {
+    let f = flc::flc();
+    let design = BusDesign::with_width(f.bus_channels(), 16, ProtocolKind::FullHandshake);
+    let refined = generator(hardened)
+        .refine(&f.system, &design)
+        .expect("flc campaign refinement");
+    let expected = flc::expected_conv_checksum();
+    let conv_acc = f.conv_acc;
+    let trru0 = f.trru0;
+    // trru0 must hold EVAL_R3's ramp 3i + 1 after a clean run.
+    let expected_trru0: i64 = (0..flc::FLC_ACCESSES as i64).map(|i| 3 * i + 1).sum();
+    let out = classify(&refined, plan, |report| {
+        report.final_variable(conv_acc).as_i64().ok() == Some(expected)
+            && array_sum(report.final_variable(trru0)) == expected_trru0
+    });
+    // ch1 and ch2 each move 128 messages of two 16-bit words.
+    let bound = hardened.then(|| {
+        let fault_free = fault_free_time(&refined);
+        fault_free + retry_overhead(2 * flc::FLC_ACCESSES * 2)
+    });
+    FaultRow {
+        system: "flc@16".to_string(),
+        scenario: scenario.to_string(),
+        hardened,
+        outcome: out.outcome,
+        finish_time: out.finish_time,
+        injected: out.injected,
+        flags_raised: out.flags_raised,
+        diagnosis: out.diagnosis,
+        bound,
+    }
+}
+
+/// Fig. 3 at width 8: the paper's worked example (four channels, five
+/// handshake transfers of 2–3 words each).
+fn run_fig3(scenario: &str, plan: &FaultPlan, hardened: bool) -> FaultRow {
+    let f = fig3::fig3();
+    let design = BusDesign::with_width(f.channels(), 8, ProtocolKind::FullHandshake);
+    let refined = generator(hardened)
+        .refine(&f.system, &design)
+        .expect("fig3 campaign refinement");
+    let x = f.x;
+    let mem = f.mem;
+    let out = classify(&refined, plan, |report| {
+        // P: X <= 32; MEM(17) := X + 7. Q: MEM(60) := 1234.
+        let x_ok = report.final_variable(x).as_i64().ok() == Some(32);
+        let mem_ok = match report.final_variable(mem) {
+            Value::Array(items) => {
+                items.get(17).and_then(|v| v.as_i64().ok()) == Some(39)
+                    && items.get(60).and_then(|v| v.as_i64().ok()) == Some(1234)
+            }
+            _ => false,
+        };
+        x_ok && mem_ok
+    });
+    // CH0: 2 words, CH1: 2 words, CH2/CH3: 3 words each (22-bit messages).
+    let bound = hardened.then(|| fault_free_time(&refined) + retry_overhead(2 + 2 + 3 + 3));
+    FaultRow {
+        system: "fig3@8".to_string(),
+        scenario: scenario.to_string(),
+        hardened,
+        outcome: out.outcome,
+        finish_time: out.finish_time,
+        injected: out.injected,
+        flags_raised: out.flags_raised,
+        diagnosis: out.diagnosis,
+        bound,
+    }
+}
+
+/// The system's quiescence time with no faults (baseline for bounds).
+fn fault_free_time(refined: &RefinedSystem) -> u64 {
+    Simulator::new(&refined.system)
+        .expect("baseline sim setup")
+        .run_to_quiescence()
+        .expect("baseline sim")
+        .time()
+}
+
+/// Runs the full campaign: fault matrix × {plain, hardened} × {flc, fig3}.
+pub fn run() -> FaultData {
+    let mut rows = Vec::new();
+    for (name, plan) in fault_matrix() {
+        for hardened in [false, true] {
+            rows.push(run_flc(name, &plan, hardened));
+            rows.push(run_fig3(name, &plan, hardened));
+        }
+    }
+    FaultData { rows }
+}
+
+/// Renders the campaign as text.
+pub fn render(data: &FaultData) -> String {
+    let mut out = String::new();
+    out.push_str("Fault campaign — plain vs timeout-hardened full handshake\n");
+    out.push_str(&format!(
+        "(watchdog {WATCHDOG} cycles, {RETRIES} retries, horizon {MAX_TIME} cycles)\n\n"
+    ));
+    let mut t = Table::new([
+        "system", "scenario", "protocol", "outcome", "finish", "injected", "flags",
+    ]);
+    for r in &data.rows {
+        t.row([
+            r.system.clone(),
+            r.scenario.clone(),
+            if r.hardened { "hardened" } else { "plain" }.to_string(),
+            r.outcome.clone(),
+            r.finish_time.map_or("-".to_string(), |t| t.to_string()),
+            r.injected.to_string(),
+            if r.flags_raised.is_empty() {
+                "-".to_string()
+            } else {
+                r.flags_raised.join(" ")
+            },
+        ]);
+    }
+    out.push_str(&t.render());
+    for r in &data.rows {
+        if let Some(d) = &r.diagnosis {
+            out.push_str(&format!(
+                "\n{} / {} ({}): {}\n",
+                r.system,
+                r.scenario,
+                if r.hardened { "hardened" } else { "plain" },
+                d
+            ));
+        }
+    }
+    let rescued = data.rescued_pairs();
+    out.push_str(&format!(
+        "\n{} scenario(s) where the plain protocol deadlocks and the hardened \
+         one ends cleanly within its bound\n",
+        rescued.len()
+    ));
+    for (plain, hard) in rescued {
+        out.push_str(&format!(
+            "  {} / {}: plain deadlocks, hardened -> {} at t = {} (bound {})\n",
+            plain.system,
+            plain.scenario,
+            hard.outcome,
+            hard.finish_time.unwrap_or(0),
+            hard.bound.unwrap_or(0),
+        ));
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes the campaign as the `BENCH_faults.json` document.
+pub fn to_json(data: &FaultData) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"ifsyn-bench-faults-v1\",\n");
+    out.push_str(&format!("  \"watchdog\": {WATCHDOG},\n"));
+    out.push_str(&format!("  \"retries\": {RETRIES},\n"));
+    out.push_str(&format!(
+        "  \"rescued_scenarios\": {},\n",
+        data.rescued_pairs().len()
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in data.rows.iter().enumerate() {
+        let flags: Vec<String> = r.flags_raised.iter().map(|f| json_str(f)).collect();
+        out.push_str(&format!(
+            "    {{\"system\": {}, \"scenario\": {}, \"protocol\": {}, \
+             \"outcome\": {}, \"finish_time\": {}, \"injected\": {}, \
+             \"flags_raised\": [{}], \"diagnosis\": {}, \"bound\": {}}}{}\n",
+            json_str(&r.system),
+            json_str(&r.scenario),
+            json_str(if r.hardened { "hardened" } else { "plain" }),
+            json_str(&r.outcome),
+            r.finish_time.map_or("null".to_string(), |t| t.to_string()),
+            r.injected,
+            flags.join(", "),
+            r.diagnosis.as_deref().map_or("null".to_string(), json_str),
+            r.bound.map_or("null".to_string(), |b| b.to_string()),
+            if i + 1 < data.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_done_deadlocks_plain_and_hardened_aborts() {
+        let plan = FaultPlan::new().stuck_at_0("B_DONE", 0, None);
+        let plain = run_flc("done_stuck_at_0", &plan, false);
+        assert_eq!(plain.outcome, "deadlock", "{plain:?}");
+        let d = plain.diagnosis.as_deref().expect("diagnosis present");
+        assert!(d.contains("wait until"), "{d}");
+        let hard = run_flc("done_stuck_at_0", &plan, true);
+        assert_eq!(hard.outcome, "aborted", "{hard:?}");
+        assert!(!hard.flags_raised.is_empty());
+        assert!(hard.within_bound(), "{hard:?}");
+    }
+
+    #[test]
+    fn no_faults_means_clean_completion_both_variants() {
+        let plan = FaultPlan::new();
+        for hardened in [false, true] {
+            let r = run_fig3("none", &plan, hardened);
+            assert_eq!(r.outcome, "completed", "{r:?}");
+            assert_eq!(r.injected, 0);
+        }
+    }
+
+    #[test]
+    fn hardening_costs_nothing_fault_free() {
+        let plan = FaultPlan::new();
+        let plain = run_fig3("none", &plan, false);
+        let hard = run_fig3("none", &plan, true);
+        assert_eq!(plain.finish_time, hard.finish_time);
+    }
+
+    #[test]
+    fn json_mentions_every_row_and_is_balanced() {
+        let data = FaultData {
+            rows: vec![FaultRow {
+                system: "flc@16".into(),
+                scenario: "none".into(),
+                hardened: true,
+                outcome: "completed".into(),
+                finish_time: Some(42),
+                injected: 0,
+                flags_raised: vec![],
+                diagnosis: None,
+                bound: Some(100),
+            }],
+        };
+        let json = to_json(&data);
+        assert!(json.contains("\"schema\": \"ifsyn-bench-faults-v1\""));
+        assert!(json.contains("\"finish_time\": 42"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn array_sum_handles_scalars_and_arrays() {
+        assert_eq!(array_sum(&Value::int(7, 16)), 7);
+        let arr = Value::Array(vec![Value::int(1, 16), Value::int(2, 16)]);
+        assert_eq!(array_sum(&arr), 3);
+    }
+}

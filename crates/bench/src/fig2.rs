@@ -231,11 +231,12 @@ pub fn render(data: &Fig2Data) -> String {
         data.min_feasible_width, data.min_feasible_width
     ));
     for (name, secs) in &data.sim_finish_seconds {
-        out.push_str(&format!("  {name} delivered all items by t = {} s\n", f2(*secs)));
+        out.push_str(&format!(
+            "  {name} delivered all items by t = {} s\n",
+            f2(*secs)
+        ));
     }
-    out.push_str(
-        "  (items shifted by bus-access conflicts, same bits in ~the same window)\n",
-    );
+    out.push_str("  (items shifted by bus-access conflicts, same bits in ~the same window)\n");
     out.push_str(&format!(
         "  measured bus utilization over the run: {} (goal: ~100%)\n",
         crate::table::pct(data.measured_utilization)

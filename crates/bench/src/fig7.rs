@@ -63,7 +63,11 @@ fn analytic(width: u32, compute: u64) -> u64 {
 fn measure_alone(channel_is_eval: bool, width: u32) -> (u64, u64) {
     let f = flc::flc();
     let ch = if channel_is_eval { f.ch1 } else { f.ch2 };
-    let behavior = if channel_is_eval { f.eval_r3 } else { f.conv_r2 };
+    let behavior = if channel_is_eval {
+        f.eval_r3
+    } else {
+        f.conv_r2
+    };
     let design = BusDesign::with_width(vec![ch], width, ProtocolKind::FullHandshake);
     let refined = ProtocolGenerator::new()
         .refine(&f.system, &design)

@@ -13,7 +13,9 @@
 //! * [`overhead`] — the area cost of protocol generation (states,
 //!   registers) against the wires it saves;
 //! * [`ablation`] — the future-work extensions measured: alternative
-//!   protocols, arbitration grant delay, bus splitting.
+//!   protocols, arbitration grant delay, bus splitting;
+//! * [`faults`] — the robustness campaign: plain vs timeout-hardened
+//!   handshakes under a deterministic fault matrix.
 //!
 //! Run everything with `cargo run -p ifsyn-bench --bin experiments -- all`.
 
@@ -22,10 +24,11 @@
 
 pub mod ablation;
 pub mod extra;
+pub mod faults;
 pub mod fig2;
-pub mod overhead;
 pub mod fig7;
 pub mod fig8;
+pub mod overhead;
 pub mod perf;
 pub mod sweep;
 pub mod table;

@@ -38,7 +38,9 @@ impl OverheadRow {
 
     /// Register bits added by refinement.
     pub fn added_register_bits(&self) -> u64 {
-        self.after.register_bits.saturating_sub(self.before.register_bits)
+        self.after
+            .register_bits
+            .saturating_sub(self.before.register_bits)
     }
 }
 
@@ -75,7 +77,12 @@ pub fn run() -> Vec<OverheadRow> {
     let refined = ProtocolGenerator::new()
         .refine(&flc.system, &design)
         .expect("flc refinement");
-    rows.push(measure("flc ch1+ch2 (16-bit bus)", &flc.system, &refined, 16));
+    rows.push(measure(
+        "flc ch1+ch2 (16-bit bus)",
+        &flc.system,
+        &refined,
+        16,
+    ));
 
     rows
 }
@@ -105,9 +112,7 @@ pub fn render(rows: &[OverheadRow]) -> String {
         ]);
     }
     out.push_str(&t.render());
-    out.push_str(
-        "\nmerging buys wires at the price of handshake controller states\n",
-    );
+    out.push_str("\nmerging buys wires at the price of handshake controller states\n");
     out
 }
 

@@ -93,7 +93,12 @@ fn flc_kernel_sweep() -> Scenario {
             runs += 1;
         }
     }
-    scenario("flc_kernel_sweep", runs, instrs, start.elapsed().as_secs_f64())
+    scenario(
+        "flc_kernel_sweep",
+        runs,
+        instrs,
+        start.elapsed().as_secs_f64(),
+    )
 }
 
 /// The end-to-end Fig. 7 sweep (refinement + simulation per width).
@@ -135,7 +140,12 @@ fn quickstart_pipeline() -> Scenario {
         instrs += report.total_instrs();
         runs += 1;
     }
-    scenario("quickstart_pipeline", runs, instrs, start.elapsed().as_secs_f64())
+    scenario(
+        "quickstart_pipeline",
+        runs,
+        instrs,
+        start.elapsed().as_secs_f64(),
+    )
 }
 
 /// Runs all throughput scenarios.
@@ -180,7 +190,11 @@ pub fn to_json(data: &PerfData) -> String {
             s.total_instrs,
             s.wall_seconds,
             s.instrs_per_sec,
-            if i + 1 < data.scenarios.len() { "," } else { "" },
+            if i + 1 < data.scenarios.len() {
+                ","
+            } else {
+                ""
+            },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -194,10 +208,7 @@ mod tests {
     #[test]
     fn json_is_well_formed_and_names_every_scenario() {
         let data = PerfData {
-            scenarios: vec![
-                scenario("a", 2, 100, 0.5),
-                scenario("b", 1, 50, 0.25),
-            ],
+            scenarios: vec![scenario("a", 2, 100, 0.5), scenario("b", 1, 50, 0.25)],
             sweep_threads: 4,
         };
         let json = to_json(&data);
@@ -206,7 +217,10 @@ mod tests {
         assert!(json.contains("\"instrs_per_sec\": 200.0"));
         assert!(json.contains("\"sweep_threads\": 4"));
         // Exactly one comma between the two scenario objects.
-        assert_eq!(json.matches("}},").count() + json.matches("}},\n").count(), 0);
+        assert_eq!(
+            json.matches("}},").count() + json.matches("}},\n").count(),
+            0
+        );
         assert_eq!(json.matches("},\n").count(), 1);
     }
 

@@ -32,6 +32,11 @@ pub enum CoreError {
         /// Human-readable reason (e.g. half-handshake with read channels).
         reason: String,
     },
+    /// The bus design itself is malformed (zero width, zero-bit channel).
+    InvalidDesign {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// The refined specification failed validation (generator bug guard).
     Refinement {
         /// The underlying message.
@@ -60,6 +65,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::UnsupportedProtocol { reason } => {
                 write!(f, "unsupported protocol for this channel group: {reason}")
+            }
+            CoreError::InvalidDesign { reason } => {
+                write!(f, "invalid bus design: {reason}")
             }
             CoreError::Refinement { message } => {
                 write!(f, "refinement produced an invalid system: {message}")
@@ -93,7 +101,9 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert!(CoreError::EmptyChannelGroup.to_string().contains("no channels"));
+        assert!(CoreError::EmptyChannelGroup
+            .to_string()
+            .contains("no channels"));
         let e = CoreError::UnknownChannel {
             id: ChannelId::new(5),
         };

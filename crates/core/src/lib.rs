@@ -70,6 +70,6 @@ pub use busgen::{BusDesign, BusGenerator, Exploration, WidthRow};
 pub use constraint::{Constraint, ConstraintKind, WidthMetrics};
 pub use error::CoreError;
 pub use protocol::ProtocolKind;
-pub use protogen::{BusStructure, MultiBusRefinement, ProtocolGenerator, RefinedSystem};
+pub use protogen::{BusStructure, Hardening, MultiBusRefinement, ProtocolGenerator, RefinedSystem};
 pub use split::SplitOutcome;
 pub use words::{WordDir, WordPlan, WordSpec};

@@ -30,7 +30,7 @@ use ifsyn_spec::{
     SignalId, Stmt, System, Ty, VarId,
 };
 
-use crate::arbitration::{self, Arbitration, ArbiterWiring};
+use crate::arbitration::{self, ArbiterWiring, Arbitration};
 use crate::busgen::BusDesign;
 use crate::error::CoreError;
 use crate::protocol::ProtocolKind;
@@ -48,6 +48,34 @@ enum ArbitrationChoice {
     Off,
     /// Always install the given arbiter.
     Forced(Arbitration),
+}
+
+/// Timeout hardening of the generated handshake (see
+/// [`ProtocolGenerator::with_timeout`]).
+///
+/// Hardening applies to the full-handshake protocol, whose client blocks
+/// on two `wait until` statements per word and therefore hangs forever on
+/// a stuck or dropped control line. The other protocols either never
+/// block (half-handshake, hardwired) or wait for a fixed count
+/// (fixed-delay), so they pass through unhardened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hardening {
+    /// Watchdog bound per `wait until`, in clock cycles: the hardened
+    /// handshake emits `wait until ... for <watchdog>` instead of an
+    /// unbounded wait.
+    pub watchdog: u64,
+    /// Bounded retry: how many times a word transfer is re-attempted
+    /// (re-driving START) after a watchdog expiry before aborting.
+    pub max_retries: u32,
+}
+
+impl Default for Hardening {
+    fn default() -> Self {
+        Self {
+            watchdog: 16,
+            max_retries: 3,
+        }
+    }
 }
 
 /// The structure of the generated bus: wires, ID codes, procedures and
@@ -78,6 +106,10 @@ pub struct BusStructure {
     pub arbiter: Option<ArbiterWiring>,
     /// Dedicated data signals (hardwired channels only).
     pub dedicated_data: Vec<(ChannelId, SignalId)>,
+    /// Per-channel abort status flags (`<bus>_STAT_<channel>`), present
+    /// only for hardened full-handshake refinements. The flag is sticky:
+    /// once a transfer aborts it stays `'1'` for the rest of the run.
+    pub status_flags: Vec<(ChannelId, SignalId)>,
 }
 
 impl BusStructure {
@@ -103,6 +135,14 @@ impl BusStructure {
             .iter()
             .find(|(c, _)| *c == channel)
             .map(|(_, p)| *p)
+    }
+
+    /// Abort status flag of a channel (hardened refinements only).
+    pub fn status_flag(&self, channel: ChannelId) -> Option<SignalId> {
+        self.status_flags
+            .iter()
+            .find(|(c, _)| *c == channel)
+            .map(|(_, s)| *s)
     }
 }
 
@@ -143,6 +183,7 @@ pub struct ProtocolGenerator {
     bus_name: String,
     arbitration: ArbitrationChoice,
     rolled_loops: bool,
+    hardening: Option<Hardening>,
 }
 
 impl ProtocolGenerator {
@@ -152,6 +193,7 @@ impl ProtocolGenerator {
             bus_name: "B".to_string(),
             arbitration: ArbitrationChoice::Auto,
             rolled_loops: false,
+            hardening: None,
         }
     }
 
@@ -178,6 +220,29 @@ impl ProtocolGenerator {
         self
     }
 
+    /// Enables timeout-hardened handshakes with the given watchdog bound
+    /// (cycles per `wait until`) and the default retry limit.
+    ///
+    /// Hardened full-handshake clients bound every wait with a watchdog,
+    /// retry a timed-out word up to the retry limit, and on exhaustion
+    /// abort the transfer: they raise the channel's sticky
+    /// `<bus>_STAT_<channel>` flag, release the bus arbiter if held, and
+    /// return. Fault-free timing is identical to the plain protocol
+    /// (2 clocks per word); the extra branches are free.
+    pub fn with_timeout(mut self, watchdog: u64) -> Self {
+        let h = self.hardening.get_or_insert_with(Hardening::default);
+        h.watchdog = watchdog.max(1);
+        self
+    }
+
+    /// Sets the bounded-retry limit of hardened handshakes (enables
+    /// hardening with the default watchdog if not already on).
+    pub fn with_retry_limit(mut self, retries: u32) -> Self {
+        let h = self.hardening.get_or_insert_with(Hardening::default);
+        h.max_retries = retries;
+        self
+    }
+
     /// Disables arbitration entirely (paper-faithful mode).
     ///
     /// With more than one initiating behavior the refined system can
@@ -195,23 +260,30 @@ impl ProtocolGenerator {
     ///
     /// # Errors
     ///
-    /// * [`CoreError::EmptyChannelGroup`] / [`CoreError::UnknownChannel`]
-    ///   for bad designs;
+    /// * [`CoreError::EmptyChannelGroup`] / [`CoreError::UnknownChannel`] /
+    ///   [`CoreError::InvalidDesign`] for bad designs;
     /// * [`CoreError::UnsupportedProtocol`] when the protocol cannot
     ///   implement the group (e.g. half-handshake with read channels);
     /// * [`CoreError::Refinement`] if the generated system fails
     ///   validation (an internal invariant; please report).
-    pub fn refine(
-        &self,
-        system: &System,
-        design: &BusDesign,
-    ) -> Result<RefinedSystem, CoreError> {
+    pub fn refine(&self, system: &System, design: &BusDesign) -> Result<RefinedSystem, CoreError> {
         if design.channels.is_empty() {
             return Err(CoreError::EmptyChannelGroup);
+        }
+        if design.width == 0 {
+            return Err(CoreError::InvalidDesign {
+                reason: "bus width must be positive".to_string(),
+            });
         }
         for &ch in &design.channels {
             if ch.index() >= system.channels.len() {
                 return Err(CoreError::UnknownChannel { id: ch });
+            }
+            let c = system.channel(ch);
+            if c.message_bits() == 0 {
+                return Err(CoreError::InvalidDesign {
+                    reason: format!("channel `{}` carries a zero-bit message", c.name),
+                });
             }
         }
         check_directions(system, &design.channels)?;
@@ -266,6 +338,7 @@ impl ProtocolGenerator {
                 bus_name: format!("{}{k}", self.bus_name),
                 arbitration: self.arbitration,
                 rolled_loops: self.rolled_loops,
+                hardening: self.hardening,
             };
             let refined = generator.refine(&current, design)?;
             current = refined.system;
@@ -298,10 +371,7 @@ impl ProtocolGenerator {
         for &chid in &design.channels {
             let ch = sys.channel(chid).clone();
             let m = ch.message_bits();
-            let sig = sys.add_signal(
-                format!("{}_{}_WIRES", self.bus_name, ch.name),
-                Ty::Bits(m),
-            );
+            let sig = sys.add_signal(format!("{}_{}_WIRES", self.bus_name, ch.name), Ty::Bits(m));
             dedicated_data.push((chid, sig));
             // Client procedure: drive the dedicated wires (1 cycle).
             let mut p = Procedure::new(format!("Send_{}", ch.name));
@@ -338,6 +408,7 @@ impl ProtocolGenerator {
             var_processes,
             arbiter: None,
             dedicated_data,
+            status_flags: Vec::new(),
         };
         let client_map: HashMap<ChannelId, ProcId> = client_procs.into_iter().collect();
         rewrite_channel_ops(&mut sys, &client_map);
@@ -458,6 +529,7 @@ struct Gen {
     bus_name: String,
     arbitration: ArbitrationChoice,
     rolled_loops: bool,
+    hardening: Option<Hardening>,
     width: u32,
     id_bits: u32,
     start: SignalId,
@@ -469,16 +541,13 @@ struct Gen {
     serve_procs: Vec<(ChannelId, ProcId)>,
     var_processes: Vec<(VarId, BehaviorId)>,
     arbiter: Option<ArbiterWiring>,
+    status_flags: Vec<(ChannelId, SignalId)>,
 }
 
 impl Gen {
-    fn new(
-        pg: &ProtocolGenerator,
-        sys: System,
-        design: BusDesign,
-    ) -> Result<Self, CoreError> {
+    fn new(pg: &ProtocolGenerator, sys: System, design: BusDesign) -> Result<Self, CoreError> {
         let protocol = design.protocol;
-        let width = design.width.max(1);
+        let width = design.width;
         let id_bits = design.id_bits();
         Ok(Self {
             sys,
@@ -486,6 +555,7 @@ impl Gen {
             bus_name: pg.bus_name.clone(),
             arbitration: pg.arbitration,
             rolled_loops: pg.rolled_loops,
+            hardening: pg.hardening,
             width,
             id_bits,
             // placeholder ids; assigned in build_bus_signals
@@ -498,6 +568,7 @@ impl Gen {
             serve_procs: Vec::new(),
             var_processes: Vec::new(),
             arbiter: None,
+            status_flags: Vec::new(),
             design,
         })
     }
@@ -509,9 +580,14 @@ impl Gen {
             self.done = Some(self.sys.add_signal(format!("{b}_DONE"), Ty::Bit));
         }
         if self.id_bits > 0 {
-            self.id = Some(self.sys.add_signal(format!("{b}_ID"), Ty::Bits(self.id_bits)));
+            self.id = Some(
+                self.sys
+                    .add_signal(format!("{b}_ID"), Ty::Bits(self.id_bits)),
+            );
         }
-        self.data = self.sys.add_signal(format!("{b}_DATA"), Ty::Bits(self.width));
+        self.data = self
+            .sys
+            .add_signal(format!("{b}_DATA"), Ty::Bits(self.width));
         self.id_codes = self
             .design
             .channels
@@ -551,17 +627,24 @@ impl Gen {
             let ch = self.sys.channel(chid).clone();
             let code = k as u64;
             let plan = WordPlan::for_channel(&ch, self.width);
-            let lock = self
-                .arbiter
-                .as_ref()
-                .and_then(|w| w.lines_of(ch.accessor));
+            let lock = self.arbiter.as_ref().and_then(|w| w.lines_of(ch.accessor));
+            // Hardened transfers report unrecoverable failures through a
+            // sticky per-channel status flag instead of hanging.
+            let stat = (self.hardening.is_some() && self.protocol == ProtocolKind::FullHandshake)
+                .then(|| {
+                    let sig = self
+                        .sys
+                        .add_signal(format!("{}_STAT_{}", self.bus_name, ch.name), Ty::Bit);
+                    self.status_flags.push((chid, sig));
+                    sig
+                });
             let (client, serve) = match ch.direction {
                 ChannelDirection::Write => (
-                    self.gen_send_proc(&ch, code, &plan, lock),
+                    self.gen_send_proc(&ch, code, &plan, lock, stat),
                     self.gen_serve_write(&ch, &plan),
                 ),
                 ChannelDirection::Read => (
-                    self.gen_receive_proc(&ch, code, &plan, lock),
+                    self.gen_receive_proc(&ch, code, &plan, lock, stat),
                     self.gen_serve_read(&ch, &plan),
                 ),
             };
@@ -603,6 +686,105 @@ impl Gen {
             }
             ProtocolKind::Hardwired => unreachable!("hardwired handled separately"),
         }
+    }
+
+    /// Add the `ok`/`retry` bookkeeping locals a hardened client procedure
+    /// needs. Returns `(ok_slot, retry_slot, stat)` when hardening applies,
+    /// `None` otherwise (then plain synchronisation is emitted).
+    fn harden_slots(
+        &self,
+        p: &mut Procedure,
+        stat: Option<SignalId>,
+    ) -> Option<(usize, usize, SignalId)> {
+        let stat = stat?;
+        if self.hardening.is_none() || self.protocol != ProtocolKind::FullHandshake {
+            return None;
+        }
+        let ok_slot = p.add_local("ok", Ty::Bit);
+        let retry_slot = p.add_local("retry", Ty::Int(16));
+        Some((ok_slot, retry_slot, stat))
+    }
+
+    /// One requester-driven word, hardened when `harden` carries the
+    /// bookkeeping slots and plain otherwise.
+    fn client_word_sync_with(
+        &self,
+        latch: Option<Stmt>,
+        harden: Option<(usize, usize, SignalId)>,
+        lock: Option<(SignalId, SignalId)>,
+    ) -> Vec<Stmt> {
+        match harden {
+            Some((ok_slot, retry_slot, stat)) => {
+                self.hardened_client_word_sync(latch, ok_slot, retry_slot, stat, lock)
+            }
+            None => self.client_word_sync(latch),
+        }
+    }
+
+    /// Timeout-hardened full-handshake word (paper Fig. 4, robust form).
+    ///
+    /// Every `wait until` carries a watchdog bound of `W` cycles. A word
+    /// that does not complete is retried (START re-driven) up to `N`
+    /// times; on exhaustion the procedure raises the channel's sticky
+    /// status flag, releases any bus lock it holds, and returns. In the
+    /// fault-free case the emitted schedule is cycle-identical to the
+    /// plain handshake (2 cycles per word), so hardening costs nothing
+    /// until a fault fires. The worst-case residency of one word is
+    /// bounded by `(N + 1) * (2W + 2)` cycles.
+    fn hardened_client_word_sync(
+        &self,
+        latch: Option<Stmt>,
+        ok_slot: usize,
+        retry_slot: usize,
+        stat: SignalId,
+        lock: Option<(SignalId, SignalId)>,
+    ) -> Vec<Stmt> {
+        let h = self.hardening.expect("hardened sync requires hardening");
+        let start = self.start;
+        let done = self.done.expect("full handshake has DONE");
+        let watchdog = h.watchdog.max(1);
+        let retries = i64::from(h.max_retries);
+        let bump_retry = assign_cost(
+            local(retry_slot),
+            add(load(local(retry_slot)), int_const(1, 16)),
+            0,
+        );
+        let mut done_hi = Vec::new();
+        done_hi.extend(latch);
+        done_hi.push(drive_cost(start, bit_const(false), 0));
+        done_hi.push(wait_until_for(eq(signal(done), bit_const(false)), watchdog));
+        done_hi.push(if_else(
+            eq(signal(done), bit_const(false)),
+            vec![assign_cost(local(ok_slot), bit_const(true), 0)],
+            vec![bump_retry.clone()],
+        ));
+        // The release drive costs a cycle here (unlike the fault-free
+        // path) so that retries against a dead server consume time and
+        // the watchdog bound stays finite.
+        let done_lo = vec![drive_cost(start, bit_const(false), 1), bump_retry];
+        let attempt = vec![
+            drive_cost(start, bit_const(true), 1),
+            wait_until_for(eq(signal(done), bit_const(true)), watchdog),
+            if_else(eq(signal(done), bit_const(true)), done_hi, done_lo),
+        ];
+        let mut v = vec![
+            assign_cost(local(ok_slot), bit_const(false), 0),
+            assign_cost(local(retry_slot), int_const(0, 16), 0),
+            while_loop(
+                and(
+                    eq(load(local(ok_slot)), bit_const(false)),
+                    le(load(local(retry_slot)), int_const(retries, 16)),
+                ),
+                attempt,
+            ),
+        ];
+        let mut abort = vec![drive_cost(stat, bit_const(true), 0)];
+        if let Some((req, gnt)) = lock {
+            abort.extend(arbitration::unlock_stmts(req, gnt));
+        }
+        abort.push(Stmt::Return);
+        v.push(if_then(eq(load(local(ok_slot)), bit_const(false)), abort));
+        v
     }
 
     /// Server-side word: wait for the word, run `actions` (latches and/or
@@ -651,12 +833,7 @@ impl Gen {
     }
 
     /// `for j in 0 to n-1 loop <word> end loop` over dynamic slices.
-    fn rolled_loop(
-        &self,
-        plan: &WordPlan,
-        j_slot: usize,
-        word_body: Vec<Stmt>,
-    ) -> Stmt {
+    fn rolled_loop(&self, plan: &WordPlan, j_slot: usize, word_body: Vec<Stmt>) -> Stmt {
         let _ = plan;
         for_loop(
             local(j_slot),
@@ -684,6 +861,7 @@ impl Gen {
         code: u64,
         plan: &WordPlan,
         lock: Option<(SignalId, SignalId)>,
+        stat: Option<SignalId>,
     ) -> Procedure {
         let a = ch.addr_bits;
         let d = ch.data_bits;
@@ -692,6 +870,7 @@ impl Gen {
         let addr_slot = (a > 0).then(|| p.add_param("addr", Ty::Bits(a), ParamMode::In));
         let tx_slot = p.add_param("txdata", Ty::Bits(d), ParamMode::In);
         let msg_slot = p.add_local("msg", Ty::Bits(m));
+        let harden = self.harden_slots(&mut p, stat);
         let mut body = Vec::new();
         if let Some((req, gnt)) = lock {
             body.extend(arbitration::lock_stmts(req, gnt));
@@ -708,14 +887,10 @@ impl Gen {
             let j_slot = p.add_local("j", Ty::Int(16));
             let mut word = vec![drive_cost(
                 self.data,
-                dyn_slice_of(
-                    load(local(msg_slot)),
-                    self.word_offset(j_slot),
-                    self.width,
-                ),
+                dyn_slice_of(load(local(msg_slot)), self.word_offset(j_slot), self.width),
                 0,
             )];
-            word.extend(self.client_word_sync(None));
+            word.extend(self.client_word_sync_with(None, harden, lock));
             body.push(self.rolled_loop(plan, j_slot, word));
         } else {
             for w in &plan.words {
@@ -727,7 +902,7 @@ impl Gen {
                     ),
                     0,
                 ));
-                body.extend(self.client_word_sync(None));
+                body.extend(self.client_word_sync_with(None, harden, lock));
             }
         }
         if let Some((req, gnt)) = lock {
@@ -744,12 +919,14 @@ impl Gen {
         code: u64,
         plan: &WordPlan,
         lock: Option<(SignalId, SignalId)>,
+        stat: Option<SignalId>,
     ) -> Procedure {
         let a = ch.addr_bits;
         let d = ch.data_bits;
         let mut p = Procedure::new(format!("Receive_{}", ch.name));
         let addr_slot = (a > 0).then(|| p.add_param("addr", Ty::Bits(a), ParamMode::In));
         let rx_slot = p.add_param("rxdata", Ty::Bits(d), ParamMode::Out);
+        let harden = self.harden_slots(&mut p, stat);
         let mut body = Vec::new();
         if let Some((req, gnt)) = lock {
             body.extend(arbitration::lock_stmts(req, gnt));
@@ -764,7 +941,7 @@ impl Gen {
                         resize(slice_of(load(local(aslot)), w.msg_hi, w.msg_lo), self.width),
                         0,
                     ));
-                    body.extend(self.client_word_sync(None));
+                    body.extend(self.client_word_sync_with(None, harden, lock));
                 }
                 WordDir::Response => {
                     let latch = Stmt::Assign {
@@ -772,7 +949,7 @@ impl Gen {
                         value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
                         cost: Some(0),
                     };
-                    body.extend(self.client_word_sync(Some(latch)));
+                    body.extend(self.client_word_sync_with(Some(latch), harden, lock));
                 }
                 WordDir::Mixed => {
                     let aslot = addr_slot.expect("mixed words imply an address");
@@ -786,7 +963,7 @@ impl Gen {
                         value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, a - w.msg_lo),
                         cost: Some(0),
                     };
-                    body.extend(self.client_word_sync(Some(latch)));
+                    body.extend(self.client_word_sync_with(Some(latch), harden, lock));
                 }
             }
         }
@@ -807,11 +984,7 @@ impl Gen {
         if self.rollable(plan, WordDir::Request) {
             let j_slot = p.add_local("j", Ty::Int(16));
             let latch = Stmt::Assign {
-                place: dyn_slice(
-                    local(msg_slot),
-                    self.word_offset(j_slot),
-                    self.width,
-                ),
+                place: dyn_slice(local(msg_slot), self.word_offset(j_slot), self.width),
                 value: slice_of(signal(self.data), self.width - 1, 0),
                 cost: Some(0),
             };
@@ -897,7 +1070,10 @@ impl Gen {
                             self.width,
                         )
                     } else {
-                        resize(slice_of(load(local(data_slot)), w.msg_hi - a, 0), self.width)
+                        resize(
+                            slice_of(load(local(data_slot)), w.msg_hi - a, 0),
+                            self.width,
+                        )
                     };
                     let actions = vec![
                         latch_addr,
@@ -1010,6 +1186,7 @@ impl Gen {
             var_processes: self.var_processes,
             arbiter: self.arbiter,
             dedicated_data: Vec::new(),
+            status_flags: self.status_flags,
         };
         Ok(RefinedSystem {
             system: self.sys,
@@ -1021,7 +1198,6 @@ impl Gen {
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     /// Fig. 3 style: P writes scalar X over ch0 and reads it over ch1;
     /// Q writes MEM\[60\] over ch3.
@@ -1035,12 +1211,8 @@ mod tests {
         let x = sys.add_variable("X", Ty::Bits(16), store);
         let mem = sys.add_variable("MEM", Ty::array(Ty::Bits(16), 64), store);
         let xtemp = sys.add_variable("Xtemp", Ty::Bits(16), p);
-        let count = sys.add_variable_init(
-            "COUNT",
-            Ty::Int(16),
-            q,
-            ifsyn_spec::Value::int(1234, 16),
-        );
+        let count =
+            sys.add_variable_init("COUNT", Ty::Int(16), q, ifsyn_spec::Value::int(1234, 16));
         let ch0 = sys.add_channel(Channel {
             name: "CH0".into(),
             accessor: p,
@@ -1068,10 +1240,7 @@ mod tests {
             addr_bits: 6,
             accesses: 1,
         });
-        sys.behavior_mut(p).body = vec![
-            send(ch0, int_const(32, 16)),
-            receive(ch1, var(xtemp)),
-        ];
+        sys.behavior_mut(p).body = vec![send(ch0, int_const(32, 16)), receive(ch1, var(xtemp))];
         sys.behavior_mut(q).body = vec![send_at(ch3, int_const(60, 16), load(var(count)))];
         (sys, vec![ch0, ch1, ch3])
     }
@@ -1123,10 +1292,9 @@ mod tests {
             assert_eq!(remaining, 0, "behavior `{}` kept channel ops", b.name);
         }
         let p = refined.system.behavior_by_name("P").unwrap();
-        let calls = ifsyn_spec::visit::count_stmts(
-            &refined.system.behavior(p).body,
-            |s| matches!(s, Stmt::Call { .. }),
-        );
+        let calls = ifsyn_spec::visit::count_stmts(&refined.system.behavior(p).body, |s| {
+            matches!(s, Stmt::Call { .. })
+        });
         assert_eq!(calls, 2);
     }
 
@@ -1164,6 +1332,36 @@ mod tests {
             .unwrap();
         assert!(refined.bus.arbiter.is_none());
         assert!(refined.system.behavior_by_name("B_arbiter").is_none());
+    }
+
+    #[test]
+    fn zero_width_design_is_rejected() {
+        let (sys, chans) = fig3ish();
+        let mut design = design_for(&sys, &chans, 8);
+        design.width = 0;
+        let err = ProtocolGenerator::new().refine(&sys, &design).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidDesign { .. }), "{err}");
+        assert!(err.to_string().contains("width"), "{err}");
+    }
+
+    #[test]
+    fn zero_bit_channel_is_rejected() {
+        let (mut sys, mut chans) = fig3ish();
+        let p = sys.behavior_by_name("P").unwrap();
+        let x = sys.variable_by_name("X").unwrap();
+        chans.push(sys.add_channel(Channel {
+            name: "EMPTY".into(),
+            accessor: p,
+            variable: x,
+            direction: ChannelDirection::Write,
+            data_bits: 0,
+            addr_bits: 0,
+            accesses: 1,
+        }));
+        let design = design_for(&sys, &chans, 8);
+        let err = ProtocolGenerator::new().refine(&sys, &design).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidDesign { .. }), "{err}");
+        assert!(err.to_string().contains("EMPTY"), "{err}");
     }
 
     #[test]

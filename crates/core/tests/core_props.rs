@@ -68,7 +68,11 @@ fn word_plan_directions_are_ordered() {
             phase = p;
         }
         // At most one mixed word.
-        let mixed = plan.words.iter().filter(|w| w.dir == WordDir::Mixed).count();
+        let mixed = plan
+            .words
+            .iter()
+            .filter(|w| w.dir == WordDir::Mixed)
+            .count();
         assert!(mixed <= 1);
     }
 }

@@ -242,8 +242,12 @@ mod tests {
             assign(local(0), bits_const(2, 8)),
         ];
         let pid = sys.add_procedure(p);
-        sys.behavior_mut(b).body.push(call(pid, vec![Arg::In(bits_const(0, 8))]));
-        sys.behavior_mut(b).body.push(call(pid, vec![Arg::In(bits_const(1, 8))]));
+        sys.behavior_mut(b)
+            .body
+            .push(call(pid, vec![Arg::In(bits_const(0, 8))]));
+        sys.behavior_mut(b)
+            .body
+            .push(call(pid, vec![Arg::In(bits_const(1, 8))]));
         let est = AreaEstimator::new().estimate_behavior(&sys, b).unwrap();
         // 2 original states + 2 from the procedure, shared across calls.
         assert_eq!(est.states, 4);

@@ -98,7 +98,13 @@ impl PerformanceEstimator {
             channel_accesses: HashMap::new(),
             assumptions: Vec::new(),
         };
-        est.cycles = self.walk(system, &system.behavior(behavior).body, timings, &mut est, 0)?;
+        est.cycles = self.walk(
+            system,
+            &system.behavior(behavior).body,
+            timings,
+            &mut est,
+            0,
+        )?;
         Ok(est)
     }
 
@@ -157,15 +163,14 @@ impl PerformanceEstimator {
                     let e = self.walk(system, else_body, timings, est, depth + 1)?;
                     t.max(e)
                 }
-                Stmt::For {
-                    from, to, body, ..
-                } => {
+                Stmt::For { from, to, body, .. } => {
                     let iters = match (const_eval(from), const_eval(to)) {
                         (Some(a), Some(b)) if b >= a => (b - a + 1) as u64,
                         (Some(_), Some(_)) => 0,
                         _ => {
-                            est.assumptions
-                                .push("for-loop with non-constant bounds assumed 1 iteration".into());
+                            est.assumptions.push(
+                                "for-loop with non-constant bounds assumed 1 iteration".into(),
+                            );
                             1
                         }
                     };
@@ -323,7 +328,9 @@ mod tests {
         let (sys, b, ch) = system_with_loop(128, 1);
         // 23-bit messages over an 8-bit handshake bus: 3 words x 2 clk = 6.
         let timings = ChannelTimings::uniform(&[ch], BusTiming::new(8, 2));
-        let est = PerformanceEstimator::new().estimate(&sys, b, &timings).unwrap();
+        let est = PerformanceEstimator::new()
+            .estimate(&sys, b, &timings)
+            .unwrap();
         assert_eq!(est.cycles, 128 * 6);
     }
 
@@ -387,11 +394,8 @@ mod tests {
     #[test]
     fn unknown_behavior_errors() {
         let sys = System::new("t");
-        let r = PerformanceEstimator::new().estimate(
-            &sys,
-            BehaviorId::new(3),
-            &ChannelTimings::new(),
-        );
+        let r =
+            PerformanceEstimator::new().estimate(&sys, BehaviorId::new(3), &ChannelTimings::new());
         assert!(matches!(r, Err(EstimateError::UnknownBehavior { .. })));
     }
 

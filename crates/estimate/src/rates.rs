@@ -223,12 +223,13 @@ mod tests {
             addr_bits: 0,
             accesses: 10,
         });
-        sys.behavior_mut(b).body.push(ifsyn_spec::Stmt::compute(100, "w"));
+        sys.behavior_mut(b)
+            .body
+            .push(ifsyn_spec::Stmt::compute(100, "w"));
         let rates = ChannelRates::new();
         let r = rates
             .average_rate(&sys, ch, &ChannelTimings::new())
             .unwrap();
         assert!((r - (10.0 * 16.0) / 100.0).abs() < 1e-9);
-
     }
 }

@@ -96,6 +96,7 @@ pub(crate) enum StmtAst {
         body: Vec<StmtAst>,
     },
     WaitUntil(ExprAst),
+    WaitUntilFor(ExprAst, u64),
     WaitOn(Vec<(String, u32, u32)>),
     WaitFor(u64),
     Compute {

@@ -29,10 +29,10 @@ pub(crate) enum Tok {
     Lt,
     Gt,
     Ge,
-    Eq,        // =
-    Ne,        // /=
-    Assign,    // :=
-    Drive,     // <=  (also "less-or-equal"; parser disambiguates by context)
+    Eq,     // =
+    Ne,     // /=
+    Assign, // :=
+    Drive,  // <=  (also "less-or-equal"; parser disambiguates by context)
     Plus,
     Minus,
     Star,
@@ -165,21 +165,16 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
                     while j < n && (bytes[j].is_ascii_hexdigit() || bytes[j] == '_') {
                         j += 1;
                     }
-                    let text: String = bytes[start + 2..j]
-                        .iter()
-                        .filter(|c| **c != '_')
-                        .collect();
-                    let value = i64::from_str_radix(&text, 16).map_err(|_| {
-                        ParseError::new(line, column, "invalid hex literal")
-                    })?;
+                    let text: String = bytes[start + 2..j].iter().filter(|c| **c != '_').collect();
+                    let value = i64::from_str_radix(&text, 16)
+                        .map_err(|_| ParseError::new(line, column, "invalid hex literal"))?;
                     let len = j - start;
                     push!(Tok::Int(value), len);
                 } else {
-                    let text: String =
-                        bytes[start..j].iter().filter(|c| **c != '_').collect();
-                    let value: i64 = text.parse().map_err(|_| {
-                        ParseError::new(line, column, "invalid integer literal")
-                    })?;
+                    let text: String = bytes[start..j].iter().filter(|c| **c != '_').collect();
+                    let value: i64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new(line, column, "invalid integer literal"))?;
                     let len = j - start;
                     push!(Tok::Int(value), len);
                 }
@@ -187,9 +182,7 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 let mut j = i;
-                while j < n
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_')
-                {
+                while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
                     j += 1;
                 }
                 let text: String = bytes[start..j].iter().collect();

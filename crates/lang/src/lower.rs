@@ -61,7 +61,11 @@ impl Lowerer {
                 }
                 Item::Behavior(b) => {
                     let module = *self.modules.get(&b.module).ok_or_else(|| {
-                        err_at(1, 1, format!("behavior `{}` names unknown module `{}`", b.name, b.module))
+                        err_at(
+                            1,
+                            1,
+                            format!("behavior `{}` names unknown module `{}`", b.name, b.module),
+                        )
                     })?;
                     if self.behaviors.contains_key(&b.name) {
                         return Err(err_at(1, 1, format!("duplicate behavior `{}`", b.name)));
@@ -82,8 +86,7 @@ impl Lowerer {
                             Some(init) => {
                                 let value = lower_init(init, &ty)
                                     .map_err(|m| err_at(v.line, v.column, m))?;
-                                self.sys
-                                    .add_variable_init(v.name.clone(), ty, id, value)
+                                self.sys.add_variable_init(v.name.clone(), ty, id, value)
                             }
                             None => self.sys.add_variable(v.name.clone(), ty, id),
                         };
@@ -97,13 +100,25 @@ impl Lowerer {
         for item in &file.items {
             if let Item::Channel(c) = item {
                 let accessor = *self.behaviors.get(&c.behavior).ok_or_else(|| {
-                    err_at(c.line, c.column, format!("unknown behavior `{}`", c.behavior))
+                    err_at(
+                        c.line,
+                        c.column,
+                        format!("unknown behavior `{}`", c.behavior),
+                    )
                 })?;
                 let variable = *self.variables.get(&c.variable).ok_or_else(|| {
-                    err_at(c.line, c.column, format!("unknown variable `{}`", c.variable))
+                    err_at(
+                        c.line,
+                        c.column,
+                        format!("unknown variable `{}`", c.variable),
+                    )
                 })?;
                 if self.channels.contains_key(&c.name) {
-                    return Err(err_at(c.line, c.column, format!("duplicate channel `{}`", c.name)));
+                    return Err(err_at(
+                        c.line,
+                        c.column,
+                        format!("duplicate channel `{}`", c.name),
+                    ));
                 }
                 let ty = &self.sys.variable(variable).ty;
                 let id = self.sys.add_channel(Channel {
@@ -154,9 +169,10 @@ impl Lowerer {
                 line,
                 column,
             } => {
-                let sig = *self.signals.get(signal).ok_or_else(|| {
-                    err_at(*line, *column, format!("unknown signal `{signal}`"))
-                })?;
+                let sig = *self
+                    .signals
+                    .get(signal)
+                    .ok_or_else(|| err_at(*line, *column, format!("unknown signal `{signal}`")))?;
                 Stmt::SignalAssign {
                     signal: sig,
                     value: self.expr(value, owner)?,
@@ -200,6 +216,10 @@ impl Lowerer {
                 body: self.stmts(body, owner)?,
             },
             StmtAst::WaitUntil(cond) => Stmt::Wait(WaitCond::Until(self.expr(cond, owner)?)),
+            StmtAst::WaitUntilFor(cond, cycles) => Stmt::Wait(WaitCond::UntilTimeout {
+                cond: self.expr(cond, owner)?,
+                cycles: *cycles,
+            }),
             StmtAst::WaitOn(names) => {
                 let mut signals = Vec::with_capacity(names.len());
                 for (name, line, column) in names {
@@ -268,16 +288,17 @@ impl Lowerer {
                         *column,
                         format!(
                             "channel `{channel}` {} an address argument",
-                            if has_addr { "requires" } else { "does not take" }
+                            if has_addr {
+                                "requires"
+                            } else {
+                                "does not take"
+                            }
                         ),
                     ));
                 }
                 Stmt::ChannelReceive {
                     channel: ch,
-                    addr: addr
-                        .as_ref()
-                        .map(|a| self.expr(a, owner))
-                        .transpose()?,
+                    addr: addr.as_ref().map(|a| self.expr(a, owner)).transpose()?,
                     target: self.lower_place(target, owner)?,
                 }
             }
@@ -336,11 +357,7 @@ impl Lowerer {
                             lo,
                         },
                         (Some(_), _) => {
-                            return Err(err_at(
-                                p.line,
-                                p.column,
-                                "signals cannot be indexed",
-                            ))
+                            return Err(err_at(p.line, p.column, "signals cannot be indexed"))
                         }
                     }
                 } else {
@@ -371,8 +388,7 @@ impl Lowerer {
     fn finish(mut self) -> Result<System, ParseError> {
         let estimator = PerformanceEstimator::new();
         let accessors: Vec<BehaviorId> = {
-            let mut v: Vec<BehaviorId> =
-                self.sys.channels.iter().map(|c| c.accessor).collect();
+            let mut v: Vec<BehaviorId> = self.sys.channels.iter().map(|c| c.accessor).collect();
             v.sort();
             v.dedup();
             v
@@ -497,10 +513,8 @@ mod tests {
 
     #[test]
     fn unknown_names_error_with_positions() {
-        let e = parse_system(
-            "system s;\nmodule m;\nbehavior p on m {\n  send nope(1);\n}",
-        )
-        .unwrap_err();
+        let e = parse_system("system s;\nmodule m;\nbehavior p on m {\n  send nope(1);\n}")
+            .unwrap_err();
         assert_eq!(e.line, 4);
         assert!(e.message.contains("unknown channel"));
     }
@@ -521,15 +535,12 @@ mod tests {
 
     #[test]
     fn array_initializers_check_length() {
-        let e = parse_system(
-            "system s; module m; store st on m { var a : int<8>[3] = [1, 2]; }",
-        )
-        .unwrap_err();
+        let e = parse_system("system s; module m; store st on m { var a : int<8>[3] = [1, 2]; }")
+            .unwrap_err();
         assert!(e.message.contains("2 elements"));
-        let sys = parse_system(
-            "system s; module m; store st on m { var a : int<8>[3] = [1, 2, 3]; }",
-        )
-        .unwrap();
+        let sys =
+            parse_system("system s; module m; store st on m { var a : int<8>[3] = [1, 2, 3]; }")
+                .unwrap();
         let a = sys.variable_by_name("a").unwrap();
         assert_eq!(
             sys.variable(a).initial_value(),
@@ -583,9 +594,6 @@ mod tests {
     #[test]
     fn duplicate_declarations_error() {
         assert!(parse_system("system s; module m; module m;").is_err());
-        assert!(parse_system(
-            "system s; module m; behavior p on m {} behavior p on m {}"
-        )
-        .is_err());
+        assert!(parse_system("system s; module m; behavior p on m {} behavior p on m {}").is_err());
     }
 }

@@ -167,9 +167,8 @@ impl<'a> Parser<'a> {
         } else if self.keyword("store") {
             true
         } else {
-            return Err(self.err(
-                "expected `module`, `signal`, `channel`, `behavior`, `process` or `store`",
-            ));
+            return Err(self
+                .err("expected `module`, `signal`, `channel`, `behavior`, `process` or `store`"));
         };
         let name = self.ident("behavior name")?;
         self.expect_keyword("on")?;
@@ -330,6 +329,11 @@ impl<'a> Parser<'a> {
         if self.keyword("wait") {
             if self.keyword("until") {
                 let cond = self.expr()?;
+                if self.keyword("for") {
+                    let n = self.int("watchdog cycle count")?;
+                    self.expect(Tok::Semi, "`;`")?;
+                    return Ok(StmtAst::WaitUntilFor(cond, n.max(0) as u64));
+                }
                 self.expect(Tok::Semi, "`;`")?;
                 return Ok(StmtAst::WaitUntil(cond));
             }
@@ -700,10 +704,7 @@ mod tests {
 
     #[test]
     fn parses_channel_decl() {
-        let f = parse_src(
-            "system s; module m; channel c1 : p writes mem;",
-        )
-        .unwrap();
+        let f = parse_src("system s; module m; channel c1 : p writes mem;").unwrap();
         let Item::Channel(c) = &f.items[1] else {
             panic!("expected channel");
         };
@@ -778,10 +779,9 @@ mod tests {
 
     #[test]
     fn precedence_is_sane() {
-        let f = parse_src(
-            "system s; module m; behavior p on m { var x : int<8>; x := 1 + 2 * 3; }",
-        )
-        .unwrap();
+        let f =
+            parse_src("system s; module m; behavior p on m { var x : int<8>; x := 1 + 2 * 3; }")
+                .unwrap();
         let Item::Behavior(b) = &f.items[1] else {
             panic!()
         };
@@ -811,10 +811,9 @@ mod tests {
 
     #[test]
     fn slice_syntax() {
-        let f = parse_src(
-            "system s; module m; behavior p on m { var x : bits<8>; x[7:4] := x[3:0]; }",
-        )
-        .unwrap();
+        let f =
+            parse_src("system s; module m; behavior p on m { var x : bits<8>; x[7:4] := x[3:0]; }")
+                .unwrap();
         let Item::Behavior(b) = &f.items[1] else {
             panic!()
         };

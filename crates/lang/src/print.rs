@@ -8,9 +8,7 @@
 
 use std::fmt::Write as _;
 
-use ifsyn_spec::{
-    BehaviorId, BinOp, Expr, Place, Stmt, System, Ty, UnaryOp, Value, WaitCond,
-};
+use ifsyn_spec::{BehaviorId, BinOp, Expr, Place, Stmt, System, Ty, UnaryOp, Value, WaitCond};
 
 /// Why a system could not be printed as language source.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -224,6 +222,13 @@ fn print_stmt(
         Stmt::Wait(WaitCond::Until(e)) => {
             let _ = writeln!(out, "{pad}wait until {};", expr_str(system, e, 0)?);
         }
+        Stmt::Wait(WaitCond::UntilTimeout { cond, cycles }) => {
+            let _ = writeln!(
+                out,
+                "{pad}wait until {} for {cycles};",
+                expr_str(system, cond, 0)?
+            );
+        }
         Stmt::Wait(WaitCond::OnSignals(signals)) => {
             let names: Vec<&str> = signals
                 .iter()
@@ -297,9 +302,7 @@ fn place_str(system: &System, place: &Place) -> Result<String, PrintError> {
         Place::Slice { base, hi, lo } => {
             format!("{}[{hi}:{lo}]", place_str(system, base)?)
         }
-        Place::DynSlice { .. } => {
-            return Err(unsupported("dynamic slices have no surface syntax"))
-        }
+        Place::DynSlice { .. } => return Err(unsupported("dynamic slices have no surface syntax")),
     })
 }
 
@@ -481,12 +484,14 @@ mod tests {
 
     #[test]
     fn precedence_printing_is_minimal_but_correct() {
-        let (a, b) = roundtrip(
-            "system s; module m; behavior p on m { var x : int<8>; x := 1 + 2 * 3; }",
-        );
+        let (a, b) =
+            roundtrip("system s; module m; behavior p on m { var x : int<8>; x := 1 + 2 * 3; }");
         assert_eq!(a, b);
         let printed = print_system(&a).unwrap();
         assert!(printed.contains("1 + 2 * 3"), "{printed}");
-        assert!(!printed.contains("(2 * 3)"), "no redundant parens: {printed}");
+        assert!(
+            !printed.contains("(2 * 3)"),
+            "no redundant parens: {printed}"
+        );
     }
 }

@@ -15,14 +15,14 @@ fn shipped_specs_roundtrip() {
         }
         seen += 1;
         let src = std::fs::read_to_string(&path).expect("readable");
-        let sys = ifsyn_lang::parse_system(&src)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let sys =
+            ifsyn_lang::parse_system(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         // Auto-declared loop counters land at different table positions
         // on reparse, so System equality is too strict; the correct
         // invariant is that printing reaches a fixpoint after one
         // parse/print cycle (the systems are isomorphic).
-        let p1 = ifsyn_lang::print_system(&sys)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let p1 =
+            ifsyn_lang::print_system(&sys).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let reparsed = ifsyn_lang::parse_system(&p1)
             .unwrap_or_else(|e| panic!("{} (reprinted): {e}\n{p1}", path.display()));
         let p2 = ifsyn_lang::print_system(&reparsed)
@@ -64,10 +64,10 @@ fn parser_never_panics_on_garbage() {
 #[test]
 fn parser_never_panics_on_plausible_soup() {
     const WORDS: [&str; 44] = [
-        "system", "module", "behavior", "on", "store", "channel", "var", ":", ";", "{", "}",
-        "(", ")", "[", "]", "int", "<", ">", "bits", "bit", "if", "else", "for", "in", "to",
-        "while", "wait", "until", "send", "receive", "compute", ":=", "<=", "+", "*", "=",
-        "x", "y", "m", "p", "1", "128", "\"0101\"", "'1'",
+        "system", "module", "behavior", "on", "store", "channel", "var", ":", ";", "{", "}", "(",
+        ")", "[", "]", "int", "<", ">", "bits", "bit", "if", "else", "for", "in", "to", "while",
+        "wait", "until", "send", "receive", "compute", ":=", "<=", "+", "*", "=", "x", "y", "m",
+        "p", "1", "128", "\"0101\"", "'1'",
     ];
     let mut rng = SplitMix64::new(0x50_0b);
     for _ in 0..512 {

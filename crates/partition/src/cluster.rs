@@ -112,11 +112,7 @@ fn const_int(e: &ifsyn_spec::Expr) -> Option<i64> {
 /// Agglomerative clustering: merge the closest clusters until `k` remain.
 ///
 /// Returns a cluster index per object, in the order given.
-pub(crate) fn cluster(
-    objects: &[Object],
-    closeness: &Closeness,
-    k: usize,
-) -> Vec<usize> {
+pub(crate) fn cluster(objects: &[Object], closeness: &Closeness, k: usize) -> Vec<usize> {
     let n = objects.len();
     let mut cluster_of: Vec<usize> = (0..n).collect();
     let mut active: Vec<bool> = vec![true; n];

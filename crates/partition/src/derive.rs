@@ -82,12 +82,7 @@ impl Derive {
         ch
     }
 
-    fn fresh_temp(
-        &mut self,
-        sys: &mut System,
-        behavior: ifsyn_spec::BehaviorId,
-        ty: Ty,
-    ) -> VarId {
+    fn fresh_temp(&mut self, sys: &mut System, behavior: ifsyn_spec::BehaviorId, ty: Ty) -> VarId {
         let name = format!("rtmp{}_{}", self.temp_counter, sys.behavior(behavior).name);
         self.temp_counter += 1;
         sys.add_variable(name, ty, behavior)
@@ -283,47 +278,44 @@ impl Derive {
         out: &mut Vec<Stmt>,
     ) -> Result<Expr, PartitionError> {
         Ok(match expr {
-            Expr::Load(place) => {
-                match self.classify_target(sys, module, &place) {
-                    Target::Local => {
-                        let place =
-                            self.rewrite_place(sys, behavior, module, place, out)?;
-                        Expr::Load(place)
-                    }
-                    Target::RemoteScalar(v) => {
-                        let ty = sys.variable(v).ty.clone();
-                        let temp = self.fresh_temp(sys, behavior, ty);
-                        let ch = self.channel_for(sys, behavior, v, ChannelDirection::Read);
-                        out.push(Stmt::ChannelReceive {
-                            channel: ch,
-                            addr: None,
-                            target: Place::Var(temp),
-                        });
-                        Expr::Load(Place::Var(temp))
-                    }
-                    Target::RemoteElement(v, idx) => {
-                        let idx = self.extract_reads(sys, behavior, module, idx, out)?;
-                        let elem_ty = match &sys.variable(v).ty {
-                            Ty::Array { elem, .. } => (**elem).clone(),
-                            other => other.clone(),
-                        };
-                        let temp = self.fresh_temp(sys, behavior, elem_ty);
-                        let ch = self.channel_for(sys, behavior, v, ChannelDirection::Read);
-                        out.push(Stmt::ChannelReceive {
-                            channel: ch,
-                            addr: Some(idx),
-                            target: Place::Var(temp),
-                        });
-                        Expr::Load(Place::Var(temp))
-                    }
-                    Target::Unsupported(v) => {
-                        return Err(PartitionError::UnsupportedRemoteAccess {
-                            behavior: sys.behavior(behavior).name.clone(),
-                            variable: sys.variable(v).name.clone(),
-                        })
-                    }
+            Expr::Load(place) => match self.classify_target(sys, module, &place) {
+                Target::Local => {
+                    let place = self.rewrite_place(sys, behavior, module, place, out)?;
+                    Expr::Load(place)
                 }
-            }
+                Target::RemoteScalar(v) => {
+                    let ty = sys.variable(v).ty.clone();
+                    let temp = self.fresh_temp(sys, behavior, ty);
+                    let ch = self.channel_for(sys, behavior, v, ChannelDirection::Read);
+                    out.push(Stmt::ChannelReceive {
+                        channel: ch,
+                        addr: None,
+                        target: Place::Var(temp),
+                    });
+                    Expr::Load(Place::Var(temp))
+                }
+                Target::RemoteElement(v, idx) => {
+                    let idx = self.extract_reads(sys, behavior, module, idx, out)?;
+                    let elem_ty = match &sys.variable(v).ty {
+                        Ty::Array { elem, .. } => (**elem).clone(),
+                        other => other.clone(),
+                    };
+                    let temp = self.fresh_temp(sys, behavior, elem_ty);
+                    let ch = self.channel_for(sys, behavior, v, ChannelDirection::Read);
+                    out.push(Stmt::ChannelReceive {
+                        channel: ch,
+                        addr: Some(idx),
+                        target: Place::Var(temp),
+                    });
+                    Expr::Load(Place::Var(temp))
+                }
+                Target::Unsupported(v) => {
+                    return Err(PartitionError::UnsupportedRemoteAccess {
+                        behavior: sys.behavior(behavior).name.clone(),
+                        variable: sys.variable(v).name.clone(),
+                    })
+                }
+            },
             Expr::Unary { op, arg } => Expr::Unary {
                 op,
                 arg: Box::new(self.extract_reads(sys, behavior, module, *arg, out)?),
@@ -389,12 +381,7 @@ impl Derive {
         }
     }
 
-    fn first_remote_in_expr(
-        &self,
-        sys: &System,
-        module: ModuleId,
-        expr: &Expr,
-    ) -> Option<VarId> {
+    fn first_remote_in_expr(&self, sys: &System, module: ModuleId, expr: &Expr) -> Option<VarId> {
         let mut vars = Vec::new();
         expr.collect_vars(&mut vars);
         vars.into_iter().find(|&v| self.is_remote(sys, module, v))
@@ -431,20 +418,14 @@ mod tests {
         let (mut sys, a, mem, _) = fig1ish();
         let ar = sys.add_variable("AR", Ty::Int(16), a);
         let accum = sys.add_variable("ACCUM", Ty::Int(16), a);
-        sys.behavior_mut(a).body = vec![assign(
-            index(var(mem), load(var(ar))),
-            load(var(accum)),
-        )];
+        sys.behavior_mut(a).body = vec![assign(index(var(mem), load(var(ar))), load(var(accum)))];
         let chans = derive_channels(&mut sys).unwrap();
         assert_eq!(chans.len(), 1);
         let ch = sys.channel(chans[0]);
         assert_eq!(ch.direction, ChannelDirection::Write);
         assert_eq!(ch.data_bits, 16);
         assert_eq!(ch.addr_bits, 6);
-        assert!(matches!(
-            sys.behavior(a).body[0],
-            Stmt::ChannelSend { .. }
-        ));
+        assert!(matches!(sys.behavior(a).body[0], Stmt::ChannelSend { .. }));
         assert!(sys.check().is_ok());
     }
 

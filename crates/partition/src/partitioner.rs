@@ -89,7 +89,11 @@ impl Partitioner {
     }
 
     /// Pins a behavior to a named module.
-    pub fn place_behavior(mut self, behavior: impl Into<String>, module: impl Into<String>) -> Self {
+    pub fn place_behavior(
+        mut self,
+        behavior: impl Into<String>,
+        module: impl Into<String>,
+    ) -> Self {
         self.behavior_placements
             .push((behavior.into(), module.into()));
         self
@@ -97,7 +101,11 @@ impl Partitioner {
 
     /// Pins a variable to a named module. The variable's storage is
     /// reassigned to a `<module>_store` behavior created on demand.
-    pub fn place_variable(mut self, variable: impl Into<String>, module: impl Into<String>) -> Self {
+    pub fn place_variable(
+        mut self,
+        variable: impl Into<String>,
+        module: impl Into<String>,
+    ) -> Self {
         self.variable_placements
             .push((variable.into(), module.into()));
         self
@@ -230,17 +238,11 @@ fn store_behavior(sys: &mut System, module: ModuleId) -> BehaviorId {
 
 /// Sets each derived channel's access count from a static walk of the
 /// accessor's rewritten body.
-fn fill_access_counts(
-    sys: &mut System,
-    channels: &[ChannelId],
-) -> Result<(), PartitionError> {
+fn fill_access_counts(sys: &mut System, channels: &[ChannelId]) -> Result<(), PartitionError> {
     let estimator = PerformanceEstimator::new();
     let mut counts: HashMap<ChannelId, u64> = HashMap::new();
     let accessors: Vec<BehaviorId> = {
-        let mut v: Vec<BehaviorId> = channels
-            .iter()
-            .map(|&c| sys.channel(c).accessor)
-            .collect();
+        let mut v: Vec<BehaviorId> = channels.iter().map(|&c| sys.channel(c).accessor).collect();
         v.dedup();
         v
     };

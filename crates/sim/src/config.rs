@@ -2,6 +2,8 @@
 
 use ifsyn_estimate::CostModel;
 
+use crate::fault::FaultPlan;
+
 /// Configuration knobs of the simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -23,6 +25,16 @@ pub struct SimConfig {
     /// Maximum number of recorded trace events; recording stops (but the
     /// simulation continues) when the bound is reached.
     pub max_trace_events: usize,
+    /// Scheduled signal faults (default: empty, no faults).
+    pub fault_plan: FaultPlan,
+    /// Treat a quiescent end state with blocked *non-repeating* processes
+    /// as a [`crate::SimError::Deadlock`] carrying a structured diagnosis.
+    ///
+    /// Off by default: a refined system's servers idle on their bus at
+    /// quiescence by design, and some specifications intentionally leave
+    /// a process parked forever. Fault campaigns and the CLI turn this on
+    /// to convert silent hangs into diagnosable failures.
+    pub fail_on_deadlock: bool,
 }
 
 impl SimConfig {
@@ -35,6 +47,8 @@ impl SimConfig {
             cost_model: CostModel::new(),
             trace: false,
             max_trace_events: 100_000,
+            fault_plan: FaultPlan::new(),
+            fail_on_deadlock: false,
         }
     }
 
@@ -53,6 +67,19 @@ impl SimConfig {
     /// Builder-style setter for the cost model.
     pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
         self.cost_model = cost_model;
+        self
+    }
+
+    /// Builder-style setter for the fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Builder-style switch turning blocked-at-quiescence non-repeating
+    /// processes into a [`crate::SimError::Deadlock`].
+    pub fn with_deadlock_detection(mut self) -> Self {
+        self.fail_on_deadlock = true;
         self
     }
 }

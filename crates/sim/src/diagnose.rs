@@ -1,0 +1,184 @@
+//! Structured deadlock diagnosis.
+//!
+//! When a run ends with processes suspended on waits that can never be
+//! satisfied, a bare "timeout" or a silently quiescent report hides the
+//! actual failure. The diagnosis records, per blocked process, the wait
+//! it is suspended on and the signal values it observed, and detects
+//! wait-for cycles (process A waits on a signal only process B writes,
+//! and vice versa — the classic handshake deadlock shape).
+
+use std::fmt;
+
+/// One blocked process and what it is waiting for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedWait {
+    /// Name of the blocked behavior.
+    pub behavior: String,
+    /// Human-readable form of the wait it is suspended on
+    /// (e.g. `wait until B_DONE = '1'`).
+    pub wait: String,
+    /// `(signal name, current value)` for every signal in the wait's
+    /// sensitivity list, as observed when the diagnosis was taken.
+    pub observed: Vec<(String, String)>,
+}
+
+impl fmt::Display for BlockedWait {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` suspended on {}", self.behavior, self.wait)?;
+        if !self.observed.is_empty() {
+            let vals: Vec<String> = self
+                .observed
+                .iter()
+                .map(|(n, v)| format!("{n} = {v}"))
+                .collect();
+            write!(f, " (observed {})", vals.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A full deadlock diagnosis: every blocked process plus any wait-for
+/// cycles among them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockDiagnosis {
+    /// Time at which the diagnosis was taken.
+    pub time: u64,
+    /// Every process suspended on a wait, servers included.
+    pub blocked: Vec<BlockedWait>,
+    /// Wait-for cycles among the blocked processes: each entry lists the
+    /// behavior names around one cycle (`A -> B -> ... -> A`).
+    pub cycles: Vec<Vec<String>>,
+}
+
+impl DeadlockDiagnosis {
+    /// The blocked entry of a behavior, if it is blocked.
+    pub fn blocked_behavior(&self, name: &str) -> Option<&BlockedWait> {
+        self.blocked.iter().find(|b| b.behavior == name)
+    }
+}
+
+impl fmt::Display for DeadlockDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "deadlock at t = {}:", self.time)?;
+        for b in &self.blocked {
+            writeln!(f, "  {b}")?;
+        }
+        for cycle in &self.cycles {
+            writeln!(f, "  wait-for cycle: {}", cycle.join(" -> "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Finds elementary cycles in a wait-for graph given as adjacency lists
+/// (`edges[i]` = processes that `i` waits for). Returns each cycle once,
+/// as the list of node indices in cycle order.
+///
+/// The graphs here are tiny (blocked processes of one simulation), so a
+/// simple DFS with a recursion stack suffices.
+pub(crate) fn find_cycles(n: usize, edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut cycles: Vec<Vec<usize>> = Vec::new();
+    let mut color = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
+    let mut stack: Vec<usize> = Vec::new();
+
+    fn dfs(
+        v: usize,
+        edges: &[Vec<usize>],
+        color: &mut [u8],
+        stack: &mut Vec<usize>,
+        cycles: &mut Vec<Vec<usize>>,
+    ) {
+        color[v] = 1;
+        stack.push(v);
+        for &w in &edges[v] {
+            if color[w] == 0 {
+                dfs(w, edges, color, stack, cycles);
+            } else if color[w] == 1 {
+                // Found a back edge: the cycle is the stack suffix from w.
+                let pos = stack.iter().position(|&x| x == w).expect("on stack");
+                let cyc: Vec<usize> = stack[pos..].to_vec();
+                // Report each cycle once, keyed by its smallest rotation.
+                let canonical = canonical_rotation(&cyc);
+                if !cycles.iter().any(|c| canonical_rotation(c) == canonical) {
+                    cycles.push(cyc);
+                }
+            }
+        }
+        stack.pop();
+        color[v] = 2;
+    }
+
+    for v in 0..n {
+        if color[v] == 0 {
+            dfs(v, edges, &mut color, &mut stack, &mut cycles);
+        }
+    }
+    cycles
+}
+
+/// Rotates a cycle so its smallest element comes first (canonical form
+/// for deduplication).
+fn canonical_rotation(cycle: &[usize]) -> Vec<usize> {
+    if cycle.is_empty() {
+        return Vec::new();
+    }
+    let min_pos = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &v)| v)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min_pos..]);
+    out.extend_from_slice(&cycle[..min_pos]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_node_cycle_found() {
+        // 0 waits for 1, 1 waits for 0.
+        let cycles = find_cycles(2, &[vec![1], vec![0]]);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(canonical_rotation(&cycles[0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn self_loop_found() {
+        let cycles = find_cycles(1, &[vec![0]]);
+        assert_eq!(cycles, vec![vec![0]]);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let cycles = find_cycles(3, &[vec![1], vec![2], vec![]]);
+        assert!(cycles.is_empty());
+    }
+
+    #[test]
+    fn duplicate_cycles_are_reported_once() {
+        // Two entry points into the same 2-cycle.
+        let cycles = find_cycles(3, &[vec![1], vec![2], vec![1]]);
+        assert_eq!(cycles.len(), 1);
+    }
+
+    #[test]
+    fn display_names_the_blocked_process() {
+        let d = DeadlockDiagnosis {
+            time: 42,
+            blocked: vec![BlockedWait {
+                behavior: "CONV_R2".into(),
+                wait: "wait until B_DONE = '1'".into(),
+                observed: vec![("B_DONE".into(), "'0'".into())],
+            }],
+            cycles: vec![vec!["CONV_R2".into(), "trru2proc".into()]],
+        };
+        let s = d.to_string();
+        assert!(s.contains("CONV_R2"));
+        assert!(s.contains("B_DONE = '0'"));
+        assert!(s.contains("wait-for cycle"));
+    }
+}

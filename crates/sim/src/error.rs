@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::diagnose::DeadlockDiagnosis;
+
 /// Errors produced while compiling or running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -30,6 +32,17 @@ pub enum SimError {
     Timeout {
         /// The configured limit.
         max_time: u64,
+        /// Which processes were suspended on waits when the limit was
+        /// hit; `None` when nothing was blocked (the system was simply
+        /// still making progress).
+        diagnosis: Option<Box<DeadlockDiagnosis>>,
+    },
+    /// The system went quiescent with non-repeating processes still
+    /// suspended on waits that no remaining event can satisfy. Only
+    /// raised when [`crate::SimConfig::fail_on_deadlock`] is set.
+    Deadlock {
+        /// Per-process wait diagnosis, including wait-for cycles.
+        diagnosis: Box<DeadlockDiagnosis>,
     },
     /// A runtime evaluation error (type mismatch, index out of range).
     Eval {
@@ -59,8 +72,18 @@ impl fmt::Display for SimError {
             SimError::DeltaOverflow { time } => {
                 write!(f, "delta cycle overflow at time {time}")
             }
-            SimError::Timeout { max_time } => {
-                write!(f, "simulation exceeded max time of {max_time} cycles")
+            SimError::Timeout {
+                max_time,
+                diagnosis,
+            } => {
+                write!(f, "simulation exceeded max time of {max_time} cycles")?;
+                if let Some(d) = diagnosis {
+                    write!(f, "; {}", d.to_string().trim_end())?;
+                }
+                Ok(())
+            }
+            SimError::Deadlock { diagnosis } => {
+                write!(f, "{}", diagnosis.to_string().trim_end())
             }
             SimError::Eval { message } => write!(f, "evaluation error: {message}"),
             SimError::AssertionFailed {

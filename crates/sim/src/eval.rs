@@ -87,11 +87,7 @@ pub(crate) fn coerce(value: Value, ty: &Ty) -> Value {
 }
 
 /// Computes the type of a place in the given code scope.
-pub(crate) fn place_ty(
-    system: &System,
-    code: CodeRef,
-    place: &Place,
-) -> Result<Ty, SimError> {
+pub(crate) fn place_ty(system: &System, code: CodeRef, place: &Place) -> Result<Ty, SimError> {
     match place {
         Place::Var(v) => {
             let decl = system
@@ -552,8 +548,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ty, Ty::Int(8));
-        let ty = place_ty(&sys, CodeRef::Behavior(0), &slice(var(VarId::new(1)), 3, 1))
-            .unwrap();
+        let ty = place_ty(&sys, CodeRef::Behavior(0), &slice(var(VarId::new(1)), 3, 1)).unwrap();
         assert_eq!(ty, Ty::Bits(3));
         assert!(place_ty(&sys, CodeRef::Behavior(0), &local(0)).is_err());
     }

@@ -4,14 +4,20 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use ifsyn_spec::{Arg, Expr, ParamMode, Place, System, Ty, Value};
+use ifsyn_spec::{Arg, BitVec, Expr, ParamMode, Place, System, Ty, Value};
 
 use crate::config::SimConfig;
+use crate::diagnose::{find_cycles, BlockedWait, DeadlockDiagnosis};
 use crate::error::SimError;
 use crate::eval::{coerce, eval, place_ty, read_place, EvalCtx};
+use crate::fault::{FaultKind, InjectedFault};
 use crate::process::{CodeRef, Frame, Process, ResolvedPlace, Root, Status, Step, WaitKind};
 use crate::program::{Instr, Program, WaitSpec};
 use crate::report::{BehaviorOutcome, SimReport, TraceEvent};
+
+/// Upper bound on recorded [`InjectedFault`] entries, so a stuck line on
+/// a long run cannot grow the report without bound.
+const MAX_RECORDED_INJECTIONS: usize = 10_000;
 
 /// A scheduled future signal write.
 ///
@@ -24,6 +30,9 @@ struct TimedWrite {
     seq: u64,
     signal: usize,
     value: Value,
+    /// Forced writes (fault injections and already-delayed writes) bypass
+    /// the fault filter when they take effect.
+    forced: bool,
 }
 
 impl PartialEq for TimedWrite {
@@ -44,6 +53,20 @@ impl Ord for TimedWrite {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
+}
+
+/// A fault from the configured plan with its signal resolved to an index.
+#[derive(Debug)]
+struct ResolvedFault {
+    signal: usize,
+    kind: FaultKind,
+}
+
+/// What the fault filter decides about a write in the update phase.
+enum Disposition {
+    Keep,
+    Drop(&'static str),
+    Delay(u64),
 }
 
 /// A deterministic discrete-event simulator over a [`System`].
@@ -100,14 +123,31 @@ pub struct Simulator<'a> {
     vars: Vec<Value>,
     processes: Vec<Process>,
     ready: VecDeque<usize>,
-    /// Zero-delay signal writes awaiting the next delta.
-    pending: Vec<(usize, Value)>,
+    /// Zero-delay signal writes awaiting the next delta; the flag marks
+    /// forced writes that bypass the fault filter.
+    pending: Vec<(usize, Value, bool)>,
     /// Future signal writes: a min-heap on `(time, seq)`.
     timed_writes: BinaryHeap<Reverse<TimedWrite>>,
     /// Sleeping processes: a min-heap on `(time, seq, pid)`. Entries are
     /// lazily invalidated — a pop whose process is no longer `Sleeping`
     /// is skipped rather than eagerly removed.
     sleepers: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Watchdog deadlines of timeout waits: a min-heap on
+    /// `(time, seq, pid, wait_gen)`. An entry is stale — skipped, never
+    /// advancing time — unless its process is still `Waiting` with the
+    /// same `wait_gen` it suspended with.
+    wait_timeouts: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    /// The configured fault plan, signal names resolved to indices.
+    faults: Vec<ResolvedFault>,
+    /// Per signal: indices into `faults` (empty without a plan).
+    signal_faults: Vec<Vec<usize>>,
+    /// Scheduled one-shot injections (stuck-value forcings, bit flips):
+    /// a min-heap on `(time, seq, fault index)`.
+    injections: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Faults actually applied, for the report (bounded).
+    injected: Vec<InjectedFault>,
+    /// Fast-path flag: the plan was non-empty.
+    has_faults: bool,
     /// Monotonic tiebreaker giving heap entries FIFO order per instant.
     event_seq: u64,
     /// Per signal: processes registered as waiters (swap-remove lists;
@@ -174,6 +214,36 @@ impl<'a> Simulator<'a> {
         let processes: Vec<Process> = (0..system.behaviors.len()).map(Process::new).collect();
         let ready = (0..processes.len()).collect();
         let n_signals = signals.len();
+        // Resolve fault-plan signal names once; unknown names are a
+        // configuration error, not something to discover mid-run.
+        let mut faults = Vec::with_capacity(config.fault_plan.faults.len());
+        let mut signal_faults = vec![Vec::new(); n_signals];
+        let mut injections = BinaryHeap::new();
+        for f in &config.fault_plan.faults {
+            let idx = system
+                .signals
+                .iter()
+                .position(|s| s.name == f.signal)
+                .ok_or_else(|| SimError::InvalidSystem {
+                    message: format!("fault plan names unknown signal `{}`", f.signal),
+                })?;
+            let fi = faults.len();
+            match f.kind {
+                FaultKind::StuckAt { from, .. } => {
+                    injections.push(Reverse((from, fi as u64, fi)));
+                }
+                FaultKind::FlipBit { at, .. } => {
+                    injections.push(Reverse((at, fi as u64, fi)));
+                }
+                FaultKind::DelayWrites { .. } | FaultKind::DropWrites { .. } => {}
+            }
+            signal_faults[idx].push(fi);
+            faults.push(ResolvedFault {
+                signal: idx,
+                kind: f.kind.clone(),
+            });
+        }
+        let has_faults = !faults.is_empty();
         Ok(Self {
             system,
             config,
@@ -187,6 +257,12 @@ impl<'a> Simulator<'a> {
             pending: Vec::new(),
             timed_writes: BinaryHeap::new(),
             sleepers: BinaryHeap::new(),
+            wait_timeouts: BinaryHeap::new(),
+            faults,
+            signal_faults,
+            injections,
+            injected: Vec::new(),
+            has_faults,
             event_seq: 0,
             waiters: vec![Vec::new(); n_signals],
             last_write: vec![usize::MAX; n_signals],
@@ -216,6 +292,17 @@ impl<'a> Simulator<'a> {
     /// * [`SimError::Eval`] — a runtime type or bounds violation.
     pub fn run_to_quiescence(mut self) -> Result<SimReport, SimError> {
         self.run_events(None)?;
+        if self.config.fail_on_deadlock {
+            let stuck = self.processes.iter().any(|p| {
+                matches!(p.status, Status::Waiting(_)) && !self.system.behaviors[p.behavior].repeats
+            });
+            if stuck {
+                let diagnosis = self.diagnosis().expect("a blocked process exists");
+                return Err(SimError::Deadlock {
+                    diagnosis: Box::new(diagnosis),
+                });
+            }
+        }
         Ok(self.into_report())
     }
 
@@ -241,12 +328,16 @@ impl<'a> Simulator<'a> {
             self.settle_instant()?;
             let next_write = self.timed_writes.peek().map(|Reverse(w)| w.time);
             let next_sleep = self.sleepers.peek().map(|&Reverse((t, _, _))| t);
-            let next = match (next_write, next_sleep) {
-                (None, None) => break,
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (Some(a), Some(b)) => a.min(b),
-            };
+            // Stale watchdog entries must be pruned *before* choosing the
+            // next instant — a satisfied wait's leftover deadline must not
+            // drag simulated time forward.
+            let next_timeout = self.next_live_wait_timeout();
+            let next_injection = self.injections.peek().map(|&Reverse((t, _, _))| t);
+            let next = [next_write, next_sleep, next_timeout, next_injection]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(next) = next else { break };
             if let Some(deadline) = deadline {
                 if next > deadline {
                     self.time = deadline;
@@ -256,6 +347,7 @@ impl<'a> Simulator<'a> {
             if next > self.config.max_time {
                 return Err(SimError::Timeout {
                     max_time: self.config.max_time,
+                    diagnosis: self.diagnosis().map(Box::new),
                 });
             }
             self.time = next;
@@ -266,7 +358,7 @@ impl<'a> Simulator<'a> {
                 .is_some_and(|Reverse(w)| w.time == next)
             {
                 let Reverse(w) = self.timed_writes.pop().expect("peeked");
-                self.pending.push((w.signal, w.value));
+                self.pending.push((w.signal, w.value, w.forced));
             }
             while self
                 .sleepers
@@ -280,8 +372,102 @@ impl<'a> Simulator<'a> {
                     self.ready.push_back(pid);
                 }
             }
+            while self
+                .wait_timeouts
+                .peek()
+                .is_some_and(|&Reverse((t, _, _, _))| t == next)
+            {
+                let Reverse((_, _, pid, gen)) = self.wait_timeouts.pop().expect("peeked");
+                // Same lazy invalidation as sleepers: only a process still
+                // suspended on the *same* wait expires.
+                let p = &self.processes[pid];
+                if matches!(p.status, Status::Waiting(_)) && p.wait_gen == gen {
+                    self.make_ready(pid);
+                }
+            }
+            while self
+                .injections
+                .peek()
+                .is_some_and(|&Reverse((t, _, _))| t == next)
+            {
+                let Reverse((_, _, fi)) = self.injections.pop().expect("peeked");
+                self.apply_injection(fi);
+            }
         }
         Ok(())
+    }
+
+    /// Earliest watchdog deadline still attached to a live suspension,
+    /// popping stale entries on the way.
+    fn next_live_wait_timeout(&mut self) -> Option<u64> {
+        while let Some(&Reverse((t, _, pid, gen))) = self.wait_timeouts.peek() {
+            let p = &self.processes[pid];
+            if matches!(p.status, Status::Waiting(_)) && p.wait_gen == gen {
+                return Some(t);
+            }
+            self.wait_timeouts.pop();
+        }
+        None
+    }
+
+    /// Applies a scheduled one-shot injection (stuck-value forcing or bit
+    /// flip) as a forced zero-delay write, bypassing the fault filter.
+    fn apply_injection(&mut self, fi: usize) {
+        let sig = self.faults[fi].signal;
+        match &self.faults[fi].kind {
+            FaultKind::StuckAt { value, .. } => {
+                let system: &'a System = self.system;
+                let v = coerce(value.clone(), &system.signals[sig].ty);
+                self.pending.push((sig, v, true));
+                self.record_injection(sig, "forced stuck value".to_string());
+            }
+            FaultKind::FlipBit { bit, .. } => {
+                let bit = *bit;
+                let cur = &self.signals[sig];
+                let ty = cur.ty();
+                let mut bits = cur.to_bits();
+                if bit < bits.width() {
+                    let inverted = BitVec::from_u64(u64::from(!bits.bit(bit)), 1);
+                    bits.write_slice(bit, bit, &inverted);
+                    let v = Value::from_bits(&ty, &bits);
+                    self.pending.push((sig, v, true));
+                    self.record_injection(sig, format!("bit {bit} flipped"));
+                }
+            }
+            FaultKind::DelayWrites { .. } | FaultKind::DropWrites { .. } => {}
+        }
+    }
+
+    /// Records an applied fault for the report, up to the cap.
+    fn record_injection(&mut self, sig: usize, effect: String) {
+        if self.injected.len() < MAX_RECORDED_INJECTIONS {
+            self.injected.push(InjectedFault {
+                time: self.time,
+                signal: self.system.signals[sig].name.clone(),
+                effect,
+            });
+        }
+    }
+
+    /// Decides what happens to an ordinary write to `sig` landing now.
+    fn write_disposition(&self, sig: usize) -> Disposition {
+        for &fi in &self.signal_faults[sig] {
+            let kind = &self.faults[fi].kind;
+            if !kind.window_contains(self.time) {
+                continue;
+            }
+            match kind {
+                FaultKind::StuckAt { .. } => {
+                    return Disposition::Drop("write dropped (stuck line)")
+                }
+                FaultKind::DropWrites { .. } => return Disposition::Drop("write dropped"),
+                FaultKind::DelayWrites { cycles, .. } if *cycles > 0 => {
+                    return Disposition::Delay(*cycles)
+                }
+                _ => {}
+            }
+        }
+        Disposition::Keep
     }
 
     /// Executes all delta cycles of the current time instant.
@@ -322,24 +508,25 @@ impl<'a> Simulator<'a> {
         self.changed.clear();
         if self.pending.len() == 1 {
             // Single write: no collision bookkeeping needed.
-            let (sig, value) = self.pending.pop().expect("len checked");
-            self.apply_one(sig, value);
+            let (sig, value, forced) = self.pending.pop().expect("len checked");
+            self.apply_one(sig, value, forced);
             return;
         }
         let mut pending = std::mem::take(&mut self.pending);
         // Pass 1: last write per signal wins.
-        for (i, (sig, _)) in pending.iter().enumerate() {
+        for (i, (sig, _, _)) in pending.iter().enumerate() {
             self.last_write[*sig] = i;
         }
         // Pass 2: apply winners in first-write order, resetting scratch.
-        for i in 0..pending.len() {
-            let sig = pending[i].0;
+        for (i, entry) in pending.iter_mut().enumerate() {
+            let sig = entry.0;
             if self.last_write[sig] != i {
                 continue;
             }
             self.last_write[sig] = usize::MAX;
-            let value = std::mem::replace(&mut pending[i].1, Value::Bit(false));
-            self.apply_one(sig, value);
+            let value = std::mem::replace(&mut entry.1, Value::Bit(false));
+            let forced = entry.2;
+            self.apply_one(sig, value, forced);
         }
         pending.clear();
         // Processes may have queued new writes only after this returns,
@@ -347,8 +534,24 @@ impl<'a> Simulator<'a> {
         self.pending = pending;
     }
 
-    /// Applies one winning write, recording the event if it changed.
-    fn apply_one(&mut self, sig: usize, value: Value) {
+    /// Applies one winning write (first through the fault filter, unless
+    /// forced), recording the event if it changed.
+    fn apply_one(&mut self, sig: usize, value: Value, forced: bool) {
+        if self.has_faults && !forced {
+            match self.write_disposition(sig) {
+                Disposition::Keep => {}
+                Disposition::Drop(effect) => {
+                    self.record_injection(sig, effect.to_string());
+                    return;
+                }
+                Disposition::Delay(cycles) => {
+                    self.record_injection(sig, format!("write delayed {cycles} cycles"));
+                    // Re-queued as forced so it cannot be delayed again.
+                    self.schedule_write(self.time + cycles, sig, value, true);
+                    return;
+                }
+            }
+        }
         if self.signals[sig] != value {
             self.signals[sig] = value;
             self.signal_events[sig] += 1;
@@ -375,9 +578,7 @@ impl<'a> Simulator<'a> {
             for &pid in &candidates {
                 let sat = match &self.processes[pid].status {
                     Status::Waiting(WaitKind::Signals) => true,
-                    Status::Waiting(WaitKind::Until(expr)) => {
-                        self.eval_bool_in(pid, expr)?
-                    }
+                    Status::Waiting(WaitKind::Until(expr)) => self.eval_bool_in(pid, expr)?,
                     Status::Waiting(WaitKind::SignalIs(idx, v)) => self.signals[*idx] == *v,
                     _ => false,
                 };
@@ -412,12 +613,13 @@ impl<'a> Simulator<'a> {
         self.note_heap_size();
     }
 
-    fn schedule_write(&mut self, time: u64, signal: usize, value: Value) {
+    fn schedule_write(&mut self, time: u64, signal: usize, value: Value, forced: bool) {
         self.timed_writes.push(Reverse(TimedWrite {
             time,
             seq: self.event_seq,
             signal,
             value,
+            forced,
         }));
         self.event_seq += 1;
         self.note_heap_size();
@@ -431,6 +633,9 @@ impl<'a> Simulator<'a> {
     }
 
     fn register_wait(&mut self, pid: usize, kind: WaitKind, sensitivity: &[ifsyn_spec::SignalId]) {
+        // A fresh generation invalidates any watchdog entry left over from
+        // an earlier suspension of this process.
+        self.processes[pid].wait_gen += 1;
         let mut registered = std::mem::take(&mut self.processes[pid].registered);
         registered.clear();
         for s in sensitivity {
@@ -442,6 +647,15 @@ impl<'a> Simulator<'a> {
         }
         self.processes[pid].registered = registered;
         self.processes[pid].status = Status::Waiting(kind);
+    }
+
+    /// Arms a watchdog for the suspension the process just entered (must
+    /// be called directly after `register_wait`).
+    fn arm_watchdog(&mut self, pid: usize, deadline: u64) {
+        let gen = self.processes[pid].wait_gen;
+        self.wait_timeouts
+            .push(Reverse((deadline, self.event_seq, pid, gen)));
+        self.event_seq += 1;
     }
 
     fn ctx_for(&self, pid: usize) -> Result<EvalCtx<'_>, SimError> {
@@ -531,9 +745,8 @@ impl<'a> Simulator<'a> {
                 // the dynamic slice into a concrete one.
                 let mut rp = self.resolve_place(pid, base, frame_abs)?;
                 let lo = self.eval_i64_in(pid, offset)?;
-                let lo = u32::try_from(lo).map_err(|_| {
-                    SimError::eval(format!("negative slice offset {lo}"))
-                })?;
+                let lo = u32::try_from(lo)
+                    .map_err(|_| SimError::eval(format!("negative slice offset {lo}")))?;
                 rp.steps.push(Step::Slice(lo + width - 1, lo));
                 Ok(rp)
             }
@@ -581,11 +794,7 @@ impl<'a> Simulator<'a> {
                     if *slot < proc.slot_count() {
                         let ty = proc.slot_ty(*slot);
                         let v = coerce(value, ty);
-                        self.processes[pid]
-                            .frames
-                            .last_mut()
-                            .expect("frame")
-                            .locals[*slot] = v;
+                        self.processes[pid].frames.last_mut().expect("frame").locals[*slot] = v;
                         return Ok(());
                     }
                 }
@@ -659,9 +868,9 @@ impl<'a> Simulator<'a> {
                     };
                     self.advance_pc(pid);
                     if *cost == 0 {
-                        self.pending.push((signal.index(), v));
+                        self.pending.push((signal.index(), v, false));
                     } else {
-                        self.schedule_write(self.time + u64::from(*cost), signal.index(), v);
+                        self.schedule_write(self.time + u64::from(*cost), signal.index(), v, false);
                         self.processes[pid].active_cycles += u64::from(*cost);
                         self.sleep_until(pid, self.time + u64::from(*cost));
                         return Ok(());
@@ -733,8 +942,7 @@ impl<'a> Simulator<'a> {
                             _ => false,
                         },
                         Place::Local(slot) => {
-                            let frame =
-                                self.processes[pid].frames.last_mut().expect("frame");
+                            let frame = self.processes[pid].frames.last_mut().expect("frame");
                             match frame.locals.get_mut(*slot) {
                                 Some(Value::Int { value, width }) if *width > 0 => {
                                     *value += 1;
@@ -748,9 +956,7 @@ impl<'a> Simulator<'a> {
                     if !done {
                         let (v, width) = {
                             let cur = read_place(&self.ctx_for(pid)?, var)?;
-                            let v = cur
-                                .as_i64()
-                                .map_err(|e| SimError::eval(e.to_string()))?;
+                            let v = cur.as_i64().map_err(|e| SimError::eval(e.to_string()))?;
                             let width = match &*cur {
                                 Value::Int { width, .. } => *width,
                                 other => other.ty().bit_width(),
@@ -792,6 +998,39 @@ impl<'a> Simulator<'a> {
                                     WaitKind::SignalIs(signal.index(), value.clone()),
                                     std::slice::from_ref(signal),
                                 );
+                                return Ok(());
+                            }
+                        }
+                        WaitSpec::UntilTimeout {
+                            expr,
+                            sensitivity,
+                            cycles,
+                        } => {
+                            let sat = self.eval_bool_in(pid, expr)?;
+                            if !sat {
+                                let deadline = self.time + cycles;
+                                self.register_wait(
+                                    pid,
+                                    WaitKind::Until(Arc::clone(expr)),
+                                    sensitivity,
+                                );
+                                self.arm_watchdog(pid, deadline);
+                                return Ok(());
+                            }
+                        }
+                        WaitSpec::UntilSignalIsTimeout {
+                            signal,
+                            value,
+                            cycles,
+                        } => {
+                            if self.signals[signal.index()] != *value {
+                                let deadline = self.time + cycles;
+                                self.register_wait(
+                                    pid,
+                                    WaitKind::SignalIs(signal.index(), value.clone()),
+                                    std::slice::from_ref(signal),
+                                );
+                                self.arm_watchdog(pid, deadline);
                                 return Ok(());
                             }
                         }
@@ -848,8 +1087,7 @@ impl<'a> Simulator<'a> {
                     let ok = self.eval_bool_in(pid, cond)?;
                     if !ok {
                         return Err(SimError::AssertionFailed {
-                            behavior: self.system.behaviors
-                                [self.processes[pid].behavior]
+                            behavior: self.system.behaviors[self.processes[pid].behavior]
                                 .name
                                 .clone(),
                             note: note.clone(),
@@ -1002,9 +1240,10 @@ impl<'a> Simulator<'a> {
                 let i = usize::try_from(i)
                     .map_err(|_| SimError::eval(format!("negative channel address {i}")))?;
                 match &self.vars[var_idx] {
-                    Value::Array(items) => items.get(i).cloned().ok_or_else(|| {
-                        SimError::eval(format!("channel address {i} out of range"))
-                    }),
+                    Value::Array(items) => items
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| SimError::eval(format!("channel address {i} out of range"))),
                     _ => Err(SimError::eval(
                         "addressed channel read from non-array variable".to_string(),
                     )),
@@ -1012,6 +1251,115 @@ impl<'a> Simulator<'a> {
             }
             None => Ok(self.vars[var_idx].clone()),
         }
+    }
+
+    /// Builds the per-process wait diagnosis, or `None` when nothing is
+    /// suspended on a wait.
+    fn diagnosis(&self) -> Option<DeadlockDiagnosis> {
+        let blocked_pids: Vec<usize> = self
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.status, Status::Waiting(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if blocked_pids.is_empty() {
+            return None;
+        }
+        let blocked: Vec<BlockedWait> = blocked_pids
+            .iter()
+            .map(|&pid| {
+                let p = &self.processes[pid];
+                let wait = match &p.status {
+                    Status::Waiting(WaitKind::Signals) => {
+                        let names: Vec<&str> = p
+                            .registered
+                            .iter()
+                            .map(|&s| self.system.signals[s].name.as_str())
+                            .collect();
+                        format!("wait on {}", names.join(", "))
+                    }
+                    Status::Waiting(WaitKind::Until(expr)) => {
+                        format!("wait until {}", render_expr(self.system, expr))
+                    }
+                    Status::Waiting(WaitKind::SignalIs(sig, v)) => {
+                        format!("wait until {} = {v}", self.system.signals[*sig].name)
+                    }
+                    _ => unreachable!("filtered to waiting processes"),
+                };
+                let observed = p
+                    .registered
+                    .iter()
+                    .map(|&s| {
+                        (
+                            self.system.signals[s].name.clone(),
+                            self.signals[s].to_string(),
+                        )
+                    })
+                    .collect();
+                BlockedWait {
+                    behavior: self.system.behaviors[p.behavior].name.clone(),
+                    wait,
+                    observed,
+                }
+            })
+            .collect();
+        // Wait-for edges: blocked A -> blocked B when B's code can write a
+        // signal A is sensitive to. With every potential writer of A's
+        // wakeup signals itself blocked, the cycle is unbreakable.
+        let writes: Vec<Vec<bool>> = blocked_pids
+            .iter()
+            .map(|&pid| self.written_signals(self.processes[pid].behavior))
+            .collect();
+        let edges: Vec<Vec<usize>> = blocked_pids
+            .iter()
+            .enumerate()
+            .map(|(i, &pid)| {
+                let sens = &self.processes[pid].registered;
+                (0..blocked_pids.len())
+                    .filter(|&j| j != i && sens.iter().any(|&s| writes[j][s]))
+                    .collect()
+            })
+            .collect();
+        let cycles = find_cycles(blocked_pids.len(), &edges)
+            .into_iter()
+            .map(|cycle| {
+                cycle
+                    .into_iter()
+                    .map(|i| {
+                        self.system.behaviors[self.processes[blocked_pids[i]].behavior]
+                            .name
+                            .clone()
+                    })
+                    .collect()
+            })
+            .collect();
+        Some(DeadlockDiagnosis {
+            time: self.time,
+            blocked,
+            cycles,
+        })
+    }
+
+    /// Signals a behavior's code can drive, including through called
+    /// procedures (transitively). Indexed by signal index.
+    fn written_signals(&self, behavior: usize) -> Vec<bool> {
+        let mut out = vec![false; self.signals.len()];
+        let mut visited = vec![false; self.procedure_code.len()];
+        let mut stack: Vec<&[Instr]> = vec![self.behavior_code[behavior].as_slice()];
+        while let Some(instrs) = stack.pop() {
+            for instr in instrs {
+                match instr {
+                    Instr::SignalWrite { signal, .. } => out[signal.index()] = true,
+                    Instr::Call { procedure, .. } if !visited[*procedure] => {
+                        visited[*procedure] = true;
+                        stack.push(self.procedure_code[*procedure].as_slice());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
     }
 
     fn into_report(self) -> SimReport {
@@ -1023,6 +1371,7 @@ impl<'a> Simulator<'a> {
                 finish_time: p.finish_time,
                 iterations: p.iterations,
                 blocked: matches!(p.status, Status::Waiting(_)),
+                repeats: self.system.behaviors[p.behavior].repeats,
                 active_cycles: p.active_cycles,
                 instrs_executed: p.instrs_executed,
             })
@@ -1034,6 +1383,13 @@ impl<'a> Simulator<'a> {
             .zip(&self.vars)
             .map(|(d, v)| (d.name.clone(), v.clone()))
             .collect();
+        let signals = self
+            .system
+            .signals
+            .iter()
+            .zip(&self.signals)
+            .map(|(d, v)| (d.name.clone(), v.clone()))
+            .collect();
         let signal_events = self
             .system
             .signals
@@ -1041,11 +1397,21 @@ impl<'a> Simulator<'a> {
             .zip(&self.signal_events)
             .map(|(d, &n)| (d.name.clone(), n))
             .collect();
+        let blocked_at_exit = self
+            .processes
+            .iter()
+            .filter(|p| {
+                !self.system.behaviors[p.behavior].repeats && !matches!(p.status, Status::Finished)
+            })
+            .count();
         SimReport {
             time: self.time,
             behaviors,
             variables,
+            signals,
             signal_events,
+            injected_faults: self.injected,
+            blocked_at_exit,
             trace: self.trace,
             total_deltas: self.total_deltas,
             total_instrs: self.total_instrs,
@@ -1053,6 +1419,23 @@ impl<'a> Simulator<'a> {
             heap_peak: self.heap_peak,
             time_steps: self.time_steps,
         }
+    }
+}
+
+/// Renders a wait condition compactly for diagnosis messages: signal
+/// names, literal values and operators; structural forms fall back to a
+/// placeholder rather than a full printout.
+fn render_expr(system: &System, expr: &Expr) -> String {
+    match expr {
+        Expr::Signal(s) => system.signal(*s).name.clone(),
+        Expr::Const(v) => v.to_string(),
+        Expr::Unary { op, arg } => format!("{op} {}", render_expr(system, arg)),
+        Expr::Binary { op, lhs, rhs } => format!(
+            "{} {op} {}",
+            render_expr(system, lhs),
+            render_expr(system, rhs)
+        ),
+        _ => "<expr>".to_string(),
     }
 }
 
@@ -1070,9 +1453,7 @@ fn write_steps(root: &mut Value, steps: &[Step], value: Value) -> Result<(), Sim
                     .ok_or_else(|| SimError::eval(format!("array index {i} out of range")))?;
                 write_steps(slot, rest, value)
             }
-            other => Err(SimError::eval(format!(
-                "indexing non-array value {other}"
-            ))),
+            other => Err(SimError::eval(format!("indexing non-array value {other}"))),
         },
         Some((Step::Slice(hi, lo), rest)) => {
             if !rest.is_empty() {

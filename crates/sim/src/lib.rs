@@ -46,8 +46,10 @@
 #![warn(missing_docs)]
 
 mod config;
+mod diagnose;
 mod error;
 mod eval;
+mod fault;
 mod kernel;
 mod process;
 mod program;
@@ -57,7 +59,9 @@ pub mod analysis;
 pub mod vcd;
 
 pub use config::SimConfig;
+pub use diagnose::{BlockedWait, DeadlockDiagnosis};
 pub use error::SimError;
+pub use fault::{Fault, FaultKind, FaultPlan, InjectedFault};
 pub use kernel::Simulator;
 pub use program::{Instr, Program, WaitSpec};
 pub use report::{SimReport, TraceEvent};

@@ -116,6 +116,11 @@ pub(crate) struct Process {
     pub status: Status,
     /// Signals this process is currently registered on as a waiter.
     pub registered: Vec<usize>,
+    /// Monotonic wait-registration counter. Each `register_wait`
+    /// increments it, so a `(pid, wait_gen)` pair identifies one specific
+    /// suspension — watchdog heap entries carry the pair and are skipped
+    /// as stale when the process has since been woken or re-suspended.
+    pub wait_gen: u64,
     /// Time the behavior finished (non-repeating behaviors only).
     pub finish_time: Option<u64>,
     /// Completed body iterations (repeating behaviors).
@@ -134,6 +139,7 @@ impl Process {
             frames: vec![Frame::new(CodeRef::Behavior(behavior), Vec::new())],
             status: Status::Ready,
             registered: Vec::new(),
+            wait_gen: 0,
             finish_time: None,
             iterations: 0,
             active_cycles: 0,

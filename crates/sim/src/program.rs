@@ -21,7 +21,9 @@
 use std::sync::Arc;
 
 use ifsyn_estimate::CostModel;
-use ifsyn_spec::{Arg, BinOp, ChannelId, Expr, Place, SignalId, Stmt, System, Ty, UnaryOp, Value, WaitCond};
+use ifsyn_spec::{
+    Arg, BinOp, ChannelId, Expr, Place, SignalId, Stmt, System, Ty, UnaryOp, Value, WaitCond,
+};
 
 use crate::eval::{eval_binary, eval_unary};
 
@@ -56,6 +58,29 @@ pub enum WaitSpec {
         /// The value, pre-coerced to the signal's type so equal stored
         /// representations mean equal logical values.
         value: Value,
+    },
+    /// [`WaitSpec::Until`] with a watchdog: resume when the condition
+    /// becomes true *or* after `cycles` cycles, whichever comes first.
+    ///
+    /// The code after the wait re-tests the condition to tell a satisfied
+    /// wait from an expired one — exactly the VHDL `wait until ... for N`
+    /// contract the hardened protocols rely on.
+    UntilTimeout {
+        /// The folded condition, shared with suspended processes.
+        expr: Arc<Expr>,
+        /// Signals appearing in `expr`, collected at compile time.
+        sensitivity: Vec<SignalId>,
+        /// Watchdog bound in cycles.
+        cycles: u64,
+    },
+    /// [`WaitSpec::UntilSignalIs`] with a watchdog bound.
+    UntilSignalIsTimeout {
+        /// The watched signal.
+        signal: SignalId,
+        /// The value, pre-coerced to the signal's type.
+        value: Value,
+        /// Watchdog bound in cycles.
+        cycles: u64,
     },
 }
 
@@ -350,6 +375,25 @@ fn compile_wait(system: &System, cond: &WaitCond) -> WaitSpec {
                 sensitivity,
             }
         }
+        WaitCond::UntilTimeout { cond, cycles } => {
+            let folded = fold_expr(cond);
+            if let Some(WaitSpec::UntilSignalIs { signal, value }) =
+                specialize_wait(system, &folded)
+            {
+                return WaitSpec::UntilSignalIsTimeout {
+                    signal,
+                    value,
+                    cycles: *cycles,
+                };
+            }
+            let mut sensitivity = Vec::new();
+            folded.collect_signals(&mut sensitivity);
+            WaitSpec::UntilTimeout {
+                expr: Arc::new(folded),
+                sensitivity,
+                cycles: *cycles,
+            }
+        }
     }
 }
 
@@ -640,10 +684,7 @@ mod tests {
     #[test]
     fn non_constant_subtrees_survive_folding() {
         let x = VarId::new(0);
-        let instrs = compile_body(vec![assign(
-            var(x),
-            add(load(var(x)), int_const(3, 16)),
-        )]);
+        let instrs = compile_body(vec![assign(var(x), add(load(var(x)), int_const(3, 16)))]);
         assert!(matches!(
             &instrs[0],
             Instr::Assign {
@@ -679,8 +720,7 @@ mod tests {
         let s = sys.add_signal("start", Ty::Bit);
         // `not(false)` folds to the constant `true`, exposing the
         // signal-vs-const shape to the wait specializer.
-        sys.behavior_mut(b).body =
-            vec![wait_until(eq(signal(s), not(bit_const(false))))];
+        sys.behavior_mut(b).body = vec![wait_until(eq(signal(s), not(bit_const(false))))];
         let instrs = Program::compile(&sys, &CostModel::new()).behaviors[0]
             .instrs
             .clone();
@@ -699,8 +739,7 @@ mod tests {
         let m = sys.add_module("chip");
         let b = sys.add_behavior("P", m);
         let s = sys.add_signal("addr", Ty::Bits(8));
-        sys.behavior_mut(b).body =
-            vec![wait_until(eq(signal(s), bits_const(0b101, 3)))];
+        sys.behavior_mut(b).body = vec![wait_until(eq(signal(s), bits_const(0b101, 3)))];
         let instrs = Program::compile(&sys, &CostModel::new()).behaviors[0]
             .instrs
             .clone();

@@ -2,6 +2,8 @@
 
 use ifsyn_spec::{BehaviorId, SignalId, Value, VarId};
 
+use crate::fault::InjectedFault;
+
 /// One recorded signal change.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
@@ -24,6 +26,9 @@ pub struct BehaviorOutcome {
     pub iterations: u64,
     /// `true` if the behavior ended the run suspended on a wait.
     pub blocked: bool,
+    /// `true` for repeating behaviors (servers), whose idle blocking at
+    /// the end of a run is expected rather than suspicious.
+    pub repeats: bool,
     /// Clock cycles consumed by costed instructions.
     pub active_cycles: u64,
     /// Total instructions executed.
@@ -39,7 +44,10 @@ pub struct SimReport {
     pub(crate) time: u64,
     pub(crate) behaviors: Vec<BehaviorOutcome>,
     pub(crate) variables: Vec<(String, Value)>,
+    pub(crate) signals: Vec<(String, Value)>,
     pub(crate) signal_events: Vec<(String, u64)>,
+    pub(crate) injected_faults: Vec<InjectedFault>,
+    pub(crate) blocked_at_exit: usize,
     pub(crate) trace: Vec<TraceEvent>,
     pub(crate) total_deltas: u64,
     pub(crate) total_instrs: u64,
@@ -134,6 +142,32 @@ impl SimReport {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v)
+    }
+
+    /// Final value of a signal looked up by name, if it exists.
+    ///
+    /// Hardened protocols report aborts through per-channel status-flag
+    /// signals; this is how campaigns read them after the run.
+    pub fn final_signal_by_name(&self, name: &str) -> Option<&Value> {
+        self.signals.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Faults the kernel actually injected during the run, in time order
+    /// (empty without a fault plan). Recording caps at an internal bound
+    /// so a stuck line on a long run cannot grow the report unboundedly.
+    pub fn injected_faults(&self) -> &[InjectedFault] {
+        &self.injected_faults
+    }
+
+    /// Number of *non-repeating* processes that had not finished when the
+    /// run ended — still suspended on a wait or sleeping mid-work.
+    ///
+    /// [`crate::Simulator::run_until`] returns success at its deadline
+    /// even when transfers are stuck; a nonzero count here is how callers
+    /// tell a cleanly completed run from a stalled bus. Repeating servers
+    /// are excluded: parked-on-the-bus is their normal idle state.
+    pub fn blocked_at_exit(&self) -> usize {
+        self.blocked_at_exit
     }
 
     /// Iterates over behaviors that ran to completion.

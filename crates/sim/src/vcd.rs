@@ -44,7 +44,11 @@ use crate::report::SimReport;
 /// ```
 pub fn to_vcd_string(system: &System, report: &SimReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "$comment interface-synthesis simulation of {} $end", system.name);
+    let _ = writeln!(
+        out,
+        "$comment interface-synthesis simulation of {} $end",
+        system.name
+    );
     let _ = writeln!(out, "$timescale 1ns $end");
     let _ = writeln!(out, "$scope module top $end");
     let ids: Vec<String> = (0..system.signals.len()).map(code_for).collect();
@@ -153,7 +157,10 @@ mod tests {
         let vcd = to_vcd_string(&sys, &report);
         assert!(vcd.contains("$dumpvars"), "{vcd}");
         assert!(vcd.contains("0!"), "initial REQ low: {vcd}");
-        assert!(vcd.contains("#1\nb10100101 \""), "DATA change at t=1: {vcd}");
+        assert!(
+            vcd.contains("#1\nb10100101 \""),
+            "DATA change at t=1: {vcd}"
+        );
         assert!(vcd.contains("#2\n1!"), "REQ rise at t=2: {vcd}");
         assert!(vcd.contains("#4\n0!"), "REQ fall at t=4: {vcd}");
     }

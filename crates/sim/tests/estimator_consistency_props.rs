@@ -14,8 +14,14 @@ enum Piece {
     Assign(u8),
     Compute(u8),
     WaitFor(u8),
-    Loop { iters: u8, body_computes: u8 },
-    IfTrue { then_computes: u8, else_computes: u8 },
+    Loop {
+        iters: u8,
+        body_computes: u8,
+    },
+    IfTrue {
+        then_computes: u8,
+        else_computes: u8,
+    },
 }
 
 fn piece(rng: &mut SplitMix64) -> Piece {

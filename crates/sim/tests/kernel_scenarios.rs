@@ -19,10 +19,10 @@ fn straight_line_costs_accumulate_into_finish_time() {
     let b = sys.add_behavior("P", m);
     let x = sys.add_variable("x", Ty::Int(16), b);
     sys.behavior_mut(b).body = vec![
-        assign(var(x), int_const(1, 16)),      // 1 cycle
+        assign(var(x), int_const(1, 16)),         // 1 cycle
         assign_cost(var(x), int_const(2, 16), 7), // 7 cycles
-        Stmt::compute(10, "work"),             // 10 cycles
-        wait_cycles(5),                        // 5 cycles
+        Stmt::compute(10, "work"),                // 10 cycles
+        wait_cycles(5),                           // 5 cycles
     ];
     let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
     assert_eq!(report.finish_time(b), Some(23));
@@ -133,10 +133,7 @@ fn out_param_array_index_captured_at_call_time() {
         assign(local(out_slot), int_const(99, 16)),
     ];
     let pid = sys.add_procedure(p);
-    sys.behavior_mut(b).body = vec![call(
-        pid,
-        vec![Arg::Out(index(var(arr), load(var(idx))))],
-    )];
+    sys.behavior_mut(b).body = vec![call(pid, vec![Arg::Out(index(var(arr), load(var(idx))))])];
     let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
     let arr_final = report.final_variable(arr);
     match arr_final {
@@ -167,7 +164,14 @@ fn slice_writes_update_only_their_bits() {
 /// Builds a two-process four-phase handshake moving `words` data words,
 /// with protocol-generation-style costs (rising edges cost 1, falling
 /// edges and latches cost 0). Returns (system, sender, receiver, rx_var).
-fn handshake_system(words: u64) -> (System, ifsyn_spec::BehaviorId, ifsyn_spec::BehaviorId, ifsyn_spec::VarId) {
+fn handshake_system(
+    words: u64,
+) -> (
+    System,
+    ifsyn_spec::BehaviorId,
+    ifsyn_spec::BehaviorId,
+    ifsyn_spec::VarId,
+) {
     let (mut sys, m) = shell();
     let m2 = sys.add_module("chip2");
     let start = sys.add_signal("B_START", Ty::Bit);
@@ -263,7 +267,10 @@ fn repeating_server_blocks_at_quiescence() {
     let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
     assert!(report.finish_time(client).is_some());
     assert_eq!(report.iterations(server), 1);
-    let blocked: Vec<_> = report.blocked_behaviors().map(|(_, o)| o.name.clone()).collect();
+    let blocked: Vec<_> = report
+        .blocked_behaviors()
+        .map(|(_, o)| o.name.clone())
+        .collect();
     assert_eq!(blocked, vec!["server".to_string()]);
 }
 
@@ -299,7 +306,11 @@ fn abstract_channels_move_data_with_addresses() {
             var(i),
             int_const(0, 16),
             int_const(63, 16),
-            vec![send_at(ch_w, load(var(i)), mul(load(var(i)), int_const(3, 16)))],
+            vec![send_at(
+                ch_w,
+                load(var(i)),
+                mul(load(var(i)), int_const(3, 16)),
+            )],
         ),
         receive_at(ch_r, int_const(21, 16), var(readback)),
     ];
@@ -341,7 +352,10 @@ fn timeout_is_reported() {
         .unwrap()
         .run_to_quiescence()
         .unwrap_err();
-    assert!(matches!(err, SimError::Timeout { max_time: 100 }), "{err}");
+    assert!(
+        matches!(err, SimError::Timeout { max_time: 100, .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -480,10 +494,7 @@ fn run_until_stops_free_running_systems_cleanly() {
     let tick = sys.add_signal("TICK", Ty::Bit);
     let b = sys.add_behavior("metronome", m);
     sys.behavior_mut(b).repeats = true;
-    sys.behavior_mut(b).body = vec![
-        drive_cost(tick, not(signal(tick)), 1),
-        wait_cycles(9),
-    ];
+    sys.behavior_mut(b).body = vec![drive_cost(tick, not(signal(tick)), 1), wait_cycles(9)];
     let report = Simulator::new(&sys).unwrap().run_until(100).unwrap();
     assert_eq!(report.time(), 100);
     // One iteration per 10 cycles.
@@ -578,7 +589,10 @@ fn failing_assertion_stops_the_simulation_with_context() {
         assign(var(x), int_const(5, 16)),
         Stmt::assert(eq(load(var(x)), int_const(6, 16)), "x should be six"),
     ];
-    let err = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap_err();
+    let err = Simulator::new(&sys)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap_err();
     match err {
         SimError::AssertionFailed {
             behavior,
@@ -599,11 +613,11 @@ fn runtime_index_out_of_range_is_an_eval_error() {
     let b = sys.add_behavior("P", m);
     let arr = sys.add_variable("arr", Ty::array(Ty::Int(16), 4), b);
     let i = sys.add_variable_init("i", Ty::Int(16), b, Value::int(9, 16));
-    sys.behavior_mut(b).body = vec![assign(
-        index(var(arr), load(var(i))),
-        int_const(1, 16),
-    )];
-    let err = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap_err();
+    sys.behavior_mut(b).body = vec![assign(index(var(arr), load(var(i))), int_const(1, 16))];
+    let err = Simulator::new(&sys)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap_err();
     assert!(matches!(err, SimError::Eval { .. }), "{err}");
     assert!(err.to_string().contains("out of range"), "{err}");
 }
@@ -616,7 +630,11 @@ fn report_lookup_by_name() {
     sys.behavior_mut(b).body = vec![assign(var(x), int_const(42, 16))];
     let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
     assert_eq!(
-        report.final_variable_by_name("answer").unwrap().as_i64().unwrap(),
+        report
+            .final_variable_by_name("answer")
+            .unwrap()
+            .as_i64()
+            .unwrap(),
         42
     );
     assert!(report.final_variable_by_name("missing").is_none());
@@ -685,7 +703,10 @@ fn out_of_range_dynamic_slice_is_an_eval_error() {
         dyn_slice(var(x), load(var(j)), 4), // bits 9..6 of an 8-bit value
         bits_const(0, 4),
     )];
-    let err = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap_err();
+    let err = Simulator::new(&sys)
+        .unwrap()
+        .run_to_quiescence()
+        .unwrap_err();
     assert!(matches!(err, SimError::Eval { .. }), "{err}");
 }
 
@@ -699,16 +720,21 @@ fn report_carries_scheduler_stats() {
         var(i),
         int_const(0, 16),
         int_const(9, 16),
-        vec![
-            drive_cost(s, resize(load(var(i)), 8), 1),
-            wait_cycles(2),
-        ],
+        vec![drive_cost(s, resize(load(var(i)), 8), 1), wait_cycles(2)],
     )];
     let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
     // Timed writes and sleeps both pass through the event heaps, so a run
     // that uses them must have observed a non-empty heap at some point.
-    assert!(report.heap_peak() >= 1, "heap_peak = {}", report.heap_peak());
+    assert!(
+        report.heap_peak() >= 1,
+        "heap_peak = {}",
+        report.heap_peak()
+    );
     // Ten loop iterations each advance time at least twice.
-    assert!(report.time_steps() >= 20, "time_steps = {}", report.time_steps());
+    assert!(
+        report.time_steps() >= 20,
+        "time_steps = {}",
+        report.time_steps()
+    );
     assert!(report.deltas_per_step() > 0.0);
 }

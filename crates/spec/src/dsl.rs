@@ -255,6 +255,12 @@ pub fn wait_until(cond: Expr) -> Stmt {
     Stmt::Wait(WaitCond::Until(cond))
 }
 
+/// `wait until expr for cycles` — a watchdog-bounded wait that also
+/// resumes when the bound expires (the condition did not come true).
+pub fn wait_until_for(cond: Expr, cycles: u64) -> Stmt {
+    Stmt::Wait(WaitCond::UntilTimeout { cond, cycles })
+}
+
 /// `wait on s1, s2, ...`.
 pub fn wait_on(signals: Vec<SignalId>) -> Stmt {
     Stmt::Wait(WaitCond::OnSignals(signals))

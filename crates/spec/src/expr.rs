@@ -219,9 +219,7 @@ impl Expr {
                 lhs.collect_signals(out);
                 rhs.collect_signals(out);
             }
-            Expr::SliceOf { base, .. } | Expr::Resize { base, .. } => {
-                base.collect_signals(out)
-            }
+            Expr::SliceOf { base, .. } | Expr::Resize { base, .. } => base.collect_signals(out),
             Expr::DynSliceOf { base, offset, .. } => {
                 base.collect_signals(out);
                 offset.collect_signals(out);
@@ -239,9 +237,7 @@ impl Expr {
                 lhs.collect_vars(out);
                 rhs.collect_vars(out);
             }
-            Expr::SliceOf { base, .. } | Expr::Resize { base, .. } => {
-                base.collect_vars(out)
-            }
+            Expr::SliceOf { base, .. } | Expr::Resize { base, .. } => base.collect_vars(out),
             Expr::DynSliceOf { base, offset, .. } => {
                 base.collect_vars(out);
                 offset.collect_vars(out);

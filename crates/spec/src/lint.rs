@@ -109,10 +109,7 @@ pub fn lint_system(system: &System) -> Vec<Lint> {
         } else if written && !read {
             lints.push(Lint {
                 kind: LintKind::WriteOnlyVariable,
-                message: format!(
-                    "variable `{}` is written but never read",
-                    v.name
-                ),
+                message: format!("variable `{}` is written but never read", v.name),
             });
         }
     }
@@ -125,9 +122,7 @@ pub fn lint_system(system: &System) -> Vec<Lint> {
             });
         }
         let accessor_module = system.behavior(c.accessor).module;
-        let owner_module = system
-            .behavior(system.variable(c.variable).owner)
-            .module;
+        let owner_module = system.behavior(system.variable(c.variable).owner).module;
         if accessor_module == owner_module {
             lints.push(Lint {
                 kind: LintKind::LocalChannel,
@@ -239,7 +234,9 @@ fn collect_usage(system: &System, body: &[Stmt], usage: &mut Usage) {
             note_expr(from, usage);
             note_expr(to, usage);
         }
-        Stmt::Wait(WaitCond::Until(e)) => note_expr(e, usage),
+        Stmt::Wait(WaitCond::Until(e)) | Stmt::Wait(WaitCond::UntilTimeout { cond: e, .. }) => {
+            note_expr(e, usage)
+        }
         Stmt::Wait(WaitCond::OnSignals(signals)) => {
             usage.signals_read.extend(signals.iter().copied());
         }
@@ -263,9 +260,7 @@ fn collect_usage(system: &System, body: &[Stmt], usage: &mut Usage) {
             data,
         } => {
             usage.channels.insert(*channel);
-            usage
-                .vars_written
-                .insert(system.channel(*channel).variable);
+            usage.vars_written.insert(system.channel(*channel).variable);
             if let Some(a) = addr {
                 note_expr(a, usage);
             }
@@ -371,10 +366,7 @@ mod tests {
         let mut sys = System::new("t");
         let m = sys.add_module("chip");
         let b = sys.add_behavior("P", m);
-        sys.behavior_mut(b).body = vec![if_then(
-            bit_const(true),
-            vec![Stmt::compute(1, "w")],
-        )];
+        sys.behavior_mut(b).body = vec![if_then(bit_const(true), vec![Stmt::compute(1, "w")])];
         let lints = lint_system(&sys);
         assert_eq!(kinds(&lints), vec![LintKind::ConstantCondition]);
     }

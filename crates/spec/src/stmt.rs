@@ -16,6 +16,17 @@ pub enum WaitCond {
     Until(Expr),
     /// `wait for N cycles` — resume after the given number of clock cycles.
     ForCycles(u64),
+    /// `wait until <expr> for N` — resume when the expression becomes
+    /// true *or* after `cycles` clock cycles, whichever happens first
+    /// (VHDL's timeout-clause wait). The watchdog form used by hardened
+    /// handshake protocols: code after the wait re-tests the condition to
+    /// tell success from expiry.
+    UntilTimeout {
+        /// The resume condition.
+        cond: Expr,
+        /// The watchdog bound in clock cycles.
+        cycles: u64,
+    },
 }
 
 impl WaitCond {
@@ -23,7 +34,7 @@ impl WaitCond {
     pub fn sensitivity(&self) -> Vec<SignalId> {
         match self {
             WaitCond::OnSignals(signals) => signals.clone(),
-            WaitCond::Until(expr) => {
+            WaitCond::Until(expr) | WaitCond::UntilTimeout { cond: expr, .. } => {
                 let mut out = Vec::new();
                 expr.collect_signals(&mut out);
                 out

@@ -276,7 +276,11 @@ impl System {
             }
         }
         for (i, p) in self.procedures.iter().enumerate() {
-            self.check_body(&p.body, Some(ProcId::new(i as u32)), &format!("procedure `{}`", p.name))?;
+            self.check_body(
+                &p.body,
+                Some(ProcId::new(i as u32)),
+                &format!("procedure `{}`", p.name),
+            )?;
         }
         for c in &self.channels {
             if c.accessor.index() >= self.behaviors.len() {
@@ -380,7 +384,9 @@ impl System {
                         self.check_signal(*s, ctx)?;
                     }
                 }
-                WaitCond::Until(expr) => self.check_expr(expr, proc_scope, ctx)?,
+                WaitCond::Until(expr) | WaitCond::UntilTimeout { cond: expr, .. } => {
+                    self.check_expr(expr, proc_scope, ctx)?
+                }
                 WaitCond::ForCycles(_) => {}
             },
             Stmt::Call { procedure, args } => {
@@ -411,9 +417,7 @@ impl System {
                     }
                     match arg {
                         Arg::In(e) => self.check_expr(e, proc_scope, ctx)?,
-                        Arg::Out(pl) | Arg::InOut(pl) => {
-                            self.check_place(pl, proc_scope, ctx)?
-                        }
+                        Arg::Out(pl) | Arg::InOut(pl) => self.check_place(pl, proc_scope, ctx)?,
                     }
                 }
             }
@@ -588,7 +592,9 @@ mod tests {
     #[test]
     fn valid_assignment_checks() {
         let (mut sys, b, v) = tiny();
-        sys.behavior_mut(b).body.push(assign(var(v), bits_const(1, 8)));
+        sys.behavior_mut(b)
+            .body
+            .push(assign(var(v), bits_const(1, 8)));
         assert!(sys.check().is_ok());
     }
 
@@ -598,10 +604,7 @@ mod tests {
         sys.behavior_mut(b)
             .body
             .push(assign(var(VarId::new(99)), bits_const(1, 8)));
-        assert!(matches!(
-            sys.check(),
-            Err(SpecError::DanglingId { .. })
-        ));
+        assert!(matches!(sys.check(), Err(SpecError::DanglingId { .. })));
     }
 
     #[test]

@@ -73,7 +73,11 @@ const fn low_mask(width: u32) -> u64 {
 /// vector (all ones when the width is a limb multiple).
 const fn top_mask(width: u32) -> u64 {
     let r = width % 64;
-    if r == 0 { u64::MAX } else { (1u64 << r) - 1 }
+    if r == 0 {
+        u64::MAX
+    } else {
+        (1u64 << r) - 1
+    }
 }
 
 impl BitVec {
@@ -140,7 +144,11 @@ impl BitVec {
         let off_word = (offset / 64) as usize;
         let off_bit = offset % 64;
         for i in 0..nw {
-            let m = if i + 1 == nw { top_mask(src_width) } else { u64::MAX };
+            let m = if i + 1 == nw {
+                top_mask(src_width)
+            } else {
+                u64::MAX
+            };
             let w = src[i];
             dst[off_word + i] = (dst[off_word + i] & !(m << off_bit)) | (w << off_bit);
             if off_bit > 0 {
@@ -529,10 +537,11 @@ impl Value {
         match ty {
             Ty::Bit => Value::Bit(false),
             Ty::Bits(w) => Value::Bits(BitVec::zeros(*w)),
-            Ty::Int(w) => Value::Int { value: 0, width: *w },
-            Ty::Array { elem, len } => {
-                Value::Array(vec![Value::default_of(elem); *len as usize])
-            }
+            Ty::Int(w) => Value::Int {
+                value: 0,
+                width: *w,
+            },
+            Ty::Array { elem, len } => Value::Array(vec![Value::default_of(elem); *len as usize]),
         }
     }
 
@@ -783,7 +792,10 @@ mod tests {
         let lo = BitVec::from_u64(u64::MAX, 65);
         let one = BitVec::from_u64(1, 65);
         assert_eq!(lo.wrapping_add(&one).as_limbs(), &[0, 1]);
-        assert_eq!(BitVec::zeros(65).wrapping_sub(&one).as_limbs(), &[u64::MAX, 1]);
+        assert_eq!(
+            BitVec::zeros(65).wrapping_sub(&one).as_limbs(),
+            &[u64::MAX, 1]
+        );
     }
 
     #[test]
@@ -845,9 +857,6 @@ mod tests {
     fn value_display_forms() {
         assert_eq!(Value::Bit(true).to_string(), "'1'");
         assert_eq!(Value::int(42, 8).to_string(), "42");
-        assert_eq!(
-            Value::Bits(BitVec::from_u64(0b10, 2)).to_string(),
-            "\"10\""
-        );
+        assert_eq!(Value::Bits(BitVec::from_u64(0b10, 2)).to_string(), "\"10\"");
     }
 }

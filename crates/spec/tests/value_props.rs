@@ -81,7 +81,8 @@ fn cases(seed: u64) -> impl Iterator<Item = (SplitMix64, u32)> {
     for _ in 0..10 {
         all.push(seeds.range_u32(2, 200));
     }
-    all.into_iter().map(move |w| (SplitMix64::new(seeds.next_u64()), w))
+    all.into_iter()
+        .map(move |w| (SplitMix64::new(seeds.next_u64()), w))
 }
 
 #[test]
@@ -262,8 +263,7 @@ fn array_value_bits_roundtrip() {
         let ty = Ty::array(Ty::Bits(w), len);
         let val = Value::Array(
             (0..len)
-                .map(|_| Value::Bits(BitVec::from_u64(rng.next_u64(), w.min(64))
-                    .resized(w)))
+                .map(|_| Value::Bits(BitVec::from_u64(rng.next_u64(), w.min(64)).resized(w)))
                 .collect(),
         );
         let bits = val.to_bits();

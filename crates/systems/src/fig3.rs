@@ -145,10 +145,7 @@ pub fn fig3_unpartitioned() -> System {
         ),
     ];
     // Q:  MEM(60) := COUNT ;
-    sys.behavior_mut(q).body = vec![assign(
-        index(var(mem), int_const(60, 16)),
-        load(var(count)),
-    )];
+    sys.behavior_mut(q).body = vec![assign(index(var(mem), int_const(60, 16)), load(var(count)))];
     sys
 }
 

@@ -21,9 +21,7 @@
 //! (`ch0` here), as in the paper where only ch1/ch2 are merged onto `B`.
 
 use ifsyn_spec::dsl::*;
-use ifsyn_spec::{
-    BehaviorId, Channel, ChannelDirection, ChannelId, Stmt, System, Ty, VarId,
-};
+use ifsyn_spec::{BehaviorId, Channel, ChannelDirection, ChannelId, Stmt, System, Ty, VarId};
 
 /// Per-iteration computation cycles of `EVAL_R3` (rule evaluation).
 pub const EVAL_COMPUTE_CYCLES: u64 = 6;
@@ -95,12 +93,7 @@ pub fn flc() -> Flc {
         sys.add_variable("InitMemberFunct", Ty::array(Ty::Int(16), 1920), store);
     let trru0 = sys.add_variable("trru0", Ty::array(Ty::Int(16), 128), store);
     let _trru1 = sys.add_variable("trru1", Ty::array(Ty::Int(16), 128), store);
-    let trru2 = sys.add_variable_init(
-        "trru2",
-        Ty::array(Ty::Int(16), 128),
-        store,
-        ramp_array(128),
-    );
+    let trru2 = sys.add_variable_init("trru2", Ty::array(Ty::Int(16), 128), store, ramp_array(128));
     let _trru3 = sys.add_variable("trru3", Ty::array(Ty::Int(16), 128), store);
     let _rule1 = sys.add_variable("rule1", Ty::array(Ty::Int(16), 3), store);
     let _rule3 = sys.add_variable("rule3", Ty::array(Ty::Int(16), 3), store);
@@ -256,11 +249,7 @@ pub fn flc_full() -> FlcFull {
     let mut trrus = Vec::new();
     let mut accs = Vec::new();
     for k in 0..4i64 {
-        let trru = sys.add_variable(
-            format!("trru{k}"),
-            Ty::array(Ty::Int(16), 128),
-            store,
-        );
+        let trru = sys.add_variable(format!("trru{k}"), Ty::array(Ty::Int(16), 128), store);
         let eval = sys.add_behavior(format!("EVAL_R{k}"), chip1);
         let conv = sys.add_behavior(format!("CONV_R{k}"), chip1);
         let ch_w = sys.add_channel(Channel {

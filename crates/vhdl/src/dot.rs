@@ -32,11 +32,7 @@ pub fn to_dot(system: &System) -> String {
             if b.module.index() != mi {
                 continue;
             }
-            let _ = writeln!(
-                out,
-                "        b{bi} [label=\"{}\" shape=box];",
-                b.name
-            );
+            let _ = writeln!(out, "        b{bi} [label=\"{}\" shape=box];", b.name);
             for (vi, v) in system.variables.iter().enumerate() {
                 if v.owner.index() == bi {
                     let _ = writeln!(

@@ -226,6 +226,13 @@ impl VhdlPrinter {
                 WaitCond::Until(e) => {
                     let _ = writeln!(out, "{pad}wait until {} ;", expr_str(sys, proc, e));
                 }
+                WaitCond::UntilTimeout { cond, cycles } => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}wait until {} for {cycles} cycles ;",
+                        expr_str(sys, proc, cond)
+                    );
+                }
                 WaitCond::ForCycles(n) => {
                     let _ = writeln!(out, "{pad}wait for {n} cycles ;");
                 }
@@ -252,7 +259,12 @@ impl VhdlPrinter {
                     args.push(expr_str(sys, proc, a));
                 }
                 args.push(expr_str(sys, proc, data));
-                let _ = writeln!(out, "{pad}send_{}({}) ;  -- abstract", ch.name, args.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{pad}send_{}({}) ;  -- abstract",
+                    ch.name,
+                    args.join(", ")
+                );
             }
             Stmt::ChannelReceive {
                 channel,
@@ -415,7 +427,10 @@ mod tests {
         assert!(text.contains("process P"), "{text}");
         assert!(text.contains("B_START <= '1'"), "{text}");
         assert!(text.contains("wait until (B_START = '0')"), "{text}");
-        assert!(text.contains("variable X : bit_vector(15 downto 0)"), "{text}");
+        assert!(
+            text.contains("variable X : bit_vector(15 downto 0)"),
+            "{text}"
+        );
     }
 
     #[test]

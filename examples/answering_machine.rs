@@ -57,13 +57,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         100.0 * design.interconnect_reduction(&result.system)
     );
     println!("  exploration (width: bus rate vs sum of channel rates):");
-    for row in design.exploration.rows.iter().take(design.width as usize + 2) {
+    for row in design
+        .exploration
+        .rows
+        .iter()
+        .take(design.width as usize + 2)
+    {
         println!(
             "    w={:>2}  {:>6.2} vs {:>6.2}  {}",
             row.width,
             row.bus_rate,
             row.sum_ave_rates,
-            if row.feasible { "feasible" } else { "infeasible" }
+            if row.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            }
         );
     }
 
@@ -78,7 +87,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             outcome.finish_time.expect("finished")
         );
     }
-    let messages = result.system.variable_by_name("MESSAGES").expect("MESSAGES");
+    let messages = result
+        .system
+        .variable_by_name("MESSAGES")
+        .expect("MESSAGES");
     if let interface_synthesis::spec::Value::Array(items) = report.final_variable(messages) {
         println!(
             "  MESSAGES[0..4] = {:?}",

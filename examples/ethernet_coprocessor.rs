@@ -56,8 +56,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         outcome.bus_count(),
         outcome.buses.iter().map(|b| b.width).collect::<Vec<_>>()
     );
-    println!(
-        "  (generate_with_split only splits when Eq. 1 fails on every width)"
-    );
+    println!("  (generate_with_split only splits when Eq. 1 fails on every width)");
     Ok(())
 }

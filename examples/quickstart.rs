@@ -61,10 +61,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("== simulating the refined specification ==\n");
     let report = Simulator::new(&refined.system)?.run_to_quiescence()?;
     println!("  quiescent at t = {} cycles", report.time());
-    println!(
-        "  X     = {}",
-        report.final_variable(f.x)
-    );
+    println!("  X     = {}", report.final_variable(f.x));
     if let Value::Array(items) = report.final_variable(f.mem) {
         println!("  MEM(17) = {} (X + 7, written by P)", items[17]);
         println!("  MEM(60) = {} (COUNT, written by Q)", items[60]);

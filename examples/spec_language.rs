@@ -42,8 +42,12 @@ channel rd : verifier reads SCRATCH;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let system = interface_synthesis::lang::parse_system(SPEC)?;
-    println!("parsed `{}`: {} behaviors, {} channels", system.name,
-        system.behaviors.len(), system.channels.len());
+    println!(
+        "parsed `{}`: {} behaviors, {} channels",
+        system.name,
+        system.behaviors.len(),
+        system.channels.len()
+    );
 
     let findings = lint_system(&system);
     if findings.is_empty() {

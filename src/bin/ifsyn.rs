@@ -14,6 +14,16 @@
 //!                          accesses into channels before synthesis
 //!   --no-arbitration       paper-faithful mode (no bus arbiter)
 //!   --rolled               emit Fig. 4-style rolled word loops
+//!   --protocol-timeout W[:R]  generate timeout-hardened handshakes:
+//!                          watchdog of W cycles per wait, R retries
+//!                          (default 3) before raising the status flag
+//!   --fault SPEC           inject a fault (repeatable). SPEC is one of
+//!                            stuck0:SIG[@FROM[-UNTIL]]
+//!                            stuck1:SIG[@FROM[-UNTIL]]
+//!                            flip:SIG:BIT@T
+//!                            drop:SIG@FROM[-UNTIL]
+//!                            delay:SIG:CYCLES@FROM[-UNTIL]
+//!                          faults turn on deadlock diagnosis
 //!   --print-vhdl           print the refined specification
 //!   --vcd FILE             write a VCD waveform of the simulation
 //!   --dot FILE             write a Graphviz graph of the refined system
@@ -28,7 +38,7 @@ use std::process::ExitCode;
 use interface_synthesis::core::{
     BusDesign, BusGenerator, Constraint, ProtocolGenerator, ProtocolKind,
 };
-use interface_synthesis::sim::{SimConfig, Simulator};
+use interface_synthesis::sim::{FaultPlan, SimConfig, Simulator};
 use interface_synthesis::spec::{ChannelId, System};
 use interface_synthesis::vhdl::VhdlPrinter;
 
@@ -42,6 +52,8 @@ struct Options {
     derive_channels: bool,
     no_arbitration: bool,
     rolled: bool,
+    protocol_timeout: Option<(u64, Option<u32>)>,
+    faults: Vec<String>,
     print_vhdl: bool,
     vcd: Option<String>,
     dot: Option<String>,
@@ -80,14 +92,12 @@ fn run() -> Result<(), Box<dyn Error>> {
     let Some(path) = &options.spec_path else {
         return Err("usage: ifsyn SPEC.ifs [options]  (see --help in the README)".into());
     };
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let mut system = interface_synthesis::lang::parse_system(&source)
-        .map_err(|e| format!("{path}:{e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut system =
+        interface_synthesis::lang::parse_system(&source).map_err(|e| format!("{path}:{e}"))?;
 
     if options.derive_channels {
-        let result = interface_synthesis::partition::Partitioner::new()
-            .partition(&system)?;
+        let result = interface_synthesis::partition::Partitioner::new().partition(&system)?;
         let n = result.channels.len();
         system = result.system;
         println!("derived {n} channel(s) from cross-module accesses");
@@ -169,6 +179,12 @@ fn run() -> Result<(), Box<dyn Error>> {
     if options.rolled {
         pg = pg.with_rolled_word_loops();
     }
+    if let Some((watchdog, retries)) = options.protocol_timeout {
+        pg = pg.with_timeout(watchdog);
+        if let Some(r) = retries {
+            pg = pg.with_retry_limit(r);
+        }
+    }
     let refined = pg.refine(&system, &design)?;
     let area = interface_synthesis::estimate::AreaEstimator::new();
     let before = area.estimate_system(&system, 0)?;
@@ -188,16 +204,27 @@ fn run() -> Result<(), Box<dyn Error>> {
 
     if let Some(dot_path) = &options.dot {
         let dot = interface_synthesis::vhdl::refined_to_dot(&refined);
-        std::fs::write(dot_path, dot)
-            .map_err(|e| format!("cannot write `{dot_path}`: {e}"))?;
+        std::fs::write(dot_path, dot).map_err(|e| format!("cannot write `{dot_path}`: {e}"))?;
         println!("wrote structure graph to {dot_path}");
     }
 
-    let config = if options.vcd.is_some() {
+    let mut config = if options.vcd.is_some() {
         SimConfig::new().with_trace()
     } else {
         SimConfig::new()
     };
+    if !options.faults.is_empty() {
+        let mut plan = FaultPlan::new();
+        for spec in &options.faults {
+            plan = add_fault(plan, spec)?;
+        }
+        // A silent hang under injection is useless; diagnose it instead.
+        config = config.with_faults(plan).with_deadlock_detection();
+        println!(
+            "injecting {} fault(s); deadlock diagnosis on",
+            options.faults.len()
+        );
+    }
     let report = Simulator::with_config(&refined.system, config)?.run_to_quiescence()?;
     println!("\nsimulation quiescent at t = {} cycles", report.time());
     for (_, outcome) in report.finished_behaviors() {
@@ -215,10 +242,32 @@ fn run() -> Result<(), Box<dyn Error>> {
         println!("  idle servers: {}", blocked.join(", "));
     }
 
+    if !options.faults.is_empty() {
+        let injected = report.injected_faults();
+        println!("  {} fault injection(s) applied", injected.len());
+        for f in injected.iter().take(10) {
+            println!("    t = {:>6}  {}: {}", f.time, f.signal, f.effect);
+        }
+        if injected.len() > 10 {
+            println!("    ... and {} more", injected.len() - 10);
+        }
+        let raised: Vec<String> = refined
+            .bus
+            .status_flags
+            .iter()
+            .map(|&(_, sig)| refined.system.signal(sig).name.clone())
+            .filter(|n| {
+                report.final_signal_by_name(n) == Some(&interface_synthesis::spec::Value::Bit(true))
+            })
+            .collect();
+        if !raised.is_empty() {
+            println!("  status flags raised: {}", raised.join(", "));
+        }
+    }
+
     if let Some(vcd_path) = &options.vcd {
         let vcd = interface_synthesis::sim::vcd::to_vcd_string(&refined.system, &report);
-        std::fs::write(vcd_path, vcd)
-            .map_err(|e| format!("cannot write `{vcd_path}`: {e}"))?;
+        std::fs::write(vcd_path, vcd).map_err(|e| format!("cannot write `{vcd_path}`: {e}"))?;
         println!("wrote waveform to {vcd_path}");
     }
     Ok(())
@@ -276,6 +325,14 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, Box<dy
             "--derive-channels" => o.derive_channels = true,
             "--no-arbitration" => o.no_arbitration = true,
             "--rolled" => o.rolled = true,
+            "--protocol-timeout" => {
+                let v = value_of("--protocol-timeout")?;
+                o.protocol_timeout = Some(match v.split_once(':') {
+                    Some((w, r)) => (w.parse()?, Some(r.parse()?)),
+                    None => (v.parse()?, None),
+                });
+            }
+            "--fault" => o.faults.push(value_of("--fault")?),
             "--print-vhdl" => o.print_vhdl = true,
             "--vcd" => o.vcd = Some(value_of("--vcd")?),
             "--dot" => o.dot = Some(value_of("--dot")?),
@@ -299,10 +356,70 @@ fn split_weight(s: &str) -> Result<(String, f64), Box<dyn Error>> {
     }
 }
 
-fn select_channels(
-    system: &System,
-    options: &Options,
-) -> Result<Vec<ChannelId>, Box<dyn Error>> {
+/// Parses a `--fault` SPEC (see the module docs) into the plan.
+fn add_fault(plan: FaultPlan, spec: &str) -> Result<FaultPlan, Box<dyn Error>> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("fault spec `{spec}` needs a kind prefix, e.g. stuck0:SIG"))?;
+    match kind {
+        "stuck0" | "stuck1" => {
+            let (sig, window) = split_window(rest);
+            let (from, until) = parse_window(window)?;
+            Ok(if kind == "stuck0" {
+                plan.stuck_at_0(sig, from, until)
+            } else {
+                plan.stuck_at_1(sig, from, until)
+            })
+        }
+        "flip" => {
+            let (sig, bit_at) = rest
+                .split_once(':')
+                .ok_or("flip fault expects flip:SIG:BIT@T")?;
+            let (bit, at) = bit_at
+                .split_once('@')
+                .ok_or("flip fault expects flip:SIG:BIT@T")?;
+            Ok(plan.flip_bit(sig, bit.parse()?, at.parse()?))
+        }
+        "drop" => {
+            let (sig, window) = split_window(rest);
+            let (from, until) = parse_window(window)?;
+            Ok(plan.drop_writes(sig, from, until))
+        }
+        "delay" => {
+            let (sig, cycles_window) = rest
+                .split_once(':')
+                .ok_or("delay fault expects delay:SIG:CYCLES@FROM[-UNTIL]")?;
+            let (cycles, window) = split_window(cycles_window);
+            let (from, until) = parse_window(window)?;
+            Ok(plan.delay_writes(sig, cycles.parse()?, from, until))
+        }
+        other => Err(format!(
+            "unknown fault kind `{other}`; expected stuck0 | stuck1 | flip | drop | delay"
+        )
+        .into()),
+    }
+}
+
+/// Splits `HEAD[@WINDOW]` into the head and the optional window text.
+fn split_window(s: &str) -> (&str, Option<&str>) {
+    match s.split_once('@') {
+        Some((head, w)) => (head, Some(w)),
+        None => (s, None),
+    }
+}
+
+/// Parses `FROM[-UNTIL]`; a missing window means `[0, ∞)`.
+fn parse_window(w: Option<&str>) -> Result<(u64, Option<u64>), Box<dyn Error>> {
+    match w {
+        None => Ok((0, None)),
+        Some(s) => match s.split_once('-') {
+            Some((f, u)) => Ok((f.parse()?, Some(u.parse()?))),
+            None => Ok((s.parse()?, None)),
+        },
+    }
+}
+
+fn select_channels(system: &System, options: &Options) -> Result<Vec<ChannelId>, Box<dyn Error>> {
     match &options.channels {
         None => Ok(system.channel_ids().collect()),
         Some(names) => names
@@ -316,10 +433,7 @@ fn select_channels(
     }
 }
 
-fn resolve_constraint(
-    system: &System,
-    arg: &ConstraintArg,
-) -> Result<Constraint, Box<dyn Error>> {
+fn resolve_constraint(system: &System, arg: &ConstraintArg) -> Result<Constraint, Box<dyn Error>> {
     Ok(match arg {
         ConstraintArg::MinWidth(n, w) => Constraint::min_bus_width(*n, *w),
         ConstraintArg::MaxWidth(n, w) => Constraint::max_bus_width(*n, *w),
@@ -357,7 +471,10 @@ mod tests {
             "--print-vhdl",
         ]);
         assert_eq!(o.spec_path.as_deref(), Some("flc.ifs"));
-        assert_eq!(o.channels.as_deref(), Some(&["ch1".to_string(), "ch2".to_string()][..]));
+        assert_eq!(
+            o.channels.as_deref(),
+            Some(&["ch1".to_string(), "ch2".to_string()][..])
+        );
         assert_eq!(o.width, Some(16));
         assert!(matches!(o.protocol, ProtocolArg::Fixed(3)));
         assert!(o.print_vhdl);
@@ -369,14 +486,56 @@ mod tests {
         let o = parse(&["s.ifs", "--min-width", "14:5", "--min-peak", "ch2=10:2.5"]);
         assert_eq!(o.constraints.len(), 2);
         assert!(matches!(o.constraints[0], ConstraintArg::MinWidth(14, w) if w == 5.0));
-        assert!(
-            matches!(&o.constraints[1], ConstraintArg::MinPeak(c, r, w)
-                if c == "ch2" && *r == 10.0 && *w == 2.5)
-        );
+        assert!(matches!(&o.constraints[1], ConstraintArg::MinPeak(c, r, w)
+                if c == "ch2" && *r == 10.0 && *w == 2.5));
     }
 
     #[test]
     fn rejects_unknown_flags() {
         assert!(parse_args(["--frob".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn parses_protocol_timeout_with_and_without_retries() {
+        let o = parse(&["s.ifs", "--protocol-timeout", "20"]);
+        assert_eq!(o.protocol_timeout, Some((20, None)));
+        let o = parse(&["s.ifs", "--protocol-timeout", "20:5"]);
+        assert_eq!(o.protocol_timeout, Some((20, Some(5))));
+    }
+
+    #[test]
+    fn collects_repeated_fault_flags() {
+        let o = parse(&[
+            "s.ifs",
+            "--fault",
+            "stuck0:B_DONE",
+            "--fault",
+            "flip:B_DATA:3@17",
+        ]);
+        assert_eq!(o.faults.len(), 2);
+    }
+
+    #[test]
+    fn fault_specs_parse_into_a_plan() {
+        let mut plan = FaultPlan::new();
+        for spec in [
+            "stuck0:B_DONE",
+            "stuck1:B_START@5",
+            "stuck0:B_DONE@5-20",
+            "flip:B_DATA:3@17",
+            "drop:B_DONE@4-40",
+            "delay:B_START:2@0-60",
+            "delay:B_START:2",
+        ] {
+            plan = add_fault(plan, spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        }
+        assert_eq!(plan.faults.len(), 7);
+    }
+
+    #[test]
+    fn bad_fault_specs_are_rejected() {
+        for spec in ["B_DONE", "wedge:B_DONE", "flip:B_DATA", "stuck0:S@x"] {
+            assert!(add_fault(FaultPlan::new(), spec).is_err(), "{spec}");
+        }
     }
 }

@@ -54,8 +54,8 @@ pub mod prelude {
         BusDesign, BusGenerator, Constraint, ProtocolGenerator, ProtocolKind, RefinedSystem,
     };
     pub use ifsyn_estimate::{ChannelRates, CostModel, PerformanceEstimator};
-    pub use ifsyn_partition::Partitioner;
     pub use ifsyn_lang::parse_system;
+    pub use ifsyn_partition::Partitioner;
     pub use ifsyn_sim::{SimConfig, SimReport, Simulator};
     pub use ifsyn_spec::{Channel, ChannelDirection, System, Ty, Value};
     pub use ifsyn_vhdl::VhdlPrinter;

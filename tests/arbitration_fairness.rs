@@ -2,9 +2,7 @@
 //! fixed priority can hold off a lower-priority client until the
 //! higher-priority stream drains.
 
-use interface_synthesis::core::{
-    Arbitration, BusDesign, ProtocolGenerator, ProtocolKind,
-};
+use interface_synthesis::core::{Arbitration, BusDesign, ProtocolGenerator, ProtocolKind};
 use interface_synthesis::sim::Simulator;
 use interface_synthesis::spec::dsl::*;
 use interface_synthesis::spec::{Channel, ChannelDirection, System, Ty};

@@ -9,11 +9,7 @@ use interface_synthesis::spec::dsl::*;
 use interface_synthesis::spec::{Channel, ChannelDirection, System, Ty};
 
 /// One writer moving `messages` messages of `data+addr` bits.
-fn writer_system(
-    messages: i64,
-    data: u32,
-    addr: u32,
-) -> (System, ifsyn_spec::ChannelId) {
+fn writer_system(messages: i64, data: u32, addr: u32) -> (System, ifsyn_spec::ChannelId) {
     let mut sys = System::new("acct");
     let m1 = sys.add_module("m1");
     let m2 = sys.add_module("m2");
@@ -104,7 +100,10 @@ fn half_handshake_toggles_once_per_word() {
     let words = BusTiming::new(8, 1).words(23) as u64 * 16;
     let start = refined.bus.start.unwrap();
     assert_eq!(report.signal_event_count(start), words);
-    assert!(refined.bus.done.is_none(), "half handshake has no DONE wire");
+    assert!(
+        refined.bus.done.is_none(),
+        "half handshake has no DONE wire"
+    );
 }
 
 #[test]

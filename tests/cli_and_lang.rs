@@ -64,7 +64,9 @@ fn parsed_flc_matches_programmatic_flc_results() {
     assert_eq!(sys.channel(ch1).accesses, 128);
 
     let design = BusDesign::with_width(vec![ch1, ch2], 16, ProtocolKind::FullHandshake);
-    let refined = ProtocolGenerator::new().refine(&sys, &design).expect("refine");
+    let refined = ProtocolGenerator::new()
+        .refine(&sys, &design)
+        .expect("refine");
     let report = Simulator::new(&refined.system)
         .unwrap()
         .run_to_quiescence()
@@ -106,10 +108,17 @@ fn cli_runs_the_pipeline_from_a_spec_file() {
         .args(["--channels", "ch1,ch2", "--width", "16"])
         .output()
         .expect("spawn ifsyn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("2 channels selected"), "{stdout}");
-    assert!(stdout.contains("bus: 16 data + 2 control + 1 ID lines"), "{stdout}");
+    assert!(
+        stdout.contains("bus: 16 data + 2 control + 1 ID lines"),
+        "{stdout}"
+    );
     assert!(stdout.contains("EVAL_R3"), "{stdout}");
 }
 
@@ -136,7 +145,11 @@ fn cli_writes_vcd_waveforms() {
         .args(["--vcd", vcd_path.to_str().unwrap()])
         .output()
         .expect("spawn ifsyn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let vcd = std::fs::read_to_string(&vcd_path).expect("vcd written");
     assert!(vcd.contains("$enddefinitions"));
     assert!(vcd.contains("B_START"));

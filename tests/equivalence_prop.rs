@@ -111,7 +111,9 @@ fn final_state(sys: &System, vars: &[VarId]) -> Vec<Value> {
         .expect("sim setup")
         .run_to_quiescence()
         .expect("simulation");
-    vars.iter().map(|&v| report.final_variable(v).clone()).collect()
+    vars.iter()
+        .map(|&v| report.final_variable(v).clone())
+        .collect()
 }
 
 #[test]
@@ -171,11 +173,8 @@ fn fixed_delay_preserves_final_state() {
         let delay = rng.range_u32(2, 5);
         let (sys, channels, vars) = build(&specs);
         let golden = final_state(&sys, &vars);
-        let design = BusDesign::with_width(
-            channels,
-            width,
-            ProtocolKind::FixedDelay { cycles: delay },
-        );
+        let design =
+            BusDesign::with_width(channels, width, ProtocolKind::FixedDelay { cycles: delay });
         let refined = ProtocolGenerator::new()
             .refine(&sys, &design)
             .expect("refinement");

@@ -60,8 +60,7 @@ fn conv_r2_alone_matches_analytic_time_exactly() {
 fn refined_flc_transfers_correct_data() {
     for width in [4u32, 8, 16, 23] {
         let f = flc::flc();
-        let design =
-            BusDesign::with_width(f.bus_channels(), width, ProtocolKind::FullHandshake);
+        let design = BusDesign::with_width(f.bus_channels(), width, ProtocolKind::FullHandshake);
         let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
         let report = Simulator::new(&refined.system)
             .unwrap()
@@ -164,8 +163,7 @@ fn half_handshake_matches_one_clock_per_word() {
             .run_to_quiescence()
             .unwrap();
         let timing = BusTiming::new(width, 1);
-        let expected =
-            FLC_ACCESSES * (EVAL_COMPUTE_CYCLES + timing.cycles_per_access(23));
+        let expected = FLC_ACCESSES * (EVAL_COMPUTE_CYCLES + timing.cycles_per_access(23));
         assert_eq!(
             report.finish_time(f.eval_r3).unwrap(),
             expected,
@@ -185,19 +183,14 @@ fn half_handshake_matches_one_clock_per_word() {
 fn fixed_delay_matches_its_configured_period() {
     for (width, cycles) in [(8u32, 2u32), (8, 3), (8, 5), (16, 4)] {
         let f = flc::flc();
-        let design = BusDesign::with_width(
-            vec![f.ch1],
-            width,
-            ProtocolKind::FixedDelay { cycles },
-        );
+        let design = BusDesign::with_width(vec![f.ch1], width, ProtocolKind::FixedDelay { cycles });
         let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
         let report = Simulator::new(&refined.system)
             .unwrap()
             .run_to_quiescence()
             .unwrap();
         let timing = BusTiming::new(width, cycles);
-        let expected =
-            FLC_ACCESSES * (EVAL_COMPUTE_CYCLES + timing.cycles_per_access(23));
+        let expected = FLC_ACCESSES * (EVAL_COMPUTE_CYCLES + timing.cycles_per_access(23));
         assert_eq!(
             report.finish_time(f.eval_r3).unwrap(),
             expected,
@@ -210,19 +203,14 @@ fn fixed_delay_matches_its_configured_period() {
 fn fixed_delay_read_path_matches_too() {
     for cycles in [2u32, 3] {
         let f = flc::flc();
-        let design = BusDesign::with_width(
-            vec![f.ch2],
-            8,
-            ProtocolKind::FixedDelay { cycles },
-        );
+        let design = BusDesign::with_width(vec![f.ch2], 8, ProtocolKind::FixedDelay { cycles });
         let refined = ProtocolGenerator::new().refine(&f.system, &design).unwrap();
         let report = Simulator::new(&refined.system)
             .unwrap()
             .run_to_quiescence()
             .unwrap();
         let timing = BusTiming::new(8, cycles);
-        let expected =
-            FLC_ACCESSES * (CONV_COMPUTE_CYCLES + timing.cycles_per_access(23));
+        let expected = FLC_ACCESSES * (CONV_COMPUTE_CYCLES + timing.cycles_per_access(23));
         assert_eq!(
             report.finish_time(f.conv_r2).unwrap(),
             expected,

@@ -80,9 +80,7 @@ fn dedicated_eval_bus_beats_the_shared_island_bus() {
     let single = BusGenerator::new()
         .generate(&f.system, &f.all_channels())
         .unwrap();
-    let refined_single = ProtocolGenerator::new()
-        .refine(&f.system, &single)
-        .unwrap();
+    let refined_single = ProtocolGenerator::new().refine(&f.system, &single).unwrap();
     let report_single = Simulator::new(&refined_single.system)
         .unwrap()
         .run_to_quiescence()

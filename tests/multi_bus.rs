@@ -4,9 +4,7 @@
 use interface_synthesis::core::{BusGenerator, ProtocolGenerator};
 use interface_synthesis::sim::Simulator;
 use interface_synthesis::spec::dsl::*;
-use interface_synthesis::spec::{
-    Channel, ChannelDirection, ChannelId, System, Ty, Value, VarId,
-};
+use interface_synthesis::spec::{Channel, ChannelDirection, ChannelId, System, Ty, Value, VarId};
 
 /// `n` saturating writers, each filling its own 16-entry array.
 fn hot_system(n: usize) -> (System, Vec<ChannelId>, Vec<VarId>) {
@@ -36,7 +34,10 @@ fn hot_system(n: usize) -> (System, Vec<ChannelId>, Vec<VarId>) {
             vec![send_at(
                 ch,
                 load(var(i)),
-                add(mul(load(var(i)), int_const(10, 16)), int_const(k as i64, 16)),
+                add(
+                    mul(load(var(i)), int_const(10, 16)),
+                    int_const(k as i64, 16),
+                ),
             )],
         )];
         chans.push(ch);

@@ -86,9 +86,7 @@ fn build(workers: &[Vec<Access>]) -> (System, Vec<VarId>) {
                     body.push(assign(var(status), int_const(i64::from(*value), 16)))
                 }
                 Access::ReadScalar => body.push(assign(var(local), load(var(status)))),
-                Access::Compute { cycles } => {
-                    body.push(Stmt::compute(u64::from(*cycles), "pad"))
-                }
+                Access::Compute { cycles } => body.push(Stmt::compute(u64::from(*cycles), "pad")),
             }
         }
         sys.behavior_mut(b).body = body;
@@ -101,7 +99,9 @@ fn finals(sys: &System, vars: &[VarId]) -> Vec<Value> {
         .expect("sim setup")
         .run_to_quiescence()
         .expect("simulation");
-    vars.iter().map(|&v| report.final_variable(v).clone()).collect()
+    vars.iter()
+        .map(|&v| report.final_variable(v).clone())
+        .collect()
 }
 
 #[test]

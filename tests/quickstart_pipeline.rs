@@ -80,8 +80,14 @@ fn refined_matches_golden(width: u32) {
     let sys = &refined.system;
     let p = sys.behavior_by_name("P").unwrap();
     let q = sys.behavior_by_name("Q").unwrap();
-    assert!(report.finish_time(p).is_some(), "P blocked at width {width}");
-    assert!(report.finish_time(q).is_some(), "Q blocked at width {width}");
+    assert!(
+        report.finish_time(p).is_some(),
+        "P blocked at width {width}"
+    );
+    assert!(
+        report.finish_time(q).is_some(),
+        "Q blocked at width {width}"
+    );
 }
 
 #[test]

@@ -37,8 +37,7 @@ fn rolled_and_unrolled_agree_on_state_and_timing() {
         // 16-bit messages: width divides the message for all three.
         let run = |rolled: bool| {
             let f = fig3::fig3();
-            let design =
-                BusDesign::with_width(vec![f.ch0], width, ProtocolKind::FullHandshake);
+            let design = BusDesign::with_width(vec![f.ch0], width, ProtocolKind::FullHandshake);
             let mut pg = ProtocolGenerator::new();
             if rolled {
                 pg = pg.with_rolled_word_loops();

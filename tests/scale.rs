@@ -58,7 +58,10 @@ fn sixty_four_channels_refine_and_simulate() {
         let v = refined.system.variable_by_name(&format!("R{k}")).unwrap();
         assert_eq!(
             report.final_variable(v),
-            &Value::Bits(ifsyn_spec::BitVec::from_u64((k as u64 * 100 + 3) & 0xffff, 16)),
+            &Value::Bits(ifsyn_spec::BitVec::from_u64(
+                (k as u64 * 100 + 3) & 0xffff,
+                16
+            )),
             "R{k}"
         );
     }
@@ -92,7 +95,11 @@ fn deep_nesting_in_one_behavior() {
     let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
     assert_eq!(report.final_variable(acc).as_i64().unwrap(), 256);
     let est = interface_synthesis::estimate::PerformanceEstimator::new()
-        .estimate(&sys, b, &interface_synthesis::estimate::ChannelTimings::new())
+        .estimate(
+            &sys,
+            b,
+            &interface_synthesis::estimate::ChannelTimings::new(),
+        )
         .unwrap();
     assert_eq!(est.cycles, 256);
 }
@@ -121,7 +128,11 @@ fn large_memory_traffic_is_exact() {
         var(i),
         int_const(0, 16),
         int_const(1919, 16),
-        vec![send_at(ch, load(var(i)), mul(load(var(i)), int_const(7, 16)))],
+        vec![send_at(
+            ch,
+            load(var(i)),
+            mul(load(var(i)), int_const(7, 16)),
+        )],
     )];
     let design = BusDesign::with_width(vec![ch], 27, ProtocolKind::FullHandshake);
     let refined = ProtocolGenerator::new().refine(&sys, &design).unwrap();
@@ -136,11 +147,7 @@ fn large_memory_traffic_is_exact() {
         Value::Array(items) => {
             for (idx, item) in items.iter().enumerate() {
                 let expected = ((idx as i64 * 7) << 48 >> 48) & 0xffff;
-                assert_eq!(
-                    item.as_i64().unwrap() & 0xffff,
-                    expected,
-                    "BIG[{idx}]"
-                );
+                assert_eq!(item.as_i64().unwrap() & 0xffff, expected, "BIG[{idx}]");
             }
         }
         other => panic!("expected array, got {other}"),
