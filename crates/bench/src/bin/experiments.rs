@@ -5,6 +5,13 @@
 //! cargo run -p ifsyn-bench --bin experiments -- fig7
 //! cargo run -p ifsyn-bench --bin experiments -- bench   # writes BENCH_sim.json
 //! cargo run -p ifsyn-bench --bin experiments -- faults  # writes BENCH_faults.json
+//! cargo run -p ifsyn-bench --bin experiments -- perf --check
+//!     # measure and compare against the committed BENCH_sim.json;
+//!     # exits nonzero on a throughput regression. Options:
+//!     #   --baseline PATH   baseline file (default BENCH_sim.json)
+//!     #   --tolerance R     allowed fractional drop (default 0.5 — wide,
+//!     #                     because CI machines differ from the machine
+//!     #                     that wrote the baseline)
 //! ```
 
 use std::env;
@@ -32,6 +39,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "perf" => {
+            if let Err(e) = run_perf(&args[1..]) {
+                eprintln!("perf: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             print_fig2();
             print_fig7();
@@ -42,7 +55,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | bench | faults | all"
+                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | bench | faults | perf | all"
             );
             return ExitCode::FAILURE;
         }
@@ -59,6 +72,57 @@ fn run_bench(out_path: Option<&str>) -> std::io::Result<()> {
     let path = out_path.unwrap_or("BENCH_sim.json");
     std::fs::write(path, ifsyn_bench::perf::to_json(&data))?;
     println!("\nwrote {path}");
+    Ok(())
+}
+
+/// Measures throughput and, with `--check`, compares against a committed
+/// baseline instead of overwriting it.
+fn run_perf(args: &[String]) -> Result<(), String> {
+    let mut check = false;
+    let mut tolerance = 0.5f64;
+    let mut baseline_path = "BENCH_sim.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance requires a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err("--tolerance must be in [0, 1)".to_string());
+                }
+            }
+            "--baseline" => {
+                baseline_path = it.next().ok_or("--baseline requires a value")?.clone();
+            }
+            other => return Err(format!("unknown perf option `{other}`")),
+        }
+    }
+    rule();
+    let data = ifsyn_bench::perf::run();
+    print!("{}", ifsyn_bench::perf::render(&data));
+    if check {
+        let json = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+        let baseline = ifsyn_bench::perf::parse_baseline(&json);
+        if baseline.is_empty() {
+            return Err(format!("no scenarios found in `{baseline_path}`"));
+        }
+        println!(
+            "\nregression check vs {baseline_path} (tolerance {:.0}%):",
+            tolerance * 100.0
+        );
+        match ifsyn_bench::perf::check(&data, &baseline, tolerance) {
+            Ok(report) => print!("{report}"),
+            Err(report) => {
+                print!("{report}");
+                return Err("throughput regression detected".to_string());
+            }
+        }
+    }
     Ok(())
 }
 

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod batch;
 pub mod extra;
 pub mod faults;
 pub mod fig2;

@@ -101,6 +101,31 @@ fn flc_kernel_sweep() -> Scenario {
     )
 }
 
+/// The FLC sweep through the parallel batch front-end: same 150 runs as
+/// `flc_kernel_sweep`, but fanned out over the batch runner's workers
+/// with one shared compiled-code cache.
+fn flc_batch_sweep() -> Scenario {
+    const WIDTHS: std::ops::RangeInclusive<u32> = 1..=30;
+    const REPS: u64 = 5;
+    let systems: Vec<System> = WIDTHS.map(refined_flc_shared).collect();
+    let runner = crate::batch::BatchRunner::new();
+    let mut instrs = 0u64;
+    let mut runs = 0u64;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for report in runner.run(&systems) {
+            instrs += report.expect("batch sim").total_instrs();
+            runs += 1;
+        }
+    }
+    scenario(
+        "flc_batch_sweep",
+        runs,
+        instrs,
+        start.elapsed().as_secs_f64(),
+    )
+}
+
 /// The end-to-end Fig. 7 sweep (refinement + simulation per width).
 fn fig7_full_sweep() -> Scenario {
     let start = Instant::now();
@@ -151,7 +176,12 @@ fn quickstart_pipeline() -> Scenario {
 /// Runs all throughput scenarios.
 pub fn run() -> PerfData {
     PerfData {
-        scenarios: vec![flc_kernel_sweep(), fig7_full_sweep(), quickstart_pipeline()],
+        scenarios: vec![
+            flc_kernel_sweep(),
+            flc_batch_sweep(),
+            fig7_full_sweep(),
+            quickstart_pipeline(),
+        ],
         sweep_threads: crate::fig7::sweep_threads(),
     }
 }
@@ -201,9 +231,125 @@ pub fn to_json(data: &PerfData) -> String {
     out
 }
 
+/// Extracts `(name, instrs_per_sec)` pairs from a `BENCH_sim.json`
+/// document written by [`to_json`].
+///
+/// Hand-rolled like the serializer (offline build, no serde): scans for
+/// `"name": "..."` / `"instrs_per_sec": N` key pairs in order, so it
+/// tolerates reformatting but not reordering of the two keys within a
+/// scenario object.
+pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"name\":") {
+        rest = &rest[at + "\"name\":".len()..];
+        let Some(open) = rest.find('"') else { break };
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        let name = rest[open + 1..open + 1 + close].to_string();
+        rest = &rest[open + 1 + close..];
+        let Some(ips_at) = rest.find("\"instrs_per_sec\":") else {
+            break;
+        };
+        let tail = rest[ips_at + "\"instrs_per_sec\":".len()..].trim_start();
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(tail.len());
+        if let Ok(ips) = tail[..end].parse::<f64>() {
+            out.push((name, ips));
+        }
+        rest = &rest[ips_at..];
+    }
+    out
+}
+
+/// Compares a fresh run against a committed baseline.
+///
+/// A scenario regresses when its throughput falls below
+/// `baseline * (1 - tolerance)`; scenarios present on only one side are
+/// reported but never fail the check (new scenarios appear, old ones
+/// retire). Returns a human-readable report: `Ok` when every common
+/// scenario holds, `Err` listing the regressions otherwise.
+///
+/// # Errors
+///
+/// Returns `Err` with the rendered report when at least one common
+/// scenario falls below the tolerated floor.
+pub fn check(
+    fresh: &PerfData,
+    baseline: &[(String, f64)],
+    tolerance: f64,
+) -> Result<String, String> {
+    let mut report = String::new();
+    let mut regressions = 0usize;
+    for s in &fresh.scenarios {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| *n == s.name) else {
+            report.push_str(&format!("  {:<22} (no baseline; skipped)\n", s.name));
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        let ratio = if *base > 0.0 {
+            s.instrs_per_sec / base
+        } else {
+            1.0
+        };
+        let verdict = if s.instrs_per_sec >= floor {
+            "ok"
+        } else {
+            regressions += 1;
+            "REGRESSED"
+        };
+        report.push_str(&format!(
+            "  {:<22} {:>12.0} vs baseline {:>12.0}  ({:>5.2}x)  {}\n",
+            s.name, s.instrs_per_sec, base, ratio, verdict
+        ));
+    }
+    for (name, _) in baseline {
+        if !fresh.scenarios.iter().any(|s| s.name == *name) {
+            report.push_str(&format!("  {name:<22} (baseline only; skipped)\n"));
+        }
+    }
+    if regressions == 0 {
+        Ok(report)
+    } else {
+        Err(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let data = PerfData {
+            scenarios: vec![scenario("a", 2, 100, 0.5), scenario("b", 1, 50, 0.25)],
+            sweep_threads: 1,
+        };
+        let parsed = parse_baseline(&to_json(&data));
+        assert_eq!(
+            parsed,
+            vec![("a".to_string(), 200.0), ("b".to_string(), 200.0)]
+        );
+    }
+
+    #[test]
+    fn check_passes_within_tolerance_and_fails_below() {
+        let fresh = PerfData {
+            scenarios: vec![scenario("a", 1, 95, 1.0), scenario("new", 1, 1, 1.0)],
+            sweep_threads: 1,
+        };
+        let baseline = vec![("a".to_string(), 100.0), ("gone".to_string(), 5.0)];
+        // 95 >= 100 * (1 - 0.10): holds, and unmatched names are skipped.
+        let ok = check(&fresh, &baseline, 0.10).expect("within tolerance");
+        assert!(ok.contains("ok"));
+        assert!(ok.contains("no baseline"));
+        assert!(ok.contains("baseline only"));
+        // 95 < 100 * (1 - 0.01): regression.
+        let err = check(&fresh, &baseline, 0.01).expect_err("below tolerance");
+        assert!(err.contains("REGRESSED"));
+    }
 
     #[test]
     fn json_is_well_formed_and_names_every_scenario() {

@@ -4,15 +4,16 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use ifsyn_spec::{Arg, BitVec, Expr, ParamMode, Place, System, Ty, Value};
+use ifsyn_spec::{BitVec, Expr, ParamMode, SignalId, System, Ty, Value};
 
 use crate::config::SimConfig;
 use crate::diagnose::{find_cycles, BlockedWait, DeadlockDiagnosis};
 use crate::error::SimError;
-use crate::eval::{coerce, eval, place_ty, read_place, EvalCtx};
+use crate::eval::{coerce, EvalCtx};
+use crate::exec::{self, CArg, CPath, CPathStep, CPlace, CRoot, ExprCode, RegFile};
 use crate::fault::{FaultKind, InjectedFault};
 use crate::process::{CodeRef, Frame, Process, ResolvedPlace, Root, Status, Step, WaitKind};
-use crate::program::{Instr, Program, WaitSpec};
+use crate::program::{Code, CodeCache, Instr, Program, WaitSpec};
 use crate::report::{BehaviorOutcome, SimReport, TraceEvent};
 
 /// Upper bound on recorded [`InjectedFault`] entries, so a stuck line on
@@ -69,6 +70,29 @@ enum Disposition {
     Delay(u64),
 }
 
+/// Evaluates compiled expression code for one process, splitting the
+/// simulator's storage fields so the shared context borrows (variables,
+/// signals, the frame) coexist with the mutable register-file borrow.
+fn eval_split<'s>(
+    vars: &'s [Value],
+    signals: &'s [Value],
+    processes: &'s [Process],
+    regs: &'s mut RegFile,
+    pid: usize,
+    code: &'s ExprCode,
+) -> Result<&'s Value, SimError> {
+    let frame = processes[pid]
+        .frames
+        .last()
+        .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
+    let ctx = EvalCtx {
+        vars,
+        signals,
+        frame,
+    };
+    exec::eval_code(&ctx, code, regs)
+}
+
 /// A deterministic discrete-event simulator over a [`System`].
 ///
 /// Semantics (see the crate docs for the rationale):
@@ -112,12 +136,21 @@ enum Disposition {
 pub struct Simulator<'a> {
     system: &'a System,
     config: SimConfig,
-    /// Shared handles to each code block's instructions, so the hot loop
-    /// can hold an instruction reference across `&mut self` calls
-    /// without deep-cloning expressions. `Arc` (not `Rc`) keeps the
-    /// simulator `Send` for the parallel sweep driver.
-    behavior_code: Vec<Arc<Vec<Instr>>>,
-    procedure_code: Vec<Arc<Vec<Instr>>>,
+    /// Shared handles to each compiled code block. `Arc` (not `Rc`) keeps
+    /// the simulator `Send` for the parallel sweep driver, and lets a
+    /// [`CodeCache`] share identical blocks between simulator instances.
+    ///
+    /// Each slot is an `Option` so the interpreter can *move* the running
+    /// block out (`take_block`) and hold it across `&mut self` calls,
+    /// then move it back at the next block switch or suspension — no
+    /// per-activation reference-count traffic. A slot is only ever `None`
+    /// while its block is executing (or after a terminal error, when the
+    /// simulator is dropped without further use).
+    behavior_code: Vec<Option<Arc<Code>>>,
+    procedure_code: Vec<Option<Arc<Code>>>,
+    /// The reusable micro-op register file, pre-sized at compile time to
+    /// the widest expression in the program.
+    regs: RegFile,
     time: u64,
     signals: Vec<Value>,
     vars: Vec<Value>,
@@ -150,16 +183,25 @@ pub struct Simulator<'a> {
     has_faults: bool,
     /// Monotonic tiebreaker giving heap entries FIFO order per instant.
     event_seq: u64,
+    /// Deadline of the current `run_events` call, mirrored into a field
+    /// so the interpreter's fast-forward path can respect it.
+    run_deadline: Option<u64>,
     /// Per signal: processes registered as waiters (swap-remove lists;
     /// order is irrelevant because wake order flows from `ready`).
     waiters: Vec<Vec<usize>>,
+    /// Monotonic counter identifying one `register_wait` call; paired
+    /// with `sig_mark` to deduplicate a sensitivity list in O(1) per
+    /// signal instead of scanning the waiter list.
+    reg_epoch: u64,
+    /// Per signal: the `reg_epoch` that last touched it. Equal to the
+    /// current epoch means this registration already covered the signal.
+    sig_mark: Vec<u64>,
     /// Scratch: per-signal index of the last pending write in the batch
     /// being applied (`usize::MAX` = none); reset on use.
     last_write: Vec<usize>,
     /// Scratch: signals changed in the current delta.
     changed: Vec<usize>,
     /// Scratch: waiter snapshot while waking (reused across deltas).
-    wake_scratch: Vec<usize>,
     signal_events: Vec<u64>,
     trace: Vec<TraceEvent>,
     total_deltas: u64,
@@ -187,20 +229,36 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns [`SimError::InvalidSystem`] if the system fails validation.
     pub fn with_config(system: &'a System, config: SimConfig) -> Result<Self, SimError> {
+        Self::with_config_cached(system, config, None)
+    }
+
+    /// Compiles `system`, sharing compiled code blocks through `cache`.
+    ///
+    /// Batch drivers that simulate many identical (or near-identical)
+    /// refined systems pass one shared [`CodeCache`] so each distinct
+    /// behavior or procedure body is lowered to bytecode only once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSystem`] if the system fails validation.
+    pub fn with_config_cached(
+        system: &'a System,
+        config: SimConfig,
+        cache: Option<&CodeCache>,
+    ) -> Result<Self, SimError> {
         system.check().map_err(|e| SimError::InvalidSystem {
             message: e.to_string(),
         })?;
-        let program = Program::compile(system, &config.cost_model);
-        let behavior_code: Vec<Arc<Vec<Instr>>> = program
+        let program = Program::compile_cached(system, &config.cost_model, cache);
+        let max_regs = program
             .behaviors
-            .into_iter()
-            .map(|c| Arc::new(c.instrs))
-            .collect();
-        let procedure_code: Vec<Arc<Vec<Instr>>> = program
-            .procedures
-            .into_iter()
-            .map(|c| Arc::new(c.instrs))
-            .collect();
+            .iter()
+            .chain(&program.procedures)
+            .map(|c| c.max_regs)
+            .max()
+            .unwrap_or(0);
+        let behavior_code = program.behaviors.into_iter().map(Some).collect();
+        let procedure_code = program.procedures.into_iter().map(Some).collect();
         let signals = system
             .signals
             .iter()
@@ -249,6 +307,7 @@ impl<'a> Simulator<'a> {
             config,
             behavior_code,
             procedure_code,
+            regs: RegFile::with_capacity(max_regs as usize),
             time: 0,
             signals,
             vars,
@@ -264,10 +323,12 @@ impl<'a> Simulator<'a> {
             injected: Vec::new(),
             has_faults,
             event_seq: 0,
+            run_deadline: None,
             waiters: vec![Vec::new(); n_signals],
+            reg_epoch: 0,
+            sig_mark: vec![0; n_signals],
             last_write: vec![usize::MAX; n_signals],
             changed: Vec::new(),
-            wake_scratch: Vec::new(),
             signal_events: vec![0; n_signals],
             trace: Vec::new(),
             total_deltas: 0,
@@ -324,6 +385,7 @@ impl<'a> Simulator<'a> {
 
     /// The main event loop; stops at quiescence, or past `deadline`.
     fn run_events(&mut self, deadline: Option<u64>) -> Result<(), SimError> {
+        self.run_deadline = deadline;
         loop {
             self.settle_instant()?;
             let next_write = self.timed_writes.peek().map(|Reverse(w)| w.time);
@@ -570,23 +632,40 @@ impl<'a> Simulator<'a> {
     fn wake_on(&mut self) -> Result<(), SimError> {
         for ci in 0..self.changed.len() {
             let sig = self.changed[ci];
-            // Snapshot the waiter list into reusable scratch: make_ready
-            // mutates `waiters[sig]` while we iterate.
-            let mut candidates = std::mem::take(&mut self.wake_scratch);
-            candidates.clear();
-            candidates.extend_from_slice(&self.waiters[sig]);
-            for &pid in &candidates {
+            // Iterate the waiter list in place: when a process wakes,
+            // `make_ready` swap-removes its entry, so the slot at `i` is
+            // refilled and the index only advances past survivors. No
+            // process can suspend during a wake sweep, so no new entries
+            // appear behind us.
+            let mut i = 0;
+            while i < self.waiters[sig].len() {
+                let pid = self.waiters[sig][i];
                 let sat = match &self.processes[pid].status {
                     Status::Waiting(WaitKind::Signals) => true,
-                    Status::Waiting(WaitKind::Until(expr)) => self.eval_bool_in(pid, expr)?,
+                    Status::Waiting(WaitKind::Until(cond)) => {
+                        // Split borrows: the condition lives in `processes`
+                        // (shared), the register file is the only mutable
+                        // field touched — no Arc clone on the wake path.
+                        eval_split(
+                            &self.vars,
+                            &self.signals,
+                            &self.processes,
+                            &mut self.regs,
+                            pid,
+                            &cond.code,
+                        )?
+                        .as_bool()
+                        .map_err(|e| SimError::eval(e.to_string()))?
+                    }
                     Status::Waiting(WaitKind::SignalIs(idx, v)) => self.signals[*idx] == *v,
                     _ => false,
                 };
                 if sat {
                     self.make_ready(pid);
+                } else {
+                    i += 1;
                 }
             }
-            self.wake_scratch = candidates;
         }
         Ok(())
     }
@@ -632,20 +711,40 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    fn register_wait(&mut self, pid: usize, kind: WaitKind, sensitivity: &[ifsyn_spec::SignalId]) {
+    fn register_wait(&mut self, pid: usize, kind: WaitKind, sensitivity: &[SignalId]) {
         // A fresh generation invalidates any watchdog entry left over from
         // an earlier suspension of this process.
         self.processes[pid].wait_gen += 1;
+        // A fresh epoch makes every `sig_mark` entry stale at once, so
+        // deduplicating a wide sensitivity list is O(1) per signal instead
+        // of a scan of the waiter list. A process can never already be in
+        // a waiter list here (make_ready clears its registrations before
+        // it runs again), so only same-list duplicates need catching.
+        self.reg_epoch += 1;
+        let epoch = self.reg_epoch;
         let mut registered = std::mem::take(&mut self.processes[pid].registered);
         registered.clear();
         for s in sensitivity {
             let idx = s.index();
-            if !self.waiters[idx].contains(&pid) {
+            if self.sig_mark[idx] != epoch {
+                self.sig_mark[idx] = epoch;
                 self.waiters[idx].push(pid);
+                registered.push(idx);
             }
-            registered.push(idx);
         }
         self.processes[pid].registered = registered;
+        self.processes[pid].status = Status::Waiting(kind);
+    }
+
+    /// Single-signal fast path of [`register_wait`]: no epoch bump and no
+    /// dedup pass — a one-element sensitivity list cannot contain
+    /// duplicates. This is the shape of every generated handshake wait.
+    fn register_wait_one(&mut self, pid: usize, kind: WaitKind, idx: usize) {
+        self.processes[pid].wait_gen += 1;
+        self.waiters[idx].push(pid);
+        let registered = &mut self.processes[pid].registered;
+        registered.clear();
+        registered.push(idx);
         self.processes[pid].status = Status::Waiting(kind);
     }
 
@@ -658,99 +757,223 @@ impl<'a> Simulator<'a> {
         self.event_seq += 1;
     }
 
-    fn ctx_for(&self, pid: usize) -> Result<EvalCtx<'_>, SimError> {
-        let frame = self.processes[pid]
-            .frames
-            .last()
-            .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
-        Ok(EvalCtx {
-            vars: &self.vars,
-            signals: &self.signals,
-            frame,
-        })
+    /// Evaluates compiled code in a process's current scope, cloning the
+    /// result out of wherever it lives (register, pool, storage).
+    fn eval_in(&mut self, pid: usize, code: &ExprCode) -> Result<Value, SimError> {
+        Ok(eval_split(
+            &self.vars,
+            &self.signals,
+            &self.processes,
+            &mut self.regs,
+            pid,
+            code,
+        )?
+        .clone())
     }
 
-    /// Evaluates an expression in a process's current scope, cloning the
-    /// result only when it was a borrowed load.
-    fn eval_in(&self, pid: usize, expr: &Expr) -> Result<Value, SimError> {
-        Ok(eval(&self.ctx_for(pid)?, expr)?.into_owned())
-    }
-
-    /// Evaluates an expression to a boolean without materializing an
+    /// Evaluates compiled code to a boolean without materializing an
     /// owned value — the wake/branch/assert hot path.
-    fn eval_bool_in(&self, pid: usize, expr: &Expr) -> Result<bool, SimError> {
-        eval(&self.ctx_for(pid)?, expr)?
-            .as_bool()
-            .map_err(|e| SimError::eval(e.to_string()))
+    fn eval_bool_in(&mut self, pid: usize, code: &ExprCode) -> Result<bool, SimError> {
+        eval_split(
+            &self.vars,
+            &self.signals,
+            &self.processes,
+            &mut self.regs,
+            pid,
+            code,
+        )?
+        .as_bool()
+        .map_err(|e| SimError::eval(e.to_string()))
     }
 
-    /// Evaluates an expression to an integer without materializing an
+    /// Evaluates compiled code to an integer without materializing an
     /// owned value (loop bounds, addresses, slice offsets).
-    fn eval_i64_in(&self, pid: usize, expr: &Expr) -> Result<i64, SimError> {
-        eval(&self.ctx_for(pid)?, expr)?
-            .as_i64()
-            .map_err(|e| SimError::eval(e.to_string()))
+    fn eval_i64_in(&mut self, pid: usize, code: &ExprCode) -> Result<i64, SimError> {
+        eval_split(
+            &self.vars,
+            &self.signals,
+            &self.processes,
+            &mut self.regs,
+            pid,
+            code,
+        )?
+        .as_i64()
+        .map_err(|e| SimError::eval(e.to_string()))
     }
 
-    fn read_place_in(&self, pid: usize, place: &Place) -> Result<Value, SimError> {
-        Ok(read_place(&self.ctx_for(pid)?, place)?.into_owned())
-    }
-
-    /// Reads a place as an integer without cloning the stored value.
-    fn read_place_i64_in(&self, pid: usize, place: &Place) -> Result<i64, SimError> {
-        read_place(&self.ctx_for(pid)?, place)?
-            .as_i64()
-            .map_err(|e| SimError::eval(e.to_string()))
-    }
-
-    /// Resolves a place to a concrete path; index expressions evaluate in
-    /// the process's current (top) frame.
-    fn resolve_place(
-        &self,
+    /// Resolves a compiled path to concrete storage steps; index and
+    /// offset code evaluates in the process's current (top) frame.
+    fn resolve_cpath(
+        &mut self,
         pid: usize,
-        place: &Place,
+        path: &CPath,
         frame_abs: usize,
     ) -> Result<ResolvedPlace, SimError> {
-        match place {
-            Place::Var(v) => Ok(ResolvedPlace {
-                root: Root::Var(v.index()),
-                steps: Vec::new(),
-            }),
-            Place::Local(slot) => Ok(ResolvedPlace {
-                root: Root::Local {
-                    frame: frame_abs,
-                    slot: *slot,
-                },
-                steps: Vec::new(),
-            }),
-            Place::Index { base, index } => {
-                let mut rp = self.resolve_place(pid, base, frame_abs)?;
-                let i = self.eval_i64_in(pid, index)?;
-                let i = usize::try_from(i)
-                    .map_err(|_| SimError::eval(format!("negative array index {i}")))?;
-                rp.steps.push(Step::Elem(i));
-                Ok(rp)
-            }
-            Place::Slice { base, hi, lo } => {
-                let mut rp = self.resolve_place(pid, base, frame_abs)?;
-                rp.steps.push(Step::Slice(*hi, *lo));
-                Ok(rp)
-            }
-            Place::DynSlice {
-                base,
-                offset,
-                width,
-            } => {
-                // The offset evaluates once at resolution time, turning
-                // the dynamic slice into a concrete one.
-                let mut rp = self.resolve_place(pid, base, frame_abs)?;
-                let lo = self.eval_i64_in(pid, offset)?;
-                let lo = u32::try_from(lo)
-                    .map_err(|_| SimError::eval(format!("negative slice offset {lo}")))?;
-                rp.steps.push(Step::Slice(lo + width - 1, lo));
-                Ok(rp)
+        let root = match path.root {
+            CRoot::Var(i) => Root::Var(i as usize),
+            CRoot::Local(s) => Root::Local {
+                frame: frame_abs,
+                slot: s as usize,
+            },
+        };
+        let mut steps = Vec::with_capacity(path.steps.len());
+        for st in path.steps.iter() {
+            match st {
+                CPathStep::Elem(code) => {
+                    let i = self.eval_i64_in(pid, code)?;
+                    let i = usize::try_from(i)
+                        .map_err(|_| SimError::eval(format!("negative array index {i}")))?;
+                    steps.push(Step::Elem(i));
+                }
+                CPathStep::Slice(hi, lo) => steps.push(Step::Slice(*hi, *lo)),
+                CPathStep::DynSlice(code, width) => {
+                    // The offset evaluates once at resolution time, turning
+                    // the dynamic slice into a concrete one.
+                    let lo = self.eval_i64_in(pid, code)?;
+                    let lo = u32::try_from(lo)
+                        .map_err(|_| SimError::eval(format!("negative slice offset {lo}")))?;
+                    steps.push(Step::Slice(lo + width - 1, lo));
+                }
             }
         }
+        Ok(ResolvedPlace { root, steps })
+    }
+
+    /// Resolves a compiled place for copy-back, returning the concrete
+    /// destination and its type (captured at call time, VHDL-style).
+    fn resolve_cplace(
+        &mut self,
+        pid: usize,
+        place: &CPlace,
+        frame_abs: usize,
+    ) -> Result<(ResolvedPlace, Ty), SimError> {
+        let system: &'a System = self.system;
+        match place {
+            CPlace::Var(i) => {
+                let decl = system
+                    .variables
+                    .get(*i as usize)
+                    .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?;
+                Ok((
+                    ResolvedPlace {
+                        root: Root::Var(*i as usize),
+                        steps: Vec::new(),
+                    },
+                    decl.ty.clone(),
+                ))
+            }
+            CPlace::Local(slot) => {
+                let slot = *slot as usize;
+                let ty = self.local_ty(pid, frame_abs, slot)?;
+                Ok((
+                    ResolvedPlace {
+                        root: Root::Local {
+                            frame: frame_abs,
+                            slot,
+                        },
+                        steps: Vec::new(),
+                    },
+                    ty,
+                ))
+            }
+            CPlace::Path(path) => {
+                let ty = path
+                    .ty
+                    .clone()
+                    .ok_or_else(|| untyped_place_error(&path.root))?;
+                let rp = self.resolve_cpath(pid, path, frame_abs)?;
+                Ok((rp, ty))
+            }
+        }
+    }
+
+    /// The declared type of a frame's local slot.
+    fn local_ty(&self, pid: usize, frame_abs: usize, slot: usize) -> Result<Ty, SimError> {
+        match self.processes[pid].frames[frame_abs].code {
+            CodeRef::Procedure(p) => {
+                let proc = &self.system.procedures[p];
+                if slot < proc.slot_count() {
+                    Ok(proc.slot_ty(slot).clone())
+                } else {
+                    Err(SimError::eval(format!("missing local slot {slot}")))
+                }
+            }
+            CodeRef::Behavior(_) => Err(SimError::eval(
+                "local slot referenced outside a procedure".to_string(),
+            )),
+        }
+    }
+
+    /// Reads a compiled place's current value.
+    fn read_cplace(&mut self, pid: usize, place: &CPlace) -> Result<Value, SimError> {
+        match place {
+            CPlace::Var(i) => self
+                .vars
+                .get(*i as usize)
+                .cloned()
+                .ok_or_else(|| SimError::eval(format!("missing variable v{i}"))),
+            CPlace::Local(slot) => {
+                let frame = self.processes[pid]
+                    .frames
+                    .last()
+                    .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
+                frame
+                    .locals
+                    .get(*slot as usize)
+                    .cloned()
+                    .ok_or_else(|| SimError::eval(format!("missing local slot {slot}")))
+            }
+            CPlace::Path(path) => {
+                let frame_abs = self.processes[pid].frames.len() - 1;
+                let rp = self.resolve_cpath(pid, path, frame_abs)?;
+                self.read_resolved(pid, &rp)
+            }
+        }
+    }
+
+    /// Reads the value at a resolved path.
+    fn read_resolved(&self, pid: usize, rp: &ResolvedPlace) -> Result<Value, SimError> {
+        let mut cur: &Value = match rp.root {
+            Root::Var(i) => self
+                .vars
+                .get(i)
+                .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?,
+            Root::Local { frame, slot } => self.processes[pid]
+                .frames
+                .get(frame)
+                .and_then(|f| f.locals.get(slot))
+                .ok_or_else(|| SimError::eval(format!("missing local slot {slot}")))?,
+        };
+        for (i, step) in rp.steps.iter().enumerate() {
+            match step {
+                Step::Elem(idx) => match cur {
+                    Value::Array(items) => {
+                        cur = items.get(*idx).ok_or_else(|| {
+                            SimError::eval(format!("array index {idx} out of range"))
+                        })?;
+                    }
+                    other => {
+                        return Err(SimError::eval(format!("indexing non-array value {other}")))
+                    }
+                },
+                Step::Slice(hi, lo) => {
+                    if i + 1 != rp.steps.len() {
+                        return Err(SimError::eval(
+                            "slice must be the last projection of a write target".to_string(),
+                        ));
+                    }
+                    let bits = cur.to_bits();
+                    if *hi >= bits.width() {
+                        return Err(SimError::eval(format!(
+                            "slice {hi} downto {lo} out of range for width {}",
+                            bits.width()
+                        )));
+                    }
+                    return Ok(Value::Bits(bits.slice(*hi, *lo)));
+                }
+            }
+        }
+        Ok(cur.clone())
     }
 
     fn write_resolved(
@@ -774,52 +997,172 @@ impl<'a> Simulator<'a> {
     }
 
     /// Writes `value` (coerced to the target's type) into a place.
-    fn write_place(&mut self, pid: usize, place: &Place, value: Value) -> Result<(), SimError> {
+    fn write_cplace(&mut self, pid: usize, place: &CPlace, value: Value) -> Result<(), SimError> {
         // Whole-variable and whole-local writes (the overwhelmingly common
-        // case) skip type cloning and place resolution entirely.
+        // case) skip place resolution entirely.
         let system: &'a System = self.system;
         match place {
-            Place::Var(v) => {
+            CPlace::Var(i) => {
                 let decl = system
                     .variables
-                    .get(v.index())
-                    .ok_or_else(|| SimError::eval(format!("missing variable {v}")))?;
-                self.vars[v.index()] = coerce(value, &decl.ty);
-                return Ok(());
+                    .get(*i as usize)
+                    .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?;
+                self.vars[*i as usize] = coerce(value, &decl.ty);
+                Ok(())
             }
-            Place::Local(slot) => {
-                let frame = self.processes[pid].frames.last().expect("frame");
-                if let CodeRef::Procedure(p) = frame.code {
-                    let proc = &system.procedures[p];
-                    if *slot < proc.slot_count() {
-                        let ty = proc.slot_ty(*slot);
-                        let v = coerce(value, ty);
-                        self.processes[pid].frames.last_mut().expect("frame").locals[*slot] = v;
-                        return Ok(());
-                    }
-                }
-                // Fall through to the general path for its error reporting.
+            CPlace::Local(slot) => {
+                let slot = *slot as usize;
+                let frame_abs = self.processes[pid].frames.len() - 1;
+                let ty = self.local_ty(pid, frame_abs, slot)?;
+                let v = coerce(value, &ty);
+                self.processes[pid].frames[frame_abs].locals[slot] = v;
+                Ok(())
             }
-            _ => {}
+            CPlace::Path(path) => {
+                let ty = path
+                    .ty
+                    .clone()
+                    .ok_or_else(|| untyped_place_error(&path.root))?;
+                let frame_abs = self.processes[pid].frames.len() - 1;
+                let rp = self.resolve_cpath(pid, path, frame_abs)?;
+                self.write_resolved(pid, &rp, coerce(value, &ty))
+            }
         }
-        let frame_abs = self.processes[pid].frames.len() - 1;
-        let code = self.processes[pid].frames[frame_abs].code;
-        let ty = place_ty(self.system, code, place)?;
-        let rp = self.resolve_place(pid, place, frame_abs)?;
-        self.write_resolved(pid, &rp, coerce(value, &ty))
     }
 
-    /// Runs one process until it blocks, sleeps or finishes.
+    /// Moves a code block out of its slot for execution. No reference
+    /// count is touched; the block must be returned with [`Self::put_block`]
+    /// before anything else can execute or inspect it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already taken (cannot happen from the
+    /// interpreter, which always puts the running block back before
+    /// taking another).
+    fn take_block(&mut self, code: CodeRef) -> Arc<Code> {
+        let slot = match code {
+            CodeRef::Behavior(i) => &mut self.behavior_code[i],
+            CodeRef::Procedure(i) => &mut self.procedure_code[i],
+        };
+        slot.take().expect("code block already taken")
+    }
+
+    /// Returns a block taken with [`Self::take_block`] to its slot.
+    fn put_block(&mut self, code: CodeRef, block: Arc<Code>) {
+        let slot = match code {
+            CodeRef::Behavior(i) => &mut self.behavior_code[i],
+            CodeRef::Procedure(i) => &mut self.procedure_code[i],
+        };
+        *slot = Some(block);
+    }
+
+    /// Writes the cached program counter back into the process's top
+    /// frame (done only at suspension points, not per instruction).
+    /// Attempts to jump simulated time straight to `wake` without
+    /// suspending the running process.
+    ///
+    /// Legal exactly when nothing else can observe the skipped interval:
+    /// no undelivered zero-delay writes, no other runnable process, and
+    /// no scheduled event at or before `wake`. A wake past the run
+    /// deadline or the time cap declines too, so those terminations stay
+    /// handled in one place (`run_events`). On success the instant
+    /// counter advances just as the event loop would have done.
+    fn try_fast_advance(&mut self, wake: u64) -> Result<bool, SimError> {
+        if !self.ready.is_empty() {
+            return Ok(false);
+        }
+        if wake > self.config.max_time || self.run_deadline.is_some_and(|d| wake > d) {
+            return Ok(false);
+        }
+        if !self.pending.is_empty() {
+            // `ready` is empty, so the running process is the last runner
+            // of this delta round: applying the batch here is exactly the
+            // settle step that would otherwise follow its suspension.
+            self.apply_pending();
+            self.wake_on()?;
+            self.total_deltas += 1;
+            if !self.ready.is_empty() {
+                // The delta woke somebody; the interval is observable.
+                return Ok(false);
+            }
+        }
+        let next_write = self.timed_writes.peek().map(|Reverse(w)| w.time);
+        let next_sleep = self.sleepers.peek().map(|&Reverse((t, _, _))| t);
+        let next_timeout = self.next_live_wait_timeout();
+        let next_injection = self.injections.peek().map(|&Reverse((t, _, _))| t);
+        if next_write.is_some_and(|t| t <= wake) {
+            return Ok(false);
+        }
+        if next_sleep.is_some_and(|t| t <= wake) {
+            return Ok(false);
+        }
+        if next_timeout.is_some_and(|t| t <= wake) {
+            return Ok(false);
+        }
+        if next_injection.is_some_and(|t| t <= wake) {
+            return Ok(false);
+        }
+        self.time = wake;
+        self.time_steps += 1;
+        Ok(true)
+    }
+
+    /// Fast path for a costed signal write: when the interval to `wake`
+    /// is unobservable (same conditions as [`Self::try_fast_advance`]),
+    /// the write is applied as the single delta of the new instant —
+    /// exactly what draining it from the timed-write heap would have done
+    /// — and the caller keeps running ahead of any process it woke.
+    /// Declines by handing the value back for the slow path.
+    fn try_fast_advance_write(
+        &mut self,
+        wake: u64,
+        signal: usize,
+        value: Value,
+    ) -> Result<Option<Value>, SimError> {
+        if !self.try_fast_advance(wake)? {
+            return Ok(Some(value));
+        }
+        self.pending.push((signal, value, false));
+        self.apply_pending();
+        self.wake_on()?;
+        self.total_deltas += 1;
+        Ok(None)
+    }
+
+    fn store_pc(&mut self, pid: usize, pc: usize) {
+        self.processes[pid].frames.last_mut().expect("frame").pc = pc;
+    }
+
+    /// Runs one process until it blocks, sleeps or finishes, then flushes
+    /// the executed-instruction counters in one add each.
     fn run_process(&mut self, pid: usize) -> Result<(), SimError> {
-        let mut steps: u64 = 0;
-        // Cache the current code block across instructions; refreshed
-        // when a call or return switches frames.
-        let mut cached: Option<(CodeRef, Arc<Vec<Instr>>)> = None;
+        let mut steps = 0u64;
+        let result = self.run_steps(pid, &mut steps);
+        self.total_instrs += steps;
+        self.processes[pid].instrs_executed += steps;
+        result
+    }
+
+    /// The interpreter loop. The program counter and current code block
+    /// are locals — the frame's `pc` is only written back at suspension
+    /// points, keeping the per-instruction overhead at an index increment.
+    fn run_steps(&mut self, pid: usize, steps: &mut u64) -> Result<(), SimError> {
+        let (mut code_ref, mut pc) = {
+            let frame = self.processes[pid]
+                .frames
+                .last()
+                .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
+            (frame.code, frame.pc)
+        };
+        let mut block = self.take_block(code_ref);
+        // Zero-delay-loop budget: counts steps at the current instant and
+        // resets whenever the fast path advances time, so long runs that
+        // legitimately consume simulated time are never misdiagnosed.
+        let mut instant_steps = 0u64;
         loop {
-            steps += 1;
-            self.total_instrs += 1;
-            self.processes[pid].instrs_executed += 1;
-            if steps > self.config.max_steps_per_activation {
+            *steps += 1;
+            instant_steps += 1;
+            if instant_steps > self.config.max_steps_per_activation {
                 return Err(SimError::ZeroDelayLoop {
                     behavior: self.system.behaviors[self.processes[pid].behavior]
                         .name
@@ -827,32 +1170,30 @@ impl<'a> Simulator<'a> {
                     time: self.time,
                 });
             }
-            let (code_ref, pc) = {
-                let frame = self.processes[pid]
-                    .frames
-                    .last()
-                    .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
-                (frame.code, frame.pc)
-            };
-            if !matches!(&cached, Some((c, _)) if *c == code_ref) {
-                let rc = match code_ref {
-                    CodeRef::Behavior(i) => Arc::clone(&self.behavior_code[i]),
-                    CodeRef::Procedure(i) => Arc::clone(&self.procedure_code[i]),
-                };
-                cached = Some((code_ref, rc));
-            }
-            // Borrowing out of the local cache (not `self`) keeps the
-            // per-instruction cost at a tag compare — no refcount traffic.
-            let instr = &cached.as_ref().expect("cache filled above").1[pc];
+            // Borrowing out of the local `block` (not `self`) lets the
+            // instruction reference live across `&mut self` calls.
+            let instr = &block.instrs[pc];
             match instr {
                 Instr::Assign { place, value, cost } => {
-                    let v = self.eval_in(pid, value)?;
-                    self.write_place(pid, place, v)?;
-                    self.advance_pc(pid);
+                    // Constant sources skip the evaluation context — no
+                    // frame lookup, no register file.
+                    let v = match value.const_value() {
+                        Some(c) => c.clone(),
+                        None => self.eval_in(pid, value)?,
+                    };
+                    self.write_cplace(pid, place, v)?;
+                    pc += 1;
                     if *cost > 0 {
                         self.processes[pid].active_cycles += u64::from(*cost);
-                        self.sleep_until(pid, self.time + u64::from(*cost));
-                        return Ok(());
+                        let wake = self.time + u64::from(*cost);
+                        if self.try_fast_advance(wake)? {
+                            instant_steps = 0;
+                        } else {
+                            self.store_pc(pid, pc);
+                            self.sleep_until(pid, wake);
+                            self.put_block(code_ref, block);
+                            return Ok(());
+                        }
                     }
                 }
                 Instr::SignalWrite {
@@ -860,63 +1201,80 @@ impl<'a> Simulator<'a> {
                     value,
                     cost,
                 } => {
-                    let v = {
-                        // `self.system` is a shared reference; copying it
-                        // out lets the type borrow coexist with `&mut self`.
-                        let system: &'a System = self.system;
-                        coerce(self.eval_in(pid, value)?, &system.signal(*signal).ty)
+                    // Constants were pre-coerced to the signal's type at
+                    // compile time, so the pool value drives verbatim.
+                    let v = match value.const_value() {
+                        Some(c) => c.clone(),
+                        None => {
+                            let raw = self.eval_in(pid, value)?;
+                            // `self.system` is a shared reference; copying
+                            // it out lets the type borrow coexist with
+                            // `&mut self`.
+                            let system: &'a System = self.system;
+                            coerce(raw, &system.signal(*signal).ty)
+                        }
                     };
-                    self.advance_pc(pid);
+                    pc += 1;
                     if *cost == 0 {
                         self.pending.push((signal.index(), v, false));
                     } else {
-                        self.schedule_write(self.time + u64::from(*cost), signal.index(), v, false);
                         self.processes[pid].active_cycles += u64::from(*cost);
-                        self.sleep_until(pid, self.time + u64::from(*cost));
-                        return Ok(());
+                        let wake = self.time + u64::from(*cost);
+                        match self.try_fast_advance_write(wake, signal.index(), v)? {
+                            None => instant_steps = 0,
+                            Some(v) => {
+                                self.schedule_write(wake, signal.index(), v, false);
+                                self.store_pc(pid, pc);
+                                self.sleep_until(pid, wake);
+                                self.put_block(code_ref, block);
+                                return Ok(());
+                            }
+                        }
                     }
                 }
-                Instr::Jump(t) => self.set_pc(pid, *t),
+                Instr::Jump(t) => pc = *t,
                 Instr::JumpIfNot { cond, target } => {
-                    let b = self.eval_bool_in(pid, cond)?;
-                    if b {
-                        self.advance_pc(pid);
+                    if self.eval_bool_in(pid, cond)? {
+                        pc += 1;
                     } else {
-                        self.set_pc(pid, *target);
+                        pc = *target;
                     }
                 }
                 Instr::LoopInit { var, from, to } => {
                     let bound = self.eval_i64_in(pid, to)?;
                     let start = self.eval_in(pid, from)?;
-                    self.write_place(pid, var, start)?;
+                    self.write_cplace(pid, var, start)?;
                     self.processes[pid]
                         .frames
                         .last_mut()
                         .expect("frame")
                         .loop_bounds
                         .push(bound);
-                    self.advance_pc(pid);
+                    pc += 1;
                 }
                 Instr::LoopTest { var, exit } => {
                     // Loop counters are whole int variables or locals in
                     // practice; read them without an evaluation context.
                     let fast = match var {
-                        Place::Var(v) => match self.vars.get(v.index()) {
+                        CPlace::Var(v) => match self.vars.get(*v as usize) {
                             Some(Value::Int { value, .. }) => Some(*value),
                             _ => None,
                         },
-                        Place::Local(slot) => {
+                        CPlace::Local(slot) => {
                             let frame = self.processes[pid].frames.last().expect("frame");
-                            match frame.locals.get(*slot) {
+                            match frame.locals.get(*slot as usize) {
                                 Some(Value::Int { value, .. }) => Some(*value),
                                 _ => None,
                             }
                         }
-                        _ => None,
+                        CPlace::Path(_) => None,
                     };
                     let v = match fast {
                         Some(v) => v,
-                        None => self.read_place_i64_in(pid, var)?,
+                        None => self
+                            .read_cplace(pid, var)?
+                            .as_i64()
+                            .map_err(|e| SimError::eval(e.to_string()))?,
                     };
                     let frame = self.processes[pid].frames.last_mut().expect("frame");
                     let bound = *frame
@@ -925,96 +1283,123 @@ impl<'a> Simulator<'a> {
                         .ok_or_else(|| SimError::eval("loop bound stack empty".to_string()))?;
                     if v > bound {
                         frame.loop_bounds.pop();
-                        self.set_pc(pid, *exit);
+                        pc = *exit;
                     } else {
-                        self.advance_pc(pid);
+                        pc += 1;
                     }
                 }
-                Instr::LoopIncr { var, back } => {
-                    // In-place increment for whole int counters (stored
-                    // values are unmasked, so this matches rebuild+write).
-                    let done = match var {
-                        Place::Var(v) => match self.vars.get_mut(v.index()) {
+                Instr::LoopIncr { var, body, exit } => {
+                    // Fused back-edge: in-place increment for whole int
+                    // counters (stored values are unmasked, so this matches
+                    // rebuild+write), then test the bound and branch — one
+                    // dispatch instead of increment + jump + guard.
+                    let fast = match var {
+                        CPlace::Var(v) => match self.vars.get_mut(*v as usize) {
                             Some(Value::Int { value, width }) if *width > 0 => {
                                 *value += 1;
-                                true
+                                Some(*value)
                             }
-                            _ => false,
+                            _ => None,
                         },
-                        Place::Local(slot) => {
+                        CPlace::Local(slot) => {
                             let frame = self.processes[pid].frames.last_mut().expect("frame");
-                            match frame.locals.get_mut(*slot) {
+                            match frame.locals.get_mut(*slot as usize) {
                                 Some(Value::Int { value, width }) if *width > 0 => {
                                     *value += 1;
-                                    true
+                                    Some(*value)
                                 }
-                                _ => false,
+                                _ => None,
                             }
                         }
-                        _ => false,
+                        CPlace::Path(_) => None,
                     };
-                    if !done {
-                        let (v, width) = {
-                            let cur = read_place(&self.ctx_for(pid)?, var)?;
-                            let v = cur.as_i64().map_err(|e| SimError::eval(e.to_string()))?;
-                            let width = match &*cur {
-                                Value::Int { width, .. } => *width,
-                                other => other.ty().bit_width(),
+                    let v = match fast {
+                        Some(v) => v,
+                        None => {
+                            let (v, width) = {
+                                let cur = self.read_cplace(pid, var)?;
+                                let v = cur.as_i64().map_err(|e| SimError::eval(e.to_string()))?;
+                                let width = match &cur {
+                                    Value::Int { width, .. } => *width,
+                                    other => other.ty().bit_width(),
+                                };
+                                (v, width)
                             };
-                            (v, width)
-                        };
-                        self.write_place(pid, var, Value::int(v + 1, width.max(1)))?;
+                            self.write_cplace(pid, var, Value::int(v + 1, width.max(1)))?;
+                            v + 1
+                        }
+                    };
+                    let frame = self.processes[pid].frames.last_mut().expect("frame");
+                    let bound = *frame
+                        .loop_bounds
+                        .last()
+                        .ok_or_else(|| SimError::eval("loop bound stack empty".to_string()))?;
+                    if v > bound {
+                        frame.loop_bounds.pop();
+                        pc = *exit;
+                    } else {
+                        pc = *body;
                     }
-                    self.set_pc(pid, *back);
                 }
                 Instr::Wait(cond) => {
-                    self.advance_pc(pid);
+                    pc += 1;
                     match cond {
                         WaitSpec::ForCycles(n) => {
                             if *n > 0 {
-                                self.sleep_until(pid, self.time + n);
-                                return Ok(());
+                                let wake = self.time + n;
+                                if self.try_fast_advance(wake)? {
+                                    instant_steps = 0;
+                                } else {
+                                    self.store_pc(pid, pc);
+                                    self.sleep_until(pid, wake);
+                                    self.put_block(code_ref, block);
+                                    return Ok(());
+                                }
                             }
                         }
                         WaitSpec::OnSignals(signals) => {
+                            self.store_pc(pid, pc);
                             self.register_wait(pid, WaitKind::Signals, signals);
+                            self.put_block(code_ref, block);
                             return Ok(());
                         }
-                        WaitSpec::Until { expr, sensitivity } => {
-                            let sat = self.eval_bool_in(pid, expr)?;
+                        WaitSpec::Until(cond) => {
+                            let sat = self.eval_bool_in(pid, &cond.code)?;
                             if !sat {
+                                self.store_pc(pid, pc);
                                 self.register_wait(
                                     pid,
-                                    WaitKind::Until(Arc::clone(expr)),
-                                    sensitivity,
+                                    WaitKind::Until(Arc::clone(cond)),
+                                    &cond.sensitivity,
                                 );
+                                self.put_block(code_ref, block);
                                 return Ok(());
                             }
                         }
                         WaitSpec::UntilSignalIs { signal, value } => {
                             if self.signals[signal.index()] != *value {
-                                self.register_wait(
+                                self.store_pc(pid, pc);
+                                self.register_wait_one(
                                     pid,
                                     WaitKind::SignalIs(signal.index(), value.clone()),
-                                    std::slice::from_ref(signal),
+                                    signal.index(),
                                 );
+                                self.put_block(code_ref, block);
                                 return Ok(());
                             }
                         }
-                        WaitSpec::UntilTimeout {
-                            expr,
-                            sensitivity,
-                            cycles,
-                        } => {
-                            let sat = self.eval_bool_in(pid, expr)?;
+                        WaitSpec::UntilTimeout { cond, cycles } => {
+                            let sat = self.eval_bool_in(pid, &cond.code)?;
                             if !sat {
                                 let deadline = self.time + cycles;
+                                self.store_pc(pid, pc);
                                 self.register_wait(
                                     pid,
-                                    WaitKind::Until(Arc::clone(expr)),
-                                    sensitivity,
+                                    WaitKind::Until(Arc::clone(cond)),
+                                    &cond.sensitivity,
                                 );
                                 self.arm_watchdog(pid, deadline);
+                                self.put_block(code_ref, block);
                                 return Ok(());
                             }
                         }
@@ -1025,25 +1410,48 @@ impl<'a> Simulator<'a> {
                         } => {
                             if self.signals[signal.index()] != *value {
                                 let deadline = self.time + cycles;
-                                self.register_wait(
+                                self.store_pc(pid, pc);
+                                self.register_wait_one(
                                     pid,
                                     WaitKind::SignalIs(signal.index(), value.clone()),
-                                    std::slice::from_ref(signal),
+                                    signal.index(),
                                 );
                                 self.arm_watchdog(pid, deadline);
+                                self.put_block(code_ref, block);
                                 return Ok(());
                             }
                         }
                     }
                 }
                 Instr::Call { procedure, args } => {
-                    self.advance_pc(pid);
-                    self.enter_procedure(pid, *procedure, args)?;
+                    let procedure = *procedure;
+                    // The return address is stored before the callee frame
+                    // is pushed; argument evaluation still sees the caller
+                    // frame on top.
+                    self.store_pc(pid, pc + 1);
+                    self.enter_procedure(pid, procedure, args)?;
+                    // Put-then-take keeps the slot discipline sound even
+                    // for a direct self-call.
+                    self.put_block(code_ref, block);
+                    code_ref = CodeRef::Procedure(procedure);
+                    block = self.take_block(code_ref);
+                    pc = 0;
                 }
                 Instr::Ret => {
                     if self.leave_frame(pid)? {
+                        self.put_block(code_ref, block);
                         return Ok(());
                     }
+                    let (new_code, new_pc) = {
+                        let frame = self.processes[pid].frames.last().expect("frame");
+                        (frame.code, frame.pc)
+                    };
+                    if new_code != code_ref {
+                        self.put_block(code_ref, block);
+                        block = self.take_block(new_code);
+                        code_ref = new_code;
+                    }
+                    pc = new_pc;
                 }
                 Instr::ChannelSend {
                     channel,
@@ -1057,11 +1465,18 @@ impl<'a> Simulator<'a> {
                         None => None,
                     };
                     self.channel_write(*channel, addr_v, data_v)?;
-                    self.advance_pc(pid);
+                    pc += 1;
                     if *cost > 0 {
                         self.processes[pid].active_cycles += u64::from(*cost);
-                        self.sleep_until(pid, self.time + u64::from(*cost));
-                        return Ok(());
+                        let wake = self.time + u64::from(*cost);
+                        if self.try_fast_advance(wake)? {
+                            instant_steps = 0;
+                        } else {
+                            self.store_pc(pid, pc);
+                            self.sleep_until(pid, wake);
+                            self.put_block(code_ref, block);
+                            return Ok(());
+                        }
                     }
                 }
                 Instr::ChannelReceive {
@@ -1075,12 +1490,19 @@ impl<'a> Simulator<'a> {
                         None => None,
                     };
                     let v = self.channel_read(*channel, addr_v)?;
-                    self.write_place(pid, target, v)?;
-                    self.advance_pc(pid);
+                    self.write_cplace(pid, target, v)?;
+                    pc += 1;
                     if *cost > 0 {
                         self.processes[pid].active_cycles += u64::from(*cost);
-                        self.sleep_until(pid, self.time + u64::from(*cost));
-                        return Ok(());
+                        let wake = self.time + u64::from(*cost);
+                        if self.try_fast_advance(wake)? {
+                            instant_steps = 0;
+                        } else {
+                            self.store_pc(pid, pc);
+                            self.sleep_until(pid, wake);
+                            self.put_block(code_ref, block);
+                            return Ok(());
+                        }
                     }
                 }
                 Instr::Assert { cond, note } => {
@@ -1095,54 +1517,56 @@ impl<'a> Simulator<'a> {
                         });
                     }
                     self.assertions_checked += 1;
-                    self.advance_pc(pid);
+                    pc += 1;
                 }
                 Instr::Consume { cycles } => {
-                    self.advance_pc(pid);
+                    pc += 1;
                     if *cycles > 0 {
                         self.processes[pid].active_cycles += *cycles;
-                        self.sleep_until(pid, self.time + *cycles);
-                        return Ok(());
+                        let wake = self.time + *cycles;
+                        if self.try_fast_advance(wake)? {
+                            instant_steps = 0;
+                        } else {
+                            self.store_pc(pid, pc);
+                            self.sleep_until(pid, wake);
+                            self.put_block(code_ref, block);
+                            return Ok(());
+                        }
                     }
                 }
             }
         }
     }
 
-    fn advance_pc(&mut self, pid: usize) {
-        self.processes[pid].frames.last_mut().expect("frame").pc += 1;
-    }
-
-    fn set_pc(&mut self, pid: usize, pc: usize) {
-        self.processes[pid].frames.last_mut().expect("frame").pc = pc;
-    }
-
     fn enter_procedure(
         &mut self,
         pid: usize,
         procedure: usize,
-        args: &[Arg],
+        args: &[CArg],
     ) -> Result<(), SimError> {
-        let proc = &self.system.procedures[procedure];
+        let system: &'a System = self.system;
+        let proc = &system.procedures[procedure];
         let caller_frame_abs = self.processes[pid].frames.len() - 1;
         let mut locals = Vec::with_capacity(proc.slot_count());
         let mut copyback = Vec::new();
         for (i, (arg, param)) in args.iter().zip(&proc.params).enumerate() {
             match (arg, param.mode) {
-                (Arg::In(e), ParamMode::In) => {
+                (CArg::In(e), ParamMode::In) => {
                     locals.push(coerce(self.eval_in(pid, e)?, &param.ty));
                 }
-                (Arg::Out(place), ParamMode::Out) => {
+                (CArg::Out(place), ParamMode::Out) => {
                     locals.push(Value::default_of(&param.ty));
-                    let caller_code = self.processes[pid].frames[caller_frame_abs].code;
-                    let ty = place_ty(self.system, caller_code, place)?;
-                    copyback.push((i, self.resolve_place(pid, place, caller_frame_abs)?, ty));
+                    copyback.push({
+                        let (rp, ty) = self.resolve_cplace(pid, place, caller_frame_abs)?;
+                        (i, rp, ty)
+                    });
                 }
-                (Arg::InOut(place), ParamMode::InOut) => {
-                    locals.push(coerce(self.read_place_in(pid, place)?, &param.ty));
-                    let caller_code = self.processes[pid].frames[caller_frame_abs].code;
-                    let ty = place_ty(self.system, caller_code, place)?;
-                    copyback.push((i, self.resolve_place(pid, place, caller_frame_abs)?, ty));
+                (CArg::InOut(place), ParamMode::InOut) => {
+                    locals.push(coerce(self.read_cplace(pid, place)?, &param.ty));
+                    copyback.push({
+                        let (rp, ty) = self.resolve_cplace(pid, place, caller_frame_abs)?;
+                        (i, rp, ty)
+                    });
                 }
                 _ => {
                     return Err(SimError::eval(format!(
@@ -1279,8 +1703,8 @@ impl<'a> Simulator<'a> {
                             .collect();
                         format!("wait on {}", names.join(", "))
                     }
-                    Status::Waiting(WaitKind::Until(expr)) => {
-                        format!("wait until {}", render_expr(self.system, expr))
+                    Status::Waiting(WaitKind::Until(cond)) => {
+                        format!("wait until {}", render_expr(self.system, &cond.display))
                     }
                     Status::Waiting(WaitKind::SignalIs(sig, v)) => {
                         format!("wait until {} = {v}", self.system.signals[*sig].name)
@@ -1346,14 +1770,20 @@ impl<'a> Simulator<'a> {
     fn written_signals(&self, behavior: usize) -> Vec<bool> {
         let mut out = vec![false; self.signals.len()];
         let mut visited = vec![false; self.procedure_code.len()];
-        let mut stack: Vec<&[Instr]> = vec![self.behavior_code[behavior].as_slice()];
+        let block = self.behavior_code[behavior]
+            .as_ref()
+            .expect("code block taken");
+        let mut stack: Vec<&[Instr]> = vec![&block.instrs];
         while let Some(instrs) = stack.pop() {
             for instr in instrs {
                 match instr {
                     Instr::SignalWrite { signal, .. } => out[signal.index()] = true,
                     Instr::Call { procedure, .. } if !visited[*procedure] => {
                         visited[*procedure] = true;
-                        stack.push(self.procedure_code[*procedure].as_slice());
+                        let proc_block = self.procedure_code[*procedure]
+                            .as_ref()
+                            .expect("code block taken");
+                        stack.push(&proc_block.instrs);
                     }
                     _ => {}
                 }
@@ -1419,6 +1849,15 @@ impl<'a> Simulator<'a> {
             heap_peak: self.heap_peak,
             time_steps: self.time_steps,
         }
+    }
+}
+
+/// The error for a compiled place whose type could not be resolved at
+/// compile time (today: a local referenced from a behavior body).
+fn untyped_place_error(root: &CRoot) -> SimError {
+    match root {
+        CRoot::Local(_) => SimError::eval("local slot referenced outside a procedure".to_string()),
+        CRoot::Var(_) => SimError::eval("place cannot be typed in this scope".to_string()),
     }
 }
 

@@ -49,6 +49,7 @@ mod config;
 mod diagnose;
 mod error;
 mod eval;
+mod exec;
 mod fault;
 mod kernel;
 mod process;
@@ -61,7 +62,61 @@ pub mod vcd;
 pub use config::SimConfig;
 pub use diagnose::{BlockedWait, DeadlockDiagnosis};
 pub use error::SimError;
+pub use exec::{ExprCode, MicroOp, Src};
 pub use fault::{Fault, FaultKind, FaultPlan, InjectedFault};
 pub use kernel::Simulator;
-pub use program::{Instr, Program, WaitSpec};
+pub use program::{Code, CodeCache, CompiledCond, Instr, Program, WaitSpec};
 pub use report::{SimReport, TraceEvent};
+
+/// Test-support surface: evaluate one expression through each engine.
+///
+/// Exists so the differential property test in `tests/` can compare the
+/// production bytecode pipeline against the reference tree-walker without
+/// the crate exposing its evaluation internals as real API.
+#[doc(hidden)]
+pub mod testing {
+    use ifsyn_spec::{Expr, System, Value};
+
+    use crate::error::SimError;
+    use crate::eval::{self, EvalCtx};
+    use crate::exec::{self, RegFile};
+    use crate::process::{CodeRef, Frame};
+    use crate::program;
+
+    /// Evaluates `expr` with the reference tree-walking interpreter in a
+    /// frameless (behavior-scope) context over the given storage.
+    pub fn eval_tree(
+        system: &System,
+        vars: &[Value],
+        signals: &[Value],
+        expr: &Expr,
+    ) -> Result<Value, SimError> {
+        let _ = system;
+        let frame = Frame::new(CodeRef::Behavior(0), Vec::new());
+        let ctx = EvalCtx {
+            vars,
+            signals,
+            frame: &frame,
+        };
+        eval::eval(&ctx, expr).map(|e| e.into_owned())
+    }
+
+    /// Evaluates `expr` through the production pipeline: constant fold,
+    /// compile to register bytecode, execute with a fresh register file.
+    pub fn eval_bytecode(
+        system: &System,
+        vars: &[Value],
+        signals: &[Value],
+        expr: &Expr,
+    ) -> Result<Value, SimError> {
+        let code = program::fold_and_compile(system, expr);
+        let frame = Frame::new(CodeRef::Behavior(0), Vec::new());
+        let ctx = EvalCtx {
+            vars,
+            signals,
+            frame: &frame,
+        };
+        let mut regs = RegFile::new();
+        exec::eval_code(&ctx, &code, &mut regs).cloned()
+    }
+}

@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use ifsyn_spec::{Expr, Ty, Value};
+use ifsyn_spec::{Ty, Value};
+
+use crate::program::CompiledCond;
 
 /// Which code block a frame executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,9 +86,9 @@ pub(crate) enum WaitKind {
     Signals,
     /// `wait until <expr>` — an event must also make the condition true.
     ///
-    /// The expression is shared with the compiled instruction stream, so
-    /// suspending costs one reference count, not an expression clone.
-    Until(Arc<Expr>),
+    /// The compiled condition is shared with the instruction stream, so
+    /// suspending costs one reference count, not a clone.
+    Until(Arc<CompiledCond>),
     /// `wait until <signal> = <const>` — resumable by a single stored
     /// value compare, no expression evaluation (signal index, value).
     SignalIs(usize, Value),

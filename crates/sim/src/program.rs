@@ -5,47 +5,72 @@
 //! per-frame loop stack. Every behavior and procedure compiles to one
 //! [`Code`] block ending in [`Instr::Ret`].
 //!
-//! Lowering also performs the compile-time work that keeps the
-//! interpreter's hot path allocation-free:
+//! Lowering performs all the compile-time work that keeps the
+//! interpreter's hot path flat and allocation-free:
 //!
 //! * **constant folding** — literal subtrees (`Unary`/`Binary`/slices/
-//!   resizes over constants) evaluate once here and embed as
-//!   [`Expr::Const`]; at run time the evaluator then returns those
-//!   constants *by reference* (they are interned in the instruction
-//!   stream), so a folded operand costs zero allocations per execution;
+//!   resizes over constants) evaluate once here;
+//! * **bytecode compilation** — every folded expression compiles to an
+//!   [`ExprCode`] micro-op sequence over a reusable register file (see
+//!   [`crate::exec`]), with leaf loads flattened into operand slots and
+//!   the `sig = const` idiom fused into one compare superinstruction;
+//! * **place compilation** — assignment targets become [`CPlace`], with
+//!   whole-variable/local writes reduced to a bare index and deeper
+//!   paths carrying their target type resolved at compile time;
 //! * **wait compilation** — `wait until` conditions lower to a
-//!   [`WaitSpec::Until`] carrying the folded expression behind an `Arc`
-//!   and its signal sensitivity list, both computed once instead of at
-//!   every suspension.
+//!   [`WaitSpec::Until`] carrying a [`CompiledCond`] (bytecode plus the
+//!   display expression and signal sensitivity) behind an `Arc`, with
+//!   the single-signal handshake idioms specialized to a stored-value
+//!   compare ([`WaitSpec::UntilSignalIs`]);
+//! * **loop fusion** — the loop back-edge is one fused
+//!   increment-test-branch instruction ([`Instr::LoopIncr`]) instead of
+//!   an increment, a jump and a separate guard dispatch.
+//!
+//! Compiled blocks are plain data behind `Arc`s, so a [`CodeCache`] can
+//! share them between simulator instances: batch sweeps that re-simulate
+//! the same refined system compile each block once, keyed by a content
+//! hash of the block body and everything lowering reads from its
+//! environment (declared types and the cost model).
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 use ifsyn_estimate::CostModel;
 use ifsyn_spec::{
-    Arg, BinOp, ChannelId, Expr, Place, SignalId, Stmt, System, Ty, UnaryOp, Value, WaitCond,
+    Arg, BinOp, ChannelId, Expr, ParamMode, Place, SignalId, Stmt, System, Ty, UnaryOp, Value,
+    WaitCond,
 };
 
-use crate::eval::{eval_binary, eval_unary};
+use crate::eval::{coerce, eval_binary, eval_unary, place_ty};
+use crate::exec::{CArg, CPath, CPathStep, CPlace, CRoot, ExprCode, MicroOp, Src};
+use crate::process::CodeRef;
+
+/// A compiled `wait until` condition: the bytecode to test it, the folded
+/// source expression for diagnostics, and the signals it is sensitive to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCond {
+    /// The condition compiled to micro-ops.
+    pub code: ExprCode,
+    /// The folded expression, kept only for diagnosis rendering.
+    pub display: Expr,
+    /// Signals appearing in the condition, collected at compile time.
+    pub sensitivity: Vec<SignalId>,
+}
 
 /// A compiled wait condition.
 ///
 /// The run-time shape of [`WaitCond`]: `until` conditions carry their
-/// (constant-folded) expression behind an `Arc` so a suspending process
-/// can hold the condition without cloning the expression tree, plus the
-/// precollected list of signals the condition is sensitive to.
+/// compiled form behind an `Arc` so a suspending process can hold the
+/// condition without cloning anything.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WaitSpec {
     /// Suspend for a fixed number of cycles.
     ForCycles(u64),
     /// Suspend until an event on any of the listed signals.
     OnSignals(Vec<SignalId>),
-    /// Suspend until an event makes `expr` true (level-sensitive).
-    Until {
-        /// The folded condition, shared with suspended processes.
-        expr: Arc<Expr>,
-        /// Signals appearing in `expr`, collected at compile time.
-        sensitivity: Vec<SignalId>,
-    },
+    /// Suspend until an event makes the condition true (level-sensitive).
+    Until(Arc<CompiledCond>),
     /// Suspend until `signal` holds exactly `value` (level-sensitive).
     ///
     /// The compiled form of the generated-handshake idiom
@@ -66,10 +91,8 @@ pub enum WaitSpec {
     /// wait from an expired one — exactly the VHDL `wait until ... for N`
     /// contract the hardened protocols rely on.
     UntilTimeout {
-        /// The folded condition, shared with suspended processes.
-        expr: Arc<Expr>,
-        /// Signals appearing in `expr`, collected at compile time.
-        sensitivity: Vec<SignalId>,
+        /// The compiled condition, shared with suspended processes.
+        cond: Arc<CompiledCond>,
         /// Watchdog bound in cycles.
         cycles: u64,
     },
@@ -90,19 +113,20 @@ pub enum Instr {
     /// `place := value`, consuming `cost` cycles.
     Assign {
         /// Assignment target.
-        place: Place,
+        place: CPlace,
         /// Assigned value.
-        value: Expr,
+        value: ExprCode,
         /// Cycles consumed.
         cost: u32,
     },
     /// `signal <= value`; the new value becomes visible `cost` cycles
-    /// later (next delta when `cost` is zero).
+    /// later (next delta when `cost` is zero). Constant values are
+    /// pre-coerced to the signal's type at compile time.
     SignalWrite {
         /// Driven signal.
         signal: SignalId,
         /// Driven value.
-        value: Expr,
+        value: ExprCode,
         /// Cycles consumed (and write visibility delay).
         cost: u32,
     },
@@ -111,7 +135,7 @@ pub enum Instr {
     /// Jump to `target` when `cond` evaluates false.
     JumpIfNot {
         /// Branch condition.
-        cond: Expr,
+        cond: ExprCode,
         /// Destination when false.
         target: usize,
     },
@@ -119,25 +143,30 @@ pub enum Instr {
     /// frame's loop-bound stack.
     LoopInit {
         /// Loop variable.
-        var: Place,
+        var: CPlace,
         /// Initial value expression.
-        from: Expr,
+        from: ExprCode,
         /// Final (inclusive) value expression, evaluated once.
-        to: Expr,
+        to: ExprCode,
     },
-    /// `for` guard: exit (popping the bound) when `var` exceeds the bound.
+    /// `for` guard (loop entry only): exit (popping the bound) when
+    /// `var` exceeds the bound.
     LoopTest {
         /// Loop variable.
-        var: Place,
+        var: CPlace,
         /// Destination when the loop is done.
         exit: usize,
     },
-    /// `for` epilogue: `var := var + 1`, jump back to the guard.
+    /// Fused `for` back-edge superinstruction: `var := var + 1`, then
+    /// branch straight to the loop body or (popping the bound) to the
+    /// exit — one dispatch instead of increment + jump + guard.
     LoopIncr {
         /// Loop variable.
-        var: Place,
-        /// Guard instruction index.
-        back: usize,
+        var: CPlace,
+        /// First body instruction (the guard's fall-through).
+        body: usize,
+        /// Destination when the loop is done.
+        exit: usize,
     },
     /// Suspend on a compiled wait condition.
     Wait(WaitSpec),
@@ -145,8 +174,8 @@ pub enum Instr {
     Call {
         /// Callee index.
         procedure: usize,
-        /// Actual arguments.
-        args: Vec<Arg>,
+        /// Actual arguments, compiled.
+        args: Vec<CArg>,
     },
     /// Abstract (ideal) channel send: writes directly into the remote
     /// variable's storage.
@@ -154,9 +183,9 @@ pub enum Instr {
         /// The channel.
         channel: ChannelId,
         /// Element address for arrays.
-        addr: Option<Expr>,
+        addr: Option<ExprCode>,
         /// Transferred value.
-        data: Expr,
+        data: ExprCode,
         /// Cycles consumed.
         cost: u32,
     },
@@ -165,9 +194,9 @@ pub enum Instr {
         /// The channel.
         channel: ChannelId,
         /// Element address for arrays.
-        addr: Option<Expr>,
+        addr: Option<ExprCode>,
         /// Destination.
-        target: Place,
+        target: CPlace,
         /// Cycles consumed.
         cost: u32,
     },
@@ -179,7 +208,7 @@ pub enum Instr {
     /// Runtime check; fails the simulation when false.
     Assert {
         /// The checked condition.
-        cond: Expr,
+        cond: ExprCode,
         /// Failure diagnostic.
         note: String,
     },
@@ -195,15 +224,108 @@ pub struct Code {
     pub name: String,
     /// Flat instruction sequence; always ends with [`Instr::Ret`].
     pub instrs: Vec<Instr>,
+    /// Registers needed by the widest [`ExprCode`] in this block; the
+    /// simulator sizes its shared register file to the maximum over all
+    /// blocks.
+    pub max_regs: u16,
 }
 
 /// A fully lowered system: one code block per behavior and per procedure.
+///
+/// Blocks are behind `Arc`s so a [`CodeCache`] can share identical
+/// compilations between simulator instances.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Code per behavior, indexed like `System::behaviors`.
-    pub behaviors: Vec<Code>,
+    pub behaviors: Vec<Arc<Code>>,
     /// Code per procedure, indexed like `System::procedures`.
-    pub procedures: Vec<Code>,
+    pub procedures: Vec<Arc<Code>>,
+}
+
+/// A content-hash cache of compiled [`Code`] blocks, shared between
+/// simulator instances.
+///
+/// The key covers everything lowering reads: the block body, the declared
+/// signal/variable/procedure types, and the cost model — so a hit is
+/// guaranteed to be the block this system would have compiled. Batch
+/// sweeps that re-simulate identical refined systems compile each block
+/// once.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    blocks: Mutex<HashMap<u64, Arc<Code>>>,
+}
+
+impl CodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct compiled blocks held.
+    pub fn len(&self) -> usize {
+        self.blocks.lock().expect("cache lock").len()
+    }
+
+    /// `true` when no block has been compiled into the cache yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get_or_build(&self, key: u64, build: impl FnOnce() -> Code) -> Arc<Code> {
+        if let Some(hit) = self.blocks.lock().expect("cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Built outside the lock: a racing builder costs one duplicate
+        // compilation, never a stall of every other worker.
+        let built = Arc::new(build());
+        let mut blocks = self.blocks.lock().expect("cache lock");
+        Arc::clone(blocks.entry(key).or_insert(built))
+    }
+}
+
+/// Hashes everything lowering reads from the environment besides the
+/// block body: declared types and the cost model.
+fn env_hash(system: &System, costs: &CostModel) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for s in &system.signals {
+        s.ty.hash(&mut h);
+    }
+    for v in &system.variables {
+        v.ty.hash(&mut h);
+    }
+    for p in &system.procedures {
+        for param in &p.params {
+            let mode = match param.mode {
+                ParamMode::In => 0u8,
+                ParamMode::Out => 1,
+                ParamMode::InOut => 2,
+            };
+            mode.hash(&mut h);
+            param.ty.hash(&mut h);
+        }
+        0xffu8.hash(&mut h);
+        for l in &p.locals {
+            l.ty.hash(&mut h);
+        }
+    }
+    (
+        costs.assign_cycles,
+        costs.signal_assign_cycles,
+        costs.abstract_channel_cycles,
+        costs.call_overhead_cycles,
+        costs.loop_overhead_cycles,
+    )
+        .hash(&mut h);
+    h.finish()
+}
+
+fn block_key(env: u64, kind: u8, name: &str, body: &[Stmt]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    env.hash(&mut h);
+    kind.hash(&mut h);
+    name.hash(&mut h);
+    body.hash(&mut h);
+    h.finish()
 }
 
 impl Program {
@@ -212,21 +334,35 @@ impl Program {
     /// Statement costs default to the given [`CostModel`] when the
     /// statement's explicit `cost` is absent.
     pub fn compile(system: &System, costs: &CostModel) -> Self {
+        Self::compile_cached(system, costs, None)
+    }
+
+    /// Lowers `system`, sharing identical blocks through `cache`.
+    pub fn compile_cached(system: &System, costs: &CostModel, cache: Option<&CodeCache>) -> Self {
+        let env = cache.map(|_| env_hash(system, costs));
+        let build = |kind: u8, idx: usize, name: &str, body: &[Stmt]| -> Arc<Code> {
+            let scope = if kind == 0 {
+                CodeRef::Behavior(idx)
+            } else {
+                CodeRef::Procedure(idx)
+            };
+            let make = || lower_block(system, scope, name, body, costs);
+            match (cache, env) {
+                (Some(c), Some(env)) => c.get_or_build(block_key(env, kind, name, body), make),
+                _ => Arc::new(make()),
+            }
+        };
         let behaviors = system
             .behaviors
             .iter()
-            .map(|b| Code {
-                name: b.name.clone(),
-                instrs: lower_block(system, &b.body, costs),
-            })
+            .enumerate()
+            .map(|(i, b)| build(0, i, &b.name, &b.body))
             .collect();
         let procedures = system
             .procedures
             .iter()
-            .map(|p| Code {
-                name: p.name.clone(),
-                instrs: lower_block(system, &p.body, costs),
-            })
+            .enumerate()
+            .map(|(i, p)| build(1, i, &p.name, &p.body))
             .collect();
         Self {
             behaviors,
@@ -235,11 +371,497 @@ impl Program {
     }
 }
 
-fn lower_block(system: &System, body: &[Stmt], costs: &CostModel) -> Vec<Instr> {
-    let mut out = Vec::new();
-    lower_into(system, body, costs, &mut out);
-    out.push(Instr::Ret);
-    out
+fn lower_block(
+    system: &System,
+    scope: CodeRef,
+    name: &str,
+    body: &[Stmt],
+    costs: &CostModel,
+) -> Code {
+    let mut lowerer = Lowerer {
+        system,
+        scope,
+        costs,
+        out: Vec::new(),
+        max_regs: 0,
+    };
+    lowerer.block(body);
+    lowerer.out.push(Instr::Ret);
+    Code {
+        name: name.to_string(),
+        instrs: lowerer.out,
+        max_regs: lowerer.max_regs,
+    }
+}
+
+/// Compiles one (already folded) expression into micro-ops.
+///
+/// Exposed to the crate for the differential test harness.
+pub(crate) fn compile_expr(system: &System, expr: &Expr) -> ExprCode {
+    let mut c = ExprCompiler {
+        system,
+        ops: Vec::new(),
+        pool: Vec::new(),
+        next_reg: 0,
+    };
+    let result = c.expr(expr);
+    ExprCode {
+        ops: c.ops.into_boxed_slice(),
+        result,
+        pool: c.pool.into_boxed_slice(),
+        nregs: c.next_reg,
+    }
+}
+
+struct ExprCompiler<'a> {
+    system: &'a System,
+    ops: Vec<MicroOp>,
+    pool: Vec<Value>,
+    next_reg: u16,
+}
+
+impl ExprCompiler<'_> {
+    fn intern(&mut self, v: &Value) -> u16 {
+        if let Some(i) = self.pool.iter().position(|p| p == v) {
+            return u16::try_from(i).expect("constant pool overflow");
+        }
+        self.pool.push(v.clone());
+        u16::try_from(self.pool.len() - 1).expect("constant pool overflow")
+    }
+
+    fn alloc(&mut self) -> u16 {
+        let r = self.next_reg;
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("register file overflow");
+        r
+    }
+
+    fn expr(&mut self, e: &Expr) -> Src {
+        match e {
+            Expr::Const(v) => Src::Const(self.intern(v)),
+            Expr::Signal(s) => Src::Signal(s.index() as u32),
+            Expr::Load(place) => self.place_read(place),
+            Expr::Unary { op, arg } => {
+                let a = self.expr(arg);
+                // Peephole: `not (sig = const)` flips the fused compare
+                // instead of spending a dispatch on the negation. Safe
+                // because expression results are single-use (trees).
+                if *op == UnaryOp::Not {
+                    if let Some(MicroOp::CmpSignalIs { ne, dst, .. }) = self.ops.last_mut() {
+                        if Src::Reg(*dst) == a {
+                            *ne = !*ne;
+                            return a;
+                        }
+                    }
+                }
+                let dst = self.alloc();
+                self.ops.push(MicroOp::Unary { op: *op, a, dst });
+                Src::Reg(dst)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                if matches!(op, BinOp::Eq | BinOp::Ne) {
+                    if let Some(src) = self.try_cmp_signal(*op, lhs, rhs) {
+                        return src;
+                    }
+                }
+                let a = self.expr(lhs);
+                let b = self.expr(rhs);
+                let dst = self.alloc();
+                self.ops.push(MicroOp::Binary { op: *op, a, b, dst });
+                Src::Reg(dst)
+            }
+            Expr::SliceOf { base, hi, lo } => {
+                let a = self.expr(base);
+                let dst = self.alloc();
+                self.ops.push(MicroOp::Slice {
+                    a,
+                    hi: *hi,
+                    lo: *lo,
+                    dst,
+                });
+                Src::Reg(dst)
+            }
+            Expr::Resize { base, width } => {
+                let a = self.expr(base);
+                let dst = self.alloc();
+                self.ops.push(MicroOp::Resize {
+                    a,
+                    width: *width,
+                    dst,
+                });
+                Src::Reg(dst)
+            }
+            Expr::DynSliceOf {
+                base,
+                offset,
+                width,
+            } => {
+                let a = self.expr(base);
+                let offset = self.expr(offset);
+                let dst = self.alloc();
+                self.ops.push(MicroOp::DynSlice {
+                    a,
+                    offset,
+                    width: *width,
+                    dst,
+                });
+                Src::Reg(dst)
+            }
+        }
+    }
+
+    /// Fuses `sig = const` / `sig /= const` into [`MicroOp::CmpSignalIs`]
+    /// when the comparison is provably a stored-value equality (the same
+    /// shapes [`WaitSpec::UntilSignalIs`] specializes).
+    fn try_cmp_signal(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Option<Src> {
+        let (s, v) = match (lhs, rhs) {
+            (Expr::Signal(s), Expr::Const(v)) | (Expr::Const(v), Expr::Signal(s)) => (s, v),
+            _ => return None,
+        };
+        let value = precoerced_eq_const(self.system, *s, v)?;
+        let pool = self.intern(&value);
+        let dst = self.alloc();
+        self.ops.push(MicroOp::CmpSignalIs {
+            signal: s.index() as u32,
+            pool,
+            ne: matches!(op, BinOp::Ne),
+            dst,
+        });
+        Some(Src::Reg(dst))
+    }
+
+    fn place_read(&mut self, place: &Place) -> Src {
+        match place {
+            Place::Var(v) => Src::Var(v.index() as u32),
+            Place::Local(slot) => Src::Local(u16::try_from(*slot).expect("local slot overflow")),
+            Place::Index { base, index } => {
+                let b = self.place_read(base);
+                let i = self.expr(index);
+                let dst = self.alloc();
+                self.ops.push(MicroOp::Elem {
+                    base: b,
+                    index: i,
+                    dst,
+                });
+                Src::Reg(dst)
+            }
+            Place::Slice { base, hi, lo } => {
+                let a = self.place_read(base);
+                let dst = self.alloc();
+                self.ops.push(MicroOp::Slice {
+                    a,
+                    hi: *hi,
+                    lo: *lo,
+                    dst,
+                });
+                Src::Reg(dst)
+            }
+            Place::DynSlice {
+                base,
+                offset,
+                width,
+            } => {
+                let a = self.place_read(base);
+                let offset = self.expr(offset);
+                let dst = self.alloc();
+                self.ops.push(MicroOp::DynSlice {
+                    a,
+                    offset,
+                    width: *width,
+                    dst,
+                });
+                Src::Reg(dst)
+            }
+        }
+    }
+}
+
+/// Pre-coerces `v` for an equality against `signal`'s stored value, or
+/// `None` when the general comparison semantics are wider than a stored
+/// value compare (mixed widths with truncated bits, non-Bit/Bits types).
+fn precoerced_eq_const(system: &System, signal: SignalId, v: &Value) -> Option<Value> {
+    let ty = &system.signals.get(signal.index())?.ty;
+    match (ty, v) {
+        (Ty::Bit, Value::Bit(_)) => Some(v.clone()),
+        (Ty::Bits(w), Value::Bits(bv)) if bv.width() <= *w => {
+            // Zero-extending the constant to the signal's width is exactly
+            // the runtime resize-and-compare semantics.
+            Some(Value::Bits(bv.resized(*w)))
+        }
+        _ => None,
+    }
+}
+
+struct Lowerer<'a> {
+    system: &'a System,
+    scope: CodeRef,
+    costs: &'a CostModel,
+    out: Vec<Instr>,
+    max_regs: u16,
+}
+
+impl Lowerer<'_> {
+    /// Folds and compiles an expression, tracking register demand.
+    fn expr(&mut self, e: &Expr) -> ExprCode {
+        let code = compile_expr(self.system, &fold_expr(e));
+        self.max_regs = self.max_regs.max(code.nregs);
+        code
+    }
+
+    /// Compiles a pre-folded expression (used for place sub-expressions
+    /// that `fold_place` already folded).
+    fn folded_expr(&mut self, e: &Expr) -> ExprCode {
+        let code = compile_expr(self.system, e);
+        self.max_regs = self.max_regs.max(code.nregs);
+        code
+    }
+
+    fn place(&mut self, p: &Place) -> CPlace {
+        let folded = fold_place(p);
+        match &folded {
+            Place::Var(v) => CPlace::Var(v.index() as u32),
+            Place::Local(slot) => CPlace::Local(u16::try_from(*slot).expect("local slot overflow")),
+            _ => {
+                let ty = place_ty(self.system, self.scope, &folded).ok();
+                let mut steps = Vec::new();
+                let root = self.flatten_place(&folded, &mut steps);
+                CPlace::Path(Box::new(CPath {
+                    root,
+                    steps: steps.into_boxed_slice(),
+                    ty,
+                }))
+            }
+        }
+    }
+
+    fn flatten_place(&mut self, p: &Place, steps: &mut Vec<CPathStep>) -> CRoot {
+        match p {
+            Place::Var(v) => CRoot::Var(v.index() as u32),
+            Place::Local(slot) => CRoot::Local(u16::try_from(*slot).expect("local slot overflow")),
+            Place::Index { base, index } => {
+                let root = self.flatten_place(base, steps);
+                let idx = self.folded_expr(index);
+                steps.push(CPathStep::Elem(idx));
+                root
+            }
+            Place::Slice { base, hi, lo } => {
+                let root = self.flatten_place(base, steps);
+                steps.push(CPathStep::Slice(*hi, *lo));
+                root
+            }
+            Place::DynSlice {
+                base,
+                offset,
+                width,
+            } => {
+                let root = self.flatten_place(base, steps);
+                let off = self.folded_expr(offset);
+                steps.push(CPathStep::DynSlice(off, *width));
+                root
+            }
+        }
+    }
+
+    fn arg(&mut self, a: &Arg) -> CArg {
+        match a {
+            Arg::In(e) => CArg::In(self.expr(e)),
+            Arg::Out(p) => CArg::Out(self.place(p)),
+            Arg::InOut(p) => CArg::InOut(self.place(p)),
+        }
+    }
+
+    fn compile_wait(&mut self, cond: &WaitCond) -> WaitSpec {
+        match cond {
+            WaitCond::ForCycles(n) => WaitSpec::ForCycles(*n),
+            WaitCond::OnSignals(signals) => WaitSpec::OnSignals(signals.clone()),
+            WaitCond::Until(expr) => {
+                let folded = fold_expr(expr);
+                if let Some(spec) = specialize_wait(self.system, &folded) {
+                    return spec;
+                }
+                WaitSpec::Until(Arc::new(self.compiled_cond(folded)))
+            }
+            WaitCond::UntilTimeout { cond, cycles } => {
+                let folded = fold_expr(cond);
+                if let Some(WaitSpec::UntilSignalIs { signal, value }) =
+                    specialize_wait(self.system, &folded)
+                {
+                    return WaitSpec::UntilSignalIsTimeout {
+                        signal,
+                        value,
+                        cycles: *cycles,
+                    };
+                }
+                WaitSpec::UntilTimeout {
+                    cond: Arc::new(self.compiled_cond(folded)),
+                    cycles: *cycles,
+                }
+            }
+        }
+    }
+
+    fn compiled_cond(&mut self, folded: Expr) -> CompiledCond {
+        let code = self.folded_expr(&folded);
+        let mut sensitivity = Vec::new();
+        folded.collect_signals(&mut sensitivity);
+        CompiledCond {
+            code,
+            display: folded,
+            sensitivity,
+        }
+    }
+
+    fn block(&mut self, body: &[Stmt]) {
+        for stmt in body {
+            match stmt {
+                Stmt::Assign { place, value, cost } => {
+                    let instr = Instr::Assign {
+                        place: self.place(place),
+                        value: self.expr(value),
+                        cost: cost.unwrap_or(self.costs.assign_cycles),
+                    };
+                    self.out.push(instr);
+                }
+                Stmt::SignalAssign {
+                    signal,
+                    value,
+                    cost,
+                } => {
+                    let mut value = self.expr(value);
+                    // Constant drives are pre-coerced to the signal's type
+                    // so the runtime coercion hits its identity fast path.
+                    if value.ops.is_empty() {
+                        if let (Src::Const(i), Some(decl)) =
+                            (value.result, self.system.signals.get(signal.index()))
+                        {
+                            let v = coerce(value.pool[i as usize].clone(), &decl.ty);
+                            value.pool[i as usize] = v;
+                        }
+                    }
+                    self.out.push(Instr::SignalWrite {
+                        signal: *signal,
+                        value,
+                        cost: cost.unwrap_or(self.costs.signal_assign_cycles),
+                    });
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let branch_at = self.out.len();
+                    self.out.push(Instr::Jump(0)); // placeholder for JumpIfNot
+                    self.block(then_body);
+                    if else_body.is_empty() {
+                        let end = self.out.len();
+                        let cond = self.expr(cond);
+                        self.out[branch_at] = Instr::JumpIfNot { cond, target: end };
+                    } else {
+                        let jump_end_at = self.out.len();
+                        self.out.push(Instr::Jump(0)); // placeholder
+                        let else_start = self.out.len();
+                        let cond = self.expr(cond);
+                        self.out[branch_at] = Instr::JumpIfNot {
+                            cond,
+                            target: else_start,
+                        };
+                        self.block(else_body);
+                        let end = self.out.len();
+                        self.out[jump_end_at] = Instr::Jump(end);
+                    }
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    let init = Instr::LoopInit {
+                        var: self.place(var),
+                        from: self.expr(from),
+                        to: self.expr(to),
+                    };
+                    self.out.push(init);
+                    let test_at = self.out.len();
+                    self.out.push(Instr::Jump(0)); // placeholder for LoopTest
+                    self.block(body);
+                    let incr_at = self.out.len();
+                    let incr_var = self.place(var);
+                    self.out.push(Instr::LoopIncr {
+                        var: incr_var,
+                        body: test_at + 1,
+                        exit: 0, // patched below
+                    });
+                    let exit = self.out.len();
+                    let test_var = self.place(var);
+                    self.out[test_at] = Instr::LoopTest {
+                        var: test_var,
+                        exit,
+                    };
+                    if let Instr::LoopIncr { exit: e, .. } = &mut self.out[incr_at] {
+                        *e = exit;
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    let test_at = self.out.len();
+                    self.out.push(Instr::Jump(0)); // placeholder
+                    self.block(body);
+                    self.out.push(Instr::Jump(test_at));
+                    let exit = self.out.len();
+                    let cond = self.expr(cond);
+                    self.out[test_at] = Instr::JumpIfNot { cond, target: exit };
+                }
+                Stmt::Wait(cond) => {
+                    let spec = self.compile_wait(cond);
+                    self.out.push(Instr::Wait(spec));
+                }
+                Stmt::Call { procedure, args } => {
+                    let args = args.iter().map(|a| self.arg(a)).collect();
+                    self.out.push(Instr::Call {
+                        procedure: procedure.index(),
+                        args,
+                    });
+                }
+                Stmt::ChannelSend {
+                    channel,
+                    addr,
+                    data,
+                } => {
+                    let instr = Instr::ChannelSend {
+                        channel: *channel,
+                        addr: addr.as_ref().map(|a| self.expr(a)),
+                        data: self.expr(data),
+                        cost: self.costs.abstract_channel_cycles,
+                    };
+                    self.out.push(instr);
+                }
+                Stmt::ChannelReceive {
+                    channel,
+                    addr,
+                    target,
+                } => {
+                    let instr = Instr::ChannelReceive {
+                        channel: *channel,
+                        addr: addr.as_ref().map(|a| self.expr(a)),
+                        target: self.place(target),
+                        cost: self.costs.abstract_channel_cycles,
+                    };
+                    self.out.push(instr);
+                }
+                Stmt::Compute { cycles, .. } => self.out.push(Instr::Consume { cycles: *cycles }),
+                Stmt::Assert { cond, note } => {
+                    let cond = self.expr(cond);
+                    self.out.push(Instr::Assert {
+                        cond,
+                        note: note.clone(),
+                    });
+                }
+                Stmt::Return => self.out.push(Instr::Ret),
+            }
+        }
+    }
 }
 
 /// Folds literal subtrees into [`Expr::Const`].
@@ -351,50 +973,10 @@ fn fold_place(place: &Place) -> Place {
     }
 }
 
-fn fold_arg(arg: &Arg) -> Arg {
-    match arg {
-        Arg::In(e) => Arg::In(fold_expr(e)),
-        Arg::Out(p) => Arg::Out(fold_place(p)),
-        Arg::InOut(p) => Arg::InOut(fold_place(p)),
-    }
-}
-
-fn compile_wait(system: &System, cond: &WaitCond) -> WaitSpec {
-    match cond {
-        WaitCond::ForCycles(n) => WaitSpec::ForCycles(*n),
-        WaitCond::OnSignals(signals) => WaitSpec::OnSignals(signals.clone()),
-        WaitCond::Until(expr) => {
-            let folded = fold_expr(expr);
-            if let Some(spec) = specialize_wait(system, &folded) {
-                return spec;
-            }
-            let mut sensitivity = Vec::new();
-            folded.collect_signals(&mut sensitivity);
-            WaitSpec::Until {
-                expr: Arc::new(folded),
-                sensitivity,
-            }
-        }
-        WaitCond::UntilTimeout { cond, cycles } => {
-            let folded = fold_expr(cond);
-            if let Some(WaitSpec::UntilSignalIs { signal, value }) =
-                specialize_wait(system, &folded)
-            {
-                return WaitSpec::UntilSignalIsTimeout {
-                    signal,
-                    value,
-                    cycles: *cycles,
-                };
-            }
-            let mut sensitivity = Vec::new();
-            folded.collect_signals(&mut sensitivity);
-            WaitSpec::UntilTimeout {
-                expr: Arc::new(folded),
-                sensitivity,
-                cycles: *cycles,
-            }
-        }
-    }
+/// Folds an expression then compiles it — the exact pipeline production
+/// lowering applies. Exposed to the crate for the differential tests.
+pub(crate) fn fold_and_compile(system: &System, expr: &Expr) -> ExprCode {
+    compile_expr(system, &fold_expr(expr))
 }
 
 /// Recognizes the single-signal wait idioms of generated handshake code
@@ -429,134 +1011,10 @@ fn specialize_wait(system: &System, expr: &Expr) -> Option<WaitSpec> {
                 (Expr::Signal(s), Expr::Const(v)) | (Expr::Const(v), Expr::Signal(s)) => (s, v),
                 _ => None?,
             };
-            match (&system.signal(*s).ty, v) {
-                (Ty::Bit, Value::Bit(b)) => bit_signal_is(s, *b),
-                (Ty::Bits(w), Value::Bits(bv)) if bv.width() <= *w => {
-                    // Zero-extending the constant to the signal's width is
-                    // exactly the runtime resize-and-compare semantics.
-                    Some(WaitSpec::UntilSignalIs {
-                        signal: *s,
-                        value: Value::Bits(bv.resized(*w)),
-                    })
-                }
-                _ => None,
-            }
+            let value = precoerced_eq_const(system, *s, v)?;
+            Some(WaitSpec::UntilSignalIs { signal: *s, value })
         }
         _ => None,
-    }
-}
-
-fn lower_into(system: &System, body: &[Stmt], costs: &CostModel, out: &mut Vec<Instr>) {
-    for stmt in body {
-        match stmt {
-            Stmt::Assign { place, value, cost } => out.push(Instr::Assign {
-                place: fold_place(place),
-                value: fold_expr(value),
-                cost: cost.unwrap_or(costs.assign_cycles),
-            }),
-            Stmt::SignalAssign {
-                signal,
-                value,
-                cost,
-            } => out.push(Instr::SignalWrite {
-                signal: *signal,
-                value: fold_expr(value),
-                cost: cost.unwrap_or(costs.signal_assign_cycles),
-            }),
-            Stmt::If {
-                cond,
-                then_body,
-                else_body,
-            } => {
-                let branch_at = out.len();
-                out.push(Instr::Jump(0)); // placeholder for JumpIfNot
-                lower_into(system, then_body, costs, out);
-                if else_body.is_empty() {
-                    let end = out.len();
-                    out[branch_at] = Instr::JumpIfNot {
-                        cond: fold_expr(cond),
-                        target: end,
-                    };
-                } else {
-                    let jump_end_at = out.len();
-                    out.push(Instr::Jump(0)); // placeholder
-                    let else_start = out.len();
-                    out[branch_at] = Instr::JumpIfNot {
-                        cond: fold_expr(cond),
-                        target: else_start,
-                    };
-                    lower_into(system, else_body, costs, out);
-                    let end = out.len();
-                    out[jump_end_at] = Instr::Jump(end);
-                }
-            }
-            Stmt::For {
-                var,
-                from,
-                to,
-                body,
-            } => {
-                out.push(Instr::LoopInit {
-                    var: fold_place(var),
-                    from: fold_expr(from),
-                    to: fold_expr(to),
-                });
-                let test_at = out.len();
-                out.push(Instr::Jump(0)); // placeholder for LoopTest
-                lower_into(system, body, costs, out);
-                out.push(Instr::LoopIncr {
-                    var: fold_place(var),
-                    back: test_at,
-                });
-                let exit = out.len();
-                out[test_at] = Instr::LoopTest {
-                    var: fold_place(var),
-                    exit,
-                };
-            }
-            Stmt::While { cond, body } => {
-                let test_at = out.len();
-                out.push(Instr::Jump(0)); // placeholder
-                lower_into(system, body, costs, out);
-                out.push(Instr::Jump(test_at));
-                let exit = out.len();
-                out[test_at] = Instr::JumpIfNot {
-                    cond: fold_expr(cond),
-                    target: exit,
-                };
-            }
-            Stmt::Wait(cond) => out.push(Instr::Wait(compile_wait(system, cond))),
-            Stmt::Call { procedure, args } => out.push(Instr::Call {
-                procedure: procedure.index(),
-                args: args.iter().map(fold_arg).collect(),
-            }),
-            Stmt::ChannelSend {
-                channel,
-                addr,
-                data,
-            } => out.push(Instr::ChannelSend {
-                channel: *channel,
-                addr: addr.as_ref().map(fold_expr),
-                data: fold_expr(data),
-                cost: costs.abstract_channel_cycles,
-            }),
-            Stmt::ChannelReceive {
-                channel,
-                addr,
-                target,
-            } => out.push(Instr::ChannelReceive {
-                channel: *channel,
-                addr: addr.as_ref().map(fold_expr),
-                target: fold_place(target),
-                cost: costs.abstract_channel_cycles,
-            }),
-            Stmt::Compute { cycles, .. } => out.push(Instr::Consume { cycles: *cycles }),
-            Stmt::Assert { cond, note } => out.push(Instr::Assert {
-                cond: fold_expr(cond),
-                note: note.clone(),
-            }),
-            Stmt::Return => out.push(Instr::Ret),
-        }
     }
 }
 
@@ -624,7 +1082,7 @@ mod tests {
     }
 
     #[test]
-    fn for_loop_shape() {
+    fn for_loop_shape_is_fused() {
         let x = VarId::new(0);
         let instrs = compile_body(vec![for_loop(
             var(x),
@@ -632,14 +1090,17 @@ mod tests {
             int_const(3, 16),
             vec![Stmt::compute(1, "w")],
         )]);
-        // 0: LoopInit ; 1: LoopTest -> 4 ; 2: Consume ; 3: LoopIncr -> 1 ; 4: Ret
+        // 0: LoopInit ; 1: LoopTest -> 4 ; 2: Consume ; 3: LoopIncr {body: 2, exit: 4} ; 4: Ret
         assert!(matches!(instrs[0], Instr::LoopInit { .. }));
         match &instrs[1] {
             Instr::LoopTest { exit, .. } => assert_eq!(*exit, 4),
             other => panic!("unexpected {other:?}"),
         }
         match &instrs[3] {
-            Instr::LoopIncr { back, .. } => assert_eq!(*back, 1),
+            Instr::LoopIncr { body, exit, .. } => {
+                assert_eq!(*body, 2);
+                assert_eq!(*exit, 4);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -666,32 +1127,42 @@ mod tests {
     }
 
     #[test]
-    fn constant_subtrees_fold_to_consts() {
+    fn constant_subtrees_fold_to_zero_op_code() {
         let x = VarId::new(0);
         let instrs = compile_body(vec![assign(
             var(x),
             add(int_const(2, 16), int_const(3, 16)),
         )]);
         match &instrs[0] {
-            Instr::Assign {
-                value: Expr::Const(v),
-                ..
-            } => assert_eq!(v.as_i64().unwrap(), 5),
+            Instr::Assign { value, .. } => {
+                let v = value.const_value().expect("folded to a pooled const");
+                assert_eq!(v.as_i64().unwrap(), 5);
+                assert_eq!(value.nregs, 0);
+            }
             other => panic!("expected folded const, got {other:?}"),
         }
     }
 
     #[test]
-    fn non_constant_subtrees_survive_folding() {
+    fn non_constant_subtrees_compile_to_micro_ops() {
         let x = VarId::new(0);
         let instrs = compile_body(vec![assign(var(x), add(load(var(x)), int_const(3, 16)))]);
-        assert!(matches!(
-            &instrs[0],
-            Instr::Assign {
-                value: Expr::Binary { .. },
-                ..
+        match &instrs[0] {
+            Instr::Assign { value, .. } => {
+                // One binary op with both leaf operands flattened in.
+                assert_eq!(value.ops.len(), 1);
+                assert!(matches!(
+                    value.ops[0],
+                    MicroOp::Binary {
+                        op: BinOp::Add,
+                        a: Src::Var(0),
+                        b: Src::Const(0),
+                        ..
+                    }
+                ));
             }
-        ));
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -703,13 +1174,85 @@ mod tests {
             lo: 0,
         };
         let instrs = compile_body(vec![assign(var(x), bad)]);
-        assert!(matches!(
-            &instrs[0],
-            Instr::Assign {
-                value: Expr::SliceOf { .. },
-                ..
+        match &instrs[0] {
+            Instr::Assign { value, .. } => {
+                assert!(matches!(value.ops[0], MicroOp::Slice { hi: 5, lo: 0, .. }));
             }
-        ));
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signal_eq_const_compiles_to_compare_superinstruction() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let s = sys.add_signal("addr", Ty::Bits(8));
+        let x = sys.add_variable("x", Ty::Int(16), b);
+        sys.behavior_mut(b).body = vec![if_then(
+            eq(signal(s), bits_const(0b101, 3)),
+            vec![assign(var(x), int_const(1, 16))],
+        )];
+        let instrs = Program::compile(&sys, &CostModel::new()).behaviors[0]
+            .instrs
+            .clone();
+        match &instrs[0] {
+            Instr::JumpIfNot { cond, .. } => {
+                assert_eq!(cond.ops.len(), 1);
+                match &cond.ops[0] {
+                    MicroOp::CmpSignalIs {
+                        signal, pool, ne, ..
+                    } => {
+                        assert_eq!(*signal, s.index() as u32);
+                        assert!(!*ne);
+                        // Pre-resized to the signal's width.
+                        match &cond.pool[*pool as usize] {
+                            Value::Bits(bv) => assert_eq!(bv.width(), 8),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    other => panic!("expected CmpSignalIs, got {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn word_slice_and_drive_is_one_micro_op() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let bus = sys.add_signal("DATA", Ty::Bits(8));
+        let word = sys.add_variable("word", Ty::Bits(32), b);
+        let off = sys.add_variable("off", Ty::Int(8), b);
+        sys.behavior_mut(b).body = vec![drive(
+            bus,
+            Expr::DynSliceOf {
+                base: Box::new(load(var(word))),
+                offset: Box::new(load(var(off))),
+                width: 8,
+            },
+        )];
+        let instrs = Program::compile(&sys, &CostModel::new()).behaviors[0]
+            .instrs
+            .clone();
+        match &instrs[0] {
+            Instr::SignalWrite { value, .. } => {
+                // Both the word and the offset are flattened operands.
+                assert_eq!(value.ops.len(), 1);
+                assert!(matches!(
+                    value.ops[0],
+                    MicroOp::DynSlice {
+                        a: Src::Var(_),
+                        offset: Src::Var(_),
+                        width: 8,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -760,21 +1303,22 @@ mod tests {
     }
 
     #[test]
-    fn wait_until_general_expr_keeps_eval_form_and_sensitivity() {
+    fn wait_until_general_expr_keeps_compiled_form_and_sensitivity() {
         let mut sys = System::new("t");
         let m = sys.add_module("chip");
         let b = sys.add_behavior("P", m);
         let s = sys.add_signal("start", Ty::Bit);
         let t = sys.add_signal("stop", Ty::Bit);
         // Signal-vs-signal comparison cannot specialize; it must keep the
-        // evaluated form with both signals in the sensitivity list.
+        // compiled form with both signals in the sensitivity list.
         sys.behavior_mut(b).body = vec![wait_until(eq(signal(s), signal(t)))];
         let instrs = Program::compile(&sys, &CostModel::new()).behaviors[0]
             .instrs
             .clone();
         match &instrs[0] {
-            Instr::Wait(WaitSpec::Until { sensitivity, .. }) => {
-                assert_eq!(sensitivity, &[s, t]);
+            Instr::Wait(WaitSpec::Until(cond)) => {
+                assert_eq!(cond.sensitivity, vec![s, t]);
+                assert!(!cond.code.ops.is_empty());
             }
             other => panic!("expected general wait, got {other:?}"),
         }
@@ -800,9 +1344,53 @@ mod tests {
                     assert!(*t <= instrs.len())
                 }
                 Instr::LoopTest { exit, .. } => assert!(*exit <= instrs.len()),
-                Instr::LoopIncr { back, .. } => assert!(*back < instrs.len()),
+                Instr::LoopIncr { body, exit, .. } => {
+                    assert!(*body < instrs.len());
+                    assert!(*exit <= instrs.len());
+                }
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn code_cache_shares_identical_blocks() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let x = sys.add_variable("x", Ty::Int(16), b);
+        sys.behavior_mut(b).body = vec![assign(var(x), int_const(1, 16))];
+        let cache = CodeCache::new();
+        let p1 = Program::compile_cached(&sys, &CostModel::new(), Some(&cache));
+        let p2 = Program::compile_cached(&sys, &CostModel::new(), Some(&cache));
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&p1.behaviors[0], &p2.behaviors[0]));
+    }
+
+    #[test]
+    fn code_cache_misses_on_different_cost_model() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let x = sys.add_variable("x", Ty::Int(16), b);
+        sys.behavior_mut(b).body = vec![assign(var(x), int_const(1, 16))];
+        let cache = CodeCache::new();
+        let _ = Program::compile_cached(&sys, &CostModel::new(), Some(&cache));
+        let mut other = CostModel::new();
+        other.assign_cycles = 7;
+        let _ = Program::compile_cached(&sys, &other, Some(&cache));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn constant_pool_is_deduplicated() {
+        let mut sys = System::new("t");
+        let _ = sys.add_module("chip");
+        let e = add(
+            mul(int_const(7, 8), load(var(VarId::new(0)))),
+            mul(int_const(7, 8), load(var(VarId::new(0)))),
+        );
+        let code = compile_expr(&sys, &e);
+        assert_eq!(code.pool.len(), 1);
     }
 }

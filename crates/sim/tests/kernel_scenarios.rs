@@ -722,6 +722,17 @@ fn report_carries_scheduler_stats() {
         int_const(9, 16),
         vec![drive_cost(s, resize(load(var(i)), 8), 1), wait_cycles(2)],
     )];
+    // A second process sleeping on its own cadence keeps the scheduler
+    // from fast-forwarding the first one past its suspensions, so the
+    // run genuinely exercises the event heaps.
+    let b2 = sys.add_behavior("Q", m);
+    sys.behavior_mut(b2).body = vec![
+        wait_cycles(3),
+        wait_cycles(3),
+        wait_cycles(3),
+        wait_cycles(3),
+        wait_cycles(3),
+    ];
     let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
     // Timed writes and sleeps both pass through the event heaps, so a run
     // that uses them must have observed a non-empty heap at some point.

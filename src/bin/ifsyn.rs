@@ -30,6 +30,11 @@
 //!   --lint                 print specification warnings and exit
 //!   --explore              print the width exploration table and exit
 //!   --explore-csv FILE     write the exploration as CSV and exit
+//!   --sweep-sim LO-HI      refine the system at every bus width in
+//!                          LO..=HI and batch-simulate all of them,
+//!                          printing a finish-time table
+//!   --jobs N               worker threads for --sweep-sim (0 or unset:
+//!                          one per core, or $IFSYN_SWEEP_THREADS)
 //! ```
 
 use std::error::Error;
@@ -60,6 +65,8 @@ struct Options {
     explore: bool,
     explore_csv: Option<String>,
     lint: bool,
+    sweep_sim: Option<(u32, u32)>,
+    jobs: usize,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -89,6 +96,9 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn Error>> {
     let options = parse_args(std::env::args().skip(1))?;
+    if options.jobs > 0 {
+        interface_synthesis::bench::sweep::set_sweep_threads(options.jobs);
+    }
     let Some(path) = &options.spec_path else {
         return Err("usage: ifsyn SPEC.ifs [options]  (see --help in the README)".into());
     };
@@ -158,6 +168,10 @@ fn run() -> Result<(), Box<dyn Error>> {
         return Ok(());
     }
 
+    if let Some((lo, hi)) = options.sweep_sim {
+        return sweep_sim(&system, &channels, protocol, &options, lo, hi);
+    }
+
     let design = match options.width {
         Some(w) => BusDesign::with_width(channels, w, protocol),
         None => generator.generate(&system, &channels)?,
@@ -172,20 +186,7 @@ fn run() -> Result<(), Box<dyn Error>> {
         100.0 * design.interconnect_reduction(&system)
     );
 
-    let mut pg = ProtocolGenerator::new();
-    if options.no_arbitration {
-        pg = pg.without_arbitration();
-    }
-    if options.rolled {
-        pg = pg.with_rolled_word_loops();
-    }
-    if let Some((watchdog, retries)) = options.protocol_timeout {
-        pg = pg.with_timeout(watchdog);
-        if let Some(r) = retries {
-            pg = pg.with_retry_limit(r);
-        }
-    }
-    let refined = pg.refine(&system, &design)?;
+    let refined = build_protocol_generator(&options).refine(&system, &design)?;
     let area = interface_synthesis::estimate::AreaEstimator::new();
     let before = area.estimate_system(&system, 0)?;
     let after = area.estimate_system(&refined.system, design.total_wires())?;
@@ -273,6 +274,64 @@ fn run() -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Builds the protocol generator the CLI options describe.
+fn build_protocol_generator(options: &Options) -> ProtocolGenerator {
+    let mut pg = ProtocolGenerator::new();
+    if options.no_arbitration {
+        pg = pg.without_arbitration();
+    }
+    if options.rolled {
+        pg = pg.with_rolled_word_loops();
+    }
+    if let Some((watchdog, retries)) = options.protocol_timeout {
+        pg = pg.with_timeout(watchdog);
+        if let Some(r) = retries {
+            pg = pg.with_retry_limit(r);
+        }
+    }
+    pg
+}
+
+/// `--sweep-sim LO-HI`: refine the system at every bus width in the
+/// range and simulate the whole batch in parallel with shared compiled
+/// code, printing one finish-time row per width.
+fn sweep_sim(
+    system: &System,
+    channels: &[ChannelId],
+    protocol: ProtocolKind,
+    options: &Options,
+    lo: u32,
+    hi: u32,
+) -> Result<(), Box<dyn Error>> {
+    use interface_synthesis::bench::batch::BatchRunner;
+
+    let pg = build_protocol_generator(options);
+    let mut systems = Vec::new();
+    for width in lo..=hi {
+        let design = BusDesign::with_width(channels.to_vec(), width, protocol);
+        systems.push(pg.refine(system, &design)?.system);
+    }
+    let runner = BatchRunner::new().with_jobs(options.jobs);
+    println!(
+        "\nbatch-simulating widths {lo}..={hi} over {} worker(s)",
+        runner.jobs().min(systems.len().max(1))
+    );
+    let reports = runner.run(&systems);
+    println!("\nwidth  quiescent at  instrs executed");
+    for (width, report) in (lo..=hi).zip(&reports) {
+        match report {
+            Ok(r) => println!("{:>5}  {:>12}  {:>15}", width, r.time(), r.total_instrs()),
+            Err(e) => println!("{width:>5}  failed: {e}"),
+        }
+    }
+    println!(
+        "\n{} distinct code block(s) compiled for {} run(s)",
+        runner.cached_blocks(),
+        systems.len()
+    );
+    Ok(())
+}
+
 fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, Box<dyn Error>> {
     let mut o = Options::default();
     while let Some(arg) = args.next() {
@@ -339,6 +398,16 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, Box<dy
             "--explore" => o.explore = true,
             "--explore-csv" => o.explore_csv = Some(value_of("--explore-csv")?),
             "--lint" => o.lint = true,
+            "--sweep-sim" => {
+                let v = value_of("--sweep-sim")?;
+                let (lo, hi) = v.split_once('-').ok_or("--sweep-sim expects LO-HI")?;
+                let (lo, hi) = (lo.parse()?, hi.parse()?);
+                if lo == 0 || hi < lo {
+                    return Err(format!("--sweep-sim range `{v}` is empty").into());
+                }
+                o.sweep_sim = Some((lo, hi));
+            }
+            "--jobs" => o.jobs = value_of("--jobs")?.parse()?,
             other if !other.starts_with('-') && o.spec_path.is_none() => {
                 o.spec_path = Some(other.to_string())
             }
@@ -488,6 +557,21 @@ mod tests {
         assert!(matches!(o.constraints[0], ConstraintArg::MinWidth(14, w) if w == 5.0));
         assert!(matches!(&o.constraints[1], ConstraintArg::MinPeak(c, r, w)
                 if c == "ch2" && *r == 10.0 && *w == 2.5));
+    }
+
+    #[test]
+    fn parses_sweep_sim_and_jobs() {
+        let o = parse(&["s.ifs", "--sweep-sim", "1-30", "--jobs", "4"]);
+        assert_eq!(o.sweep_sim, Some((1, 30)));
+        assert_eq!(o.jobs, 4);
+        // Unset jobs means automatic.
+        assert_eq!(parse(&["s.ifs"]).jobs, 0);
+        for bad in ["30", "0-4", "9-3"] {
+            assert!(
+                parse_args(["s.ifs", "--sweep-sim", bad].map(String::from).into_iter()).is_err(),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

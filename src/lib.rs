@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+pub use ifsyn_bench as bench;
 pub use ifsyn_core as core;
 pub use ifsyn_estimate as estimate;
 pub use ifsyn_lang as lang;
