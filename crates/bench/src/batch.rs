@@ -21,7 +21,7 @@
 //! assert!(reports.iter().all(|r| r.is_ok()));
 //! ```
 
-use ifsyn_sim::{CodeCache, SimConfig, SimError, SimReport, Simulator};
+use ifsyn_sim::{CodeCache, LockstepSim, LockstepStats, SimConfig, SimError, SimReport, Simulator};
 use ifsyn_spec::System;
 
 use crate::sweep::{parallel_sweep_with, sweep_threads};
@@ -32,6 +32,7 @@ pub struct BatchRunner {
     jobs: usize,
     config: SimConfig,
     cache: CodeCache,
+    lockstep: bool,
 }
 
 impl BatchRunner {
@@ -44,6 +45,7 @@ impl BatchRunner {
             jobs: 0,
             config: SimConfig::new(),
             cache: CodeCache::new(),
+            lockstep: false,
         }
     }
 
@@ -58,6 +60,17 @@ impl BatchRunner {
     #[must_use]
     pub fn with_config(mut self, config: SimConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Enables lockstep convoy execution: each worker's share of the
+    /// batch goes through [`LockstepSim`], which runs groups of systems
+    /// with identical compiled programs through one dispatch stream.
+    /// Composes with the thread fan-out — threads split the batch into
+    /// contiguous chunks, lockstep convoys form within each chunk.
+    #[must_use]
+    pub fn with_lockstep(mut self, lockstep: bool) -> Self {
+        self.lockstep = lockstep;
         self
     }
 
@@ -84,10 +97,41 @@ impl BatchRunner {
     /// one deadlocked configuration in a width sweep must not cost the
     /// other 29 results.
     pub fn run(&self, systems: &[System]) -> Vec<Result<SimReport, SimError>> {
+        if self.lockstep {
+            return self.run_lockstep(systems).0;
+        }
         parallel_sweep_with(self.jobs(), systems, |sys| {
             Simulator::with_config_cached(sys, self.config.clone(), Some(&self.cache))?
                 .run_to_quiescence()
         })
+    }
+
+    /// The lockstep path of [`BatchRunner::run`], also returning the
+    /// merged convoy statistics across all worker chunks.
+    pub fn run_lockstep(
+        &self,
+        systems: &[System],
+    ) -> (Vec<Result<SimReport, SimError>>, LockstepStats) {
+        if systems.is_empty() {
+            return (Vec::new(), LockstepStats::default());
+        }
+        let jobs = self.jobs().max(1);
+        let chunk = systems.len().div_ceil(jobs);
+        let chunks: Vec<&[System]> = systems.chunks(chunk).collect();
+        let per_chunk = parallel_sweep_with(jobs, &chunks, |c| {
+            LockstepSim::run_with_stats(c, &self.config, Some(&self.cache))
+        });
+        let mut out = Vec::with_capacity(systems.len());
+        let mut stats = LockstepStats::default();
+        for (reports, s) in per_chunk {
+            out.extend(reports);
+            stats.convoys += s.convoys;
+            stats.max_lanes = stats.max_lanes.max(s.max_lanes);
+            stats.lockstep_lanes += s.lockstep_lanes;
+            stats.peeled_lanes += s.peeled_lanes;
+            stats.scalar_lanes += s.scalar_lanes;
+        }
+        (out, stats)
     }
 }
 
@@ -137,9 +181,63 @@ mod tests {
     }
 
     #[test]
+    fn cache_shares_width_independent_blocks_across_widths() {
+        // The per-block cache key hashes only the types a block
+        // references, so the application behaviors (which never name the
+        // bus signals) compile once for the whole width sweep.
+        let runner = BatchRunner::new().with_jobs(1);
+        runner.run(&[refined_flc(4)]).remove(0).expect("width 4");
+        let one_width = runner.cached_blocks();
+        runner.run(&[refined_flc(8)]).remove(0).expect("width 8");
+        let two_widths = runner.cached_blocks();
+        assert!(
+            two_widths < 2 * one_width,
+            "expected cross-width sharing: {one_width} blocks for one \
+             width, {two_widths} after two"
+        );
+    }
+
+    #[test]
     fn jobs_zero_resolves_to_at_least_one() {
         assert!(BatchRunner::new().jobs() >= 1);
         assert_eq!(BatchRunner::new().with_jobs(3).jobs(), 3);
+    }
+
+    #[test]
+    fn lockstep_batch_matches_scalar_batch() {
+        let mut systems: Vec<System> = Vec::new();
+        for &w in &[4u32, 8] {
+            for _ in 0..4 {
+                systems.push(refined_flc(w));
+            }
+        }
+        let scalar = BatchRunner::new().with_jobs(1).run(&systems);
+        let (lockstep, stats) = BatchRunner::new()
+            .with_jobs(1)
+            .with_lockstep(true)
+            .run_lockstep(&systems);
+        // Repeated widths of the refined FLC system compile to identical
+        // programs, so they must actually convoy — this is the workload
+        // the lockstep engine exists for.
+        assert_eq!(stats.convoys, 2, "per-width convoys: {stats:?}");
+        assert_eq!(stats.lockstep_lanes, 8, "no peels expected: {stats:?}");
+        for (a, b) in scalar.iter().zip(&lockstep) {
+            assert_eq!(a.as_ref().expect("scalar"), b.as_ref().expect("lockstep"));
+        }
+    }
+
+    #[test]
+    fn lockstep_run_respects_flag_and_order() {
+        let systems: Vec<System> = vec![refined_flc(4), refined_flc(8), refined_flc(4)];
+        let runner = BatchRunner::new().with_jobs(1).with_lockstep(true);
+        let via_run = runner.run(&systems);
+        for (sys, got) in systems.iter().zip(&via_run) {
+            let alone = Simulator::new(sys)
+                .expect("setup")
+                .run_to_quiescence()
+                .expect("sim");
+            assert_eq!(got.as_ref().expect("lockstep run"), &alone);
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use std::time::Instant;
 
 use ifsyn_core::{BusDesign, ProtocolGenerator, ProtocolKind};
-use ifsyn_sim::Simulator;
+use ifsyn_sim::{CodeCache, SimConfig, Simulator};
 use ifsyn_spec::System;
 use ifsyn_systems::{fig3, flc};
 
@@ -39,6 +39,9 @@ pub struct Scenario {
     pub instrs_per_sec: f64,
     /// Number of individual simulator runs.
     pub runs: u64,
+    /// Worker threads this scenario actually ran on (1 for the serial
+    /// scenarios, the resolved sweep fan-out for the parallel ones).
+    pub threads: usize,
 }
 
 /// The full benchmark result set.
@@ -50,7 +53,13 @@ pub struct PerfData {
     pub sweep_threads: usize,
 }
 
-fn scenario(name: &str, runs: u64, total_instrs: u64, wall_seconds: f64) -> Scenario {
+fn scenario(
+    name: &str,
+    runs: u64,
+    total_instrs: u64,
+    wall_seconds: f64,
+    threads: usize,
+) -> Scenario {
     Scenario {
         name: name.to_string(),
         wall_seconds,
@@ -61,6 +70,7 @@ fn scenario(name: &str, runs: u64, total_instrs: u64, wall_seconds: f64) -> Scen
             0.0
         },
         runs,
+        threads,
     }
 }
 
@@ -98,6 +108,7 @@ fn flc_kernel_sweep() -> Scenario {
         runs,
         instrs,
         start.elapsed().as_secs_f64(),
+        1,
     )
 }
 
@@ -123,7 +134,41 @@ fn flc_batch_sweep() -> Scenario {
         runs,
         instrs,
         start.elapsed().as_secs_f64(),
+        runner.jobs(),
     )
+}
+
+/// The FLC sweep through the lockstep convoy engine: the same 30 widths
+/// as `flc_batch_sweep`, but with [`LANES`](flc_lockstep_sweep) variant
+/// lanes per width so every width forms one convoy that fetches and
+/// schedules its instruction stream once for all lanes. Runs at the same
+/// thread count as `flc_batch_sweep`; the acceptance bar is aggregate
+/// throughput >3x the scalar batch path.
+fn flc_lockstep_sweep() -> Scenario {
+    const WIDTHS: std::ops::RangeInclusive<u32> = 1..=30;
+    const LANES: usize = 32;
+    let mut systems: Vec<System> = Vec::with_capacity(30 * LANES);
+    for w in WIDTHS {
+        let sys = refined_flc_shared(w);
+        for _ in 0..LANES {
+            systems.push(sys.clone());
+        }
+    }
+    let runner = crate::batch::BatchRunner::new().with_lockstep(true);
+    let mut instrs = 0u64;
+    let mut runs = 0u64;
+    let start = Instant::now();
+    let (reports, stats) = runner.run_lockstep(&systems);
+    for report in reports {
+        instrs += report.expect("lockstep sim").total_instrs();
+        runs += 1;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(
+        stats.peeled_lanes, 0,
+        "identical FLC lanes must stay in lockstep: {stats:?}"
+    );
+    scenario("flc_lockstep_sweep", runs, instrs, wall, runner.jobs())
 }
 
 /// The end-to-end Fig. 7 sweep (refinement + simulation per width).
@@ -137,39 +182,52 @@ fn fig7_full_sweep() -> Scenario {
         data.rows.len() as u64 * 3,
         data.total_instrs,
         wall,
+        crate::fig7::sweep_threads(),
     )
 }
 
-/// The quickstart (Fig. 3) pipeline refined and simulated across widths.
+/// The quickstart (Fig. 3) pipeline refined and simulated across widths,
+/// repeated like the other sweep scenarios.
+///
+/// All runs share one [`CodeCache`]: the refined systems differ only in
+/// bus width, so width-independent bodies lower to identical bytecode
+/// and compile once across the whole scenario — the same path the CLI's
+/// single-run mode uses.
 fn quickstart_pipeline() -> Scenario {
     const WIDTHS: [u32; 9] = [1, 2, 3, 5, 7, 11, 16, 22, 32];
+    const REPS: u64 = 5;
+    let cache = CodeCache::new();
     let mut instrs = 0u64;
     let mut runs = 0u64;
     let start = Instant::now();
     let f = fig3::fig3();
-    let golden = Simulator::new(&f.system)
-        .expect("golden setup")
-        .run_to_quiescence()
-        .expect("golden sim");
-    instrs += golden.total_instrs();
-    runs += 1;
-    for width in WIDTHS {
-        let design = BusDesign::with_width(f.channels(), width, ProtocolKind::FullHandshake);
-        let refined = ProtocolGenerator::new()
-            .refine(&f.system, &design)
-            .expect("quickstart refinement");
-        let report = Simulator::new(&refined.system)
-            .expect("sim setup")
+    for _ in 0..REPS {
+        let golden = Simulator::with_config_cached(&f.system, SimConfig::new(), Some(&cache))
+            .expect("golden setup")
             .run_to_quiescence()
-            .expect("sim");
-        instrs += report.total_instrs();
+            .expect("golden sim");
+        instrs += golden.total_instrs();
         runs += 1;
+        for width in WIDTHS {
+            let design = BusDesign::with_width(f.channels(), width, ProtocolKind::FullHandshake);
+            let refined = ProtocolGenerator::new()
+                .refine(&f.system, &design)
+                .expect("quickstart refinement");
+            let report =
+                Simulator::with_config_cached(&refined.system, SimConfig::new(), Some(&cache))
+                    .expect("sim setup")
+                    .run_to_quiescence()
+                    .expect("sim");
+            instrs += report.total_instrs();
+            runs += 1;
+        }
     }
     scenario(
         "quickstart_pipeline",
         runs,
         instrs,
         start.elapsed().as_secs_f64(),
+        1,
     )
 }
 
@@ -179,6 +237,7 @@ pub fn run() -> PerfData {
         scenarios: vec![
             flc_kernel_sweep(),
             flc_batch_sweep(),
+            flc_lockstep_sweep(),
             fig7_full_sweep(),
             quickstart_pipeline(),
         ],
@@ -190,11 +249,19 @@ pub fn run() -> PerfData {
 pub fn render(data: &PerfData) -> String {
     let mut out = String::new();
     out.push_str("Simulation kernel throughput\n\n");
-    let mut t = Table::new(["scenario", "runs", "instrs", "wall (s)", "instrs/sec"]);
+    let mut t = Table::new([
+        "scenario",
+        "runs",
+        "threads",
+        "instrs",
+        "wall (s)",
+        "instrs/sec",
+    ]);
     for s in &data.scenarios {
         t.row([
             s.name.clone(),
             s.runs.to_string(),
+            s.threads.to_string(),
             s.total_instrs.to_string(),
             format!("{:.4}", s.wall_seconds),
             format!("{:.0}", s.instrs_per_sec),
@@ -213,10 +280,11 @@ pub fn to_json(data: &PerfData) -> String {
     out.push_str("  \"scenarios\": [\n");
     for (i, s) in data.scenarios.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"runs\": {}, \"total_instrs\": {}, \
+            "    {{\"name\": \"{}\", \"runs\": {}, \"threads\": {}, \"total_instrs\": {}, \
              \"wall_seconds\": {:.6}, \"instrs_per_sec\": {:.1}}}{}\n",
             s.name,
             s.runs,
+            s.threads,
             s.total_instrs,
             s.wall_seconds,
             s.instrs_per_sec,
@@ -324,7 +392,7 @@ mod tests {
     #[test]
     fn baseline_roundtrips_through_json() {
         let data = PerfData {
-            scenarios: vec![scenario("a", 2, 100, 0.5), scenario("b", 1, 50, 0.25)],
+            scenarios: vec![scenario("a", 2, 100, 0.5, 1), scenario("b", 1, 50, 0.25, 2)],
             sweep_threads: 1,
         };
         let parsed = parse_baseline(&to_json(&data));
@@ -337,7 +405,7 @@ mod tests {
     #[test]
     fn check_passes_within_tolerance_and_fails_below() {
         let fresh = PerfData {
-            scenarios: vec![scenario("a", 1, 95, 1.0), scenario("new", 1, 1, 1.0)],
+            scenarios: vec![scenario("a", 1, 95, 1.0, 1), scenario("new", 1, 1, 1.0, 1)],
             sweep_threads: 1,
         };
         let baseline = vec![("a".to_string(), 100.0), ("gone".to_string(), 5.0)];
@@ -354,7 +422,7 @@ mod tests {
     #[test]
     fn json_is_well_formed_and_names_every_scenario() {
         let data = PerfData {
-            scenarios: vec![scenario("a", 2, 100, 0.5), scenario("b", 1, 50, 0.25)],
+            scenarios: vec![scenario("a", 2, 100, 0.5, 1), scenario("b", 1, 50, 0.25, 2)],
             sweep_threads: 4,
         };
         let json = to_json(&data);
@@ -372,7 +440,7 @@ mod tests {
 
     #[test]
     fn instrs_per_sec_guards_zero_wall() {
-        let s = scenario("z", 1, 10, 0.0);
+        let s = scenario("z", 1, 10, 0.0, 1);
         assert_eq!(s.instrs_per_sec, 0.0);
     }
 }

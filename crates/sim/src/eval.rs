@@ -13,14 +13,15 @@ use std::ops::Deref;
 use ifsyn_spec::{BinOp, BitVec, Expr, Place, System, Ty, UnaryOp, Value};
 
 use crate::error::SimError;
-use crate::process::{CodeRef, Frame};
+use crate::process::CodeRef;
 
 /// Read-only evaluation context: the world as seen by one process.
 pub(crate) struct EvalCtx<'a> {
     pub vars: &'a [Value],
     pub signals: &'a [Value],
-    /// The evaluating process's top frame (for `Place::Local`).
-    pub frame: &'a Frame,
+    /// Local slots of the evaluating process's top frame
+    /// (for `Place::Local`).
+    pub locals: &'a [Value],
 }
 
 /// A copy-on-write evaluation result.
@@ -133,7 +134,6 @@ pub(crate) fn read_place<'a>(
             .map(Evaluated::Ref)
             .ok_or_else(|| SimError::eval(format!("missing variable {v}"))),
         Place::Local(slot) => ctx
-            .frame
             .locals
             .get(*slot)
             .map(Evaluated::Ref)
@@ -390,11 +390,11 @@ mod tests {
 
     fn with_ctx<R>(f: impl FnOnce(&EvalCtx<'_>) -> R) -> R {
         let (_sys, vars, signals) = ctx_fixture();
-        let frame = Frame::new(CodeRef::Behavior(0), vec![Value::int(7, 8)]);
+        let locals = vec![Value::int(7, 8)];
         let ctx = EvalCtx {
             vars: &vars,
             signals: &signals,
-            frame: &frame,
+            locals: &locals,
         };
         f(&ctx)
     }

@@ -203,7 +203,6 @@ fn fetch<'s>(
             .get(i as usize)
             .ok_or_else(|| missing("variable v", i as usize)),
         Src::Local(i) => ctx
-            .frame
             .locals
             .get(i as usize)
             .ok_or_else(|| missing("local slot", i as usize)),

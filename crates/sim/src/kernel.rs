@@ -88,7 +88,7 @@ fn eval_split<'s>(
     let ctx = EvalCtx {
         vars,
         signals,
-        frame,
+        locals: &frame.locals,
     };
     exec::eval_code(&ctx, code, regs)
 }
@@ -1854,7 +1854,7 @@ impl<'a> Simulator<'a> {
 
 /// The error for a compiled place whose type could not be resolved at
 /// compile time (today: a local referenced from a behavior body).
-fn untyped_place_error(root: &CRoot) -> SimError {
+pub(crate) fn untyped_place_error(root: &CRoot) -> SimError {
     match root {
         CRoot::Local(_) => SimError::eval("local slot referenced outside a procedure".to_string()),
         CRoot::Var(_) => SimError::eval("place cannot be typed in this scope".to_string()),
@@ -1879,7 +1879,7 @@ fn render_expr(system: &System, expr: &Expr) -> String {
 }
 
 /// Writes `value` through a resolved navigation path.
-fn write_steps(root: &mut Value, steps: &[Step], value: Value) -> Result<(), SimError> {
+pub(crate) fn write_steps(root: &mut Value, steps: &[Step], value: Value) -> Result<(), SimError> {
     match steps.split_first() {
         None => {
             *root = value;

@@ -52,6 +52,7 @@ mod eval;
 mod exec;
 mod fault;
 mod kernel;
+mod lockstep;
 mod process;
 mod program;
 mod report;
@@ -65,6 +66,7 @@ pub use error::SimError;
 pub use exec::{ExprCode, MicroOp, Src};
 pub use fault::{Fault, FaultKind, FaultPlan, InjectedFault};
 pub use kernel::Simulator;
+pub use lockstep::{LockstepSim, LockstepStats};
 pub use program::{Code, CodeCache, CompiledCond, Instr, Program, WaitSpec};
 pub use report::{SimReport, TraceEvent};
 
@@ -80,7 +82,6 @@ pub mod testing {
     use crate::error::SimError;
     use crate::eval::{self, EvalCtx};
     use crate::exec::{self, RegFile};
-    use crate::process::{CodeRef, Frame};
     use crate::program;
 
     /// Evaluates `expr` with the reference tree-walking interpreter in a
@@ -92,11 +93,10 @@ pub mod testing {
         expr: &Expr,
     ) -> Result<Value, SimError> {
         let _ = system;
-        let frame = Frame::new(CodeRef::Behavior(0), Vec::new());
         let ctx = EvalCtx {
             vars,
             signals,
-            frame: &frame,
+            locals: &[],
         };
         eval::eval(&ctx, expr).map(|e| e.into_owned())
     }
@@ -110,11 +110,10 @@ pub mod testing {
         expr: &Expr,
     ) -> Result<Value, SimError> {
         let code = program::fold_and_compile(system, expr);
-        let frame = Frame::new(CodeRef::Behavior(0), Vec::new());
         let ctx = EvalCtx {
             vars,
             signals,
-            frame: &frame,
+            locals: &[],
         };
         let mut regs = RegFile::new();
         exec::eval_code(&ctx, &code, &mut regs).cloned()

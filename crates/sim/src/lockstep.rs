@@ -1,0 +1,2054 @@
+//! Lockstep convoy execution: many variant simulations through one
+//! instruction dispatch stream.
+//!
+//! A sweep simulates N systems whose behaviors compiled to the *same*
+//! bytecode (replicated clients, repeated measurements, data-variant
+//! campaigns over one refined protocol). The scalar kernel re-fetches,
+//! re-decodes and re-schedules that identical stream once per run.
+//! [`LockstepSim`] instead forms **convoys**: groups of input systems
+//! whose compiled [`Program`]s are block-for-block identical (shared
+//! through a content-hash [`CodeCache`]) and whose declared shapes —
+//! signal/variable types, behavior repeat flags, procedure signatures,
+//! channel targets — match. A convoy executes with struct-of-arrays
+//! state: *control* (program counters, frame stacks, scheduler heaps,
+//! waiter lists, all counters) lives once per convoy, while *data*
+//! (signal stores, variable stores, frame locals, register files) lives
+//! once per lane. Fetch, decode, dispatch and every scheduler decision
+//! then happen once per micro-op for all lanes, and only expression
+//! evaluation and storage writes loop over lanes.
+//!
+//! Control flow is kept uniform by construction: at every decision point
+//! (branch, wait satisfaction, signal-change detection, loop exit,
+//! assertion) the verdict of the first live lane leads, and any lane
+//! that disagrees — or raises a per-lane evaluation error — **peels**
+//! out of the convoy and re-runs from time zero on the scalar
+//! [`Simulator`]. Peeling is always sound (the peeled lane discards all
+//! convoy state), so surviving lanes provably execute the exact
+//! instruction/delta/timestep sequence their own scalar run would have,
+//! and their [`SimReport`]s are identical field-for-field. Shared
+//! terminal failures (timeout, delta overflow, zero-delay loop,
+//! deadlock) abort the whole convoy to the scalar engine, which renders
+//! the per-lane diagnosis.
+//!
+//! Lanes under a fault plan or with tracing enabled never convoy: fault
+//! filtering and trace capture are per-lane observations of skipped
+//! intermediate state.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+use ifsyn_spec::{System, Ty, Value};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::eval::{coerce, EvalCtx};
+use crate::exec::{self, CArg, CPath, CPathStep, CPlace, CRoot, ExprCode, RegFile};
+use crate::kernel::{untyped_place_error, write_steps, Simulator};
+use crate::process::{CodeRef, ResolvedPlace, Root, Status, Step, WaitKind};
+use crate::program::{Code, CodeCache, Instr, Program, WaitSpec};
+use crate::report::{BehaviorOutcome, SimReport};
+
+/// How a [`LockstepSim`] run distributed its lanes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockstepStats {
+    /// Multi-lane convoys formed.
+    pub convoys: usize,
+    /// Lanes of the largest convoy.
+    pub max_lanes: usize,
+    /// Lanes that ran to completion inside a convoy.
+    pub lockstep_lanes: usize,
+    /// Lanes that diverged from their convoy and re-ran scalar.
+    pub peeled_lanes: usize,
+    /// Lanes that never joined a convoy (singleton programs, fault
+    /// plans, tracing) and ran scalar from the start.
+    pub scalar_lanes: usize,
+}
+
+/// Batch front-end that groups systems into convoys and runs each
+/// convoy in lockstep, falling back to the scalar [`Simulator`] for
+/// singletons and divergent lanes.
+///
+/// Results come back in input order, one per system, and are identical
+/// to what `Simulator::with_config(..).run_to_quiescence()` would
+/// produce for each system individually.
+#[derive(Debug, Default)]
+pub struct LockstepSim;
+
+impl LockstepSim {
+    /// Runs every system to quiescence, convoying where possible.
+    pub fn run(systems: &[System], config: &SimConfig) -> Vec<Result<SimReport, SimError>> {
+        Self::run_with_stats(systems, config, None).0
+    }
+
+    /// [`LockstepSim::run`] sharing compiled blocks through `cache`.
+    ///
+    /// Convoy grouping relies on the cache to make identical blocks
+    /// pointer-identical; passing one shared cache across calls also
+    /// amortizes compilation the way [`crate::Simulator::with_config_cached`]
+    /// does.
+    pub fn run_cached(
+        systems: &[System],
+        config: &SimConfig,
+        cache: &CodeCache,
+    ) -> Vec<Result<SimReport, SimError>> {
+        Self::run_with_stats(systems, config, Some(cache)).0
+    }
+
+    /// Runs every system, also reporting how lanes were distributed
+    /// over convoys and scalar fallbacks.
+    pub fn run_with_stats(
+        systems: &[System],
+        config: &SimConfig,
+        cache: Option<&CodeCache>,
+    ) -> (Vec<Result<SimReport, SimError>>, LockstepStats) {
+        let local_cache = CodeCache::new();
+        let cache = cache.unwrap_or(&local_cache);
+        let mut stats = LockstepStats::default();
+        let mut out: Vec<Option<Result<SimReport, SimError>>> =
+            systems.iter().map(|_| None).collect();
+        let mut scalar: Vec<usize> = Vec::new();
+        // Fault injection and tracing observe per-lane intermediate
+        // state the convoy scheduler skips over; those configs run
+        // scalar wholesale.
+        let eligible = config.fault_plan.is_empty() && !config.trace;
+        struct Group {
+            rep: usize,
+            program: Program,
+            lanes: Vec<usize>,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        for (i, sys) in systems.iter().enumerate() {
+            if let Err(e) = sys.check() {
+                out[i] = Some(Err(SimError::InvalidSystem {
+                    message: e.to_string(),
+                }));
+                continue;
+            }
+            if !eligible {
+                scalar.push(i);
+                continue;
+            }
+            let program = Program::compile_cached(sys, &config.cost_model, Some(cache));
+            match groups
+                .iter_mut()
+                .find(|g| program_eq(&g.program, &program) && shape_eq(&systems[g.rep], sys))
+            {
+                Some(g) => g.lanes.push(i),
+                None => groups.push(Group {
+                    rep: i,
+                    program,
+                    lanes: vec![i],
+                }),
+            }
+        }
+        for g in &groups {
+            if g.lanes.len() < 2 {
+                scalar.extend_from_slice(&g.lanes);
+                continue;
+            }
+            stats.convoys += 1;
+            stats.max_lanes = stats.max_lanes.max(g.lanes.len());
+            // Value-class collapse: lanes whose initial state is also
+            // identical can never diverge (shared control, deterministic
+            // data), so each class runs as one physical lane and every
+            // member receives the same report. A width sweep that
+            // re-simulates the same refined system N times does the
+            // per-lane data work once; genuinely distinct variants keep
+            // one physical lane per class and execute in lockstep.
+            let mut classes: Vec<Vec<usize>> = Vec::new();
+            for &lane in &g.lanes {
+                match classes
+                    .iter_mut()
+                    .find(|c| state_eq(&systems[c[0]], &systems[lane]))
+                {
+                    Some(c) => c.push(lane),
+                    None => classes.push(vec![lane]),
+                }
+            }
+            let reps: Vec<usize> = classes.iter().map(|c| c[0]).collect();
+            let convoy = Convoy::new(systems, &reps, &g.program, config);
+            let (done, fallback) = convoy.run();
+            let members = |rep: usize| -> &[usize] {
+                classes
+                    .iter()
+                    .find(|c| c[0] == rep)
+                    .expect("class rep")
+                    .as_slice()
+            };
+            for (slot, report) in done {
+                let class = members(slot);
+                stats.lockstep_lanes += class.len();
+                for &lane in class {
+                    out[lane] = Some(Ok(report.clone()));
+                }
+            }
+            for slot in fallback {
+                let class = members(slot);
+                stats.peeled_lanes += class.len();
+                scalar.extend_from_slice(class);
+            }
+        }
+        stats.scalar_lanes = scalar.len().saturating_sub(stats.peeled_lanes);
+        for i in scalar {
+            out[i] = Some(
+                Simulator::with_config_cached(&systems[i], config.clone(), Some(cache))
+                    .and_then(|s| s.run_to_quiescence()),
+            );
+        }
+        (
+            out.into_iter()
+                .map(|r| r.expect("every lane resolved"))
+                .collect(),
+            stats,
+        )
+    }
+}
+
+/// Block-for-block program identity. The shared [`CodeCache`] makes
+/// identical compilations pointer-equal, so this is a pointer scan with
+/// a deep-equality fallback for blocks built outside the cache.
+fn program_eq(a: &Program, b: &Program) -> bool {
+    fn blocks_eq(a: &[Arc<Code>], b: &[Arc<Code>]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| Arc::ptr_eq(x, y) || x == y)
+    }
+    blocks_eq(&a.behaviors, &b.behaviors) && blocks_eq(&a.procedures, &b.procedures)
+}
+
+/// Declared-shape compatibility: everything the convoy engine reads
+/// from the *representative* system on behalf of all lanes must be
+/// identical across lanes. Names and initial values may differ (they
+/// are per-lane data); types, repeat flags, signatures and channel
+/// wiring may not.
+fn shape_eq(a: &System, b: &System) -> bool {
+    a.signals.len() == b.signals.len()
+        && a.signals.iter().zip(&b.signals).all(|(x, y)| x.ty == y.ty)
+        && a.variables.len() == b.variables.len()
+        && a.variables
+            .iter()
+            .zip(&b.variables)
+            .all(|(x, y)| x.ty == y.ty)
+        && a.behaviors.len() == b.behaviors.len()
+        && a.behaviors
+            .iter()
+            .zip(&b.behaviors)
+            .all(|(x, y)| x.repeats == y.repeats)
+        && a.procedures.len() == b.procedures.len()
+        && a.procedures.iter().zip(&b.procedures).all(|(x, y)| {
+            x.params.len() == y.params.len()
+                && x.params
+                    .iter()
+                    .zip(&y.params)
+                    .all(|(p, q)| p.mode == q.mode && p.ty == q.ty)
+                && x.locals.len() == y.locals.len()
+                && x.locals.iter().zip(&y.locals).all(|(p, q)| p.ty == q.ty)
+        })
+        && a.channels.len() == b.channels.len()
+        && a.channels
+            .iter()
+            .zip(&b.channels)
+            .all(|(x, y)| x.variable == y.variable)
+}
+
+/// Initial-state identity between two shape-equal systems: every signal
+/// and variable starts from the same value. Two such lanes execute the
+/// same deterministic program from the same state, so their entire
+/// simulations — reports included — are identical; the convoy collapses
+/// them onto one physical lane.
+fn state_eq(a: &System, b: &System) -> bool {
+    a.signals
+        .iter()
+        .zip(&b.signals)
+        .all(|(x, y)| x.initial_value() == y.initial_value())
+        && a.variables
+            .iter()
+            .zip(&b.variables)
+            .all(|(x, y)| x.initial_value() == y.initial_value())
+}
+
+/// A signal value scheduled for all lanes of a convoy at once.
+///
+/// Generated handshake traffic drives pool constants, which are
+/// identical across lanes — one shared value covers the whole convoy.
+/// Computed writes carry one value per lane (indexed by lane slot;
+/// peeled lanes keep a placeholder).
+#[derive(Debug, Clone)]
+enum LaneVals {
+    Uniform(Value),
+    PerLane(Box<[Value]>),
+}
+
+impl LaneVals {
+    fn get(&self, lane: usize) -> &Value {
+        match self {
+            LaneVals::Uniform(v) => v,
+            LaneVals::PerLane(vs) => &vs[lane],
+        }
+    }
+}
+
+/// A scheduled future write for the whole convoy; ordered like the
+/// scalar kernel's `TimedWrite`, by `(time, seq)`.
+#[derive(Debug)]
+struct CTimedWrite {
+    time: u64,
+    seq: u64,
+    signal: usize,
+    value: LaneVals,
+    forced: bool,
+}
+
+impl PartialEq for CTimedWrite {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for CTimedWrite {}
+
+impl PartialOrd for CTimedWrite {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CTimedWrite {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Shared control state of one process: everything the scalar kernel's
+/// `Process` holds except the value storage inside its frames.
+#[derive(Debug)]
+struct CtlProcess {
+    behavior: usize,
+    frames: Vec<CtlFrame>,
+    status: Status,
+    registered: Vec<usize>,
+    wait_gen: u64,
+    finish_time: Option<u64>,
+    iterations: u64,
+    active_cycles: u64,
+    instrs_executed: u64,
+}
+
+/// Shared part of a call frame: which block, and where in it.
+#[derive(Debug, Clone, Copy)]
+struct CtlFrame {
+    code: CodeRef,
+    pc: usize,
+}
+
+/// Per-lane part of a call frame: parameter/local storage, loop bounds
+/// (bounds evaluate per lane) and resolved copy-back destinations
+/// (indices evaluate per lane).
+#[derive(Debug, Default)]
+struct LaneFrame {
+    locals: Vec<Value>,
+    loop_bounds: Vec<i64>,
+    copyback: Vec<(usize, ResolvedPlace, Ty)>,
+}
+
+/// Per-lane data state: the struct-of-arrays side of the convoy.
+#[derive(Debug)]
+struct LaneState {
+    signals: Vec<Value>,
+    vars: Vec<Value>,
+    /// Frame stacks per process, depth-aligned with the shared
+    /// `CtlProcess::frames` stacks while the lane is live.
+    frames: Vec<Vec<LaneFrame>>,
+    regs: RegFile,
+}
+
+/// The whole convoy must fall back to per-lane scalar runs: either a
+/// shared terminal condition was reached (timeout, overflow, deadlock,
+/// failed leader assertion) or every lane peeled.
+struct Abort;
+
+/// Evaluates compiled code against one lane's storage, in the top frame
+/// of process `pid` — the lockstep analogue of the kernel's
+/// `eval_split`.
+fn lane_eval<'s>(
+    lane: &'s mut LaneState,
+    pid: usize,
+    code: &'s ExprCode,
+) -> Result<&'s Value, SimError> {
+    let LaneState {
+        signals,
+        vars,
+        frames,
+        regs,
+    } = lane;
+    let locals = match frames[pid].last() {
+        Some(f) => &f.locals[..],
+        None => &[],
+    };
+    let ctx = EvalCtx {
+        vars,
+        signals,
+        locals,
+    };
+    exec::eval_code(&ctx, code, regs)
+}
+
+fn eval_err(e: ifsyn_spec::SpecError) -> SimError {
+    SimError::eval(e.to_string())
+}
+
+/// One convoy: shared control, per-lane data, and the peel machinery.
+struct Convoy<'a> {
+    /// Representative system for every type/shape lookup (shape-checked
+    /// equal across lanes).
+    rep: &'a System,
+    /// Per lane: its own system, for report names and initial values.
+    lane_systems: Vec<&'a System>,
+    /// Per lane: index into the caller's output vector.
+    lane_out: Vec<usize>,
+    config: &'a SimConfig,
+    behavior_code: Vec<Option<Arc<Code>>>,
+    procedure_code: Vec<Option<Arc<Code>>>,
+    /// Lanes still executing in lockstep, in input order (the first
+    /// entry is the leader at every decision).
+    live: Vec<usize>,
+    /// Lanes that diverged; re-run scalar from time zero by the caller.
+    peeled: Vec<usize>,
+    lanes: Vec<LaneState>,
+    procs: Vec<CtlProcess>,
+    time: u64,
+    ready: VecDeque<usize>,
+    pending: Vec<(usize, LaneVals, bool)>,
+    timed_writes: BinaryHeap<Reverse<CTimedWrite>>,
+    sleepers: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    wait_timeouts: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    event_seq: u64,
+    waiters: Vec<Vec<usize>>,
+    reg_epoch: u64,
+    sig_mark: Vec<u64>,
+    last_write: Vec<usize>,
+    changed: Vec<usize>,
+    /// Scratch: per-live-lane decision verdicts (`None` = lane error).
+    verdicts: Vec<Option<bool>>,
+    signal_events: Vec<u64>,
+    total_deltas: u64,
+    total_instrs: u64,
+    assertions_checked: u64,
+    heap_peak: usize,
+    time_steps: u64,
+}
+
+impl<'a> Convoy<'a> {
+    fn new(
+        systems: &'a [System],
+        lane_slots: &[usize],
+        program: &Program,
+        config: &'a SimConfig,
+    ) -> Self {
+        let rep = &systems[lane_slots[0]];
+        let max_regs = program
+            .behaviors
+            .iter()
+            .chain(&program.procedures)
+            .map(|c| c.max_regs)
+            .max()
+            .unwrap_or(0);
+        let lanes: Vec<LaneState> = lane_slots
+            .iter()
+            .map(|&slot| {
+                let sys = &systems[slot];
+                LaneState {
+                    signals: sys.signals.iter().map(|s| s.initial_value()).collect(),
+                    vars: sys.variables.iter().map(|v| v.initial_value()).collect(),
+                    frames: (0..sys.behaviors.len())
+                        .map(|_| vec![LaneFrame::default()])
+                        .collect(),
+                    regs: RegFile::with_capacity(max_regs as usize),
+                }
+            })
+            .collect();
+        let procs: Vec<CtlProcess> = (0..rep.behaviors.len())
+            .map(|b| CtlProcess {
+                behavior: b,
+                frames: vec![CtlFrame {
+                    code: CodeRef::Behavior(b),
+                    pc: 0,
+                }],
+                status: Status::Ready,
+                registered: Vec::new(),
+                wait_gen: 0,
+                finish_time: None,
+                iterations: 0,
+                active_cycles: 0,
+                instrs_executed: 0,
+            })
+            .collect();
+        let n_signals = rep.signals.len();
+        Self {
+            rep,
+            lane_systems: lane_slots.iter().map(|&s| &systems[s]).collect(),
+            lane_out: lane_slots.to_vec(),
+            config,
+            behavior_code: program.behaviors.iter().cloned().map(Some).collect(),
+            procedure_code: program.procedures.iter().cloned().map(Some).collect(),
+            live: (0..lane_slots.len()).collect(),
+            peeled: Vec::new(),
+            lanes,
+            ready: (0..procs.len()).collect(),
+            procs,
+            time: 0,
+            pending: Vec::new(),
+            timed_writes: BinaryHeap::new(),
+            sleepers: BinaryHeap::new(),
+            wait_timeouts: BinaryHeap::new(),
+            event_seq: 0,
+            waiters: vec![Vec::new(); n_signals],
+            reg_epoch: 0,
+            sig_mark: vec![0; n_signals],
+            last_write: vec![usize::MAX; n_signals],
+            changed: Vec::new(),
+            verdicts: Vec::new(),
+            signal_events: vec![0; n_signals],
+            total_deltas: 0,
+            total_instrs: 0,
+            assertions_checked: 0,
+            heap_peak: 0,
+            time_steps: 0,
+        }
+    }
+
+    /// Runs the convoy to quiescence. Returns the reports of lanes that
+    /// finished in lockstep, plus the output slots that must re-run on
+    /// the scalar engine (peeled lanes, or every lane on abort).
+    fn run(mut self) -> (Vec<(usize, SimReport)>, Vec<usize>) {
+        match self.run_events() {
+            Ok(()) => {
+                if self.config.fail_on_deadlock {
+                    let stuck = self.procs.iter().any(|p| {
+                        matches!(p.status, Status::Waiting(_))
+                            && !self.rep.behaviors[p.behavior].repeats
+                    });
+                    if stuck {
+                        // The deadlock diagnosis reads per-lane observed
+                        // values; let the scalar engine render it.
+                        return (Vec::new(), self.lane_out);
+                    }
+                }
+                let done: Vec<(usize, SimReport)> = self
+                    .live
+                    .iter()
+                    .map(|&l| (self.lane_out[l], self.lane_report(l)))
+                    .collect();
+                let fallback = self.peeled.iter().map(|&l| self.lane_out[l]).collect();
+                (done, fallback)
+            }
+            Err(Abort) => (Vec::new(), self.lane_out),
+        }
+    }
+
+    /// Removes the live lane at position `pos`, queueing it for a
+    /// scalar re-run. Always sound: the lane discards every piece of
+    /// convoy state and restarts from time zero.
+    fn peel_at(&mut self, pos: usize) {
+        let l = self.live.remove(pos);
+        self.peeled.push(l);
+    }
+
+    fn ensure_live(&self) -> Result<(), Abort> {
+        if self.live.is_empty() {
+            Err(Abort)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Resolves one control decision from per-lane verdicts (parallel
+    /// to `self.live`): the first lane with a successful verdict leads,
+    /// lanes that disagree or errored peel.
+    fn decide(&mut self, verdicts: &[Option<bool>]) -> Result<bool, Abort> {
+        debug_assert_eq!(verdicts.len(), self.live.len());
+        let Some(lead) = verdicts.iter().copied().flatten().next() else {
+            return Err(Abort);
+        };
+        if verdicts.iter().any(|v| *v != Some(lead)) {
+            let old = std::mem::take(&mut self.live);
+            for (pos, l) in old.into_iter().enumerate() {
+                if verdicts[pos] == Some(lead) {
+                    self.live.push(l);
+                } else {
+                    self.peeled.push(l);
+                }
+            }
+        }
+        Ok(lead)
+    }
+
+    /// Evaluates a boolean decision per lane and resolves it with
+    /// [`Convoy::decide`].
+    fn verdict_bool(&mut self, pid: usize, code: &ExprCode) -> Result<bool, Abort> {
+        let mut verdicts = std::mem::take(&mut self.verdicts);
+        verdicts.clear();
+        for &l in &self.live {
+            let v = match lane_eval(&mut self.lanes[l], pid, code) {
+                Ok(v) => v.as_bool().ok(),
+                Err(_) => None,
+            };
+            verdicts.push(v);
+        }
+        let out = self.decide(&verdicts);
+        self.verdicts = verdicts;
+        out
+    }
+
+    /// The main event loop, mirroring the scalar kernel's `run_events`
+    /// in quiescence mode (no deadline, no fault injections).
+    fn run_events(&mut self) -> Result<(), Abort> {
+        loop {
+            self.settle_instant()?;
+            let next_write = self.timed_writes.peek().map(|Reverse(w)| w.time);
+            let next_sleep = self.sleepers.peek().map(|&Reverse((t, _, _))| t);
+            let next_timeout = self.next_live_wait_timeout();
+            let next = [next_write, next_sleep, next_timeout]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(next) = next else { break };
+            if next > self.config.max_time {
+                // Timeout: the error carries a per-lane diagnosis.
+                return Err(Abort);
+            }
+            self.time = next;
+            self.time_steps += 1;
+            while self
+                .timed_writes
+                .peek()
+                .is_some_and(|Reverse(w)| w.time == next)
+            {
+                let Reverse(w) = self.timed_writes.pop().expect("peeked");
+                self.pending.push((w.signal, w.value, w.forced));
+            }
+            while self
+                .sleepers
+                .peek()
+                .is_some_and(|&Reverse((t, _, _))| t == next)
+            {
+                let Reverse((_, _, pid)) = self.sleepers.pop().expect("peeked");
+                if matches!(self.procs[pid].status, Status::Sleeping) {
+                    self.procs[pid].status = Status::Ready;
+                    self.ready.push_back(pid);
+                }
+            }
+            while self
+                .wait_timeouts
+                .peek()
+                .is_some_and(|&Reverse((t, _, _, _))| t == next)
+            {
+                let Reverse((_, _, pid, gen)) = self.wait_timeouts.pop().expect("peeked");
+                let p = &self.procs[pid];
+                if matches!(p.status, Status::Waiting(_)) && p.wait_gen == gen {
+                    self.make_ready(pid);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn next_live_wait_timeout(&mut self) -> Option<u64> {
+        while let Some(&Reverse((t, _, pid, gen))) = self.wait_timeouts.peek() {
+            let p = &self.procs[pid];
+            if matches!(p.status, Status::Waiting(_)) && p.wait_gen == gen {
+                return Some(t);
+            }
+            self.wait_timeouts.pop();
+        }
+        None
+    }
+
+    fn settle_instant(&mut self) -> Result<(), Abort> {
+        let mut deltas = 0u32;
+        loop {
+            if !self.pending.is_empty() {
+                self.apply_pending()?;
+                self.wake_on()?;
+                deltas += 1;
+                self.total_deltas += 1;
+                if deltas > self.config.max_deltas_per_instant {
+                    // Delta overflow is shared by construction.
+                    return Err(Abort);
+                }
+            }
+            if self.ready.is_empty() {
+                if self.pending.is_empty() {
+                    return Ok(());
+                }
+                continue;
+            }
+            while let Some(pid) = self.ready.pop_front() {
+                if matches!(self.procs[pid].status, Status::Ready) {
+                    self.run_process(pid)?;
+                }
+            }
+        }
+    }
+
+    fn apply_pending(&mut self) -> Result<(), Abort> {
+        self.changed.clear();
+        if self.pending.len() == 1 {
+            let (sig, value, forced) = self.pending.pop().expect("len checked");
+            return self.apply_one(sig, value, forced);
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        for (i, (sig, _, _)) in pending.iter().enumerate() {
+            self.last_write[*sig] = i;
+        }
+        let mut result = Ok(());
+        for (i, entry) in pending.iter_mut().enumerate() {
+            let sig = entry.0;
+            if self.last_write[sig] != i {
+                continue;
+            }
+            self.last_write[sig] = usize::MAX;
+            let value = std::mem::replace(&mut entry.1, LaneVals::Uniform(Value::Bit(false)));
+            let forced = entry.2;
+            if result.is_ok() {
+                result = self.apply_one(sig, value, forced);
+            }
+        }
+        pending.clear();
+        self.pending = pending;
+        result
+    }
+
+    /// Applies one winning write per lane. Whether the signal *changed*
+    /// is a control decision: lanes disagreeing with the leader peel.
+    fn apply_one(&mut self, sig: usize, value: LaneVals, _forced: bool) -> Result<(), Abort> {
+        let mut verdicts = std::mem::take(&mut self.verdicts);
+        verdicts.clear();
+        for &l in &self.live {
+            verdicts.push(Some(self.lanes[l].signals[sig] != *value.get(l)));
+        }
+        let changed = self.decide(&verdicts);
+        self.verdicts = verdicts;
+        if changed? {
+            match value {
+                LaneVals::Uniform(v) => {
+                    for &l in &self.live {
+                        self.lanes[l].signals[sig].clone_from(&v);
+                    }
+                }
+                LaneVals::PerLane(mut vs) => {
+                    for &l in &self.live {
+                        self.lanes[l].signals[sig] =
+                            std::mem::replace(&mut vs[l], Value::Bit(false));
+                    }
+                }
+            }
+            self.signal_events[sig] += 1;
+            self.changed.push(sig);
+        }
+        Ok(())
+    }
+
+    fn wake_on(&mut self) -> Result<(), Abort> {
+        for ci in 0..self.changed.len() {
+            let sig = self.changed[ci];
+            let mut i = 0;
+            while i < self.waiters[sig].len() {
+                let pid = self.waiters[sig][i];
+                // Uniform wait kinds resolve without touching lanes;
+                // `until` conditions evaluate per lane and decide.
+                let mut verdicts = std::mem::take(&mut self.verdicts);
+                verdicts.clear();
+                let uniform: Option<bool> = match &self.procs[pid].status {
+                    Status::Waiting(WaitKind::Signals) => Some(true),
+                    Status::Waiting(WaitKind::Until(cond)) => {
+                        let code = &cond.code;
+                        for &l in &self.live {
+                            let v = match lane_eval(&mut self.lanes[l], pid, code) {
+                                Ok(v) => v.as_bool().ok(),
+                                Err(_) => None,
+                            };
+                            verdicts.push(v);
+                        }
+                        None
+                    }
+                    Status::Waiting(WaitKind::SignalIs(idx, v)) => {
+                        let idx = *idx;
+                        // The compare constant comes from the shared
+                        // pool; the observed signal is per lane.
+                        for &l in &self.live {
+                            verdicts.push(Some(self.lanes[l].signals[idx] == *v));
+                        }
+                        None
+                    }
+                    _ => Some(false),
+                };
+                let sat = match uniform {
+                    Some(b) => {
+                        self.verdicts = verdicts;
+                        b
+                    }
+                    None => {
+                        let out = self.decide(&verdicts);
+                        self.verdicts = verdicts;
+                        out?
+                    }
+                };
+                if sat {
+                    self.make_ready(pid);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn make_ready(&mut self, pid: usize) {
+        let mut registered = std::mem::take(&mut self.procs[pid].registered);
+        for &sig in &registered {
+            if let Some(pos) = self.waiters[sig].iter().position(|&p| p == pid) {
+                self.waiters[sig].swap_remove(pos);
+            }
+        }
+        registered.clear();
+        self.procs[pid].registered = registered;
+        self.procs[pid].status = Status::Ready;
+        self.ready.push_back(pid);
+    }
+
+    fn sleep_until(&mut self, pid: usize, until: u64) {
+        self.procs[pid].status = Status::Sleeping;
+        self.sleepers.push(Reverse((until, self.event_seq, pid)));
+        self.event_seq += 1;
+        self.note_heap_size();
+    }
+
+    fn schedule_write(&mut self, time: u64, signal: usize, value: LaneVals, forced: bool) {
+        self.timed_writes.push(Reverse(CTimedWrite {
+            time,
+            seq: self.event_seq,
+            signal,
+            value,
+            forced,
+        }));
+        self.event_seq += 1;
+        self.note_heap_size();
+    }
+
+    fn note_heap_size(&mut self) {
+        let size = self.timed_writes.len() + self.sleepers.len();
+        if size > self.heap_peak {
+            self.heap_peak = size;
+        }
+    }
+
+    fn register_wait(&mut self, pid: usize, kind: WaitKind, sensitivity: &[ifsyn_spec::SignalId]) {
+        self.procs[pid].wait_gen += 1;
+        self.reg_epoch += 1;
+        let epoch = self.reg_epoch;
+        let mut registered = std::mem::take(&mut self.procs[pid].registered);
+        registered.clear();
+        for s in sensitivity {
+            let idx = s.index();
+            if self.sig_mark[idx] != epoch {
+                self.sig_mark[idx] = epoch;
+                self.waiters[idx].push(pid);
+                registered.push(idx);
+            }
+        }
+        self.procs[pid].registered = registered;
+        self.procs[pid].status = Status::Waiting(kind);
+    }
+
+    fn register_wait_one(&mut self, pid: usize, kind: WaitKind, idx: usize) {
+        self.procs[pid].wait_gen += 1;
+        self.waiters[idx].push(pid);
+        let registered = &mut self.procs[pid].registered;
+        registered.clear();
+        registered.push(idx);
+        self.procs[pid].status = Status::Waiting(kind);
+    }
+
+    fn arm_watchdog(&mut self, pid: usize, deadline: u64) {
+        let gen = self.procs[pid].wait_gen;
+        self.wait_timeouts
+            .push(Reverse((deadline, self.event_seq, pid, gen)));
+        self.event_seq += 1;
+    }
+
+    /// Mirrors the scalar kernel's `try_fast_advance`: jump simulated
+    /// time to `wake` when nothing can observe the skipped interval.
+    fn try_fast_advance(&mut self, wake: u64) -> Result<bool, Abort> {
+        if !self.ready.is_empty() {
+            return Ok(false);
+        }
+        if wake > self.config.max_time {
+            return Ok(false);
+        }
+        if !self.pending.is_empty() {
+            self.apply_pending()?;
+            self.wake_on()?;
+            self.total_deltas += 1;
+            if !self.ready.is_empty() {
+                return Ok(false);
+            }
+        }
+        let next_write = self.timed_writes.peek().map(|Reverse(w)| w.time);
+        let next_sleep = self.sleepers.peek().map(|&Reverse((t, _, _))| t);
+        let next_timeout = self.next_live_wait_timeout();
+        if next_write.is_some_and(|t| t <= wake)
+            || next_sleep.is_some_and(|t| t <= wake)
+            || next_timeout.is_some_and(|t| t <= wake)
+        {
+            return Ok(false);
+        }
+        self.time = wake;
+        self.time_steps += 1;
+        Ok(true)
+    }
+
+    fn try_fast_advance_write(
+        &mut self,
+        wake: u64,
+        signal: usize,
+        value: LaneVals,
+    ) -> Result<Option<LaneVals>, Abort> {
+        if !self.try_fast_advance(wake)? {
+            return Ok(Some(value));
+        }
+        self.pending.push((signal, value, false));
+        self.apply_pending()?;
+        self.wake_on()?;
+        self.total_deltas += 1;
+        Ok(None)
+    }
+
+    fn store_pc(&mut self, pid: usize, pc: usize) {
+        self.procs[pid].frames.last_mut().expect("frame").pc = pc;
+    }
+
+    fn run_process(&mut self, pid: usize) -> Result<(), Abort> {
+        let mut steps = 0u64;
+        let result = self.run_steps(pid, &mut steps);
+        self.total_instrs += steps;
+        self.procs[pid].instrs_executed += steps;
+        result
+    }
+
+    /// The interpreter loop — a structural port of the scalar kernel's
+    /// `run_steps` with dispatch shared across lanes. Per-lane work is
+    /// confined to expression evaluation and storage writes.
+    fn run_steps(&mut self, pid: usize, steps: &mut u64) -> Result<(), Abort> {
+        let (mut code_ref, mut pc) = {
+            let frame = self.procs[pid].frames.last().expect("frame");
+            (frame.code, frame.pc)
+        };
+        let mut block = self.take_block(code_ref);
+        let mut instant_steps = 0u64;
+        loop {
+            *steps += 1;
+            instant_steps += 1;
+            if instant_steps > self.config.max_steps_per_activation {
+                // Zero-delay loop: shared control, so every lane hits it.
+                return Err(Abort);
+            }
+            let instr = &block.instrs[pc];
+            match instr {
+                Instr::Assign { place, value, cost } => {
+                    match value.const_value() {
+                        Some(c) => {
+                            let mut i = 0;
+                            while i < self.live.len() {
+                                let l = self.live[i];
+                                match self.lane_write_cplace(l, pid, place, c.clone()) {
+                                    Ok(()) => i += 1,
+                                    Err(_) => self.peel_at(i),
+                                }
+                            }
+                        }
+                        None => {
+                            let mut i = 0;
+                            while i < self.live.len() {
+                                let l = self.live[i];
+                                let v = match lane_eval(&mut self.lanes[l], pid, value) {
+                                    Ok(v) => v.clone(),
+                                    Err(_) => {
+                                        self.peel_at(i);
+                                        continue;
+                                    }
+                                };
+                                match self.lane_write_cplace(l, pid, place, v) {
+                                    Ok(()) => i += 1,
+                                    Err(_) => self.peel_at(i),
+                                }
+                            }
+                        }
+                    }
+                    self.ensure_live()?;
+                    pc += 1;
+                    if *cost > 0 {
+                        self.procs[pid].active_cycles += u64::from(*cost);
+                        let wake = self.time + u64::from(*cost);
+                        if self.try_fast_advance(wake)? {
+                            instant_steps = 0;
+                        } else {
+                            self.store_pc(pid, pc);
+                            self.sleep_until(pid, wake);
+                            self.put_block(code_ref, block);
+                            return Ok(());
+                        }
+                    }
+                }
+                Instr::SignalWrite {
+                    signal,
+                    value,
+                    cost,
+                } => {
+                    let v = match value.const_value() {
+                        // Pre-coerced pool constant: one shared value
+                        // drives every lane.
+                        Some(c) => LaneVals::Uniform(c.clone()),
+                        None => {
+                            let ty = &self.rep.signal(*signal).ty;
+                            let mut vals =
+                                vec![Value::Bit(false); self.lanes.len()].into_boxed_slice();
+                            let mut i = 0;
+                            while i < self.live.len() {
+                                let l = self.live[i];
+                                match lane_eval(&mut self.lanes[l], pid, value) {
+                                    Ok(raw) => {
+                                        vals[l] = coerce(raw.clone(), ty);
+                                        i += 1;
+                                    }
+                                    Err(_) => self.peel_at(i),
+                                }
+                            }
+                            self.ensure_live()?;
+                            LaneVals::PerLane(vals)
+                        }
+                    };
+                    pc += 1;
+                    if *cost == 0 {
+                        self.pending.push((signal.index(), v, false));
+                    } else {
+                        self.procs[pid].active_cycles += u64::from(*cost);
+                        let wake = self.time + u64::from(*cost);
+                        match self.try_fast_advance_write(wake, signal.index(), v)? {
+                            None => instant_steps = 0,
+                            Some(v) => {
+                                self.schedule_write(wake, signal.index(), v, false);
+                                self.store_pc(pid, pc);
+                                self.sleep_until(pid, wake);
+                                self.put_block(code_ref, block);
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                Instr::Jump(t) => pc = *t,
+                Instr::JumpIfNot { cond, target } => {
+                    if self.verdict_bool(pid, cond)? {
+                        pc += 1;
+                    } else {
+                        pc = *target;
+                    }
+                }
+                Instr::LoopInit { var, from, to } => {
+                    let mut i = 0;
+                    while i < self.live.len() {
+                        let l = self.live[i];
+                        let bound = match lane_eval(&mut self.lanes[l], pid, to)
+                            .and_then(|v| v.as_i64().map_err(eval_err))
+                        {
+                            Ok(b) => b,
+                            Err(_) => {
+                                self.peel_at(i);
+                                continue;
+                            }
+                        };
+                        let start = match lane_eval(&mut self.lanes[l], pid, from) {
+                            Ok(v) => v.clone(),
+                            Err(_) => {
+                                self.peel_at(i);
+                                continue;
+                            }
+                        };
+                        if self.lane_write_cplace(l, pid, var, start).is_err() {
+                            self.peel_at(i);
+                            continue;
+                        }
+                        self.lanes[l].frames[pid]
+                            .last_mut()
+                            .expect("frame")
+                            .loop_bounds
+                            .push(bound);
+                        i += 1;
+                    }
+                    self.ensure_live()?;
+                    pc += 1;
+                }
+                Instr::LoopTest { var, exit } => {
+                    let done = self.loop_verdict(pid, var, false)?;
+                    if done {
+                        for &l in &self.live {
+                            self.lanes[l].frames[pid]
+                                .last_mut()
+                                .expect("frame")
+                                .loop_bounds
+                                .pop();
+                        }
+                        pc = *exit;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Instr::LoopIncr { var, body, exit } => {
+                    let done = self.loop_verdict(pid, var, true)?;
+                    if done {
+                        for &l in &self.live {
+                            self.lanes[l].frames[pid]
+                                .last_mut()
+                                .expect("frame")
+                                .loop_bounds
+                                .pop();
+                        }
+                        pc = *exit;
+                    } else {
+                        pc = *body;
+                    }
+                }
+                Instr::Wait(cond) => {
+                    pc += 1;
+                    match cond {
+                        WaitSpec::ForCycles(n) => {
+                            if *n > 0 {
+                                let wake = self.time + n;
+                                if self.try_fast_advance(wake)? {
+                                    instant_steps = 0;
+                                } else {
+                                    self.store_pc(pid, pc);
+                                    self.sleep_until(pid, wake);
+                                    self.put_block(code_ref, block);
+                                    return Ok(());
+                                }
+                            }
+                        }
+                        WaitSpec::OnSignals(signals) => {
+                            self.store_pc(pid, pc);
+                            self.register_wait(pid, WaitKind::Signals, signals);
+                            self.put_block(code_ref, block);
+                            return Ok(());
+                        }
+                        WaitSpec::Until(cond) => {
+                            let sat = self.verdict_bool(pid, &cond.code)?;
+                            if !sat {
+                                self.store_pc(pid, pc);
+                                self.register_wait(
+                                    pid,
+                                    WaitKind::Until(Arc::clone(cond)),
+                                    &cond.sensitivity,
+                                );
+                                self.put_block(code_ref, block);
+                                return Ok(());
+                            }
+                        }
+                        WaitSpec::UntilSignalIs { signal, value } => {
+                            if !self.signal_is_verdict(signal.index(), value)? {
+                                self.store_pc(pid, pc);
+                                self.register_wait_one(
+                                    pid,
+                                    WaitKind::SignalIs(signal.index(), value.clone()),
+                                    signal.index(),
+                                );
+                                self.put_block(code_ref, block);
+                                return Ok(());
+                            }
+                        }
+                        WaitSpec::UntilTimeout { cond, cycles } => {
+                            let sat = self.verdict_bool(pid, &cond.code)?;
+                            if !sat {
+                                let deadline = self.time + cycles;
+                                self.store_pc(pid, pc);
+                                self.register_wait(
+                                    pid,
+                                    WaitKind::Until(Arc::clone(cond)),
+                                    &cond.sensitivity,
+                                );
+                                self.arm_watchdog(pid, deadline);
+                                self.put_block(code_ref, block);
+                                return Ok(());
+                            }
+                        }
+                        WaitSpec::UntilSignalIsTimeout {
+                            signal,
+                            value,
+                            cycles,
+                        } => {
+                            if !self.signal_is_verdict(signal.index(), value)? {
+                                let deadline = self.time + cycles;
+                                self.store_pc(pid, pc);
+                                self.register_wait_one(
+                                    pid,
+                                    WaitKind::SignalIs(signal.index(), value.clone()),
+                                    signal.index(),
+                                );
+                                self.arm_watchdog(pid, deadline);
+                                self.put_block(code_ref, block);
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                Instr::Call { procedure, args } => {
+                    let procedure = *procedure;
+                    self.store_pc(pid, pc + 1);
+                    self.enter_procedure(pid, procedure, args)?;
+                    self.put_block(code_ref, block);
+                    code_ref = CodeRef::Procedure(procedure);
+                    block = self.take_block(code_ref);
+                    pc = 0;
+                }
+                Instr::Ret => {
+                    if self.leave_frame(pid)? {
+                        self.put_block(code_ref, block);
+                        return Ok(());
+                    }
+                    let (new_code, new_pc) = {
+                        let frame = self.procs[pid].frames.last().expect("frame");
+                        (frame.code, frame.pc)
+                    };
+                    if new_code != code_ref {
+                        self.put_block(code_ref, block);
+                        block = self.take_block(new_code);
+                        code_ref = new_code;
+                    }
+                    pc = new_pc;
+                }
+                Instr::ChannelSend {
+                    channel,
+                    addr,
+                    data,
+                    cost,
+                } => {
+                    let mut i = 0;
+                    while i < self.live.len() {
+                        let l = self.live[i];
+                        let data_v = match lane_eval(&mut self.lanes[l], pid, data) {
+                            Ok(v) => v.clone(),
+                            Err(_) => {
+                                self.peel_at(i);
+                                continue;
+                            }
+                        };
+                        let addr_v = match addr {
+                            Some(a) => match lane_eval(&mut self.lanes[l], pid, a)
+                                .and_then(|v| v.as_i64().map_err(eval_err))
+                            {
+                                Ok(v) => Some(v),
+                                Err(_) => {
+                                    self.peel_at(i);
+                                    continue;
+                                }
+                            },
+                            None => None,
+                        };
+                        match self.lane_channel_write(l, *channel, addr_v, data_v) {
+                            Ok(()) => i += 1,
+                            Err(_) => self.peel_at(i),
+                        }
+                    }
+                    self.ensure_live()?;
+                    pc += 1;
+                    if *cost > 0 {
+                        self.procs[pid].active_cycles += u64::from(*cost);
+                        let wake = self.time + u64::from(*cost);
+                        if self.try_fast_advance(wake)? {
+                            instant_steps = 0;
+                        } else {
+                            self.store_pc(pid, pc);
+                            self.sleep_until(pid, wake);
+                            self.put_block(code_ref, block);
+                            return Ok(());
+                        }
+                    }
+                }
+                Instr::ChannelReceive {
+                    channel,
+                    addr,
+                    target,
+                    cost,
+                } => {
+                    let mut i = 0;
+                    while i < self.live.len() {
+                        let l = self.live[i];
+                        let addr_v = match addr {
+                            Some(a) => match lane_eval(&mut self.lanes[l], pid, a)
+                                .and_then(|v| v.as_i64().map_err(eval_err))
+                            {
+                                Ok(v) => Some(v),
+                                Err(_) => {
+                                    self.peel_at(i);
+                                    continue;
+                                }
+                            },
+                            None => None,
+                        };
+                        let v = match self.lane_channel_read(l, *channel, addr_v) {
+                            Ok(v) => v,
+                            Err(_) => {
+                                self.peel_at(i);
+                                continue;
+                            }
+                        };
+                        match self.lane_write_cplace(l, pid, target, v) {
+                            Ok(()) => i += 1,
+                            Err(_) => self.peel_at(i),
+                        }
+                    }
+                    self.ensure_live()?;
+                    pc += 1;
+                    if *cost > 0 {
+                        self.procs[pid].active_cycles += u64::from(*cost);
+                        let wake = self.time + u64::from(*cost);
+                        if self.try_fast_advance(wake)? {
+                            instant_steps = 0;
+                        } else {
+                            self.store_pc(pid, pc);
+                            self.sleep_until(pid, wake);
+                            self.put_block(code_ref, block);
+                            return Ok(());
+                        }
+                    }
+                }
+                Instr::Assert { cond, note: _ } => {
+                    // Lanes whose assertion fails peel and reproduce
+                    // the failure on the scalar engine; lanes where it
+                    // holds continue in lockstep.
+                    let mut verdicts = std::mem::take(&mut self.verdicts);
+                    verdicts.clear();
+                    for &l in &self.live {
+                        let v = match lane_eval(&mut self.lanes[l], pid, cond) {
+                            Ok(v) => v.as_bool().ok(),
+                            Err(_) => None,
+                        };
+                        verdicts.push(v);
+                    }
+                    let any_fail = verdicts.iter().any(|v| *v != Some(true));
+                    if any_fail {
+                        let old = std::mem::take(&mut self.live);
+                        for (pos, l) in old.into_iter().enumerate() {
+                            if verdicts[pos] == Some(true) {
+                                self.live.push(l);
+                            } else {
+                                self.peeled.push(l);
+                            }
+                        }
+                    }
+                    self.verdicts = verdicts;
+                    self.ensure_live()?;
+                    self.assertions_checked += 1;
+                    pc += 1;
+                }
+                Instr::Consume { cycles } => {
+                    pc += 1;
+                    if *cycles > 0 {
+                        self.procs[pid].active_cycles += *cycles;
+                        let wake = self.time + *cycles;
+                        if self.try_fast_advance(wake)? {
+                            instant_steps = 0;
+                        } else {
+                            self.store_pc(pid, pc);
+                            self.sleep_until(pid, wake);
+                            self.put_block(code_ref, block);
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The shared loop-exit decision for `LoopTest` / `LoopIncr`
+    /// (`incr` additionally bumps the counter first, mirroring the
+    /// scalar fused back-edge).
+    fn loop_verdict(&mut self, pid: usize, var: &CPlace, incr: bool) -> Result<bool, Abort> {
+        let mut verdicts = std::mem::take(&mut self.verdicts);
+        verdicts.clear();
+        for pos in 0..self.live.len() {
+            let l = self.live[pos];
+            verdicts.push(self.lane_loop_step(l, pid, var, incr));
+        }
+        let out = self.decide(&verdicts);
+        self.verdicts = verdicts;
+        out
+    }
+
+    /// One lane's loop-counter step: read (and with `incr`, increment)
+    /// the counter, compare against the lane's innermost bound.
+    fn lane_loop_step(&mut self, l: usize, pid: usize, var: &CPlace, incr: bool) -> Option<bool> {
+        let fast = match var {
+            CPlace::Var(v) => match self.lanes[l].vars.get_mut(*v as usize) {
+                Some(Value::Int { value, width }) if !incr || *width > 0 => {
+                    if incr {
+                        *value += 1;
+                    }
+                    Some(*value)
+                }
+                _ => None,
+            },
+            CPlace::Local(slot) => {
+                let frame = self.lanes[l].frames[pid].last_mut().expect("frame");
+                match frame.locals.get_mut(*slot as usize) {
+                    Some(Value::Int { value, width }) if !incr || *width > 0 => {
+                        if incr {
+                            *value += 1;
+                        }
+                        Some(*value)
+                    }
+                    _ => None,
+                }
+            }
+            CPlace::Path(_) => None,
+        };
+        let v = match fast {
+            Some(v) => v,
+            None => {
+                let cur = self.lane_read_cplace(l, pid, var).ok()?;
+                let v = cur.as_i64().ok()?;
+                if incr {
+                    let width = match &cur {
+                        Value::Int { width, .. } => *width,
+                        other => other.ty().bit_width(),
+                    };
+                    self.lane_write_cplace(l, pid, var, Value::int(v + 1, width.max(1)))
+                        .ok()?;
+                    v + 1
+                } else {
+                    v
+                }
+            }
+        };
+        let bound = *self.lanes[l].frames[pid]
+            .last()
+            .expect("frame")
+            .loop_bounds
+            .last()?;
+        Some(v > bound)
+    }
+
+    /// The shared verdict for `wait until sig = const`.
+    fn signal_is_verdict(&mut self, sig: usize, value: &Value) -> Result<bool, Abort> {
+        let mut verdicts = std::mem::take(&mut self.verdicts);
+        verdicts.clear();
+        for &l in &self.live {
+            verdicts.push(Some(self.lanes[l].signals[sig] == *value));
+        }
+        let out = self.decide(&verdicts);
+        self.verdicts = verdicts;
+        out
+    }
+
+    fn take_block(&mut self, code: CodeRef) -> Arc<Code> {
+        let slot = match code {
+            CodeRef::Behavior(i) => &mut self.behavior_code[i],
+            CodeRef::Procedure(i) => &mut self.procedure_code[i],
+        };
+        slot.take().expect("code block already taken")
+    }
+
+    fn put_block(&mut self, code: CodeRef, block: Arc<Code>) {
+        let slot = match code {
+            CodeRef::Behavior(i) => &mut self.behavior_code[i],
+            CodeRef::Procedure(i) => &mut self.procedure_code[i],
+        };
+        *slot = Some(block);
+    }
+
+    fn enter_procedure(
+        &mut self,
+        pid: usize,
+        procedure: usize,
+        args: &[CArg],
+    ) -> Result<(), Abort> {
+        let caller_frame_abs = self.procs[pid].frames.len() - 1;
+        let mut built: Vec<(usize, LaneFrame)> = Vec::with_capacity(self.live.len());
+        let mut i = 0;
+        while i < self.live.len() {
+            let l = self.live[i];
+            match self.build_lane_frame(l, pid, procedure, args, caller_frame_abs) {
+                Ok(f) => {
+                    built.push((l, f));
+                    i += 1;
+                }
+                Err(_) => self.peel_at(i),
+            }
+        }
+        self.ensure_live()?;
+        self.procs[pid].frames.push(CtlFrame {
+            code: CodeRef::Procedure(procedure),
+            pc: 0,
+        });
+        for (l, f) in built {
+            self.lanes[l].frames[pid].push(f);
+        }
+        Ok(())
+    }
+
+    /// One lane's callee frame: `in` arguments evaluate in the caller
+    /// frame, `out`/`inout` destinations resolve their indices at call
+    /// time — exactly the scalar `enter_procedure`.
+    fn build_lane_frame(
+        &mut self,
+        l: usize,
+        pid: usize,
+        procedure: usize,
+        args: &[CArg],
+        caller_frame_abs: usize,
+    ) -> Result<LaneFrame, SimError> {
+        let proc = &self.rep.procedures[procedure];
+        let mut locals = Vec::with_capacity(proc.slot_count());
+        let mut copyback = Vec::new();
+        for (i, (arg, param)) in args.iter().zip(&proc.params).enumerate() {
+            match (arg, param.mode) {
+                (CArg::In(e), ifsyn_spec::ParamMode::In) => {
+                    let v = lane_eval(&mut self.lanes[l], pid, e)?.clone();
+                    locals.push(coerce(v, &param.ty));
+                }
+                (CArg::Out(place), ifsyn_spec::ParamMode::Out) => {
+                    locals.push(Value::default_of(&param.ty));
+                    let (rp, ty) = self.lane_resolve_cplace(l, pid, place, caller_frame_abs)?;
+                    copyback.push((i, rp, ty));
+                }
+                (CArg::InOut(place), ifsyn_spec::ParamMode::InOut) => {
+                    let v = self.lane_read_cplace(l, pid, place)?;
+                    locals.push(coerce(v, &param.ty));
+                    let (rp, ty) = self.lane_resolve_cplace(l, pid, place, caller_frame_abs)?;
+                    copyback.push((i, rp, ty));
+                }
+                _ => {
+                    return Err(SimError::eval(format!(
+                        "argument mode mismatch calling `{}`",
+                        proc.name
+                    )))
+                }
+            }
+        }
+        for local in &proc.locals {
+            locals.push(Value::default_of(&local.ty));
+        }
+        Ok(LaneFrame {
+            locals,
+            loop_bounds: Vec::new(),
+            copyback,
+        })
+    }
+
+    /// Pops the current frame in control and every live lane, applying
+    /// per-lane copy-backs. Returns `true` when the process finished.
+    fn leave_frame(&mut self, pid: usize) -> Result<bool, Abort> {
+        let mut i = 0;
+        while i < self.live.len() {
+            let l = self.live[i];
+            let lframe = self.lanes[l].frames[pid].pop().expect("frame");
+            let mut failed = false;
+            for (slot, rp, ty) in &lframe.copyback {
+                let v = coerce(lframe.locals[*slot].clone(), ty);
+                if self.lane_write_resolved(l, pid, rp, v).is_err() {
+                    failed = true;
+                    break;
+                }
+            }
+            if failed {
+                self.peel_at(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.ensure_live()?;
+        self.procs[pid].frames.pop().expect("frame");
+        if self.procs[pid].frames.is_empty() {
+            let bidx = self.procs[pid].behavior;
+            if self.rep.behaviors[bidx].repeats {
+                self.procs[pid].iterations += 1;
+                self.procs[pid].frames.push(CtlFrame {
+                    code: CodeRef::Behavior(bidx),
+                    pc: 0,
+                });
+                for &l in &self.live {
+                    self.lanes[l].frames[pid].push(LaneFrame::default());
+                }
+                Ok(false)
+            } else {
+                self.procs[pid].status = Status::Finished;
+                self.procs[pid].finish_time = Some(self.time);
+                Ok(true)
+            }
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn local_ty(&self, pid: usize, frame_abs: usize, slot: usize) -> Result<Ty, SimError> {
+        match self.procs[pid].frames[frame_abs].code {
+            CodeRef::Procedure(p) => {
+                let proc = &self.rep.procedures[p];
+                if slot < proc.slot_count() {
+                    Ok(proc.slot_ty(slot).clone())
+                } else {
+                    Err(SimError::eval(format!("missing local slot {slot}")))
+                }
+            }
+            CodeRef::Behavior(_) => Err(SimError::eval(
+                "local slot referenced outside a procedure".to_string(),
+            )),
+        }
+    }
+
+    fn lane_resolve_cpath(
+        &mut self,
+        l: usize,
+        pid: usize,
+        path: &CPath,
+        frame_abs: usize,
+    ) -> Result<ResolvedPlace, SimError> {
+        let root = match path.root {
+            CRoot::Var(i) => Root::Var(i as usize),
+            CRoot::Local(s) => Root::Local {
+                frame: frame_abs,
+                slot: s as usize,
+            },
+        };
+        let mut steps = Vec::with_capacity(path.steps.len());
+        for st in path.steps.iter() {
+            match st {
+                CPathStep::Elem(code) => {
+                    let i = lane_eval(&mut self.lanes[l], pid, code)?
+                        .as_i64()
+                        .map_err(eval_err)?;
+                    let i = usize::try_from(i)
+                        .map_err(|_| SimError::eval(format!("negative array index {i}")))?;
+                    steps.push(Step::Elem(i));
+                }
+                CPathStep::Slice(hi, lo) => steps.push(Step::Slice(*hi, *lo)),
+                CPathStep::DynSlice(code, width) => {
+                    let lo = lane_eval(&mut self.lanes[l], pid, code)?
+                        .as_i64()
+                        .map_err(eval_err)?;
+                    let lo = u32::try_from(lo)
+                        .map_err(|_| SimError::eval(format!("negative slice offset {lo}")))?;
+                    steps.push(Step::Slice(lo + width - 1, lo));
+                }
+            }
+        }
+        Ok(ResolvedPlace { root, steps })
+    }
+
+    fn lane_resolve_cplace(
+        &mut self,
+        l: usize,
+        pid: usize,
+        place: &CPlace,
+        frame_abs: usize,
+    ) -> Result<(ResolvedPlace, Ty), SimError> {
+        match place {
+            CPlace::Var(i) => {
+                let decl = self
+                    .rep
+                    .variables
+                    .get(*i as usize)
+                    .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?;
+                Ok((
+                    ResolvedPlace {
+                        root: Root::Var(*i as usize),
+                        steps: Vec::new(),
+                    },
+                    decl.ty.clone(),
+                ))
+            }
+            CPlace::Local(slot) => {
+                let slot = *slot as usize;
+                let ty = self.local_ty(pid, frame_abs, slot)?;
+                Ok((
+                    ResolvedPlace {
+                        root: Root::Local {
+                            frame: frame_abs,
+                            slot,
+                        },
+                        steps: Vec::new(),
+                    },
+                    ty,
+                ))
+            }
+            CPlace::Path(path) => {
+                let ty = path
+                    .ty
+                    .clone()
+                    .ok_or_else(|| untyped_place_error(&path.root))?;
+                let rp = self.lane_resolve_cpath(l, pid, path, frame_abs)?;
+                Ok((rp, ty))
+            }
+        }
+    }
+
+    fn lane_read_cplace(
+        &mut self,
+        l: usize,
+        pid: usize,
+        place: &CPlace,
+    ) -> Result<Value, SimError> {
+        match place {
+            CPlace::Var(i) => self.lanes[l]
+                .vars
+                .get(*i as usize)
+                .cloned()
+                .ok_or_else(|| SimError::eval(format!("missing variable v{i}"))),
+            CPlace::Local(slot) => {
+                let frame = self.lanes[l].frames[pid]
+                    .last()
+                    .ok_or_else(|| SimError::eval("process has no frame".to_string()))?;
+                frame
+                    .locals
+                    .get(*slot as usize)
+                    .cloned()
+                    .ok_or_else(|| SimError::eval(format!("missing local slot {slot}")))
+            }
+            CPlace::Path(path) => {
+                let frame_abs = self.procs[pid].frames.len() - 1;
+                let rp = self.lane_resolve_cpath(l, pid, path, frame_abs)?;
+                self.lane_read_resolved(l, pid, &rp)
+            }
+        }
+    }
+
+    fn lane_read_resolved(
+        &self,
+        l: usize,
+        pid: usize,
+        rp: &ResolvedPlace,
+    ) -> Result<Value, SimError> {
+        let mut cur: &Value = match rp.root {
+            Root::Var(i) => self.lanes[l]
+                .vars
+                .get(i)
+                .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?,
+            Root::Local { frame, slot } => self.lanes[l].frames[pid]
+                .get(frame)
+                .and_then(|f| f.locals.get(slot))
+                .ok_or_else(|| SimError::eval(format!("missing local slot {slot}")))?,
+        };
+        for (i, step) in rp.steps.iter().enumerate() {
+            match step {
+                Step::Elem(idx) => match cur {
+                    Value::Array(items) => {
+                        cur = items.get(*idx).ok_or_else(|| {
+                            SimError::eval(format!("array index {idx} out of range"))
+                        })?;
+                    }
+                    other => {
+                        return Err(SimError::eval(format!("indexing non-array value {other}")))
+                    }
+                },
+                Step::Slice(hi, lo) => {
+                    if i + 1 != rp.steps.len() {
+                        return Err(SimError::eval(
+                            "slice must be the last projection of a write target".to_string(),
+                        ));
+                    }
+                    let bits = cur.to_bits();
+                    if *hi >= bits.width() {
+                        return Err(SimError::eval(format!(
+                            "slice {hi} downto {lo} out of range for width {}",
+                            bits.width()
+                        )));
+                    }
+                    return Ok(Value::Bits(bits.slice(*hi, *lo)));
+                }
+            }
+        }
+        Ok(cur.clone())
+    }
+
+    fn lane_write_resolved(
+        &mut self,
+        l: usize,
+        pid: usize,
+        rp: &ResolvedPlace,
+        value: Value,
+    ) -> Result<(), SimError> {
+        let root: &mut Value = match rp.root {
+            Root::Var(i) => self.lanes[l]
+                .vars
+                .get_mut(i)
+                .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?,
+            Root::Local { frame, slot } => self.lanes[l].frames[pid]
+                .get_mut(frame)
+                .and_then(|f| f.locals.get_mut(slot))
+                .ok_or_else(|| SimError::eval(format!("missing local slot {slot}")))?,
+        };
+        write_steps(root, &rp.steps, value)
+    }
+
+    fn lane_write_cplace(
+        &mut self,
+        l: usize,
+        pid: usize,
+        place: &CPlace,
+        value: Value,
+    ) -> Result<(), SimError> {
+        match place {
+            CPlace::Var(i) => {
+                let decl = self
+                    .rep
+                    .variables
+                    .get(*i as usize)
+                    .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?;
+                self.lanes[l].vars[*i as usize] = coerce(value, &decl.ty);
+                Ok(())
+            }
+            CPlace::Local(slot) => {
+                let slot = *slot as usize;
+                let frame_abs = self.procs[pid].frames.len() - 1;
+                let ty = self.local_ty(pid, frame_abs, slot)?;
+                let v = coerce(value, &ty);
+                self.lanes[l].frames[pid][frame_abs].locals[slot] = v;
+                Ok(())
+            }
+            CPlace::Path(path) => {
+                let ty = path
+                    .ty
+                    .clone()
+                    .ok_or_else(|| untyped_place_error(&path.root))?;
+                let frame_abs = self.procs[pid].frames.len() - 1;
+                let rp = self.lane_resolve_cpath(l, pid, path, frame_abs)?;
+                self.lane_write_resolved(l, pid, &rp, coerce(value, &ty))
+            }
+        }
+    }
+
+    fn lane_channel_write(
+        &mut self,
+        l: usize,
+        channel: ifsyn_spec::ChannelId,
+        addr: Option<i64>,
+        data: Value,
+    ) -> Result<(), SimError> {
+        let ch = self.rep.channel(channel);
+        let var_idx = ch.variable.index();
+        let ty = &self.rep.variables[var_idx].ty;
+        match addr {
+            Some(i) => {
+                let i = usize::try_from(i)
+                    .map_err(|_| SimError::eval(format!("negative channel address {i}")))?;
+                let elem_ty = match ty {
+                    Ty::Array { elem, .. } => &**elem,
+                    other => other,
+                };
+                match &mut self.lanes[l].vars[var_idx] {
+                    Value::Array(items) => {
+                        let slot = items.get_mut(i).ok_or_else(|| {
+                            SimError::eval(format!("channel address {i} out of range"))
+                        })?;
+                        *slot = coerce(data, elem_ty);
+                    }
+                    _ => {
+                        return Err(SimError::eval(
+                            "addressed channel write to non-array variable".to_string(),
+                        ))
+                    }
+                }
+            }
+            None => self.lanes[l].vars[var_idx] = coerce(data, ty),
+        }
+        Ok(())
+    }
+
+    fn lane_channel_read(
+        &self,
+        l: usize,
+        channel: ifsyn_spec::ChannelId,
+        addr: Option<i64>,
+    ) -> Result<Value, SimError> {
+        let ch = self.rep.channel(channel);
+        let var_idx = ch.variable.index();
+        match addr {
+            Some(i) => {
+                let i = usize::try_from(i)
+                    .map_err(|_| SimError::eval(format!("negative channel address {i}")))?;
+                match &self.lanes[l].vars[var_idx] {
+                    Value::Array(items) => items
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| SimError::eval(format!("channel address {i} out of range"))),
+                    _ => Err(SimError::eval(
+                        "addressed channel read from non-array variable".to_string(),
+                    )),
+                }
+            }
+            None => Ok(self.lanes[l].vars[var_idx].clone()),
+        }
+    }
+
+    /// One lane's [`SimReport`]: shared control counters, the lane's
+    /// own storage and its own system's names.
+    fn lane_report(&self, l: usize) -> SimReport {
+        let sys = self.lane_systems[l];
+        let lane = &self.lanes[l];
+        let behaviors = self
+            .procs
+            .iter()
+            .map(|p| BehaviorOutcome {
+                name: sys.behaviors[p.behavior].name.clone(),
+                finish_time: p.finish_time,
+                iterations: p.iterations,
+                blocked: matches!(p.status, Status::Waiting(_)),
+                repeats: sys.behaviors[p.behavior].repeats,
+                active_cycles: p.active_cycles,
+                instrs_executed: p.instrs_executed,
+            })
+            .collect();
+        let variables = sys
+            .variables
+            .iter()
+            .zip(&lane.vars)
+            .map(|(d, v)| (d.name.clone(), v.clone()))
+            .collect();
+        let signals = sys
+            .signals
+            .iter()
+            .zip(&lane.signals)
+            .map(|(d, v)| (d.name.clone(), v.clone()))
+            .collect();
+        let signal_events = sys
+            .signals
+            .iter()
+            .zip(&self.signal_events)
+            .map(|(d, &n)| (d.name.clone(), n))
+            .collect();
+        let blocked_at_exit = self
+            .procs
+            .iter()
+            .filter(|p| !sys.behaviors[p.behavior].repeats && !matches!(p.status, Status::Finished))
+            .count();
+        SimReport {
+            time: self.time,
+            behaviors,
+            variables,
+            signals,
+            signal_events,
+            injected_faults: Vec::new(),
+            blocked_at_exit,
+            trace: Vec::new(),
+            total_deltas: self.total_deltas,
+            total_instrs: self.total_instrs,
+            assertions_checked: self.assertions_checked,
+            heap_peak: self.heap_peak,
+            time_steps: self.time_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::{dsl::*, Stmt, Ty};
+
+    /// A two-process handshake system; `payload` seeds the producer's
+    /// driven data so lanes can differ in data without diverging. When
+    /// `branchy`, the producer ends with a payload-dependent branch, so
+    /// specific payloads force control divergence.
+    fn handshake(payload: i64, branchy: bool) -> System {
+        let mut sys = System::new("handshake");
+        let m = sys.add_module("chip");
+        let req = sys.add_signal("REQ", Ty::Bit);
+        let ack = sys.add_signal("ACK", Ty::Bit);
+        let data = sys.add_signal("DATA", Ty::Int(8));
+        let a = sys.add_behavior("producer", m);
+        let v = sys.add_variable_init("word", Ty::Int(8), a, Value::int(payload, 8));
+        let mut body = vec![
+            drive_cost(data, load(var(v)), 1),
+            drive_cost(req, bit_const(true), 1),
+            wait_until(eq(signal(ack), bit_const(true))),
+            drive_cost(req, bit_const(false), 1),
+        ];
+        if branchy {
+            body.push(if_else(
+                eq(load(var(v)), int_const(7, 8)),
+                vec![assign(var(v), int_const(99, 8)), Stmt::compute(5, "slow")],
+                vec![assign(var(v), int_const(1, 8))],
+            ));
+        }
+        sys.behavior_mut(a).body = body;
+        let b = sys.add_behavior("consumer", m);
+        let seen = sys.add_variable("seen", Ty::Int(8), b);
+        sys.behavior_mut(b).body = vec![
+            wait_until(eq(signal(req), bit_const(true))),
+            assign(var(seen), signal(data)),
+            drive_cost(ack, bit_const(true), 1),
+        ];
+        sys
+    }
+
+    fn scalar(sys: &System) -> SimReport {
+        Simulator::new(sys).unwrap().run_to_quiescence().unwrap()
+    }
+
+    #[test]
+    fn identical_lanes_match_scalar() {
+        let systems: Vec<System> = (0..4).map(|_| handshake(0x25, false)).collect();
+        let (results, stats) = LockstepSim::run_with_stats(&systems, &SimConfig::new(), None);
+        assert_eq!(stats.convoys, 1);
+        assert_eq!(stats.lockstep_lanes, 4);
+        assert_eq!(stats.peeled_lanes, 0);
+        let expect = scalar(&systems[0]);
+        for r in results {
+            assert_eq!(r.unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn data_variant_lanes_match_their_own_scalar_runs() {
+        let systems: Vec<System> = [1i64, 90, 127, 0, 60]
+            .iter()
+            .map(|&p| handshake(p, false))
+            .collect();
+        let (results, stats) = LockstepSim::run_with_stats(&systems, &SimConfig::new(), None);
+        assert_eq!(stats.convoys, 1);
+        for (sys, r) in systems.iter().zip(results) {
+            assert_eq!(r.unwrap(), scalar(sys));
+        }
+    }
+
+    #[test]
+    fn diverging_lane_peels_and_still_matches_scalar() {
+        // Lane 2's payload flips the producer's trailing branch, which
+        // takes a slower path — it must peel and re-run scalar.
+        let systems: Vec<System> = [1i64, 1, 7].iter().map(|&p| handshake(p, true)).collect();
+        let (results, stats) = LockstepSim::run_with_stats(&systems, &SimConfig::new(), None);
+        assert_eq!(stats.convoys, 1);
+        assert_eq!(stats.peeled_lanes, 1);
+        for (sys, r) in systems.iter().zip(results) {
+            assert_eq!(r.unwrap(), scalar(sys));
+        }
+    }
+
+    #[test]
+    fn different_programs_form_no_convoy() {
+        let systems = vec![handshake(1, false), handshake(1, true)];
+        let (results, stats) = LockstepSim::run_with_stats(&systems, &SimConfig::new(), None);
+        assert_eq!(stats.convoys, 0);
+        assert_eq!(stats.scalar_lanes, 2);
+        for (sys, r) in systems.iter().zip(results) {
+            assert_eq!(r.unwrap(), scalar(sys));
+        }
+    }
+
+    #[test]
+    fn traced_configs_run_scalar() {
+        let systems: Vec<System> = (0..3).map(|_| handshake(9, false)).collect();
+        let config = SimConfig::new().with_trace();
+        let (results, stats) = LockstepSim::run_with_stats(&systems, &config, None);
+        assert_eq!(stats.convoys, 0);
+        assert_eq!(stats.scalar_lanes, 3);
+        assert!(results.into_iter().all(|r| r.is_ok()));
+    }
+}

@@ -27,10 +27,12 @@
 //!   an increment, a jump and a separate guard dispatch.
 //!
 //! Compiled blocks are plain data behind `Arc`s, so a [`CodeCache`] can
-//! share them between simulator instances: batch sweeps that re-simulate
-//! the same refined system compile each block once, keyed by a content
-//! hash of the block body and everything lowering reads from its
-//! environment (declared types and the cost model).
+//! share them between simulator instances: batch sweeps compile each
+//! block once, keyed by a content hash of the block body and everything
+//! lowering reads from its environment — the declared types of the
+//! signals and variables *that block references* plus the cost model, so
+//! even systems refined to different bus widths share their
+//! width-independent blocks.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -245,11 +247,13 @@ pub struct Program {
 /// A content-hash cache of compiled [`Code`] blocks, shared between
 /// simulator instances.
 ///
-/// The key covers everything lowering reads: the block body, the declared
-/// signal/variable/procedure types, and the cost model — so a hit is
-/// guaranteed to be the block this system would have compiled. Batch
-/// sweeps that re-simulate identical refined systems compile each block
-/// once.
+/// The key covers everything lowering reads for the block: its body, the
+/// declared types of the signals and variables the body references, the
+/// scope procedure's signature, and the cost model — so a hit is
+/// guaranteed to be the block this system would have compiled, while
+/// declarations the block never names stay out of the key. A width sweep
+/// therefore compiles each width-independent block (application
+/// behaviors, control-only server loops) once for the whole sweep.
 #[derive(Debug, Default)]
 pub struct CodeCache {
     blocks: Mutex<HashMap<u64, Arc<Code>>>,
@@ -283,29 +287,164 @@ impl CodeCache {
     }
 }
 
-/// Hashes everything lowering reads from the environment besides the
-/// block body: declared types and the cost model.
-fn env_hash(system: &System, costs: &CostModel) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    for s in &system.signals {
-        s.ty.hash(&mut h);
-    }
-    for v in &system.variables {
-        v.ty.hash(&mut h);
-    }
-    for p in &system.procedures {
-        for param in &p.params {
-            let mode = match param.mode {
-                ParamMode::In => 0u8,
-                ParamMode::Out => 1,
-                ParamMode::InOut => 2,
-            };
-            mode.hash(&mut h);
-            param.ty.hash(&mut h);
+/// The signals and variables a block body actually references —
+/// everything whose declared type lowering can read for that block.
+#[derive(Default)]
+struct EnvRefs {
+    signals: std::collections::BTreeSet<usize>,
+    vars: std::collections::BTreeSet<usize>,
+}
+
+impl EnvRefs {
+    fn block(&mut self, body: &[Stmt]) {
+        for stmt in body {
+            match stmt {
+                Stmt::Assign { place, value, .. } => {
+                    self.place(place);
+                    self.expr(value);
+                }
+                Stmt::SignalAssign { signal, value, .. } => {
+                    self.signals.insert(signal.index());
+                    self.expr(value);
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.expr(cond);
+                    self.block(then_body);
+                    self.block(else_body);
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    self.place(var);
+                    self.expr(from);
+                    self.expr(to);
+                    self.block(body);
+                }
+                Stmt::While { cond, body } => {
+                    self.expr(cond);
+                    self.block(body);
+                }
+                Stmt::Wait(cond) => match cond {
+                    WaitCond::ForCycles(_) => {}
+                    WaitCond::OnSignals(signals) => {
+                        self.signals.extend(signals.iter().map(|s| s.index()));
+                    }
+                    WaitCond::Until(e) => self.expr(e),
+                    WaitCond::UntilTimeout { cond, .. } => self.expr(cond),
+                },
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        match a {
+                            Arg::In(e) => self.expr(e),
+                            Arg::Out(p) | Arg::InOut(p) => self.place(p),
+                        }
+                    }
+                }
+                Stmt::ChannelSend { addr, data, .. } => {
+                    if let Some(a) = addr {
+                        self.expr(a);
+                    }
+                    self.expr(data);
+                }
+                Stmt::ChannelReceive { addr, target, .. } => {
+                    if let Some(a) = addr {
+                        self.expr(a);
+                    }
+                    self.place(target);
+                }
+                Stmt::Compute { .. } | Stmt::Return => {}
+                Stmt::Assert { cond, .. } => self.expr(cond),
+            }
         }
-        0xffu8.hash(&mut h);
-        for l in &p.locals {
-            l.ty.hash(&mut h);
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(_) => {}
+            Expr::Signal(s) => {
+                self.signals.insert(s.index());
+            }
+            Expr::Load(place) => self.place(place),
+            Expr::Unary { arg, .. } => self.expr(arg),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::SliceOf { base, .. } | Expr::Resize { base, .. } => self.expr(base),
+            Expr::DynSliceOf { base, offset, .. } => {
+                self.expr(base);
+                self.expr(offset);
+            }
+        }
+    }
+
+    fn place(&mut self, p: &Place) {
+        match p {
+            Place::Var(v) => {
+                self.vars.insert(v.index());
+            }
+            // Local slot types come from the scope procedure's signature,
+            // hashed wholesale in `block_env_hash`.
+            Place::Local(_) => {}
+            Place::Index { base, index } => {
+                self.place(base);
+                self.expr(index);
+            }
+            Place::Slice { base, .. } => self.place(base),
+            Place::DynSlice { base, offset, .. } => {
+                self.place(base);
+                self.expr(offset);
+            }
+        }
+    }
+}
+
+/// Hashes everything lowering reads from the environment for one block
+/// besides its body: the declared types of the signals and variables the
+/// body references, the scope procedure's signature (local slot types),
+/// and the cost model.
+///
+/// Hashing only the *referenced* declarations is what lets refinements
+/// that differ in data width share their width-independent blocks — an
+/// application behavior that only calls procedures and touches its own
+/// fixed-width variables compiles once for the whole sweep, no matter
+/// what width the bus signals it never names were refined to.
+fn block_env_hash(system: &System, scope: CodeRef, body: &[Stmt], costs: &CostModel) -> u64 {
+    let mut refs = EnvRefs::default();
+    refs.block(body);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    // The referenced indices are already covered by the body hash in
+    // `block_key`; pairing each with its declared type (or its absence)
+    // pins down exactly what lowering resolves.
+    for &s in &refs.signals {
+        system.signals.get(s).map(|d| &d.ty).hash(&mut h);
+    }
+    0xaau8.hash(&mut h);
+    for &v in &refs.vars {
+        system.variables.get(v).map(|d| &d.ty).hash(&mut h);
+    }
+    if let CodeRef::Procedure(idx) = scope {
+        if let Some(p) = system.procedures.get(idx) {
+            for param in &p.params {
+                let mode = match param.mode {
+                    ParamMode::In => 0u8,
+                    ParamMode::Out => 1,
+                    ParamMode::InOut => 2,
+                };
+                mode.hash(&mut h);
+                param.ty.hash(&mut h);
+            }
+            0xffu8.hash(&mut h);
+            for l in &p.locals {
+                l.ty.hash(&mut h);
+            }
         }
     }
     (
@@ -338,8 +477,11 @@ impl Program {
     }
 
     /// Lowers `system`, sharing identical blocks through `cache`.
+    ///
+    /// The cache key is per block and covers only what lowering reads for
+    /// that block (see [`block_env_hash`]), so systems that differ only
+    /// in declarations a block never references still share it.
     pub fn compile_cached(system: &System, costs: &CostModel, cache: Option<&CodeCache>) -> Self {
-        let env = cache.map(|_| env_hash(system, costs));
         let build = |kind: u8, idx: usize, name: &str, body: &[Stmt]| -> Arc<Code> {
             let scope = if kind == 0 {
                 CodeRef::Behavior(idx)
@@ -347,9 +489,12 @@ impl Program {
                 CodeRef::Procedure(idx)
             };
             let make = || lower_block(system, scope, name, body, costs);
-            match (cache, env) {
-                (Some(c), Some(env)) => c.get_or_build(block_key(env, kind, name, body), make),
-                _ => Arc::new(make()),
+            match cache {
+                Some(c) => {
+                    let env = block_env_hash(system, scope, body, costs);
+                    c.get_or_build(block_key(env, kind, name, body), make)
+                }
+                None => Arc::new(make()),
             }
         };
         let behaviors = system
@@ -1365,6 +1510,46 @@ mod tests {
         let p2 = Program::compile_cached(&sys, &CostModel::new(), Some(&cache));
         assert_eq!(cache.len(), 1);
         assert!(Arc::ptr_eq(&p1.behaviors[0], &p2.behaviors[0]));
+    }
+
+    #[test]
+    fn code_cache_shares_blocks_across_unreferenced_decl_changes() {
+        // The same behavior body in two systems whose only difference is
+        // the width of a signal the body never references — exactly the
+        // shape of a width sweep's application behaviors.
+        let build = |data_width: u32| {
+            let mut sys = System::new("t");
+            let m = sys.add_module("chip");
+            let b = sys.add_behavior("P", m);
+            let _data = sys.add_signal("DATA", Ty::Bits(data_width));
+            let x = sys.add_variable("x", Ty::Int(16), b);
+            sys.behavior_mut(b).body = vec![assign(var(x), int_const(1, 16))];
+            sys
+        };
+        let cache = CodeCache::new();
+        let p8 = Program::compile_cached(&build(8), &CostModel::new(), Some(&cache));
+        let p16 = Program::compile_cached(&build(16), &CostModel::new(), Some(&cache));
+        assert_eq!(cache.len(), 1, "unreferenced width must not split the key");
+        assert!(Arc::ptr_eq(&p8.behaviors[0], &p16.behaviors[0]));
+    }
+
+    #[test]
+    fn code_cache_misses_on_referenced_signal_type_change() {
+        // Same body, but the driven signal's declared type differs —
+        // lowering pre-coerces the constant to it, so the key must split.
+        let build = |data_width: u32| {
+            let mut sys = System::new("t");
+            let m = sys.add_module("chip");
+            let b = sys.add_behavior("P", m);
+            let data = sys.add_signal("DATA", Ty::Bits(data_width));
+            sys.behavior_mut(b).body = vec![drive(data, bits_const(1, 4))];
+            sys
+        };
+        let cache = CodeCache::new();
+        let p8 = Program::compile_cached(&build(8), &CostModel::new(), Some(&cache));
+        let p16 = Program::compile_cached(&build(16), &CostModel::new(), Some(&cache));
+        assert_eq!(cache.len(), 2);
+        assert!(!Arc::ptr_eq(&p8.behaviors[0], &p16.behaviors[0]));
     }
 
     #[test]

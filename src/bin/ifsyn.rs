@@ -35,6 +35,9 @@
 //!                          printing a finish-time table
 //!   --jobs N               worker threads for --sweep-sim (0 or unset:
 //!                          one per core, or $IFSYN_SWEEP_THREADS)
+//!   --lockstep             with --sweep-sim: run width variants whose
+//!                          compiled programs match through the lockstep
+//!                          convoy engine (one dispatch stream, N lanes)
 //! ```
 
 use std::error::Error;
@@ -67,6 +70,7 @@ struct Options {
     lint: bool,
     sweep_sim: Option<(u32, u32)>,
     jobs: usize,
+    lockstep: bool,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -226,7 +230,11 @@ fn run() -> Result<(), Box<dyn Error>> {
             options.faults.len()
         );
     }
-    let report = Simulator::with_config(&refined.system, config)?.run_to_quiescence()?;
+    // The content-hash cache dedups repeated protocol bodies (the same
+    // handshake procedure instantiated per channel) within the run.
+    let cache = interface_synthesis::sim::CodeCache::new();
+    let report = Simulator::with_config_cached(&refined.system, config, Some(&cache))?
+        .run_to_quiescence()?;
     println!("\nsimulation quiescent at t = {} cycles", report.time());
     for (_, outcome) in report.finished_behaviors() {
         println!(
@@ -311,12 +319,28 @@ fn sweep_sim(
         let design = BusDesign::with_width(channels.to_vec(), width, protocol);
         systems.push(pg.refine(system, &design)?.system);
     }
-    let runner = BatchRunner::new().with_jobs(options.jobs);
+    let runner = BatchRunner::new()
+        .with_jobs(options.jobs)
+        .with_lockstep(options.lockstep);
     println!(
-        "\nbatch-simulating widths {lo}..={hi} over {} worker(s)",
-        runner.jobs().min(systems.len().max(1))
+        "\nbatch-simulating widths {lo}..={hi} over {} worker(s){}",
+        runner.jobs().min(systems.len().max(1)),
+        if options.lockstep { " in lockstep" } else { "" }
     );
-    let reports = runner.run(&systems);
+    let reports = if options.lockstep {
+        let (reports, stats) = runner.run_lockstep(&systems);
+        println!(
+            "lockstep: {} convoy(s), widest {} lane(s); {} lockstep / {} peeled / {} scalar",
+            stats.convoys,
+            stats.max_lanes,
+            stats.lockstep_lanes,
+            stats.peeled_lanes,
+            stats.scalar_lanes
+        );
+        reports
+    } else {
+        runner.run(&systems)
+    };
     println!("\nwidth  quiescent at  instrs executed");
     for (width, report) in (lo..=hi).zip(&reports) {
         match report {
@@ -408,6 +432,7 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, Box<dy
                 o.sweep_sim = Some((lo, hi));
             }
             "--jobs" => o.jobs = value_of("--jobs")?.parse()?,
+            "--lockstep" => o.lockstep = true,
             other if !other.starts_with('-') && o.spec_path.is_none() => {
                 o.spec_path = Some(other.to_string())
             }
@@ -561,11 +586,13 @@ mod tests {
 
     #[test]
     fn parses_sweep_sim_and_jobs() {
-        let o = parse(&["s.ifs", "--sweep-sim", "1-30", "--jobs", "4"]);
+        let o = parse(&["s.ifs", "--sweep-sim", "1-30", "--jobs", "4", "--lockstep"]);
         assert_eq!(o.sweep_sim, Some((1, 30)));
         assert_eq!(o.jobs, 4);
-        // Unset jobs means automatic.
+        assert!(o.lockstep);
+        // Unset jobs means automatic; lockstep defaults off.
         assert_eq!(parse(&["s.ifs"]).jobs, 0);
+        assert!(!parse(&["s.ifs"]).lockstep);
         for bad in ["30", "0-4", "9-3"] {
             assert!(
                 parse_args(["s.ifs", "--sweep-sim", bad].map(String::from).into_iter()).is_err(),
