@@ -39,6 +39,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "check" => {
+            if let Err(e) = run_check(args.get(1).map(String::as_str)) {
+                eprintln!("check failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "perf" => {
             if let Err(e) = run_perf(&args[1..]) {
                 eprintln!("perf: {e}");
@@ -55,7 +61,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | bench | faults | perf | all"
+                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | bench | faults | check | perf | all"
             );
             return ExitCode::FAILURE;
         }
@@ -127,14 +133,43 @@ fn run_perf(args: &[String]) -> Result<(), String> {
 }
 
 /// Runs the fault campaign and writes `BENCH_faults.json` (default) or
-/// the given output path.
-fn run_faults(out_path: Option<&str>) -> std::io::Result<()> {
+/// the given output path. Exits with an error when any protected run
+/// corrupted data without raising a flag (an integrity regression).
+fn run_faults(out_path: Option<&str>) -> Result<(), String> {
     rule();
     let data = ifsyn_bench::faults::run();
     print!("{}", ifsyn_bench::faults::render(&data));
     let path = out_path.unwrap_or("BENCH_faults.json");
-    std::fs::write(path, ifsyn_bench::faults::to_json(&data))?;
+    std::fs::write(path, ifsyn_bench::faults::to_json(&data)).map_err(|e| e.to_string())?;
     println!("\nwrote {path}");
+    let silent = data.silent_corruptions();
+    if !silent.is_empty() {
+        return Err(format!(
+            "{} protected run(s) completed corrupt with no status flag raised",
+            silent.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the model-checking campaign and writes `BENCH_check.json`
+/// (default) or the given output path. Exits with an error when a
+/// property that must hold is violated (or a known-broken baseline
+/// unexpectedly passes).
+fn run_check(out_path: Option<&str>) -> Result<(), String> {
+    rule();
+    let data = ifsyn_bench::check::run();
+    print!("{}", ifsyn_bench::check::render(&data));
+    let path = out_path.unwrap_or("BENCH_check.json");
+    std::fs::write(path, ifsyn_bench::check::to_json(&data)).map_err(|e| e.to_string())?;
+    println!("\nwrote {path}");
+    let bad = data.unexpected();
+    if !bad.is_empty() {
+        return Err(format!(
+            "{} property result(s) deviate from expectation",
+            bad.len()
+        ));
+    }
     Ok(())
 }
 

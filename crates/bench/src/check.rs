@@ -1,0 +1,689 @@
+//! Model-checking campaign: exhaustive verification of refined protocols.
+//!
+//! The fault campaign (`faults.rs`) runs one deterministic schedule per
+//! scenario; this campaign runs the explicit-state checker
+//! ([`ifsyn_sim::Checker`]) over the *whole* schedule space of the same
+//! refined systems, under a nondeterministic fault environment that may
+//! strike at any instant. Systems: the Fig. 3 worked example at width 8
+//! (every variant) and a reduced two-access FLC at width 16 (plain vs
+//! protected) — the full 128-access FLC is far beyond exhaustive reach,
+//! but the reduced build generates the identical protocol shape.
+//!
+//! Properties per exploration:
+//!
+//! * `gnt_mutex` — **safety invariant**: at most one arbiter grant line
+//!   is high in every reachable state (bus mutual exclusion);
+//! * `delivers_or_flags` — **terminal safety**: every quiescent state
+//!   either has all clients finished with intact data or has a sticky
+//!   `*_STAT_*` flag raised. The plain protocol is *expected to fail*
+//!   this under faults — the checker produces the known deadlock and
+//!   silent-corruption counterexamples — while the protected variant
+//!   must pass on every schedule and strike timing;
+//! * `eventual_grant` — **liveness** (fault-free runs): from every state
+//!   with a request pending and not granted, some continuation grants
+//!   it (`AG(REQ ∧ ¬GNT → EF GNT)`). The formulation is
+//!   fairness-constrained: a violation means the goal is unreachable on
+//!   every continuation, not merely missed by one unfair schedule.
+//!
+//! Each exploration also records the reachable-state count and the
+//! worst-case cycle cost to quiescence — PR 2's analytic completion
+//! bound, now measured over *all* schedules instead of one.
+//!
+//! Every row carries its expected verdict; [`CheckData::unexpected`]
+//! reports deviations and `experiments check` exits nonzero on any.
+//! Output is hand-rolled JSON (offline build, no serde) written to
+//! `BENCH_check.json`.
+
+use ifsyn_core::{BusDesign, ProtocolKind, RefinedSystem};
+use ifsyn_sim::{CheckConfig, Checker, EnvFault, StateView};
+use ifsyn_spec::Value;
+use ifsyn_systems::{fig3, flc};
+
+use crate::faults::{generator, Variant};
+use crate::table::Table;
+
+/// Maximum characters of counterexample detail kept per row.
+const DETAIL_CAP: usize = 600;
+
+/// One (system, scenario, variant, property) verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRow {
+    /// Which system: `"fig3@8"` or `"flcr2@16"`.
+    pub system: String,
+    /// Fault-environment scenario (`"none"`, `"done_stuck_low"`,
+    /// `"data_flip"`).
+    pub scenario: String,
+    /// Protocol variant of this exploration.
+    pub variant: Variant,
+    /// Property name.
+    pub property: String,
+    /// Whether the property held over the explored space.
+    pub holds: bool,
+    /// The verdict this campaign expects (plain is *expected* to fail
+    /// under faults; protected must not).
+    pub expected: bool,
+    /// Reachable states the check examined.
+    pub states: usize,
+    /// Counterexample trace/diagnosis for failed properties (capped).
+    pub detail: Option<String>,
+}
+
+/// Exploration statistics for one (system, scenario, variant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceRow {
+    /// Which system.
+    pub system: String,
+    /// Fault-environment scenario.
+    pub scenario: String,
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Distinct reachable states.
+    pub states: usize,
+    /// Explored transitions.
+    pub transitions: usize,
+    /// Terminal (quiescent) states.
+    pub terminals: usize,
+    /// Worst-case cycle cost to quiescence over all schedules
+    /// (`None` when a reachable cycle makes it unbounded).
+    pub worst_cost: Option<u64>,
+}
+
+/// The whole campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckData {
+    /// One row per property verdict.
+    pub rows: Vec<CheckRow>,
+    /// One row per exploration.
+    pub spaces: Vec<SpaceRow>,
+}
+
+impl CheckData {
+    /// Rows whose verdict deviates from expectation: a required property
+    /// violated, or a known-broken baseline unexpectedly passing (which
+    /// would mean the checker lost the counterexample). `experiments
+    /// check` exits nonzero when this is nonempty.
+    pub fn unexpected(&self) -> Vec<&CheckRow> {
+        self.rows.iter().filter(|r| r.holds != r.expected).collect()
+    }
+
+    /// Failing rows that are expected to fail: the checker's deadlock and
+    /// corruption counterexamples against the plain/hardened baselines.
+    pub fn known_counterexamples(&self) -> Vec<&CheckRow> {
+        self.rows
+            .iter()
+            .filter(|r| !r.holds && !r.expected)
+            .collect()
+    }
+}
+
+/// The nondeterministic fault environments, over the shared bus `B`'s
+/// wires (the checker may strike at *any* instant, unlike the fault
+/// campaign's fixed injection times).
+fn scenarios() -> Vec<(&'static str, Vec<EnvFault>)> {
+    vec![
+        ("none", vec![]),
+        (
+            "done_stuck_low",
+            vec![EnvFault::StuckLow {
+                signal: "B_DONE".to_string(),
+            }],
+        ),
+        (
+            "data_flip",
+            vec![EnvFault::FlipBit {
+                signal: "B_DATA".to_string(),
+                bit: 2,
+                budget: 1,
+            }],
+        ),
+    ]
+}
+
+/// The expected verdict for a property under a scenario and variant.
+fn expected(property: &str, scenario: &str, variant: Variant) -> bool {
+    match (property, scenario) {
+        // Bus mutual exclusion must survive everything the environment
+        // does, on every variant.
+        ("gnt_mutex", _) => true,
+        // Fault-free liveness must hold on every variant.
+        ("eventual_grant", _) => true,
+        // Fault-free runs deliver intact data on every variant.
+        ("delivers_or_flags", "none") => true,
+        // A stuck DONE deadlocks the plain protocol (the known
+        // counterexample); hardened/protected abort with their flag.
+        ("delivers_or_flags", "done_stuck_low") => variant != Variant::Plain,
+        // A data flip silently corrupts plain and hardened transfers;
+        // only the protected variant detects and retransmits.
+        ("delivers_or_flags", "data_flip") => variant == Variant::Protected,
+        _ => true,
+    }
+}
+
+fn array_elem_i64(v: &Value, i: usize) -> Option<i64> {
+    match v {
+        Value::Array(items) => items.get(i)?.as_i64().ok(),
+        _ => None,
+    }
+}
+
+fn array_sum_i64(v: &Value) -> i64 {
+    match v {
+        Value::Array(items) => items.iter().filter_map(|x| x.as_i64().ok()).sum(),
+        other => other.as_i64().unwrap_or(0),
+    }
+}
+
+/// Explores one refined system under one fault environment and checks
+/// the property set, appending verdicts and exploration stats.
+#[allow(clippy::too_many_arguments)] // one call site per campaign cell; a context struct would just rename the arguments
+fn check_one(
+    system: &str,
+    scenario: &str,
+    faults: &[EnvFault],
+    variant: Variant,
+    refined: &RefinedSystem,
+    data_ok: &dyn Fn(&StateView<'_>) -> bool,
+    rows: &mut Vec<CheckRow>,
+    spaces: &mut Vec<SpaceRow>,
+) {
+    let mut config = CheckConfig::new();
+    for f in faults {
+        config = config.with_fault(f.clone());
+    }
+    // Exploration failures (state cap, runtime error) are recorded as an
+    // unexpected row so the gate trips.
+    let exploration_failed = |e: ifsyn_sim::SimError, rows: &mut Vec<CheckRow>| {
+        rows.push(CheckRow {
+            system: system.to_string(),
+            scenario: scenario.to_string(),
+            variant,
+            property: "exploration".to_string(),
+            holds: false,
+            expected: true,
+            states: 0,
+            detail: Some(e.to_string()),
+        });
+    };
+    let ck = match Checker::with_config(&refined.system, config) {
+        Ok(ck) => ck,
+        Err(e) => return exploration_failed(e, rows),
+    };
+    let ss = match ck.explore() {
+        Ok(ss) => ss,
+        Err(e) => return exploration_failed(e, rows),
+    };
+    let (states, transitions, terminals, worst) = (
+        ss.state_count(),
+        ss.transition_count(),
+        ss.terminal_count(),
+        ss.worst_cost_to_quiescence(),
+    );
+    spaces.push(SpaceRow {
+        system: system.to_string(),
+        scenario: scenario.to_string(),
+        variant,
+        states,
+        transitions,
+        terminals,
+        worst_cost: worst,
+    });
+    let mut push = |property: &str, holds: bool, detail: Option<String>| {
+        rows.push(CheckRow {
+            system: system.to_string(),
+            scenario: scenario.to_string(),
+            variant,
+            property: property.to_string(),
+            holds,
+            expected: expected(property, scenario, variant),
+            states,
+            detail: detail.map(|d| {
+                if d.len() > DETAIL_CAP {
+                    let cut = d
+                        .char_indices()
+                        .take_while(|&(i, _)| i < DETAIL_CAP)
+                        .last()
+                        .map_or(0, |(i, c)| i + c.len_utf8());
+                    format!("{}…", &d[..cut])
+                } else {
+                    d
+                }
+            }),
+        });
+    };
+
+    // gnt_mutex: at most one arbiter grant high, in every state.
+    if let Some(arb) = &refined.bus.arbiter {
+        let gnt_names: Vec<String> = arb
+            .gnt
+            .iter()
+            .map(|&g| refined.system.signal(g).name.clone())
+            .collect();
+        let rep = ss.check_invariant("gnt_mutex", |v| {
+            gnt_names.iter().filter(|n| v.signal_high(n)).count() <= 1
+        });
+        push(
+            "gnt_mutex",
+            rep.holds,
+            rep.counterexample.map(|c| c.to_string()),
+        );
+    }
+
+    // delivers_or_flags: every quiescent state delivered intact data or
+    // raised a sticky abort flag.
+    let flag_names: Vec<String> = refined
+        .bus
+        .status_flags
+        .iter()
+        .map(|&(_, sig)| refined.system.signal(sig).name.clone())
+        .collect();
+    let rep = ss.check_terminal("delivers_or_flags", |v| {
+        (v.all_done() && data_ok(v)) || flag_names.iter().any(|n| v.signal_high(n))
+    });
+    push(
+        "delivers_or_flags",
+        rep.holds,
+        rep.counterexample.map(|c| c.to_string()),
+    );
+
+    // eventual_grant (fault-free only): every pending request is
+    // eventually granted, per arbiter client.
+    if scenario == "none" {
+        if let Some(arb) = &refined.bus.arbiter {
+            let mut holds = true;
+            let mut detail = None;
+            for (&rq, &gn) in arb.req.iter().zip(&arb.gnt) {
+                let rq_name = refined.system.signal(rq).name.clone();
+                let gn_name = refined.system.signal(gn).name.clone();
+                let rep = ss.check_leads_to(
+                    "eventual_grant",
+                    |v| v.signal_high(&rq_name) && !v.signal_high(&gn_name),
+                    |v| v.signal_high(&gn_name),
+                );
+                if !rep.holds {
+                    holds = false;
+                    detail = rep
+                        .counterexample
+                        .map(|c| format!("request `{rq_name}`:\n{c}"));
+                    break;
+                }
+            }
+            push("eventual_grant", holds, detail);
+        }
+    }
+}
+
+/// Runs the campaign: scenarios × variants over fig3@8 and the reduced
+/// FLC at width 16.
+pub fn run() -> CheckData {
+    let mut rows = Vec::new();
+    let mut spaces = Vec::new();
+    for (scenario, faults) in scenarios() {
+        for variant in Variant::ALL {
+            let f = fig3::fig3();
+            let design = BusDesign::with_width(f.channels(), 8, ProtocolKind::FullHandshake);
+            let refined = generator(variant)
+                .refine(&f.system, &design)
+                .expect("fig3 check refinement");
+            let x = f.x;
+            let mem = f.mem;
+            let data_ok = |v: &StateView<'_>| {
+                let x_ok = v
+                    .variable(&name_of_var(&refined, x))
+                    .and_then(|val| val.as_i64().ok())
+                    == Some(32);
+                let mem_ok = v
+                    .variable(&name_of_var(&refined, mem))
+                    .map(|val| {
+                        array_elem_i64(val, 17) == Some(39) && array_elem_i64(val, 60) == Some(1234)
+                    })
+                    .unwrap_or(false);
+                x_ok && mem_ok
+            };
+            check_one(
+                "fig3@8",
+                scenario,
+                &faults,
+                variant,
+                &refined,
+                &data_ok,
+                &mut rows,
+                &mut spaces,
+            );
+        }
+        // Reduced FLC: plain (the unhardened baseline) vs protected (the
+        // full defense); hardened adds little beyond the fig3 matrix and
+        // exhaustive exploration is expensive.
+        for variant in [Variant::Plain, Variant::Protected] {
+            let f = flc::flc_reduced(2);
+            let design = BusDesign::with_width(f.channels(), 16, ProtocolKind::FullHandshake);
+            let refined = generator(variant)
+                .refine(&f.system, &design)
+                .expect("flc_reduced check refinement");
+            let trru0 = f.trru0;
+            let conv_acc = f.conv_acc;
+            let trru0_sum = f.expected_trru0_sum();
+            let checksum = f.expected_checksum();
+            let data_ok = |v: &StateView<'_>| {
+                let acc_ok = v
+                    .variable(&name_of_var(&refined, conv_acc))
+                    .and_then(|val| val.as_i64().ok())
+                    == Some(checksum);
+                let mem_ok = v
+                    .variable(&name_of_var(&refined, trru0))
+                    .map(|val| array_sum_i64(val) == trru0_sum)
+                    .unwrap_or(false);
+                acc_ok && mem_ok
+            };
+            check_one(
+                "flcr2@16",
+                scenario,
+                &faults,
+                variant,
+                &refined,
+                &data_ok,
+                &mut rows,
+                &mut spaces,
+            );
+        }
+    }
+    CheckData { rows, spaces }
+}
+
+fn name_of_var(refined: &RefinedSystem, id: ifsyn_spec::VarId) -> String {
+    refined.system.variable(id).name.clone()
+}
+
+/// Renders the campaign as text.
+pub fn render(data: &CheckData) -> String {
+    let mut out = String::new();
+    out.push_str("Model-checking campaign — exhaustive exploration of refined protocols\n\n");
+    let mut t = Table::new([
+        "system", "scenario", "protocol", "property", "result", "expected", "states",
+    ]);
+    for r in &data.rows {
+        t.row([
+            r.system.clone(),
+            r.scenario.clone(),
+            r.variant.as_str().to_string(),
+            r.property.clone(),
+            if r.holds { "PASS" } else { "FAIL" }.to_string(),
+            if r.expected { "PASS" } else { "FAIL" }.to_string(),
+            r.states.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nexploration sizes:\n");
+    let mut s = Table::new([
+        "system",
+        "scenario",
+        "protocol",
+        "states",
+        "transitions",
+        "terminals",
+        "worst cost",
+    ]);
+    for r in &data.spaces {
+        s.row([
+            r.system.clone(),
+            r.scenario.clone(),
+            r.variant.as_str().to_string(),
+            r.states.to_string(),
+            r.transitions.to_string(),
+            r.terminals.to_string(),
+            r.worst_cost
+                .map_or("unbounded".to_string(), |c| c.to_string()),
+        ]);
+    }
+    out.push_str(&s.render());
+    let known = data.known_counterexamples();
+    out.push_str(&format!(
+        "\n{} expected counterexample(s) against unprotected baselines:\n",
+        known.len()
+    ));
+    for r in known {
+        out.push_str(&format!(
+            "\n{} / {} ({}) violates {}:\n",
+            r.system,
+            r.scenario,
+            r.variant.as_str(),
+            r.property
+        ));
+        if let Some(d) = &r.detail {
+            out.push_str(d);
+            out.push('\n');
+        }
+    }
+    let bad = data.unexpected();
+    if bad.is_empty() {
+        out.push_str("\nall verdicts match expectation\n");
+    } else {
+        out.push_str(&format!(
+            "\nCHECK REGRESSION: {} verdict(s) deviate from expectation\n",
+            bad.len()
+        ));
+        for r in bad {
+            out.push_str(&format!(
+                "  {} / {} ({}) {}: got {}, expected {}\n",
+                r.system,
+                r.scenario,
+                r.variant.as_str(),
+                r.property,
+                if r.holds { "PASS" } else { "FAIL" },
+                if r.expected { "PASS" } else { "FAIL" },
+            ));
+            if let Some(d) = &r.detail {
+                out.push_str(&format!("    {}\n", d.replace('\n', "\n    ")));
+            }
+        }
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes the campaign as the `BENCH_check.json` document.
+pub fn to_json(data: &CheckData) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"ifsyn-bench-check-v1\",\n");
+    out.push_str(&format!("  \"unexpected\": {},\n", data.unexpected().len()));
+    out.push_str(&format!(
+        "  \"known_counterexamples\": {},\n",
+        data.known_counterexamples().len()
+    ));
+    out.push_str("  \"properties\": [\n");
+    for (i, r) in data.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": {}, \"scenario\": {}, \"protocol\": {}, \
+             \"property\": {}, \"holds\": {}, \"expected\": {}, \"states\": {}, \
+             \"detail\": {}}}{}\n",
+            json_str(&r.system),
+            json_str(&r.scenario),
+            json_str(r.variant.as_str()),
+            json_str(&r.property),
+            r.holds,
+            r.expected,
+            r.states,
+            r.detail.as_deref().map_or("null".to_string(), json_str),
+            if i + 1 < data.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"explorations\": [\n");
+    for (i, r) in data.spaces.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": {}, \"scenario\": {}, \"protocol\": {}, \
+             \"states\": {}, \"transitions\": {}, \"terminals\": {}, \
+             \"worst_cost\": {}}}{}\n",
+            json_str(&r.system),
+            json_str(&r.scenario),
+            json_str(r.variant.as_str()),
+            r.states,
+            r.transitions,
+            r.terminals,
+            r.worst_cost.map_or("null".to_string(), |c| c.to_string()),
+            if i + 1 < data.spaces.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expectation_matrix_is_sound() {
+        // Plain must be expected to fail under both fault scenarios.
+        assert!(!expected(
+            "delivers_or_flags",
+            "done_stuck_low",
+            Variant::Plain
+        ));
+        assert!(!expected("delivers_or_flags", "data_flip", Variant::Plain));
+        assert!(!expected(
+            "delivers_or_flags",
+            "data_flip",
+            Variant::Hardened
+        ));
+        // Protected must be expected to pass everywhere.
+        for scenario in ["none", "done_stuck_low", "data_flip"] {
+            assert!(expected("delivers_or_flags", scenario, Variant::Protected));
+            assert!(expected("gnt_mutex", scenario, Variant::Protected));
+        }
+    }
+
+    #[test]
+    fn unexpected_gates_on_mismatch() {
+        let row = |holds, expected| CheckRow {
+            system: "fig3@8".into(),
+            scenario: "none".into(),
+            variant: Variant::Plain,
+            property: "gnt_mutex".into(),
+            holds,
+            expected,
+            states: 10,
+            detail: None,
+        };
+        let data = CheckData {
+            rows: vec![row(true, true), row(false, false)],
+            spaces: vec![],
+        };
+        assert!(data.unexpected().is_empty());
+        assert_eq!(data.known_counterexamples().len(), 1);
+        let data = CheckData {
+            rows: vec![row(false, true)],
+            spaces: vec![],
+        };
+        assert_eq!(data.unexpected().len(), 1);
+    }
+
+    #[test]
+    fn json_is_balanced() {
+        let data = CheckData {
+            rows: vec![CheckRow {
+                system: "fig3@8".into(),
+                scenario: "data_flip".into(),
+                variant: Variant::Protected,
+                property: "delivers_or_flags".into(),
+                holds: true,
+                expected: true,
+                states: 1234,
+                detail: None,
+            }],
+            spaces: vec![SpaceRow {
+                system: "fig3@8".into(),
+                scenario: "data_flip".into(),
+                variant: Variant::Protected,
+                states: 1234,
+                transitions: 4321,
+                terminals: 3,
+                worst_cost: Some(99),
+            }],
+        };
+        let json = to_json(&data);
+        assert!(json.contains("\"schema\": \"ifsyn-bench-check-v1\""));
+        assert!(json.contains("\"worst_cost\": 99"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}
+
+#[cfg(test)]
+mod exploration_tests {
+    use super::*;
+
+    /// Fault-free fig3 at width 8, plain protocol: every schedule the
+    /// checker can produce completes with intact data. This is the
+    /// regression fence for the eager-release semantics — without
+    /// kernel-faithful waiter wake-up, interleaving invents a spurious
+    /// missed-pulse deadlock (a server sleeping through the brief START
+    /// low phase between two back-to-back bus words).
+    #[test]
+    fn fig3_plain_fault_free_completes_on_every_schedule() {
+        let f = fig3::fig3();
+        let design = BusDesign::with_width(f.channels(), 8, ProtocolKind::FullHandshake);
+        let refined = generator(Variant::Plain)
+            .refine(&f.system, &design)
+            .expect("fig3 refinement");
+        let ck = Checker::with_config(&refined.system, CheckConfig::new()).expect("checker");
+        let ss = ck.explore().expect("explore");
+        assert_eq!(ss.error_count(), 0);
+        let rep = ss.check_terminal("all terminals finish", |v| v.all_done());
+        assert!(rep.holds, "{:?}", rep.counterexample.map(|c| c.to_string()));
+    }
+
+    /// Reduced FLC, protected variant, DONE stuck at 0 at any instant:
+    /// no schedule crashes (the bound guard keeps false-accepted
+    /// addresses out of the arrays) and every quiescent state either
+    /// delivered intact data or raised a sticky status flag. This is
+    /// the regression fence for the position-weighted checksum — the
+    /// salted-XOR scheme it replaced false-accepted a retry-desynced
+    /// word stream here and committed a corrupt address.
+    #[test]
+    fn flcr2_protected_stuck_done_never_corrupts() {
+        let f = flc::flc_reduced(2);
+        let design = BusDesign::with_width(f.channels(), 16, ProtocolKind::FullHandshake);
+        let refined = generator(Variant::Protected)
+            .refine(&f.system, &design)
+            .expect("flc_reduced refinement");
+        let config = CheckConfig::new().with_fault(EnvFault::StuckLow {
+            signal: "B_DONE".to_string(),
+        });
+        let ck = Checker::with_config(&refined.system, config).expect("checker");
+        let ss = ck.explore().expect("explore");
+        assert_eq!(ss.error_count(), 0, "no schedule may crash the servers");
+        let trru0 = name_of_var(&refined, f.trru0);
+        let conv_acc = name_of_var(&refined, f.conv_acc);
+        let trru0_sum = f.expected_trru0_sum();
+        let checksum = f.expected_checksum();
+        let flag_names: Vec<String> = refined
+            .bus
+            .status_flags
+            .iter()
+            .map(|&(_, sig)| refined.system.signal(sig).name.clone())
+            .collect();
+        let rep = ss.check_terminal("delivers_or_flags", |v| {
+            let acc_ok = v.variable(&conv_acc).and_then(|x| x.as_i64().ok()) == Some(checksum);
+            let mem_ok = v
+                .variable(&trru0)
+                .map(|x| array_sum_i64(x) == trru0_sum)
+                .unwrap_or(false);
+            (v.all_done() && acc_ok && mem_ok) || flag_names.iter().any(|n| v.signal_high(n))
+        });
+        assert!(rep.holds, "{:?}", rep.counterexample.map(|c| c.to_string()));
+    }
+}

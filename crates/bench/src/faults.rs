@@ -1,10 +1,14 @@
-//! Fault campaign: plain vs timeout-hardened handshakes under injection.
+//! Fault campaign: plain vs timeout-hardened vs integrity-protected
+//! handshakes under injection.
 //!
 //! Runs the FLC shared-bus system and the Fig. 3 worked example under a
 //! deterministic fault matrix (stuck-at control lines, transient bit
-//! flips, dropped and delayed writes on the bus wires), each both with
-//! the plain full-handshake protocol and with the timeout-hardened
-//! variant (`ProtocolGenerator::with_timeout`). Every run is classified:
+//! flips, dropped and delayed writes on the bus wires), each with three
+//! protocol variants: the plain full handshake, the timeout-hardened
+//! variant (`ProtocolGenerator::with_timeout`), and the
+//! integrity-protected variant (`ProtocolGenerator::with_integrity`),
+//! which appends a salted-XOR check word to every word run and
+//! retransmits on mismatch. Every run is classified:
 //!
 //! * `completed` — all client processes finished and the transferred
 //!   data checks out;
@@ -16,15 +20,27 @@
 //!   naming the blocked process and the wait it hangs on;
 //! * `timeout` — the run hit the simulation horizon without quiescing.
 //!
-//! The headline result (the issue's acceptance criterion): a stuck-at-0
-//! `B_DONE` deadlocks the plain protocol with a diagnosis naming the
-//! waiting client, while the hardened protocol finishes within its
-//! watchdog-derived bound, flag raised. Serialization is hand-rolled
-//! JSON (offline build, no serde), written to `BENCH_faults.json`.
+//! A row that ends `corrupt` without any raised flag is a *silent
+//! corruption*, marked `"silent": true` in the JSON. For the protected
+//! variant that violates the integrity contract (deliver intact data or
+//! abort flagged) and [`FaultData::silent_corruptions`] reports it so
+//! `experiments faults` exits nonzero; plain and hardened rows are
+//! exempt — neither carries check words, so their corruption under
+//! `data_flip` is precisely the recorded baseline the protected variant
+//! is measured against.
+//!
+//! The headline results: a stuck-at-0 `B_DONE` deadlocks the plain
+//! protocol with a diagnosis naming the waiting client while the
+//! hardened protocol aborts within its watchdog-derived bound; and the
+//! `data_flip` / `done_drop_window` scenarios that silently corrupt the
+//! plain and hardened protocols end clean (completed with intact data,
+//! or flagged abort) under the protected variant, at a measured time and
+//! traffic overhead. Serialization is hand-rolled JSON (offline build,
+//! no serde), written to `BENCH_faults.json`.
 
-use ifsyn_core::{BusDesign, ProtocolGenerator, ProtocolKind, RefinedSystem};
+use ifsyn_core::{BusDesign, ProtocolGenerator, ProtocolKind, RefinedSystem, WordDir, WordPlan};
 use ifsyn_sim::{FaultPlan, SimConfig, SimError, Simulator};
-use ifsyn_spec::Value;
+use ifsyn_spec::{ChannelDirection, Value};
 use ifsyn_systems::{fig3, flc};
 
 use crate::table::Table;
@@ -36,6 +52,33 @@ pub const RETRIES: u32 = 3;
 /// Simulation horizon for campaign runs.
 const MAX_TIME: u64 = 500_000;
 
+/// Which protocol variant a campaign row exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Unhardened full handshake (unbounded waits, no flags).
+    Plain,
+    /// Timeout-hardened handshake (PR 2): watchdogs, bounded word
+    /// retries, sticky abort flags.
+    Hardened,
+    /// Integrity-protected handshake: hardening plus salted-XOR check
+    /// words and bounded message retransmission.
+    Protected,
+}
+
+impl Variant {
+    /// All variants, in campaign order.
+    pub const ALL: [Variant; 3] = [Variant::Plain, Variant::Hardened, Variant::Protected];
+
+    /// The name used in tables and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Variant::Plain => "plain",
+            Variant::Hardened => "hardened",
+            Variant::Protected => "protected",
+        }
+    }
+}
+
 /// One (system, fault scenario, protocol variant) run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultRow {
@@ -43,8 +86,8 @@ pub struct FaultRow {
     pub system: String,
     /// Fault scenario name (`"none"`, `"done_stuck_at_0"`, ...).
     pub scenario: String,
-    /// `true` when the protocol was generated with timeout hardening.
-    pub hardened: bool,
+    /// Protocol variant of this run.
+    pub variant: Variant,
     /// Classification (see module docs).
     pub outcome: String,
     /// Quiescence time when the run completed or aborted.
@@ -56,9 +99,11 @@ pub struct FaultRow {
     /// For deadlocks: the first blocked non-repeating process and the
     /// wait it is suspended on.
     pub diagnosis: Option<String>,
-    /// For hardened runs: the a-priori completion bound in cycles
-    /// (fault-free time + worst-case retry overhead of every word).
+    /// For hardened/protected runs: the a-priori completion bound in
+    /// cycles (fault-free time + worst-case retry overhead).
     pub bound: Option<u64>,
+    /// Total handshake words this variant moves fault-free (traffic).
+    pub words: u64,
 }
 
 impl FaultRow {
@@ -68,6 +113,11 @@ impl FaultRow {
             (Some(t), Some(b)) => t <= b,
             _ => true,
         }
+    }
+
+    /// `true` when this run damaged data without raising any flag.
+    pub fn silent_corrupt(&self) -> bool {
+        self.outcome == "corrupt" && self.flags_raised.is_empty()
     }
 }
 
@@ -79,24 +129,83 @@ pub struct FaultData {
 }
 
 impl FaultData {
-    /// Rows demonstrating the acceptance criterion: the plain protocol
-    /// deadlocks with a diagnosis while the hardened one completes or
-    /// aborts within its bound, for the same system and scenario.
+    /// Rows demonstrating the PR 2 acceptance criterion: the plain
+    /// protocol deadlocks with a diagnosis while the hardened one
+    /// completes or aborts within its bound, for the same system and
+    /// scenario.
     pub fn rescued_pairs(&self) -> Vec<(&FaultRow, &FaultRow)> {
         let mut out = Vec::new();
-        for plain in self.rows.iter().filter(|r| !r.hardened) {
+        for plain in self.rows.iter().filter(|r| r.variant == Variant::Plain) {
             if plain.outcome != "deadlock" || plain.diagnosis.is_none() {
                 continue;
             }
-            if let Some(hard) = self
-                .rows
-                .iter()
-                .find(|r| r.hardened && r.system == plain.system && r.scenario == plain.scenario)
-            {
+            if let Some(hard) = self.rows.iter().find(|r| {
+                r.variant == Variant::Hardened
+                    && r.system == plain.system
+                    && r.scenario == plain.scenario
+            }) {
                 let clean = matches!(hard.outcome.as_str(), "completed" | "aborted" | "corrupt");
                 if clean && hard.within_bound() {
                     out.push((plain, hard));
                 }
+            }
+        }
+        out
+    }
+
+    /// Integrity regressions: protected-variant rows that finished
+    /// `corrupt` without raising any flag, violating the integrity
+    /// contract (a protected transfer either delivers intact data or
+    /// aborts with its sticky flag raised). Plain and hardened rows are
+    /// exempt — neither carries check words, so their `data_flip`
+    /// corruption is the recorded baseline, marked `"silent": true` in
+    /// the JSON rather than gated. `experiments faults` exits nonzero
+    /// when this is nonempty.
+    pub fn silent_corruptions(&self) -> Vec<&FaultRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.variant == Variant::Protected && r.silent_corrupt())
+            .collect()
+    }
+
+    /// Scenarios the protected variant rescues from corruption: the
+    /// plain or hardened run ends `corrupt` while the protected run on
+    /// the same system/scenario ends `completed` or flagged-`aborted`.
+    pub fn integrity_rescues(&self) -> Vec<(&FaultRow, &FaultRow)> {
+        let mut out = Vec::new();
+        for prot in self.rows.iter().filter(|r| r.variant == Variant::Protected) {
+            let clean = prot.outcome == "completed"
+                || (prot.outcome == "aborted" && !prot.flags_raised.is_empty());
+            if !clean {
+                continue;
+            }
+            if let Some(broken) = self.rows.iter().find(|r| {
+                r.variant != Variant::Protected
+                    && r.system == prot.system
+                    && r.scenario == prot.scenario
+                    && r.outcome == "corrupt"
+            }) {
+                out.push((broken, prot));
+            }
+        }
+        out
+    }
+
+    /// Fault-free time/traffic overhead of `variant` vs hardened, per
+    /// system: `(system, hardened row, variant row)`.
+    pub fn overhead_vs_hardened(&self, variant: Variant) -> Vec<(&FaultRow, &FaultRow)> {
+        let mut out = Vec::new();
+        for hard in self
+            .rows
+            .iter()
+            .filter(|r| r.variant == Variant::Hardened && r.scenario == "none")
+        {
+            if let Some(v) = self
+                .rows
+                .iter()
+                .find(|r| r.variant == variant && r.scenario == "none" && r.system == hard.system)
+            {
+                out.push((hard, v));
             }
         }
         out
@@ -129,12 +238,17 @@ fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
-fn generator(hardened: bool) -> ProtocolGenerator {
+/// The generator configured for a protocol variant (shared with the
+/// model-checking campaign so both exercise identical refinements).
+pub(crate) fn generator(variant: Variant) -> ProtocolGenerator {
     let g = ProtocolGenerator::new();
-    if hardened {
-        g.with_timeout(WATCHDOG).with_retry_limit(RETRIES)
-    } else {
-        g
+    match variant {
+        Variant::Plain => g,
+        Variant::Hardened => g.with_timeout(WATCHDOG).with_retry_limit(RETRIES),
+        Variant::Protected => g
+            .with_timeout(WATCHDOG)
+            .with_retry_limit(RETRIES)
+            .with_integrity(),
     }
 }
 
@@ -144,6 +258,56 @@ fn generator(hardened: bool) -> ProtocolGenerator {
 /// drives), and a word is attempted `RETRIES + 1` times.
 fn retry_overhead(words: u64) -> u64 {
     words * u64::from(RETRIES + 1) * (2 * WATCHDOG + 2)
+}
+
+/// Total fault-free handshake words the campaign system moves under
+/// `variant`, counting every access of every bus channel. The protected
+/// variant adds one check word per word run (one for writes; one per
+/// direction run for reads, whose plans are direction-aligned).
+fn campaign_words(refined: &RefinedSystem, variant: Variant) -> u64 {
+    let width = refined.bus.design.width;
+    refined
+        .bus
+        .design
+        .channels
+        .iter()
+        .map(|&c| {
+            let ch = refined.system.channel(c);
+            let protected = variant == Variant::Protected;
+            let plan = if protected && ch.direction == ChannelDirection::Read {
+                WordPlan::aligned_for_channel(ch, width)
+            } else {
+                WordPlan::for_channel(ch, width)
+            };
+            let mut words = u64::from(plan.word_count());
+            if protected {
+                let requests = plan
+                    .words
+                    .iter()
+                    .filter(|w| w.dir == WordDir::Request)
+                    .count();
+                words += match ch.direction {
+                    ChannelDirection::Write => 1,
+                    ChannelDirection::Read => 1 + u64::from(requests > 0),
+                };
+            }
+            words * ch.accesses
+        })
+        .sum()
+}
+
+/// A-priori completion bound for a variant (`None` for plain, whose
+/// waits are unbounded). A hardened word is attempted `RETRIES + 1`
+/// times; a protected *message* is additionally retransmitted up to
+/// `RETRIES + 1` times, multiplying the per-word worst case.
+fn variant_bound(refined: &RefinedSystem, variant: Variant, words: u64) -> Option<u64> {
+    match variant {
+        Variant::Plain => None,
+        Variant::Hardened => Some(fault_free_time(refined) + retry_overhead(words)),
+        Variant::Protected => {
+            Some(fault_free_time(refined) + u64::from(RETRIES + 1) * retry_overhead(words))
+        }
+    }
 }
 
 /// One line naming every blocked process and the wait it hangs on.
@@ -246,10 +410,10 @@ fn classify(
 
 /// FLC shared bus at width 16: 128 two-word writes (ch1) plus 128
 /// two-word reads (ch2) through the arbitrated bus `B`.
-fn run_flc(scenario: &str, plan: &FaultPlan, hardened: bool) -> FaultRow {
+fn run_flc(scenario: &str, plan: &FaultPlan, variant: Variant) -> FaultRow {
     let f = flc::flc();
     let design = BusDesign::with_width(f.bus_channels(), 16, ProtocolKind::FullHandshake);
-    let refined = generator(hardened)
+    let refined = generator(variant)
         .refine(&f.system, &design)
         .expect("flc campaign refinement");
     let expected = flc::expected_conv_checksum();
@@ -261,30 +425,28 @@ fn run_flc(scenario: &str, plan: &FaultPlan, hardened: bool) -> FaultRow {
         report.final_variable(conv_acc).as_i64().ok() == Some(expected)
             && array_sum(report.final_variable(trru0)) == expected_trru0
     });
-    // ch1 and ch2 each move 128 messages of two 16-bit words.
-    let bound = hardened.then(|| {
-        let fault_free = fault_free_time(&refined);
-        fault_free + retry_overhead(2 * flc::FLC_ACCESSES * 2)
-    });
+    let words = campaign_words(&refined, variant);
+    let bound = variant_bound(&refined, variant, words);
     FaultRow {
         system: "flc@16".to_string(),
         scenario: scenario.to_string(),
-        hardened,
+        variant,
         outcome: out.outcome,
         finish_time: out.finish_time,
         injected: out.injected,
         flags_raised: out.flags_raised,
         diagnosis: out.diagnosis,
         bound,
+        words,
     }
 }
 
 /// Fig. 3 at width 8: the paper's worked example (four channels, five
 /// handshake transfers of 2–3 words each).
-fn run_fig3(scenario: &str, plan: &FaultPlan, hardened: bool) -> FaultRow {
+fn run_fig3(scenario: &str, plan: &FaultPlan, variant: Variant) -> FaultRow {
     let f = fig3::fig3();
     let design = BusDesign::with_width(f.channels(), 8, ProtocolKind::FullHandshake);
-    let refined = generator(hardened)
+    let refined = generator(variant)
         .refine(&f.system, &design)
         .expect("fig3 campaign refinement");
     let x = f.x;
@@ -301,18 +463,19 @@ fn run_fig3(scenario: &str, plan: &FaultPlan, hardened: bool) -> FaultRow {
         };
         x_ok && mem_ok
     });
-    // CH0: 2 words, CH1: 2 words, CH2/CH3: 3 words each (22-bit messages).
-    let bound = hardened.then(|| fault_free_time(&refined) + retry_overhead(2 + 2 + 3 + 3));
+    let words = campaign_words(&refined, variant);
+    let bound = variant_bound(&refined, variant, words);
     FaultRow {
         system: "fig3@8".to_string(),
         scenario: scenario.to_string(),
-        hardened,
+        variant,
         outcome: out.outcome,
         finish_time: out.finish_time,
         injected: out.injected,
         flags_raised: out.flags_raised,
         diagnosis: out.diagnosis,
         bound,
+        words,
     }
 }
 
@@ -325,13 +488,14 @@ fn fault_free_time(refined: &RefinedSystem) -> u64 {
         .time()
 }
 
-/// Runs the full campaign: fault matrix × {plain, hardened} × {flc, fig3}.
+/// Runs the full campaign: fault matrix × {plain, hardened, protected}
+/// × {flc, fig3}.
 pub fn run() -> FaultData {
     let mut rows = Vec::new();
     for (name, plan) in fault_matrix() {
-        for hardened in [false, true] {
-            rows.push(run_flc(name, &plan, hardened));
-            rows.push(run_fig3(name, &plan, hardened));
+        for variant in Variant::ALL {
+            rows.push(run_flc(name, &plan, variant));
+            rows.push(run_fig3(name, &plan, variant));
         }
     }
     FaultData { rows }
@@ -340,7 +504,7 @@ pub fn run() -> FaultData {
 /// Renders the campaign as text.
 pub fn render(data: &FaultData) -> String {
     let mut out = String::new();
-    out.push_str("Fault campaign — plain vs timeout-hardened full handshake\n");
+    out.push_str("Fault campaign — plain vs hardened vs integrity-protected full handshake\n");
     out.push_str(&format!(
         "(watchdog {WATCHDOG} cycles, {RETRIES} retries, horizon {MAX_TIME} cycles)\n\n"
     ));
@@ -351,8 +515,12 @@ pub fn render(data: &FaultData) -> String {
         t.row([
             r.system.clone(),
             r.scenario.clone(),
-            if r.hardened { "hardened" } else { "plain" }.to_string(),
-            r.outcome.clone(),
+            r.variant.as_str().to_string(),
+            if r.silent_corrupt() {
+                format!("{} (silent)", r.outcome)
+            } else {
+                r.outcome.clone()
+            },
             r.finish_time.map_or("-".to_string(), |t| t.to_string()),
             r.injected.to_string(),
             if r.flags_raised.is_empty() {
@@ -369,7 +537,7 @@ pub fn render(data: &FaultData) -> String {
                 "\n{} / {} ({}): {}\n",
                 r.system,
                 r.scenario,
-                if r.hardened { "hardened" } else { "plain" },
+                r.variant.as_str(),
                 d
             ));
         }
@@ -389,6 +557,55 @@ pub fn render(data: &FaultData) -> String {
             hard.finish_time.unwrap_or(0),
             hard.bound.unwrap_or(0),
         ));
+    }
+    let integrity = data.integrity_rescues();
+    out.push_str(&format!(
+        "\n{} corruption(s) rescued by the integrity-protected variant\n",
+        integrity.len()
+    ));
+    for (broken, prot) in integrity {
+        out.push_str(&format!(
+            "  {} / {}: {} corrupts silently, protected -> {} at t = {}\n",
+            broken.system,
+            broken.scenario,
+            broken.variant.as_str(),
+            prot.outcome,
+            prot.finish_time.unwrap_or(0),
+        ));
+    }
+    out.push_str("\nfault-free overhead of integrity protection (vs hardened):\n");
+    for (hard, prot) in data.overhead_vs_hardened(Variant::Protected) {
+        let (ht, pt) = (
+            hard.finish_time.unwrap_or(0).max(1),
+            prot.finish_time.unwrap_or(0),
+        );
+        out.push_str(&format!(
+            "  {}: time {} -> {} (+{:.1}%), words {} -> {} (+{:.1}%)\n",
+            hard.system,
+            ht,
+            pt,
+            100.0 * (pt as f64 - ht as f64) / ht as f64,
+            hard.words,
+            prot.words,
+            100.0 * (prot.words as f64 - hard.words as f64) / hard.words.max(1) as f64,
+        ));
+    }
+    let silent = data.silent_corruptions();
+    if silent.is_empty() {
+        out.push_str("\nno silent corruptions on the protected variant\n");
+    } else {
+        out.push_str(&format!(
+            "\nINTEGRITY REGRESSION: {} protected run(s) corrupted data silently\n",
+            silent.len()
+        ));
+        for r in silent {
+            out.push_str(&format!(
+                "  {} / {} ({})\n",
+                r.system,
+                r.scenario,
+                r.variant.as_str()
+            ));
+        }
     }
     out
 }
@@ -412,29 +629,56 @@ fn json_str(s: &str) -> String {
 /// Serializes the campaign as the `BENCH_faults.json` document.
 pub fn to_json(data: &FaultData) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"ifsyn-bench-faults-v1\",\n");
+    out.push_str("{\n  \"schema\": \"ifsyn-bench-faults-v2\",\n");
     out.push_str(&format!("  \"watchdog\": {WATCHDOG},\n"));
     out.push_str(&format!("  \"retries\": {RETRIES},\n"));
     out.push_str(&format!(
         "  \"rescued_scenarios\": {},\n",
         data.rescued_pairs().len()
     ));
+    out.push_str(&format!(
+        "  \"integrity_rescues\": {},\n",
+        data.integrity_rescues().len()
+    ));
+    out.push_str(&format!(
+        "  \"silent_corruptions\": {},\n",
+        data.silent_corruptions().len()
+    ));
+    out.push_str("  \"overhead_vs_hardened\": [\n");
+    let overhead = data.overhead_vs_hardened(Variant::Protected);
+    for (i, (hard, prot)) in overhead.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": {}, \"hardened_time\": {}, \"protected_time\": {}, \
+             \"hardened_words\": {}, \"protected_words\": {}}}{}\n",
+            json_str(&hard.system),
+            hard.finish_time
+                .map_or("null".to_string(), |t| t.to_string()),
+            prot.finish_time
+                .map_or("null".to_string(), |t| t.to_string()),
+            hard.words,
+            prot.words,
+            if i + 1 < overhead.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in data.rows.iter().enumerate() {
         let flags: Vec<String> = r.flags_raised.iter().map(|f| json_str(f)).collect();
         out.push_str(&format!(
             "    {{\"system\": {}, \"scenario\": {}, \"protocol\": {}, \
-             \"outcome\": {}, \"finish_time\": {}, \"injected\": {}, \
-             \"flags_raised\": [{}], \"diagnosis\": {}, \"bound\": {}}}{}\n",
+             \"outcome\": {}, \"silent\": {}, \"finish_time\": {}, \"injected\": {}, \
+             \"flags_raised\": [{}], \"diagnosis\": {}, \"bound\": {}, \"words\": {}}}{}\n",
             json_str(&r.system),
             json_str(&r.scenario),
-            json_str(if r.hardened { "hardened" } else { "plain" }),
+            json_str(r.variant.as_str()),
             json_str(&r.outcome),
+            r.silent_corrupt(),
             r.finish_time.map_or("null".to_string(), |t| t.to_string()),
             r.injected,
             flags.join(", "),
             r.diagnosis.as_deref().map_or("null".to_string(), json_str),
             r.bound.map_or("null".to_string(), |b| b.to_string()),
+            r.words,
             if i + 1 < data.rows.len() { "," } else { "" },
         ));
     }
@@ -449,21 +693,21 @@ mod tests {
     #[test]
     fn stuck_done_deadlocks_plain_and_hardened_aborts() {
         let plan = FaultPlan::new().stuck_at_0("B_DONE", 0, None);
-        let plain = run_flc("done_stuck_at_0", &plan, false);
+        let plain = run_flc("done_stuck_at_0", &plan, Variant::Plain);
         assert_eq!(plain.outcome, "deadlock", "{plain:?}");
         let d = plain.diagnosis.as_deref().expect("diagnosis present");
         assert!(d.contains("wait until"), "{d}");
-        let hard = run_flc("done_stuck_at_0", &plan, true);
+        let hard = run_flc("done_stuck_at_0", &plan, Variant::Hardened);
         assert_eq!(hard.outcome, "aborted", "{hard:?}");
         assert!(!hard.flags_raised.is_empty());
         assert!(hard.within_bound(), "{hard:?}");
     }
 
     #[test]
-    fn no_faults_means_clean_completion_both_variants() {
+    fn no_faults_means_clean_completion_all_variants() {
         let plan = FaultPlan::new();
-        for hardened in [false, true] {
-            let r = run_fig3("none", &plan, hardened);
+        for variant in Variant::ALL {
+            let r = run_fig3("none", &plan, variant);
             assert_eq!(r.outcome, "completed", "{r:?}");
             assert_eq!(r.injected, 0);
         }
@@ -472,9 +716,31 @@ mod tests {
     #[test]
     fn hardening_costs_nothing_fault_free() {
         let plan = FaultPlan::new();
-        let plain = run_fig3("none", &plan, false);
-        let hard = run_fig3("none", &plan, true);
+        let plain = run_fig3("none", &plan, Variant::Plain);
+        let hard = run_fig3("none", &plan, Variant::Hardened);
         assert_eq!(plain.finish_time, hard.finish_time);
+    }
+
+    #[test]
+    fn protection_overhead_is_the_check_words() {
+        let plan = FaultPlan::new();
+        let hard = run_fig3("none", &plan, Variant::Hardened);
+        let prot = run_fig3("none", &plan, Variant::Protected);
+        // fig3: CH0 2+1, CH1 2+1, CH2/CH3 3+1 each.
+        assert_eq!(hard.words, 2 + 2 + 3 + 3);
+        assert_eq!(prot.words, 3 + 3 + 4 + 4);
+        // Each extra word costs 2 fault-free cycles.
+        assert!(prot.finish_time > hard.finish_time, "{prot:?} vs {hard:?}");
+    }
+
+    #[test]
+    fn data_flip_corrupts_hardened_but_not_protected() {
+        let plan = FaultPlan::new().flip_bit("B_DATA", 2, 9);
+        let hard = run_fig3("data_flip", &plan, Variant::Hardened);
+        assert_eq!(hard.outcome, "corrupt", "{hard:?}");
+        let prot = run_fig3("data_flip", &plan, Variant::Protected);
+        assert_eq!(prot.outcome, "completed", "{prot:?}");
+        assert!(prot.within_bound(), "{prot:?}");
     }
 
     #[test]
@@ -483,19 +749,51 @@ mod tests {
             rows: vec![FaultRow {
                 system: "flc@16".into(),
                 scenario: "none".into(),
-                hardened: true,
+                variant: Variant::Hardened,
                 outcome: "completed".into(),
                 finish_time: Some(42),
                 injected: 0,
                 flags_raised: vec![],
                 diagnosis: None,
                 bound: Some(100),
+                words: 512,
             }],
         };
         let json = to_json(&data);
-        assert!(json.contains("\"schema\": \"ifsyn-bench-faults-v1\""));
+        assert!(json.contains("\"schema\": \"ifsyn-bench-faults-v2\""));
         assert!(json.contains("\"finish_time\": 42"));
+        assert!(json.contains("\"silent\": false"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn silent_corruption_gate_covers_protected_only() {
+        let mk = |variant, outcome: &str| FaultRow {
+            system: "fig3@8".into(),
+            scenario: "data_flip".into(),
+            variant,
+            outcome: outcome.into(),
+            finish_time: Some(1),
+            injected: 1,
+            flags_raised: vec![],
+            diagnosis: None,
+            bound: None,
+            words: 10,
+        };
+        let data = FaultData {
+            rows: vec![
+                mk(Variant::Plain, "corrupt"),
+                mk(Variant::Hardened, "corrupt"),
+                mk(Variant::Protected, "completed"),
+            ],
+        };
+        assert!(data.silent_corruptions().is_empty());
+        let mut rows = data.rows.clone();
+        rows.push(mk(Variant::Protected, "corrupt"));
+        let data = FaultData { rows };
+        let silent = data.silent_corruptions();
+        assert_eq!(silent.len(), 1);
+        assert_eq!(silent[0].variant, Variant::Protected);
     }
 
     #[test]

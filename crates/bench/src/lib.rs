@@ -24,6 +24,7 @@
 
 pub mod ablation;
 pub mod batch;
+pub mod check;
 pub mod extra;
 pub mod faults;
 pub mod fig2;

@@ -94,6 +94,10 @@ pub struct BusStructure {
     pub id: Option<SignalId>,
     /// Shared data lines (absent for hardwired channels).
     pub data: Option<SignalId>,
+    /// Integrity NACK line (`<bus>_ERR`), present only for
+    /// integrity-protected refinements. Rests at `'1'`; the server
+    /// lowers it only while acknowledging a verified check word.
+    pub err: Option<SignalId>,
     /// Per-channel ID codes, in `design.channels` order.
     pub id_codes: Vec<(ChannelId, u64)>,
     /// Per-channel client-side procedures.
@@ -184,6 +188,7 @@ pub struct ProtocolGenerator {
     arbitration: ArbitrationChoice,
     rolled_loops: bool,
     hardening: Option<Hardening>,
+    integrity: bool,
 }
 
 impl ProtocolGenerator {
@@ -194,6 +199,7 @@ impl ProtocolGenerator {
             arbitration: ArbitrationChoice::Auto,
             rolled_loops: false,
             hardening: None,
+            integrity: false,
         }
     }
 
@@ -240,6 +246,39 @@ impl ProtocolGenerator {
     pub fn with_retry_limit(mut self, retries: u32) -> Self {
         let h = self.hardening.get_or_insert_with(Hardening::default);
         h.max_retries = retries;
+        self
+    }
+
+    /// Enables the integrity-protected protocol variant.
+    ///
+    /// Protected full-handshake transfers append one *check word* per
+    /// word run: a position-weighted rolling checksum of the words just
+    /// transferred (`acc := acc + word_j * salt_j` truncated to the data
+    /// width, with `salt_j = j + 1`). The weighting makes the sum
+    /// *order-sensitive*: swapped, duplicated, or stream-shifted words
+    /// change it even when the payload repeats — unlike a salted XOR,
+    /// which commutes and accepts any permutation of the same word set
+    /// (the explicit-state checker found exactly that false accept: a
+    /// retry-desynced stream under a stuck DONE that verified and
+    /// committed a corrupt address). The server verifies the checksum
+    /// before committing anything and acknowledges the check word with
+    /// the bus-wide `<bus>_ERR` wire, which rests at `'1'` (NACK) and is
+    /// lowered only while a *verified* check word is acknowledged — a
+    /// spuriously flipped DONE therefore reads as a NACK, never as a
+    /// false accept. On a NACK (or, for reads, a client-side response
+    /// checksum mismatch) the whole message is retransmitted, bounded by
+    /// the hardening retry limit; exhaustion raises the channel's sticky
+    /// status flag exactly like a hardened word abort. Read channels use
+    /// a direction-aligned word plan (no mixed address/data words) so
+    /// request and response runs are checksummed independently.
+    ///
+    /// Integrity implies hardening (enabled with defaults if not already
+    /// configured) and requires the full-handshake protocol; the ID
+    /// lines themselves are not covered (a corrupted ID mis-routes the
+    /// transfer before any checksum is computed).
+    pub fn with_integrity(mut self) -> Self {
+        self.integrity = true;
+        self.hardening.get_or_insert_with(Hardening::default);
         self
     }
 
@@ -298,6 +337,11 @@ impl ProtocolGenerator {
                 });
             }
         }
+        if self.integrity && design.protocol != ProtocolKind::FullHandshake {
+            return Err(CoreError::UnsupportedProtocol {
+                reason: "integrity protection requires the full-handshake protocol".to_string(),
+            });
+        }
         if design.protocol == ProtocolKind::Hardwired {
             return self.refine_hardwired(system, design);
         }
@@ -339,6 +383,7 @@ impl ProtocolGenerator {
                 arbitration: self.arbitration,
                 rolled_loops: self.rolled_loops,
                 hardening: self.hardening,
+                integrity: self.integrity,
             };
             let refined = generator.refine(&current, design)?;
             current = refined.system;
@@ -402,6 +447,7 @@ impl ProtocolGenerator {
             done: None,
             id: None,
             data: None,
+            err: None,
             id_codes: Vec::new(),
             client_procs: client_procs.clone(),
             serve_procs: Vec::new(),
@@ -530,12 +576,14 @@ struct Gen {
     arbitration: ArbitrationChoice,
     rolled_loops: bool,
     hardening: Option<Hardening>,
+    integrity: bool,
     width: u32,
     id_bits: u32,
     start: SignalId,
     done: Option<SignalId>,
     id: Option<SignalId>,
     data: SignalId,
+    err: Option<SignalId>,
     id_codes: Vec<(ChannelId, u64)>,
     client_procs: Vec<(ChannelId, ProcId)>,
     serve_procs: Vec<(ChannelId, ProcId)>,
@@ -556,6 +604,7 @@ impl Gen {
             arbitration: pg.arbitration,
             rolled_loops: pg.rolled_loops,
             hardening: pg.hardening,
+            integrity: pg.integrity,
             width,
             id_bits,
             // placeholder ids; assigned in build_bus_signals
@@ -563,6 +612,7 @@ impl Gen {
             done: None,
             id: None,
             data: SignalId::new(0),
+            err: None,
             id_codes: Vec::new(),
             client_procs: Vec::new(),
             serve_procs: Vec::new(),
@@ -588,6 +638,15 @@ impl Gen {
         self.data = self
             .sys
             .add_signal(format!("{b}_DATA"), Ty::Bits(self.width));
+        if self.integrity {
+            // Resting-high NACK: a spuriously sampled acknowledge reads
+            // as "retransmit", never as a silent accept.
+            self.err = Some(self.sys.add_signal_init(
+                format!("{b}_ERR"),
+                Ty::Bit,
+                ifsyn_spec::Value::Bit(true),
+            ));
+        }
         self.id_codes = self
             .design
             .channels
@@ -626,27 +685,50 @@ impl Gen {
         for (k, &chid) in self.design.channels.clone().iter().enumerate() {
             let ch = self.sys.channel(chid).clone();
             let code = k as u64;
-            let plan = WordPlan::for_channel(&ch, self.width);
+            // Protected reads need direction-aligned words so request
+            // and response runs checksum independently.
+            let plan = if self.integrity && ch.direction == ChannelDirection::Read {
+                WordPlan::aligned_for_channel(&ch, self.width)
+            } else {
+                WordPlan::for_channel(&ch, self.width)
+            };
             let lock = self.arbiter.as_ref().and_then(|w| w.lines_of(ch.accessor));
             // Hardened transfers report unrecoverable failures through a
-            // sticky per-channel status flag instead of hanging.
+            // sticky per-channel status flag instead of hanging. The
+            // channel name is uppercased so flag names are uniform
+            // across systems regardless of source-level casing.
             let stat = (self.hardening.is_some() && self.protocol == ProtocolKind::FullHandshake)
                 .then(|| {
-                    let sig = self
-                        .sys
-                        .add_signal(format!("{}_STAT_{}", self.bus_name, ch.name), Ty::Bit);
+                    let sig = self.sys.add_signal(
+                        format!("{}_STAT_{}", self.bus_name, ch.name.to_uppercase()),
+                        Ty::Bit,
+                    );
                     self.status_flags.push((chid, sig));
                     sig
                 });
-            let (client, serve) = match ch.direction {
-                ChannelDirection::Write => (
-                    self.gen_send_proc(&ch, code, &plan, lock, stat),
-                    self.gen_serve_write(&ch, &plan),
-                ),
-                ChannelDirection::Read => (
-                    self.gen_receive_proc(&ch, code, &plan, lock, stat),
-                    self.gen_serve_read(&ch, &plan),
-                ),
+            let (client, serve) = if self.integrity {
+                let stat = stat.expect("integrity implies hardening status flags");
+                match ch.direction {
+                    ChannelDirection::Write => (
+                        self.gen_send_proc_protected(&ch, code, &plan, lock, stat),
+                        self.gen_serve_write_protected(&ch, &plan),
+                    ),
+                    ChannelDirection::Read => (
+                        self.gen_receive_proc_protected(&ch, code, &plan, lock, stat),
+                        self.gen_serve_read_protected(&ch, &plan),
+                    ),
+                }
+            } else {
+                match ch.direction {
+                    ChannelDirection::Write => (
+                        self.gen_send_proc(&ch, code, &plan, lock, stat),
+                        self.gen_serve_write(&ch, &plan),
+                    ),
+                    ChannelDirection::Read => (
+                        self.gen_receive_proc(&ch, code, &plan, lock, stat),
+                        self.gen_serve_read(&ch, &plan),
+                    ),
+                }
             };
             let client_id = self.sys.add_procedure(client);
             let serve_id = self.sys.add_procedure(serve);
@@ -656,8 +738,9 @@ impl Gen {
     }
 
     /// Client-side synchronisation of one requester-driven word; the
-    /// data lines must already be set up.
-    fn client_word_sync(&self, latch: Option<Stmt>) -> Vec<Stmt> {
+    /// data lines must already be set up. `latch` runs while the word is
+    /// acknowledged (response latches, checksum updates, ERR samples).
+    fn client_word_sync(&self, latch: Vec<Stmt>) -> Vec<Stmt> {
         let start = self.start;
         match self.protocol {
             ProtocolKind::FullHandshake => {
@@ -709,7 +792,7 @@ impl Gen {
     /// bookkeeping slots and plain otherwise.
     fn client_word_sync_with(
         &self,
-        latch: Option<Stmt>,
+        latch: Vec<Stmt>,
         harden: Option<(usize, usize, SignalId)>,
         lock: Option<(SignalId, SignalId)>,
     ) -> Vec<Stmt> {
@@ -733,7 +816,7 @@ impl Gen {
     /// bounded by `(N + 1) * (2W + 2)` cycles.
     fn hardened_client_word_sync(
         &self,
-        latch: Option<Stmt>,
+        latch: Vec<Stmt>,
         ok_slot: usize,
         retry_slot: usize,
         stat: SignalId,
@@ -890,7 +973,7 @@ impl Gen {
                 dyn_slice_of(load(local(msg_slot)), self.word_offset(j_slot), self.width),
                 0,
             )];
-            word.extend(self.client_word_sync_with(None, harden, lock));
+            word.extend(self.client_word_sync_with(vec![], harden, lock));
             body.push(self.rolled_loop(plan, j_slot, word));
         } else {
             for w in &plan.words {
@@ -902,7 +985,7 @@ impl Gen {
                     ),
                     0,
                 ));
-                body.extend(self.client_word_sync_with(None, harden, lock));
+                body.extend(self.client_word_sync_with(vec![], harden, lock));
             }
         }
         if let Some((req, gnt)) = lock {
@@ -941,7 +1024,7 @@ impl Gen {
                         resize(slice_of(load(local(aslot)), w.msg_hi, w.msg_lo), self.width),
                         0,
                     ));
-                    body.extend(self.client_word_sync_with(None, harden, lock));
+                    body.extend(self.client_word_sync_with(vec![], harden, lock));
                 }
                 WordDir::Response => {
                     let latch = Stmt::Assign {
@@ -949,7 +1032,7 @@ impl Gen {
                         value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
                         cost: Some(0),
                     };
-                    body.extend(self.client_word_sync_with(Some(latch), harden, lock));
+                    body.extend(self.client_word_sync_with(vec![latch], harden, lock));
                 }
                 WordDir::Mixed => {
                     let aslot = addr_slot.expect("mixed words imply an address");
@@ -963,7 +1046,7 @@ impl Gen {
                         value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, a - w.msg_lo),
                         cost: Some(0),
                     };
-                    body.extend(self.client_word_sync_with(Some(latch), harden, lock));
+                    body.extend(self.client_word_sync_with(vec![latch], harden, lock));
                 }
             }
         }
@@ -1088,6 +1171,413 @@ impl Gen {
         p
     }
 
+    /// Salt for word `j` of a protected run: the nonzero position weight
+    /// `j + 1` multiplied into the rolling checksum so duplicated,
+    /// swapped, or stream-shifted words change the sum even when the
+    /// payload repeats.
+    fn salt(&self, j: u32) -> Expr {
+        bits_const(u64::from(j) + 1, self.width)
+    }
+
+    /// Seeds a protected run's checksum with the run's word count.
+    ///
+    /// A zero seed makes a single-word run's check word equal the word
+    /// itself (`word * 1`), so a duplicated word — exactly the shape a
+    /// stuck DONE's word retry produces — self-verifies as `(X, X)`.
+    /// The nonzero length seed breaks that fixpoint and ties the sum to
+    /// the run shape both sides expect.
+    fn acc_init(&self, acc_slot: usize, run_words: usize) -> Stmt {
+        assign_cost(local(acc_slot), bits_const(run_words as u64, self.width), 0)
+    }
+
+    /// The array length behind `ch`, when its variable is addressable:
+    /// the bound a message address must respect before the server
+    /// dereferences it.
+    fn served_array_len(&self, ch: &Channel) -> Option<u32> {
+        match &self.sys.variable(ch.variable).ty {
+            Ty::Array { len, .. } => Some(*len),
+            _ => None,
+        }
+    }
+
+    /// Conjoins an in-range check of a served message's address onto a
+    /// verification condition. A false-accepted (or merely corrupt)
+    /// address must read as a NACK, never reach an array index: the
+    /// client retransmits or aborts with its flag, and the server stays
+    /// inside its storage.
+    fn guard_addr(&self, cond: Expr, ch: &Channel, addr: Expr) -> Expr {
+        match self.served_array_len(ch) {
+            Some(len) if ch.addr_bits > 0 => and(cond, lt(addr, int_const(i64::from(len), 32))),
+            _ => cond,
+        }
+    }
+
+    /// `acc := acc + word * salt_j` — one rolling-checksum step,
+    /// truncated to the data width on assignment.
+    ///
+    /// The position weight makes the sum order-sensitive. A salted XOR
+    /// (`acc xor word xor salt_j`) is not: XOR commutes and the salt set
+    /// is unchanged under permutation, so a retry-desynced word stream
+    /// containing the same values in the wrong slots verifies cleanly —
+    /// the model checker exhibited exactly that false accept committing
+    /// a corrupt address under a stuck-at-0 DONE.
+    fn acc_update(&self, acc_slot: usize, word: Expr, j: u32) -> Stmt {
+        assign_cost(
+            local(acc_slot),
+            add(load(local(acc_slot)), mul(word, self.salt(j))),
+            0,
+        )
+    }
+
+    /// `mretry := mretry + 1` — one message-level retry consumed.
+    fn bump_mretry(&self, mretry_slot: usize) -> Stmt {
+        assign_cost(
+            local(mretry_slot),
+            add(load(local(mretry_slot)), int_const(1, 16)),
+            0,
+        )
+    }
+
+    /// Sticky abort: raise the status flag, release the bus, return.
+    fn abort_stmts(&self, stat: SignalId, lock: Option<(SignalId, SignalId)>) -> Vec<Stmt> {
+        let mut v = vec![drive_cost(stat, bit_const(true), 0)];
+        if let Some((req, gnt)) = lock {
+            v.extend(arbitration::unlock_stmts(req, gnt));
+        }
+        v.push(Stmt::Return);
+        v
+    }
+
+    /// `Send_ch(addr?, txdata)`, integrity-protected: every attempt
+    /// drives the message words followed by one check word carrying the
+    /// salted-XOR checksum; the server's verdict is sampled from the ERR
+    /// wire while the check word is acknowledged. A NACK retransmits the
+    /// whole message, bounded by the hardening retry limit; exhaustion
+    /// raises the sticky status flag.
+    fn gen_send_proc_protected(
+        &self,
+        ch: &Channel,
+        code: u64,
+        plan: &WordPlan,
+        lock: Option<(SignalId, SignalId)>,
+        stat: SignalId,
+    ) -> Procedure {
+        let a = ch.addr_bits;
+        let d = ch.data_bits;
+        let m = a + d;
+        let err = self.err.expect("integrity refinement has ERR");
+        let h = self.hardening.expect("integrity implies hardening");
+        let retries = i64::from(h.max_retries);
+        let mut p = Procedure::new(format!("Send_{}", ch.name));
+        let addr_slot = (a > 0).then(|| p.add_param("addr", Ty::Bits(a), ParamMode::In));
+        let tx_slot = p.add_param("txdata", Ty::Bits(d), ParamMode::In);
+        let msg_slot = p.add_local("msg", Ty::Bits(m));
+        let acc_slot = p.add_local("acc", Ty::Bits(self.width));
+        let nak_slot = p.add_local("nak", Ty::Bit);
+        let sent_slot = p.add_local("sent", Ty::Bit);
+        let mretry_slot = p.add_local("mretry", Ty::Int(16));
+        let harden = self.harden_slots(&mut p, Some(stat));
+        let mut body = Vec::new();
+        if let Some((req, gnt)) = lock {
+            body.extend(arbitration::lock_stmts(req, gnt));
+        }
+        let msg_val = match addr_slot {
+            Some(aslot) => concat(load(local(aslot)), load(local(tx_slot))),
+            None => resize(load(local(tx_slot)), m),
+        };
+        body.push(assign_cost(local(msg_slot), msg_val, 0));
+        body.push(assign_cost(local(sent_slot), bit_const(false), 0));
+        body.push(assign_cost(local(mretry_slot), int_const(0, 16), 0));
+        let mut attempt = Vec::new();
+        attempt.extend(self.drive_id_stmt(code));
+        attempt.push(self.acc_init(acc_slot, plan.words.len()));
+        for w in &plan.words {
+            let word = resize(
+                slice_of(load(local(msg_slot)), w.msg_hi, w.msg_lo),
+                self.width,
+            );
+            attempt.push(drive_cost(self.data, word.clone(), 0));
+            attempt.push(self.acc_update(acc_slot, word, w.index));
+            attempt.extend(self.client_word_sync_with(vec![], harden, lock));
+        }
+        attempt.push(drive_cost(self.data, load(local(acc_slot)), 0));
+        let sample = assign_cost(local(nak_slot), signal(err), 0);
+        attempt.extend(self.client_word_sync_with(vec![sample], harden, lock));
+        attempt.push(if_else(
+            eq(load(local(nak_slot)), bit_const(false)),
+            vec![assign_cost(local(sent_slot), bit_const(true), 0)],
+            vec![self.bump_mretry(mretry_slot)],
+        ));
+        body.push(while_loop(
+            and(
+                eq(load(local(sent_slot)), bit_const(false)),
+                le(load(local(mretry_slot)), int_const(retries, 16)),
+            ),
+            attempt,
+        ));
+        body.push(if_then(
+            eq(load(local(sent_slot)), bit_const(false)),
+            self.abort_stmts(stat, lock),
+        ));
+        if let Some((req, gnt)) = lock {
+            body.extend(arbitration::unlock_stmts(req, gnt));
+        }
+        p.body = body;
+        p
+    }
+
+    /// `Serve_ch` for a protected write channel: latch the words while
+    /// accumulating their checksum, compare against the client's check
+    /// word, answer on ERR, and commit only a verified message. The
+    /// mismatch-restart loop doubles as the resynchronisation mechanism:
+    /// after a duplicated or dropped word the next client attempt lands
+    /// back on word 0 of a fresh round.
+    fn gen_serve_write_protected(&self, ch: &Channel, plan: &WordPlan) -> Procedure {
+        let m = ch.message_bits();
+        let err = self.err.expect("integrity refinement has ERR");
+        let mut p = Procedure::new(format!("Serve_{}", ch.name));
+        let msg_slot = p.add_local("msg", Ty::Bits(m));
+        let acc_slot = p.add_local("acc", Ty::Bits(self.width));
+        let chk_slot = p.add_local("chk", Ty::Bits(self.width));
+        let good_slot = p.add_local("good", Ty::Bit);
+        let mut round = vec![self.acc_init(acc_slot, plan.words.len())];
+        for w in &plan.words {
+            let latch = Stmt::Assign {
+                place: slice(local(msg_slot), w.msg_hi, w.msg_lo),
+                value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
+                cost: Some(0),
+            };
+            let word = resize(
+                slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
+                self.width,
+            );
+            let upd = self.acc_update(acc_slot, word, w.index);
+            round.extend(self.server_word_sync(w.index, vec![latch, upd]));
+        }
+        let ok = self.guard_addr(
+            eq(load(local(chk_slot)), load(local(acc_slot))),
+            ch,
+            slice_of(load(local(msg_slot)), ch.addr_bits.max(1) - 1, 0),
+        );
+        let verify = vec![
+            assign_cost(local(chk_slot), signal(self.data), 0),
+            if_else(
+                ok,
+                vec![
+                    assign_cost(local(good_slot), bit_const(true), 0),
+                    drive_cost(err, bit_const(false), 0),
+                ],
+                vec![drive_cost(err, bit_const(true), 0)],
+            ),
+        ];
+        let mut check_word = self.server_word_sync(plan.word_count(), verify);
+        // Restore the resting NACK level once the check word completes.
+        check_word.push(drive_cost(err, bit_const(true), 0));
+        round.extend(check_word);
+        p.body = vec![
+            assign_cost(local(good_slot), bit_const(false), 0),
+            while_loop(eq(load(local(good_slot)), bit_const(false)), round),
+            commit_stmt(ch, load(local(msg_slot))),
+        ];
+        p
+    }
+
+    /// `Receive_ch(addr?, rxdata)`, integrity-protected: the request run
+    /// (if any) carries its own check word verified by the server and
+    /// acknowledged on ERR; the response run's trailing check word is
+    /// verified by the client itself. Either failure retransmits the
+    /// whole message, bounded by the hardening retry limit.
+    fn gen_receive_proc_protected(
+        &self,
+        ch: &Channel,
+        code: u64,
+        plan: &WordPlan,
+        lock: Option<(SignalId, SignalId)>,
+        stat: SignalId,
+    ) -> Procedure {
+        let a = ch.addr_bits;
+        let d = ch.data_bits;
+        let err = self.err.expect("integrity refinement has ERR");
+        let h = self.hardening.expect("integrity implies hardening");
+        let retries = i64::from(h.max_retries);
+        let mut p = Procedure::new(format!("Receive_{}", ch.name));
+        let addr_slot = (a > 0).then(|| p.add_param("addr", Ty::Bits(a), ParamMode::In));
+        let rx_slot = p.add_param("rxdata", Ty::Bits(d), ParamMode::Out);
+        let acc_slot = p.add_local("acc", Ty::Bits(self.width));
+        let racc_slot = p.add_local("racc", Ty::Bits(self.width));
+        let chkw_slot = p.add_local("chkw", Ty::Bits(self.width));
+        let nak_slot = p.add_local("nak", Ty::Bit);
+        let got_slot = p.add_local("got", Ty::Bit);
+        let mretry_slot = p.add_local("mretry", Ty::Int(16));
+        let harden = self.harden_slots(&mut p, Some(stat));
+        let request_words: Vec<_> = plan
+            .words
+            .iter()
+            .filter(|w| w.dir == WordDir::Request)
+            .collect();
+        let response_words: Vec<_> = plan
+            .words
+            .iter()
+            .filter(|w| w.dir == WordDir::Response)
+            .collect();
+        let mut body = Vec::new();
+        if let Some((req, gnt)) = lock {
+            body.extend(arbitration::lock_stmts(req, gnt));
+        }
+        body.push(assign_cost(local(got_slot), bit_const(false), 0));
+        body.push(assign_cost(local(mretry_slot), int_const(0, 16), 0));
+        let mut attempt = Vec::new();
+        attempt.extend(self.drive_id_stmt(code));
+        attempt.push(assign_cost(local(nak_slot), bit_const(false), 0));
+        if !request_words.is_empty() {
+            let aslot = addr_slot.expect("request words imply an address");
+            attempt.push(self.acc_init(acc_slot, request_words.len()));
+            for w in &request_words {
+                let word = resize(slice_of(load(local(aslot)), w.msg_hi, w.msg_lo), self.width);
+                attempt.push(drive_cost(self.data, word.clone(), 0));
+                attempt.push(self.acc_update(acc_slot, word, w.index));
+                attempt.extend(self.client_word_sync_with(vec![], harden, lock));
+            }
+            attempt.push(drive_cost(self.data, load(local(acc_slot)), 0));
+            let sample = assign_cost(local(nak_slot), signal(err), 0);
+            attempt.extend(self.client_word_sync_with(vec![sample], harden, lock));
+        }
+        let mut respond = vec![self.acc_init(racc_slot, response_words.len())];
+        for w in &response_words {
+            let latch = Stmt::Assign {
+                place: slice(local(rx_slot), w.msg_hi - a, w.msg_lo - a),
+                value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
+                cost: Some(0),
+            };
+            let word = resize(
+                slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
+                self.width,
+            );
+            let upd = self.acc_update(racc_slot, word, w.index);
+            respond.extend(self.client_word_sync_with(vec![latch, upd], harden, lock));
+        }
+        let latch_chk = assign_cost(local(chkw_slot), signal(self.data), 0);
+        respond.extend(self.client_word_sync_with(vec![latch_chk], harden, lock));
+        respond.push(if_else(
+            eq(load(local(chkw_slot)), load(local(racc_slot))),
+            vec![assign_cost(local(got_slot), bit_const(true), 0)],
+            vec![self.bump_mretry(mretry_slot)],
+        ));
+        attempt.push(if_else(
+            eq(load(local(nak_slot)), bit_const(false)),
+            respond,
+            vec![self.bump_mretry(mretry_slot)],
+        ));
+        body.push(while_loop(
+            and(
+                eq(load(local(got_slot)), bit_const(false)),
+                le(load(local(mretry_slot)), int_const(retries, 16)),
+            ),
+            attempt,
+        ));
+        body.push(if_then(
+            eq(load(local(got_slot)), bit_const(false)),
+            self.abort_stmts(stat, lock),
+        ));
+        if let Some((req, gnt)) = lock {
+            body.extend(arbitration::unlock_stmts(req, gnt));
+        }
+        p.body = body;
+        p
+    }
+
+    /// `Serve_ch` for a protected read channel: verify the request run's
+    /// check word before fetching (a corrupted address must not produce
+    /// an internally consistent response), then answer the response
+    /// words followed by their own checksum for the client to verify.
+    fn gen_serve_read_protected(&self, ch: &Channel, plan: &WordPlan) -> Procedure {
+        let a = ch.addr_bits;
+        let d = ch.data_bits;
+        let err = self.err.expect("integrity refinement has ERR");
+        let mut p = Procedure::new(format!("Serve_{}", ch.name));
+        let addr_slot = (a > 0).then(|| p.add_local("addrbuf", Ty::Bits(a)));
+        let data_slot = p.add_local("data", Ty::Bits(d));
+        let acc_slot = p.add_local("acc", Ty::Bits(self.width));
+        let request_words: Vec<_> = plan
+            .words
+            .iter()
+            .filter(|w| w.dir == WordDir::Request)
+            .collect();
+        let response_words: Vec<_> = plan
+            .words
+            .iter()
+            .filter(|w| w.dir == WordDir::Response)
+            .collect();
+        let fetch = |data_slot: usize| -> Stmt {
+            let value = match addr_slot {
+                Some(aslot) => load(index(var(ch.variable), load(local(aslot)))),
+                None => load(var(ch.variable)),
+            };
+            assign_cost(local(data_slot), value, 0)
+        };
+        let mut body = Vec::new();
+        if !request_words.is_empty() {
+            let aslot = addr_slot.expect("request words imply an address");
+            let chk_slot = p.add_local("chk", Ty::Bits(self.width));
+            let good_slot = p.add_local("good", Ty::Bit);
+            let mut round = vec![self.acc_init(acc_slot, request_words.len())];
+            for w in &request_words {
+                let latch = Stmt::Assign {
+                    place: slice(local(aslot), w.msg_hi, w.msg_lo),
+                    value: slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
+                    cost: Some(0),
+                };
+                let word = resize(
+                    slice_of(signal(self.data), w.msg_hi - w.msg_lo, 0),
+                    self.width,
+                );
+                let upd = self.acc_update(acc_slot, word, w.index);
+                round.extend(self.server_word_sync(w.index, vec![latch, upd]));
+            }
+            let ok = self.guard_addr(
+                eq(load(local(chk_slot)), load(local(acc_slot))),
+                ch,
+                load(local(aslot)),
+            );
+            let verify = vec![
+                assign_cost(local(chk_slot), signal(self.data), 0),
+                if_else(
+                    ok,
+                    vec![
+                        assign_cost(local(good_slot), bit_const(true), 0),
+                        drive_cost(err, bit_const(false), 0),
+                    ],
+                    vec![drive_cost(err, bit_const(true), 0)],
+                ),
+            ];
+            let mut check_word = self.server_word_sync(request_words.len() as u32, verify);
+            check_word.push(drive_cost(err, bit_const(true), 0));
+            round.extend(check_word);
+            body.push(assign_cost(local(good_slot), bit_const(false), 0));
+            body.push(while_loop(
+                eq(load(local(good_slot)), bit_const(false)),
+                round,
+            ));
+        }
+        body.push(fetch(data_slot));
+        body.push(self.acc_init(acc_slot, response_words.len()));
+        for w in &response_words {
+            let word = resize(
+                slice_of(load(local(data_slot)), w.msg_hi - a, w.msg_lo - a),
+                self.width,
+            );
+            let respond = drive_cost(self.data, word.clone(), 0);
+            let upd = self.acc_update(acc_slot, word, w.index);
+            body.extend(self.server_word_sync(w.index, vec![respond, upd]));
+        }
+        body.extend(self.server_word_sync(
+            plan.word_count(),
+            vec![drive_cost(self.data, load(local(acc_slot)), 0)],
+        ));
+        p.body = body;
+        p
+    }
+
     /// Step 5: one variable process per served variable, dispatching on
     /// the ID lines (paper Fig. 5's `Xproc` / `MEMproc`).
     fn build_variable_processes(&mut self) {
@@ -1180,6 +1670,7 @@ impl Gen {
             done: self.done,
             id: self.id,
             data: Some(self.data),
+            err: self.err,
             id_codes: self.id_codes,
             client_procs: self.client_procs,
             serve_procs: self.serve_procs,

@@ -108,6 +108,54 @@ impl WordPlan {
         }
     }
 
+    /// Plans a *direction-aligned* word layout: request words carry only
+    /// address bits, response words only data bits, so no word straddles
+    /// the boundary ([`WordDir::Mixed`] never appears).
+    ///
+    /// The integrity-protected protocol uses this layout for read
+    /// channels so each direction can carry its own trailing check word;
+    /// a message whose address does not fill a whole word costs up to
+    /// one extra bus word compared to [`WordPlan::for_channel`]. Write
+    /// channels and address-free reads plan identically either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or the channel has a zero-bit message.
+    pub fn aligned_for_channel(channel: &Channel, width: u32) -> Self {
+        assert!(width > 0, "bus width must be positive");
+        let a = channel.addr_bits;
+        let d = channel.data_bits;
+        let m = a + d;
+        assert!(m > 0, "channel `{}` has a zero-bit message", channel.name);
+        if channel.direction == ChannelDirection::Write || a == 0 {
+            return Self::for_channel(channel, width);
+        }
+        let mut words = Vec::new();
+        let mut index = 0u32;
+        let mut push_run = |words: &mut Vec<WordSpec>, lo: u32, hi: u32, dir: WordDir| {
+            let mut msg_lo = lo;
+            while msg_lo <= hi {
+                let msg_hi = (msg_lo + width - 1).min(hi);
+                words.push(WordSpec {
+                    index,
+                    msg_lo,
+                    msg_hi,
+                    dir,
+                });
+                index += 1;
+                msg_lo = msg_hi + 1;
+            }
+        };
+        push_run(&mut words, 0, a - 1, WordDir::Request);
+        push_run(&mut words, a, m - 1, WordDir::Response);
+        Self {
+            width,
+            addr_bits: a,
+            data_bits: d,
+            words,
+        }
+    }
+
     /// Total message bits.
     pub fn message_bits(&self) -> u32 {
         self.addr_bits + self.data_bits
@@ -238,6 +286,55 @@ mod tests {
                 }
             }
             assert!(covered.iter().all(|&c| c), "width {w} left bits uncovered");
+        }
+    }
+
+    #[test]
+    fn aligned_read_plan_has_no_mixed_words() {
+        let ch = channel(ChannelDirection::Read, 16, 7);
+        for w in 1..=30 {
+            let plan = WordPlan::aligned_for_channel(&ch, w);
+            assert!(
+                plan.words.iter().all(|word| word.dir != WordDir::Mixed),
+                "width {w} produced a mixed word"
+            );
+            let mut covered = [false; 23];
+            for word in &plan.words {
+                for bit in word.msg_lo..=word.msg_hi {
+                    assert!(!covered[bit as usize], "bit {bit} covered twice");
+                    covered[bit as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "width {w} left bits uncovered");
+        }
+    }
+
+    #[test]
+    fn aligned_read_plan_splits_at_address_boundary() {
+        // 7 addr + 16 data on width 16: one pure address word, one pure
+        // data word — where the straddling plan needs a Mixed turnaround.
+        let ch = channel(ChannelDirection::Read, 16, 7);
+        let plan = WordPlan::aligned_for_channel(&ch, 16);
+        assert_eq!(plan.word_count(), 2);
+        assert_eq!(plan.words[0].dir, WordDir::Request);
+        assert_eq!((plan.words[0].msg_lo, plan.words[0].msg_hi), (0, 6));
+        assert_eq!(plan.words[1].dir, WordDir::Response);
+        assert_eq!((plan.words[1].msg_lo, plan.words[1].msg_hi), (7, 22));
+    }
+
+    #[test]
+    fn aligned_plan_matches_plain_for_writes_and_scalar_reads() {
+        let wr = channel(ChannelDirection::Write, 16, 7);
+        let rd = channel(ChannelDirection::Read, 16, 0);
+        for w in 1..=24 {
+            assert_eq!(
+                WordPlan::aligned_for_channel(&wr, w),
+                WordPlan::for_channel(&wr, w)
+            );
+            assert_eq!(
+                WordPlan::aligned_for_channel(&rd, w),
+                WordPlan::for_channel(&rd, w)
+            );
         }
     }
 

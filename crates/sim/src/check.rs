@@ -1,0 +1,1877 @@
+//! Explicit-state model checking of specification IR.
+//!
+//! The simulator executes *one* schedule; the checker executes *all* of
+//! them. It interprets the same compiled [`Program`] the kernel runs, but
+//! under a nondeterministic scheduler and an optional adversarial fault
+//! environment, enumerating every reachable system state by breadth-first
+//! exploration. Over the explored graph it decides:
+//!
+//! * **invariants** — a predicate holds in every reachable state
+//!   (e.g. bus grant mutual exclusion);
+//! * **terminal properties** — a predicate holds in every quiescent state
+//!   (e.g. no run ends with silently corrupted data). A path on which a
+//!   process *crashes* — a runtime evaluation error such as a
+//!   fault-corrupted address indexing past an array — is recorded as an
+//!   error edge and fails every terminal property with the crashing trace
+//!   as counterexample, rather than aborting the exploration;
+//! * **leads-to properties** — from every reachable state satisfying a
+//!   premise, some continuation reaches the goal (`AG(premise → EF
+//!   goal)`). This is "eventually, under scheduler fairness": a violation
+//!   is a reachable state from which the goal is *unreachable on every
+//!   continuation* — precisely the unrecoverable-request shape, not a mere
+//!   unfortunate schedule;
+//! * **completion bounds** — the maximum total cycle cost over all
+//!   maximal paths ([`StateSpace::worst_cost_to_quiescence`]), turning
+//!   the hardened protocols' "completes or aborts within N cycles" claim
+//!   into a checked theorem (`None` = a cycle exists and no bound does).
+//!
+//! ## Abstraction
+//!
+//! States are time-abstracted: a state is the storage (signals,
+//! variables), the control point of every process (frames, pcs, locals,
+//! loop bounds) and the remaining fault budgets — but no clock. A
+//! transition runs one process *atomically* from its current control
+//! point up to its next cycle-consuming instruction (or blocking wait),
+//! with the elapsed cycles recorded as the transition's cost. Signal
+//! writes become visible immediately instead of at the next delta; the
+//! reorderings the delta queue can produce are covered by the scheduler's
+//! interleaving nondeterminism, so the checker over-approximates the
+//! kernel's schedules. One refinement keeps the over-approximation from
+//! inventing impossible misses: the kernel's event loop wakes *every*
+//! waiter on a signal the instant it changes, so no waiter can sleep
+//! through a pulse — the checker mirrors this by **eagerly releasing**
+//! waiters after every transition (any process parked at a
+//! level-sensitive wait whose condition now holds is advanced past it
+//! without waiting to be scheduled). Without this, plain interleaving
+//! lets an unscheduled process miss a brief `START` low phase between
+//! two back-to-back bus words — a spurious deadlock the synchronous
+//! kernel can never exhibit. Two further deliberate choices:
+//!
+//! * **watchdogs fire only at global stalls** — a `wait ... for N` expires
+//!   exactly when no process can otherwise move, modelling the watchdog's
+//!   role (escape from permanent blocking) without a clock;
+//! * **faults are environment transitions** — each configured
+//!   [`EnvFault`] may strike between any two process steps, budgeted in
+//!   the state so the exploration stays finite. Fault transitions do not
+//!   count against quiescence: a state that is deadlocked unless *another*
+//!   fault strikes is a real deadlock.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use ifsyn_estimate::CostModel;
+use ifsyn_spec::{BitVec, ParamMode, System, Ty, Value};
+
+use crate::diagnose::{find_cycles, BlockedWait, DeadlockDiagnosis};
+use crate::error::SimError;
+use crate::eval::{coerce, EvalCtx};
+use crate::exec::{eval_code, CArg, CPath, CPathStep, CPlace, CRoot, ExprCode, RegFile};
+use crate::kernel::{render_expr, untyped_place_error, write_steps};
+use crate::process::{CodeRef, ResolvedPlace, Root, Step};
+use crate::program::{Code, Instr, Program, WaitSpec};
+
+/// One call frame of a checker process: the kernel's frame shape with
+/// `Eq + Hash` so whole states can be interned.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CkFrame {
+    code: CodeRef,
+    pc: usize,
+    locals: Vec<Value>,
+    loop_bounds: Vec<i64>,
+    copyback: Vec<(usize, ResolvedPlace, Ty)>,
+}
+
+impl CkFrame {
+    fn new(code: CodeRef, locals: Vec<Value>) -> Self {
+        Self {
+            code,
+            pc: 0,
+            locals,
+            loop_bounds: Vec::new(),
+            copyback: Vec::new(),
+        }
+    }
+}
+
+/// Control state of one behavior instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CkProc {
+    frames: Vec<CkFrame>,
+    done: bool,
+}
+
+/// One explored system state: storage, every process's control point,
+/// and the remaining environment-fault budgets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CkState {
+    signals: Vec<Value>,
+    vars: Vec<Value>,
+    procs: Vec<CkProc>,
+    /// Remaining strikes per configured [`EnvFault`], in config order.
+    fault_budget: Vec<u32>,
+    /// Signals forced by a stuck fault: later writes are swallowed.
+    frozen: Vec<bool>,
+}
+
+/// A nondeterministic environment fault the checker may inject between
+/// any two process steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvFault {
+    /// Invert one bit of a signal's current value, at most `budget` times
+    /// over any single execution.
+    FlipBit {
+        /// Signal name as declared in the system.
+        signal: String,
+        /// Bit position (0 = LSB; use 0 for `Ty::Bit`).
+        bit: u32,
+        /// Maximum strikes along any one path.
+        budget: u32,
+    },
+    /// Force a signal to all-zeros and swallow every later write
+    /// (stuck-at-0); strikes at most once.
+    StuckLow {
+        /// Signal name as declared in the system.
+        signal: String,
+    },
+}
+
+impl EnvFault {
+    fn signal_name(&self) -> &str {
+        match self {
+            EnvFault::FlipBit { signal, .. } | EnvFault::StuckLow { signal } => signal,
+        }
+    }
+
+    fn budget(&self) -> u32 {
+        match self {
+            EnvFault::FlipBit { budget, .. } => *budget,
+            EnvFault::StuckLow { .. } => 1,
+        }
+    }
+}
+
+/// Exploration limits and the fault environment.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Abort exploration when the reachable set exceeds this many states.
+    pub max_states: usize,
+    /// Abort a single atomic run after this many instructions (guards
+    /// zero-cost infinite loops, like the kernel's zero-delay guard).
+    pub step_budget: u64,
+    /// Environment faults the checker may inject nondeterministically.
+    pub faults: Vec<EnvFault>,
+    /// Statement costs, identical to the simulator's default model so
+    /// checked bounds are comparable to simulated finish times.
+    pub cost_model: CostModel,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            max_states: 1 << 18,
+            step_budget: 1 << 20,
+            faults: Vec::new(),
+            cost_model: CostModel::new(),
+        }
+    }
+}
+
+impl CheckConfig {
+    /// The default configuration: no faults, 2^18 state cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the state cap.
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Adds one environment fault.
+    pub fn with_fault(mut self, fault: EnvFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+}
+
+/// An explicit-state model checker over one compiled system.
+pub struct Checker<'a> {
+    system: &'a System,
+    behaviors: Vec<Arc<Code>>,
+    procedures: Vec<Arc<Code>>,
+    /// Configured faults with their signal names resolved to indices.
+    faults: Vec<(usize, EnvFault)>,
+    config: CheckConfig,
+    max_regs: u16,
+}
+
+impl<'a> Checker<'a> {
+    /// Builds a checker with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSystem`] if the system fails validation.
+    pub fn new(system: &'a System) -> Result<Self, SimError> {
+        Self::with_config(system, CheckConfig::new())
+    }
+
+    /// Builds a checker with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSystem`] if the system fails validation
+    /// or a configured fault names an unknown signal.
+    pub fn with_config(system: &'a System, config: CheckConfig) -> Result<Self, SimError> {
+        system.check().map_err(|e| SimError::InvalidSystem {
+            message: e.to_string(),
+        })?;
+        let program = Program::compile(system, &config.cost_model);
+        let max_regs = program
+            .behaviors
+            .iter()
+            .chain(&program.procedures)
+            .map(|c| c.max_regs)
+            .max()
+            .unwrap_or(0);
+        let mut faults = Vec::with_capacity(config.faults.len());
+        for f in &config.faults {
+            let idx = system
+                .signals
+                .iter()
+                .position(|s| s.name == f.signal_name())
+                .ok_or_else(|| SimError::InvalidSystem {
+                    message: format!("check fault names unknown signal `{}`", f.signal_name()),
+                })?;
+            faults.push((idx, f.clone()));
+        }
+        Ok(Self {
+            system,
+            behaviors: program.behaviors,
+            procedures: program.procedures,
+            faults,
+            config,
+            max_regs,
+        })
+    }
+
+    fn block(&self, code: CodeRef) -> &Code {
+        match code {
+            CodeRef::Behavior(i) => &self.behaviors[i],
+            CodeRef::Procedure(i) => &self.procedures[i],
+        }
+    }
+
+    fn initial_state(&self) -> CkState {
+        CkState {
+            signals: self
+                .system
+                .signals
+                .iter()
+                .map(|s| s.initial_value())
+                .collect(),
+            vars: self
+                .system
+                .variables
+                .iter()
+                .map(|v| v.initial_value())
+                .collect(),
+            procs: (0..self.system.behaviors.len())
+                .map(|b| CkProc {
+                    frames: vec![CkFrame::new(CodeRef::Behavior(b), Vec::new())],
+                    done: false,
+                })
+                .collect(),
+            fault_budget: self.faults.iter().map(|(_, f)| f.budget()).collect(),
+            frozen: vec![false; self.system.signals.len()],
+        }
+    }
+
+    // ---- expression evaluation against a checker state ----
+
+    fn eval_owned(
+        &self,
+        s: &CkState,
+        pid: usize,
+        code: &ExprCode,
+        regs: &mut RegFile,
+    ) -> Result<Value, SimError> {
+        if let Some(v) = code.const_value() {
+            return Ok(v.clone());
+        }
+        let locals = s.procs[pid]
+            .frames
+            .last()
+            .map_or(&[][..], |f| f.locals.as_slice());
+        let ctx = EvalCtx {
+            vars: &s.vars,
+            signals: &s.signals,
+            locals,
+        };
+        eval_code(&ctx, code, regs).cloned()
+    }
+
+    fn eval_i64(
+        &self,
+        s: &CkState,
+        pid: usize,
+        code: &ExprCode,
+        regs: &mut RegFile,
+    ) -> Result<i64, SimError> {
+        self.eval_owned(s, pid, code, regs)?
+            .as_i64()
+            .map_err(|e| SimError::eval(e.to_string()))
+    }
+
+    fn eval_bool(
+        &self,
+        s: &CkState,
+        pid: usize,
+        code: &ExprCode,
+        regs: &mut RegFile,
+    ) -> Result<bool, SimError> {
+        self.eval_owned(s, pid, code, regs)?
+            .as_bool()
+            .map_err(|e| SimError::eval(e.to_string()))
+    }
+
+    // ---- place resolution (mirrors the kernel against CkState) ----
+
+    fn local_ty(
+        &self,
+        s: &CkState,
+        pid: usize,
+        frame_abs: usize,
+        slot: usize,
+    ) -> Result<Ty, SimError> {
+        match s.procs[pid].frames[frame_abs].code {
+            CodeRef::Procedure(p) => {
+                let proc = &self.system.procedures[p];
+                if slot < proc.slot_count() {
+                    Ok(proc.slot_ty(slot).clone())
+                } else {
+                    Err(SimError::eval(format!("missing local slot {slot}")))
+                }
+            }
+            CodeRef::Behavior(_) => Err(SimError::eval(
+                "local slot referenced outside a procedure".to_string(),
+            )),
+        }
+    }
+
+    fn resolve_cpath(
+        &self,
+        s: &CkState,
+        pid: usize,
+        path: &CPath,
+        frame_abs: usize,
+        regs: &mut RegFile,
+    ) -> Result<ResolvedPlace, SimError> {
+        let root = match path.root {
+            CRoot::Var(i) => Root::Var(i as usize),
+            CRoot::Local(slot) => Root::Local {
+                frame: frame_abs,
+                slot: slot as usize,
+            },
+        };
+        let mut steps = Vec::with_capacity(path.steps.len());
+        for st in path.steps.iter() {
+            match st {
+                CPathStep::Elem(code) => {
+                    let i = self.eval_i64(s, pid, code, regs)?;
+                    let i = usize::try_from(i)
+                        .map_err(|_| SimError::eval(format!("negative array index {i}")))?;
+                    steps.push(Step::Elem(i));
+                }
+                CPathStep::Slice(hi, lo) => steps.push(Step::Slice(*hi, *lo)),
+                CPathStep::DynSlice(code, width) => {
+                    let lo = self.eval_i64(s, pid, code, regs)?;
+                    let lo = u32::try_from(lo)
+                        .map_err(|_| SimError::eval(format!("negative slice offset {lo}")))?;
+                    steps.push(Step::Slice(lo + width - 1, lo));
+                }
+            }
+        }
+        Ok(ResolvedPlace { root, steps })
+    }
+
+    fn resolve_cplace(
+        &self,
+        s: &CkState,
+        pid: usize,
+        place: &CPlace,
+        frame_abs: usize,
+        regs: &mut RegFile,
+    ) -> Result<(ResolvedPlace, Ty), SimError> {
+        match place {
+            CPlace::Var(i) => {
+                let decl = self
+                    .system
+                    .variables
+                    .get(*i as usize)
+                    .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?;
+                Ok((
+                    ResolvedPlace {
+                        root: Root::Var(*i as usize),
+                        steps: Vec::new(),
+                    },
+                    decl.ty.clone(),
+                ))
+            }
+            CPlace::Local(slot) => {
+                let slot = *slot as usize;
+                let ty = self.local_ty(s, pid, frame_abs, slot)?;
+                Ok((
+                    ResolvedPlace {
+                        root: Root::Local {
+                            frame: frame_abs,
+                            slot,
+                        },
+                        steps: Vec::new(),
+                    },
+                    ty,
+                ))
+            }
+            CPlace::Path(path) => {
+                let ty = path
+                    .ty
+                    .clone()
+                    .ok_or_else(|| untyped_place_error(&path.root))?;
+                let rp = self.resolve_cpath(s, pid, path, frame_abs, regs)?;
+                Ok((rp, ty))
+            }
+        }
+    }
+
+    fn read_resolved(
+        &self,
+        s: &CkState,
+        pid: usize,
+        rp: &ResolvedPlace,
+    ) -> Result<Value, SimError> {
+        let mut cur: &Value = match rp.root {
+            Root::Var(i) => s
+                .vars
+                .get(i)
+                .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?,
+            Root::Local { frame, slot } => s.procs[pid]
+                .frames
+                .get(frame)
+                .and_then(|f| f.locals.get(slot))
+                .ok_or_else(|| SimError::eval(format!("missing local slot {slot}")))?,
+        };
+        for (i, step) in rp.steps.iter().enumerate() {
+            match step {
+                Step::Elem(idx) => match cur {
+                    Value::Array(items) => {
+                        cur = items.get(*idx).ok_or_else(|| {
+                            SimError::eval(format!("array index {idx} out of range"))
+                        })?;
+                    }
+                    other => {
+                        return Err(SimError::eval(format!("indexing non-array value {other}")))
+                    }
+                },
+                Step::Slice(hi, lo) => {
+                    if i + 1 != rp.steps.len() {
+                        return Err(SimError::eval(
+                            "slice must be the last projection of a write target".to_string(),
+                        ));
+                    }
+                    let bits = cur.to_bits();
+                    if *hi >= bits.width() {
+                        return Err(SimError::eval(format!(
+                            "slice {hi} downto {lo} out of range for width {}",
+                            bits.width()
+                        )));
+                    }
+                    return Ok(Value::Bits(bits.slice(*hi, *lo)));
+                }
+            }
+        }
+        Ok(cur.clone())
+    }
+
+    fn write_resolved(
+        &self,
+        s: &mut CkState,
+        pid: usize,
+        rp: &ResolvedPlace,
+        value: Value,
+    ) -> Result<(), SimError> {
+        let root: &mut Value = match rp.root {
+            Root::Var(i) => s
+                .vars
+                .get_mut(i)
+                .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?,
+            Root::Local { frame, slot } => s.procs[pid]
+                .frames
+                .get_mut(frame)
+                .and_then(|f| f.locals.get_mut(slot))
+                .ok_or_else(|| SimError::eval(format!("missing local slot {slot}")))?,
+        };
+        write_steps(root, &rp.steps, value)
+    }
+
+    fn read_cplace(
+        &self,
+        s: &CkState,
+        pid: usize,
+        place: &CPlace,
+        regs: &mut RegFile,
+    ) -> Result<Value, SimError> {
+        match place {
+            CPlace::Var(i) => s
+                .vars
+                .get(*i as usize)
+                .cloned()
+                .ok_or_else(|| SimError::eval(format!("missing variable v{i}"))),
+            CPlace::Local(slot) => s.procs[pid]
+                .frames
+                .last()
+                .and_then(|f| f.locals.get(*slot as usize))
+                .cloned()
+                .ok_or_else(|| SimError::eval(format!("missing local slot {slot}"))),
+            CPlace::Path(path) => {
+                let frame_abs = s.procs[pid].frames.len() - 1;
+                let rp = self.resolve_cpath(s, pid, path, frame_abs, regs)?;
+                self.read_resolved(s, pid, &rp)
+            }
+        }
+    }
+
+    fn write_cplace(
+        &self,
+        s: &mut CkState,
+        pid: usize,
+        place: &CPlace,
+        value: Value,
+        regs: &mut RegFile,
+    ) -> Result<(), SimError> {
+        match place {
+            CPlace::Var(i) => {
+                let decl = self
+                    .system
+                    .variables
+                    .get(*i as usize)
+                    .ok_or_else(|| SimError::eval(format!("missing variable v{i}")))?;
+                s.vars[*i as usize] = coerce(value, &decl.ty);
+                Ok(())
+            }
+            CPlace::Local(slot) => {
+                let slot = *slot as usize;
+                let frame_abs = s.procs[pid].frames.len() - 1;
+                let ty = self.local_ty(s, pid, frame_abs, slot)?;
+                let v = coerce(value, &ty);
+                s.procs[pid].frames[frame_abs].locals[slot] = v;
+                Ok(())
+            }
+            CPlace::Path(path) => {
+                let ty = path
+                    .ty
+                    .clone()
+                    .ok_or_else(|| untyped_place_error(&path.root))?;
+                let frame_abs = s.procs[pid].frames.len() - 1;
+                let rp = self.resolve_cpath(s, pid, path, frame_abs, regs)?;
+                self.write_resolved(s, pid, &rp, coerce(value, &ty))
+            }
+        }
+    }
+
+    /// Applies a signal drive immediately (time-abstracted visibility).
+    /// Writes to frozen (stuck) signals are swallowed, mirroring the
+    /// fault semantics of [`crate::FaultKind::StuckAt`].
+    fn write_signal(&self, s: &mut CkState, idx: usize, value: Value) {
+        if !s.frozen[idx] {
+            s.signals[idx] = coerce(value, &self.system.signals[idx].ty);
+        }
+    }
+
+    fn enter_procedure(
+        &self,
+        s: &mut CkState,
+        pid: usize,
+        procedure: usize,
+        args: &[CArg],
+        regs: &mut RegFile,
+    ) -> Result<(), SimError> {
+        let proc = &self.system.procedures[procedure];
+        let caller_frame_abs = s.procs[pid].frames.len() - 1;
+        let mut locals = Vec::with_capacity(proc.slot_count());
+        let mut copyback = Vec::new();
+        for (i, (arg, param)) in args.iter().zip(&proc.params).enumerate() {
+            match (arg, param.mode) {
+                (CArg::In(e), ParamMode::In) => {
+                    locals.push(coerce(self.eval_owned(s, pid, e, regs)?, &param.ty));
+                }
+                (CArg::Out(place), ParamMode::Out) => {
+                    locals.push(Value::default_of(&param.ty));
+                    let (rp, ty) = self.resolve_cplace(s, pid, place, caller_frame_abs, regs)?;
+                    copyback.push((i, rp, ty));
+                }
+                (CArg::InOut(place), ParamMode::InOut) => {
+                    locals.push(coerce(self.read_cplace(s, pid, place, regs)?, &param.ty));
+                    let (rp, ty) = self.resolve_cplace(s, pid, place, caller_frame_abs, regs)?;
+                    copyback.push((i, rp, ty));
+                }
+                _ => {
+                    return Err(SimError::eval(format!(
+                        "argument mode mismatch calling `{}`",
+                        proc.name
+                    )))
+                }
+            }
+        }
+        for l in &proc.locals {
+            locals.push(Value::default_of(&l.ty));
+        }
+        let mut frame = CkFrame::new(CodeRef::Procedure(procedure), locals);
+        frame.copyback = copyback;
+        s.procs[pid].frames.push(frame);
+        Ok(())
+    }
+
+    /// Pops the current frame, applying copy-backs.
+    fn leave_frame(&self, s: &mut CkState, pid: usize) -> Result<LeaveOutcome, SimError> {
+        let frame = s.procs[pid].frames.pop().expect("frame");
+        for (slot, rp, ty) in &frame.copyback {
+            let v = coerce(frame.locals[*slot].clone(), ty);
+            self.write_resolved(s, pid, rp, v)?;
+        }
+        if s.procs[pid].frames.is_empty() {
+            let bidx = pid; // one process per behavior, same index
+            if self.system.behaviors[bidx].repeats {
+                s.procs[pid]
+                    .frames
+                    .push(CkFrame::new(CodeRef::Behavior(bidx), Vec::new()));
+                Ok(LeaveOutcome::Restarted)
+            } else {
+                s.procs[pid].done = true;
+                Ok(LeaveOutcome::Finished)
+            }
+        } else {
+            Ok(LeaveOutcome::Returned)
+        }
+    }
+
+    fn channel_write(
+        &self,
+        s: &mut CkState,
+        channel: ifsyn_spec::ChannelId,
+        addr: Option<i64>,
+        data: Value,
+    ) -> Result<(), SimError> {
+        let ch = self.system.channel(channel);
+        let var_idx = ch.variable.index();
+        let ty = &self.system.variables[var_idx].ty;
+        match addr {
+            Some(i) => {
+                let i = usize::try_from(i)
+                    .map_err(|_| SimError::eval(format!("negative channel address {i}")))?;
+                let elem_ty = match ty {
+                    Ty::Array { elem, .. } => &**elem,
+                    other => other,
+                };
+                match &mut s.vars[var_idx] {
+                    Value::Array(items) => {
+                        let slot = items.get_mut(i).ok_or_else(|| {
+                            SimError::eval(format!("channel address {i} out of range"))
+                        })?;
+                        *slot = coerce(data, elem_ty);
+                    }
+                    _ => {
+                        return Err(SimError::eval(
+                            "addressed channel write to non-array variable".to_string(),
+                        ))
+                    }
+                }
+            }
+            None => s.vars[var_idx] = coerce(data, ty),
+        }
+        Ok(())
+    }
+
+    fn channel_read(
+        &self,
+        s: &CkState,
+        channel: ifsyn_spec::ChannelId,
+        addr: Option<i64>,
+    ) -> Result<Value, SimError> {
+        let ch = self.system.channel(channel);
+        let var_idx = ch.variable.index();
+        match addr {
+            Some(i) => {
+                let i = usize::try_from(i)
+                    .map_err(|_| SimError::eval(format!("negative channel address {i}")))?;
+                match &s.vars[var_idx] {
+                    Value::Array(items) => items
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| SimError::eval(format!("channel address {i} out of range"))),
+                    _ => Err(SimError::eval(
+                        "addressed channel read from non-array variable".to_string(),
+                    )),
+                }
+            }
+            None => Ok(s.vars[var_idx].clone()),
+        }
+    }
+
+    // ---- the atomic-run transition executor ----
+
+    /// Runs process `pid` from its current control point up to its next
+    /// scheduling point, returning the successor state and the cycle cost.
+    ///
+    /// Scheduling points: after any cycle-consuming instruction, at an
+    /// unsatisfied wait (pc stays at the wait), and after a repeating
+    /// root restarts. Returns `Ok(None)` when the process cannot take a
+    /// step of the requested kind at all; a returned successor equal to
+    /// the source means "blocked with no progress" and is dropped by the
+    /// caller.
+    ///
+    /// With `force_timeout`, the current instruction must be a watchdog
+    /// wait whose condition is unsatisfied: the wait is expired (costing
+    /// its bound) and execution continues into the re-test/abort code.
+    fn run_one(
+        &self,
+        src: &CkState,
+        pid: usize,
+        force_timeout: bool,
+    ) -> Result<Option<(CkState, u64)>, SimError> {
+        if src.procs[pid].done {
+            return Ok(None);
+        }
+        let mut s = src.clone();
+        let mut cost: u64 = 0;
+        let mut regs = RegFile::with_capacity(self.max_regs as usize);
+
+        if force_timeout {
+            let (code_ref, pc) = {
+                let f = s.procs[pid].frames.last().expect("frame");
+                (f.code, f.pc)
+            };
+            let expired = match self.block(code_ref).instrs.get(pc) {
+                Some(Instr::Wait(WaitSpec::UntilTimeout { cond, cycles })) => {
+                    if self.eval_bool(&s, pid, &cond.code, &mut regs)? {
+                        return Ok(None);
+                    }
+                    Some(*cycles)
+                }
+                Some(Instr::Wait(WaitSpec::UntilSignalIsTimeout {
+                    signal,
+                    value,
+                    cycles,
+                })) => {
+                    if s.signals[signal.index()] == *value {
+                        return Ok(None);
+                    }
+                    Some(*cycles)
+                }
+                _ => None,
+            };
+            match expired {
+                Some(cycles) => {
+                    cost += cycles;
+                    s.procs[pid].frames.last_mut().expect("frame").pc = pc + 1;
+                }
+                None => return Ok(None),
+            }
+        }
+
+        let mut steps: u64 = 0;
+        loop {
+            steps += 1;
+            if steps > self.config.step_budget {
+                return Err(SimError::eval(format!(
+                    "step budget of {} exceeded in `{}` (zero-cost loop without waits?)",
+                    self.config.step_budget, self.system.behaviors[pid].name
+                )));
+            }
+            let (code_ref, pc) = {
+                let f = s.procs[pid].frames.last().expect("frame");
+                (f.code, f.pc)
+            };
+            let block = self.block(code_ref);
+            let instr = block.instrs.get(pc).ok_or_else(|| {
+                SimError::eval(format!("pc {pc} out of range in `{}`", block.name))
+            })?;
+            let set_pc = |s: &mut CkState, npc: usize| {
+                s.procs[pid].frames.last_mut().expect("frame").pc = npc;
+            };
+            match instr {
+                Instr::Assign {
+                    place,
+                    value,
+                    cost: c,
+                } => {
+                    let v = self.eval_owned(&s, pid, value, &mut regs)?;
+                    self.write_cplace(&mut s, pid, place, v, &mut regs)?;
+                    set_pc(&mut s, pc + 1);
+                    if *c > 0 {
+                        cost += u64::from(*c);
+                        return Ok(Some((s, cost)));
+                    }
+                }
+                Instr::SignalWrite {
+                    signal,
+                    value,
+                    cost: c,
+                } => {
+                    let v = self.eval_owned(&s, pid, value, &mut regs)?;
+                    self.write_signal(&mut s, signal.index(), v);
+                    set_pc(&mut s, pc + 1);
+                    if *c > 0 {
+                        cost += u64::from(*c);
+                        return Ok(Some((s, cost)));
+                    }
+                }
+                Instr::Jump(target) => set_pc(&mut s, *target),
+                Instr::JumpIfNot { cond, target } => {
+                    if self.eval_bool(&s, pid, cond, &mut regs)? {
+                        set_pc(&mut s, pc + 1);
+                    } else {
+                        set_pc(&mut s, *target);
+                    }
+                }
+                Instr::LoopInit { var, from, to } => {
+                    let bound = self.eval_i64(&s, pid, to, &mut regs)?;
+                    let start = self.eval_owned(&s, pid, from, &mut regs)?;
+                    self.write_cplace(&mut s, pid, var, start, &mut regs)?;
+                    let f = s.procs[pid].frames.last_mut().expect("frame");
+                    f.loop_bounds.push(bound);
+                    f.pc = pc + 1;
+                }
+                Instr::LoopTest { var, exit } => {
+                    let v = self
+                        .read_cplace(&s, pid, var, &mut regs)?
+                        .as_i64()
+                        .map_err(|e| SimError::eval(e.to_string()))?;
+                    let f = s.procs[pid].frames.last_mut().expect("frame");
+                    let bound = *f
+                        .loop_bounds
+                        .last()
+                        .ok_or_else(|| SimError::eval("loop bound stack empty".to_string()))?;
+                    if v > bound {
+                        f.loop_bounds.pop();
+                        f.pc = *exit;
+                    } else {
+                        f.pc = pc + 1;
+                    }
+                }
+                Instr::LoopIncr { var, body, exit } => {
+                    let (v, width) = {
+                        let cur = self.read_cplace(&s, pid, var, &mut regs)?;
+                        let v = cur.as_i64().map_err(|e| SimError::eval(e.to_string()))?;
+                        let width = match &cur {
+                            Value::Int { width, .. } => *width,
+                            other => other.ty().bit_width(),
+                        };
+                        (v, width)
+                    };
+                    self.write_cplace(
+                        &mut s,
+                        pid,
+                        var,
+                        Value::int(v + 1, width.max(1)),
+                        &mut regs,
+                    )?;
+                    let f = s.procs[pid].frames.last_mut().expect("frame");
+                    let bound = *f
+                        .loop_bounds
+                        .last()
+                        .ok_or_else(|| SimError::eval("loop bound stack empty".to_string()))?;
+                    if v + 1 > bound {
+                        f.loop_bounds.pop();
+                        f.pc = *exit;
+                    } else {
+                        f.pc = *body;
+                    }
+                }
+                Instr::Wait(spec) => match spec {
+                    WaitSpec::ForCycles(n) => {
+                        set_pc(&mut s, pc + 1);
+                        if *n > 0 {
+                            cost += *n;
+                            return Ok(Some((s, cost)));
+                        }
+                    }
+                    // Event-sensitive waits are abstracted as a plain
+                    // scheduling point: the process is resumable whenever
+                    // the scheduler picks it (generated protocol code
+                    // never uses bare `wait on`).
+                    WaitSpec::OnSignals(_) => {
+                        set_pc(&mut s, pc + 1);
+                        return Ok(Some((s, cost)));
+                    }
+                    WaitSpec::Until(cond) | WaitSpec::UntilTimeout { cond, .. } => {
+                        if self.eval_bool(&s, pid, &cond.code, &mut regs)? {
+                            set_pc(&mut s, pc + 1);
+                        } else {
+                            // Blocked: pc stays at the wait. The watchdog
+                            // variant expires only via `force_timeout`.
+                            return Ok(Some((s, cost)));
+                        }
+                    }
+                    WaitSpec::UntilSignalIs { signal, value }
+                    | WaitSpec::UntilSignalIsTimeout { signal, value, .. } => {
+                        if s.signals[signal.index()] == *value {
+                            set_pc(&mut s, pc + 1);
+                        } else {
+                            return Ok(Some((s, cost)));
+                        }
+                    }
+                },
+                Instr::Call { procedure, args } => {
+                    set_pc(&mut s, pc + 1);
+                    self.enter_procedure(&mut s, pid, *procedure, args, &mut regs)?;
+                }
+                Instr::Ret => match self.leave_frame(&mut s, pid)? {
+                    LeaveOutcome::Returned => {}
+                    // Yield at a restart so zero-cost repeating bodies
+                    // bound every atomic run.
+                    LeaveOutcome::Restarted | LeaveOutcome::Finished => {
+                        return Ok(Some((s, cost)));
+                    }
+                },
+                Instr::ChannelSend {
+                    channel,
+                    addr,
+                    data,
+                    cost: c,
+                } => {
+                    let a = match addr {
+                        Some(code) => Some(self.eval_i64(&s, pid, code, &mut regs)?),
+                        None => None,
+                    };
+                    let v = self.eval_owned(&s, pid, data, &mut regs)?;
+                    self.channel_write(&mut s, *channel, a, v)?;
+                    set_pc(&mut s, pc + 1);
+                    if *c > 0 {
+                        cost += u64::from(*c);
+                        return Ok(Some((s, cost)));
+                    }
+                }
+                Instr::ChannelReceive {
+                    channel,
+                    addr,
+                    target,
+                    cost: c,
+                } => {
+                    let a = match addr {
+                        Some(code) => Some(self.eval_i64(&s, pid, code, &mut regs)?),
+                        None => None,
+                    };
+                    let v = self.channel_read(&s, *channel, a)?;
+                    self.write_cplace(&mut s, pid, target, v, &mut regs)?;
+                    set_pc(&mut s, pc + 1);
+                    if *c > 0 {
+                        cost += u64::from(*c);
+                        return Ok(Some((s, cost)));
+                    }
+                }
+                Instr::Consume { cycles } => {
+                    set_pc(&mut s, pc + 1);
+                    if *cycles > 0 {
+                        cost += *cycles;
+                        return Ok(Some((s, cost)));
+                    }
+                }
+                Instr::Assert { cond, note } => {
+                    if !self.eval_bool(&s, pid, cond, &mut regs)? {
+                        return Err(SimError::AssertionFailed {
+                            behavior: self.system.behaviors[pid].name.clone(),
+                            note: note.clone(),
+                            time: 0,
+                        });
+                    }
+                    set_pc(&mut s, pc + 1);
+                }
+            }
+        }
+    }
+
+    /// Advances every process parked at a now-satisfied level-sensitive
+    /// wait, chaining through consecutive satisfied waits.
+    ///
+    /// The kernel's event loop wakes every waiter on a signal the moment
+    /// it changes, so a waiter can never sleep through a pulse. The
+    /// interleaved transition relation must mirror that by re-arming
+    /// waiters eagerly after each write-carrying transition — not when
+    /// the scheduler next happens to pick them — or it invents spurious
+    /// missed-pulse deadlocks the synchronous kernel cannot exhibit.
+    /// Watchdog-bounded waits release along their success path; the
+    /// timeout branch remains reachable only via `force_timeout`.
+    fn release_waiters(&self, s: &mut CkState) -> Result<(), SimError> {
+        let mut regs = RegFile::with_capacity(self.max_regs as usize);
+        for pid in 0..s.procs.len() {
+            loop {
+                if s.procs[pid].done {
+                    break;
+                }
+                let Some(f) = s.procs[pid].frames.last() else {
+                    break;
+                };
+                let (code, pc) = (f.code, f.pc);
+                let satisfied = match self.block(code).instrs.get(pc) {
+                    Some(Instr::Wait(
+                        WaitSpec::Until(cond) | WaitSpec::UntilTimeout { cond, .. },
+                    )) => self.eval_bool(s, pid, &cond.code, &mut regs)?,
+                    Some(Instr::Wait(
+                        WaitSpec::UntilSignalIs { signal, value }
+                        | WaitSpec::UntilSignalIsTimeout { signal, value, .. },
+                    )) => s.signals[signal.index()] == *value,
+                    _ => false,
+                };
+                if !satisfied {
+                    break;
+                }
+                s.procs[pid].frames.last_mut().expect("frame").pc = pc + 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerates every transition out of `src`: one per runnable process,
+    /// watchdog expiries when (and only when) no process can otherwise
+    /// move, and budgeted environment-fault strikes. The flag is `true`
+    /// when the state is terminal (no process or watchdog transition).
+    /// The final list holds crash labels: processes whose next step hits
+    /// a runtime error on this path (recorded, not propagated, so one
+    /// corrupt path cannot abort the whole exploration).
+    fn successors(&self, src: &CkState) -> Result<(Vec<Succ>, bool, Vec<String>), SimError> {
+        let mut out = Vec::new();
+        let mut crashes = Vec::new();
+        let mut live = false;
+        for pid in 0..src.procs.len() {
+            match self.run_one(src, pid, false) {
+                Ok(Some((mut state, cost))) => {
+                    self.release_waiters(&mut state)?;
+                    if state != *src {
+                        live = true;
+                        out.push(Succ {
+                            state,
+                            cost,
+                            label: format!("`{}` runs", self.system.behaviors[pid].name),
+                        });
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    live = true;
+                    crashes.push(format!(
+                        "`{}` crashes: {e}",
+                        self.system.behaviors[pid].name
+                    ));
+                }
+            }
+        }
+        if !live {
+            for pid in 0..src.procs.len() {
+                match self.run_one(src, pid, true) {
+                    Ok(Some((mut state, cost))) => {
+                        self.release_waiters(&mut state)?;
+                        if state != *src {
+                            live = true;
+                            out.push(Succ {
+                                state,
+                                cost,
+                                label: format!(
+                                    "watchdog expires in `{}`",
+                                    self.system.behaviors[pid].name
+                                ),
+                            });
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        live = true;
+                        crashes.push(format!(
+                            "watchdog expiry in `{}` crashes: {e}",
+                            self.system.behaviors[pid].name
+                        ));
+                    }
+                }
+            }
+        }
+        let terminal = !live;
+        for (fi, (idx, fault)) in self.faults.iter().enumerate() {
+            if src.fault_budget[fi] == 0 {
+                continue;
+            }
+            match fault {
+                EnvFault::FlipBit { signal, bit, .. } => {
+                    if src.frozen[*idx] {
+                        continue;
+                    }
+                    let cur = &src.signals[*idx];
+                    let ty = cur.ty();
+                    let mut bits = cur.to_bits();
+                    if *bit >= bits.width() {
+                        continue;
+                    }
+                    let inverted = BitVec::from_u64(u64::from(!bits.bit(*bit)), 1);
+                    bits.write_slice(*bit, *bit, &inverted);
+                    let mut state = src.clone();
+                    state.signals[*idx] = Value::from_bits(&ty, &bits);
+                    state.fault_budget[fi] -= 1;
+                    self.release_waiters(&mut state)?;
+                    out.push(Succ {
+                        state,
+                        cost: 0,
+                        label: format!("environment flips `{signal}` bit {bit}"),
+                    });
+                }
+                EnvFault::StuckLow { signal } => {
+                    let mut state = src.clone();
+                    let ty = &self.system.signals[*idx].ty;
+                    state.signals[*idx] = coerce(Value::Bit(false), ty);
+                    state.frozen[*idx] = true;
+                    state.fault_budget[fi] -= 1;
+                    self.release_waiters(&mut state)?;
+                    if state != *src {
+                        out.push(Succ {
+                            state,
+                            cost: 0,
+                            label: format!("environment forces `{signal}` stuck-at-0"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok((out, terminal, crashes))
+    }
+
+    /// Explores the full reachable state space by breadth-first search.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the reachable set exceeds the configured
+    /// state cap, an atomic run exceeds the step budget, or execution
+    /// hits a runtime evaluation error or failed assertion.
+    pub fn explore(&self) -> Result<StateSpace<'_>, SimError> {
+        let mut init = self.initial_state();
+        self.release_waiters(&mut init)?;
+        let mut index: HashMap<CkState, usize> = HashMap::new();
+        let mut states = vec![init.clone()];
+        index.insert(init, 0);
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new()];
+        let mut parent: Vec<Option<(usize, String, u64)>> = vec![None];
+        let mut terminals = Vec::new();
+        let mut errors = Vec::new();
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(si) = queue.pop_front() {
+            let src = states[si].clone();
+            let (succs, terminal, crashes) = self.successors(&src)?;
+            if terminal {
+                terminals.push(si);
+            }
+            for label in crashes {
+                errors.push((si, label));
+            }
+            for succ in succs {
+                let ni = match index.get(&succ.state) {
+                    Some(&i) => i,
+                    None => {
+                        let i = states.len();
+                        if i >= self.config.max_states {
+                            return Err(SimError::eval(format!(
+                                "reachable state space exceeds {} states; \
+                                 reduce the system or raise CheckConfig::max_states",
+                                self.config.max_states
+                            )));
+                        }
+                        states.push(succ.state.clone());
+                        index.insert(succ.state, i);
+                        edges.push(Vec::new());
+                        parent.push(Some((si, succ.label.clone(), succ.cost)));
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                edges[si].push(Edge {
+                    to: ni,
+                    cost: succ.cost,
+                });
+            }
+        }
+        Ok(StateSpace {
+            checker: self,
+            states,
+            edges,
+            parent,
+            terminals,
+            errors,
+        })
+    }
+}
+
+enum LeaveOutcome {
+    /// Returned into the caller frame; keep running.
+    Returned,
+    /// Repeating root restarted at pc 0.
+    Restarted,
+    /// Non-repeating behavior finished.
+    Finished,
+}
+
+struct Succ {
+    state: CkState,
+    cost: u64,
+    label: String,
+}
+
+struct Edge {
+    to: usize,
+    cost: u64,
+}
+
+/// Read-only view of one explored state, for property predicates.
+pub struct StateView<'a> {
+    system: &'a System,
+    state: &'a CkState,
+}
+
+impl StateView<'_> {
+    /// Current value of a signal, by declared name.
+    pub fn signal(&self, name: &str) -> Option<&Value> {
+        self.system
+            .signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| &self.state.signals[i])
+    }
+
+    /// `true` when the named bit signal currently holds `'1'`.
+    pub fn signal_high(&self, name: &str) -> bool {
+        matches!(self.signal(name), Some(Value::Bit(true)))
+    }
+
+    /// Current value of a variable, by declared name.
+    pub fn variable(&self, name: &str) -> Option<&Value> {
+        self.system
+            .variables
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| &self.state.vars[i])
+    }
+
+    /// `true` when the named (non-repeating) behavior has finished.
+    pub fn done(&self, behavior: &str) -> bool {
+        self.system
+            .behaviors
+            .iter()
+            .position(|b| b.name == behavior)
+            .is_some_and(|i| self.state.procs[i].done)
+    }
+
+    /// `true` when every non-repeating behavior has finished.
+    pub fn all_done(&self) -> bool {
+        self.system
+            .behaviors
+            .iter()
+            .zip(&self.state.procs)
+            .all(|(b, p)| b.repeats || p.done)
+    }
+
+    /// Remaining budget of the fault at the given config index.
+    pub fn fault_budget(&self, index: usize) -> Option<u32> {
+        self.state.fault_budget.get(index).copied()
+    }
+}
+
+/// The result of checking one property over an explored state space.
+#[derive(Debug, Clone)]
+pub struct PropertyReport {
+    /// Property name, as given to the check call.
+    pub name: String,
+    /// `true` when the property holds over the whole space.
+    pub holds: bool,
+    /// Number of states the check examined.
+    pub states: usize,
+    /// A concrete violation, when the property fails.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl fmt::Display for PropertyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.holds {
+            write!(f, "PASS  {} ({} states)", self.name, self.states)
+        } else {
+            write!(f, "FAIL  {} ({} states)", self.name, self.states)?;
+            if let Some(cex) = &self.counterexample {
+                write!(f, "\n{cex}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A concrete property violation: the transition path from the initial
+/// state to the violating state, plus a wait diagnosis of that state
+/// when processes are blocked there.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Transition labels from the initial state to the violation.
+    pub trace: Vec<String>,
+    /// Total cycle cost along the trace.
+    pub cost: u64,
+    /// Blocked-wait diagnosis of the violating state, when any process
+    /// is suspended there (same shape the simulator's deadlock diagnosis
+    /// uses, including wait-for cycles).
+    pub diagnosis: Option<DeadlockDiagnosis>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  counterexample ({} steps, {} cycles):",
+            self.trace.len(),
+            self.cost
+        )?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "    {:>3}. {step}", i + 1)?;
+        }
+        if let Some(d) = &self.diagnosis {
+            for line in d.to_string().lines() {
+                writeln!(f, "    {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The explored reachable state graph with labeled, costed transitions.
+pub struct StateSpace<'a> {
+    checker: &'a Checker<'a>,
+    states: Vec<CkState>,
+    edges: Vec<Vec<Edge>>,
+    /// BFS tree: predecessor, transition label and cost per state.
+    parent: Vec<Option<(usize, String, u64)>>,
+    terminals: Vec<usize>,
+    /// Runtime crashes: `(source state, label)` for every path on which
+    /// a process's next step hits a runtime evaluation error.
+    errors: Vec<(usize, String)>,
+}
+
+impl StateSpace<'_> {
+    /// Number of distinct reachable states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of explored transitions.
+    pub fn transition_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Number of terminal (quiescent) states: no process can move and no
+    /// watchdog can expire. Fault transitions do not count — a state that
+    /// is stuck unless another fault strikes is genuinely stuck.
+    pub fn terminal_count(&self) -> usize {
+        self.terminals.len()
+    }
+
+    fn view_of(&self, i: usize) -> StateView<'_> {
+        StateView {
+            system: self.checker.system,
+            state: &self.states[i],
+        }
+    }
+
+    /// Checks that `pred` holds in every reachable state.
+    pub fn check_invariant(
+        &self,
+        name: &str,
+        pred: impl Fn(&StateView<'_>) -> bool,
+    ) -> PropertyReport {
+        for i in 0..self.states.len() {
+            if !pred(&self.view_of(i)) {
+                return self.failed(name, i);
+            }
+        }
+        self.passed(name)
+    }
+
+    /// Number of reachable runtime crashes (paths on which a process's
+    /// next step hits an evaluation error, e.g. a fault-corrupted address
+    /// indexing past an array).
+    pub fn error_count(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Checks that `pred` holds in every terminal (quiescent) state. Any
+    /// reachable runtime crash also fails the property — a path that dies
+    /// in an evaluation error certainly did not end in a good quiescent
+    /// state — with the crashing trace as counterexample.
+    pub fn check_terminal(
+        &self,
+        name: &str,
+        pred: impl Fn(&StateView<'_>) -> bool,
+    ) -> PropertyReport {
+        if let Some((src, label)) = self.errors.first() {
+            let mut cex = self.counterexample(*src);
+            cex.trace.push(label.clone());
+            return PropertyReport {
+                name: name.to_string(),
+                holds: false,
+                states: self.states.len(),
+                counterexample: Some(cex),
+            };
+        }
+        for &i in &self.terminals {
+            if !pred(&self.view_of(i)) {
+                return self.failed(name, i);
+            }
+        }
+        self.passed(name)
+    }
+
+    /// Checks `AG(premise → EF goal)`: from every reachable state where
+    /// `premise` holds, some continuation reaches a state where `goal`
+    /// holds. A violation is a reachable premise-state from which the
+    /// goal is unreachable on *every* continuation — the unrecoverable
+    /// shape, independent of scheduling luck.
+    pub fn check_leads_to(
+        &self,
+        name: &str,
+        premise: impl Fn(&StateView<'_>) -> bool,
+        goal: impl Fn(&StateView<'_>) -> bool,
+    ) -> PropertyReport {
+        let n = self.states.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, es) in self.edges.iter().enumerate() {
+            for e in es {
+                rev[e.to].push(i);
+            }
+        }
+        let mut reaches = vec![false; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (i, r) in reaches.iter_mut().enumerate() {
+            if goal(&self.view_of(i)) {
+                *r = true;
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &p in &rev[i] {
+                if !reaches[p] {
+                    reaches[p] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+        for (i, reached) in reaches.iter().enumerate() {
+            if !reached && premise(&self.view_of(i)) {
+                return self.failed(name, i);
+            }
+        }
+        self.passed(name)
+    }
+
+    /// The maximum total cycle cost over all maximal paths from the
+    /// initial state, or `None` when a reachable cycle makes the cost
+    /// unbounded. For a hardened protocol this is the checked completion
+    /// bound: every schedule (and every in-budget fault pattern) reaches
+    /// quiescence within the returned number of cycles.
+    pub fn worst_cost_to_quiescence(&self) -> Option<u64> {
+        let n = self.states.len();
+        let mut memo: Vec<u64> = vec![0; n];
+        let mut color = vec![0u8; n]; // 0 white, 1 on stack, 2 done
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        color[0] = 1;
+        while let Some(top) = stack.last_mut() {
+            let (v, ei) = (top.0, top.1);
+            if ei < self.edges[v].len() {
+                top.1 += 1;
+                let to = self.edges[v][ei].to;
+                match color[to] {
+                    0 => {
+                        color[to] = 1;
+                        stack.push((to, 0));
+                    }
+                    1 => return None, // reachable cycle: unbounded
+                    _ => {}
+                }
+            } else {
+                stack.pop();
+                color[v] = 2;
+                memo[v] = self.edges[v]
+                    .iter()
+                    .map(|e| e.cost + memo[e.to])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        Some(memo[0])
+    }
+
+    fn passed(&self, name: &str) -> PropertyReport {
+        PropertyReport {
+            name: name.to_string(),
+            holds: true,
+            states: self.states.len(),
+            counterexample: None,
+        }
+    }
+
+    fn failed(&self, name: &str, state: usize) -> PropertyReport {
+        PropertyReport {
+            name: name.to_string(),
+            holds: false,
+            states: self.states.len(),
+            counterexample: Some(self.counterexample(state)),
+        }
+    }
+
+    /// Builds the trace from the initial state to `state` along the BFS
+    /// tree, plus a blocked-wait diagnosis of the state itself.
+    fn counterexample(&self, state: usize) -> Counterexample {
+        let mut trace = Vec::new();
+        let mut cost = 0u64;
+        let mut cur = state;
+        while let Some((pred, label, c)) = &self.parent[cur] {
+            trace.push(label.clone());
+            cost += c;
+            cur = *pred;
+        }
+        trace.reverse();
+        Counterexample {
+            trace,
+            cost,
+            diagnosis: self.diagnose(state, cost),
+        }
+    }
+
+    /// Per-process wait diagnosis of one state, in the simulator's
+    /// [`DeadlockDiagnosis`] shape; the diagnosis time is the trace cost.
+    fn diagnose(&self, state: usize, time: u64) -> Option<DeadlockDiagnosis> {
+        let ck = self.checker;
+        let st = &self.states[state];
+        let mut regs = RegFile::with_capacity(ck.max_regs as usize);
+        // (pid, rendered wait, sensitivity signal indices)
+        let mut entries: Vec<(usize, String, Vec<usize>)> = Vec::new();
+        for (pid, p) in st.procs.iter().enumerate() {
+            if p.done {
+                continue;
+            }
+            let Some(f) = p.frames.last() else { continue };
+            let Some(Instr::Wait(spec)) = ck.block(f.code).instrs.get(f.pc) else {
+                continue;
+            };
+            let (satisfied, wait, sens) = match spec {
+                WaitSpec::ForCycles(_) | WaitSpec::OnSignals(_) => continue,
+                WaitSpec::Until(cond) | WaitSpec::UntilTimeout { cond, .. } => (
+                    ck.eval_bool(st, pid, &cond.code, &mut regs)
+                        .unwrap_or(false),
+                    format!("wait until {}", render_expr(ck.system, &cond.display)),
+                    cond.sensitivity.iter().map(|s| s.index()).collect(),
+                ),
+                WaitSpec::UntilSignalIs { signal, value }
+                | WaitSpec::UntilSignalIsTimeout { signal, value, .. } => (
+                    st.signals[signal.index()] == *value,
+                    format!(
+                        "wait until {} = {value}",
+                        ck.system.signals[signal.index()].name
+                    ),
+                    vec![signal.index()],
+                ),
+            };
+            if !satisfied {
+                entries.push((pid, wait, sens));
+            }
+        }
+        if entries.is_empty() {
+            return None;
+        }
+        let blocked = entries
+            .iter()
+            .map(|(pid, wait, sens)| BlockedWait {
+                behavior: ck.system.behaviors[*pid].name.clone(),
+                wait: wait.clone(),
+                observed: sens
+                    .iter()
+                    .map(|&s| (ck.system.signals[s].name.clone(), st.signals[s].to_string()))
+                    .collect(),
+            })
+            .collect();
+        let writes: Vec<Vec<bool>> = entries
+            .iter()
+            .map(|(pid, _, _)| self.written_signals(*pid))
+            .collect();
+        let edges: Vec<Vec<usize>> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, _, sens))| {
+                (0..entries.len())
+                    .filter(|&j| j != i && sens.iter().any(|&s| writes[j][s]))
+                    .collect()
+            })
+            .collect();
+        let cycles = find_cycles(entries.len(), &edges)
+            .into_iter()
+            .map(|cycle| {
+                cycle
+                    .into_iter()
+                    .map(|i| ck.system.behaviors[entries[i].0].name.clone())
+                    .collect()
+            })
+            .collect();
+        Some(DeadlockDiagnosis {
+            time,
+            blocked,
+            cycles,
+        })
+    }
+
+    /// Signals a behavior's code can drive, including through called
+    /// procedures (transitively); indexed by signal index.
+    fn written_signals(&self, behavior: usize) -> Vec<bool> {
+        let ck = self.checker;
+        let mut out = vec![false; ck.system.signals.len()];
+        let mut visited = vec![false; ck.procedures.len()];
+        let mut stack: Vec<&[Instr]> = vec![&ck.behaviors[behavior].instrs];
+        while let Some(instrs) = stack.pop() {
+            for instr in instrs {
+                match instr {
+                    Instr::SignalWrite { signal, .. } => out[signal.index()] = true,
+                    Instr::Call { procedure, .. } if !visited[*procedure] => {
+                        visited[*procedure] = true;
+                        stack.push(&ck.procedures[*procedure].instrs);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+
+    /// Two-phase handshake: `P` raises REQ and waits for ACK; `C` waits
+    /// for REQ and raises ACK.
+    fn handshake() -> System {
+        let mut sys = System::new("hs");
+        let m = sys.add_module("chip");
+        let p = sys.add_behavior("P", m);
+        let c = sys.add_behavior("C", m);
+        let req = sys.add_signal("REQ", Ty::Bit);
+        let ack = sys.add_signal("ACK", Ty::Bit);
+        sys.behavior_mut(p).body = vec![
+            drive(req, bit_const(true)),
+            wait_until(eq(signal(ack), bit_const(true))),
+            drive(req, bit_const(false)),
+        ];
+        sys.behavior_mut(c).body = vec![
+            wait_until(eq(signal(req), bit_const(true))),
+            drive(ack, bit_const(true)),
+        ];
+        sys
+    }
+
+    #[test]
+    fn handshake_completes_on_every_schedule() {
+        let sys = handshake();
+        let ck = Checker::new(&sys).unwrap();
+        let ss = ck.explore().unwrap();
+        assert!(ss.state_count() > 1);
+        assert!(ss.terminal_count() >= 1);
+        let report = ss.check_terminal("handshake completes", |v| v.all_done());
+        assert!(report.holds, "{report}");
+    }
+
+    #[test]
+    fn cross_wait_deadlock_is_found_with_cycle() {
+        let mut sys = System::new("dl");
+        let m = sys.add_module("chip");
+        let p = sys.add_behavior("P", m);
+        let c = sys.add_behavior("C", m);
+        let req = sys.add_signal("REQ", Ty::Bit);
+        let ack = sys.add_signal("ACK", Ty::Bit);
+        // Both sides wait before driving: classic circular wait.
+        sys.behavior_mut(p).body = vec![
+            wait_until(eq(signal(ack), bit_const(true))),
+            drive(req, bit_const(true)),
+        ];
+        sys.behavior_mut(c).body = vec![
+            wait_until(eq(signal(req), bit_const(true))),
+            drive(ack, bit_const(true)),
+        ];
+        let ck = Checker::new(&sys).unwrap();
+        let ss = ck.explore().unwrap();
+        let report = ss.check_terminal("completes", |v| v.all_done());
+        assert!(!report.holds);
+        let cex = report.counterexample.expect("counterexample");
+        let diag = cex.diagnosis.expect("diagnosis");
+        assert_eq!(diag.blocked.len(), 2);
+        let cycle = diag.cycles.first().expect("wait-for cycle");
+        assert!(cycle.contains(&"P".to_string()) && cycle.contains(&"C".to_string()));
+    }
+
+    #[test]
+    fn interleavings_reach_joint_state_and_bound_is_exact() {
+        let mut sys = System::new("diamond");
+        let m = sys.add_module("chip");
+        let p1 = sys.add_behavior("P1", m);
+        let p2 = sys.add_behavior("P2", m);
+        let a = sys.add_variable("A", Ty::Int(8), p1);
+        let b = sys.add_variable("B", Ty::Int(8), p2);
+        sys.behavior_mut(p1).body = vec![assign(var(a), int_const(1, 8))];
+        sys.behavior_mut(p2).body = vec![assign(var(b), int_const(1, 8))];
+        let ck = Checker::new(&sys).unwrap();
+        let ss = ck.explore().unwrap();
+        let both_set = |v: &StateView<'_>| {
+            v.variable("A").unwrap().as_i64().unwrap() == 1
+                && v.variable("B").unwrap().as_i64().unwrap() == 1
+        };
+        let report = ss.check_invariant("never both set", |v| !both_set(v));
+        assert!(!report.holds, "the joint state must be reachable");
+        // Two unit-cost assigns on every maximal path.
+        assert_eq!(ss.worst_cost_to_quiescence(), Some(2));
+    }
+
+    #[test]
+    fn repeating_server_eventually_grants() {
+        let mut sys = System::new("grant");
+        let m = sys.add_module("chip");
+        let cl = sys.add_behavior("CLIENT", m);
+        let sv = sys.add_behavior("SERVER", m);
+        let req = sys.add_signal("REQ", Ty::Bit);
+        let gnt = sys.add_signal("GNT", Ty::Bit);
+        sys.behavior_mut(cl).body = vec![
+            drive(req, bit_const(true)),
+            wait_until(eq(signal(gnt), bit_const(true))),
+            drive(req, bit_const(false)),
+        ];
+        sys.behavior_mut(sv).body = vec![
+            wait_until(eq(signal(req), bit_const(true))),
+            drive(gnt, bit_const(true)),
+            wait_until(eq(signal(req), bit_const(false))),
+            drive(gnt, bit_const(false)),
+        ];
+        sys.behavior_mut(sv).repeats = true;
+        let ck = Checker::new(&sys).unwrap();
+        let ss = ck.explore().unwrap();
+        let report = ss.check_leads_to(
+            "pending request is eventually granted",
+            |v| v.signal_high("REQ") && !v.signal_high("GNT"),
+            |v| v.signal_high("GNT"),
+        );
+        assert!(report.holds, "{report}");
+    }
+
+    #[test]
+    fn watchdog_expires_only_at_global_stall() {
+        let mut sys = System::new("wd");
+        let m = sys.add_module("chip");
+        let p = sys.add_behavior("P", m);
+        let ack = sys.add_signal("ACK", Ty::Bit);
+        let x = sys.add_variable("X", Ty::Int(8), p);
+        sys.behavior_mut(p).body = vec![
+            wait_until_for(eq(signal(ack), bit_const(true)), 8),
+            if_else(
+                eq(signal(ack), bit_const(true)),
+                vec![assign(var(x), int_const(1, 8))],
+                vec![assign(var(x), int_const(2, 8))],
+            ),
+        ];
+        let ck = Checker::new(&sys).unwrap();
+        let ss = ck.explore().unwrap();
+        // ACK is never driven: the watchdog must fire and the abort
+        // branch must run to quiescence on every schedule.
+        let report = ss.check_terminal("aborts via watchdog", |v| {
+            v.done("P") && v.variable("X").unwrap().as_i64().unwrap() == 2
+        });
+        assert!(report.holds, "{report}");
+        let worst = ss.worst_cost_to_quiescence().expect("bounded");
+        assert!(
+            worst >= 8,
+            "watchdog bound {worst} must include the timeout"
+        );
+    }
+
+    #[test]
+    fn flip_bit_fault_wakes_a_blocked_waiter() {
+        let build = || {
+            let mut sys = System::new("flip");
+            let m = sys.add_module("chip");
+            let p = sys.add_behavior("P", m);
+            let ack = sys.add_signal("ACK", Ty::Bit);
+            let x = sys.add_variable("X", Ty::Int(8), p);
+            sys.behavior_mut(p).body = vec![
+                wait_until(eq(signal(ack), bit_const(true))),
+                assign(var(x), int_const(1, 8)),
+            ];
+            sys
+        };
+        let sys = build();
+        let ck = Checker::new(&sys).unwrap();
+        let ss = ck.explore().unwrap();
+        let x_zero = |v: &StateView<'_>| v.variable("X").unwrap().as_i64().unwrap() == 0;
+        assert!(ss.check_invariant("x stays 0", x_zero).holds);
+
+        let sys = build();
+        let config = CheckConfig::new().with_fault(EnvFault::FlipBit {
+            signal: "ACK".to_string(),
+            bit: 0,
+            budget: 1,
+        });
+        let ck = Checker::with_config(&sys, config).unwrap();
+        let ss = ck.explore().unwrap();
+        let report = ss.check_invariant("x stays 0", x_zero);
+        assert!(!report.holds, "the fault must wake P");
+        let cex = report.counterexample.expect("counterexample");
+        assert!(
+            cex.trace.iter().any(|s| s.contains("flips `ACK`")),
+            "trace must show the fault strike: {:?}",
+            cex.trace
+        );
+    }
+
+    #[test]
+    fn stuck_low_ack_blocks_the_handshake() {
+        let sys = handshake();
+        let config = CheckConfig::new().with_fault(EnvFault::StuckLow {
+            signal: "ACK".to_string(),
+        });
+        let ck = Checker::with_config(&sys, config).unwrap();
+        let ss = ck.explore().unwrap();
+        let report = ss.check_terminal("handshake completes", |v| v.all_done());
+        assert!(!report.holds, "a stuck ACK must strand P");
+        let diag = report
+            .counterexample
+            .expect("counterexample")
+            .diagnosis
+            .expect("diagnosis");
+        assert!(diag.blocked.iter().any(|b| b.behavior == "P"));
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let sys = handshake();
+        let ck = Checker::new(&sys).unwrap();
+        let a = ck.explore().unwrap();
+        let b = ck.explore().unwrap();
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.transition_count(), b.transition_count());
+        assert_eq!(a.terminal_count(), b.terminal_count());
+        assert_eq!(a.worst_cost_to_quiescence(), b.worst_cost_to_quiescence());
+    }
+
+    #[test]
+    fn unknown_fault_signal_is_rejected() {
+        let sys = handshake();
+        let config = CheckConfig::new().with_fault(EnvFault::StuckLow {
+            signal: "NOPE".to_string(),
+        });
+        let err = Checker::with_config(&sys, config)
+            .err()
+            .expect("must be rejected");
+        assert!(err.to_string().contains("NOPE"));
+    }
+}

@@ -166,6 +166,51 @@ mod tests {
     }
 
     #[test]
+    fn disjoint_cycles_are_both_found() {
+        // 0 <-> 1 and 2 -> 3 -> 4 -> 2, connected only by a stray edge
+        // out of the first cycle.
+        let cycles = find_cycles(5, &[vec![1], vec![0, 2], vec![3], vec![4], vec![2]]);
+        let canon: Vec<Vec<usize>> = cycles.iter().map(|c| canonical_rotation(c)).collect();
+        assert_eq!(cycles.len(), 2, "{canon:?}");
+        assert!(canon.contains(&vec![0, 1]), "{canon:?}");
+        assert!(canon.contains(&vec![2, 3, 4]), "{canon:?}");
+    }
+
+    #[test]
+    fn overlapping_cycles_through_a_shared_node_are_distinct() {
+        // Figure-eight: 0 -> 1 -> 0 and 0 -> 2 -> 0 share node 0. Both
+        // are elementary cycles and must be reported separately (the
+        // simulator prints one `wait-for cycle:` line per cycle).
+        let cycles = find_cycles(3, &[vec![1, 2], vec![0], vec![0]]);
+        let canon: Vec<Vec<usize>> = cycles.iter().map(|c| canonical_rotation(c)).collect();
+        assert_eq!(cycles.len(), 2, "{canon:?}");
+        assert!(canon.contains(&vec![0, 1]), "{canon:?}");
+        assert!(canon.contains(&vec![0, 2]), "{canon:?}");
+    }
+
+    #[test]
+    fn self_wait_coexists_with_a_longer_cycle() {
+        // Node 1 waits on itself (a process whose wakeup signal only its
+        // own code writes) while also sitting on a 2-cycle with node 0.
+        let cycles = find_cycles(2, &[vec![1], vec![0, 1]]);
+        let canon: Vec<Vec<usize>> = cycles.iter().map(|c| canonical_rotation(c)).collect();
+        assert_eq!(cycles.len(), 2, "{canon:?}");
+        assert!(canon.contains(&vec![1]), "self-wait missing: {canon:?}");
+        assert!(canon.contains(&vec![0, 1]), "{canon:?}");
+    }
+
+    #[test]
+    fn chorded_cycle_reports_both_elementary_cycles() {
+        // 0 -> 1 -> 2 -> 0 with a chord 1 -> 0: the chord closes a second
+        // elementary cycle [0, 1] inside the triangle.
+        let cycles = find_cycles(3, &[vec![1], vec![2, 0], vec![0]]);
+        let canon: Vec<Vec<usize>> = cycles.iter().map(|c| canonical_rotation(c)).collect();
+        assert_eq!(cycles.len(), 2, "{canon:?}");
+        assert!(canon.contains(&vec![0, 1, 2]), "{canon:?}");
+        assert!(canon.contains(&vec![0, 1]), "{canon:?}");
+    }
+
+    #[test]
     fn display_names_the_blocked_process() {
         let d = DeadlockDiagnosis {
             time: 42,

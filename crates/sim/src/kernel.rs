@@ -1864,7 +1864,7 @@ pub(crate) fn untyped_place_error(root: &CRoot) -> SimError {
 /// Renders a wait condition compactly for diagnosis messages: signal
 /// names, literal values and operators; structural forms fall back to a
 /// placeholder rather than a full printout.
-fn render_expr(system: &System, expr: &Expr) -> String {
+pub(crate) fn render_expr(system: &System, expr: &Expr) -> String {
     match expr {
         Expr::Signal(s) => system.signal(*s).name.clone(),
         Expr::Const(v) => v.to_string(),

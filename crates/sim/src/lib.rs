@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check;
 mod config;
 mod diagnose;
 mod error;
@@ -60,6 +61,9 @@ mod report;
 pub mod analysis;
 pub mod vcd;
 
+pub use check::{
+    CheckConfig, Checker, Counterexample, EnvFault, PropertyReport, StateSpace, StateView,
+};
 pub use config::SimConfig;
 pub use diagnose::{BlockedWait, DeadlockDiagnosis};
 pub use error::SimError;

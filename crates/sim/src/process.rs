@@ -7,7 +7,7 @@ use ifsyn_spec::{Ty, Value};
 use crate::program::CompiledCond;
 
 /// Which code block a frame executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum CodeRef {
     /// A behavior body, by behavior index.
     Behavior(usize),
@@ -16,7 +16,7 @@ pub(crate) enum CodeRef {
 }
 
 /// One step of navigation from a storage root to a sub-location.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) enum Step {
     /// Array element.
     Elem(usize),
@@ -25,7 +25,7 @@ pub(crate) enum Step {
 }
 
 /// The root storage of a resolved place.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum Root {
     /// System variable, by index.
     Var(usize),
@@ -43,7 +43,7 @@ pub(crate) enum Root {
 /// Used for `out` / `inout` copy-back: VHDL evaluates the target name once
 /// at the call, so the indices are captured at call time even though the
 /// write happens at return.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct ResolvedPlace {
     pub root: Root,
     pub steps: Vec<Step>,

@@ -201,6 +201,127 @@ fn handshake_with_stuck_done_yields_cyclic_deadlock_diagnosis() {
 }
 
 #[test]
+fn three_party_diagnosis_reports_both_overlapping_cycles() {
+    // A waits on X, which both B and C can write; B and C each wait on a
+    // line only A writes. The wait-for graph is a figure-eight through A
+    // (A -> B -> A and A -> C -> A) and the diagnosis must report both
+    // elementary cycles, one `wait-for cycle:` line each.
+    let (mut sys, m) = shell();
+    let a = sys.add_behavior("A", m);
+    let b = sys.add_behavior("B", m);
+    let c = sys.add_behavior("C", m);
+    let x = sys.add_signal("X", Ty::Bit);
+    let y = sys.add_signal("Y", Ty::Bit);
+    let z = sys.add_signal("Z", Ty::Bit);
+    sys.behavior_mut(a).body = vec![
+        wait_until(eq(signal(x), bit_const(true))),
+        drive_cost(y, bit_const(true), 1),
+        drive_cost(z, bit_const(true), 1),
+    ];
+    sys.behavior_mut(b).body = vec![
+        wait_until(eq(signal(y), bit_const(true))),
+        drive_cost(x, bit_const(true), 1),
+    ];
+    sys.behavior_mut(c).body = vec![
+        wait_until(eq(signal(z), bit_const(true))),
+        drive_cost(x, bit_const(true), 1),
+    ];
+    let err = run(&sys, SimConfig::new().with_deadlock_detection())
+        .expect_err("nobody moves first: deadlock");
+    let SimError::Deadlock { diagnosis } = err else {
+        panic!("expected Deadlock, got {err}");
+    };
+    assert_eq!(diagnosis.blocked.len(), 3, "{diagnosis}");
+    let mut cycles: Vec<Vec<String>> = diagnosis
+        .cycles
+        .iter()
+        .map(|cy| {
+            let mut s = cy.clone();
+            s.sort();
+            s
+        })
+        .collect();
+    cycles.sort();
+    assert_eq!(
+        cycles,
+        vec![
+            vec!["A".to_string(), "B".into()],
+            vec!["A".into(), "C".into()]
+        ],
+        "{diagnosis}"
+    );
+}
+
+#[test]
+fn self_wait_yields_a_blocked_entry_but_no_cycle() {
+    // P waits on a signal only its own (unreachable) later code writes.
+    // The kernel's wait-for edges deliberately exclude self-edges — a
+    // process cannot unblock itself — so the diagnosis lists the blocked
+    // wait without inventing a one-node cycle.
+    let (mut sys, m) = shell();
+    let p = sys.add_behavior("P", m);
+    let s = sys.add_signal("SELF", Ty::Bit);
+    sys.behavior_mut(p).body = vec![
+        wait_until(eq(signal(s), bit_const(true))),
+        drive_cost(s, bit_const(false), 1),
+    ];
+    let err =
+        run(&sys, SimConfig::new().with_deadlock_detection()).expect_err("self-wait hangs forever");
+    let SimError::Deadlock { diagnosis } = err else {
+        panic!("expected Deadlock, got {err}");
+    };
+    let blocked = diagnosis.blocked_behavior("P").expect("P is blocked");
+    assert!(blocked.wait.contains("SELF"), "{}", blocked.wait);
+    assert!(diagnosis.cycles.is_empty(), "{:?}", diagnosis.cycles);
+}
+
+#[test]
+fn blocked_on_stuck_signal_observes_the_forced_value() {
+    // Q's write of ADDR = 5 is swallowed by a stuck-at-0 fault, so P
+    // never sees the value it waits for. The diagnosis must show P
+    // observing the *forced* all-zeros value (what the wire actually
+    // carries), and still extract the P <-> Q wait-for cycle even though
+    // the true culprit is the fault, not the peer's code.
+    let (mut sys, m) = shell();
+    let p = sys.add_behavior("P", m);
+    let q = sys.add_behavior("Q", m);
+    let addr = sys.add_signal("ADDR", Ty::Bits(8));
+    let ack = sys.add_signal("ACK", Ty::Bit);
+    sys.behavior_mut(p).body = vec![
+        wait_until(eq(signal(addr), bits_const(5, 8))),
+        drive_cost(ack, bit_const(true), 1),
+    ];
+    sys.behavior_mut(q).body = vec![
+        drive_cost(addr, bits_const(5, 8), 1),
+        wait_until(eq(signal(ack), bit_const(true))),
+    ];
+    let plan = FaultPlan::new().stuck_at_0("ADDR", 0, None);
+    let config = SimConfig::new().with_faults(plan).with_deadlock_detection();
+    let err = run(&sys, config).expect_err("stuck ADDR must deadlock");
+    let SimError::Deadlock { diagnosis } = err else {
+        panic!("expected Deadlock, got {err}");
+    };
+    let blocked = diagnosis.blocked_behavior("P").expect("P is blocked");
+    let (_, observed) = blocked
+        .observed
+        .iter()
+        .find(|(n, _)| n == "ADDR")
+        .expect("P's sensitivity list names ADDR");
+    assert!(
+        !observed.contains('5'),
+        "observed value must be the forced zeros, not the swallowed write: {observed}"
+    );
+    assert!(
+        diagnosis
+            .cycles
+            .iter()
+            .any(|c| c.contains(&"P".to_string()) && c.contains(&"Q".to_string())),
+        "{:?}",
+        diagnosis.cycles
+    );
+}
+
+#[test]
 fn deadlock_detection_stays_off_by_default() {
     let (mut sys, m) = shell();
     let b = sys.add_behavior("P", m);

@@ -140,6 +140,11 @@ pub fn or(lhs: Expr, rhs: Expr) -> Expr {
     binary(BinOp::Or, lhs, rhs)
 }
 
+/// `lhs xor rhs`.
+pub fn xor(lhs: Expr, rhs: Expr) -> Expr {
+    binary(BinOp::Xor, lhs, rhs)
+}
+
 /// `lhs & rhs` — concatenation, `lhs` in the low bit positions.
 pub fn concat(lhs: Expr, rhs: Expr) -> Expr {
     binary(BinOp::Concat, lhs, rhs)

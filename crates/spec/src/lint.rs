@@ -2,7 +2,8 @@
 //!
 //! [`System::check`] enforces structural validity; `lint` flags things
 //! that are *probably* mistakes — storage that is never read, channels
-//! nothing uses, signals with one end missing. Run it after building or
+//! nothing uses, signals with one end missing, data channels whose
+//! transfers have no integrity protection. Run it after building or
 //! parsing a system, before spending synthesis effort on it.
 
 use std::collections::HashSet;
@@ -32,6 +33,9 @@ pub enum LintKind {
     UnreadSignal,
     /// An `if` or `while` whose condition is a constant.
     ConstantCondition,
+    /// A cross-module channel whose transfers carry data words with no
+    /// integrity protection: a corrupted word commits silently.
+    UnprotectedDataChannel,
 }
 
 impl LintKind {
@@ -45,6 +49,7 @@ impl LintKind {
             LintKind::UndrivenSignal => "undriven-signal",
             LintKind::UnreadSignal => "unread-signal",
             LintKind::ConstantCondition => "constant-condition",
+            LintKind::UnprotectedDataChannel => "unprotected-data-channel",
         }
     }
 }
@@ -113,6 +118,15 @@ pub fn lint_system(system: &System) -> Vec<Lint> {
             });
         }
     }
+    // A refined system that already carries integrity protection has an
+    // acknowledged NACK wire (`<bus>_ERR`, driven by the server and read
+    // by the clients); its channels are not at risk of silent corruption.
+    let has_integrity_ack = system.signals.iter().enumerate().any(|(i, s)| {
+        let id = SignalId::new(i as u32);
+        s.name.ends_with("_ERR")
+            && usage.signals_driven.contains(&id)
+            && usage.signals_read.contains(&id)
+    });
     for (i, c) in system.channels.iter().enumerate() {
         let id = ChannelId::new(i as u32);
         if !usage.channels.contains(&id) {
@@ -131,6 +145,16 @@ pub fn lint_system(system: &System) -> Vec<Lint> {
                     c.name,
                     system.behavior(c.accessor).name,
                     system.variable(c.variable).name
+                ),
+            });
+        } else if c.data_bits > 0 && usage.channels.contains(&id) && !has_integrity_ack {
+            lints.push(Lint {
+                kind: LintKind::UnprotectedDataChannel,
+                message: format!(
+                    "channel `{}` carries {}-bit data words with no integrity \
+                     protection — a corrupted word commits silently; consider \
+                     the integrity-protected protocol variant (`--integrity`)",
+                    c.name, c.data_bits
                 ),
             });
         }
@@ -390,7 +414,81 @@ mod tests {
             accesses: 1,
         });
         sys.behavior_mut(b).body = vec![send(ch, int_const(1, 8))];
-        assert!(lint_system(&sys).is_empty(), "{:?}", lint_system(&sys));
+        let lints = lint_system(&sys);
+        assert!(
+            !kinds(&lints).contains(&LintKind::UnusedVariable),
+            "{lints:?}"
+        );
+        assert!(
+            !kinds(&lints).contains(&LintKind::UnusedChannel),
+            "{lints:?}"
+        );
+        // The only finding is the robustness advisory: the data words
+        // cross the module boundary with no integrity protection.
+        assert_eq!(kinds(&lints), vec![LintKind::UnprotectedDataChannel]);
+    }
+
+    #[test]
+    fn flags_unprotected_data_channels() {
+        let mut sys = System::new("t");
+        let m1 = sys.add_module("m1");
+        let m2 = sys.add_module("m2");
+        let store = sys.add_behavior("store", m2);
+        let v = sys.add_variable("V", Ty::Bits(16), store);
+        let b = sys.add_behavior("P", m1);
+        let ch = sys.add_channel(Channel {
+            name: "ch".into(),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: 1,
+        });
+        sys.behavior_mut(b).body = vec![send(ch, int_const(1, 16))];
+        let lints = lint_system(&sys);
+        let finding = lints
+            .iter()
+            .find(|l| l.kind == LintKind::UnprotectedDataChannel)
+            .expect("advisory fires for a used cross-module data channel");
+        assert!(finding.message.contains("`ch`"), "{finding:?}");
+        assert!(finding.message.contains("16-bit"), "{finding:?}");
+        assert_eq!(
+            finding.to_string().split_whitespace().next(),
+            Some("[unprotected-data-channel]")
+        );
+    }
+
+    #[test]
+    fn integrity_ack_wire_suppresses_unprotected_data_channel() {
+        // A refined system with an acknowledged `<bus>_ERR` NACK wire
+        // (integrity-protected protocol) must not be flagged.
+        let mut sys = System::new("t");
+        let m1 = sys.add_module("m1");
+        let m2 = sys.add_module("m2");
+        let store = sys.add_behavior("store", m2);
+        let v = sys.add_variable("V", Ty::Bits(16), store);
+        let b = sys.add_behavior("P", m1);
+        let ch = sys.add_channel(Channel {
+            name: "ch".into(),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: 1,
+        });
+        let err = sys.add_signal("B_ERR", Ty::Bit);
+        sys.behavior_mut(store).body = vec![drive(err, bit_const(true))];
+        sys.behavior_mut(b).body = vec![
+            send(ch, int_const(1, 16)),
+            wait_until(eq(signal(err), bit_const(true))),
+        ];
+        let lints = lint_system(&sys);
+        assert!(
+            !kinds(&lints).contains(&LintKind::UnprotectedDataChannel),
+            "{lints:?}"
+        );
     }
 
     #[test]

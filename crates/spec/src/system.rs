@@ -124,6 +124,13 @@ impl System {
         SignalId::new(self.signals.len() as u32 - 1)
     }
 
+    /// Adds a signal with an initial value and returns its id.
+    pub fn add_signal_init(&mut self, name: impl Into<String>, ty: Ty, init: Value) -> SignalId {
+        let id = self.add_signal(name, ty);
+        self.signals[id.index()].init = Some(init);
+        id
+    }
+
     /// Adds a procedure and returns its id.
     pub fn add_procedure(&mut self, procedure: Procedure) -> ProcId {
         self.procedures.push(procedure);

@@ -331,6 +331,124 @@ pub fn expected_full_checksum(k: i64) -> i64 {
     (0..FLC_ACCESSES as i64).map(|i| (k + 1) * i + k).sum()
 }
 
+/// Handles into the reduced FLC variant (see [`flc_reduced`]).
+#[derive(Debug, Clone)]
+pub struct FlcReduced {
+    /// The two-process system.
+    pub system: System,
+    /// `ch1`: `EVAL_R3` writes `trru0`.
+    pub ch1: ChannelId,
+    /// `ch2`: `CONV_R2` reads `trru2`.
+    pub ch2: ChannelId,
+    /// The `trru0` memory (written over ch1).
+    pub trru0: VarId,
+    /// `CONV_R2`'s checksum accumulator.
+    pub conv_acc: VarId,
+    /// Messages each channel carries.
+    pub accesses: u64,
+}
+
+impl FlcReduced {
+    /// The channels merged onto the shared bus.
+    pub fn channels(&self) -> Vec<ChannelId> {
+        vec![self.ch1, self.ch2]
+    }
+
+    /// Final `trru0` contents after a clean run: `Σ (3i + 1)`.
+    pub fn expected_trru0_sum(&self) -> i64 {
+        (0..self.accesses as i64).map(|i| 3 * i + 1).sum()
+    }
+
+    /// Final `conv_acc` value after a clean run: `Σ (2i + 5)`.
+    pub fn expected_checksum(&self) -> i64 {
+        (0..self.accesses as i64).map(|i| 2 * i + 5).sum()
+    }
+}
+
+/// Builds a reduced FLC for exhaustive model checking: the same
+/// `EVAL_R3` → `trru0` write channel and `CONV_R2` ← `trru2` read
+/// channel as [`flc`] (so the generated bus protocol is identical in
+/// shape), but with the truth arrays sized down to `accesses` entries
+/// and every process not on bus `B` omitted. The full 128-access FLC is
+/// far beyond exhaustive reach; at 2 accesses the refined system's
+/// state space is small enough to enumerate completely while still
+/// exercising arbitration between two concurrent clients, multi-word
+/// transfers, and both channel directions.
+pub fn flc_reduced(accesses: u64) -> FlcReduced {
+    let n = accesses as i64;
+    let mut sys = System::new("fuzzy_logic_controller_reduced");
+    let chip1 = sys.add_module("chip1");
+    let chip2 = sys.add_module("chip2");
+
+    let eval_r3 = sys.add_behavior("EVAL_R3", chip1);
+    let conv_r2 = sys.add_behavior("CONV_R2", chip1);
+    let store = sys.add_behavior("chip2_store", chip2);
+    let trru0 = sys.add_variable("trru0", Ty::array(Ty::Int(16), accesses as u32), store);
+    let trru2 = sys.add_variable_init(
+        "trru2",
+        Ty::array(Ty::Int(16), accesses as u32),
+        store,
+        ramp_array(n),
+    );
+
+    let ch1 = sys.add_channel(Channel {
+        name: "ch1".into(),
+        accessor: eval_r3,
+        variable: trru0,
+        direction: ChannelDirection::Write,
+        data_bits: 16,
+        addr_bits: 7,
+        accesses,
+    });
+    let ch2 = sys.add_channel(Channel {
+        name: "ch2".into(),
+        accessor: conv_r2,
+        variable: trru2,
+        direction: ChannelDirection::Read,
+        data_bits: 16,
+        addr_bits: 7,
+        accesses,
+    });
+
+    let ei = sys.add_variable("eval_i", Ty::Int(16), eval_r3);
+    let etmp = sys.add_variable("eval_t", Ty::Int(16), eval_r3);
+    sys.behavior_mut(eval_r3).body = vec![for_loop(
+        var(ei),
+        int_const(0, 16),
+        int_const(n - 1, 16),
+        vec![
+            assign_cost(
+                var(etmp),
+                add(mul(load(var(ei)), int_const(3, 16)), int_const(1, 16)),
+                0,
+            ),
+            send_at(ch1, load(var(ei)), load(var(etmp))),
+        ],
+    )];
+
+    let ci = sys.add_variable("conv_i", Ty::Int(16), conv_r2);
+    let ctmp = sys.add_variable("conv_t", Ty::Int(16), conv_r2);
+    let conv_acc = sys.add_variable("conv_acc", Ty::Int(32), conv_r2);
+    sys.behavior_mut(conv_r2).body = vec![for_loop(
+        var(ci),
+        int_const(0, 16),
+        int_const(n - 1, 16),
+        vec![
+            receive_at(ch2, load(var(ci)), var(ctmp)),
+            assign_cost(var(conv_acc), add(load(var(conv_acc)), load(var(ctmp))), 0),
+        ],
+    )];
+
+    FlcReduced {
+        system: sys,
+        ch1,
+        ch2,
+        trru0,
+        conv_acc,
+        accesses,
+    }
+}
+
 /// trru2's initial contents: a ramp `2*i + 5` (so readback sums are
 /// checkable).
 fn ramp_array(len: i64) -> ifsyn_spec::Value {

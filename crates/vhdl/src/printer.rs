@@ -27,7 +27,20 @@ impl VhdlPrinter {
         if !sys.signals.is_empty() {
             out.push('\n');
             for s in &sys.signals {
-                let _ = writeln!(out, "signal {} : {} ;", s.name, ty_str(&s.ty));
+                match &s.init {
+                    None => {
+                        let _ = writeln!(out, "signal {} : {} ;", s.name, ty_str(&s.ty));
+                    }
+                    Some(init) => {
+                        let _ = writeln!(
+                            out,
+                            "signal {} : {} := {} ;",
+                            s.name,
+                            ty_str(&s.ty),
+                            value_str(init)
+                        );
+                    }
+                }
             }
         }
         for p in &sys.procedures {

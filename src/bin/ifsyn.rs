@@ -17,6 +17,9 @@
 //!   --protocol-timeout W[:R]  generate timeout-hardened handshakes:
 //!                          watchdog of W cycles per wait, R retries
 //!                          (default 3) before raising the status flag
+//!   --integrity            generate integrity-protected transfers: a
+//!                          position-weighted check word per run, verified
+//!                          on the receive side (implies hardening)
 //!   --fault SPEC           inject a fault (repeatable). SPEC is one of
 //!                            stuck0:SIG[@FROM[-UNTIL]]
 //!                            stuck1:SIG[@FROM[-UNTIL]]
@@ -28,6 +31,16 @@
 //!   --vcd FILE             write a VCD waveform of the simulation
 //!   --dot FILE             write a Graphviz graph of the refined system
 //!   --lint                 print specification warnings and exit
+//!   --check                model-check the refined system instead of
+//!                          simulating it: explore every schedule (and
+//!                          every in-budget --check-fault pattern) and
+//!                          verify the robustness property catalog;
+//!                          exits nonzero on any violation
+//!   --check-fault SPEC     adversarial fault for --check (repeatable):
+//!                            stuck0:SIG
+//!                            flip:SIG:BIT[:BUDGET]
+//!                          unlike --fault these carry no schedule times;
+//!                          the checker tries every legal strike point
 //!   --explore              print the width exploration table and exit
 //!   --explore-csv FILE     write the exploration as CSV and exit
 //!   --sweep-sim LO-HI      refine the system at every bus width in
@@ -61,7 +74,10 @@ struct Options {
     no_arbitration: bool,
     rolled: bool,
     protocol_timeout: Option<(u64, Option<u32>)>,
+    integrity: bool,
     faults: Vec<String>,
+    check: bool,
+    check_faults: Vec<String>,
     print_vhdl: bool,
     vcd: Option<String>,
     dot: Option<String>,
@@ -213,6 +229,10 @@ fn run() -> Result<(), Box<dyn Error>> {
         println!("wrote structure graph to {dot_path}");
     }
 
+    if options.check {
+        return check_refined(&refined, &options);
+    }
+
     let mut config = if options.vcd.is_some() {
         SimConfig::new().with_trace()
     } else {
@@ -297,7 +317,136 @@ fn build_protocol_generator(options: &Options) -> ProtocolGenerator {
             pg = pg.with_retry_limit(r);
         }
     }
+    if options.integrity {
+        pg = pg.with_integrity();
+    }
     pg
+}
+
+/// `--check`: exhaustively explores every process interleaving of the
+/// refined system — and every in-budget strike pattern of the
+/// `--check-fault` environment — then verifies the robustness property
+/// catalog: grant mutual exclusion in every state, completion-or-flag in
+/// every quiescent state, and (fault-free only) eventual grant of every
+/// pending bus request. Returns an error, and thus a nonzero exit, on
+/// any violation, printing the counterexample trace.
+fn check_refined(
+    refined: &interface_synthesis::core::RefinedSystem,
+    options: &Options,
+) -> Result<(), Box<dyn Error>> {
+    use interface_synthesis::sim::{CheckConfig, Checker};
+
+    let mut config = CheckConfig::new();
+    for spec in &options.check_faults {
+        config = config.with_fault(parse_check_fault(spec)?);
+    }
+    let fault_free = options.check_faults.is_empty();
+    if !fault_free {
+        println!(
+            "checking under an adversarial environment of {} fault(s)",
+            options.check_faults.len()
+        );
+    }
+    let checker = Checker::with_config(&refined.system, config)?;
+    let space = checker.explore()?;
+    println!(
+        "\nexplored {} states, {} transitions, {} terminal(s), {} runtime error path(s)",
+        space.state_count(),
+        space.transition_count(),
+        space.terminal_count(),
+        space.error_count()
+    );
+    match space.worst_cost_to_quiescence() {
+        Some(w) => println!("worst-case completion over every schedule: {w} cycles"),
+        None => println!("worst-case completion: unbounded (a reachable cycle exists)"),
+    }
+
+    let mut reports = Vec::new();
+    if let Some(arb) = &refined.bus.arbiter {
+        let gnt_names: Vec<String> = arb
+            .gnt
+            .iter()
+            .map(|&g| refined.system.signal(g).name.clone())
+            .collect();
+        reports.push(space.check_invariant("gnt_mutex", |v| {
+            gnt_names.iter().filter(|n| v.signal_high(n)).count() <= 1
+        }));
+    }
+    let flag_names: Vec<String> = refined
+        .bus
+        .status_flags
+        .iter()
+        .map(|&(_, sig)| refined.system.signal(sig).name.clone())
+        .collect();
+    reports.push(space.check_terminal("completes_or_flags", |v| {
+        v.all_done() || flag_names.iter().any(|n| v.signal_high(n))
+    }));
+    if fault_free {
+        if let Some(arb) = &refined.bus.arbiter {
+            for (&rq, &gn) in arb.req.iter().zip(&arb.gnt) {
+                let rq_name = refined.system.signal(rq).name.clone();
+                let gn_name = refined.system.signal(gn).name.clone();
+                reports.push(space.check_leads_to(
+                    &format!("eventual_grant[{rq_name}]"),
+                    |v| v.signal_high(&rq_name) && !v.signal_high(&gn_name),
+                    |v| v.signal_high(&gn_name),
+                ));
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    for rep in &reports {
+        println!("{rep}");
+        if !rep.holds {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} propert{} violated",
+            reports.len(),
+            if reports.len() == 1 { "y" } else { "ies" }
+        )
+        .into());
+    }
+    println!(
+        "all {} propert{} hold on every schedule",
+        reports.len(),
+        if reports.len() == 1 { "y" } else { "ies" }
+    );
+    Ok(())
+}
+
+/// Parses a `--check-fault` SPEC: `stuck0:SIG` or `flip:SIG:BIT[:BUDGET]`.
+/// The checker's environment faults carry budgets, not schedule times —
+/// exploration tries every legal strike point — so the grammar is
+/// narrower than `--fault`'s.
+fn parse_check_fault(spec: &str) -> Result<interface_synthesis::sim::EnvFault, Box<dyn Error>> {
+    use interface_synthesis::sim::EnvFault;
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("check fault `{spec}` needs a kind prefix, e.g. stuck0:SIG"))?;
+    match kind {
+        "stuck0" => Ok(EnvFault::StuckLow {
+            signal: rest.to_string(),
+        }),
+        "flip" => {
+            let (sig, bit_budget) = rest
+                .split_once(':')
+                .ok_or("flip check fault expects flip:SIG:BIT[:BUDGET]")?;
+            let (bit, budget) = match bit_budget.split_once(':') {
+                Some((b, n)) => (b.parse()?, n.parse()?),
+                None => (bit_budget.parse()?, 1),
+            };
+            Ok(EnvFault::FlipBit {
+                signal: sig.to_string(),
+                bit,
+                budget,
+            })
+        }
+        other => Err(format!("unknown check fault kind `{other}`; expected stuck0 | flip").into()),
+    }
 }
 
 /// `--sweep-sim LO-HI`: refine the system at every bus width in the
@@ -415,7 +564,10 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, Box<dy
                     None => (v.parse()?, None),
                 });
             }
+            "--integrity" => o.integrity = true,
             "--fault" => o.faults.push(value_of("--fault")?),
+            "--check" => o.check = true,
+            "--check-fault" => o.check_faults.push(value_of("--check-fault")?),
             "--print-vhdl" => o.print_vhdl = true,
             "--vcd" => o.vcd = Some(value_of("--vcd")?),
             "--dot" => o.dot = Some(value_of("--dot")?),
@@ -604,6 +756,55 @@ mod tests {
     #[test]
     fn rejects_unknown_flags() {
         assert!(parse_args(["--frob".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn parses_check_mode_and_check_faults() {
+        let o = parse(&[
+            "s.ifs",
+            "--integrity",
+            "--check",
+            "--check-fault",
+            "stuck0:B_DONE",
+            "--check-fault",
+            "flip:B_DATA:2",
+        ]);
+        assert!(o.integrity);
+        assert!(o.check);
+        assert_eq!(o.check_faults, ["stuck0:B_DONE", "flip:B_DATA:2"]);
+        // Off by default, so the fault-free simulation path is untouched.
+        let o = parse(&["s.ifs"]);
+        assert!(!o.check && !o.integrity && o.check_faults.is_empty());
+    }
+
+    #[test]
+    fn parses_check_fault_specs() {
+        use interface_synthesis::sim::EnvFault;
+        assert_eq!(
+            parse_check_fault("stuck0:B_DONE").unwrap(),
+            EnvFault::StuckLow {
+                signal: "B_DONE".into()
+            }
+        );
+        assert_eq!(
+            parse_check_fault("flip:B_DATA:2").unwrap(),
+            EnvFault::FlipBit {
+                signal: "B_DATA".into(),
+                bit: 2,
+                budget: 1
+            }
+        );
+        assert_eq!(
+            parse_check_fault("flip:B_DATA:0:3").unwrap(),
+            EnvFault::FlipBit {
+                signal: "B_DATA".into(),
+                bit: 0,
+                budget: 3
+            }
+        );
+        for bad in ["B_DONE", "stuck1:B_DONE", "flip:B_DATA"] {
+            assert!(parse_check_fault(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]
