@@ -1,0 +1,424 @@
+//! The bus analyzer: traffic metrics from a recorded trace.
+//!
+//! Consumes either a live simulation report ([`analyze_report`]) or a
+//! VCD file parsed back from disk ([`analyze_vcd`]), plus the
+//! [`BusMeta`] sidecar describing the wires, and produces a
+//! [`BusAnalysis`]: bus utilization and idle time, per-word
+//! command-to-response and transfer-to-transfer latency histograms,
+//! backpressure, and per-channel observed transfer rates — the measured
+//! counterpart of the static estimates that drove width selection
+//! (`ifsyn_estimate::ChannelRates`).
+
+use std::fmt::Write as _;
+
+use ifsyn_sim::analysis::{handshake_words, WordTx};
+use ifsyn_sim::{SimReport, TraceEvent};
+use ifsyn_spec::{SignalId, System};
+
+use crate::error::AnalyzeError;
+use crate::hist::Histogram;
+use crate::meta::BusMeta;
+use crate::vcd::parse_vcd;
+
+/// Measured traffic of one channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelTraffic {
+    /// Channel name.
+    pub name: String,
+    /// ID code the traffic was attributed by, if the bus has ID lines.
+    pub id_code: Option<u64>,
+    /// Bus words observed for this channel.
+    pub words: u64,
+    /// Complete messages (words / words-per-message).
+    pub messages: u64,
+    /// Message payload bits moved (messages × message bits).
+    pub bits: u64,
+    /// The lifetime the rate is computed over, in clocks: the accessor's
+    /// finish time when known, else the channel's last bus activity.
+    pub lifetime: u64,
+    /// Observed average transfer rate, bits/clock — directly comparable
+    /// to the paper's estimated average rate for this channel.
+    pub observed_rate: f64,
+    /// Maximal runs of consecutive words on this channel.
+    pub runs: u64,
+    /// Longest run, in words.
+    pub max_run_words: u64,
+    /// Command-to-response latency of this channel's words.
+    pub response_latency: Histogram,
+}
+
+/// The full analysis of one bus over one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusAnalysis {
+    /// Bus name.
+    pub bus: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Bus width in data lines.
+    pub width: u32,
+    /// End of the analysed window (final simulation time).
+    pub end_time: u64,
+    /// Total words observed on the bus.
+    pub words: u64,
+    /// Cycles the bus spent inside a word transfer.
+    pub busy_cycles: u64,
+    /// Cycles the bus spent idle (`end_time - busy`).
+    pub idle_cycles: u64,
+    /// `busy / end_time` (0 for a zero-length run).
+    pub utilization: f64,
+    /// Cycles lost to responses slower than the protocol's nominal
+    /// 1-cycle command-to-response, summed over all words.
+    pub backpressure_cycles: u64,
+    /// Command-to-response latency (`DONE`↑ − `START`↑) over all words.
+    pub response_latency: Histogram,
+    /// Transfer-to-transfer delay (consecutive `START`↑ spacing).
+    pub transfer_gap: Histogram,
+    /// Per-channel traffic, in metadata order.
+    pub channels: Vec<ChannelTraffic>,
+}
+
+/// Analyzes a live simulation report against its bus metadata.
+///
+/// Signal names from the metadata are resolved in `system`; channel
+/// lifetimes use the accessor behaviors' finish times, so observed rates
+/// are computed over exactly the same lifetime the static estimator
+/// uses.
+///
+/// # Errors
+///
+/// [`AnalyzeError::MissingSignal`] when the metadata names a signal the
+/// system lacks; [`AnalyzeError::EmptyTrace`] when tracing was off.
+pub fn analyze_report(
+    system: &System,
+    report: &SimReport,
+    meta: &BusMeta,
+) -> Result<BusAnalysis, AnalyzeError> {
+    let lookup = |name: &str| {
+        system
+            .signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SignalId::new(i as u32))
+    };
+    let resolved = ResolvedSignals::resolve(meta, lookup)?;
+    let initial_id = resolved
+        .id
+        .map(|sig| system.signal(sig).initial_value().to_bits().to_u64());
+    let lifetime_of = |accessor: &str| {
+        system
+            .behavior_by_name(accessor)
+            .and_then(|b| report.finish_time(b))
+    };
+    analyze_events(
+        meta,
+        report.trace(),
+        &resolved,
+        initial_id,
+        report.time(),
+        &lifetime_of,
+    )
+}
+
+/// Analyzes a VCD dump against its bus metadata sidecar.
+///
+/// Behavior finish times are not recorded in a VCD file, so channel
+/// lifetimes fall back to each channel's last bus activity.
+///
+/// # Errors
+///
+/// VCD parse errors, [`AnalyzeError::MissingSignal`], or
+/// [`AnalyzeError::EmptyTrace`] for a changeless dump.
+pub fn analyze_vcd(text: &str, meta: &BusMeta) -> Result<BusAnalysis, AnalyzeError> {
+    let vcd = parse_vcd(text)?;
+    let resolved = ResolvedSignals::resolve(meta, |name| vcd.signal(name))?;
+    let initial_id = resolved
+        .id
+        .map(|sig| vcd.initials[sig.index()].to_bits().to_u64());
+    analyze_events(
+        meta,
+        &vcd.events,
+        &resolved,
+        initial_id,
+        vcd.end_time,
+        &|_| None,
+    )
+}
+
+/// The metadata's signal names resolved to trace signal ids.
+struct ResolvedSignals {
+    start: SignalId,
+    done: Option<SignalId>,
+    id: Option<SignalId>,
+}
+
+impl ResolvedSignals {
+    fn resolve(
+        meta: &BusMeta,
+        lookup: impl Fn(&str) -> Option<SignalId>,
+    ) -> Result<Self, AnalyzeError> {
+        let require = |name: &Option<String>| -> Result<Option<SignalId>, AnalyzeError> {
+            match name {
+                None => Ok(None),
+                Some(n) => lookup(n)
+                    .map(Some)
+                    .ok_or_else(|| AnalyzeError::MissingSignal(n.clone())),
+            }
+        };
+        let start = require(&meta.start)?
+            .ok_or_else(|| AnalyzeError::Meta("bus has no START line to analyse".into()))?;
+        Ok(Self {
+            start,
+            done: require(&meta.done)?,
+            id: require(&meta.id)?,
+        })
+    }
+}
+
+fn analyze_events(
+    meta: &BusMeta,
+    events: &[TraceEvent],
+    signals: &ResolvedSignals,
+    initial_id: Option<u64>,
+    end_time: u64,
+    lifetime_of: &dyn Fn(&str) -> Option<u64>,
+) -> Result<BusAnalysis, AnalyzeError> {
+    if events.is_empty() {
+        return Err(AnalyzeError::EmptyTrace);
+    }
+    let words = handshake_words(events, signals.start, signals.done, signals.id, initial_id);
+    let nominal_word = u64::from(meta.cycles_per_word.max(1));
+
+    let mut busy = 0u64;
+    let mut backpressure = 0u64;
+    let mut response = Histogram::new();
+    let mut gap = Histogram::new();
+    for (i, w) in words.iter().enumerate() {
+        busy += w.occupancy().unwrap_or(nominal_word);
+        if let Some(lat) = w.response_latency() {
+            response.record(lat);
+            backpressure += lat.saturating_sub(1);
+        }
+        if i > 0 {
+            gap.record(w.start_rise - words[i - 1].start_rise);
+        }
+    }
+
+    let channels = channel_traffic(meta, &words, lifetime_of);
+    let busy = busy.min(end_time);
+    Ok(BusAnalysis {
+        bus: meta.bus.clone(),
+        protocol: meta.protocol.clone(),
+        width: meta.width,
+        end_time,
+        words: words.len() as u64,
+        busy_cycles: busy,
+        idle_cycles: end_time - busy,
+        utilization: if end_time == 0 {
+            0.0
+        } else {
+            busy as f64 / end_time as f64
+        },
+        backpressure_cycles: backpressure,
+        response_latency: response,
+        transfer_gap: gap,
+        channels,
+    })
+}
+
+fn channel_traffic(
+    meta: &BusMeta,
+    words: &[WordTx],
+    lifetime_of: &dyn Fn(&str) -> Option<u64>,
+) -> Vec<ChannelTraffic> {
+    // Per-channel accumulators, indexed like meta.channels.
+    struct Acc {
+        words: u64,
+        last_activity: u64,
+        runs: u64,
+        run_words: u64,
+        max_run: u64,
+        response: Histogram,
+    }
+    let mut accs: Vec<Acc> = meta
+        .channels
+        .iter()
+        .map(|_| Acc {
+            words: 0,
+            last_activity: 0,
+            runs: 0,
+            run_words: 0,
+            max_run: 0,
+            response: Histogram::new(),
+        })
+        .collect();
+    let index_for = |w: &WordTx| {
+        meta.channel_for(w.id_code)
+            .and_then(|ch| meta.channels.iter().position(|c| c.name == ch.name))
+    };
+    let mut current: Option<usize> = None;
+    for w in words {
+        let Some(i) = index_for(w) else {
+            current = None;
+            continue;
+        };
+        let acc = &mut accs[i];
+        acc.words += 1;
+        acc.last_activity = w.done_fall.unwrap_or(w.start_rise).max(acc.last_activity);
+        if let Some(lat) = w.response_latency() {
+            acc.response.record(lat);
+        }
+        if current == Some(i) {
+            acc.run_words += 1;
+        } else {
+            acc.runs += 1;
+            acc.run_words = 1;
+            current = Some(i);
+        }
+        acc.max_run = acc.max_run.max(acc.run_words);
+    }
+    meta.channels
+        .iter()
+        .zip(accs)
+        .map(|(ch, acc)| {
+            let messages = if ch.words_per_message == 0 {
+                0
+            } else {
+                acc.words / u64::from(ch.words_per_message)
+            };
+            let bits = messages * u64::from(ch.message_bits);
+            let lifetime = lifetime_of(&ch.accessor).unwrap_or(acc.last_activity);
+            ChannelTraffic {
+                name: ch.name.clone(),
+                id_code: ch.id_code,
+                words: acc.words,
+                messages,
+                bits,
+                lifetime,
+                observed_rate: if lifetime == 0 {
+                    0.0
+                } else {
+                    bits as f64 / lifetime as f64
+                },
+                runs: acc.runs,
+                max_run_words: acc.max_run,
+                response_latency: acc.response,
+            }
+        })
+        .collect()
+}
+
+impl BusAnalysis {
+    /// Observed rate of the channel named `name`, if analysed.
+    pub fn observed_rate(&self, name: &str) -> Option<f64> {
+        self.channels
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.observed_rate)
+    }
+
+    /// Renders the analysis as a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bus {} ({}, width {}): {} words in {} clocks",
+            self.bus, self.protocol, self.width, self.words, self.end_time
+        );
+        let _ = writeln!(
+            out,
+            "  utilization {:.1}%  (busy {} clk, idle {} clk, backpressure {} clk)",
+            self.utilization * 100.0,
+            self.busy_cycles,
+            self.idle_cycles,
+            self.backpressure_cycles
+        );
+        let _ = writeln!(
+            out,
+            "  command->response latency: {}",
+            self.response_latency.summary()
+        );
+        let _ = writeln!(
+            out,
+            "  transfer->transfer delay:  {}",
+            self.transfer_gap.summary()
+        );
+        for ch in &self.channels {
+            let id = ch
+                .id_code
+                .map(|c| format!("id {c}"))
+                .unwrap_or_else(|| "no id".to_string());
+            let _ = writeln!(
+                out,
+                "  channel {} ({id}): {} words / {} messages, {} bits, \
+                 observed rate {:.4} bits/clk over {} clk",
+                ch.name, ch.words, ch.messages, ch.bits, ch.observed_rate, ch.lifetime
+            );
+            let _ = writeln!(
+                out,
+                "    handshake runs: {} (longest {} words), response {}",
+                ch.runs,
+                ch.max_run_words,
+                ch.response_latency.summary()
+            );
+        }
+        out
+    }
+
+    /// Renders the analysis as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"ifsyn-analyze-report-v1\",");
+        let _ = writeln!(out, "  \"bus\": \"{}\",", self.bus);
+        let _ = writeln!(out, "  \"protocol\": \"{}\",", self.protocol);
+        let _ = writeln!(out, "  \"width\": {},", self.width);
+        let _ = writeln!(out, "  \"end_time\": {},", self.end_time);
+        let _ = writeln!(out, "  \"words\": {},", self.words);
+        let _ = writeln!(out, "  \"busy_cycles\": {},", self.busy_cycles);
+        let _ = writeln!(out, "  \"idle_cycles\": {},", self.idle_cycles);
+        let _ = writeln!(out, "  \"utilization\": {:.6},", self.utilization);
+        let _ = writeln!(
+            out,
+            "  \"backpressure_cycles\": {},",
+            self.backpressure_cycles
+        );
+        let hist = |h: &Histogram| {
+            format!(
+                "{{\"count\": {}, \"min\": {}, \"mean\": {:.4}, \"p95\": {}, \"max\": {}}}",
+                h.count(),
+                h.min().unwrap_or(0),
+                h.mean(),
+                h.percentile(95).unwrap_or(0),
+                h.max().unwrap_or(0)
+            )
+        };
+        let _ = writeln!(
+            out,
+            "  \"response_latency\": {},",
+            hist(&self.response_latency)
+        );
+        let _ = writeln!(out, "  \"transfer_gap\": {},", hist(&self.transfer_gap));
+        let _ = writeln!(out, "  \"channels\": [");
+        for (i, ch) in self.channels.iter().enumerate() {
+            let comma = if i + 1 < self.channels.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"words\": {}, \"messages\": {}, \"bits\": {}, \
+                 \"lifetime\": {}, \"observed_rate\": {:.6}, \"runs\": {}, \
+                 \"max_run_words\": {}, \"response_latency\": {}}}{comma}",
+                ch.name,
+                ch.words,
+                ch.messages,
+                ch.bits,
+                ch.lifetime,
+                ch.observed_rate,
+                ch.runs,
+                ch.max_run_words,
+                hist(&ch.response_latency)
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}

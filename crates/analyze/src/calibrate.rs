@@ -1,0 +1,275 @@
+//! Measured-rate calibration: closing the loop between estimation and
+//! simulation.
+//!
+//! The paper's width selection (§3) prices every candidate width with
+//! *statically estimated* channel rates. Those estimates are exact for a
+//! process alone on its bus (the Fig. 7 cross-check) but ignore
+//! contention: when several channels share the bus, each accessor
+//! stretches and its achieved rate drops below the estimate. The
+//! calibration loop measures that gap and feeds it back:
+//!
+//! 1. select a width with static rates (the paper's algorithm);
+//! 2. refine, simulate with tracing, and run the bus analyzer;
+//! 3. for each channel compute `κ = observed_rate / estimated_rate`
+//!    at the simulated width;
+//! 4. re-run width selection with every per-width static estimate
+//!    scaled by `κ` ([`ifsyn_estimate::RateModel::Calibrated`]);
+//! 5. repeat from 2 until the selected width repeats (a fixed point)
+//!    or the iteration bound is hit.
+//!
+//! The loop is bounded and reports convergence explicitly: a width that
+//! re-selects itself is a fixed point; revisiting an earlier width is an
+//! oscillation and is reported as non-converged.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ifsyn_core::{BusDesign, BusGenerator, ProtocolGenerator};
+use ifsyn_estimate::{ChannelTimings, RateModel};
+use ifsyn_sim::{SimConfig, Simulator};
+use ifsyn_spec::{ChannelId, System};
+
+use crate::analyzer::{analyze_report, BusAnalysis};
+use crate::error::AnalyzeError;
+use crate::meta::BusMeta;
+
+/// Knobs of the calibration loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationOptions {
+    /// Maximum simulate-and-reselect iterations before giving up.
+    pub max_iterations: u32,
+    /// Trace-event bound for the instrumented simulations (narrow widths
+    /// of a long sweep far exceed the simulator's default bound).
+    pub max_trace_events: usize,
+}
+
+impl Default for CalibrationOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 8,
+            max_trace_events: 2_000_000,
+        }
+    }
+}
+
+/// One channel's estimated-vs-observed comparison at one width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelCalibration {
+    /// Channel name.
+    pub name: String,
+    /// Static average-rate estimate at the simulated width (bits/clock).
+    pub estimated_rate: f64,
+    /// Rate measured by the bus analyzer (bits/clock).
+    pub observed_rate: f64,
+    /// Correction factor `observed / estimated` (1 when either is 0).
+    pub scale: f64,
+}
+
+impl ChannelCalibration {
+    /// Relative estimation error `|observed - estimated| / estimated`
+    /// (0 when the estimate is 0).
+    pub fn relative_error(&self) -> f64 {
+        if self.estimated_rate == 0.0 {
+            0.0
+        } else {
+            (self.observed_rate - self.estimated_rate).abs() / self.estimated_rate
+        }
+    }
+}
+
+/// One iteration of the loop: simulate at `width`, re-select.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationStep {
+    /// 1-based iteration number.
+    pub iteration: u32,
+    /// The width simulated this step.
+    pub width: u32,
+    /// Per-channel measurements at this width.
+    pub channels: Vec<ChannelCalibration>,
+    /// The width selection chose with the calibrated rates.
+    pub next_width: u32,
+}
+
+/// The outcome of a calibration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// Width the static (uncalibrated) algorithm selected.
+    pub initial_width: u32,
+    /// Width the loop ended on.
+    pub final_width: u32,
+    /// Whether the loop reached a fixed point (a width re-selecting
+    /// itself) within the iteration bound.
+    pub converged: bool,
+    /// Every simulate-and-reselect step, in order.
+    pub steps: Vec<CalibrationStep>,
+    /// Bus analysis of the last simulated width.
+    pub final_analysis: BusAnalysis,
+}
+
+impl CalibrationReport {
+    /// Worst per-channel relative estimation error in the first step —
+    /// the gap the static model had before any correction.
+    pub fn initial_error(&self) -> f64 {
+        self.steps
+            .first()
+            .map(|s| {
+                s.channels
+                    .iter()
+                    .map(ChannelCalibration::relative_error)
+                    .fold(0.0, f64::max)
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the run as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "calibration: static width {} -> final width {} in {} iteration(s), {}",
+            self.initial_width,
+            self.final_width,
+            self.steps.len(),
+            if self.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            }
+        );
+        for step in &self.steps {
+            let _ = writeln!(
+                out,
+                "  iter {}: simulated width {}, re-selected width {}",
+                step.iteration, step.width, step.next_width
+            );
+            for ch in &step.channels {
+                let _ = writeln!(
+                    out,
+                    "    {}: est {:.4} obs {:.4} bits/clk  (x{:.3}, err {:.1}%)",
+                    ch.name,
+                    ch.estimated_rate,
+                    ch.observed_rate,
+                    ch.scale,
+                    ch.relative_error() * 100.0
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Runs the calibration loop for `channels` of `system`.
+///
+/// `generator` supplies the protocol, constraints and base rate
+/// estimator; any rate model already installed on it is replaced by the
+/// measured one from iteration to iteration.
+///
+/// # Errors
+///
+/// [`AnalyzeError::Calibration`] when width selection, refinement or
+/// simulation fails, and any analyzer error.
+pub fn calibrate(
+    system: &System,
+    channels: &[ChannelId],
+    generator: &BusGenerator,
+    options: CalibrationOptions,
+) -> Result<CalibrationReport, AnalyzeError> {
+    let cal_err =
+        |what: &str, e: &dyn std::fmt::Display| AnalyzeError::Calibration(format!("{what}: {e}"));
+    let base = generator.rate_model().base().clone();
+    let mut design = generator
+        .generate(system, channels)
+        .map_err(|e| cal_err("initial width selection", &e))?;
+    let initial_width = design.width;
+    let mut visited = vec![initial_width];
+    let mut steps = Vec::new();
+    let mut converged = false;
+    let mut final_analysis = None;
+
+    for iteration in 1..=options.max_iterations.max(1) {
+        let width = design.width;
+        let analysis = simulate_and_analyze(system, &design, options.max_trace_events)?;
+
+        // Static per-channel estimates at the simulated width, from the
+        // same base estimator the selection used.
+        let timings = ChannelTimings::uniform(channels, design.protocol.timing(width));
+        let mut measured = Vec::with_capacity(channels.len());
+        let mut scale = HashMap::with_capacity(channels.len());
+        for &ch in channels {
+            let name = system.channel(ch).name.clone();
+            let estimated = base
+                .average_rate(system, ch, &timings)
+                .map_err(|e| cal_err("rate estimation", &e))?;
+            let observed = analysis.observed_rate(&name).unwrap_or(0.0);
+            let factor = if estimated > 0.0 && observed > 0.0 {
+                observed / estimated
+            } else {
+                1.0
+            };
+            scale.insert(ch, factor);
+            measured.push(ChannelCalibration {
+                name,
+                estimated_rate: estimated,
+                observed_rate: observed,
+                scale: factor,
+            });
+        }
+
+        let model = RateModel::calibrated(base.clone(), scale);
+        let next = generator
+            .clone()
+            .with_rate_model(model)
+            .generate(system, channels)
+            .map_err(|e| cal_err("calibrated width selection", &e))?;
+        steps.push(CalibrationStep {
+            iteration,
+            width,
+            channels: measured,
+            next_width: next.width,
+        });
+        final_analysis = Some(analysis);
+
+        if next.width == width {
+            converged = true;
+            design = next;
+            break;
+        }
+        if visited.contains(&next.width) {
+            // Oscillation between widths: bounded, but not a fixed point.
+            design = next;
+            break;
+        }
+        visited.push(next.width);
+        design = next;
+    }
+
+    Ok(CalibrationReport {
+        initial_width,
+        final_width: design.width,
+        converged,
+        steps,
+        final_analysis: final_analysis.expect("at least one iteration ran"),
+    })
+}
+
+/// Refines `design`, simulates it with tracing, and runs the analyzer.
+pub fn simulate_and_analyze(
+    system: &System,
+    design: &BusDesign,
+    max_trace_events: usize,
+) -> Result<BusAnalysis, AnalyzeError> {
+    let cal_err =
+        |what: &str, e: &dyn std::fmt::Display| AnalyzeError::Calibration(format!("{what}: {e}"));
+    let refined = ProtocolGenerator::new()
+        .refine(system, design)
+        .map_err(|e| cal_err("refinement", &e))?;
+    let config = SimConfig::new()
+        .with_trace()
+        .with_max_trace_events(max_trace_events);
+    let report = Simulator::with_config(&refined.system, config)
+        .map_err(|e| cal_err("simulation setup", &e))?
+        .run_to_quiescence()
+        .map_err(|e| cal_err("simulation", &e))?;
+    let meta = BusMeta::from_refined(&refined);
+    analyze_report(&refined.system, &report, &meta)
+}

@@ -1,0 +1,43 @@
+//! Error type of the analytics subsystem.
+
+use std::fmt;
+
+/// Errors from VCD ingestion, metadata parsing or trace analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The VCD text violated the subset of IEEE 1364 we read.
+    Vcd {
+        /// 1-based line of the offending text.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The bus metadata JSON was malformed or missing a required field.
+    Meta(String),
+    /// A signal named in the metadata does not exist in the trace.
+    MissingSignal(String),
+    /// The trace carries no recorded events (tracing was off).
+    EmptyTrace,
+    /// A step of the calibration loop failed (generation, refinement or
+    /// simulation).
+    Calibration(String),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Vcd { line, message } => write!(f, "VCD parse error at line {line}: {message}"),
+            Self::Meta(msg) => write!(f, "bus metadata error: {msg}"),
+            Self::MissingSignal(name) => {
+                write!(f, "signal `{name}` from bus metadata not found in trace")
+            }
+            Self::EmptyTrace => write!(
+                f,
+                "trace contains no events; run the simulation with tracing enabled"
+            ),
+            Self::Calibration(msg) => write!(f, "calibration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}

@@ -1,0 +1,141 @@
+//! Exact latency histograms.
+//!
+//! Bus latencies take few distinct values (the nominal handshake plus a
+//! handful of contention-stretched variants), so the histogram stores
+//! exact value counts rather than lossy buckets — percentiles and means
+//! are then exact, which matters when the calibration loop compares runs
+//! whose latencies differ by single cycles.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An exact histogram of `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank; `p` in `0..=100`), if any
+    /// samples were recorded.
+    pub fn percentile(&self, p: u32) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((u128::from(p.min(100)) * u128::from(self.total)).div_ceil(100)).max(1);
+        let mut seen = 0u128;
+        for (&value, &count) in &self.counts {
+            seen += u128::from(count);
+            if seen >= rank {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// One-line summary: `n=.. min=.. mean=.. p95=.. max=..`.
+    pub fn summary(&self) -> String {
+        if self.total == 0 {
+            return "n=0".to_string();
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "n={} min={} mean={:.2} p95={} max={}",
+            self.total,
+            self.min().unwrap(),
+            self.mean(),
+            self.percentile(95).unwrap(),
+            self.max().unwrap()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarises() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 1, 2, 3, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.percentile(50), Some(1));
+        assert_eq!(h.percentile(100), Some(10));
+        assert_eq!(
+            h.iter().collect::<Vec<_>>(),
+            vec![(1, 3), (2, 1), (3, 1), (10, 1)]
+        );
+        assert!(h.summary().starts_with("n=6 min=1"));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.percentile(95), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1), Some(1));
+        assert_eq!(h.percentile(95), Some(95));
+        assert_eq!(h.percentile(0), Some(1), "p0 clamps to the first sample");
+    }
+}

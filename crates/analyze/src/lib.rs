@@ -1,0 +1,81 @@
+//! # ifsyn-analyze — trace analytics for generated buses
+//!
+//! The width-selection algorithm of the DAC'94 paper prices candidate
+//! buses with *statically estimated* channel rates. This crate supplies
+//! the measurement side: a post-simulation bus analyzer that turns a
+//! recorded signal trace — live from the simulator or parsed back from
+//! its VCD dump — into per-bus utilization, idle and backpressure
+//! cycles, command-to-response and transfer-to-transfer latency
+//! histograms, per-handshake-run word counts, and per-channel *observed*
+//! transfer rates directly comparable to the estimates.
+//!
+//! On top of the analyzer sits the calibration loop
+//! ([`calibrate::calibrate`]): measure the observed/estimated ratio per
+//! channel, re-run width selection with the scaled rates
+//! ([`ifsyn_estimate::RateModel::Calibrated`]), and iterate to a fixed
+//! point — bus selection informed by the very traffic it generates.
+//!
+//! ## Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use ifsyn_analyze::{analyze_report, BusMeta};
+//! use ifsyn_core::{BusGenerator, ProtocolGenerator};
+//! use ifsyn_sim::{SimConfig, Simulator};
+//! use ifsyn_spec::dsl::*;
+//! use ifsyn_spec::{Channel, ChannelDirection, System, Ty};
+//!
+//! // One writer process sending 8 messages over a generated bus.
+//! let mut sys = System::new("demo");
+//! let m = sys.add_module("chip");
+//! let p = sys.add_behavior("P", m);
+//! let owner = sys.add_behavior("MEMPROC", m);
+//! let mem = sys.add_variable("MEM", Ty::array(Ty::Int(16), 8), owner);
+//! let i = sys.add_variable("i", Ty::Int(16), p);
+//! let ch = sys.add_channel(Channel {
+//!     name: "ch".into(),
+//!     accessor: p,
+//!     variable: mem,
+//!     direction: ChannelDirection::Write,
+//!     data_bits: 16,
+//!     addr_bits: 3,
+//!     accesses: 8,
+//! });
+//! sys.behavior_mut(p).body = vec![for_loop(
+//!     var(i), int_const(0, 16), int_const(7, 16),
+//!     vec![send_at(ch, load(var(i)), load(var(i)))],
+//! )];
+//!
+//! let design = BusGenerator::new().generate(&sys, &[ch])?;
+//! let refined = ProtocolGenerator::new().refine(&sys, &design)?;
+//! let report = Simulator::with_config(&refined.system, SimConfig::new().with_trace())?
+//!     .run_to_quiescence()?;
+//! let meta = BusMeta::from_refined(&refined);
+//! let analysis = analyze_report(&refined.system, &report, &meta)?;
+//! assert_eq!(analysis.channels[0].messages, 8);
+//! assert!(analysis.utilization > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyzer;
+mod error;
+mod hist;
+mod meta;
+
+pub mod calibrate;
+pub mod json;
+pub mod vcd;
+
+pub use analyzer::{analyze_report, analyze_vcd, BusAnalysis, ChannelTraffic};
+pub use calibrate::{
+    calibrate, simulate_and_analyze, CalibrationOptions, CalibrationReport, CalibrationStep,
+    ChannelCalibration,
+};
+pub use error::AnalyzeError;
+pub use hist::Histogram;
+pub use meta::{BusMeta, ChannelMeta, META_SCHEMA};

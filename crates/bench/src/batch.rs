@@ -21,6 +21,7 @@
 //! assert!(reports.iter().all(|r| r.is_ok()));
 //! ```
 
+use ifsyn_analyze::{analyze_report, BusAnalysis, BusMeta};
 use ifsyn_sim::{CodeCache, LockstepSim, LockstepStats, SimConfig, SimError, SimReport, Simulator};
 use ifsyn_spec::System;
 
@@ -103,6 +104,28 @@ impl BatchRunner {
         parallel_sweep_with(self.jobs(), systems, |sys| {
             Simulator::with_config_cached(sys, self.config.clone(), Some(&self.cache))?
                 .run_to_quiescence()
+        })
+    }
+
+    /// Simulates every `(refined system, bus metadata)` pair with
+    /// tracing forced on and runs the bus analyzer over each in-memory
+    /// trace, fanning out like [`BatchRunner::run`].
+    ///
+    /// The trace never touches disk: the simulator records events in
+    /// memory and [`ifsyn_analyze::analyze_report`] consumes them
+    /// directly — the same events the VCD writer would serialize, minus
+    /// the round-trip through text. Tracing is enabled on top of the
+    /// configured [`SimConfig`], so callers only need
+    /// [`SimConfig::with_max_trace_events`] when the default event cap
+    /// is too small for their workload.
+    pub fn run_analyzed(&self, jobs: &[(System, BusMeta)]) -> Vec<Result<BusAnalysis, String>> {
+        parallel_sweep_with(self.jobs(), jobs, |(sys, meta)| {
+            let config = self.config.clone().with_trace();
+            let report = Simulator::with_config_cached(sys, config, Some(&self.cache))
+                .map_err(|e| e.to_string())?
+                .run_to_quiescence()
+                .map_err(|e| e.to_string())?;
+            analyze_report(sys, &report, meta).map_err(|e| e.to_string())
         })
     }
 
@@ -237,6 +260,35 @@ mod tests {
                 .run_to_quiescence()
                 .expect("sim");
             assert_eq!(got.as_ref().expect("lockstep run"), &alone);
+        }
+    }
+
+    #[test]
+    fn run_analyzed_analyzes_in_memory_without_vcd() {
+        let f = flc::flc();
+        let widths = [4u32, 8];
+        let jobs: Vec<(System, BusMeta)> = widths
+            .iter()
+            .map(|&w| {
+                let design =
+                    BusDesign::with_width(f.bus_channels(), w, ProtocolKind::FullHandshake);
+                let refined = ProtocolGenerator::new()
+                    .refine(&f.system, &design)
+                    .expect("flc refinement");
+                let meta = BusMeta::from_refined(&refined);
+                (refined.system, meta)
+            })
+            .collect();
+        let runner = BatchRunner::new()
+            .with_jobs(2)
+            .with_config(SimConfig::new().with_max_trace_events(2_000_000));
+        let results = runner.run_analyzed(&jobs);
+        for (r, &width) in results.iter().zip(&widths) {
+            let a = r.as_ref().expect("analysis");
+            assert_eq!(a.width, width);
+            assert_eq!(a.channels.len(), 2);
+            assert!(a.words > 0);
+            assert!(a.utilization > 0.0 && a.utilization <= 1.0);
         }
     }
 

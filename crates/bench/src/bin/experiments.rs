@@ -5,6 +5,15 @@
 //! cargo run -p ifsyn-bench --bin experiments -- fig7 [--lockstep]
 //! cargo run -p ifsyn-bench --bin experiments -- bench   # writes BENCH_sim.json
 //! cargo run -p ifsyn-bench --bin experiments -- faults  # writes BENCH_faults.json
+//! cargo run -p ifsyn-bench --bin experiments -- calibrate
+//!     # trace-analytics campaign: estimated vs observed rates over the
+//!     # Fig. 7 sweep plus the calibration fixed point; writes
+//!     # BENCH_analyze.json and exits nonzero when a pinned invariant
+//!     # (alone-run exactness, shortfall tolerance, convergence) fails.
+//!     # Options:
+//!     #   --out PATH        output file (default BENCH_analyze.json)
+//!     #   --tolerance R     worst allowed shared-rate shortfall
+//!     #                     (default 0.5)
 //! cargo run -p ifsyn-bench --bin experiments -- perf --check
 //!     # measure and compare against the committed BENCH_sim.json;
 //!     # exits nonzero on a throughput regression. Options:
@@ -39,6 +48,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "calibrate" => {
+            if let Err(e) = run_calibrate(&args[1..]) {
+                eprintln!("calibrate failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "check" => {
             if let Err(e) = run_check(args.get(1).map(String::as_str)) {
                 eprintln!("check failed: {e}");
@@ -61,7 +76,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | bench | faults | check | perf | all"
+                "unknown experiment `{other}`; expected fig2 | fig7 | fig8 | extra | overhead | ablation | bench | faults | check | calibrate | perf | all"
             );
             return ExitCode::FAILURE;
         }
@@ -150,6 +165,48 @@ fn run_faults(out_path: Option<&str>) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Runs the trace-analytics campaign and writes `BENCH_analyze.json`
+/// (default). Exits with an error when a pinned invariant fails:
+/// alone-on-the-bus rates deviating from the static estimates, a shared
+/// rate beating its analytic ceiling, the worst shared shortfall
+/// exceeding the tolerance, or the calibration loop failing to converge.
+fn run_calibrate(args: &[String]) -> Result<(), String> {
+    let mut tolerance = ifsyn_bench::calibrate::DEFAULT_TOLERANCE;
+    let mut out_path = "BENCH_analyze.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().ok_or("--out requires a value")?.clone(),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance requires a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err("--tolerance must be in [0, 1)".to_string());
+                }
+            }
+            other => return Err(format!("unknown calibrate option `{other}`")),
+        }
+    }
+    rule();
+    let data = ifsyn_bench::calibrate::run();
+    print!("{}", ifsyn_bench::calibrate::render(&data));
+    std::fs::write(&out_path, ifsyn_bench::calibrate::to_json(&data)).map_err(|e| e.to_string())?;
+    println!("\nwrote {out_path}");
+    match ifsyn_bench::calibrate::check(&data, tolerance) {
+        Ok(summary) => {
+            print!("\n{summary}");
+            Ok(())
+        }
+        Err(report) => {
+            print!("\npinned checks FAILED:\n{report}");
+            Err("trace-analytics regression detected".to_string())
+        }
+    }
 }
 
 /// Runs the model-checking campaign and writes `BENCH_check.json`

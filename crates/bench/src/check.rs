@@ -39,6 +39,7 @@ use ifsyn_sim::{CheckConfig, Checker, EnvFault, StateView};
 use ifsyn_spec::Value;
 use ifsyn_systems::{fig3, flc};
 
+use crate::emit::{json_opt, json_str};
 use crate::faults::{generator, Variant};
 use crate::table::Table;
 
@@ -479,22 +480,6 @@ pub fn render(data: &CheckData) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// Serializes the campaign as the `BENCH_check.json` document.
 pub fn to_json(data: &CheckData) -> String {
     let mut out = String::new();
@@ -505,11 +490,11 @@ pub fn to_json(data: &CheckData) -> String {
         data.known_counterexamples().len()
     ));
     out.push_str("  \"properties\": [\n");
-    for (i, r) in data.rows.iter().enumerate() {
-        out.push_str(&format!(
+    crate::emit::array_rows(&mut out, &data.rows, |r| {
+        format!(
             "    {{\"system\": {}, \"scenario\": {}, \"protocol\": {}, \
              \"property\": {}, \"holds\": {}, \"expected\": {}, \"states\": {}, \
-             \"detail\": {}}}{}\n",
+             \"detail\": {}}}",
             json_str(&r.system),
             json_str(&r.scenario),
             json_str(r.variant.as_str()),
@@ -517,27 +502,25 @@ pub fn to_json(data: &CheckData) -> String {
             r.holds,
             r.expected,
             r.states,
-            r.detail.as_deref().map_or("null".to_string(), json_str),
-            if i + 1 < data.rows.len() { "," } else { "" },
-        ));
-    }
+            crate::emit::json_opt_str(r.detail.as_deref()),
+        )
+    });
     out.push_str("  ],\n");
     out.push_str("  \"explorations\": [\n");
-    for (i, r) in data.spaces.iter().enumerate() {
-        out.push_str(&format!(
+    crate::emit::array_rows(&mut out, &data.spaces, |r| {
+        format!(
             "    {{\"system\": {}, \"scenario\": {}, \"protocol\": {}, \
              \"states\": {}, \"transitions\": {}, \"terminals\": {}, \
-             \"worst_cost\": {}}}{}\n",
+             \"worst_cost\": {}}}",
             json_str(&r.system),
             json_str(&r.scenario),
             json_str(r.variant.as_str()),
             r.states,
             r.transitions,
             r.terminals,
-            r.worst_cost.map_or("null".to_string(), |c| c.to_string()),
-            if i + 1 < data.spaces.len() { "," } else { "" },
-        ));
-    }
+            json_opt(r.worst_cost),
+        )
+    });
     out.push_str("  ]\n}\n");
     out
 }

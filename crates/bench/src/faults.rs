@@ -43,6 +43,7 @@ use ifsyn_sim::{FaultPlan, SimConfig, SimError, Simulator};
 use ifsyn_spec::{ChannelDirection, Value};
 use ifsyn_systems::{fig3, flc};
 
+use crate::emit::{json_opt, json_str};
 use crate::table::Table;
 
 /// Watchdog bound (cycles per `wait until`) used by the hardened runs.
@@ -610,22 +611,6 @@ pub fn render(data: &FaultData) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// Serializes the campaign as the `BENCH_faults.json` document.
 pub fn to_json(data: &FaultData) -> String {
     let mut out = String::new();
@@ -646,42 +631,38 @@ pub fn to_json(data: &FaultData) -> String {
     ));
     out.push_str("  \"overhead_vs_hardened\": [\n");
     let overhead = data.overhead_vs_hardened(Variant::Protected);
-    for (i, (hard, prot)) in overhead.iter().enumerate() {
-        out.push_str(&format!(
+    crate::emit::array_rows(&mut out, &overhead, |(hard, prot)| {
+        format!(
             "    {{\"system\": {}, \"hardened_time\": {}, \"protected_time\": {}, \
-             \"hardened_words\": {}, \"protected_words\": {}}}{}\n",
+             \"hardened_words\": {}, \"protected_words\": {}}}",
             json_str(&hard.system),
-            hard.finish_time
-                .map_or("null".to_string(), |t| t.to_string()),
-            prot.finish_time
-                .map_or("null".to_string(), |t| t.to_string()),
+            json_opt(hard.finish_time),
+            json_opt(prot.finish_time),
             hard.words,
             prot.words,
-            if i + 1 < overhead.len() { "," } else { "" },
-        ));
-    }
+        )
+    });
     out.push_str("  ],\n");
     out.push_str("  \"rows\": [\n");
-    for (i, r) in data.rows.iter().enumerate() {
+    crate::emit::array_rows(&mut out, &data.rows, |r| {
         let flags: Vec<String> = r.flags_raised.iter().map(|f| json_str(f)).collect();
-        out.push_str(&format!(
+        format!(
             "    {{\"system\": {}, \"scenario\": {}, \"protocol\": {}, \
              \"outcome\": {}, \"silent\": {}, \"finish_time\": {}, \"injected\": {}, \
-             \"flags_raised\": [{}], \"diagnosis\": {}, \"bound\": {}, \"words\": {}}}{}\n",
+             \"flags_raised\": [{}], \"diagnosis\": {}, \"bound\": {}, \"words\": {}}}",
             json_str(&r.system),
             json_str(&r.scenario),
             json_str(r.variant.as_str()),
             json_str(&r.outcome),
             r.silent_corrupt(),
-            r.finish_time.map_or("null".to_string(), |t| t.to_string()),
+            json_opt(r.finish_time),
             r.injected,
             flags.join(", "),
-            r.diagnosis.as_deref().map_or("null".to_string(), json_str),
-            r.bound.map_or("null".to_string(), |b| b.to_string()),
+            crate::emit::json_opt_str(r.diagnosis.as_deref()),
+            json_opt(r.bound),
             r.words,
-            if i + 1 < data.rows.len() { "," } else { "" },
-        ));
-    }
+        )
+    });
     out.push_str("  ]\n}\n");
     out
 }

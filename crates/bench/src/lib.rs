@@ -15,7 +15,10 @@
 //! * [`ablation`] — the future-work extensions measured: alternative
 //!   protocols, arbitration grant delay, bus splitting;
 //! * [`faults`] — the robustness campaign: plain vs timeout-hardened
-//!   handshakes under a deterministic fault matrix.
+//!   handshakes under a deterministic fault matrix;
+//! * [`calibrate`] — the trace-analytics campaign: estimated vs
+//!   observed channel rates across the Fig. 7 sweep, plus the
+//!   measured-rate calibration loop run to its fixed point.
 //!
 //! Run everything with `cargo run -p ifsyn-bench --bin experiments -- all`.
 
@@ -24,7 +27,9 @@
 
 pub mod ablation;
 pub mod batch;
+pub mod calibrate;
 pub mod check;
+pub mod emit;
 pub mod extra;
 pub mod faults;
 pub mod fig2;

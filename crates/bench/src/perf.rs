@@ -278,23 +278,13 @@ pub fn to_json(data: &PerfData) -> String {
     out.push_str("{\n  \"schema\": \"ifsyn-bench-sim-v1\",\n");
     out.push_str(&format!("  \"sweep_threads\": {},\n", data.sweep_threads));
     out.push_str("  \"scenarios\": [\n");
-    for (i, s) in data.scenarios.iter().enumerate() {
-        out.push_str(&format!(
+    crate::emit::array_rows(&mut out, &data.scenarios, |s| {
+        format!(
             "    {{\"name\": \"{}\", \"runs\": {}, \"threads\": {}, \"total_instrs\": {}, \
-             \"wall_seconds\": {:.6}, \"instrs_per_sec\": {:.1}}}{}\n",
-            s.name,
-            s.runs,
-            s.threads,
-            s.total_instrs,
-            s.wall_seconds,
-            s.instrs_per_sec,
-            if i + 1 < data.scenarios.len() {
-                ","
-            } else {
-                ""
-            },
-        ));
-    }
+             \"wall_seconds\": {:.6}, \"instrs_per_sec\": {:.1}}}",
+            s.name, s.runs, s.threads, s.total_instrs, s.wall_seconds, s.instrs_per_sec,
+        )
+    });
     out.push_str("  ]\n}\n");
     out
 }

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use ifsyn_estimate::{ChannelRates, ChannelTimings};
+use ifsyn_estimate::{ChannelRates, ChannelTimings, RateModel};
 use ifsyn_spec::{ChannelId, System};
 
 use crate::constraint::{total_cost, Constraint, WidthMetrics};
@@ -163,7 +163,7 @@ impl BusDesign {
 pub struct BusGenerator {
     protocol: ProtocolKind,
     constraints: Vec<Constraint>,
-    rates: ChannelRates,
+    rates: RateModel,
     width_range: Option<(u32, u32)>,
 }
 
@@ -199,9 +199,24 @@ impl BusGenerator {
     }
 
     /// Replaces the rate estimator (e.g. to share a custom cost model).
+    /// The estimator is used as-is, statically — see
+    /// [`BusGenerator::with_rate_model`] for calibrated rates.
     pub fn with_rates(mut self, rates: ChannelRates) -> Self {
+        self.rates = RateModel::from_static(rates);
+        self
+    }
+
+    /// Replaces the whole rate model — this is how the trace-analytics
+    /// calibration loop re-runs width selection with measured per-channel
+    /// correction factors ([`RateModel::Calibrated`]).
+    pub fn with_rate_model(mut self, rates: RateModel) -> Self {
         self.rates = rates;
         self
+    }
+
+    /// The rate model currently installed.
+    pub fn rate_model(&self) -> &RateModel {
+        &self.rates
     }
 
     /// The constraints currently installed.
@@ -560,6 +575,74 @@ mod tests {
             .metrics
             .ave_rate(ch1);
         assert!(rate <= 2.0 + 1e-9, "rate {rate} exceeds the ceiling");
+    }
+
+    #[test]
+    fn cost_tie_at_adjacent_widths_breaks_toward_fewer_pins() {
+        // With a satisfied min-width constraint every width >= the bound
+        // prices at exactly 0, so adjacent feasible widths tie on cost
+        // and the selection must fall to the tie-break (fewer pins).
+        let (sys, ch1, ch2) = flc_like();
+        let design = BusGenerator::new()
+            .constraint(Constraint::min_bus_width(12, 5.0))
+            .generate(&sys, &[ch1, ch2])
+            .unwrap();
+        let cost_at = |w: u32| {
+            design
+                .exploration
+                .rows
+                .iter()
+                .find(|r| r.width == w)
+                .and_then(|r| r.cost)
+                .unwrap()
+        };
+        assert_eq!(cost_at(12), cost_at(13), "adjacent widths must tie");
+        assert_eq!(design.width, 12, "tie broken toward fewer pins");
+    }
+
+    #[test]
+    fn peak_rate_violation_cost_ranks_widths() {
+        // Restrict exploration to widths where MinPeakRate(ch2)=10 is
+        // violated everywhere (peak = width/2 < 10 for width < 20): the
+        // cheapest violation — the widest bus in range — must win, and
+        // the per-row costs must be the squared, weighted shortfalls.
+        let (sys, ch1, ch2) = flc_like();
+        let design = BusGenerator::new()
+            .constraint(Constraint::min_peak_rate(ch2, 10.0, 10.0))
+            .with_width_range(14, 18)
+            .generate(&sys, &[ch1, ch2])
+            .unwrap();
+        assert_eq!(design.width, 18);
+        for row in &design.exploration.rows {
+            let shortfall = 10.0 - f64::from(row.width) / 2.0;
+            let expected = 10.0 * shortfall * shortfall;
+            assert!(
+                (row.cost.unwrap() - expected).abs() < 1e-9,
+                "width {}: cost {:?} != {expected}",
+                row.width,
+                row.cost
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_rates_shift_the_feasibility_frontier() {
+        // Doubling every measured rate makes narrow widths infeasible
+        // that static estimation accepted — the calibration loop's whole
+        // point. The selected width must not decrease, and the scaled
+        // sums must be exactly 2x the static ones.
+        let (sys, ch1, ch2) = flc_like();
+        let static_design = BusGenerator::new().generate(&sys, &[ch1, ch2]).unwrap();
+        let scale = HashMap::from([(ch1, 2.0), (ch2, 2.0)]);
+        let model = ifsyn_estimate::RateModel::calibrated(ChannelRates::new(), scale);
+        let calibrated = BusGenerator::new()
+            .with_rate_model(model)
+            .generate(&sys, &[ch1, ch2])
+            .unwrap();
+        assert!(calibrated.width > static_design.width);
+        let static_row = &static_design.exploration.rows[0];
+        let cal_row = &calibrated.exploration.rows[0];
+        assert!((cal_row.sum_ave_rates - 2.0 * static_row.sum_ave_rates).abs() < 1e-12);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use area::{AreaEstimate, AreaEstimator, AreaModel};
 pub use cost::CostModel;
 pub use error::EstimateError;
 pub use perf::{BehaviorEstimate, PerformanceEstimator};
-pub use rates::ChannelRates;
+pub use rates::{ChannelRates, RateModel};
 pub use timing::{BusTiming, ChannelTimings};

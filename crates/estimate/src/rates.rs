@@ -1,5 +1,7 @@
 //! Channel average-rate and peak-rate estimation (the paper's ref \[8\]).
 
+use std::collections::HashMap;
+
 use ifsyn_spec::{ChannelId, System};
 
 use crate::error::EstimateError;
@@ -114,6 +116,129 @@ impl ChannelRates {
     }
 }
 
+/// Where the average rates that drive width selection come from.
+///
+/// The paper's algorithm prices each width with *statically estimated*
+/// rates ([`ChannelRates`]). The trace-analytics loop closes the gap
+/// between those estimates and what a simulation actually measures: a
+/// [`RateModel::Calibrated`] model scales each channel's static estimate
+/// by the measured-over-estimated ratio observed at one simulated width,
+/// so re-running width selection reflects bus contention the static
+/// model cannot see.
+///
+/// Peak rates are a property of the bus timing alone (the burst rate the
+/// wires offer, not what traffic achieves), so both variants report the
+/// same peak rate.
+#[derive(Debug, Clone)]
+pub enum RateModel {
+    /// Purely static estimation — the paper's model, and the default.
+    Static(ChannelRates),
+    /// Static estimation with per-channel multiplicative correction
+    /// factors measured from a simulation trace.
+    Calibrated {
+        /// The underlying static estimator.
+        base: ChannelRates,
+        /// `measured_rate / estimated_rate` per channel, applied
+        /// multiplicatively. Channels absent from the map are left
+        /// uncorrected (factor 1).
+        scale: HashMap<ChannelId, f64>,
+    },
+}
+
+impl Default for RateModel {
+    fn default() -> Self {
+        Self::Static(ChannelRates::default())
+    }
+}
+
+impl RateModel {
+    /// Creates the default static model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static estimator without correction.
+    pub fn from_static(rates: ChannelRates) -> Self {
+        Self::Static(rates)
+    }
+
+    /// Creates a calibrated model from a static estimator and measured
+    /// per-channel correction factors.
+    pub fn calibrated(base: ChannelRates, scale: HashMap<ChannelId, f64>) -> Self {
+        Self::Calibrated { base, scale }
+    }
+
+    /// The underlying static estimator.
+    pub fn base(&self) -> &ChannelRates {
+        match self {
+            Self::Static(rates) => rates,
+            Self::Calibrated { base, .. } => base,
+        }
+    }
+
+    /// The correction factor applied to `channel` (1 when static or
+    /// unmeasured).
+    pub fn scale_for(&self, channel: ChannelId) -> f64 {
+        match self {
+            Self::Static(_) => 1.0,
+            Self::Calibrated { scale, .. } => scale.get(&channel).copied().unwrap_or(1.0),
+        }
+    }
+
+    /// Average rate of `channel` under this model (bits/clock).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChannelRates::average_rate`].
+    pub fn average_rate(
+        &self,
+        system: &System,
+        channel: ChannelId,
+        timings: &ChannelTimings,
+    ) -> Result<f64, EstimateError> {
+        match self {
+            Self::Static(rates) => rates.average_rate(system, channel, timings),
+            Self::Calibrated { base, scale } => {
+                let factor = scale.get(&channel).copied().unwrap_or(1.0);
+                Ok(base.average_rate(system, channel, timings)? * factor)
+            }
+        }
+    }
+
+    /// Sum of average rates over a channel group under this model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-channel estimation error.
+    pub fn sum_average_rates(
+        &self,
+        system: &System,
+        channels: &[ChannelId],
+        timings: &ChannelTimings,
+    ) -> Result<f64, EstimateError> {
+        let mut sum = 0.0;
+        for &ch in channels {
+            sum += self.average_rate(system, ch, timings)?;
+        }
+        Ok(sum)
+    }
+
+    /// Peak rate of `channel` — always the bus timing's burst rate,
+    /// regardless of calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnknownChannel`] for an out-of-range id.
+    pub fn peak_rate(
+        &self,
+        system: &System,
+        channel: ChannelId,
+        timing: BusTiming,
+    ) -> Result<f64, EstimateError> {
+        self.base().peak_rate(system, channel, timing)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +328,95 @@ mod tests {
         assert!(rates
             .peak_rate(&sys, ChannelId::new(0), BusTiming::new(8, 2))
             .is_err());
+    }
+
+    #[test]
+    fn zero_traffic_channel_has_zero_rate() {
+        // A channel whose accessor does work but never touches it
+        // (declared accesses = 0, no sends in the body) contributes
+        // nothing to Eq. 1's right-hand side.
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let owner = sys.add_behavior("Q", m);
+        let v = sys.add_variable("X", Ty::Bits(16), owner);
+        let ch = sys.add_channel(Channel {
+            name: "quiet".into(),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Read,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: 0,
+        });
+        sys.behavior_mut(b)
+            .body
+            .push(ifsyn_spec::Stmt::compute(50, "w"));
+        let rates = ChannelRates::new();
+        let t = ChannelTimings::uniform(&[ch], BusTiming::new(8, 2));
+        assert_eq!(rates.average_rate(&sys, ch, &t).unwrap(), 0.0);
+        assert_eq!(rates.sum_average_rates(&sys, &[ch], &t).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_accessor_body_has_zero_rate_not_nan() {
+        // Zero estimated lifetime must not divide: the rate is defined
+        // as 0, never NaN/inf, so feasibility comparisons stay total.
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("P", m);
+        let owner = sys.add_behavior("Q", m);
+        let v = sys.add_variable("X", Ty::Bits(16), owner);
+        let ch = sys.add_channel(Channel {
+            name: "ch".into(),
+            accessor: b,
+            variable: v,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 0,
+            accesses: 10,
+        });
+        let rates = ChannelRates::new();
+        let r = rates
+            .average_rate(&sys, ch, &ChannelTimings::new())
+            .unwrap();
+        assert_eq!(r, 0.0);
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn static_rate_model_matches_channel_rates_exactly() {
+        let (sys, ch) = rig(128, 4);
+        let t = ChannelTimings::uniform(&[ch], BusTiming::new(8, 2));
+        let direct = ChannelRates::new().average_rate(&sys, ch, &t).unwrap();
+        let model = RateModel::new();
+        assert_eq!(model.average_rate(&sys, ch, &t).unwrap(), direct);
+        assert_eq!(model.scale_for(ch), 1.0);
+    }
+
+    #[test]
+    fn calibrated_model_scales_average_but_not_peak() {
+        let (sys, ch) = rig(128, 4);
+        let timing = BusTiming::new(8, 2);
+        let t = ChannelTimings::uniform(&[ch], timing);
+        let base = ChannelRates::new();
+        let static_rate = base.average_rate(&sys, ch, &t).unwrap();
+        let static_peak = base.peak_rate(&sys, ch, timing).unwrap();
+        let model = RateModel::calibrated(base, HashMap::from([(ch, 0.75)]));
+        let r = model.average_rate(&sys, ch, &t).unwrap();
+        assert!((r - static_rate * 0.75).abs() < 1e-12, "{r}");
+        assert_eq!(model.peak_rate(&sys, ch, timing).unwrap(), static_peak);
+        assert_eq!(model.scale_for(ch), 0.75);
+    }
+
+    #[test]
+    fn calibrated_model_leaves_unmeasured_channels_alone() {
+        let (sys, ch) = rig(16, 0);
+        let t = ChannelTimings::uniform(&[ch], BusTiming::new(23, 2));
+        let static_rate = ChannelRates::new().average_rate(&sys, ch, &t).unwrap();
+        let model = RateModel::calibrated(ChannelRates::new(), HashMap::new());
+        assert_eq!(model.average_rate(&sys, ch, &t).unwrap(), static_rate);
+        assert_eq!(model.scale_for(ch), 1.0);
     }
 
     #[test]

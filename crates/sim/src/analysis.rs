@@ -7,7 +7,7 @@
 
 use ifsyn_spec::{SignalId, System, Value};
 
-use crate::report::SimReport;
+use crate::report::{SimReport, TraceEvent};
 
 /// Activity summary of one signal over a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,6 +106,92 @@ pub fn handshake_bus_utilization(
     (words * u64::from(cycles_per_word)) as f64 / report.time() as f64
 }
 
+/// One bus word annotated from the control-line trace: the observable
+/// unit of a handshake transaction.
+///
+/// For the full handshake a word is `START`↑ → `DONE`↑ → `START`↓ →
+/// `DONE`↓; for strobe protocols (no `DONE`) only the `START` edge is
+/// observable and the response fields stay `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordTx {
+    /// Time of the `START` rise that opened the word.
+    pub start_rise: u64,
+    /// Time of the responder's `DONE` rise (command-to-response).
+    pub done_rise: Option<u64>,
+    /// Time of the `DONE` fall that closed the word.
+    pub done_fall: Option<u64>,
+    /// Value of the ID (mode) lines when the word opened, if the bus
+    /// carries them — this is what attributes the word to a channel.
+    pub id_code: Option<u64>,
+}
+
+impl WordTx {
+    /// Command-to-response latency (`DONE`↑ − `START`↑), if observed.
+    pub fn response_latency(&self) -> Option<u64> {
+        self.done_rise.map(|d| d.saturating_sub(self.start_rise))
+    }
+
+    /// Bus occupancy of the word (`DONE`↓ − `START`↑), if observed.
+    pub fn occupancy(&self) -> Option<u64> {
+        self.done_fall.map(|d| d.saturating_sub(self.start_rise))
+    }
+}
+
+/// Annotates a signal-change trace into handshake word transactions.
+///
+/// Walks `events` once, opening a word at every `START` rise, closing it
+/// at the following `DONE` fall (when `done` is given), and stamping each
+/// word with the ID-line value current at its opening (`initial_id` seeds
+/// the value before the first ID event). Events must be in time order, as
+/// recorded by the kernel or parsed back from a VCD file.
+pub fn handshake_words(
+    events: &[TraceEvent],
+    start: SignalId,
+    done: Option<SignalId>,
+    id: Option<SignalId>,
+    initial_id: Option<u64>,
+) -> Vec<WordTx> {
+    let mut words: Vec<WordTx> = Vec::new();
+    let mut current_id = initial_id;
+    let mut start_high = false;
+    // Index of the opened-but-unclosed word, if any.
+    let mut open: Option<usize> = None;
+    for ev in events {
+        if Some(ev.signal) == id {
+            current_id = Some(ev.value.to_bits().to_u64());
+            continue;
+        }
+        if ev.signal == start {
+            let level = matches!(ev.value, Value::Bit(true));
+            if level && !start_high {
+                words.push(WordTx {
+                    start_rise: ev.time,
+                    done_rise: None,
+                    done_fall: None,
+                    id_code: current_id,
+                });
+                if done.is_some() {
+                    open = Some(words.len() - 1);
+                }
+            }
+            start_high = level;
+            continue;
+        }
+        if Some(ev.signal) == done {
+            let level = matches!(ev.value, Value::Bit(true));
+            if let Some(w) = open {
+                if level && words[w].done_rise.is_none() {
+                    words[w].done_rise = Some(ev.time);
+                } else if !level && words[w].done_rise.is_some() {
+                    words[w].done_fall = Some(ev.time);
+                    open = None;
+                }
+            }
+        }
+    }
+    words
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +278,95 @@ mod tests {
         let _ = done;
         let u = handshake_bus_utilization(&report, &sys, start, 2);
         assert!(u > 0.95, "saturated bus should be ~100% utilised, got {u}");
+    }
+
+    #[test]
+    fn handshake_words_annotates_full_handshake_with_ids() {
+        // Two words on channel id=2, then one on id=5, driven by hand so
+        // the edge times are exact.
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let start = sys.add_signal("B_START", Ty::Bit);
+        let done = sys.add_signal("B_DONE", Ty::Bit);
+        let id = sys.add_signal("B_ID", Ty::Bits(3));
+        let tx = sys.add_behavior("tx", m);
+        let rx = sys.add_behavior("rx", m);
+        sys.behavior_mut(tx).body = vec![
+            drive_cost(id, bits_const(2, 3), 0),
+            // word 1
+            drive_cost(start, bit_const(true), 1),
+            wait_until(eq(signal(done), bit_const(true))),
+            drive_cost(start, bit_const(false), 0),
+            wait_until(eq(signal(done), bit_const(false))),
+            // word 2
+            drive_cost(start, bit_const(true), 1),
+            wait_until(eq(signal(done), bit_const(true))),
+            drive_cost(start, bit_const(false), 0),
+            wait_until(eq(signal(done), bit_const(false))),
+            // new message on another channel
+            drive_cost(id, bits_const(5, 3), 0),
+            drive_cost(start, bit_const(true), 1),
+            wait_until(eq(signal(done), bit_const(true))),
+            drive_cost(start, bit_const(false), 0),
+            wait_until(eq(signal(done), bit_const(false))),
+        ];
+        let three_words = |sv: &mut Vec<_>| {
+            for _ in 0..3 {
+                sv.push(wait_until(eq(signal(start), bit_const(true))));
+                sv.push(drive_cost(done, bit_const(true), 1));
+                sv.push(wait_until(eq(signal(start), bit_const(false))));
+                sv.push(drive_cost(done, bit_const(false), 0));
+            }
+        };
+        let mut rx_body = Vec::new();
+        three_words(&mut rx_body);
+        sys.behavior_mut(rx).body = rx_body;
+        let report = Simulator::with_config(&sys, SimConfig::new().with_trace())
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let words = handshake_words(report.trace(), start, Some(done), Some(id), Some(0));
+        assert_eq!(words.len(), 3, "{words:?}");
+        assert_eq!(words[0].id_code, Some(2));
+        assert_eq!(words[1].id_code, Some(2));
+        assert_eq!(words[2].id_code, Some(5));
+        for w in &words {
+            let rise = w.done_rise.expect("full handshake has a response");
+            let fall = w.done_fall.expect("full handshake closes the word");
+            assert!(rise > w.start_rise, "{w:?}");
+            assert!(fall >= rise, "{w:?}");
+            assert_eq!(w.response_latency(), Some(rise - w.start_rise));
+            assert_eq!(w.occupancy(), Some(fall - w.start_rise));
+        }
+        // Words don't overlap and are in time order.
+        assert!(words[0].done_fall.unwrap() <= words[1].start_rise);
+        assert!(words[1].done_fall.unwrap() <= words[2].start_rise);
+    }
+
+    #[test]
+    fn handshake_words_without_done_records_strobes_only() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let start = sys.add_signal("STROBE", Ty::Bit);
+        let b = sys.add_behavior("P", m);
+        sys.behavior_mut(b).body = vec![
+            drive_cost(start, bit_const(true), 1),
+            drive_cost(start, bit_const(false), 1),
+            drive_cost(start, bit_const(true), 1),
+            drive_cost(start, bit_const(false), 1),
+        ];
+        let report = Simulator::with_config(&sys, SimConfig::new().with_trace())
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let words = handshake_words(report.trace(), start, None, None, None);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].start_rise, 1);
+        assert_eq!(words[1].start_rise, 3);
+        assert!(words.iter().all(|w| w.done_rise.is_none()
+            && w.done_fall.is_none()
+            && w.id_code.is_none()
+            && w.response_latency().is_none()));
     }
 
     #[test]

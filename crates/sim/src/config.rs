@@ -64,6 +64,13 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style setter for [`SimConfig::max_trace_events`] — traced
+    /// analytics runs over long sweeps need more than the default bound.
+    pub fn with_max_trace_events(mut self, max: usize) -> Self {
+        self.max_trace_events = max;
+        self
+    }
+
     /// Builder-style setter for the cost model.
     pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
         self.cost_model = cost_model;

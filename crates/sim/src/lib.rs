@@ -59,6 +59,7 @@ mod program;
 mod report;
 
 pub mod analysis;
+pub mod trace;
 pub mod vcd;
 
 pub use check::{

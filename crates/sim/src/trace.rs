@@ -1,0 +1,148 @@
+//! Trace emission behind a writer trait.
+//!
+//! A [`SimReport`] records its signal-change trace as a flat event list;
+//! different consumers want it in different shapes — VCD text on disk
+//! for waveform viewers, an in-memory stream for the trace-analytics
+//! subsystem, nothing at all for pure throughput runs. [`TraceSink`] is
+//! the one writer interface: [`emit_trace`] replays a report through any
+//! sink, so batch sweeps can collect per-width traffic summaries without
+//! ever materialising VCD text (see `ifsyn-analyze`), while
+//! [`crate::vcd::to_vcd_string`] drives the same replay into the VCD
+//! renderer.
+
+use ifsyn_spec::{SignalId, System, Value};
+
+use crate::report::{SimReport, TraceEvent};
+
+/// A consumer of one simulation trace, fed in replay order.
+///
+/// The driver ([`emit_trace`]) calls the hooks in a fixed sequence:
+/// `begin`, one `initial` per signal (declaration order), `start_changes`,
+/// one `change` per recorded event (time order), and `finish`. All hooks
+/// except `change` default to no-ops so summary sinks implement only what
+/// they observe.
+pub trait TraceSink {
+    /// Called once before anything else with the traced system.
+    fn begin(&mut self, system: &System) {
+        let _ = system;
+    }
+
+    /// Initial value of one signal (time 0, before any event).
+    fn initial(&mut self, signal: SignalId, value: &Value) {
+        let _ = (signal, value);
+    }
+
+    /// Called once after the last `initial`, before the first `change`.
+    fn start_changes(&mut self) {}
+
+    /// One recorded signal change. Events arrive in non-decreasing time
+    /// order, exactly as the kernel recorded them.
+    fn change(&mut self, time: u64, signal: SignalId, value: &Value);
+
+    /// Called once after the last change with the final simulation time.
+    fn finish(&mut self, end_time: u64) {
+        let _ = end_time;
+    }
+}
+
+/// Replays the recorded trace of `report` into `sink`.
+///
+/// Tracing must have been enabled ([`crate::SimConfig::with_trace`]) for
+/// any `change` calls to occur; without it the sink still sees the
+/// declarations, initial values and final time.
+pub fn emit_trace<S: TraceSink>(system: &System, report: &SimReport, sink: &mut S) {
+    sink.begin(system);
+    for (i, decl) in system.signals.iter().enumerate() {
+        sink.initial(SignalId::new(i as u32), &decl.initial_value());
+    }
+    sink.start_changes();
+    for event in report.trace() {
+        sink.change(event.time, event.signal, &event.value);
+    }
+    sink.finish(report.time());
+}
+
+/// An in-memory sink: the trace as owned events plus the initial
+/// snapshot, with no text rendering — the shape the bus analyzer
+/// consumes when it rides directly on a simulation instead of a VCD
+/// file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySink {
+    /// Initial value per signal, in declaration order.
+    pub initials: Vec<Value>,
+    /// Recorded changes in replay order.
+    pub events: Vec<TraceEvent>,
+    /// Final simulation time.
+    pub end_time: u64,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn initial(&mut self, _signal: SignalId, value: &Value) {
+        self.initials.push(value.clone());
+    }
+
+    fn change(&mut self, time: u64, signal: SignalId, value: &Value) {
+        self.events.push(TraceEvent {
+            time,
+            signal,
+            value: value.clone(),
+        });
+    }
+
+    fn finish(&mut self, end_time: u64) {
+        self.end_time = end_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::Ty;
+
+    #[test]
+    fn memory_sink_replays_the_report_trace() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let s = sys.add_signal("S", Ty::Bit);
+        let d = sys.add_signal("D", Ty::Bits(8));
+        let b = sys.add_behavior("P", m);
+        sys.behavior_mut(b).body = vec![
+            drive_cost(d, bits_const(7, 8), 1),
+            drive_cost(s, bit_const(true), 1),
+            drive_cost(s, bit_const(false), 3),
+        ];
+        let report = Simulator::with_config(&sys, SimConfig::new().with_trace())
+            .unwrap()
+            .run_to_quiescence()
+            .unwrap();
+        let mut sink = MemorySink::new();
+        emit_trace(&sys, &report, &mut sink);
+        assert_eq!(sink.initials.len(), sys.signals.len());
+        assert_eq!(sink.events, report.trace());
+        assert_eq!(sink.end_time, report.time());
+    }
+
+    #[test]
+    fn untraced_report_yields_initials_only() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        sys.add_signal("S", Ty::Bit);
+        let b = sys.add_behavior("P", m);
+        sys.behavior_mut(b).body = vec![ifsyn_spec::Stmt::compute(2, "w")];
+        let report = Simulator::new(&sys).unwrap().run_to_quiescence().unwrap();
+        let mut sink = MemorySink::new();
+        emit_trace(&sys, &report, &mut sink);
+        assert_eq!(sink.initials.len(), 1);
+        assert!(sink.events.is_empty());
+        assert_eq!(sink.end_time, 2);
+    }
+}

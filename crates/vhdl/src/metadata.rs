@@ -1,0 +1,137 @@
+//! Bus-metadata sidecar export.
+//!
+//! When the CLI writes a VCD dump of a refined system it also writes
+//! this JSON sidecar, so the trace can be analysed offline
+//! (`ifsyn analyze --from-vcd --meta`) without re-running synthesis.
+//! The format is `ifsyn-bus-meta-v1`, the one `ifsyn_analyze::BusMeta`
+//! parses; the two stay in lockstep via a round-trip test in the
+//! analyzer crate.
+
+use std::fmt::Write as _;
+
+use ifsyn_core::RefinedSystem;
+use ifsyn_spec::SignalId;
+
+/// Renders the bus structure of a refined system as the
+/// `ifsyn-bus-meta-v1` JSON sidecar.
+pub fn bus_metadata_json(refined: &RefinedSystem) -> String {
+    let sys = &refined.system;
+    let bus = &refined.bus;
+    let design = &bus.design;
+    let timing = design.protocol.timing(design.width);
+    let sig = |s: Option<SignalId>| match s {
+        Some(id) => json_str(&sys.signal(id).name),
+        None => "null".to_string(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"ifsyn-bus-meta-v1\",");
+    let _ = writeln!(out, "  \"bus\": {},", json_str(&bus.name));
+    let _ = writeln!(out, "  \"protocol\": {},", json_str(design.protocol.name()));
+    let _ = writeln!(out, "  \"width\": {},", design.width);
+    let _ = writeln!(
+        out,
+        "  \"cycles_per_word\": {},",
+        design.protocol.cycles_per_word()
+    );
+    let _ = writeln!(out, "  \"signals\": {{");
+    let _ = writeln!(out, "    \"start\": {},", sig(bus.start));
+    let _ = writeln!(out, "    \"done\": {},", sig(bus.done));
+    let _ = writeln!(out, "    \"id\": {},", sig(bus.id));
+    let _ = writeln!(out, "    \"data\": {}", sig(bus.data));
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"channels\": [");
+    for (i, &ch) in design.channels.iter().enumerate() {
+        let c = sys.channel(ch);
+        let comma = if i + 1 < design.channels.len() {
+            ","
+        } else {
+            ""
+        };
+        let code = bus
+            .id_code(ch)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"id_code\": {}, \"message_bits\": {}, \
+             \"words_per_message\": {}, \"accessor\": {}}}{comma}",
+            json_str(&c.name),
+            code,
+            c.message_bits(),
+            timing.words(c.message_bits()),
+            json_str(&sys.behavior(c.accessor).name)
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_core::{BusGenerator, ProtocolGenerator};
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::{Channel, ChannelDirection, System, Ty};
+
+    fn refined() -> RefinedSystem {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let p = sys.add_behavior("P", m);
+        let owner = sys.add_behavior("MEMPROC", m);
+        let mem = sys.add_variable("MEM", Ty::array(Ty::Int(16), 8), owner);
+        let i = sys.add_variable("i", Ty::Int(16), p);
+        let ch = sys.add_channel(Channel {
+            name: "ch".into(),
+            accessor: p,
+            variable: mem,
+            direction: ChannelDirection::Write,
+            data_bits: 16,
+            addr_bits: 3,
+            accesses: 8,
+        });
+        sys.behavior_mut(p).body = vec![for_loop(
+            var(i),
+            int_const(0, 16),
+            int_const(7, 16),
+            vec![send_at(ch, load(var(i)), load(var(i)))],
+        )];
+        let design = BusGenerator::new().generate(&sys, &[ch]).unwrap();
+        ProtocolGenerator::new().refine(&sys, &design).unwrap()
+    }
+
+    #[test]
+    fn sidecar_names_the_wires_and_channels() {
+        let text = bus_metadata_json(&refined());
+        assert!(text.contains("\"schema\": \"ifsyn-bus-meta-v1\""), "{text}");
+        assert!(text.contains("\"start\": \"B_START\""), "{text}");
+        assert!(text.contains("\"done\": \"B_DONE\""), "{text}");
+        assert!(text.contains("\"id\": null"), "single channel: {text}");
+        assert!(text.contains("\"name\": \"ch\""), "{text}");
+        assert!(text.contains("\"accessor\": \"P\""), "{text}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

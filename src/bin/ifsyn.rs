@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! ifsyn SPEC.ifs [options]
+//! ifsyn analyze SPEC.ifs [--width W] [--protocol P] [--json]
+//! ifsyn analyze --from-vcd FILE --meta FILE [--json]
 //!
 //!   --channels ch1,ch2     channels to implement (default: all)
 //!   --width N              designer-specified bus width (default: run
@@ -29,6 +31,9 @@
 //!                          faults turn on deadlock diagnosis
 //!   --print-vhdl           print the refined specification
 //!   --vcd FILE             write a VCD waveform of the simulation
+//!   --bus-meta FILE        write the bus-metadata JSON sidecar
+//!                          (ifsyn-bus-meta-v1) describing wires and
+//!                          channels, for offline `analyze --from-vcd`
 //!   --dot FILE             write a Graphviz graph of the refined system
 //!   --lint                 print specification warnings and exit
 //!   --check                model-check the refined system instead of
@@ -51,6 +56,15 @@
 //!   --lockstep             with --sweep-sim: run width variants whose
 //!                          compiled programs match through the lockstep
 //!                          convoy engine (one dispatch stream, N lanes)
+//!
+//! `ifsyn analyze` runs the post-simulation bus analyzer: the spec is
+//! synthesized (honoring --width/--protocol/--channels/--min-width/...),
+//! simulated with tracing, and the trace is analyzed for per-bus
+//! utilization, idle and backpressure cycles, per-channel observed
+//! transfer rates and START->DONE latency histograms. With --from-vcd
+//! the analyzer instead ingests a waveform written by --vcd plus the
+//! --bus-meta sidecar, with no re-synthesis. --json switches the report
+//! to the ifsyn-analyze-report-v1 document.
 //! ```
 
 use std::error::Error;
@@ -80,7 +94,12 @@ struct Options {
     check_faults: Vec<String>,
     print_vhdl: bool,
     vcd: Option<String>,
+    bus_meta: Option<String>,
     dot: Option<String>,
+    analyze: bool,
+    from_vcd: Option<String>,
+    meta: Option<String>,
+    json: bool,
     explore: bool,
     explore_csv: Option<String>,
     lint: bool,
@@ -119,6 +138,9 @@ fn run() -> Result<(), Box<dyn Error>> {
     if options.jobs > 0 {
         interface_synthesis::bench::sweep::set_sweep_threads(options.jobs);
     }
+    if options.analyze && options.from_vcd.is_some() {
+        return analyze_offline(&options);
+    }
     let Some(path) = &options.spec_path else {
         return Err("usage: ifsyn SPEC.ifs [options]  (see --help in the README)".into());
     };
@@ -146,12 +168,15 @@ fn run() -> Result<(), Box<dyn Error>> {
     }
 
     let channels = select_channels(&system, &options)?;
-    println!(
-        "system `{}`: {} behaviors, {} channels selected",
-        system.name,
-        system.behaviors.len(),
-        channels.len()
-    );
+    // In JSON analyze mode the report is the whole stdout document.
+    if !(options.analyze && options.json) {
+        println!(
+            "system `{}`: {} behaviors, {} channels selected",
+            system.name,
+            system.behaviors.len(),
+            channels.len()
+        );
+    }
 
     let protocol = match options.protocol {
         ProtocolArg::Full => ProtocolKind::FullHandshake,
@@ -162,6 +187,10 @@ fn run() -> Result<(), Box<dyn Error>> {
     let mut generator = BusGenerator::new().with_protocol(protocol);
     for c in &options.constraints {
         generator = generator.constraint(resolve_constraint(&system, c)?);
+    }
+
+    if options.analyze {
+        return analyze_spec(&system, channels, protocol, &generator, &options);
     }
 
     if let Some(csv_path) = &options.explore_csv {
@@ -227,6 +256,12 @@ fn run() -> Result<(), Box<dyn Error>> {
         let dot = interface_synthesis::vhdl::refined_to_dot(&refined);
         std::fs::write(dot_path, dot).map_err(|e| format!("cannot write `{dot_path}`: {e}"))?;
         println!("wrote structure graph to {dot_path}");
+    }
+
+    if let Some(meta_path) = &options.bus_meta {
+        let meta = interface_synthesis::vhdl::bus_metadata_json(&refined);
+        std::fs::write(meta_path, meta).map_err(|e| format!("cannot write `{meta_path}`: {e}"))?;
+        println!("wrote bus metadata to {meta_path}");
     }
 
     if options.check {
@@ -298,6 +333,91 @@ fn run() -> Result<(), Box<dyn Error>> {
         let vcd = interface_synthesis::sim::vcd::to_vcd_string(&refined.system, &report);
         std::fs::write(vcd_path, vcd).map_err(|e| format!("cannot write `{vcd_path}`: {e}"))?;
         println!("wrote waveform to {vcd_path}");
+    }
+    Ok(())
+}
+
+/// Trace-event budget for `ifsyn analyze` simulations: large enough for
+/// every bundled spec at any width (the width-1 FLC trace is ~50k
+/// events); the default cap would silently truncate long runs.
+const ANALYZE_TRACE_CAP: usize = 2_000_000;
+
+/// `ifsyn analyze SPEC`: synthesize, simulate with tracing, and run the
+/// bus analyzer over the in-memory trace.
+fn analyze_spec(
+    system: &System,
+    channels: Vec<ChannelId>,
+    protocol: ProtocolKind,
+    generator: &BusGenerator,
+    options: &Options,
+) -> Result<(), Box<dyn Error>> {
+    use interface_synthesis::analyze::{analyze_report, BusMeta};
+
+    let design = match options.width {
+        Some(w) => BusDesign::with_width(channels, w, protocol),
+        None => generator.generate(system, &channels)?,
+    };
+    let refined = build_protocol_generator(options).refine(system, &design)?;
+    if !options.json {
+        println!(
+            "bus: {} data + {} control + {} ID lines = {} wires ({})",
+            design.width,
+            design.control_lines(),
+            design.id_bits(),
+            design.total_wires(),
+            design.protocol,
+        );
+    }
+    let config = SimConfig::new()
+        .with_trace()
+        .with_max_trace_events(ANALYZE_TRACE_CAP);
+    let report = Simulator::with_config(&refined.system, config)?.run_to_quiescence()?;
+    let meta = BusMeta::from_refined(&refined);
+    let analysis = analyze_report(&refined.system, &report, &meta)?;
+    if let Some(meta_path) = &options.bus_meta {
+        let sidecar = interface_synthesis::vhdl::bus_metadata_json(&refined);
+        std::fs::write(meta_path, sidecar)
+            .map_err(|e| format!("cannot write `{meta_path}`: {e}"))?;
+        if !options.json {
+            println!("wrote bus metadata to {meta_path}");
+        }
+    }
+    if let Some(vcd_path) = &options.vcd {
+        let vcd = interface_synthesis::sim::vcd::to_vcd_string(&refined.system, &report);
+        std::fs::write(vcd_path, vcd).map_err(|e| format!("cannot write `{vcd_path}`: {e}"))?;
+        if !options.json {
+            println!("wrote waveform to {vcd_path}");
+        }
+    }
+    if options.json {
+        print!("{}", analysis.to_json());
+    } else {
+        print!("\n{}", analysis.render());
+    }
+    Ok(())
+}
+
+/// `ifsyn analyze --from-vcd FILE --meta FILE`: run the analyzer over a
+/// waveform written by `--vcd` and its `--bus-meta` sidecar, with no
+/// re-synthesis or simulation.
+fn analyze_offline(options: &Options) -> Result<(), Box<dyn Error>> {
+    use interface_synthesis::analyze::{analyze_vcd, BusMeta};
+
+    let vcd_path = options.from_vcd.as_deref().expect("checked by caller");
+    let meta_path = options
+        .meta
+        .as_deref()
+        .ok_or("analyze --from-vcd requires --meta FILE (written by --bus-meta)")?;
+    let vcd_text =
+        std::fs::read_to_string(vcd_path).map_err(|e| format!("cannot read `{vcd_path}`: {e}"))?;
+    let meta_text = std::fs::read_to_string(meta_path)
+        .map_err(|e| format!("cannot read `{meta_path}`: {e}"))?;
+    let meta = BusMeta::from_json(&meta_text)?;
+    let analysis = analyze_vcd(&vcd_text, &meta)?;
+    if options.json {
+        print!("{}", analysis.to_json());
+    } else {
+        print!("{}", analysis.render());
     }
     Ok(())
 }
@@ -570,7 +690,12 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, Box<dy
             "--check-fault" => o.check_faults.push(value_of("--check-fault")?),
             "--print-vhdl" => o.print_vhdl = true,
             "--vcd" => o.vcd = Some(value_of("--vcd")?),
+            "--bus-meta" => o.bus_meta = Some(value_of("--bus-meta")?),
             "--dot" => o.dot = Some(value_of("--dot")?),
+            "--from-vcd" => o.from_vcd = Some(value_of("--from-vcd")?),
+            "--meta" => o.meta = Some(value_of("--meta")?),
+            "--json" => o.json = true,
+            "analyze" if !o.analyze && o.spec_path.is_none() => o.analyze = true,
             "--explore" => o.explore = true,
             "--explore-csv" => o.explore_csv = Some(value_of("--explore-csv")?),
             "--lint" => o.lint = true,
@@ -751,6 +876,31 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn parses_analyze_subcommand() {
+        let o = parse(&["analyze", "flc.ifs", "--width", "8", "--json"]);
+        assert!(o.analyze);
+        assert_eq!(o.spec_path.as_deref(), Some("flc.ifs"));
+        assert_eq!(o.width, Some(8));
+        assert!(o.json);
+        // Offline mode: VCD plus sidecar, no spec.
+        let o = parse(&["analyze", "--from-vcd", "w.vcd", "--meta", "w.meta.json"]);
+        assert!(o.analyze);
+        assert!(o.spec_path.is_none());
+        assert_eq!(o.from_vcd.as_deref(), Some("w.vcd"));
+        assert_eq!(o.meta.as_deref(), Some("w.meta.json"));
+        // `analyze` is only a subcommand before the spec path; after one
+        // it is neither a flag nor a second path.
+        assert!(parse_args(["spec.ifs", "analyze"].map(String::from).into_iter()).is_err());
+    }
+
+    #[test]
+    fn parses_bus_meta_sidecar_flag() {
+        let o = parse(&["s.ifs", "--vcd", "w.vcd", "--bus-meta", "w.meta.json"]);
+        assert_eq!(o.bus_meta.as_deref(), Some("w.meta.json"));
+        assert!(!parse(&["s.ifs"]).json);
     }
 
     #[test]

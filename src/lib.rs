@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+pub use ifsyn_analyze as analyze;
 pub use ifsyn_bench as bench;
 pub use ifsyn_core as core;
 pub use ifsyn_estimate as estimate;
@@ -51,6 +52,7 @@ pub use ifsyn_vhdl as vhdl;
 
 /// One-stop imports for the common pipeline.
 pub mod prelude {
+    pub use ifsyn_analyze::{analyze_report, BusAnalysis, BusMeta};
     pub use ifsyn_core::{
         BusDesign, BusGenerator, Constraint, ProtocolGenerator, ProtocolKind, RefinedSystem,
     };
