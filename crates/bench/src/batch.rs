@@ -64,6 +64,19 @@ impl BatchRunner {
         self
     }
 
+    /// Sets the per-simulation thread count ([`SimConfig::sim_threads`])
+    /// used for every run. Composes with the batch fan-out through a
+    /// shared thread budget: unless [`BatchRunner::with_jobs`] pins an
+    /// explicit worker count, the automatic job count shrinks so that
+    /// `jobs × sim_threads` stays within the sweep driver's budget —
+    /// batch parallelism across systems and shard parallelism within
+    /// each simulation never oversubscribe the machine together.
+    #[must_use]
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.config.sim_threads = threads.max(1);
+        self
+    }
+
     /// Enables lockstep convoy execution: each worker's share of the
     /// batch goes through [`LockstepSim`], which runs groups of systems
     /// with identical compiled programs through one dispatch stream.
@@ -76,13 +89,30 @@ impl BatchRunner {
     }
 
     /// The worker count the next [`BatchRunner::run`] call will use.
+    ///
+    /// An explicit [`BatchRunner::with_jobs`] setting is honored as-is;
+    /// the automatic count divides the sweep driver's thread budget by
+    /// [`BatchRunner::sim_threads`] so the total stays bounded.
     #[must_use]
     pub fn jobs(&self) -> usize {
         if self.jobs > 0 {
             self.jobs
         } else {
-            sweep_threads()
+            (sweep_threads() / self.sim_threads()).max(1)
         }
+    }
+
+    /// Threads each individual simulation runs on.
+    #[must_use]
+    pub fn sim_threads(&self) -> usize {
+        self.config.sim_threads.max(1)
+    }
+
+    /// Total threads a batch may keep busy: `jobs() × sim_threads()`.
+    /// This is the number throughput reports should quote.
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.jobs() * self.sim_threads()
     }
 
     /// Distinct code blocks compiled so far (shared across all runs).
@@ -224,6 +254,38 @@ mod tests {
     fn jobs_zero_resolves_to_at_least_one() {
         assert!(BatchRunner::new().jobs() >= 1);
         assert_eq!(BatchRunner::new().with_jobs(3).jobs(), 3);
+    }
+
+    #[test]
+    fn jobs_and_sim_threads_share_one_budget() {
+        // Explicit jobs are honored verbatim and the total multiplies.
+        let pinned = BatchRunner::new().with_jobs(2).with_sim_threads(3);
+        assert_eq!(pinned.jobs(), 2);
+        assert_eq!(pinned.sim_threads(), 3);
+        assert_eq!(pinned.total_threads(), 6);
+        // Automatic jobs divide the sweep budget: a per-sim thread count
+        // at least the whole budget leaves exactly one batch worker.
+        let budget = crate::sweep::sweep_threads();
+        let auto = BatchRunner::new().with_sim_threads(budget * 2);
+        assert_eq!(auto.jobs(), 1);
+        assert_eq!(auto.total_threads(), budget * 2);
+    }
+
+    #[test]
+    fn batch_with_sim_threads_matches_scalar_batch() {
+        let systems: Vec<System> = [4u32, 8, 16].iter().map(|&w| refined_flc(w)).collect();
+        let scalar = BatchRunner::new().with_jobs(1).run(&systems);
+        let parallel = BatchRunner::new()
+            .with_jobs(1)
+            .with_sim_threads(4)
+            .run(&systems);
+        for (a, b) in scalar.iter().zip(&parallel) {
+            assert_eq!(
+                a.as_ref().expect("scalar"),
+                b.as_ref().expect("parallel"),
+                "sharded simulation diverged inside the batch runner"
+            );
+        }
     }
 
     #[test]

@@ -29,7 +29,9 @@ mod cluster;
 mod derive;
 mod error;
 mod partitioner;
+pub mod shard;
 
 pub use cluster::Closeness;
 pub use error::PartitionError;
 pub use partitioner::{PartitionResult, Partitioner};
+pub use shard::{plan_shards, ShardPlan};

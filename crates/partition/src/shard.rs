@@ -1,0 +1,461 @@
+//! Process sharding for the parallel delta-cycle kernel.
+//!
+//! The parallel simulator runs every delta cycle as a fork/join round:
+//! each worker executes its share of the runnable processes against a
+//! read-only signal snapshot, then a barrier merges the staged effects.
+//! That is only sound if two workers never touch the same *variable*
+//! storage (signals are safe by construction — reads come from the
+//! snapshot, writes are staged). [`plan_shards`] computes an assignment
+//! of behaviors to shards with exactly that guarantee:
+//!
+//! * **hard constraint** — behaviors that access a common variable
+//!   (directly, through a called procedure, or through a channel's
+//!   backing variable) land on the same shard, found by union-find over
+//!   the per-behavior access sets;
+//! * **balance** — the resulting atomic groups are distributed
+//!   longest-processing-time-first by an estimated instruction weight
+//!   (statement count scaled by constant loop bounds);
+//! * **affinity** — among near-balanced shards, a group prefers the
+//!   shard holding the behaviors it exchanges the most signal traffic
+//!   with (one writes what the other waits on), reusing the same
+//!   write-set/wait-set derivation the deadlock diagnoser applies at
+//!   run time. Co-locating tightly coupled processes keeps wake chains
+//!   on one worker and minimises cross-shard signal churn.
+//!
+//! The plan is a pure function of the system and the requested shard
+//! count — deterministic, so a simulation partitioned at any thread
+//! count stays reproducible.
+
+use ifsyn_spec::{Arg, Expr, Place, Stmt, System, WaitCond};
+
+/// A deterministic assignment of behaviors to worker shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard index per behavior, in behavior declaration order.
+    pub shard_of: Vec<usize>,
+    /// Owning shard per variable (declaration order): `Some(s)` when some
+    /// behavior on shard `s` accesses it (the hard constraint guarantees
+    /// the owner is unique), `None` when no behavior touches it. Empty in
+    /// the scalar plan, where ownership is moot.
+    pub var_shard: Vec<Option<usize>>,
+    /// Number of shards actually used (dense `0..shards`); at most the
+    /// requested count, and lower when atomic groups are scarcer.
+    pub shards: usize,
+}
+
+impl ShardPlan {
+    /// A single-shard plan (the scalar layout) for `n` behaviors.
+    pub fn scalar(n: usize) -> Self {
+        Self {
+            shard_of: vec![0; n],
+            var_shard: Vec::new(),
+            shards: if n == 0 { 0 } else { 1 },
+        }
+    }
+}
+
+/// Per-behavior static footprint: accessed variables, written signals,
+/// awaited signals and an instruction-weight estimate.
+struct Footprint {
+    vars: Vec<bool>,
+    writes: Vec<bool>,
+    waits: Vec<bool>,
+    weight: u64,
+}
+
+/// Loop bounds above this stop scaling the weight estimate — balance
+/// needs relative magnitudes, not exact trip counts.
+const MAX_LOOP_SCALE: u64 = 4096;
+
+/// Plans a variable-disjoint, balanced, affinity-aware shard assignment.
+///
+/// `shards == 0` or `1` returns the scalar plan. The returned plan may
+/// use fewer shards than requested when the hard variable-sharing
+/// constraint leaves fewer atomic groups.
+pub fn plan_shards(system: &System, shards: usize) -> ShardPlan {
+    let n = system.behaviors.len();
+    if shards <= 1 || n <= 1 {
+        return ShardPlan::scalar(n);
+    }
+    let feet: Vec<Footprint> = (0..n).map(|b| footprint(system, b)).collect();
+
+    // Union-find: behaviors sharing any variable form one atomic group.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    let n_vars = system.variables.len();
+    // owner[v] = first behavior seen accessing v.
+    let mut owner: Vec<Option<usize>> = vec![None; n_vars];
+    for (b, f) in feet.iter().enumerate() {
+        for (v, &touches) in f.vars.iter().enumerate() {
+            if !touches {
+                continue;
+            }
+            match owner[v] {
+                None => owner[v] = Some(b),
+                Some(o) => {
+                    let (ra, rb) = (find(&mut parent, o), find(&mut parent, b));
+                    if ra != rb {
+                        // Merge into the lower root for determinism.
+                        let (lo, hi) = (ra.min(rb), ra.max(rb));
+                        parent[hi] = lo;
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect groups in root order (deterministic).
+    let mut group_of = vec![usize::MAX; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for b in 0..n {
+        let r = find(&mut parent, b);
+        if group_of[r] == usize::MAX {
+            group_of[r] = groups.len();
+            groups.push(Vec::new());
+        }
+        let g = group_of[r];
+        group_of[b] = g;
+        groups[g].push(b);
+    }
+    let shards = shards.min(groups.len());
+    if shards <= 1 {
+        return ShardPlan::scalar(n);
+    }
+
+    // LPT: heaviest group first; ties broken by first behavior index so
+    // the order never depends on sort stability of equal keys.
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    let group_weight = |g: usize| -> u64 {
+        groups[g]
+            .iter()
+            .map(|&b| feet[b].weight)
+            .sum::<u64>()
+            .max(1)
+    };
+    order.sort_by_key(|&g| (std::cmp::Reverse(group_weight(g)), groups[g][0]));
+
+    let mut shard_of = vec![0usize; n];
+    let mut load = vec![0u64; shards];
+    // Per shard: accumulated write/wait sets for affinity scoring.
+    let n_sigs = system.signals.len();
+    let mut shard_writes = vec![vec![false; n_sigs]; shards];
+    let mut shard_waits = vec![vec![false; n_sigs]; shards];
+    for &g in &order {
+        let w = group_weight(g);
+        let min_load = *load.iter().min().expect("shards >= 1");
+        // Candidates: shards whose load stays within one group-weight of
+        // the lightest — close enough that affinity may pick among them.
+        let mut best: Option<(usize, u64)> = None;
+        for s in 0..shards {
+            if load[s] > min_load.saturating_add(w) {
+                continue;
+            }
+            let mut affinity = 0u64;
+            for &b in &groups[g] {
+                let f = &feet[b];
+                for sig in 0..n_sigs {
+                    if (f.writes[sig] && shard_waits[s][sig])
+                        || (f.waits[sig] && shard_writes[s][sig])
+                    {
+                        affinity += 1;
+                    }
+                }
+            }
+            let better = match best {
+                None => true,
+                // Higher affinity wins; then lower load; then lower index.
+                Some((bs, ba)) => affinity > ba || (affinity == ba && load[s] < load[bs]),
+            };
+            if better {
+                best = Some((s, affinity));
+            }
+        }
+        let (s, _) = best.expect("at least the lightest shard qualifies");
+        load[s] += w;
+        for &b in &groups[g] {
+            shard_of[b] = s;
+            for sig in 0..n_sigs {
+                if feet[b].writes[sig] {
+                    shard_writes[s][sig] = true;
+                }
+                if feet[b].waits[sig] {
+                    shard_waits[s][sig] = true;
+                }
+            }
+        }
+    }
+
+    // Renumber densely in case a shard ended up empty (possible when one
+    // giant group eats all the weight candidates).
+    let mut map = vec![usize::MAX; shards];
+    let mut next = 0usize;
+    for s in &mut shard_of {
+        if map[*s] == usize::MAX {
+            map[*s] = next;
+            next += 1;
+        }
+        *s = map[*s];
+    }
+    let var_shard = owner.iter().map(|o| o.map(|b| shard_of[b])).collect();
+    ShardPlan {
+        shard_of,
+        var_shard,
+        shards: next,
+    }
+}
+
+/// Computes one behavior's static footprint, walking called procedures
+/// transitively (each at most once).
+fn footprint(system: &System, behavior: usize) -> Footprint {
+    let mut f = Footprint {
+        vars: vec![false; system.variables.len()],
+        writes: vec![false; system.signals.len()],
+        waits: vec![false; system.signals.len()],
+        weight: 0,
+    };
+    let mut visited = vec![false; system.procedures.len()];
+    walk(
+        system,
+        &system.behaviors[behavior].body,
+        1,
+        &mut f,
+        &mut visited,
+    );
+    f
+}
+
+fn note_expr_vars(e: &Expr, f: &mut Footprint) {
+    let mut vs = Vec::new();
+    e.collect_vars(&mut vs);
+    for v in vs {
+        f.vars[v.index()] = true;
+    }
+}
+
+fn note_place_vars(p: &Place, f: &mut Footprint) {
+    if let Some(v) = p.root_var() {
+        f.vars[v.index()] = true;
+    }
+    // Index and dynamic-slice offsets are expressions that may read
+    // further variables.
+    match p {
+        Place::Index { base, index } => {
+            note_expr_vars(index, f);
+            note_place_vars(base, f);
+        }
+        Place::Slice { base, .. } => note_place_vars(base, f),
+        Place::DynSlice { base, offset, .. } => {
+            note_expr_vars(offset, f);
+            note_place_vars(base, f);
+        }
+        Place::Var(_) | Place::Local(_) => {}
+    }
+}
+
+fn walk(system: &System, body: &[Stmt], mult: u64, f: &mut Footprint, visited: &mut Vec<bool>) {
+    for stmt in body {
+        f.weight = f.weight.saturating_add(mult);
+        match stmt {
+            Stmt::Assign { place, value, .. } => {
+                note_place_vars(place, f);
+                note_expr_vars(value, f);
+            }
+            Stmt::SignalAssign { signal, value, .. } => {
+                f.writes[signal.index()] = true;
+                note_expr_vars(value, f);
+            }
+            Stmt::If { cond, .. } => note_expr_vars(cond, f),
+            Stmt::While { cond, .. } => note_expr_vars(cond, f),
+            Stmt::For { var, from, to, .. } => {
+                note_place_vars(var, f);
+                note_expr_vars(from, f);
+                note_expr_vars(to, f);
+            }
+            Stmt::Wait(cond) => {
+                for s in cond.sensitivity() {
+                    f.waits[s.index()] = true;
+                }
+                match cond {
+                    WaitCond::Until(e) | WaitCond::UntilTimeout { cond: e, .. } => {
+                        note_expr_vars(e, f);
+                    }
+                    _ => {}
+                }
+            }
+            Stmt::Call { procedure, args } => {
+                for arg in args {
+                    match arg {
+                        Arg::In(e) => note_expr_vars(e, f),
+                        Arg::Out(p) | Arg::InOut(p) => note_place_vars(p, f),
+                    }
+                }
+                let pi = procedure.index();
+                if !visited[pi] {
+                    visited[pi] = true;
+                    walk(system, &system.procedures[pi].body, mult, f, visited);
+                }
+            }
+            Stmt::ChannelSend {
+                channel,
+                addr,
+                data,
+            } => {
+                f.vars[system.channel(*channel).variable.index()] = true;
+                if let Some(a) = addr {
+                    note_expr_vars(a, f);
+                }
+                note_expr_vars(data, f);
+            }
+            Stmt::ChannelReceive {
+                channel,
+                addr,
+                target,
+            } => {
+                f.vars[system.channel(*channel).variable.index()] = true;
+                if let Some(a) = addr {
+                    note_expr_vars(a, f);
+                }
+                note_place_vars(target, f);
+            }
+            Stmt::Assert { cond, .. } => note_expr_vars(cond, f),
+            Stmt::Compute { .. } | Stmt::Return => {}
+        }
+        // Scale nested work by constant loop bounds, like the closeness
+        // metric, capped so one wide loop cannot dwarf every signal.
+        let inner_mult = match stmt {
+            Stmt::For { from, to, .. } => match (const_int(from), const_int(to)) {
+                (Some(a), Some(b)) if b >= a => {
+                    mult.saturating_mul(((b - a + 1) as u64).min(MAX_LOOP_SCALE))
+                }
+                _ => mult,
+            },
+            _ => mult,
+        };
+        for inner in stmt.bodies() {
+            walk(system, inner, inner_mult, f, visited);
+        }
+    }
+}
+
+fn const_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(v) => v.as_i64().ok(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::{Ty, Value};
+
+    /// Two producer/consumer couples with disjoint variables must split
+    /// across two shards, each couple co-located by signal affinity.
+    #[test]
+    fn disjoint_couples_split_and_colocate() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let mut behaviors = Vec::new();
+        for i in 0..2 {
+            let req = sys.add_signal(format!("REQ{i}"), Ty::Bit);
+            let ack = sys.add_signal(format!("ACK{i}"), Ty::Bit);
+            let p = sys.add_behavior(format!("prod{i}"), m);
+            let x = sys.add_variable(format!("x{i}"), Ty::Int(16), p);
+            sys.behavior_mut(p).body = vec![
+                assign(var(x), int_const(1, 16)),
+                drive_cost(req, bit_const(true), 1),
+                wait_until(eq(signal(ack), bit_const(true))),
+            ];
+            let c = sys.add_behavior(format!("cons{i}"), m);
+            let y = sys.add_variable(format!("y{i}"), Ty::Int(16), c);
+            sys.behavior_mut(c).body = vec![
+                wait_until(eq(signal(req), bit_const(true))),
+                assign(var(y), int_const(2, 16)),
+                drive_cost(ack, bit_const(true), 1),
+            ];
+            behaviors.push((p, c));
+        }
+        let plan = plan_shards(&sys, 2);
+        assert_eq!(plan.shards, 2);
+        for (p, c) in &behaviors {
+            assert_eq!(
+                plan.shard_of[p.index()],
+                plan.shard_of[c.index()],
+                "couple must co-locate by affinity"
+            );
+        }
+        assert_ne!(
+            plan.shard_of[behaviors[0].0.index()],
+            plan.shard_of[behaviors[1].0.index()],
+            "independent couples must spread"
+        );
+    }
+
+    /// Behaviors sharing a variable are pinned to one shard no matter
+    /// how many shards are requested.
+    #[test]
+    fn shared_variable_is_a_hard_constraint() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let a = sys.add_behavior("A", m);
+        let shared = sys.add_variable_init("S", Ty::Int(16), a, Value::int(0, 16));
+        sys.behavior_mut(a).body = vec![assign(var(shared), int_const(1, 16))];
+        let b = sys.add_behavior("B", m);
+        sys.behavior_mut(b).body = vec![assign(var(shared), int_const(2, 16))];
+        let c = sys.add_behavior("C", m);
+        let own = sys.add_variable("o", Ty::Int(16), c);
+        sys.behavior_mut(c).body = vec![assign(var(own), int_const(3, 16))];
+        let plan = plan_shards(&sys, 8);
+        assert_eq!(plan.shard_of[a.index()], plan.shard_of[b.index()]);
+        assert_eq!(plan.shards, 2, "two atomic groups, two shards");
+        assert_eq!(
+            plan.var_shard[shared.index()],
+            Some(plan.shard_of[a.index()]),
+            "shared variable owned by its accessors' shard"
+        );
+        assert_eq!(plan.var_shard[own.index()], Some(plan.shard_of[c.index()]));
+    }
+
+    /// The plan is a pure function of its inputs.
+    #[test]
+    fn plan_is_deterministic() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        for i in 0..6 {
+            let b = sys.add_behavior(format!("B{i}"), m);
+            let v = sys.add_variable(format!("v{i}"), Ty::Int(8), b);
+            sys.behavior_mut(b).body = vec![assign(var(v), int_const(i, 8))];
+        }
+        let p1 = plan_shards(&sys, 3);
+        let p2 = plan_shards(&sys, 3);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.shards, 3);
+    }
+
+    /// Requesting more shards than groups degrades gracefully, and 0/1
+    /// shards return the scalar plan.
+    #[test]
+    fn shard_count_degrades_gracefully() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("only", m);
+        let v = sys.add_variable("v", Ty::Int(8), b);
+        sys.behavior_mut(b).body = vec![assign(var(v), int_const(1, 8))];
+        assert_eq!(plan_shards(&sys, 16), ShardPlan::scalar(1));
+        assert_eq!(plan_shards(&sys, 0).shards, 1);
+        assert_eq!(plan_shards(&sys, 1).shards, 1);
+    }
+}

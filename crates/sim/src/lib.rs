@@ -57,6 +57,7 @@ mod lockstep;
 mod process;
 mod program;
 mod report;
+mod shard;
 
 pub mod analysis;
 pub mod trace;
@@ -74,6 +75,7 @@ pub use kernel::Simulator;
 pub use lockstep::{LockstepSim, LockstepStats};
 pub use program::{Code, CodeCache, CompiledCond, Instr, Program, WaitSpec};
 pub use report::{SimReport, TraceEvent};
+pub use shard::ParallelStats;
 
 /// Test-support surface: evaluate one expression through each engine.
 ///

@@ -1,0 +1,298 @@
+//! Differential suite: the parallel delta-cycle kernel must be
+//! *indistinguishable* from the scalar kernel.
+//!
+//! The contract of [`SimConfig::with_sim_threads`] is total equality, not
+//! statistical equivalence: for every input system and every thread count
+//! the parallel kernel must produce a field-for-field equal `SimReport` —
+//! same finish times, same delta/instruction/heap counters, same final
+//! storage, same trace events in the same order — or the *same* error.
+//! These tests generate randomized multi-process systems with forced
+//! same-delta write conflicts (many processes driving one shared signal
+//! in one delta) and same-delta wake races (many processes parked on one
+//! signal released at once), then assert scalar/parallel equality at
+//! 2, 3, 4 and 8 simulation threads.
+
+use ifsyn_sim::{SimConfig, SimError, SimReport, Simulator};
+use ifsyn_spec::dsl::*;
+use ifsyn_spec::rng::SplitMix64;
+use ifsyn_spec::{SignalId, Stmt, System, Ty, Value, VarId};
+
+/// Thread counts every system is replayed at.
+const THREADS: [usize; 4] = [2, 3, 4, 8];
+
+/// One producer statement drawn from a mix of compute, timed writes,
+/// waits and branches. `clash` is the shared conflict signal.
+fn gen_stmt(
+    rng: &mut SplitMix64,
+    seed: VarId,
+    acc: VarId,
+    idx: VarId,
+    data: SignalId,
+    clash: SignalId,
+    depth: u32,
+) -> Stmt {
+    let pick = if depth == 0 {
+        rng.below(6)
+    } else {
+        rng.below(9)
+    };
+    match pick {
+        0 => assign(
+            var(acc),
+            add(load(var(acc)), int_const(rng.range_i64(1, 9), 16)),
+        ),
+        1 => assign_cost(
+            var(acc),
+            add(load(var(acc)), mul(load(var(seed)), int_const(2, 16))),
+            rng.range_u32(1, 3),
+        ),
+        2 => Stmt::compute(rng.range_u64(1, 5), "work"),
+        3 => wait_cycles(rng.range_u64(1, 4)),
+        4 => drive_cost(data, load(var(acc)), rng.range_u32(0, 2)),
+        // Same-delta conflict: every process reaches one of these each
+        // run, and many land in the same delta cycle.
+        5 => drive_cost(clash, load(var(acc)), 0),
+        6 => if_else(
+            lt(load(var(seed)), int_const(rng.range_i64(10, 90), 16)),
+            vec![gen_stmt(rng, seed, acc, idx, data, clash, depth - 1)],
+            vec![gen_stmt(rng, seed, acc, idx, data, clash, depth - 1)],
+        ),
+        7 => for_loop(
+            var(idx),
+            int_const(0, 8),
+            int_const(rng.range_i64(1, 4), 8),
+            vec![gen_stmt(rng, seed, acc, idx, data, clash, 0)],
+        ),
+        _ => if_then(
+            eq(load(var(seed)), int_const(rng.range_i64(0, 99), 16)),
+            vec![gen_stmt(rng, seed, acc, idx, data, clash, depth - 1)],
+        ),
+    }
+}
+
+/// A randomized system of `couples` variable-disjoint producer/consumer
+/// pairs plus one starter process. All producers park on the shared `GO`
+/// signal, so the starter's single drive wakes every one of them in the
+/// same delta (a wake race the parallel kernel must order exactly like
+/// the scalar kernel); all processes drive the shared `CLASH` signal,
+/// forcing same-delta write conflicts across shards.
+fn gen_par_system(rng: &mut SplitMix64, couples: usize) -> System {
+    let mut sys = System::new("pardiff");
+    let m0 = sys.add_module("left");
+    let m1 = sys.add_module("right");
+    let go = sys.add_signal("GO", Ty::Bit);
+    let clash = sys.add_signal_init("CLASH", Ty::Int(16), Value::int(0, 16));
+
+    // The starter: a little work, then release the field.
+    let s = sys.add_behavior("starter", m0);
+    sys.behavior_mut(s).body = vec![
+        Stmt::compute(rng.range_u64(1, 3), "warmup"),
+        drive_cost(go, bit_const(true), 0),
+    ];
+
+    for i in 0..couples {
+        let req = sys.add_signal(format!("REQ{i}"), Ty::Bit);
+        let ack = sys.add_signal(format!("ACK{i}"), Ty::Bit);
+        let data = sys.add_signal_init(format!("DATA{i}"), Ty::Int(16), Value::int(0, 16));
+
+        let p = sys.add_behavior(format!("prod{i}"), if i % 2 == 0 { m0 } else { m1 });
+        let seed = sys.add_variable_init(
+            format!("p{i}_seed"),
+            Ty::Int(16),
+            p,
+            Value::int(rng.range_i64(0, 99), 16),
+        );
+        let acc = sys.add_variable(format!("p{i}_acc"), Ty::Int(16), p);
+        let idx = sys.add_variable(format!("p{i}_idx"), Ty::Int(8), p);
+        let mut body = vec![wait_until(eq(signal(go), bit_const(true)))];
+        for _ in 0..3 + rng.below(5) {
+            body.push(gen_stmt(rng, seed, acc, idx, data, clash, 2));
+        }
+        body.extend([
+            drive_cost(clash, add(load(var(acc)), int_const(1, 16)), 0),
+            drive_cost(data, load(var(acc)), 1),
+            drive_cost(req, bit_const(true), 1),
+            wait_until(eq(signal(ack), bit_const(true))),
+            drive_cost(req, bit_const(false), 1),
+        ]);
+        sys.behavior_mut(p).body = body;
+
+        let c = sys.add_behavior(format!("cons{i}"), if i % 2 == 0 { m1 } else { m0 });
+        let seen = sys.add_variable(format!("c{i}_seen"), Ty::Int(16), c);
+        sys.behavior_mut(c).body = vec![
+            wait_until(eq(signal(req), bit_const(true))),
+            assign(var(seen), signal(data)),
+            drive_cost(clash, load(var(seen)), 0),
+            Stmt::compute(rng.range_u64(1, 3), "latch"),
+            drive_cost(ack, bit_const(true), 1),
+        ];
+    }
+    sys
+}
+
+/// Runs `sys` scalar, then at every thread count, asserting the entire
+/// `Result<SimReport, SimError>` is equal, and returns the scalar result.
+fn check_all_thread_counts(
+    sys: &System,
+    base: &SimConfig,
+    seed: u64,
+) -> Result<SimReport, SimError> {
+    let scalar = Simulator::with_config(sys, base.clone().with_sim_threads(1))
+        .and_then(|s| s.run_to_quiescence());
+    for &t in &THREADS {
+        let par = Simulator::with_config(sys, base.clone().with_sim_threads(t))
+            .and_then(|s| s.run_to_quiescence());
+        assert_eq!(
+            par, scalar,
+            "parallel kernel at {t} threads diverged from scalar (seed {seed})"
+        );
+    }
+    scalar
+}
+
+#[test]
+fn parallel_matches_scalar_on_random_programs() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(0x9a11_e700 + seed);
+        let couples = 2 + rng.below(5) as usize;
+        let sys = gen_par_system(&mut rng, couples);
+        let report = check_all_thread_counts(&sys, &SimConfig::new(), seed)
+            .expect("random handshake programs quiesce");
+        // Every couple completed its handshake.
+        for i in 0..couples {
+            assert!(
+                report
+                    .final_signal_by_name(&format!("ACK{i}"))
+                    .is_some_and(|v| *v == Value::Bit(true)),
+                "couple {i} never acknowledged (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_scalar_with_tracing() {
+    // Trace order is part of the contract: events must appear in the
+    // same order with the same timestamps at any thread count.
+    for seed in 0..8u64 {
+        let mut rng = SplitMix64::new(0x7ace_5000 + seed);
+        let sys = gen_par_system(&mut rng, 4);
+        let config = SimConfig::new().with_trace();
+        let scalar = Simulator::with_config(&sys, config.clone())
+            .and_then(|s| s.run_to_quiescence())
+            .expect("traced run quiesces");
+        assert!(!scalar.trace().is_empty(), "trace recorded (seed {seed})");
+        for &t in &THREADS {
+            let par = Simulator::with_config(&sys, config.clone().with_sim_threads(t))
+                .and_then(|s| s.run_to_quiescence())
+                .expect("traced parallel run quiesces");
+            assert_eq!(
+                par.trace(),
+                scalar.trace(),
+                "trace diverged at {t} threads (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_rounds_actually_engage() {
+    // Guard against the suite silently degenerating to the scalar path:
+    // with many always-runnable couples, the planner must produce
+    // multiple shards and the kernel must run fork/join rounds.
+    let mut rng = SplitMix64::new(0xf0_97);
+    let sys = gen_par_system(&mut rng, 6);
+    let (report, stats) = Simulator::with_config(&sys, SimConfig::new().with_sim_threads(4))
+        .expect("system compiles")
+        .run_to_quiescence_with_stats()
+        .expect("system quiesces");
+    assert!(
+        stats.shards > 1,
+        "planner produced {} shard(s)",
+        stats.shards
+    );
+    assert!(
+        stats.parallel_rounds > 0,
+        "no parallel rounds ran (stats: {stats:?})"
+    );
+    assert_eq!(stats.shard_instrs.len(), stats.shards);
+    assert_eq!(
+        stats.shard_instrs.iter().sum::<u64>(),
+        report.total_instrs() - scalar_round_instrs(&sys),
+        "per-shard instruction counts must cover exactly the parallel rounds"
+    );
+}
+
+/// Instructions the same run executes outside parallel rounds (scalar
+/// fast paths): total minus the per-shard counters of the parallel run.
+fn scalar_round_instrs(sys: &System) -> u64 {
+    let (report, stats) = Simulator::with_config(sys, SimConfig::new().with_sim_threads(4))
+        .expect("system compiles")
+        .run_to_quiescence_with_stats()
+        .expect("system quiesces");
+    report.total_instrs() - stats.shard_instrs.iter().sum::<u64>()
+}
+
+#[test]
+fn parallel_matches_scalar_on_assertion_failures() {
+    // An assertion that fails mid-field: the parallel kernel must report
+    // the *same* error (same behavior, note and time) as the scalar one,
+    // and the assertions-checked counter must agree on the error-free
+    // prefix semantics.
+    for seed in 0..8u64 {
+        let mut rng = SplitMix64::new(0xbad_a55e + seed);
+        let mut sys = gen_par_system(&mut rng, 4);
+        // Plant a failing assertion in one producer (after its wait on
+        // GO, so several processes are running when it trips).
+        let victim = 1 + (rng.below(4) as usize) * 2; // a prod{i} behavior
+        let body = &mut sys.behaviors[victim].body;
+        let at = 1 + (rng.below((body.len() - 1) as u64) as usize);
+        body.insert(
+            at,
+            Stmt::assert(eq(int_const(1, 8), int_const(2, 8)), "planted failure"),
+        );
+        let scalar = Simulator::new(&sys).and_then(|s| s.run_to_quiescence());
+        assert!(
+            matches!(scalar, Err(SimError::AssertionFailed { .. })),
+            "planted assertion did not trip (seed {seed}): {scalar:?}"
+        );
+        for &t in &THREADS {
+            let par = Simulator::with_config(&sys, SimConfig::new().with_sim_threads(t))
+                .and_then(|s| s.run_to_quiescence());
+            assert_eq!(par, scalar, "error diverged at {t} threads (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_scalar_on_paper_systems() {
+    // The whole point of the exercise: the paper's own systems must
+    // simulate identically under the parallel kernel.
+    let systems: Vec<System> = vec![
+        ifsyn_systems::fig1().system,
+        ifsyn_systems::fig3_system(),
+        ifsyn_systems::flc().system,
+        ifsyn_systems::answering_machine().system,
+        ifsyn_systems::ethernet_coprocessor().system,
+    ];
+    for (i, sys) in systems.iter().enumerate() {
+        check_all_thread_counts(sys, &SimConfig::new().with_trace(), i as u64)
+            .expect("paper system quiesces");
+    }
+}
+
+#[test]
+fn parallel_matches_scalar_on_synthetic_fields() {
+    use ifsyn_systems::SynthConfig;
+    for seed in [3u64, 17, 51] {
+        let s = ifsyn_systems::synth_system(
+            &SynthConfig::new()
+                .with_couples(5)
+                .with_rounds(6)
+                .with_compute(24)
+                .with_seed(seed),
+        );
+        check_all_thread_counts(&s.system, &SimConfig::new().with_trace(), seed)
+            .expect("synthetic field quiesces");
+    }
+}

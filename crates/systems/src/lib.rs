@@ -8,7 +8,10 @@
 //! * [`mod@flc`] — the Matsushita fuzzy logic controller of Fig. 6–8
 //!   (the paper's main case study);
 //! * [`mod@answering_machine`] — the answering machine mentioned in §5;
-//! * [`ethernet`] — the Ethernet network coprocessor mentioned in §5.
+//! * [`ethernet`] — the Ethernet network coprocessor mentioned in §5;
+//! * [`mod@synth`] — a deterministic synthetic-system generator for
+//!   scale testing (not from the paper: the examples above are too small
+//!   to exercise the parallel simulation kernel or large sweeps).
 //!
 //! The FLC and Fig. 3 models are built already-partitioned (hand-derived
 //! channels with the exact message sizes the paper reports); the
@@ -23,9 +26,11 @@ pub mod ethernet;
 pub mod fig1;
 pub mod fig3;
 pub mod flc;
+pub mod synth;
 
 pub use answering_machine::{answering_machine, AnsweringMachine};
 pub use ethernet::{ethernet_coprocessor, EthernetCoprocessor};
 pub use fig1::{fig1, fig1_unpartitioned, Fig1};
 pub use fig3::{fig3_system, fig3_unpartitioned, Fig3};
 pub use flc::{flc, flc_full, Flc, FlcFull};
+pub use synth::{synth_system, SynthConfig, SynthSystem};
