@@ -14,6 +14,16 @@
 //!     #   --out PATH        output file (default BENCH_analyze.json)
 //!     #   --tolerance R     worst allowed shared-rate shortfall
 //!     #                     (default 0.5)
+//! cargo run -p ifsyn-bench --bin experiments -- check
+//!     # model-checking campaign over the refined-protocol catalog plus
+//!     # the big-system scale run; writes BENCH_check.json and exits
+//!     # nonzero on any verdict deviation or scale loss. Options:
+//!     #   --out PATH        output file (default BENCH_check.json)
+//!     #   --threads N       checker worker threads (reports are
+//!     #                     byte-identical at any count; default 1)
+//!     #   --min-rate R      fail when the measured exploration rate
+//!     #                     drops below R states/second
+//!     #   --no-big          skip the big-system scale run
 //! cargo run -p ifsyn-bench --bin experiments -- perf --check
 //!     # measure and compare against the committed BENCH_sim.json;
 //!     # exits nonzero on a throughput regression. Options:
@@ -55,7 +65,7 @@ fn main() -> ExitCode {
             }
         }
         "check" => {
-            if let Err(e) = run_check(args.get(1).map(String::as_str)) {
+            if let Err(e) = run_check(&args[1..]) {
                 eprintln!("check failed: {e}");
                 return ExitCode::FAILURE;
             }
@@ -210,22 +220,67 @@ fn run_calibrate(args: &[String]) -> Result<(), String> {
 }
 
 /// Runs the model-checking campaign and writes `BENCH_check.json`
-/// (default) or the given output path. Exits with an error when a
+/// (default) or the path given with `--out`. Exits with an error when a
 /// property that must hold is violated (or a known-broken baseline
-/// unexpectedly passes).
-fn run_check(out_path: Option<&str>) -> Result<(), String> {
+/// unexpectedly passes), when the big-system run falls below the
+/// million-state scale floor, or when `--min-rate` is given and the
+/// measured exploration throughput drops below it.
+fn run_check(args: &[String]) -> Result<(), String> {
+    let mut out_path = "BENCH_check.json".to_string();
+    let mut threads = 1usize;
+    let mut min_rate: Option<f64> = None;
+    let mut big = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().ok_or("--out requires a value")?.clone(),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads requires a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--min-rate" => {
+                let r = it
+                    .next()
+                    .ok_or("--min-rate requires a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --min-rate: {e}"))?;
+                if r <= 0.0 {
+                    return Err("--min-rate must be positive".to_string());
+                }
+                min_rate = Some(r);
+            }
+            "--no-big" => big = false,
+            // Back-compat: a bare path is the output file, as before.
+            other if !other.starts_with('-') => out_path = other.to_string(),
+            other => return Err(format!("unknown check option `{other}`")),
+        }
+    }
     rule();
-    let data = ifsyn_bench::check::run();
+    let data = ifsyn_bench::check::run_with(&ifsyn_bench::check::CheckOptions { threads, big });
     print!("{}", ifsyn_bench::check::render(&data));
-    let path = out_path.unwrap_or("BENCH_check.json");
-    std::fs::write(path, ifsyn_bench::check::to_json(&data)).map_err(|e| e.to_string())?;
-    println!("\nwrote {path}");
+    std::fs::write(&out_path, ifsyn_bench::check::to_json(&data)).map_err(|e| e.to_string())?;
+    println!("\nwrote {out_path}");
     let bad = data.unexpected();
     if !bad.is_empty() {
         return Err(format!(
             "{} property result(s) deviate from expectation",
             bad.len()
         ));
+    }
+    if data.big_failed() {
+        return Err("big-system exploration failed or fell below the 1M-state floor".to_string());
+    }
+    if let Some(floor) = min_rate {
+        match data.check_rate(floor) {
+            Ok(line) => println!("{line}"),
+            Err(line) => {
+                println!("{line}");
+                return Err("checker throughput regression detected".to_string());
+            }
+        }
     }
     Ok(())
 }

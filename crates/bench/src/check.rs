@@ -33,10 +33,23 @@
 //! reports deviations and `experiments check` exits nonzero on any.
 //! Output is hand-rolled JSON (offline build, no serde) written to
 //! `BENCH_check.json`.
+//!
+//! Since the checker-scaling rework every exploration also reports its
+//! throughput (states/second), dedup hits, partial-order-reduction split
+//! (ample vs fully expanded states) and peak frontier, and the campaign
+//! ends with a **big-system** exploration: a synthetic producer/consumer
+//! field ([`ifsyn_systems::synth`]) whose compute loops carry cycle
+//! costs, pushing the reachable space past a million distinct states —
+//! the scale demonstration for the interned-state explorer. `experiments
+//! check --min-rate` turns the measured big-system throughput into a
+//! regression gate.
+
+use std::time::Instant;
 
 use ifsyn_core::{BusDesign, ProtocolKind, RefinedSystem};
 use ifsyn_sim::{CheckConfig, Checker, EnvFault, StateView};
 use ifsyn_spec::Value;
+use ifsyn_systems::synth::{synth_system, SynthConfig};
 use ifsyn_systems::{fig3, flc};
 
 use crate::emit::{json_opt, json_str};
@@ -87,6 +100,71 @@ pub struct SpaceRow {
     /// Worst-case cycle cost to quiescence over all schedules
     /// (`None` when a reachable cycle makes it unbounded).
     pub worst_cost: Option<u64>,
+    /// Wall-clock milliseconds the exploration took.
+    pub elapsed_ms: f64,
+    /// Exploration throughput in distinct states per second.
+    pub states_per_sec: f64,
+    /// Successor insertions that hit an already-known state.
+    pub dedup_hits: u64,
+    /// States expanded through a partial-order-reduced (singleton ample)
+    /// successor set.
+    pub ample_states: u64,
+    /// States expanded with the full successor set.
+    pub full_states: u64,
+    /// Largest BFS level encountered.
+    pub peak_frontier: usize,
+    /// Worker threads the exploration ran with.
+    pub threads: usize,
+}
+
+/// The big-system scale demonstration: one exploration of the synthetic
+/// producer/consumer field, sized past a million distinct states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BigRow {
+    /// Distinct reachable states (the ≥ 1M scale witness).
+    pub states: usize,
+    /// Explored transitions.
+    pub transitions: usize,
+    /// Wall-clock milliseconds.
+    pub elapsed_ms: f64,
+    /// Throughput in distinct states per second.
+    pub states_per_sec: f64,
+    /// Dedup hits, ample/full split, peak frontier, threads — the same
+    /// counters as [`SpaceRow`].
+    pub dedup_hits: u64,
+    /// States expanded through a singleton ample set.
+    pub ample_states: u64,
+    /// States expanded fully.
+    pub full_states: u64,
+    /// Largest BFS level.
+    pub peak_frontier: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Whether the terminal delivery property held (every quiescent
+    /// state has all processes done with consumer sums matching the
+    /// simulator's reference run).
+    pub holds: bool,
+    /// Exploration error, when the run failed outright.
+    pub error: Option<String>,
+}
+
+/// Options of one campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOptions {
+    /// Worker threads for every exploration (reports are byte-identical
+    /// at any count).
+    pub threads: usize,
+    /// Run the big-system scale demonstration after the catalog.
+    pub big: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            big: false,
+        }
+    }
 }
 
 /// The whole campaign.
@@ -96,6 +174,8 @@ pub struct CheckData {
     pub rows: Vec<CheckRow>,
     /// One row per exploration.
     pub spaces: Vec<SpaceRow>,
+    /// The big-system scale run, when requested.
+    pub big: Option<BigRow>,
 }
 
 impl CheckData {
@@ -115,7 +195,48 @@ impl CheckData {
             .filter(|r| !r.holds && !r.expected)
             .collect()
     }
+
+    /// Whether the big-system run failed (property violated, exploration
+    /// error, or below the million-state scale floor).
+    pub fn big_failed(&self) -> bool {
+        self.big
+            .as_ref()
+            .is_some_and(|b| !b.holds || b.error.is_some() || b.states < BIG_MIN_STATES)
+    }
+
+    /// Aggregate catalog throughput: total distinct states over total
+    /// exploration wall-clock, in states per second.
+    pub fn campaign_rate(&self) -> f64 {
+        let states: usize = self.spaces.iter().map(|s| s.states).sum();
+        let ms: f64 = self.spaces.iter().map(|s| s.elapsed_ms).sum();
+        if ms <= 0.0 {
+            0.0
+        } else {
+            states as f64 * 1000.0 / ms
+        }
+    }
+
+    /// Throughput-floor gate for `experiments check --min-rate`: the
+    /// big-system rate (preferred — it is the steady-state measurement)
+    /// or, without a big run, the catalog aggregate must reach
+    /// `min_rate` states/second. Returns a one-line summary either way.
+    pub fn check_rate(&self, min_rate: f64) -> Result<String, String> {
+        let (what, rate) = match &self.big {
+            Some(b) => ("big-system", b.states_per_sec),
+            None => ("campaign", self.campaign_rate()),
+        };
+        let line = format!("{what} exploration rate: {rate:.0} states/s (floor {min_rate:.0})");
+        if rate >= min_rate {
+            Ok(line)
+        } else {
+            Err(line)
+        }
+    }
 }
+
+/// Scale floor of the big-system run: the exploration must cover at
+/// least this many distinct states or the campaign fails.
+pub const BIG_MIN_STATES: usize = 1_000_000;
 
 /// The nondeterministic fault environments, over the shared bus `B`'s
 /// wires (the checker may strike at *any* instant, unlike the fault
@@ -184,10 +305,11 @@ fn check_one(
     variant: Variant,
     refined: &RefinedSystem,
     data_ok: &dyn Fn(&StateView<'_>) -> bool,
+    threads: usize,
     rows: &mut Vec<CheckRow>,
     spaces: &mut Vec<SpaceRow>,
 ) {
-    let mut config = CheckConfig::new();
+    let mut config = CheckConfig::new().with_check_threads(threads.max(1));
     for f in faults {
         config = config.with_fault(f.clone());
     }
@@ -209,16 +331,19 @@ fn check_one(
         Ok(ck) => ck,
         Err(e) => return exploration_failed(e, rows),
     };
+    let t0 = Instant::now();
     let ss = match ck.explore() {
         Ok(ss) => ss,
         Err(e) => return exploration_failed(e, rows),
     };
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
     let (states, transitions, terminals, worst) = (
         ss.state_count(),
         ss.transition_count(),
         ss.terminal_count(),
         ss.worst_cost_to_quiescence(),
     );
+    let st = ss.stats();
     spaces.push(SpaceRow {
         system: system.to_string(),
         scenario: scenario.to_string(),
@@ -227,6 +352,17 @@ fn check_one(
         transitions,
         terminals,
         worst_cost: worst,
+        elapsed_ms,
+        states_per_sec: if elapsed_ms > 0.0 {
+            states as f64 * 1000.0 / elapsed_ms
+        } else {
+            0.0
+        },
+        dedup_hits: st.dedup_hits,
+        ample_states: st.ample_states,
+        full_states: st.full_states,
+        peak_frontier: st.peak_frontier,
+        threads: st.threads,
     });
     let mut push = |property: &str, holds: bool, detail: Option<String>| {
         rows.push(CheckRow {
@@ -313,9 +449,17 @@ fn check_one(
     }
 }
 
-/// Runs the campaign: scenarios × variants over fig3@8 and the reduced
-/// FLC at width 16.
+/// Runs the catalog campaign with default options (one thread, no
+/// big-system run).
 pub fn run() -> CheckData {
+    run_with(&CheckOptions::default())
+}
+
+/// Runs the campaign: scenarios × variants over fig3@8 and the reduced
+/// FLC at width 16, plus (with [`CheckOptions::big`]) the big-system
+/// scale demonstration.
+pub fn run_with(opts: &CheckOptions) -> CheckData {
+    let threads = opts.threads.max(1);
     let mut rows = Vec::new();
     let mut spaces = Vec::new();
     for (scenario, faults) in scenarios() {
@@ -347,6 +491,7 @@ pub fn run() -> CheckData {
                 variant,
                 &refined,
                 &data_ok,
+                threads,
                 &mut rows,
                 &mut spaces,
             );
@@ -382,16 +527,116 @@ pub fn run() -> CheckData {
                 variant,
                 &refined,
                 &data_ok,
+                threads,
                 &mut rows,
                 &mut spaces,
             );
         }
     }
-    CheckData { rows, spaces }
+    let big = opts.big.then(|| big_system(threads));
+    CheckData { rows, spaces, big }
+}
+
+/// Configuration of the big-system run: a two-couple producer/consumer
+/// field whose compute loops carry a 1-cycle cost, making every
+/// iteration a distinct time-abstracted checker state. Under
+/// partial-order reduction this explores ~1.26M distinct states (the
+/// full interleaving graph is far larger); the compute variables are
+/// declared unobserved so the reducer may treat them as private.
+fn big_config() -> SynthConfig {
+    SynthConfig::new()
+        .with_couples(2)
+        .with_rounds(16)
+        .with_compute(64)
+        .with_compute_cost(1)
+        .without_conflicts()
+}
+
+/// Explores the big synthetic system and checks terminal delivery
+/// against sums computed by the reference simulator.
+fn big_system(threads: usize) -> BigRow {
+    let failed = |e: String| BigRow {
+        states: 0,
+        transitions: 0,
+        elapsed_ms: 0.0,
+        states_per_sec: 0.0,
+        dedup_hits: 0,
+        ample_states: 0,
+        full_states: 0,
+        peak_frontier: 0,
+        threads,
+        holds: false,
+        error: Some(e),
+    };
+    let s = synth_system(&big_config());
+    // Reference run: the per-couple dataflow is schedule-independent, so
+    // one simulated schedule yields the sums every terminal must show.
+    let reference = match ifsyn_sim::Simulator::new(&s.system).and_then(|s| s.run_to_quiescence()) {
+        Ok(r) => r,
+        Err(e) => return failed(format!("reference simulation failed: {e}")),
+    };
+    let sums: Vec<(String, i64)> = (0..s.consumers.len())
+        .map(|i| {
+            let name = format!("c{i}_sum");
+            let v = reference
+                .final_variable_by_name(&name)
+                .and_then(|v| v.as_i64().ok())
+                .unwrap_or(0);
+            (name, v)
+        })
+        .collect();
+    let config = CheckConfig::new()
+        .with_check_threads(threads.max(1))
+        .with_max_states(1 << 21)
+        .with_observed_variables(vec![]);
+    let ck = match Checker::with_config(&s.system, config) {
+        Ok(ck) => ck,
+        Err(e) => return failed(e.to_string()),
+    };
+    let t0 = Instant::now();
+    let ss = match ck.explore() {
+        Ok(ss) => ss,
+        Err(e) => return failed(e.to_string()),
+    };
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let rep = ss.check_terminal("delivers_all_sums", |v| {
+        v.all_done()
+            && sums
+                .iter()
+                .all(|(name, want)| v.variable(name).and_then(|x| x.as_i64().ok()) == Some(*want))
+    });
+    let st = ss.stats();
+    BigRow {
+        states: ss.state_count(),
+        transitions: ss.transition_count(),
+        elapsed_ms,
+        states_per_sec: if elapsed_ms > 0.0 {
+            ss.state_count() as f64 * 1000.0 / elapsed_ms
+        } else {
+            0.0
+        },
+        dedup_hits: st.dedup_hits,
+        ample_states: st.ample_states,
+        full_states: st.full_states,
+        peak_frontier: st.peak_frontier,
+        threads: st.threads,
+        holds: rep.holds,
+        error: None,
+    }
 }
 
 fn name_of_var(refined: &RefinedSystem, id: ifsyn_spec::VarId) -> String {
     refined.system.variable(id).name.clone()
+}
+
+/// Percentage of expanded states that took the reduced (ample) path.
+fn ample_pct(ample: u64, full: u64) -> f64 {
+    let total = ample + full;
+    if total == 0 {
+        0.0
+    } else {
+        ample as f64 * 100.0 / total as f64
+    }
 }
 
 /// Renders the campaign as text.
@@ -422,6 +667,9 @@ pub fn render(data: &CheckData) -> String {
         "transitions",
         "terminals",
         "worst cost",
+        "states/s",
+        "ample%",
+        "threads",
     ]);
     for r in &data.spaces {
         s.row([
@@ -433,9 +681,35 @@ pub fn render(data: &CheckData) -> String {
             r.terminals.to_string(),
             r.worst_cost
                 .map_or("unbounded".to_string(), |c| c.to_string()),
+            format!("{:.0}", r.states_per_sec),
+            format!("{:.1}", ample_pct(r.ample_states, r.full_states)),
+            r.threads.to_string(),
         ]);
     }
     out.push_str(&s.render());
+    out.push_str(&format!(
+        "\ncatalog throughput: {:.0} states/s aggregate\n",
+        data.campaign_rate()
+    ));
+    if let Some(b) = &data.big {
+        match &b.error {
+            Some(e) => out.push_str(&format!("\nbig-system exploration FAILED: {e}\n")),
+            None => out.push_str(&format!(
+                "\nbig-system exploration ({} thread(s)): {} states, {} transitions \
+                 in {:.1}s — {:.0} states/s, {:.1}% ample, {} dedup hit(s), \
+                 peak frontier {}; delivery property {}\n",
+                b.threads,
+                b.states,
+                b.transitions,
+                b.elapsed_ms / 1000.0,
+                b.states_per_sec,
+                ample_pct(b.ample_states, b.full_states),
+                b.dedup_hits,
+                b.peak_frontier,
+                if b.holds { "PASS" } else { "FAIL" },
+            )),
+        }
+    }
     let known = data.known_counterexamples();
     out.push_str(&format!(
         "\n{} expected counterexample(s) against unprotected baselines:\n",
@@ -480,10 +754,13 @@ pub fn render(data: &CheckData) -> String {
     out
 }
 
-/// Serializes the campaign as the `BENCH_check.json` document.
+/// Serializes the campaign as the `BENCH_check.json` document. Schema
+/// v2 is a superset of v1: every v1 field keeps its name and meaning;
+/// v2 adds per-exploration throughput/reduction counters, a campaign
+/// `throughput` block and the optional `big_system` block.
 pub fn to_json(data: &CheckData) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"ifsyn-bench-check-v1\",\n");
+    out.push_str("{\n  \"schema\": \"ifsyn-bench-check-v2\",\n");
     out.push_str(&format!("  \"unexpected\": {},\n", data.unexpected().len()));
     out.push_str(&format!(
         "  \"known_counterexamples\": {},\n",
@@ -511,7 +788,10 @@ pub fn to_json(data: &CheckData) -> String {
         format!(
             "    {{\"system\": {}, \"scenario\": {}, \"protocol\": {}, \
              \"states\": {}, \"transitions\": {}, \"terminals\": {}, \
-             \"worst_cost\": {}}}",
+             \"worst_cost\": {}, \"elapsed_ms\": {:.3}, \
+             \"states_per_sec\": {:.1}, \"dedup_hits\": {}, \
+             \"ample_states\": {}, \"full_states\": {}, \
+             \"ample_ratio\": {:.4}, \"peak_frontier\": {}, \"threads\": {}}}",
             json_str(&r.system),
             json_str(&r.scenario),
             json_str(r.variant.as_str()),
@@ -519,9 +799,44 @@ pub fn to_json(data: &CheckData) -> String {
             r.transitions,
             r.terminals,
             json_opt(r.worst_cost),
+            r.elapsed_ms,
+            r.states_per_sec,
+            r.dedup_hits,
+            r.ample_states,
+            r.full_states,
+            ample_pct(r.ample_states, r.full_states) / 100.0,
+            r.peak_frontier,
+            r.threads,
         )
     });
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"throughput\": {{\"campaign_states_per_sec\": {:.1}}},\n",
+        data.campaign_rate()
+    ));
+    match &data.big {
+        None => out.push_str("  \"big_system\": null\n"),
+        Some(b) => out.push_str(&format!(
+            "  \"big_system\": {{\"states\": {}, \"transitions\": {}, \
+             \"elapsed_ms\": {:.3}, \"states_per_sec\": {:.1}, \
+             \"dedup_hits\": {}, \"ample_states\": {}, \"full_states\": {}, \
+             \"ample_ratio\": {:.4}, \"peak_frontier\": {}, \"threads\": {}, \
+             \"holds\": {}, \"error\": {}}}\n",
+            b.states,
+            b.transitions,
+            b.elapsed_ms,
+            b.states_per_sec,
+            b.dedup_hits,
+            b.ample_states,
+            b.full_states,
+            ample_pct(b.ample_states, b.full_states) / 100.0,
+            b.peak_frontier,
+            b.threads,
+            b.holds,
+            crate::emit::json_opt_str(b.error.as_deref()),
+        )),
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -565,14 +880,92 @@ mod tests {
         let data = CheckData {
             rows: vec![row(true, true), row(false, false)],
             spaces: vec![],
+            big: None,
         };
         assert!(data.unexpected().is_empty());
         assert_eq!(data.known_counterexamples().len(), 1);
         let data = CheckData {
             rows: vec![row(false, true)],
             spaces: vec![],
+            big: None,
         };
         assert_eq!(data.unexpected().len(), 1);
+    }
+
+    fn big_row() -> BigRow {
+        BigRow {
+            states: 1_256_402,
+            transitions: 2_391_381,
+            elapsed_ms: 8_000.0,
+            states_per_sec: 157_050.2,
+            dedup_hits: 1_134_980,
+            ample_states: 119_920,
+            full_states: 1_136_482,
+            peak_frontier: 822,
+            threads: 1,
+            holds: true,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn big_gate_trips_on_failure_or_scale_loss() {
+        let ok = CheckData {
+            rows: vec![],
+            spaces: vec![],
+            big: Some(big_row()),
+        };
+        assert!(!ok.big_failed());
+        let mut small = ok.clone();
+        small.big.as_mut().unwrap().states = BIG_MIN_STATES - 1;
+        assert!(small.big_failed());
+        let mut violated = ok.clone();
+        violated.big.as_mut().unwrap().holds = false;
+        assert!(violated.big_failed());
+        let mut errored = ok.clone();
+        errored.big.as_mut().unwrap().error = Some("boom".into());
+        assert!(errored.big_failed());
+        // No big run: nothing to gate on.
+        assert!(!CheckData {
+            rows: vec![],
+            spaces: vec![],
+            big: None
+        }
+        .big_failed());
+    }
+
+    #[test]
+    fn rate_gate_uses_big_system_throughput() {
+        let data = CheckData {
+            rows: vec![],
+            spaces: vec![],
+            big: Some(big_row()),
+        };
+        assert!(data.check_rate(55_000.0).is_ok());
+        assert!(data.check_rate(1_000_000.0).is_err());
+        // Without a big run the catalog aggregate is the measurement.
+        let data = CheckData {
+            rows: vec![],
+            spaces: vec![SpaceRow {
+                system: "fig3@8".into(),
+                scenario: "none".into(),
+                variant: Variant::Plain,
+                states: 1000,
+                transitions: 2000,
+                terminals: 1,
+                worst_cost: Some(9),
+                elapsed_ms: 100.0,
+                states_per_sec: 10_000.0,
+                dedup_hits: 0,
+                ample_states: 0,
+                full_states: 1000,
+                peak_frontier: 10,
+                threads: 1,
+            }],
+            big: None,
+        };
+        assert!(data.check_rate(9_000.0).is_ok());
+        assert!(data.check_rate(11_000.0).is_err());
     }
 
     #[test]
@@ -596,12 +989,54 @@ mod tests {
                 transitions: 4321,
                 terminals: 3,
                 worst_cost: Some(99),
+                elapsed_ms: 12.5,
+                states_per_sec: 98_720.0,
+                dedup_hits: 55,
+                ample_states: 400,
+                full_states: 834,
+                peak_frontier: 17,
+                threads: 2,
             }],
+            big: Some(big_row()),
         };
         let json = to_json(&data);
-        assert!(json.contains("\"schema\": \"ifsyn-bench-check-v1\""));
-        assert!(json.contains("\"worst_cost\": 99"));
+        assert!(json.contains("\"schema\": \"ifsyn-bench-check-v2\""));
+        // Every v1 field survives under its v1 name.
+        for field in [
+            "\"system\"",
+            "\"scenario\"",
+            "\"protocol\"",
+            "\"property\"",
+            "\"holds\"",
+            "\"expected\"",
+            "\"states\"",
+            "\"detail\"",
+            "\"transitions\"",
+            "\"terminals\"",
+            "\"worst_cost\": 99",
+        ] {
+            assert!(json.contains(field), "missing v1 field {field}");
+        }
+        // And the v2 additions are present.
+        for field in [
+            "\"states_per_sec\"",
+            "\"dedup_hits\"",
+            "\"ample_ratio\"",
+            "\"peak_frontier\"",
+            "\"threads\"",
+            "\"throughput\"",
+            "\"big_system\"",
+        ] {
+            assert!(json.contains(field), "missing v2 field {field}");
+        }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Without a big run the block is an explicit null.
+        let none = CheckData {
+            rows: vec![],
+            spaces: vec![],
+            big: None,
+        };
+        assert!(to_json(&none).contains("\"big_system\": null"));
     }
 }
 

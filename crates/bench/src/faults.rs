@@ -240,8 +240,9 @@ fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
 }
 
 /// The generator configured for a protocol variant (shared with the
-/// model-checking campaign so both exercise identical refinements).
-pub(crate) fn generator(variant: Variant) -> ProtocolGenerator {
+/// model-checking campaign and the checker differential suite so all of
+/// them exercise identical refinements).
+pub fn generator(variant: Variant) -> ProtocolGenerator {
     let g = ProtocolGenerator::new();
     match variant {
         Variant::Plain => g,

@@ -1,0 +1,328 @@
+//! Static per-behavior read/write footprints over the specification IR.
+//!
+//! The shard planner ([`crate::plan_shards`]) and the model checker's
+//! partial-order reduction both need the same question answered: *which
+//! storage can this behavior touch?* A behavior's footprint is computed
+//! by walking its statement tree — including every procedure it can call,
+//! transitively — and recording the variables it accesses, the variables
+//! it writes, the signals its expressions and wait conditions read, the
+//! signals it drives, and the signals its waits are sensitive to, plus a
+//! loop-scaled instruction-weight estimate for load balancing.
+//!
+//! The footprint is deliberately conservative (a superset of the dynamic
+//! access set): any storage named anywhere in a reachable statement is
+//! included, whether or not the branch executes. That direction is the
+//! safe one for both clients — the shard planner may only co-locate too
+//! much, and the checker's independence analysis may only reduce too
+//! little.
+
+use ifsyn_spec::{Arg, Expr, Place, Stmt, System, WaitCond};
+
+/// Loop bounds above this stop scaling the weight estimate — balance
+/// needs relative magnitudes, not exact trip counts.
+const MAX_LOOP_SCALE: u64 = 4096;
+
+/// One behavior's static access footprint, all sets indexed by
+/// declaration order (`vars`/`var_writes` by variable index, the signal
+/// sets by signal index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessFootprint {
+    /// Variables accessed at all (read or write), including channel
+    /// backing variables and procedure `out`/`inout` targets.
+    pub vars: Vec<bool>,
+    /// Variables the behavior can write (assignment targets, loop
+    /// counters, channel-send backing stores, receive targets,
+    /// `out`/`inout` arguments).
+    pub var_writes: Vec<bool>,
+    /// Signals read by any expression, wait condition or index
+    /// computation.
+    pub sig_reads: Vec<bool>,
+    /// Signals the behavior can drive.
+    pub sig_writes: Vec<bool>,
+    /// Signals some wait statement is sensitive to — a subset of
+    /// [`ProcessFootprint::sig_reads`], kept separately because the
+    /// shard planner's affinity metric scores wake chains, not reads.
+    pub waits: Vec<bool>,
+    /// Estimated instruction weight: statement count scaled by constant
+    /// loop bounds (capped at 4096 per loop level).
+    pub weight: u64,
+}
+
+impl ProcessFootprint {
+    fn empty(system: &System) -> Self {
+        Self {
+            vars: vec![false; system.variables.len()],
+            var_writes: vec![false; system.variables.len()],
+            sig_reads: vec![false; system.signals.len()],
+            sig_writes: vec![false; system.signals.len()],
+            waits: vec![false; system.signals.len()],
+            weight: 0,
+        }
+    }
+
+    /// `true` when the two footprints name a common variable (either
+    /// side, any access kind) — the shard planner's hard constraint and
+    /// one half of the checker's dependence relation.
+    pub fn shares_variable(&self, other: &Self) -> bool {
+        self.vars.iter().zip(&other.vars).any(|(a, b)| *a && *b)
+    }
+
+    /// `true` when one side writes a signal the other reads, waits on or
+    /// also writes — the signal half of the dependence relation (two
+    /// pure readers of the same signal stay independent).
+    pub fn signal_coupled(&self, other: &Self) -> bool {
+        let touches = |reads: &[bool], writes: &[bool], i: usize| reads[i] || writes[i];
+        self.sig_writes
+            .iter()
+            .enumerate()
+            .any(|(i, &w)| w && touches(&other.sig_reads, &other.sig_writes, i))
+            || other
+                .sig_writes
+                .iter()
+                .enumerate()
+                .any(|(i, &w)| w && touches(&self.sig_reads, &self.sig_writes, i))
+    }
+}
+
+/// Computes the footprint of one behavior, walking called procedures
+/// transitively (each at most once).
+pub fn footprint(system: &System, behavior: usize) -> ProcessFootprint {
+    let mut f = ProcessFootprint::empty(system);
+    let mut visited = vec![false; system.procedures.len()];
+    walk(
+        system,
+        &system.behaviors[behavior].body,
+        1,
+        &mut f,
+        &mut visited,
+    );
+    f
+}
+
+/// Computes every behavior's footprint, in declaration order.
+pub fn footprints(system: &System) -> Vec<ProcessFootprint> {
+    (0..system.behaviors.len())
+        .map(|b| footprint(system, b))
+        .collect()
+}
+
+fn note_expr(e: &Expr, f: &mut ProcessFootprint) {
+    let mut vs = Vec::new();
+    e.collect_vars(&mut vs);
+    for v in vs {
+        f.vars[v.index()] = true;
+    }
+    let mut ss = Vec::new();
+    e.collect_signals(&mut ss);
+    for s in ss {
+        f.sig_reads[s.index()] = true;
+    }
+}
+
+/// Records a place in *read* position (its root and every index
+/// expression).
+fn note_place_read(p: &Place, f: &mut ProcessFootprint) {
+    if let Some(v) = p.root_var() {
+        f.vars[v.index()] = true;
+    }
+    note_place_indices(p, f);
+}
+
+/// Records a place in *write* position: the root is written; index and
+/// dynamic-slice offsets are still reads.
+fn note_place_write(p: &Place, f: &mut ProcessFootprint) {
+    if let Some(v) = p.root_var() {
+        f.vars[v.index()] = true;
+        f.var_writes[v.index()] = true;
+    }
+    note_place_indices(p, f);
+}
+
+fn note_place_indices(p: &Place, f: &mut ProcessFootprint) {
+    match p {
+        Place::Index { base, index } => {
+            note_expr(index, f);
+            note_place_indices(base, f);
+        }
+        Place::Slice { base, .. } => note_place_indices(base, f),
+        Place::DynSlice { base, offset, .. } => {
+            note_expr(offset, f);
+            note_place_indices(base, f);
+        }
+        Place::Var(_) | Place::Local(_) => {}
+    }
+}
+
+fn walk(
+    system: &System,
+    body: &[Stmt],
+    mult: u64,
+    f: &mut ProcessFootprint,
+    visited: &mut Vec<bool>,
+) {
+    for stmt in body {
+        f.weight = f.weight.saturating_add(mult);
+        match stmt {
+            Stmt::Assign { place, value, .. } => {
+                note_place_write(place, f);
+                note_expr(value, f);
+            }
+            Stmt::SignalAssign { signal, value, .. } => {
+                f.sig_writes[signal.index()] = true;
+                note_expr(value, f);
+            }
+            Stmt::If { cond, .. } => note_expr(cond, f),
+            Stmt::While { cond, .. } => note_expr(cond, f),
+            Stmt::For { var, from, to, .. } => {
+                note_place_write(var, f);
+                note_expr(from, f);
+                note_expr(to, f);
+            }
+            Stmt::Wait(cond) => {
+                for s in cond.sensitivity() {
+                    f.waits[s.index()] = true;
+                    f.sig_reads[s.index()] = true;
+                }
+                match cond {
+                    WaitCond::Until(e) | WaitCond::UntilTimeout { cond: e, .. } => {
+                        note_expr(e, f);
+                    }
+                    _ => {}
+                }
+            }
+            Stmt::Call { procedure, args } => {
+                for arg in args {
+                    match arg {
+                        Arg::In(e) => note_expr(e, f),
+                        Arg::Out(p) => note_place_write(p, f),
+                        Arg::InOut(p) => {
+                            note_place_read(p, f);
+                            note_place_write(p, f);
+                        }
+                    }
+                }
+                let pi = procedure.index();
+                if !visited[pi] {
+                    visited[pi] = true;
+                    walk(system, &system.procedures[pi].body, mult, f, visited);
+                }
+            }
+            Stmt::ChannelSend {
+                channel,
+                addr,
+                data,
+            } => {
+                let backing = system.channel(*channel).variable.index();
+                f.vars[backing] = true;
+                f.var_writes[backing] = true;
+                if let Some(a) = addr {
+                    note_expr(a, f);
+                }
+                note_expr(data, f);
+            }
+            Stmt::ChannelReceive {
+                channel,
+                addr,
+                target,
+            } => {
+                f.vars[system.channel(*channel).variable.index()] = true;
+                if let Some(a) = addr {
+                    note_expr(a, f);
+                }
+                note_place_write(target, f);
+            }
+            Stmt::Assert { cond, .. } => note_expr(cond, f),
+            Stmt::Compute { .. } | Stmt::Return => {}
+        }
+        // Scale nested work by constant loop bounds, like the closeness
+        // metric, capped so one wide loop cannot dwarf every signal.
+        let inner_mult = match stmt {
+            Stmt::For { from, to, .. } => match (const_int(from), const_int(to)) {
+                (Some(a), Some(b)) if b >= a => {
+                    mult.saturating_mul(((b - a + 1) as u64).min(MAX_LOOP_SCALE))
+                }
+                _ => mult,
+            },
+            _ => mult,
+        };
+        for inner in stmt.bodies() {
+            walk(system, inner, inner_mult, f, visited);
+        }
+    }
+}
+
+fn const_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(v) => v.as_i64().ok(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsyn_spec::dsl::*;
+    use ifsyn_spec::{System, Ty};
+
+    #[test]
+    fn footprint_separates_reads_and_writes() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("B", m);
+        let x = sys.add_variable("x", Ty::Int(16), b);
+        let y = sys.add_variable("y", Ty::Int(16), b);
+        let req = sys.add_signal("REQ", Ty::Bit);
+        let ack = sys.add_signal("ACK", Ty::Bit);
+        sys.behavior_mut(b).body = vec![
+            assign(var(x), load(var(y))),
+            drive(req, bit_const(true)),
+            wait_until(eq(signal(ack), bit_const(true))),
+        ];
+        let f = footprint(&sys, b.index());
+        assert!(f.vars[x.index()] && f.vars[y.index()]);
+        assert!(f.var_writes[x.index()] && !f.var_writes[y.index()]);
+        assert!(f.sig_writes[req.index()] && !f.sig_writes[ack.index()]);
+        assert!(f.sig_reads[ack.index()] && !f.sig_reads[req.index()]);
+        assert!(f.waits[ack.index()]);
+    }
+
+    #[test]
+    fn signal_coupling_ignores_shared_pure_reads() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let s = sys.add_signal("S", Ty::Bit);
+        let a = sys.add_behavior("A", m);
+        let va = sys.add_variable("va", Ty::Int(8), a);
+        sys.behavior_mut(a).body = vec![assign(var(va), signal(s))];
+        let b = sys.add_behavior("B", m);
+        let vb = sys.add_variable("vb", Ty::Int(8), b);
+        sys.behavior_mut(b).body = vec![assign(var(vb), signal(s))];
+        let c = sys.add_behavior("C", m);
+        sys.behavior_mut(c).body = vec![drive(s, bit_const(true))];
+        let feet = footprints(&sys);
+        // Two readers of S are independent; the writer couples to both.
+        assert!(!feet[0].signal_coupled(&feet[1]));
+        assert!(feet[2].signal_coupled(&feet[0]));
+        assert!(feet[2].signal_coupled(&feet[1]));
+        assert!(!feet[0].shares_variable(&feet[1]));
+    }
+
+    #[test]
+    fn procedures_walked_transitively() {
+        let mut sys = System::new("t");
+        let m = sys.add_module("chip");
+        let b = sys.add_behavior("B", m);
+        let x = sys.add_variable("x", Ty::Int(16), b);
+        let gnt = sys.add_signal("GNT", Ty::Bit);
+        let mut helper = ifsyn_spec::Procedure::new("helper");
+        helper.body = vec![
+            drive(gnt, bit_const(true)),
+            assign(var(x), int_const(7, 16)),
+        ];
+        let p = sys.add_procedure(helper);
+        sys.behavior_mut(b).body = vec![call(p, vec![])];
+        let f = footprint(&sys, b.index());
+        assert!(f.sig_writes[gnt.index()]);
+        assert!(f.var_writes[x.index()]);
+    }
+}

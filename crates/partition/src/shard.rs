@@ -22,11 +22,16 @@
 //!   run time. Co-locating tightly coupled processes keeps wake chains
 //!   on one worker and minimises cross-shard signal churn.
 //!
+//! The access sets come from the shared [`crate::footprint`] analysis
+//! (also the basis of the model checker's independence relation).
+//!
 //! The plan is a pure function of the system and the requested shard
 //! count — deterministic, so a simulation partitioned at any thread
 //! count stays reproducible.
 
-use ifsyn_spec::{Arg, Expr, Place, Stmt, System, WaitCond};
+use ifsyn_spec::System;
+
+use crate::footprint::{footprints, ProcessFootprint};
 
 /// A deterministic assignment of behaviors to worker shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,19 +59,6 @@ impl ShardPlan {
     }
 }
 
-/// Per-behavior static footprint: accessed variables, written signals,
-/// awaited signals and an instruction-weight estimate.
-struct Footprint {
-    vars: Vec<bool>,
-    writes: Vec<bool>,
-    waits: Vec<bool>,
-    weight: u64,
-}
-
-/// Loop bounds above this stop scaling the weight estimate — balance
-/// needs relative magnitudes, not exact trip counts.
-const MAX_LOOP_SCALE: u64 = 4096;
-
 /// Plans a variable-disjoint, balanced, affinity-aware shard assignment.
 ///
 /// `shards == 0` or `1` returns the scalar plan. The returned plan may
@@ -77,7 +69,7 @@ pub fn plan_shards(system: &System, shards: usize) -> ShardPlan {
     if shards <= 1 || n <= 1 {
         return ShardPlan::scalar(n);
     }
-    let feet: Vec<Footprint> = (0..n).map(|b| footprint(system, b)).collect();
+    let feet: Vec<ProcessFootprint> = footprints(system);
 
     // Union-find: behaviors sharing any variable form one atomic group.
     let mut parent: Vec<usize> = (0..n).collect();
@@ -166,7 +158,7 @@ pub fn plan_shards(system: &System, shards: usize) -> ShardPlan {
             for &b in &groups[g] {
                 let f = &feet[b];
                 for sig in 0..n_sigs {
-                    if (f.writes[sig] && shard_waits[s][sig])
+                    if (f.sig_writes[sig] && shard_waits[s][sig])
                         || (f.waits[sig] && shard_writes[s][sig])
                     {
                         affinity += 1;
@@ -187,7 +179,7 @@ pub fn plan_shards(system: &System, shards: usize) -> ShardPlan {
         for &b in &groups[g] {
             shard_of[b] = s;
             for sig in 0..n_sigs {
-                if feet[b].writes[sig] {
+                if feet[b].sig_writes[sig] {
                     shard_writes[s][sig] = true;
                 }
                 if feet[b].waits[sig] {
@@ -213,146 +205,6 @@ pub fn plan_shards(system: &System, shards: usize) -> ShardPlan {
         shard_of,
         var_shard,
         shards: next,
-    }
-}
-
-/// Computes one behavior's static footprint, walking called procedures
-/// transitively (each at most once).
-fn footprint(system: &System, behavior: usize) -> Footprint {
-    let mut f = Footprint {
-        vars: vec![false; system.variables.len()],
-        writes: vec![false; system.signals.len()],
-        waits: vec![false; system.signals.len()],
-        weight: 0,
-    };
-    let mut visited = vec![false; system.procedures.len()];
-    walk(
-        system,
-        &system.behaviors[behavior].body,
-        1,
-        &mut f,
-        &mut visited,
-    );
-    f
-}
-
-fn note_expr_vars(e: &Expr, f: &mut Footprint) {
-    let mut vs = Vec::new();
-    e.collect_vars(&mut vs);
-    for v in vs {
-        f.vars[v.index()] = true;
-    }
-}
-
-fn note_place_vars(p: &Place, f: &mut Footprint) {
-    if let Some(v) = p.root_var() {
-        f.vars[v.index()] = true;
-    }
-    // Index and dynamic-slice offsets are expressions that may read
-    // further variables.
-    match p {
-        Place::Index { base, index } => {
-            note_expr_vars(index, f);
-            note_place_vars(base, f);
-        }
-        Place::Slice { base, .. } => note_place_vars(base, f),
-        Place::DynSlice { base, offset, .. } => {
-            note_expr_vars(offset, f);
-            note_place_vars(base, f);
-        }
-        Place::Var(_) | Place::Local(_) => {}
-    }
-}
-
-fn walk(system: &System, body: &[Stmt], mult: u64, f: &mut Footprint, visited: &mut Vec<bool>) {
-    for stmt in body {
-        f.weight = f.weight.saturating_add(mult);
-        match stmt {
-            Stmt::Assign { place, value, .. } => {
-                note_place_vars(place, f);
-                note_expr_vars(value, f);
-            }
-            Stmt::SignalAssign { signal, value, .. } => {
-                f.writes[signal.index()] = true;
-                note_expr_vars(value, f);
-            }
-            Stmt::If { cond, .. } => note_expr_vars(cond, f),
-            Stmt::While { cond, .. } => note_expr_vars(cond, f),
-            Stmt::For { var, from, to, .. } => {
-                note_place_vars(var, f);
-                note_expr_vars(from, f);
-                note_expr_vars(to, f);
-            }
-            Stmt::Wait(cond) => {
-                for s in cond.sensitivity() {
-                    f.waits[s.index()] = true;
-                }
-                match cond {
-                    WaitCond::Until(e) | WaitCond::UntilTimeout { cond: e, .. } => {
-                        note_expr_vars(e, f);
-                    }
-                    _ => {}
-                }
-            }
-            Stmt::Call { procedure, args } => {
-                for arg in args {
-                    match arg {
-                        Arg::In(e) => note_expr_vars(e, f),
-                        Arg::Out(p) | Arg::InOut(p) => note_place_vars(p, f),
-                    }
-                }
-                let pi = procedure.index();
-                if !visited[pi] {
-                    visited[pi] = true;
-                    walk(system, &system.procedures[pi].body, mult, f, visited);
-                }
-            }
-            Stmt::ChannelSend {
-                channel,
-                addr,
-                data,
-            } => {
-                f.vars[system.channel(*channel).variable.index()] = true;
-                if let Some(a) = addr {
-                    note_expr_vars(a, f);
-                }
-                note_expr_vars(data, f);
-            }
-            Stmt::ChannelReceive {
-                channel,
-                addr,
-                target,
-            } => {
-                f.vars[system.channel(*channel).variable.index()] = true;
-                if let Some(a) = addr {
-                    note_expr_vars(a, f);
-                }
-                note_place_vars(target, f);
-            }
-            Stmt::Assert { cond, .. } => note_expr_vars(cond, f),
-            Stmt::Compute { .. } | Stmt::Return => {}
-        }
-        // Scale nested work by constant loop bounds, like the closeness
-        // metric, capped so one wide loop cannot dwarf every signal.
-        let inner_mult = match stmt {
-            Stmt::For { from, to, .. } => match (const_int(from), const_int(to)) {
-                (Some(a), Some(b)) if b >= a => {
-                    mult.saturating_mul(((b - a + 1) as u64).min(MAX_LOOP_SCALE))
-                }
-                _ => mult,
-            },
-            _ => mult,
-        };
-        for inner in stmt.bodies() {
-            walk(system, inner, inner_mult, f, visited);
-        }
-    }
-}
-
-fn const_int(e: &Expr) -> Option<i64> {
-    match e {
-        Expr::Const(v) => v.as_i64().ok(),
-        _ => None,
     }
 }
 

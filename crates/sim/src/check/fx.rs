@@ -1,0 +1,88 @@
+//! A fast non-cryptographic hasher for the checker's hot dedup paths.
+//!
+//! The seed explorer keyed its state index with the standard library's
+//! SipHash — robust against adversarial keys, but several times slower
+//! than necessary for hashing interned component ids and small value
+//! vectors millions of times per run. This is the Firefox `FxHasher`
+//! recipe (rotate, xor, multiply by a 64-bit constant), processed in
+//! 8-byte chunks; model-checker inputs are not attacker-controlled, so
+//! DoS resistance buys nothing here.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash: fast word-at-a-time mixing for trusted keys.
+#[derive(Default)]
+pub(super) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_ne_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_ne_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
+pub(super) type BuildFx = BuildHasherDefault<FxHasher>;
+
+/// Hashes one value with [`FxHasher`].
+#[inline]
+pub(super) fn fx_hash<T: Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// SplitMix64 finalizer: diffuses component ids into a 64-bit state
+/// fingerprint for dedup sharding and bitstate hashing.
+#[inline]
+pub(super) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}

@@ -1,0 +1,365 @@
+//! State representations: the mutable scratch states the transition
+//! executor runs on, and the compact interned form the explorer stores.
+//!
+//! The seed explorer kept every reachable state as a full [`CkState`]
+//! clone inside a `HashMap<CkState, usize>` — two deep copies per stored
+//! state and a SipHash over the whole structure per lookup. Here a stored
+//! state is four `u32` component ids ([`CompactState`], 16 bytes):
+//!
+//! * `sig` — the interned signal valuation (`Box<[Value]>`);
+//! * `var` — an interned vector of per-group variable-valuation ids,
+//!   grouped by the variables' owning behavior so one process's step
+//!   re-interns only its own group;
+//! * `ctl` — an interned vector of per-process control ids (the PC
+//!   vector), each entry an interned [`CkProc`];
+//! * `env` — the interned fault environment (budgets + frozen mask).
+//!
+//! Interning is canonical (equal components share one id), so two states
+//! are equal iff their `CompactState`s are equal — exact dedup compares
+//! 16 bytes instead of whole states. A 64-bit fingerprint over the ids
+//! shards the dedup table and drives the opt-in lossy bitstate mode.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use ifsyn_spec::{System, Ty, Value};
+
+use super::fx::{fx_hash, splitmix, BuildFx};
+use crate::process::{CodeRef, ResolvedPlace};
+
+/// One call frame of a checker process: the kernel's frame shape with
+/// `Eq + Hash` so whole states can be interned.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub(super) struct CkFrame {
+    pub code: CodeRef,
+    pub pc: usize,
+    pub locals: Vec<Value>,
+    pub loop_bounds: Vec<i64>,
+    pub copyback: Vec<(usize, ResolvedPlace, Ty)>,
+}
+
+impl CkFrame {
+    pub fn new(code: CodeRef, locals: Vec<Value>) -> Self {
+        Self {
+            code,
+            pc: 0,
+            locals,
+            loop_bounds: Vec::new(),
+            copyback: Vec::new(),
+        }
+    }
+}
+
+impl Clone for CkFrame {
+    fn clone(&self) -> Self {
+        Self {
+            code: self.code,
+            pc: self.pc,
+            locals: self.locals.clone(),
+            loop_bounds: self.loop_bounds.clone(),
+            copyback: self.copyback.clone(),
+        }
+    }
+
+    /// Buffer-reusing copy: scratch states are rebuilt once per explored
+    /// state, so keeping the `Vec` spines alive is the difference between
+    /// an allocation-free hot loop and three allocations per transition.
+    fn clone_from(&mut self, src: &Self) {
+        self.code = src.code;
+        self.pc = src.pc;
+        self.locals.clone_from(&src.locals);
+        self.loop_bounds.clone_from(&src.loop_bounds);
+        self.copyback.clone_from(&src.copyback);
+    }
+}
+
+/// Control state of one behavior instance.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub(super) struct CkProc {
+    pub frames: Vec<CkFrame>,
+    pub done: bool,
+}
+
+impl Clone for CkProc {
+    fn clone(&self) -> Self {
+        Self {
+            frames: self.frames.clone(),
+            done: self.done,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.frames.clone_from(&src.frames);
+        self.done = src.done;
+    }
+}
+
+/// One materialized system state: storage, every process's control
+/// point, and the remaining environment-fault budgets. This is the
+/// executable *scratch* form the transition executor mutates; the
+/// explorer stores only [`CompactState`]s.
+#[derive(Debug, PartialEq, Eq)]
+pub(super) struct CkState {
+    pub signals: Vec<Value>,
+    pub vars: Vec<Value>,
+    pub procs: Vec<CkProc>,
+    /// Remaining strikes per configured fault, in config order.
+    pub fault_budget: Vec<u32>,
+    /// Signals forced by a stuck fault: later writes are swallowed.
+    pub frozen: Vec<bool>,
+}
+
+impl Clone for CkState {
+    fn clone(&self) -> Self {
+        Self {
+            signals: self.signals.clone(),
+            vars: self.vars.clone(),
+            procs: self.procs.clone(),
+            fault_budget: self.fault_budget.clone(),
+            frozen: self.frozen.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.signals.clone_from(&src.signals);
+        self.vars.clone_from(&src.vars);
+        self.procs.clone_from(&src.procs);
+        self.fault_budget.clone_from(&src.fault_budget);
+        self.frozen.clone_from(&src.frozen);
+    }
+}
+
+/// Static storage layout: variables grouped by owning behavior so one
+/// process's step dirties (and re-interns) only its own group.
+#[derive(Debug)]
+pub(super) struct Layout {
+    /// Variable index → group index.
+    pub group_of_var: Vec<u32>,
+    /// Variable index → position within its group's valuation.
+    pub offset_in_group: Vec<u32>,
+    /// Group index → member variable indices, ascending.
+    pub group_members: Vec<Vec<u32>>,
+}
+
+impl Layout {
+    pub fn new(system: &System) -> Self {
+        let nb = system.behaviors.len();
+        // Group per owning behavior, densely renumbered over behaviors
+        // that actually own variables (declaration order).
+        let mut group_of_behavior = vec![u32::MAX; nb];
+        let mut group_members: Vec<Vec<u32>> = Vec::new();
+        let mut group_of_var = Vec::with_capacity(system.variables.len());
+        let mut offset_in_group = Vec::with_capacity(system.variables.len());
+        for (v, decl) in system.variables.iter().enumerate() {
+            let b = decl.owner.index();
+            if group_of_behavior[b] == u32::MAX {
+                group_of_behavior[b] = group_members.len() as u32;
+                group_members.push(Vec::new());
+            }
+            let g = group_of_behavior[b];
+            group_of_var.push(g);
+            offset_in_group.push(group_members[g as usize].len() as u32);
+            group_members[g as usize].push(v as u32);
+        }
+        Self {
+            group_of_var,
+            offset_in_group,
+            group_members,
+        }
+    }
+
+    /// Number of variable groups.
+    pub fn groups(&self) -> usize {
+        self.group_members.len()
+    }
+
+    /// Copies one group's valuation out of a flat variable array.
+    pub fn extract_group(&self, g: u32, vars: &[Value]) -> Box<[Value]> {
+        self.group_members[g as usize]
+            .iter()
+            .map(|&v| vars[v as usize].clone())
+            .collect()
+    }
+}
+
+/// The interned fault environment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(super) struct EnvComp {
+    pub fault_budget: Box<[u32]>,
+    pub frozen: Box<[bool]>,
+}
+
+enum Bucket {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+/// A canonical component pool: equal values share one id, ids index the
+/// insertion-ordered `items` vector. The map is keyed by FxHash with
+/// explicit buckets, so a lookup is one hash of the component plus an
+/// equality check per (rare) collision.
+pub(super) struct Interner<T> {
+    items: Vec<T>,
+    map: HashMap<u64, Bucket, BuildFx>,
+}
+
+impl<T: Hash + Eq> Interner<T> {
+    pub fn new() -> Self {
+        Self {
+            items: Vec::new(),
+            map: HashMap::default(),
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+
+    /// Interns an owned component, returning its canonical id (the
+    /// value is dropped when an equal component is already pooled).
+    pub fn intern(&mut self, value: T) -> u32 {
+        let h = fx_hash(&value);
+        match self.map.entry(h) {
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Bucket::One(id) => {
+                    let id = *id;
+                    if self.items[id as usize] == value {
+                        return id;
+                    }
+                    let new = Self::push(&mut self.items, value);
+                    *e.get_mut() = Bucket::Many(vec![id, new]);
+                    new
+                }
+                Bucket::Many(ids) => {
+                    for &id in ids.iter() {
+                        if self.items[id as usize] == value {
+                            return id;
+                        }
+                    }
+                    let new = Self::push(&mut self.items, value);
+                    ids.push(new);
+                    new
+                }
+            },
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let new = Self::push(&mut self.items, value);
+                e.insert(Bucket::One(new));
+                new
+            }
+        }
+    }
+
+    fn push(items: &mut Vec<T>, value: T) -> u32 {
+        let id = u32::try_from(items.len()).expect("component pool overflow");
+        items.push(value);
+        id
+    }
+}
+
+/// All component pools of one exploration.
+pub(super) struct Pools {
+    /// Signal valuations.
+    pub sigs: Interner<Box<[Value]>>,
+    /// Per-group variable valuations.
+    pub groups: Interner<Box<[Value]>>,
+    /// Per-state vectors of group-valuation ids.
+    pub varvecs: Interner<Box<[u32]>>,
+    /// Per-process control states.
+    pub procs: Interner<CkProc>,
+    /// Per-state vectors of process-control ids (the PC vector).
+    pub ctls: Interner<Box<[u32]>>,
+    /// Fault environments.
+    pub envs: Interner<EnvComp>,
+}
+
+impl Pools {
+    pub fn new() -> Self {
+        Self {
+            sigs: Interner::new(),
+            groups: Interner::new(),
+            varvecs: Interner::new(),
+            procs: Interner::new(),
+            ctls: Interner::new(),
+            envs: Interner::new(),
+        }
+    }
+}
+
+/// One stored state: four component-pool ids, 16 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(super) struct CompactState {
+    pub sig: u32,
+    pub var: u32,
+    pub ctl: u32,
+    pub env: u32,
+}
+
+impl CompactState {
+    /// 64-bit fingerprint over the component ids: shards the dedup
+    /// table, and is the whole identity in bitstate mode.
+    #[inline]
+    pub fn fingerprint(self) -> u64 {
+        let a = splitmix(u64::from(self.sig) | (u64::from(self.var) << 32));
+        splitmix(a ^ (u64::from(self.ctl) | (u64::from(self.env) << 32)))
+    }
+}
+
+/// Dedup-table shard count (indexed by fingerprint high bits).
+const DEDUP_SHARDS: usize = 16;
+
+#[inline]
+fn shard_of(fp: u64) -> usize {
+    (fp >> 48) as usize & (DEDUP_SHARDS - 1)
+}
+
+/// The visited-state index, sharded by fingerprint.
+///
+/// `Exact` maps the full 16-byte [`CompactState`] (collision-free, since
+/// interned ids are canonical). `Bitstate` keys only the masked 64-bit
+/// fingerprint: distinct states whose masked fingerprints collide are
+/// merged, so exploration becomes a lossy sweep — any violation found is
+/// real, but absence of one proves nothing (see the ROBUSTNESS docs).
+pub(super) enum Dedup {
+    Exact(Vec<HashMap<CompactState, u32, BuildFx>>),
+    Bitstate {
+        mask: u64,
+        shards: Vec<HashMap<u64, u32, BuildFx>>,
+    },
+}
+
+impl Dedup {
+    pub fn exact() -> Self {
+        Dedup::Exact((0..DEDUP_SHARDS).map(|_| HashMap::default()).collect())
+    }
+
+    pub fn bitstate(bits: u32) -> Self {
+        let bits = bits.clamp(8, 63);
+        Dedup::Bitstate {
+            mask: (1u64 << bits) - 1,
+            shards: (0..DEDUP_SHARDS).map(|_| HashMap::default()).collect(),
+        }
+    }
+
+    /// Looks up a state without inserting.
+    #[inline]
+    pub fn probe(&self, cs: CompactState, fp: u64) -> Option<u32> {
+        match self {
+            Dedup::Exact(shards) => shards[shard_of(fp)].get(&cs).copied(),
+            Dedup::Bitstate { mask, shards } => shards[shard_of(fp)].get(&(fp & mask)).copied(),
+        }
+    }
+
+    /// Records a newly discovered state's index.
+    #[inline]
+    pub fn insert(&mut self, cs: CompactState, fp: u64, id: u32) {
+        match self {
+            Dedup::Exact(shards) => {
+                shards[shard_of(fp)].insert(cs, id);
+            }
+            Dedup::Bitstate { mask, shards } => {
+                shards[shard_of(fp)].insert(fp & *mask, id);
+            }
+        }
+    }
+}

@@ -64,7 +64,8 @@ pub mod trace;
 pub mod vcd;
 
 pub use check::{
-    CheckConfig, Checker, Counterexample, EnvFault, PropertyReport, StateSpace, StateView,
+    BoundedInfo, CheckConfig, CheckStats, Checker, Counterexample, EnvFault, PropertyReport,
+    StateSpace, StateView, Verdict,
 };
 pub use config::SimConfig;
 pub use diagnose::{BlockedWait, DeadlockDiagnosis};

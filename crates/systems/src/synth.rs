@@ -49,6 +49,13 @@ pub struct SynthConfig {
     /// Drive a shared `clash` signal from every producer every round,
     /// forcing cross-shard same-delta write conflicts.
     pub conflicts: bool,
+    /// Cycle cost of each compute-loop iteration. The default 0 keeps
+    /// the generated system byte-identical to earlier revisions (the
+    /// whole loop runs inside one delta). A nonzero cost turns every
+    /// iteration into a scheduling point, which is what makes the
+    /// generated field a state-space stress for the model checker: each
+    /// compute step becomes a distinct time-abstracted checker state.
+    pub compute_cost: u32,
     /// Seed of the deterministic structure jitter.
     pub seed: u64,
 }
@@ -62,6 +69,7 @@ impl SynthConfig {
             rounds: 16,
             compute: 64,
             conflicts: true,
+            compute_cost: 0,
             seed: 0x5e_ed,
         }
     }
@@ -87,6 +95,12 @@ impl SynthConfig {
     /// Builder-style setter for [`SynthConfig::compute`].
     pub fn with_compute(mut self, compute: u64) -> Self {
         self.compute = compute.max(1);
+        self
+    }
+
+    /// Builder-style setter for [`SynthConfig::compute_cost`].
+    pub fn with_compute_cost(mut self, cost: u32) -> Self {
+        self.compute_cost = cost;
         self
     }
 
@@ -178,7 +192,7 @@ pub fn synth_system(cfg: &SynthConfig) -> SynthSystem {
                 vec![assign_cost(
                     var(acc),
                     add(mul(load(var(acc)), int_const(prod_mult, 32)), load(var(pk))),
-                    0,
+                    cfg.compute_cost,
                 )],
             ),
             assign_cost(var(acc), add(load(var(acc)), load(var(pr))), 0),
@@ -218,7 +232,7 @@ pub fn synth_system(cfg: &SynthConfig) -> SynthSystem {
                     vec![assign_cost(
                         var(sum),
                         add(mul(load(var(sum)), int_const(cons_mult, 32)), load(var(ck))),
-                        0,
+                        cfg.compute_cost,
                     )],
                 ),
                 drive_cost(ack, add(load(var(cr)), int_const(1, 32)), 0),
@@ -267,6 +281,28 @@ mod tests {
         assert_eq!(s.producers.len(), 5);
         assert_eq!(s.consumers.len(), 5);
         assert_eq!(s.system.behaviors.len(), 10);
+    }
+
+    #[test]
+    fn compute_cost_defaults_to_zero_and_stretches_the_schedule() {
+        let base = SynthConfig::new().with_couples(2).with_rounds(2);
+        // Default: byte-identical to the pre-compute_cost generator.
+        let a = synth_system(&base);
+        let b = synth_system(&base.clone().with_compute_cost(0));
+        assert_eq!(format!("{:?}", a.system), format!("{:?}", b.system));
+        // Nonzero cost only changes statement costs, never the structure:
+        // the system still validates and completes, just over more cycles.
+        let costed = synth_system(&base.with_compute_cost(1));
+        assert!(costed.system.check().is_ok());
+        let cheap = ifsyn_sim::Simulator::new(&a.system)
+            .expect("compiles")
+            .run_to_quiescence()
+            .expect("quiesces");
+        let slow = ifsyn_sim::Simulator::new(&costed.system)
+            .expect("compiles")
+            .run_to_quiescence()
+            .expect("quiesces");
+        assert!(slow.time() > cheap.time());
     }
 
     #[test]

@@ -46,6 +46,16 @@
 //!                            flip:SIG:BIT[:BUDGET]
 //!                          unlike --fault these carry no schedule times;
 //!                          the checker tries every legal strike point
+//!   --check-threads N      explore the frontier with N worker threads
+//!                          (reports are byte-identical to N=1)
+//!   --check-limit STATES   stop exploring after STATES states and report
+//!                          BOUND verdicts instead of running out of
+//!                          memory on huge systems
+//!   --check-bitstate BITS  lossy bitstate dedup keyed by a 2^BITS
+//!                          fingerprint: violations found are real, but a
+//!                          clean run is probabilistic, not a proof
+//!   --check-no-por         disable partial-order reduction (explore the
+//!                          full interleaving graph)
 //!   --explore              print the width exploration table and exit
 //!   --explore-csv FILE     write the exploration as CSV and exit
 //!   --sweep-sim LO-HI      refine the system at every bus width in
@@ -98,6 +108,10 @@ struct Options {
     faults: Vec<String>,
     check: bool,
     check_faults: Vec<String>,
+    check_threads: usize,
+    check_limit: Option<usize>,
+    check_bitstate: Option<u32>,
+    check_no_por: bool,
     print_vhdl: bool,
     vcd: Option<String>,
     bus_meta: Option<String>,
@@ -472,6 +486,19 @@ fn check_refined(
     for spec in &options.check_faults {
         config = config.with_fault(parse_check_fault(spec)?);
     }
+    if options.check_threads > 1 {
+        config = config.with_check_threads(options.check_threads);
+    }
+    if let Some(limit) = options.check_limit {
+        config = config.with_state_limit(limit);
+    }
+    if let Some(bits) = options.check_bitstate {
+        config = config.with_bitstate(bits);
+        println!("bitstate dedup on ({bits} fingerprint bits): a clean run is not a proof");
+    }
+    if options.check_no_por {
+        config = config.without_por();
+    }
     let fault_free = options.check_faults.is_empty();
     if !fault_free {
         println!(
@@ -488,8 +515,24 @@ fn check_refined(
         space.terminal_count(),
         space.error_count()
     );
+    let stats = space.stats();
+    println!(
+        "  {} thread(s), peak frontier {}, {} dedup hit(s), \
+         {} ample / {} fully expanded state(s)",
+        stats.threads, stats.peak_frontier, stats.dedup_hits, stats.ample_states, stats.full_states
+    );
+    if let Some(b) = space.bounded() {
+        println!(
+            "  state limit {} reached: {} frontier state(s) left unexplored; \
+             verdicts below are bounded",
+            b.limit, b.frontier
+        );
+    }
     match space.worst_cost_to_quiescence() {
         Some(w) => println!("worst-case completion over every schedule: {w} cycles"),
+        None if space.bounded().is_some() => {
+            println!("worst-case completion: unknown (exploration was bounded)")
+        }
         None => println!("worst-case completion: unbounded (a reachable cycle exists)"),
     }
 
@@ -542,11 +585,19 @@ fn check_refined(
         )
         .into());
     }
-    println!(
-        "all {} propert{} hold on every schedule",
-        reports.len(),
-        if reports.len() == 1 { "y" } else { "ies" }
-    );
+    if space.bounded().is_some() {
+        println!(
+            "all {} propert{} hold on every explored schedule (bounded run)",
+            reports.len(),
+            if reports.len() == 1 { "y" } else { "ies" }
+        );
+    } else {
+        println!(
+            "all {} propert{} hold on every schedule",
+            reports.len(),
+            if reports.len() == 1 { "y" } else { "ies" }
+        );
+    }
     Ok(())
 }
 
@@ -702,6 +753,10 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, Box<dy
             "--fault" => o.faults.push(value_of("--fault")?),
             "--check" => o.check = true,
             "--check-fault" => o.check_faults.push(value_of("--check-fault")?),
+            "--check-threads" => o.check_threads = value_of("--check-threads")?.parse()?,
+            "--check-limit" => o.check_limit = Some(value_of("--check-limit")?.parse()?),
+            "--check-bitstate" => o.check_bitstate = Some(value_of("--check-bitstate")?.parse()?),
+            "--check-no-por" => o.check_no_por = true,
             "--print-vhdl" => o.print_vhdl = true,
             "--vcd" => o.vcd = Some(value_of("--vcd")?),
             "--bus-meta" => o.bus_meta = Some(value_of("--bus-meta")?),
@@ -959,6 +1014,31 @@ mod tests {
         // Off by default, so the fault-free simulation path is untouched.
         let o = parse(&["s.ifs"]);
         assert!(!o.check && !o.integrity && o.check_faults.is_empty());
+    }
+
+    #[test]
+    fn parses_check_scaling_flags() {
+        let o = parse(&[
+            "s.ifs",
+            "--check",
+            "--check-threads",
+            "4",
+            "--check-limit",
+            "500000",
+            "--check-bitstate",
+            "28",
+            "--check-no-por",
+        ]);
+        assert_eq!(o.check_threads, 4);
+        assert_eq!(o.check_limit, Some(500_000));
+        assert_eq!(o.check_bitstate, Some(28));
+        assert!(o.check_no_por);
+        // Defaults: scalar exact POR exploration, unbounded.
+        let o = parse(&["s.ifs", "--check"]);
+        assert_eq!(o.check_threads, 0);
+        assert_eq!(o.check_limit, None);
+        assert_eq!(o.check_bitstate, None);
+        assert!(!o.check_no_por);
     }
 
     #[test]
