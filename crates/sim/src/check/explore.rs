@@ -124,6 +124,20 @@ impl<'a> Checker<'a> {
         self.por.as_ref().is_some_and(|t| t.enabled)
     }
 
+    /// The hard abort cap on stored states. A graceful state budget
+    /// ([`super::CheckConfig::with_state_limit`]) supersedes it: a
+    /// budgeted run's contract is a structured `Bounded` verdict, never
+    /// an exhaustion error, regardless of where the budget sits relative
+    /// to `max_states` (the budget is enforced at level boundaries, so a
+    /// lower `max_states` could otherwise abort mid-level first).
+    pub(super) fn hard_max_states(&self) -> usize {
+        if self.config.state_limit.is_some() {
+            usize::MAX
+        } else {
+            self.config.max_states
+        }
+    }
+
     /// Exact progress test replacing the seed's whole-state `state !=
     /// *src` comparison: the tracked effects bound what can differ, so
     /// only the touched components are compared (and usually none are —
@@ -445,7 +459,7 @@ fn commit_full(
             }
             None => {
                 let i = g.states.len();
-                if i >= checker.config.max_states {
+                if i >= checker.hard_max_states() {
                     return Err(SimError::eval(format!(
                         "reachable state space exceeds {} states; \
                          reduce the system or raise CheckConfig::max_states",
@@ -650,7 +664,7 @@ impl<'a> Checker<'a> {
                             g.stats.full_states += 1;
                         } else {
                             let i = g.states.len();
-                            if i >= self.config.max_states {
+                            if i >= self.hard_max_states() {
                                 return Err(SimError::eval(format!(
                                     "reachable state space exceeds {} states; \
                                      reduce the system or raise CheckConfig::max_states",

@@ -148,7 +148,10 @@ impl EnvFault {
 /// Exploration limits, scaling knobs and the fault environment.
 #[derive(Debug, Clone)]
 pub struct CheckConfig {
-    /// Abort exploration when the reachable set exceeds this many states.
+    /// Abort exploration when the reachable set exceeds this many
+    /// states. Not enforced when [`CheckConfig::state_limit`] is set —
+    /// a budgeted run stops gracefully at the budget instead of
+    /// erroring, wherever the budget sits relative to this cap.
     pub max_states: usize,
     /// Abort a single atomic run after this many instructions (guards
     /// zero-cost infinite loops, like the kernel's zero-delay guard).
@@ -166,7 +169,11 @@ pub struct CheckConfig {
     /// [`CheckConfig::max_states`], which treats exhaustion as an error.
     pub state_limit: Option<usize>,
     /// Lossy bitstate dedup over this many fingerprint bits (8..=63).
-    /// Violations found are real; absence of violations proves nothing.
+    /// Invariant and terminal violations found are real (their witness
+    /// states were concretely reached); absence of violations proves
+    /// nothing. Leads-to failures are reported
+    /// [`Verdict::Inconclusive`] (a collision can forge unreachability)
+    /// and completion bounds are unavailable.
     pub bitstate_bits: Option<u32>,
     /// Partial-order reduction (on by default; verdict-preserving).
     pub por: bool,
@@ -220,14 +227,19 @@ impl CheckConfig {
     }
 
     /// Stops exploration after `limit` discovered states with a
-    /// structured [`Verdict::Bounded`] instead of an error.
+    /// structured [`Verdict::Bounded`] instead of an error. The budget
+    /// supersedes [`CheckConfig::max_states`]: a limit above the hard
+    /// cap still ends in a `Bounded` verdict, not an exhaustion error.
     pub fn with_state_limit(mut self, limit: usize) -> Self {
         self.state_limit = Some(limit);
         self
     }
 
     /// Enables lossy bitstate dedup over `bits` fingerprint bits
-    /// (clamped to 8..=63).
+    /// (clamped to 8..=63). One-sided for invariant and terminal
+    /// checks only; leads-to failures become
+    /// [`Verdict::Inconclusive`] and
+    /// [`StateSpace::worst_cost_to_quiescence`] returns `None`.
     pub fn with_bitstate(mut self, bits: u32) -> Self {
         self.bitstate_bits = Some(bits);
         self
@@ -363,8 +375,9 @@ impl<'a> Checker<'a> {
     /// # Errors
     ///
     /// Returns an error when the reachable set exceeds the configured
-    /// state cap, an atomic run exceeds the step budget, or execution
-    /// hits a runtime evaluation error or failed assertion.
+    /// state cap (unless a state limit is set, which bounds exploration
+    /// gracefully instead), an atomic run exceeds the step budget, or
+    /// execution hits a runtime evaluation error or failed assertion.
     pub fn explore(&self) -> Result<StateSpace<'_>, SimError> {
         let g = self.explore_graph()?;
         Ok(StateSpace::new(self, g))

@@ -22,8 +22,11 @@
 //!   [`ifsyn_partition::footprint`] analysis.
 //! * **dynamically** (the explorer): a run is an ample candidate only if
 //!   every instruction it executed was statically pure *and* the run
-//!   wrote no signal, released no waiter, and left the process's `done`
-//!   flag unchanged. The static table makes the dynamic check a table
+//!   wrote no signal, released no waiter, left the process's `done`
+//!   flag unchanged, and every procedure copy-back it applied targeted a
+//!   `p`-private unobserved variable (copy-back places are resolved at
+//!   the call, possibly in an *earlier* run, so `Ret`'s static row
+//!   cannot see them). The static table makes the dynamic check a table
 //!   lookup per executed instruction.
 //!
 //! Soundness notes live in `docs/ROBUSTNESS.md`: conditions C0–C2 follow
@@ -49,6 +52,11 @@ use crate::program::{Code, Instr, WaitSpec};
 /// conservatively (`false` when in doubt, including out-of-range pcs).
 pub(super) struct PorTables {
     tabs: Vec<PidTab>,
+    /// Per process, per variable: writing the variable is pure (private
+    /// to the process and unobserved). Consulted dynamically for
+    /// procedure copy-back writes, whose target places are resolved at
+    /// call time and are therefore invisible to `Ret`'s static row.
+    var_write_pure: Vec<Box<[bool]>>,
     /// `true` when any instruction anywhere is pure — when `false` the
     /// explorer skips ample scanning entirely.
     pub enabled: bool,
@@ -202,7 +210,10 @@ impl Purity<'_> {
                 CArg::Out(p) => self.place_write_pure(pid, p),
                 CArg::InOut(p) => self.place_read_pure(pid, p) && self.place_write_pure(pid, p),
             }),
-            // A `done` flip on the final return is caught dynamically.
+            // A `done` flip on the final return is caught dynamically,
+            // and so are out/inout copy-back writes: their targets are
+            // resolved at call time, not here, so `leave_frame` checks
+            // each one against `var_write_pure` instead.
             Instr::Ret => true,
             Instr::ChannelSend {
                 channel,
@@ -293,10 +304,30 @@ impl PorTables {
                 procs: procedures.iter().map(|c| scan(pid, c)).collect(),
             })
             .collect();
+        let var_write_pure: Vec<Box<[bool]>> = (0..system.behaviors.len())
+            .map(|pid| {
+                (0..n_vars)
+                    .map(|v| purity.var_private(pid, v) && !purity.observed_var[v])
+                    .collect()
+            })
+            .collect();
         let enabled = tabs
             .iter()
             .any(|t| t.behavior.iter().any(|&b| b) || t.procs.iter().any(|r| r.iter().any(|&b| b)));
-        Self { tabs, enabled }
+        Self {
+            tabs,
+            var_write_pure,
+            enabled,
+        }
+    }
+
+    /// Whether a copy-back write to `var`, performed by process `pid` at
+    /// a procedure return, keeps the run pure: the variable must be
+    /// `pid`-private and unobserved, exactly the write-position rule for
+    /// statically visible places.
+    #[inline]
+    pub fn copyback_pure(&self, pid: usize, var: usize) -> bool {
+        self.var_write_pure[pid][var]
     }
 
     /// Whether the instruction at `(code, pc)` is pure for process

@@ -121,6 +121,11 @@ pub enum Verdict {
     /// No violation found, but exploration stopped at the configured
     /// state budget — the unexplored frontier may hide one.
     Bounded,
+    /// The check failed on a lossy bitstate graph whose fingerprint
+    /// collisions can forge exactly this kind of failure (a merged
+    /// successor makes a real goal path invisible): neither a proof nor
+    /// a trace-checkable violation. Re-run with exact dedup to confirm.
+    Inconclusive,
 }
 
 /// The result of checking one property over an explored state space.
@@ -154,6 +159,12 @@ impl fmt::Display for PropertyReport {
                     self.name, self.states, b.limit, b.frontier
                 )
             }
+            Verdict::Inconclusive => write!(
+                f,
+                "INCONC {} ({} states; a bitstate fingerprint collision \
+                 can forge this failure — rerun with exact dedup to confirm)",
+                self.name, self.states
+            ),
             Verdict::Fail => {
                 write!(f, "FAIL  {} ({} states)", self.name, self.states)?;
                 if let Some(cex) = &self.counterexample {
@@ -696,7 +707,19 @@ impl<'a> StateSpace<'a> {
         goal: impl Fn(&StateView<'_>) -> bool,
     ) -> PropertyReport {
         let rep = self.main().check_leads_to(name, &premise, &goal);
-        self.resolve(rep, |r| r.check_leads_to(name, &premise, &goal))
+        let mut rep = self.resolve(rep, |r| r.check_leads_to(name, &premise, &goal));
+        // Bitstate collisions merge distinct states, so "the goal is
+        // unreachable from this premise state" can be a collision
+        // artifact: the colliding successor's real continuations were
+        // never explored. Unlike invariant/terminal violations — whose
+        // witness states were concretely reached and whose traces
+        // replay — a bitstate leads-to failure is not trace-checkable,
+        // so it is downgraded to an explicit inconclusive verdict.
+        if rep.verdict == Verdict::Fail && self.checker.config.bitstate_bits.is_some() {
+            rep.verdict = Verdict::Inconclusive;
+            rep.counterexample = None;
+        }
+        rep
     }
 
     /// The maximum total cycle cost over all maximal paths from the
@@ -707,9 +730,12 @@ impl<'a> StateSpace<'a> {
     /// every in-budget fault pattern) reaches quiescence within the
     /// returned number of cycles. Partial-order reduction preserves the
     /// bound: reduced paths are permutations of full paths with the same
-    /// transition multiset, hence the same total cost.
+    /// transition multiset, hence the same total cost. Bitstate runs
+    /// also return `None`: a fingerprint collision can both hide the
+    /// costliest path and forge a spurious cycle, so neither a number
+    /// nor an "unbounded" answer would be trustworthy.
     pub fn worst_cost_to_quiescence(&self) -> Option<u64> {
-        if self.g.bounded.is_some() {
+        if self.g.bounded.is_some() || self.checker.config.bitstate_bits.is_some() {
             return None;
         }
         self.main().worst_cost_to_quiescence()

@@ -468,6 +468,17 @@ impl<'a> Checker<'a> {
     ) -> Result<LeaveOutcome, SimError> {
         let frame = s.procs[pid].frames.pop().expect("frame");
         for (slot, rp, ty) in &frame.copyback {
+            // Copy-back targets were resolved at the call — possibly in
+            // an earlier atomic run whose impurity this run never saw —
+            // so `Ret`'s static purity row cannot account for them: a
+            // copy-back into a shared or observed variable is a visible,
+            // cross-process-dependent write and must disqualify the run
+            // from standing alone as an ample set.
+            if fx.track && fx.pure_run {
+                if let Root::Var(v) = rp.root {
+                    fx.pure_run = self.por.as_ref().is_some_and(|t| t.copyback_pure(pid, v));
+                }
+            }
             let v = coerce(frame.locals[*slot].clone(), ty);
             self.write_resolved(s, pid, rp, v, fx)?;
         }

@@ -1,6 +1,6 @@
 use super::*;
 use ifsyn_spec::dsl::*;
-use ifsyn_spec::{System, Ty};
+use ifsyn_spec::{Arg, ParamMode, Procedure, System, Ty, Value};
 
 /// Two-phase handshake: `P` raises REQ and waits for ACK; `C` waits
 /// for REQ and raises ACK.
@@ -371,6 +371,129 @@ fn bounded_exploration_reports_a_bounded_verdict() {
     assert!(line.contains("state limit 20"), "{line}");
     // A bounded graph cannot certify a completion bound.
     assert_eq!(ss.worst_cost_to_quiescence(), None);
+}
+
+/// A procedure with an `out` parameter aimed at a shared variable,
+/// returning past an internal scheduling point: the resumed run executes
+/// only statically pure instructions plus `Ret`, but its copy-back (a
+/// place resolved back at the call) writes the shared variable. Treating
+/// that run as an ample singleton would hide every interleaving where
+/// `Q` samples the pre-copy-back value from the mid-procedure state.
+#[test]
+fn por_never_hides_procedure_copyback_writes() {
+    let mut sys = System::new("copyback");
+    let m = sys.add_module("chip");
+    let p = sys.add_behavior("P", m);
+    let q = sys.add_behavior("Q", m);
+    let a = sys.add_signal("A", Ty::Bit);
+    let sh = sys.add_variable("sh", Ty::Int(8), p);
+    let r1 = sys.add_variable("r1", Ty::Bit, q);
+    let r2 = sys.add_variable_init("r2", Ty::Int(8), q, Value::int(99, 8));
+    let mut give = Procedure::new("give_two");
+    let out_slot = give.add_param("result", Ty::Int(8), ParamMode::Out);
+    give.body = vec![
+        assign(local(out_slot), int_const(1, 8)),
+        wait_cycles(1), // scheduling point between the call and the copy-back
+        assign(local(out_slot), int_const(2, 8)),
+    ];
+    let give = sys.add_procedure(give);
+    sys.behavior_mut(p).body = vec![
+        drive(a, bit_const(true)),
+        call(give, vec![Arg::Out(var(sh))]),
+        wait_cycles(1),
+    ];
+    sys.behavior_mut(q).body = vec![
+        assign(var(r1), signal(a)),
+        assign(var(r2), load(var(sh))),
+    ];
+    // Seeing `A` high with `sh` still 0 requires scheduling Q entirely
+    // between P's call and P's copy-back — i.e. from the mid-procedure
+    // state, exactly the state a copy-back-blind ample set would commit
+    // as a singleton.
+    let window = |v: &StateView<'_>| {
+        matches!(v.variable("r1"), Some(Value::Bit(true)))
+            && v.variable("r2").unwrap().as_i64().unwrap() == 0
+    };
+    let full = Checker::with_config(&sys, CheckConfig::new().without_por()).unwrap();
+    let fs = full.explore().unwrap();
+    let fr = fs.check_invariant("window unreachable", |v| !window(v));
+    assert!(!fr.holds, "the mid-procedure window must be reachable");
+    let reduced = Checker::new(&sys).unwrap();
+    let rs = reduced.explore().unwrap();
+    let rr = rs.check_invariant("window unreachable", |v| !window(v));
+    assert!(!rr.holds, "reduction hid the copy-back write");
+    assert_eq!(rr.to_string(), fr.to_string());
+}
+
+/// A graceful state budget supersedes the hard `max_states` abort: a
+/// `--check-limit` above the cap must end in a `Bounded` verdict, never
+/// the exhaustion error (that error fires mid-level, before the budget
+/// is even consulted).
+#[test]
+fn state_limit_supersedes_the_hard_state_cap() {
+    let sys = mixed_private();
+    // Budget above the cap, space bigger than both: stops at the budget.
+    let ck = Checker::with_config(
+        &sys,
+        CheckConfig::new().with_max_states(20).with_state_limit(50),
+    )
+    .unwrap();
+    let ss = ck.explore().expect("budgeted run must not hit the hard cap");
+    let b = ss.bounded().expect("budget must bound the run");
+    assert_eq!(b.limit, 50);
+    assert!(ss.state_count() >= 50);
+    // Budget above the cap, space smaller than the budget: completes.
+    let ck = Checker::with_config(
+        &sys,
+        CheckConfig::new()
+            .with_max_states(20)
+            .with_state_limit(1_000_000),
+    )
+    .unwrap();
+    let ss = ck.explore().expect("budgeted run must not hit the hard cap");
+    assert!(ss.bounded().is_none(), "the space fits the budget");
+    assert!(ss.state_count() > 20);
+    // Without a budget the hard cap still aborts.
+    let ck = Checker::with_config(&sys, CheckConfig::new().with_max_states(20)).unwrap();
+    let err = ck.explore().err().expect("hard cap must abort");
+    assert!(err.to_string().contains("exceeds 20 states"));
+}
+
+/// Bitstate one-sidedness covers invariant/terminal violations (their
+/// witness states were concretely reached). A leads-to failure is a
+/// *reachability* claim a fingerprint collision can forge, so under
+/// bitstate it must surface as INCONC, and no completion bound may be
+/// certified.
+#[test]
+fn bitstate_downgrades_leads_to_failures_to_inconclusive() {
+    let mut sys = System::new("nogrant");
+    let m = sys.add_module("chip");
+    let cl = sys.add_behavior("CLIENT", m);
+    let req = sys.add_signal("REQ", Ty::Bit);
+    let _gnt = sys.add_signal("GNT", Ty::Bit);
+    sys.behavior_mut(cl).body = vec![drive(req, bit_const(true))];
+    let premise = |v: &StateView<'_>| v.signal_high("REQ") && !v.signal_high("GNT");
+    let goal = |v: &StateView<'_>| v.signal_high("GNT");
+    let exact = Checker::new(&sys).unwrap();
+    let es = exact.explore().unwrap();
+    let er = es.check_leads_to("eventual_grant", premise, goal);
+    assert_eq!(er.verdict, Verdict::Fail, "the grant genuinely never comes");
+    assert!(er.counterexample.is_some());
+    assert!(es.worst_cost_to_quiescence().is_some());
+
+    let lossy = Checker::with_config(&sys, CheckConfig::new().with_bitstate(32)).unwrap();
+    let ls = lossy.explore().unwrap();
+    let lr = ls.check_leads_to("eventual_grant", premise, goal);
+    assert_eq!(lr.verdict, Verdict::Inconclusive);
+    assert!(!lr.holds, "inconclusive is not a proof");
+    assert!(lr.counterexample.is_none(), "no trace-checkable witness");
+    let line = lr.to_string();
+    assert!(line.starts_with("INCONC"), "{line}");
+    assert_eq!(
+        ls.worst_cost_to_quiescence(),
+        None,
+        "a lossy graph cannot certify a completion bound"
+    );
 }
 
 #[test]

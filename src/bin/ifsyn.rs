@@ -52,8 +52,11 @@
 //!                          BOUND verdicts instead of running out of
 //!                          memory on huge systems
 //!   --check-bitstate BITS  lossy bitstate dedup keyed by a 2^BITS
-//!                          fingerprint: violations found are real, but a
-//!                          clean run is probabilistic, not a proof
+//!                          fingerprint: invariant/terminal violations
+//!                          found are real, but a clean run is
+//!                          probabilistic, not a proof; leads-to checks
+//!                          report INCONC instead of FAIL (a collision
+//!                          can forge unreachability)
 //!   --check-no-por         disable partial-order reduction (explore the
 //!                          full interleaving graph)
 //!   --explore              print the width exploration table and exit
@@ -480,7 +483,7 @@ fn check_refined(
     refined: &interface_synthesis::core::RefinedSystem,
     options: &Options,
 ) -> Result<(), Box<dyn Error>> {
-    use interface_synthesis::sim::{CheckConfig, Checker};
+    use interface_synthesis::sim::{CheckConfig, Checker, Verdict};
 
     let mut config = CheckConfig::new();
     for spec in &options.check_faults {
@@ -533,6 +536,9 @@ fn check_refined(
         None if space.bounded().is_some() => {
             println!("worst-case completion: unknown (exploration was bounded)")
         }
+        None if options.check_bitstate.is_some() => {
+            println!("worst-case completion: unknown (bitstate dedup is lossy)")
+        }
         None => println!("worst-case completion: unbounded (a reachable cycle exists)"),
     }
 
@@ -571,15 +577,27 @@ fn check_refined(
     }
 
     let mut failures = 0usize;
+    let mut inconclusive = 0usize;
     for rep in &reports {
         println!("{rep}");
-        if !rep.holds {
-            failures += 1;
+        match rep.verdict {
+            Verdict::Fail => failures += 1,
+            Verdict::Inconclusive => inconclusive += 1,
+            Verdict::Pass | Verdict::Bounded => {}
         }
     }
     if failures > 0 {
         return Err(format!(
             "{failures} of {} propert{} violated",
+            reports.len(),
+            if reports.len() == 1 { "y" } else { "ies" }
+        )
+        .into());
+    }
+    if inconclusive > 0 {
+        return Err(format!(
+            "{inconclusive} of {} propert{} inconclusive under bitstate \
+             dedup — rerun without --check-bitstate to confirm",
             reports.len(),
             if reports.len() == 1 { "y" } else { "ies" }
         )
